@@ -1,0 +1,109 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! loss-mutation mode (Lipizzaner vs Mustangs), neighborhood pattern
+//! (the dynamic-grid feature of §III-C), adversary selection strategy,
+//! and the communication cost model's sensitivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lipiz_bench::workload::{digits_data, scaled_config, Scale};
+use lipiz_cluster::CommCost;
+use lipiz_core::{
+    AdversaryStrategy, CellEngine, CellSnapshot, LossMode, NeighborhoodPattern, Profiler,
+};
+
+fn engine_with(cfg: &lipiz_core::TrainConfig) -> (CellEngine, Vec<CellSnapshot>) {
+    let mut e = CellEngine::new(0, cfg, digits_data(cfg));
+    let n = cfg.subpopulation_size() - 1;
+    let snaps: Vec<CellSnapshot> = (0..n).map(|_| e.snapshot()).collect();
+    (e, snaps)
+}
+
+fn bench_loss_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_loss_mutation");
+    for (label, mode) in [
+        ("lipizzaner_fixed", LossMode::Fixed(lipiz_core::config::WireGanLoss::Heuristic)),
+        ("mustangs_mutate", LossMode::Mutate),
+    ] {
+        let mut cfg = scaled_config(2, Scale::Smoke);
+        cfg.mutation.loss_mode = mode;
+        let (mut e, snaps) = engine_with(&cfg);
+        group.bench_function(BenchmarkId::new("mode", label), |b| {
+            b.iter(|| {
+                let mut p = Profiler::new();
+                e.run_iteration(&snaps, &mut p);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_neighborhood_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_neighborhood");
+    for (label, pattern) in [
+        ("isolated_s1", NeighborhoodPattern::Isolated),
+        ("cross_s5", NeighborhoodPattern::Cross5),
+        ("moore_s9", NeighborhoodPattern::Moore9),
+    ] {
+        let mut cfg = scaled_config(2, Scale::Smoke);
+        cfg.grid.pattern = pattern;
+        let (mut e, snaps) = engine_with(&cfg);
+        group.bench_function(BenchmarkId::new("pattern", label), |b| {
+            b.iter(|| {
+                let mut p = Profiler::new();
+                e.run_iteration(&snaps, &mut p);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_adversary_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_adversary");
+    for (label, strategy) in [
+        ("tournament2", AdversaryStrategy::Tournament(2)),
+        ("all_pairs", AdversaryStrategy::All),
+    ] {
+        let mut cfg = scaled_config(2, Scale::Smoke);
+        cfg.coevolution.adversary = strategy;
+        let (mut e, snaps) = engine_with(&cfg);
+        group.bench_function(BenchmarkId::new("strategy", label), |b| {
+            b.iter(|| {
+                let mut p = Profiler::new();
+                e.run_iteration(&snaps, &mut p);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_comm_cost_sensitivity(c: &mut Criterion) {
+    // Pure cost-model evaluation: how the allgather estimate scales across
+    // latency/bandwidth assumptions (paper-scale snapshot, 16 ranks).
+    let mut group = c.benchmark_group("ablation_comm_cost");
+    let bytes = 2_200_000usize;
+    for (label, cost) in [
+        ("cluster_uy", CommCost::cluster_uy()),
+        ("10x_latency", CommCost { alpha: 600e-6, beta: CommCost::cluster_uy().beta }),
+        ("tenth_bandwidth", CommCost { alpha: 60e-6, beta: CommCost::cluster_uy().beta * 10.0 }),
+    ] {
+        group.bench_function(BenchmarkId::new("model", label), |b| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for p in 2..=17 {
+                    acc += cost.allgather(p, bytes);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_loss_modes,
+        bench_neighborhood_patterns,
+        bench_adversary_strategies,
+        bench_comm_cost_sensitivity
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Benchmarks of the message-passing substrate: p2p latency, the
+//! per-iteration allgather at the three paper grid sizes, and mailbox
+//! selective-receive under contention.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lipiz_mpi::{Comm, RecvFrom, Universe};
+
+fn bench_p2p_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p2p_round_trip");
+    for &bytes in &[64usize, 4096, 1 << 20] {
+        group.throughput(Throughput::Bytes(bytes as u64 * 2));
+        group.bench_with_input(BenchmarkId::new("bytes", bytes), &bytes, |b, &bytes| {
+            b.iter(|| {
+                Universe::run(2, |comm: Comm| {
+                    let payload: Vec<u8> = vec![7u8; bytes];
+                    if comm.rank() == 0 {
+                        comm.send(1, 1, &payload);
+                        let (_echo, _): (Vec<u8>, usize) = comm.recv(RecvFrom::Rank(1), 2);
+                    } else {
+                        let (got, _): (Vec<u8>, usize) = comm.recv(RecvFrom::Rank(0), 1);
+                        comm.send(0, 2, &got);
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_allgather_grid_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allgather_snapshot");
+    // Genome-shaped payload, scaled down 100x from the paper for sampling.
+    let floats = 2840usize;
+    for &slaves in &[4usize, 9, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("slaves", slaves),
+            &slaves,
+            |b, &slaves| {
+                b.iter(|| {
+                    Universe::run(slaves, |comm: Comm| {
+                        let genome = vec![comm.rank() as f32; floats];
+                        let all = comm.allgather(&genome);
+                        assert_eq!(all.len(), slaves);
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barrier");
+    for &ranks in &[5usize, 17] {
+        group.bench_with_input(BenchmarkId::new("ranks", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                Universe::run(ranks, |comm: Comm| {
+                    for _ in 0..4 {
+                        comm.barrier();
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_selective_receive_under_backlog(c: &mut Criterion) {
+    // The slave main thread scans past unrelated messages: measure matching
+    // cost with a backlog of foreign-tag envelopes queued.
+    c.bench_function("selective_recv_with_backlog", |b| {
+        b.iter(|| {
+            Universe::run(2, |comm: Comm| {
+                if comm.rank() == 0 {
+                    // 64 messages on tag 1, then the one we want on tag 2.
+                    let (v, _): (u32, usize) = comm.recv(RecvFrom::Rank(1), 2);
+                    for _ in 0..64 {
+                        let (_, _): (u32, usize) = comm.recv(RecvFrom::Rank(1), 1);
+                    }
+                    v
+                } else {
+                    for i in 0..64u32 {
+                        comm.send(0, 1, &i);
+                    }
+                    comm.send(0, 2, &99u32);
+                    0
+                }
+            })
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_p2p_round_trip,
+        bench_allgather_grid_sizes,
+        bench_barrier,
+        bench_selective_receive_under_backlog
+}
+criterion_main!(benches);

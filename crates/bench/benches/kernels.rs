@@ -1,0 +1,106 @@
+//! Micro-benchmarks of the numerical substrate: the matrix products the
+//! training loop is built from, the metric eigensolver and the wire codec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lipiz_metrics::eigen::{sqrtm_psd, SymMat};
+use lipiz_mpi::wire::Wire;
+use lipiz_tensor::{ops, Matrix, Pool, Rng64};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    // The three shapes of one Table I generator forward pass (batch 100).
+    for &(m, k, n) in &[(100usize, 64usize, 256usize), (100, 256, 256), (100, 256, 784)] {
+        let mut rng = Rng64::seed_from(1);
+        let a = rng.uniform_matrix(m, k, -1.0, 1.0);
+        let b = rng.uniform_matrix(k, n, -1.0, 1.0);
+        group.throughput(Throughput::Elements((m * k * n) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("serial", format!("{m}x{k}x{n}")),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| ops::matmul(a, b)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_matmul_transposed_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_backprop_shapes");
+    let mut rng = Rng64::seed_from(2);
+    // Weight-gradient shape: xᵀ·δ for the 256→784 layer.
+    let x = rng.uniform_matrix(100, 256, -1.0, 1.0);
+    let delta = rng.uniform_matrix(100, 784, -1.0, 1.0);
+    group.bench_function("at_b_256x784", |b| b.iter(|| ops::matmul_at_b(&x, &delta)));
+    // Input-gradient shape: δ·Wᵀ.
+    let w = rng.uniform_matrix(256, 784, -1.0, 1.0);
+    group.bench_function("a_bt_100x256", |b| b.iter(|| ops::matmul_a_bt(&delta, &w)));
+    group.finish();
+}
+
+fn bench_pooled_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_level_parallelism");
+    let mut rng = Rng64::seed_from(3);
+    let a = rng.uniform_matrix(256, 256, -1.0, 1.0);
+    let b = rng.uniform_matrix(256, 784, -1.0, 1.0);
+    for workers in [1usize, 2] {
+        let pool = Pool::new(workers);
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &pool,
+            |bench, pool| bench.iter(|| ops::matmul_pooled(&a, &b, pool)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_eigensolver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fid_eigensolver");
+    for &d in &[16usize, 64] {
+        let mut m = SymMat::zeros(d);
+        for i in 0..d {
+            for j in 0..=i {
+                let v = ((i * 31 + j * 17) as f64 * 0.1).sin();
+                m.set(i, j, v);
+                m.set(j, i, v);
+            }
+            m.set(i, i, m.get(i, i) + d as f64); // well-conditioned PSD-ish
+        }
+        group.bench_with_input(BenchmarkId::new("sqrtm_psd", d), &m, |b, m| {
+            b.iter(|| sqrtm_psd(m))
+        });
+    }
+    group.finish();
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+    // A paper-scale generator genome (~284k parameters).
+    let genome: Vec<f32> = (0..283_920).map(|i| i as f32 * 1e-6).collect();
+    group.throughput(Throughput::Bytes((genome.len() * 4) as u64));
+    group.bench_function("encode_genome", |b| b.iter(|| genome.to_bytes()));
+    let bytes = genome.to_bytes();
+    group.bench_function("decode_genome", |b| {
+        b.iter(|| Vec::<f32>::from_bytes(&bytes).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_batch_gather(c: &mut Criterion) {
+    // Row gathering (the batch loader hot path).
+    let mut rng = Rng64::seed_from(4);
+    let data = rng.uniform_matrix(2000, 784, -1.0, 1.0);
+    let idx: Vec<usize> = (0..100).map(|i| (i * 13) % 2000).collect();
+    c.bench_function("gather_rows_batch100", |b| {
+        b.iter(|| Matrix::gather_rows(&data, &idx))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_matmul_transposed_variants,
+    bench_pooled_matmul,
+    bench_eigensolver,
+    bench_wire_codec,
+    bench_batch_gather
+);
+criterion_main!(benches);

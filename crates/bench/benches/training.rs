@@ -1,0 +1,84 @@
+//! Meso-benchmarks of the four profiled routines (the rows of Table IV)
+//! on a single cell, at a reduced network size so Criterion sampling stays
+//! tractable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lipiz_core::{CellEngine, CellSnapshot, Profiler, TrainConfig};
+use lipiz_tensor::{Matrix, Rng64};
+
+/// A mid-size config: realistic layer structure, ~1/16 of Table I FLOPs.
+fn bench_config() -> TrainConfig {
+    let mut cfg = TrainConfig::smoke(2);
+    cfg.network.latent_dim = 16;
+    cfg.network.hidden_layers = 2;
+    cfg.network.hidden_units = 64;
+    cfg.network.data_dim = 196; // 14x14
+    cfg.training.batch_size = 50;
+    cfg.training.batches_per_iteration = 1;
+    cfg.training.dataset_size = 200;
+    cfg.training.eval_batch = 25;
+    cfg
+}
+
+fn data_for(cfg: &TrainConfig) -> Matrix {
+    let mut rng = Rng64::seed_from(cfg.training.data_seed);
+    rng.uniform_matrix(cfg.training.dataset_size, cfg.network.data_dim, -0.9, 0.9)
+}
+
+fn engine() -> (CellEngine, Vec<CellSnapshot>) {
+    let cfg = bench_config();
+    let mut e = CellEngine::new(0, &cfg, data_for(&cfg));
+    let snaps: Vec<CellSnapshot> = (0..4).map(|_| e.snapshot()).collect();
+    (e, snaps)
+}
+
+fn bench_gather_phase(c: &mut Criterion) {
+    let (mut e, snaps) = engine();
+    c.bench_function("routine_gather_ingest", |b| {
+        b.iter(|| e.ingest_neighbors(&snaps))
+    });
+}
+
+fn bench_mutate_phase(c: &mut Criterion) {
+    let (mut e, _) = engine();
+    c.bench_function("routine_mutate", |b| b.iter(|| e.mutate_phase()));
+}
+
+fn bench_train_phase(c: &mut Criterion) {
+    let (mut e, snaps) = engine();
+    e.ingest_neighbors(&snaps);
+    c.bench_function("routine_train_one_batch", |b| b.iter(|| e.train_phase()));
+}
+
+fn bench_update_phase(c: &mut Criterion) {
+    let (mut e, snaps) = engine();
+    e.ingest_neighbors(&snaps);
+    c.bench_function("routine_update_genomes", |b| b.iter(|| e.update_phase()));
+}
+
+fn bench_full_iteration(c: &mut Criterion) {
+    let (mut e, snaps) = engine();
+    c.bench_function("cell_full_iteration", |b| {
+        b.iter(|| {
+            let mut p = Profiler::new();
+            e.run_iteration(&snaps, &mut p);
+        })
+    });
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let (mut e, _) = engine();
+    c.bench_function("center_snapshot", |b| b.iter(|| e.snapshot()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gather_phase,
+        bench_mutate_phase,
+        bench_train_phase,
+        bench_update_phase,
+        bench_full_iteration,
+        bench_snapshot
+}
+criterion_main!(benches);

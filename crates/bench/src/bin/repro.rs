@@ -1,0 +1,79 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro all                 # every artifact at Quick scale
+//! repro table3 --runs 10    # Table III with ten distributed runs
+//! repro table4 --full       # Table IV at Full scale
+//! repro scaling --max 6     # beyond-the-paper grids
+//! ```
+
+use lipiz_bench::experiments;
+use lipiz_bench::workload::Scale;
+
+struct Args {
+    target: String,
+    scale: Scale,
+    runs: usize,
+    max_m: usize,
+}
+
+fn parse_args() -> Args {
+    let mut target = "all".to_string();
+    let mut scale = Scale::Quick;
+    let mut runs = 3usize;
+    let mut max_m = 6usize;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--full" => scale = Scale::Full,
+            "--smoke" => scale = Scale::Smoke,
+            "--runs" => {
+                i += 1;
+                runs = argv.get(i).and_then(|v| v.parse().ok()).unwrap_or(runs);
+            }
+            "--max" => {
+                i += 1;
+                max_m = argv.get(i).and_then(|v| v.parse().ok()).unwrap_or(max_m);
+            }
+            other if !other.starts_with('-') => target = other.to_string(),
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+        i += 1;
+    }
+    Args { target, scale, runs, max_m }
+}
+
+fn main() {
+    let args = parse_args();
+    let run = |name: &str| args.target == name || args.target == "all";
+
+    println!("lipizzaner-rs reproduction harness (scale: {:?})\n", args.scale);
+    if run("table1") {
+        println!("{}", experiments::table1());
+    }
+    if run("table2") {
+        println!("{}", experiments::table2());
+    }
+    if run("fig1") {
+        println!("{}", experiments::fig1());
+    }
+    if run("fig2") {
+        println!("{}", experiments::fig2());
+    }
+    if run("fig3") {
+        println!("{}", experiments::fig3());
+    }
+    if run("table3") {
+        println!("{}", experiments::table3(args.scale, args.runs));
+    }
+    if run("table4") {
+        println!("{}", experiments::table4(args.scale));
+    }
+    if run("fig4") {
+        println!("FIG. 4 — ROUTINE TIME COMPARISON (CSV)\n{}", experiments::fig4(args.scale));
+    }
+    if run("scaling") {
+        println!("{}", experiments::scaling_extension(args.scale, args.max_m));
+    }
+}

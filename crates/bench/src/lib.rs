@@ -1,0 +1,31 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation section (§IV).
+//!
+//! The `repro` binary is the entry point:
+//!
+//! ```text
+//! cargo run --release -p lipiz-bench --bin repro -- all
+//! cargo run --release -p lipiz-bench --bin repro -- table3 --full --runs 10
+//! ```
+//!
+//! | target   | paper artifact | what runs |
+//! |----------|----------------|-----------|
+//! | `table1` | Table I        | prints the active Table I configuration |
+//! | `table2` | Table II       | cores + memory model per grid size |
+//! | `table3` | Table III      | sequential baseline vs virtual-cluster distributed runs, speedups |
+//! | `table4` | Table IV       | per-routine profile, single-core vs distributed |
+//! | `fig1`   | Fig. 1         | toroidal grid + overlapping neighborhoods (ASCII) |
+//! | `fig2`   | Fig. 2         | slave state machine |
+//! | `fig3`   | Fig. 3         | live master/slave protocol trace (real threaded run) |
+//! | `fig4`   | Fig. 4         | routine-time comparison series (CSV) |
+//! | `scaling`| extension      | 5×5 and 6×6 beyond the paper |
+//!
+//! Workload scaling: the paper's full runs take hundreds of single-core
+//! *minutes*; [`workload::Scale::Quick`] keeps the exact Table I networks,
+//! batch size and algorithm but runs fewer iterations/batches so the whole
+//! suite finishes in minutes. Because per-iteration cost is constant across
+//! iterations, scaling shape is preserved (see EXPERIMENTS.md).
+
+pub mod experiments;
+pub mod table;
+pub mod workload;

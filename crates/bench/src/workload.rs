@@ -1,0 +1,96 @@
+//! Experiment workload definitions.
+
+use lipiz_core::{GridConfig, TrainConfig};
+use lipiz_data::SynthDigits;
+use lipiz_tensor::Matrix;
+
+/// How much of the paper's full workload to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-scale: Table I networks and batch size, few
+    /// iterations/batches, small dataset. Default for `repro`.
+    Quick,
+    /// Closer to the paper (still hours below the 96-hour budget).
+    Full,
+    /// Seconds-scale networks for CI smoke tests of the harness itself.
+    Smoke,
+}
+
+/// The experiment configuration for an `m × m` grid at the given scale.
+///
+/// At every scale the *algorithm* is identical (same phases, same operator
+/// schedule); only iteration counts, batches per iteration and dataset size
+/// shrink. The Table I network topology and batch size are preserved for
+/// `Quick` and `Full`.
+pub fn scaled_config(m: usize, scale: Scale) -> TrainConfig {
+    let mut cfg = TrainConfig::paper_table1();
+    cfg.grid = GridConfig::square(m);
+    match scale {
+        Scale::Quick => {
+            cfg.coevolution.iterations = 2;
+            cfg.coevolution.mixture_every = 2;
+            cfg.training.batches_per_iteration = 3;
+            cfg.training.dataset_size = 400;
+            cfg.training.eval_batch = 50;
+        }
+        Scale::Full => {
+            cfg.coevolution.iterations = 10;
+            cfg.coevolution.mixture_every = 5;
+            cfg.training.batches_per_iteration = 10;
+            cfg.training.dataset_size = 2000;
+            cfg.training.eval_batch = 100;
+        }
+        Scale::Smoke => {
+            cfg = TrainConfig::smoke(m);
+        }
+    }
+    cfg
+}
+
+/// Build the per-cell dataset for a config: synthetic digit images
+/// (deterministic from the config's data seed).
+pub fn digits_data(cfg: &TrainConfig) -> Matrix {
+    if cfg.network.data_dim == lipiz_data::IMAGE_DIM {
+        SynthDigits::generate(cfg.training.dataset_size, cfg.training.data_seed).images
+    } else {
+        // Non-image dims (smoke scale): deterministic uniform surrogate.
+        let mut rng = lipiz_tensor::Rng64::seed_from(cfg.training.data_seed);
+        rng.uniform_matrix(cfg.training.dataset_size, cfg.network.data_dim, -0.9, 0.9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_keeps_table1_networks() {
+        let cfg = scaled_config(4, Scale::Quick);
+        assert_eq!(cfg.network.latent_dim, 64);
+        assert_eq!(cfg.network.hidden_units, 256);
+        assert_eq!(cfg.network.data_dim, 784);
+        assert_eq!(cfg.training.batch_size, 100);
+        assert_eq!(cfg.grid.cells(), 16);
+        assert!(cfg.coevolution.iterations < 200);
+    }
+
+    #[test]
+    fn scales_are_ordered_by_work() {
+        let quick = scaled_config(2, Scale::Quick);
+        let full = scaled_config(2, Scale::Full);
+        assert!(
+            full.coevolution.iterations * full.training.batches_per_iteration
+                > quick.coevolution.iterations * quick.training.batches_per_iteration
+        );
+    }
+
+    #[test]
+    fn digits_data_matches_config_dim() {
+        let cfg = scaled_config(2, Scale::Quick);
+        let data = digits_data(&cfg);
+        assert_eq!(data.shape(), (400, 784));
+        let smoke = scaled_config(2, Scale::Smoke);
+        let sdata = digits_data(&smoke);
+        assert_eq!(sdata.cols(), smoke.network.data_dim);
+    }
+}

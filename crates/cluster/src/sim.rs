@@ -1,0 +1,337 @@
+//! The bulk-synchronous virtual-time executor.
+
+use crate::allocation::Placement;
+use crate::costmodel::CommCost;
+use crate::platform::ClusterSpec;
+use crate::report::{CommStats, SimOutcome};
+use crate::vtime::RankClock;
+use lipiz_core::{
+    CellEngine, CellResult, CellSnapshot, Grid, Profiler, Routine, TrainConfig,
+    TrainReport,
+};
+use lipiz_tensor::Matrix;
+use std::time::Instant;
+
+/// Simulation knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulationOptions {
+    /// Seed for placement / best-effort jitter (vary across the paper's
+    /// "ten independent executions").
+    pub run_seed: u64,
+    /// Fixed per-iteration startup overhead charged to every rank
+    /// (scheduler + heartbeat handling), seconds.
+    pub per_iteration_overhead: f64,
+    /// Fault injection: slow one slave down by a factor, modeling a
+    /// straggler on the best-effort queue (`(cell_index, slowdown)`).
+    /// The BSP allgather makes every rank wait for it — the failure mode
+    /// the paper's heartbeat monitoring is designed to surface.
+    pub straggler: Option<(usize, f64)>,
+}
+
+impl Default for SimulationOptions {
+    fn default() -> Self {
+        Self { run_seed: 1, per_iteration_overhead: 1e-4, straggler: None }
+    }
+}
+
+/// A virtual-time cluster run of the distributed trainer.
+pub struct SimulatedCluster {
+    spec: ClusterSpec,
+    cost: CommCost,
+    opts: SimulationOptions,
+}
+
+impl SimulatedCluster {
+    /// Create a simulator for the given platform and cost model.
+    pub fn new(spec: ClusterSpec, cost: CommCost, opts: SimulationOptions) -> Self {
+        Self { spec, cost, opts }
+    }
+
+    /// Cluster-UY with its default cost model.
+    pub fn cluster_uy(opts: SimulationOptions) -> Self {
+        Self::new(ClusterSpec::cluster_uy(), CommCost::cluster_uy(), opts)
+    }
+
+    /// Execute the full training run in virtual time.
+    ///
+    /// Every cell engine runs for real on the host; the returned report's
+    /// `wall_seconds` is the *virtual* distributed wall-clock. Training
+    /// results are bit-identical to `SequentialTrainer` under the same
+    /// config.
+    pub fn run(
+        &self,
+        cfg: &TrainConfig,
+        mut make_data: impl FnMut(usize) -> Matrix,
+    ) -> SimOutcome {
+        let host_start = Instant::now();
+        let grid = Grid::from_config(&cfg.grid);
+        let cells = grid.cell_count();
+        let placement = Placement::allocate(&self.spec, cells + 1, self.opts.run_seed);
+
+        let mut engines: Vec<CellEngine> =
+            (0..cells).map(|i| CellEngine::new(i, cfg, make_data(i))).collect();
+        let speed_of = |cell: usize| -> f64 {
+            let mut speed = placement.speed_of(cell + 1);
+            if let Some((victim, slowdown)) = self.opts.straggler {
+                if victim == cell {
+                    speed *= slowdown.max(1.0);
+                }
+            }
+            speed
+        };
+        // Slave rank r handles cell r (master is world rank 0 / placement 0;
+        // slaves are placements 1..=cells).
+        let mut clocks = vec![RankClock::new(); cells];
+        let mut profilers: Vec<Profiler> = (0..cells).map(|_| Profiler::new()).collect();
+        let mut comm = CommStats::default();
+
+        for _iter in 0..cfg.coevolution.iterations {
+            // --- gather: snapshot, allgather (sync point), ingest -------
+            let mut snapshots: Vec<CellSnapshot> = Vec::with_capacity(cells);
+            let mut ready = vec![0.0f64; cells];
+            let mut max_bytes = 0usize;
+            for (c, engine) in engines.iter_mut().enumerate() {
+                let t0 = Instant::now();
+                let snap = engine.snapshot();
+                let host = t0.elapsed().as_secs_f64();
+                let speed = speed_of(c);
+                clocks[c].advance(host * speed + self.opts.per_iteration_overhead);
+                ready[c] = clocks[c].now();
+                max_bytes = max_bytes.max(snap.wire_size());
+                snapshots.push(snap);
+            }
+            // Allgather: everyone waits for the slowest, then pays the
+            // transfer cost.
+            let sync = ready.iter().copied().fold(0.0, f64::max);
+            let xfer = self.cost.allgather(cells, max_bytes);
+            comm.allgather_seconds += xfer + (sync - ready.iter().copied().fold(f64::INFINITY, f64::min));
+            comm.allgather_bytes += max_bytes * cells;
+            for (c, clock) in clocks.iter_mut().enumerate() {
+                let before = clock.now();
+                clock.sync_to(sync);
+                clock.advance(xfer);
+                // Gather time as a rank perceives it: wait + transfer.
+                profilers[c].record(
+                    Routine::Gather,
+                    std::time::Duration::from_secs_f64(clock.now() - before),
+                );
+            }
+
+            // --- compute phases, measured on the host --------------------
+            for (c, engine) in engines.iter_mut().enumerate() {
+                let neighbors: Vec<CellSnapshot> = grid
+                    .neighbors(c)
+                    .into_iter()
+                    .map(|n| snapshots[n].clone())
+                    .collect();
+                // Measure this iteration's phases into a scratch profiler,
+                // then charge them (speed-scaled) to the rank clock.
+                let mut scratch = Profiler::new();
+                engine.ingest_neighbors(&neighbors);
+                scratch.time(Routine::Mutate, || engine.mutate_phase());
+                scratch.time(Routine::Train, || engine.train_phase());
+                scratch.time(Routine::UpdateGenomes, || engine.update_phase());
+                engine.advance_iteration();
+                let speed = speed_of(c);
+                for r in [Routine::Mutate, Routine::Train, Routine::UpdateGenomes] {
+                    let host = scratch.total(r).as_secs_f64();
+                    clocks[c].advance(host * speed);
+                    profilers[c].record(
+                        r,
+                        std::time::Duration::from_secs_f64(host * speed),
+                    );
+                }
+            }
+        }
+
+        // Final result gather to the master (GLOBAL): after the slowest
+        // slave finishes.
+        let end = clocks.iter().map(|c| c.now()).fold(0.0, f64::max);
+        let result_bytes = 1024usize; // fitness + mixture + profile rows
+        let final_gather = self.cost.gather(cells + 1, result_bytes);
+        comm.final_gather_seconds = final_gather;
+        let wall = end + final_gather;
+
+        // Build the combined report (cells + best, mean per-rank profile).
+        let cell_results: Vec<CellResult> = engines
+            .iter_mut()
+            .enumerate()
+            .map(|(i, e)| {
+                let disc_pop = e.disc_population();
+                CellResult {
+                    cell: i,
+                    coords: grid.coords(i),
+                    gen_fitness: e.best_gen_fitness(),
+                    disc_fitness: disc_pop.members()[disc_pop.best_index()].fitness,
+                    mixture_weights: e.mixture().weights().to_vec(),
+                }
+            })
+            .collect();
+        let best_cell = cell_results
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.gen_fitness
+                    .partial_cmp(&b.gen_fitness)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map_or(0, |(i, _)| i);
+        let mut mean_prof = Profiler::new();
+        for p in &profilers {
+            mean_prof.merge(p);
+        }
+        let mut profile = mean_prof.report();
+        for row in &mut profile.rows {
+            row.seconds /= cells as f64;
+        }
+
+        let report = TrainReport {
+            driver: "cluster-sim".into(),
+            grid: (grid.rows(), grid.cols()),
+            iterations: cfg.coevolution.iterations,
+            wall_seconds: wall,
+            profile,
+            cells: cell_results,
+            best_cell,
+        };
+        SimOutcome {
+            report,
+            placement,
+            rank_clocks: clocks.iter().map(|c| c.now()).collect(),
+            comm,
+            host_seconds: host_start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lipiz_tensor::Rng64;
+
+    fn toy_data(cfg: &TrainConfig) -> Matrix {
+        let mut rng = Rng64::seed_from(cfg.training.data_seed);
+        rng.uniform_matrix(cfg.training.dataset_size, cfg.network.data_dim, -0.9, 0.9)
+    }
+
+    #[test]
+    fn sim_run_completes_with_virtual_wall() {
+        let cfg = TrainConfig::smoke(2);
+        let sim = SimulatedCluster::cluster_uy(SimulationOptions::default());
+        let outcome = sim.run(&cfg, |_| toy_data(&cfg));
+        assert_eq!(outcome.report.driver, "cluster-sim");
+        assert_eq!(outcome.report.cells.len(), 4);
+        assert!(outcome.virtual_wall() > 0.0);
+        assert!(outcome.host_seconds > 0.0);
+        assert_eq!(outcome.rank_clocks.len(), 4);
+        assert!(outcome.imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn sim_results_match_sequential_exactly() {
+        let cfg = TrainConfig::smoke(2);
+        let sim = SimulatedCluster::new(
+            ClusterSpec::dedicated(1, 8),
+            CommCost::cluster_uy(),
+            SimulationOptions::default(),
+        );
+        let outcome = sim.run(&cfg, |_| toy_data(&cfg));
+
+        let mut seq =
+            lipiz_core::sequential::SequentialTrainer::new(&cfg, |_| toy_data(&cfg));
+        let seq_report = seq.run();
+        for (a, b) in outcome.report.cells.iter().zip(&seq_report.cells) {
+            assert_eq!(a.gen_fitness, b.gen_fitness, "cell {}", a.cell);
+            assert_eq!(a.mixture_weights, b.mixture_weights, "cell {}", a.cell);
+        }
+        assert_eq!(outcome.report.best_cell, seq_report.best_cell);
+    }
+
+    #[test]
+    fn virtual_wall_is_less_than_summed_compute() {
+        // The whole point: distributed virtual time ≈ max over ranks, far
+        // below the sum that the sequential baseline pays.
+        let cfg = TrainConfig::smoke(3);
+        let sim = SimulatedCluster::new(
+            ClusterSpec::dedicated(1, 16),
+            CommCost::free(),
+            SimulationOptions::default(),
+        );
+        let outcome = sim.run(&cfg, |_| toy_data(&cfg));
+        let summed: f64 = outcome.rank_clocks.iter().sum();
+        assert!(
+            outcome.virtual_wall() < summed / 2.0,
+            "wall {} vs summed {}",
+            outcome.virtual_wall(),
+            summed
+        );
+    }
+
+    #[test]
+    fn jitter_changes_wall_but_not_results() {
+        let cfg = TrainConfig::smoke(2);
+        let run = |seed: u64| {
+            let sim = SimulatedCluster::cluster_uy(SimulationOptions {
+                run_seed: seed,
+                ..Default::default()
+            });
+            sim.run(&cfg, |_| toy_data(&cfg))
+        };
+        let a = run(1);
+        let b = run(2);
+        // Different placements/jitter, same deterministic training results.
+        for (x, y) in a.report.cells.iter().zip(&b.report.cells) {
+            assert_eq!(x.gen_fitness, y.gen_fitness);
+        }
+        assert_ne!(a.placement, b.placement);
+    }
+
+    #[test]
+    fn straggler_stretches_wall_but_not_results() {
+        // Single iteration + zero comm cost: no BSP sync ever equalizes the
+        // clocks, so the victim's 100x slowdown must show up as within-run
+        // imbalance regardless of host-timing noise (all ranks are measured
+        // in the same run, and the factor dwarfs any contention skew).
+        let mut cfg = TrainConfig::smoke(2);
+        cfg.coevolution.iterations = 1;
+        let opts = SimulationOptions { per_iteration_overhead: 0.0, ..Default::default() };
+        let base = SimulatedCluster::new(
+            ClusterSpec::dedicated(1, 8),
+            CommCost::free(),
+            opts,
+        )
+        .run(&cfg, |_| toy_data(&cfg));
+        let slowed = SimulatedCluster::new(
+            ClusterSpec::dedicated(1, 8),
+            CommCost::free(),
+            SimulationOptions { straggler: Some((2, 100.0)), ..opts },
+        )
+        .run(&cfg, |_| toy_data(&cfg));
+        assert!(
+            slowed.imbalance() > 3.0,
+            "straggler not visible in imbalance: {} (clocks {:?})",
+            slowed.imbalance(),
+            slowed.rank_clocks
+        );
+        // The victim must own the slowest clock.
+        let victim = slowed.rank_clocks[2];
+        assert!(
+            slowed.rank_clocks.iter().all(|&c| c <= victim),
+            "victim is not the slowest rank: {:?}",
+            slowed.rank_clocks
+        );
+        // Fault injection must not change the training outcome.
+        for (a, b) in base.report.cells.iter().zip(&slowed.report.cells) {
+            assert_eq!(a.gen_fitness, b.gen_fitness);
+        }
+    }
+
+    #[test]
+    fn gather_time_includes_wait_and_transfer() {
+        let cfg = TrainConfig::smoke(2);
+        let sim = SimulatedCluster::cluster_uy(SimulationOptions::default());
+        let outcome = sim.run(&cfg, |_| toy_data(&cfg));
+        assert!(outcome.report.profile.seconds(Routine::Gather) > 0.0);
+        assert!(outcome.comm.allgather_bytes > 0);
+    }
+}

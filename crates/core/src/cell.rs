@@ -1,0 +1,626 @@
+//! The per-cell training engine — the four-phase iteration every driver
+//! executes (gather → mutate → train → update genomes).
+
+use crate::config::{AdversaryStrategy, LossMode, TrainConfig};
+use crate::individual::{Individual, SubPopulation};
+use crate::mixture::{EnsembleModel, MixtureWeights};
+use crate::profiling::{Profiler, Routine};
+use crate::snapshot::CellSnapshot;
+use lipiz_data::BatchLoader;
+use lipiz_nn::{gan, loss, Adam, Discriminator, GanLoss, Generator, NetworkConfig};
+use lipiz_tensor::{Matrix, Rng64};
+use std::sync::Arc;
+
+/// Optional external scorer for mixture evolution (lower is better). The
+/// drivers plug a FID-based scorer in here; without one the engine falls
+/// back to a discriminator-loss proxy.
+pub type MixtureScorer = Arc<dyn Fn(&Matrix) -> f64 + Send + Sync>;
+
+/// One grid cell's complete training state.
+///
+/// The engine is deterministic: given the same [`TrainConfig`], cell index,
+/// dataset and per-iteration neighbor snapshots, it produces bit-identical
+/// genomes. The sequential baseline, the threaded distributed runtime and
+/// the virtual-time cluster simulator all drive this same struct — the
+/// integration suite asserts their outputs are equal.
+pub struct CellEngine {
+    cell_index: usize,
+    cfg: TrainConfig,
+    net_cfg: NetworkConfig,
+    gen_pop: SubPopulation,
+    disc_pop: SubPopulation,
+    /// Working center networks (always mirror the center genomes).
+    gen: Generator,
+    disc: Discriminator,
+    /// Scratch networks for evaluating imported genomes.
+    scratch_gen: Generator,
+    scratch_disc: Discriminator,
+    adam_g: Adam,
+    adam_d: Adam,
+    mixture: MixtureWeights,
+    loader: BatchLoader,
+    eval_real: Matrix,
+    rng_mutate: Rng64,
+    rng_train: Rng64,
+    rng_mixture: Rng64,
+    scorer: Option<MixtureScorer>,
+    batch_counter: u64,
+    iteration: usize,
+}
+
+impl CellEngine {
+    /// Build the engine for grid cell `cell_index` over its local dataset
+    /// (row-per-sample, values in `[-1, 1]`).
+    ///
+    /// # Panics
+    /// Panics if the dataset width does not match the configured data
+    /// dimension, or the dataset is smaller than the eval batch.
+    pub fn new(cell_index: usize, cfg: &TrainConfig, data: Matrix) -> Self {
+        let net_cfg = cfg.network.to_network_config();
+        assert_eq!(data.cols(), net_cfg.data_dim, "dataset width vs network data_dim");
+        assert!(
+            data.rows() >= cfg.training.eval_batch,
+            "dataset smaller than eval batch"
+        );
+        let mut root = Rng64::seed_from(cfg.cell_seed(cell_index));
+        let mut rng_init = root.derive(0);
+        let rng_mutate = root.derive(1);
+        let rng_train = root.derive(2);
+        let rng_mixture = root.derive(3);
+        let loader_seed_rng = root.derive(4);
+
+        let gen = Generator::new(&net_cfg, &mut rng_init);
+        let disc = Discriminator::new(&net_cfg, &mut rng_init);
+        let scratch_gen = gen.clone();
+        let scratch_disc = disc.clone();
+        let adam_g = Adam::new(gen.net.param_count());
+        let adam_d = Adam::new(disc.net.param_count());
+
+        let initial_loss = match cfg.mutation.loss_mode {
+            LossMode::Fixed(l) => l.into(),
+            LossMode::Mutate => GanLoss::Heuristic,
+        };
+        let imports = cfg.subpopulation_size() - 1;
+        let gen_center =
+            Individual::new(gen.net.genome(), cfg.mutation.initial_lr, initial_loss);
+        let disc_center =
+            Individual::new(disc.net.genome(), cfg.mutation.initial_lr, GanLoss::Heuristic);
+        let gen_pop = SubPopulation::bootstrap(gen_center, imports);
+        let disc_pop = SubPopulation::bootstrap(disc_center, imports);
+        let mixture = MixtureWeights::uniform(gen_pop.len());
+
+        let eval_real = data.slice_rows(0, cfg.training.eval_batch);
+        let mut loader_seed = loader_seed_rng;
+        let loader = BatchLoader::new(data, cfg.training.batch_size, loader_seed.next_u64());
+
+        Self {
+            cell_index,
+            cfg: cfg.clone(),
+            net_cfg,
+            gen_pop,
+            disc_pop,
+            gen,
+            disc,
+            scratch_gen,
+            scratch_disc,
+            adam_g,
+            adam_d,
+            mixture,
+            loader,
+            eval_real,
+            rng_mutate,
+            rng_train,
+            rng_mixture,
+            scorer: None,
+            batch_counter: 0,
+            iteration: 0,
+        }
+    }
+
+    /// Attach an external mixture scorer (e.g. FID against real features).
+    pub fn set_mixture_scorer(&mut self, scorer: MixtureScorer) {
+        self.scorer = Some(scorer);
+    }
+
+    /// This cell's flat grid index.
+    pub fn cell_index(&self) -> usize {
+        self.cell_index
+    }
+
+    /// Iterations completed so far.
+    pub fn iterations_done(&self) -> usize {
+        self.iteration
+    }
+
+    /// Current mixture weights.
+    pub fn mixture(&self) -> &MixtureWeights {
+        &self.mixture
+    }
+
+    /// Generator sub-population (read access for drivers/tests).
+    pub fn gen_population(&self) -> &SubPopulation {
+        &self.gen_pop
+    }
+
+    /// Discriminator sub-population.
+    pub fn disc_population(&self) -> &SubPopulation {
+        &self.disc_pop
+    }
+
+    /// Snapshot of the current center pair for migration to neighbors.
+    pub fn snapshot(&mut self) -> CellSnapshot {
+        self.sync_center_genomes();
+        let g = self.gen_pop.center();
+        let d = self.disc_pop.center();
+        CellSnapshot {
+            cell: self.cell_index,
+            gen_genome: g.genome.clone(),
+            gen_lr: g.lr,
+            gen_loss: g.loss,
+            gen_fitness: g.fitness,
+            disc_genome: d.genome.clone(),
+            disc_lr: d.lr,
+            disc_fitness: d.fitness,
+        }
+    }
+
+    /// Run one full training iteration given this round's neighbor
+    /// snapshots (in neighbor-slot order). Timing lands in `profiler`
+    /// under the Table IV routine names.
+    pub fn run_iteration(&mut self, neighbors: &[CellSnapshot], profiler: &mut Profiler) {
+        profiler.time(Routine::Gather, || self.ingest_neighbors(neighbors));
+        profiler.time(Routine::Mutate, || self.mutate_phase());
+        profiler.time(Routine::Train, || self.train_phase());
+        profiler.time(Routine::UpdateGenomes, || self.update_phase());
+        self.iteration += 1;
+    }
+
+    /// Advance the iteration counter — for drivers that invoke the phases
+    /// individually (the virtual-time simulator times each phase itself)
+    /// instead of through [`CellEngine::run_iteration`]. Must be called
+    /// exactly once per gather/mutate/train/update cycle to keep the
+    /// mixture-evolution schedule aligned with the other drivers.
+    pub fn advance_iteration(&mut self) {
+        self.iteration += 1;
+    }
+
+    // ---- phase 1: gather --------------------------------------------------
+
+    /// Refresh import slots with the latest neighbor centers.
+    ///
+    /// # Panics
+    /// Panics if the number of snapshots does not match the neighborhood.
+    pub fn ingest_neighbors(&mut self, neighbors: &[CellSnapshot]) {
+        assert_eq!(
+            neighbors.len(),
+            self.gen_pop.len() - 1,
+            "snapshot count vs neighborhood size"
+        );
+        for (slot, snap) in neighbors.iter().enumerate() {
+            self.gen_pop.set_import(slot + 1, snap.gen_individual());
+            self.disc_pop.set_import(slot + 1, snap.disc_individual());
+        }
+    }
+
+    // ---- phase 2: mutate --------------------------------------------------
+
+    /// Gaussian learning-rate mutation (Table I) plus, in Mustangs mode,
+    /// loss-function mutation.
+    pub fn mutate_phase(&mut self) {
+        let m = &self.cfg.mutation;
+        if self.rng_mutate.chance(m.probability) {
+            let delta = self.rng_mutate.normal(0.0, m.rate);
+            let c = self.gen_pop.center_mut();
+            c.lr = (c.lr + delta).clamp(1e-7, 1e-1);
+        }
+        if self.rng_mutate.chance(m.probability) {
+            let delta = self.rng_mutate.normal(0.0, m.rate);
+            let c = self.disc_pop.center_mut();
+            c.lr = (c.lr + delta).clamp(1e-7, 1e-1);
+        }
+        if matches!(m.loss_mode, LossMode::Mutate) {
+            let pick = GanLoss::ALL[self.rng_mutate.below(GanLoss::ALL.len())];
+            self.gen_pop.center_mut().loss = pick;
+        }
+    }
+
+    // ---- phase 3: train ---------------------------------------------------
+
+    /// Mini-batch adversarial training of the center pair against
+    /// sub-population adversaries.
+    pub fn train_phase(&mut self) {
+        for _ in 0..self.cfg.training.batches_per_iteration {
+            let real = self.loader.next_batch();
+            match self.cfg.coevolution.adversary {
+                AdversaryStrategy::Tournament(k) => {
+                    let d_idx = self.disc_pop.tournament(&mut self.rng_train, k);
+                    self.generator_step(d_idx);
+                    if self.should_train_disc() {
+                        let g_idx = self.gen_pop.tournament(&mut self.rng_train, k);
+                        self.discriminator_step(g_idx, &real);
+                    }
+                }
+                AdversaryStrategy::All => {
+                    for d_idx in 0..self.disc_pop.len() {
+                        self.generator_step(d_idx);
+                    }
+                    if self.should_train_disc() {
+                        for g_idx in 0..self.gen_pop.len() {
+                            self.discriminator_step(g_idx, &real);
+                        }
+                    }
+                }
+            }
+            self.batch_counter += 1;
+        }
+    }
+
+    /// Paper: "Skip N disc. steps 1" — the discriminator trains on every
+    /// `1 + skip`-th batch.
+    fn should_train_disc(&self) -> bool {
+        let period = 1 + self.cfg.training.skip_disc_steps as u64;
+        self.batch_counter.is_multiple_of(period)
+    }
+
+    /// One generator Adam step against discriminator sub-population member
+    /// `d_idx`.
+    fn generator_step(&mut self, d_idx: usize) {
+        let z = gan::latent_batch(
+            &mut self.rng_train,
+            self.cfg.training.batch_size,
+            self.net_cfg.latent_dim,
+        );
+        let (lr, kind) = {
+            let c = self.gen_pop.center();
+            (c.lr, c.loss)
+        };
+        let adversary: &Discriminator = if d_idx == 0 {
+            &self.disc
+        } else {
+            self.scratch_disc.net.load_genome(&self.disc_pop.members()[d_idx].genome);
+            &self.scratch_disc
+        };
+        gan::train_generator_step(&mut self.gen, adversary, &mut self.adam_g, &z, lr, kind);
+    }
+
+    /// One discriminator Adam step against generator sub-population member
+    /// `g_idx` using a real batch.
+    fn discriminator_step(&mut self, g_idx: usize, real: &Matrix) {
+        let z = gan::latent_batch(
+            &mut self.rng_train,
+            self.cfg.training.batch_size,
+            self.net_cfg.latent_dim,
+        );
+        let fake = if g_idx == 0 {
+            self.gen.generate(&z)
+        } else {
+            self.scratch_gen.net.load_genome(&self.gen_pop.members()[g_idx].genome);
+            self.scratch_gen.generate(&z)
+        };
+        let lr = self.disc_pop.center().lr;
+        gan::train_discriminator_step(&mut self.disc, &mut self.adam_d, real, &fake, lr);
+    }
+
+    // ---- phase 4: update genomes -------------------------------------------
+
+    /// Re-evaluate every individual against the opposing sub-population,
+    /// promote the best to center, and periodically evolve the mixture.
+    #[allow(clippy::needless_range_loop)] // index couples two parallel arrays
+    pub fn update_phase(&mut self) {
+        self.sync_center_genomes();
+        let s = self.gen_pop.len();
+        let z_eval = gan::latent_batch(
+            &mut self.rng_train,
+            self.cfg.training.eval_batch,
+            self.net_cfg.latent_dim,
+        );
+
+        // Generate each component's fake batch once.
+        let mut fakes: Vec<Matrix> = Vec::with_capacity(s);
+        for i in 0..s {
+            self.scratch_gen.net.load_genome(&self.gen_pop.members()[i].genome);
+            fakes.push(self.scratch_gen.generate(&z_eval));
+        }
+
+        // Pairwise logits: discriminator j scores real batch + all fakes.
+        let mut g_fit = vec![0.0f64; s];
+        let mut d_fit = vec![0.0f64; s];
+        for j in 0..s {
+            self.scratch_disc.net.load_genome(&self.disc_pop.members()[j].genome);
+            let z_real = self.scratch_disc.logits(&self.eval_real);
+            for (i, fake) in fakes.iter().enumerate() {
+                let z_fake = self.scratch_disc.logits(fake);
+                let (g_loss, _) = loss::g_loss(GanLoss::Heuristic, &z_fake);
+                let (d_loss, _, _) = loss::d_bce_loss(&z_real, &z_fake);
+                g_fit[i] += g_loss as f64 / s as f64;
+                d_fit[j] += d_loss as f64 / s as f64;
+            }
+        }
+        for i in 0..s {
+            self.gen_pop.members_mut()[i].fitness = g_fit[i];
+            self.disc_pop.members_mut()[i].fitness = d_fit[i];
+        }
+
+        // Replacement: promote the sub-population best to the center slot.
+        let g_changed = self.gen_pop.promote_best();
+        let d_changed = self.disc_pop.promote_best();
+        if g_changed {
+            self.gen.net.load_genome(&self.gen_pop.center().genome);
+            self.adam_g.reset();
+        }
+        if d_changed {
+            self.disc.net.load_genome(&self.disc_pop.center().genome);
+            self.adam_d.reset();
+        }
+
+        // Mixture-weight evolution ((1+1)-ES, Table I scale 0.01).
+        let every = self.cfg.coevolution.mixture_every;
+        if every > 0 && (self.iteration + 1).is_multiple_of(every) {
+            self.evolve_mixture(&fakes);
+        }
+    }
+
+    /// One ES step on the mixture weights. With an external scorer the
+    /// candidate mixtures are scored by it (e.g. FID); otherwise by how
+    /// well the blended batch fools the center discriminator.
+    fn evolve_mixture(&mut self, fakes: &[Matrix]) {
+        let sigma = self.cfg.coevolution.mixture_sigma;
+        let n = fakes[0].rows();
+        // Pre-draw one component assignment stream per candidate scoring so
+        // both candidates see the same randomness (common random numbers).
+        let assignment_seed = self.rng_mixture.derive(self.iteration as u64);
+        let scorer = self.scorer.clone();
+        let disc = &self.disc;
+        let score = |w: &MixtureWeights| -> f64 {
+            let mut rng = assignment_seed.clone();
+            let mut blended = Matrix::zeros(n, fakes[0].cols());
+            for r in 0..n {
+                let c = w.sample_component(&mut rng);
+                blended.row_mut(r).copy_from_slice(fakes[c].row(r));
+            }
+            match &scorer {
+                Some(s) => s(&blended),
+                None => {
+                    let logits = disc.logits(&blended);
+                    loss::g_loss(GanLoss::Heuristic, &logits).0 as f64
+                }
+            }
+        };
+        self.mixture.es_step(sigma, &mut self.rng_mixture, score);
+    }
+
+    /// Copy the working center networks back into the population slots.
+    fn sync_center_genomes(&mut self) {
+        self.gen_pop.center_mut().genome = self.gen.net.genome();
+        self.disc_pop.center_mut().genome = self.disc.net.genome();
+    }
+
+    /// The cell's final generative model: its generator sub-population
+    /// under the evolved mixture weights.
+    pub fn ensemble(&mut self) -> EnsembleModel {
+        self.sync_center_genomes();
+        let genomes: Vec<Vec<f32>> =
+            self.gen_pop.members().iter().map(|m| m.genome.clone()).collect();
+        EnsembleModel::new(self.net_cfg, genomes, self.mixture.clone())
+    }
+
+    /// Sample images from the center generator only (diagnostics).
+    pub fn sample_center(&self, n: usize, rng: &mut Rng64) -> Matrix {
+        self.gen.sample(n, rng)
+    }
+
+    /// Best (lowest) generator fitness currently in the sub-population.
+    pub fn best_gen_fitness(&self) -> f64 {
+        self.gen_pop.members()[self.gen_pop.best_index()].fitness
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lipiz_data::SynthDigits;
+
+    fn smoke_engine(seed_offset: u64) -> CellEngine {
+        let mut cfg = TrainConfig::smoke(2);
+        cfg.seed += seed_offset;
+        let data = toy_data(&cfg);
+        CellEngine::new(0, &cfg, data)
+    }
+
+    fn toy_data(cfg: &TrainConfig) -> Matrix {
+        // Deterministic synthetic data with the configured dimensionality.
+        let mut rng = Rng64::seed_from(cfg.training.data_seed);
+        rng.uniform_matrix(cfg.training.dataset_size, cfg.network.data_dim, -0.9, 0.9)
+    }
+
+    fn neighbor_snaps(engine: &mut CellEngine, n: usize) -> Vec<CellSnapshot> {
+        (0..n).map(|_| engine.snapshot()).collect()
+    }
+
+    #[test]
+    fn engine_construction_invariants() {
+        let e = smoke_engine(0);
+        assert_eq!(e.gen_population().len(), 5);
+        assert_eq!(e.disc_population().len(), 5);
+        assert_eq!(e.mixture().len(), 5);
+        assert_eq!(e.iterations_done(), 0);
+    }
+
+    #[test]
+    fn iteration_advances_and_stays_finite() {
+        let mut e = smoke_engine(0);
+        let snaps = neighbor_snaps(&mut e, 4);
+        let mut prof = Profiler::new();
+        e.run_iteration(&snaps, &mut prof);
+        assert_eq!(e.iterations_done(), 1);
+        assert!(e.gen.net.all_finite(), "generator diverged");
+        assert!(e.disc.net.all_finite(), "discriminator diverged");
+        // All four phases recorded time.
+        for r in [Routine::Gather, Routine::Mutate, Routine::Train, Routine::UpdateGenomes] {
+            assert_eq!(prof.calls(r), 1, "{r:?} not recorded");
+        }
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let run = || {
+            let mut e = smoke_engine(0);
+            let snaps = neighbor_snaps(&mut e, 4);
+            let mut prof = Profiler::new();
+            e.run_iteration(&snaps, &mut prof);
+            e.run_iteration(&snaps, &mut prof);
+            e.snapshot()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "two identical runs diverged");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let snap_of = |off: u64| {
+            let mut e = smoke_engine(off);
+            let snaps = neighbor_snaps(&mut e, 4);
+            let mut prof = Profiler::new();
+            e.run_iteration(&snaps, &mut prof);
+            e.snapshot()
+        };
+        assert_ne!(snap_of(0).gen_genome, snap_of(1).gen_genome);
+    }
+
+    #[test]
+    fn training_changes_the_center_genome() {
+        let mut e = smoke_engine(0);
+        let before = e.snapshot().gen_genome;
+        let snaps = neighbor_snaps(&mut e, 4);
+        let mut prof = Profiler::new();
+        e.run_iteration(&snaps, &mut prof);
+        let after = e.snapshot().gen_genome;
+        assert_ne!(before, after, "training was a no-op");
+    }
+
+    #[test]
+    fn fitter_import_takes_over_the_center() {
+        let mut e = smoke_engine(0);
+        // Train a second engine for several iterations to get a genuinely
+        // different, trained genome.
+        let mut donor = smoke_engine(7);
+        let donor_snaps = neighbor_snaps(&mut donor, 4);
+        let mut prof = Profiler::new();
+        for _ in 0..3 {
+            donor.run_iteration(&donor_snaps, &mut prof);
+        }
+        let donor_snap = donor.snapshot();
+        // Feed the donor as all four neighbors; if it evaluates better it
+        // must be promoted to center.
+        let snaps = vec![donor_snap.clone(); 4];
+        e.run_iteration(&snaps, &mut prof);
+        let center = e.gen_population().center();
+        let donor_fit = e.gen_population().members()[1].fitness;
+        assert!(
+            center.fitness <= donor_fit + 1e-12,
+            "center fitness {} worse than import {}",
+            center.fitness,
+            donor_fit
+        );
+    }
+
+    #[test]
+    fn ingest_requires_full_neighborhood() {
+        let mut e = smoke_engine(0);
+        let snaps = neighbor_snaps(&mut e, 2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.ingest_neighbors(&snaps)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn mutation_perturbs_learning_rate_over_time() {
+        let mut e = smoke_engine(0);
+        let lr0 = e.gen_population().center().lr;
+        for _ in 0..32 {
+            e.mutate_phase();
+        }
+        let lr = e.gen_population().center().lr;
+        assert_ne!(lr, lr0, "lr never mutated in 32 draws at p=0.5");
+        assert!(lr > 0.0, "lr must stay positive");
+    }
+
+    #[test]
+    fn mustangs_mode_mutates_loss() {
+        let mut cfg = TrainConfig::smoke(2).with_mustangs();
+        cfg.seed = 5;
+        let data = toy_data(&cfg);
+        let mut e = CellEngine::new(0, &cfg, data);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            e.mutate_phase();
+            seen.insert(e.gen_population().center().loss);
+        }
+        assert!(seen.len() >= 2, "loss never mutated across 64 draws: {seen:?}");
+    }
+
+    #[test]
+    fn fixed_mode_keeps_loss() {
+        let mut e = smoke_engine(0);
+        for _ in 0..32 {
+            e.mutate_phase();
+        }
+        assert_eq!(e.gen_population().center().loss, GanLoss::Heuristic);
+    }
+
+    #[test]
+    fn ensemble_matches_subpopulation() {
+        let mut e = smoke_engine(0);
+        let model = e.ensemble();
+        assert_eq!(model.components(), 5);
+        let mut rng = Rng64::seed_from(9);
+        let samples = model.sample(6, &mut rng);
+        assert_eq!(samples.shape(), (6, 16));
+    }
+
+    #[test]
+    fn disc_skip_schedule() {
+        // skip = 1 ⇒ D trains on batches 0, 2, 4, ...
+        let mut e = smoke_engine(0);
+        assert!(e.should_train_disc());
+        e.batch_counter = 1;
+        assert!(!e.should_train_disc());
+        e.batch_counter = 2;
+        assert!(e.should_train_disc());
+        // skip = 0 ⇒ always train.
+        e.cfg.training.skip_disc_steps = 0;
+        e.batch_counter = 1;
+        assert!(e.should_train_disc());
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_ingest() {
+        let mut a = smoke_engine(0);
+        let mut b = smoke_engine(3);
+        let snap_a = a.snapshot();
+        let snaps = vec![snap_a.clone(); 4];
+        b.ingest_neighbors(&snaps);
+        assert_eq!(b.gen_population().members()[1].genome, snap_a.gen_genome);
+        assert_eq!(b.disc_population().members()[4].genome, snap_a.disc_genome);
+    }
+
+    #[test]
+    fn works_with_synthetic_digits() {
+        // End-to-end on the real data type (tiny subset, paper-shaped dims).
+        let mut cfg = TrainConfig::smoke(2);
+        cfg.network.data_dim = lipiz_data::IMAGE_DIM;
+        cfg.network.latent_dim = 8;
+        cfg.training.dataset_size = 40;
+        cfg.training.eval_batch = 10;
+        cfg.training.batch_size = 10;
+        cfg.training.batches_per_iteration = 1;
+        let data = SynthDigits::generate(40, cfg.training.data_seed).images;
+        let mut e = CellEngine::new(0, &cfg, data);
+        let snaps: Vec<CellSnapshot> = (0..4).map(|_| e.snapshot()).collect();
+        let mut prof = Profiler::new();
+        e.run_iteration(&snaps, &mut prof);
+        assert!(e.best_gen_fitness().is_finite());
+    }
+}

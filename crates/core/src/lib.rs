@@ -1,0 +1,60 @@
+//! Cellular competitive-coevolutionary GAN training — the
+//! Lipizzaner/Mustangs core that the paper parallelizes.
+//!
+//! # Algorithm (§II-B)
+//!
+//! A toroidal grid holds one GAN per cell. Each cell maintains
+//! *sub-populations*: its own center generator/discriminator plus copies of
+//! the four von-Neumann neighbors' centers (the paper's "five-cell Moore
+//! neighborhood", s = 5). Every training iteration runs four phases — the
+//! same four routines the paper profiles in Table IV:
+//!
+//! 1. **gather** — refresh the sub-populations with the neighbors' latest
+//!    centers (an allgather in the distributed runtime, a snapshot copy in
+//!    the sequential baseline);
+//! 2. **mutate** — Gaussian hyperparameter mutation of the learning rate
+//!    (Table I: rate 1e-4, probability 0.5) and, in Mustangs mode, mutation
+//!    of the generator's loss function over {minimax, heuristic,
+//!    least-squares};
+//! 3. **train** — mini-batch adversarial gradient steps of the center pair
+//!    against tournament-selected adversaries from the sub-populations;
+//! 4. **update genomes** — re-evaluate every individual against the
+//!    opposing sub-population, replace the center with the sub-population
+//!    best, and periodically evolve the ensemble mixture weights with a
+//!    (1+1)-ES (Table I: mixture mutation scale 0.01).
+//!
+//! The final model of a cell is a *mixture ensemble* of its sub-population
+//! generators weighted by the evolved mixture weights; the grid's answer is
+//! the best cell by score (inception score / FID via `lipiz-metrics`).
+//!
+//! # Drivers
+//!
+//! [`sequential::SequentialTrainer`] runs every cell in one process — the
+//! "single core" baseline of Table III. The distributed master/slave driver
+//! lives in `lipiz-runtime`, and the virtual-time cluster driver in
+//! `lipiz-cluster`; all three share [`cell::CellEngine`] and are
+//! bit-identical given the same [`config::TrainConfig`] (asserted by
+//! integration tests).
+
+pub mod cell;
+pub mod config;
+pub mod individual;
+pub mod mixture;
+pub mod persist;
+pub mod profiling;
+pub mod report;
+pub mod sequential;
+pub mod snapshot;
+pub mod topology;
+
+pub use cell::CellEngine;
+pub use config::{
+    AdversaryStrategy, CoevolutionConfig, GridConfig, LossMode, MutationConfig,
+    TrainConfig, TrainingConfig,
+};
+pub use individual::{Individual, SubPopulation};
+pub use mixture::{EnsembleModel, MixtureWeights};
+pub use profiling::{ProfileReport, Profiler, Routine};
+pub use report::{CellResult, TrainReport};
+pub use snapshot::CellSnapshot;
+pub use topology::{Grid, NeighborhoodPattern};

@@ -1,0 +1,261 @@
+//! Model persistence: save/load trained ensembles.
+//!
+//! The paper motivates the speedup with "especially when new trainings are
+//! needed" — which implies trained models get reused. This module stores an
+//! [`EnsembleModel`] in a small, versioned, self-describing binary format
+//! (`.lpz`), so a training run's winner can be reloaded for sampling
+//! without retraining.
+
+use crate::mixture::{EnsembleModel, MixtureWeights};
+use lipiz_nn::{Activation, NetworkConfig};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"LPZ1";
+const FORMAT_VERSION: u32 = 1;
+
+/// Errors from loading a persisted model.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not an `.lpz` file or corrupted header.
+    BadMagic,
+    /// File format version newer than this library understands.
+    UnsupportedVersion(u32),
+    /// Structurally invalid contents (e.g. genome length mismatch).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::BadMagic => write!(f, "not a lipizzaner model file"),
+            PersistError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            PersistError::Corrupt(what) => write!(f, "corrupt model file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f32(w: &mut impl Write, v: f32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, PersistError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_f32(r: &mut impl Read) -> Result<f32, PersistError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(f32::from_le_bytes(buf))
+}
+
+/// Save an ensemble to `path` (atomic-ish: write then flush).
+pub fn save_ensemble(path: &Path, model: &EnsembleModel) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, FORMAT_VERSION)?;
+    // Network config (activation is fixed tanh per Table I; stored as id
+    // for forward compatibility).
+    write_u32(&mut w, model.network.latent_dim as u32)?;
+    write_u32(&mut w, model.network.hidden_layers as u32)?;
+    write_u32(&mut w, model.network.hidden_units as u32)?;
+    write_u32(&mut w, model.network.data_dim as u32)?;
+    write_u32(&mut w, activation_id(model.network.activation))?;
+    // Components.
+    write_u32(&mut w, model.genomes.len() as u32)?;
+    for (genome, &weight) in model.genomes.iter().zip(model.weights.weights()) {
+        write_f32(&mut w, weight)?;
+        write_u32(&mut w, genome.len() as u32)?;
+        for &p in genome {
+            write_f32(&mut w, p)?;
+        }
+    }
+    w.flush()
+}
+
+/// Load an ensemble saved by [`save_ensemble`].
+pub fn load_ensemble(path: &Path) -> Result<EnsembleModel, PersistError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = read_u32(&mut r)?;
+    if version != FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let latent_dim = read_u32(&mut r)? as usize;
+    let hidden_layers = read_u32(&mut r)? as usize;
+    let hidden_units = read_u32(&mut r)? as usize;
+    let data_dim = read_u32(&mut r)? as usize;
+    let activation = activation_from_id(read_u32(&mut r)?)
+        .ok_or(PersistError::Corrupt("activation id"))?;
+    let network =
+        NetworkConfig { latent_dim, hidden_layers, hidden_units, data_dim, activation };
+
+    let components = read_u32(&mut r)? as usize;
+    if components == 0 || components > 4096 {
+        return Err(PersistError::Corrupt("component count"));
+    }
+    // Validate genome length against the declared topology.
+    let dims = network.generator_dims();
+    let expected: usize =
+        dims.windows(2).map(|w| w[0] * w[1] + w[1]).sum();
+    let mut weights = Vec::with_capacity(components);
+    let mut genomes = Vec::with_capacity(components);
+    for _ in 0..components {
+        weights.push(read_f32(&mut r)?);
+        let len = read_u32(&mut r)? as usize;
+        if len != expected {
+            return Err(PersistError::Corrupt("genome length vs topology"));
+        }
+        let mut genome = vec![0.0f32; len];
+        for g in &mut genome {
+            *g = read_f32(&mut r)?;
+        }
+        genomes.push(genome);
+    }
+    // Reject trailing garbage.
+    let mut probe = [0u8; 1];
+    if r.read(&mut probe)? != 0 {
+        return Err(PersistError::Corrupt("trailing bytes"));
+    }
+    Ok(EnsembleModel::new(network, genomes, MixtureWeights::from_raw(&weights)))
+}
+
+fn activation_id(a: Activation) -> u32 {
+    match a {
+        Activation::Tanh => 0,
+        Activation::Sigmoid => 1,
+        Activation::LeakyRelu(_) => 2,
+        Activation::Identity => 3,
+    }
+}
+
+fn activation_from_id(id: u32) -> Option<Activation> {
+    match id {
+        0 => Some(Activation::Tanh),
+        1 => Some(Activation::Sigmoid),
+        2 => Some(Activation::LeakyRelu(0.2)),
+        3 => Some(Activation::Identity),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lipiz_nn::Generator;
+    use lipiz_tensor::Rng64;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("lipiz_persist_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn demo_model() -> EnsembleModel {
+        let cfg = NetworkConfig::tiny(12);
+        let mut rng = Rng64::seed_from(3);
+        let genomes: Vec<Vec<f32>> =
+            (0..3).map(|_| Generator::new(&cfg, &mut rng).net.genome()).collect();
+        EnsembleModel::new(cfg, genomes, MixtureWeights::from_raw(&[0.5, 0.3, 0.2]))
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let model = demo_model();
+        let path = tmp("round_trip.lpz");
+        save_ensemble(&path, &model).unwrap();
+        let back = load_ensemble(&path).unwrap();
+        assert_eq!(back.network, model.network);
+        assert_eq!(back.genomes, model.genomes);
+        for (a, b) in back.weights.weights().iter().zip(model.weights.weights()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        // And it samples identically.
+        let mut r1 = Rng64::seed_from(9);
+        let mut r2 = Rng64::seed_from(9);
+        assert_eq!(model.sample(5, &mut r1), back.sample(5, &mut r2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("bad_magic.lpz");
+        std::fs::write(&path, b"NOPE....").unwrap();
+        assert!(matches!(load_ensemble(&path), Err(PersistError::BadMagic)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let model = demo_model();
+        let path = tmp("trunc.lpz");
+        save_ensemble(&path, &model).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(load_ensemble(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let model = demo_model();
+        let path = tmp("trailing.lpz");
+        save_ensemble(&path, &model).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.push(0xAA);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load_ensemble(&path), Err(PersistError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let model = demo_model();
+        let path = tmp("version.lpz");
+        save_ensemble(&path, &model).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4] = 99; // bump version field
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_ensemble(&path),
+            Err(PersistError::UnsupportedVersion(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn genome_length_mismatch_rejected() {
+        let model = demo_model();
+        let path = tmp("length.lpz");
+        save_ensemble(&path, &model).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Header = 4 magic + 4 version + 5*4 config + 4 count = 32 bytes;
+        // the first component's genome length field sits at offset 36.
+        bytes[36] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_ensemble(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

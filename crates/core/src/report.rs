@@ -1,0 +1,99 @@
+//! Training run reports.
+
+use crate::profiling::ProfileReport;
+use serde::{Deserialize, Serialize};
+
+/// Per-cell outcome summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Flat grid index.
+    pub cell: usize,
+    /// Grid coordinates.
+    pub coords: (usize, usize),
+    /// Best generator fitness in the final sub-population (lower better).
+    pub gen_fitness: f64,
+    /// Best discriminator fitness in the final sub-population.
+    pub disc_fitness: f64,
+    /// Final mixture weights of the cell's ensemble.
+    pub mixture_weights: Vec<f32>,
+}
+
+/// Result of a full training run, common to all three drivers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Which driver produced this report ("sequential", "distributed",
+    /// "cluster-sim").
+    pub driver: String,
+    /// Grid shape used.
+    pub grid: (usize, usize),
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Wall-clock seconds of the run (virtual seconds for the simulator).
+    pub wall_seconds: f64,
+    /// Routine-level profile (Table IV data).
+    pub profile: ProfileReport,
+    /// Per-cell outcomes, in flat grid order.
+    pub cells: Vec<CellResult>,
+    /// Index into `cells` of the best cell (lowest generator fitness, or
+    /// external score when a scorer ran).
+    pub best_cell: usize,
+}
+
+impl TrainReport {
+    /// The best cell's result row.
+    pub fn best(&self) -> &CellResult {
+        &self.cells[self.best_cell]
+    }
+
+    /// Speedup of this run relative to a baseline wall time.
+    pub fn speedup_vs(&self, baseline_seconds: f64) -> f64 {
+        baseline_seconds / self.wall_seconds.max(1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiling::Profiler;
+
+    fn dummy_report(wall: f64) -> TrainReport {
+        TrainReport {
+            driver: "test".into(),
+            grid: (2, 2),
+            iterations: 3,
+            wall_seconds: wall,
+            profile: Profiler::new().report(),
+            cells: vec![
+                CellResult {
+                    cell: 0,
+                    coords: (0, 0),
+                    gen_fitness: 0.9,
+                    disc_fitness: 0.5,
+                    mixture_weights: vec![1.0],
+                },
+                CellResult {
+                    cell: 1,
+                    coords: (0, 1),
+                    gen_fitness: 0.2,
+                    disc_fitness: 0.6,
+                    mixture_weights: vec![1.0],
+                },
+            ],
+            best_cell: 1,
+        }
+    }
+
+    #[test]
+    fn best_points_to_best_cell() {
+        let r = dummy_report(10.0);
+        assert_eq!(r.best().cell, 1);
+    }
+
+    #[test]
+    fn speedup_math() {
+        let r = dummy_report(25.0);
+        assert!((r.speedup_vs(100.0) - 4.0).abs() < 1e-9);
+        let degenerate = dummy_report(0.0);
+        assert!(degenerate.speedup_vs(1.0).is_finite());
+    }
+}

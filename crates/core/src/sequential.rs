@@ -1,0 +1,210 @@
+//! Single-core sequential driver — the baseline column of Table III.
+//!
+//! Runs every grid cell in one process, one after another, with the exact
+//! same per-iteration phase structure as the distributed runtime: at the
+//! start of each iteration all centers are snapshotted (the sequential
+//! analogue of the allgather), then each cell executes
+//! gather → mutate → train → update-genomes against those snapshots.
+//! Bulk-synchronous semantics make the sequential and distributed runs
+//! bit-identical, which the integration suite asserts.
+
+use crate::cell::{CellEngine, MixtureScorer};
+use crate::config::TrainConfig;
+use crate::mixture::EnsembleModel;
+use crate::profiling::{Profiler, Routine};
+use crate::report::{CellResult, TrainReport};
+use crate::snapshot::CellSnapshot;
+use crate::topology::Grid;
+use lipiz_tensor::Matrix;
+use std::time::Instant;
+
+/// Sequential whole-grid trainer.
+pub struct SequentialTrainer {
+    grid: Grid,
+    cfg: TrainConfig,
+    engines: Vec<CellEngine>,
+    profiler: Profiler,
+}
+
+impl SequentialTrainer {
+    /// Build engines for every cell. `make_data` supplies each cell's local
+    /// dataset (cells may share content; each engine owns its copy, mirroring
+    /// the distributed-memory layout).
+    pub fn new(cfg: &TrainConfig, mut make_data: impl FnMut(usize) -> Matrix) -> Self {
+        let grid = Grid::from_config(&cfg.grid);
+        let engines = (0..grid.cell_count())
+            .map(|i| CellEngine::new(i, cfg, make_data(i)))
+            .collect();
+        Self { grid, cfg: cfg.clone(), engines, profiler: Profiler::new() }
+    }
+
+    /// Attach a mixture scorer to every cell (see
+    /// [`CellEngine::set_mixture_scorer`]).
+    pub fn set_mixture_scorer(&mut self, scorer: MixtureScorer) {
+        for e in &mut self.engines {
+            e.set_mixture_scorer(scorer.clone());
+        }
+    }
+
+    /// The grid topology.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Access to the per-cell engines (diagnostics/tests).
+    pub fn engines_mut(&mut self) -> &mut [CellEngine] {
+        &mut self.engines
+    }
+
+    /// Run one bulk-synchronous iteration over all cells.
+    pub fn run_one_iteration(&mut self) {
+        // Snapshot every center first (the sequential "allgather"). The
+        // snapshot cost is charged to the gather routine, exactly like the
+        // distributed version charges its allgather.
+        let start = Instant::now();
+        let snapshots: Vec<CellSnapshot> =
+            self.engines.iter_mut().map(|e| e.snapshot()).collect();
+        self.profiler.record(Routine::Gather, start.elapsed());
+
+        for idx in 0..self.engines.len() {
+            let neighbor_snaps: Vec<CellSnapshot> = self
+                .grid
+                .neighbors(idx)
+                .into_iter()
+                .map(|n| snapshots[n].clone())
+                .collect();
+            self.engines[idx].run_iteration(&neighbor_snaps, &mut self.profiler);
+        }
+    }
+
+    /// Run the configured number of iterations and produce the report.
+    pub fn run(&mut self) -> TrainReport {
+        let start = Instant::now();
+        for _ in 0..self.cfg.coevolution.iterations {
+            self.run_one_iteration();
+        }
+        self.finish(start.elapsed().as_secs_f64())
+    }
+
+    /// Build the final report (used by `run` and by the harness when it
+    /// drives iterations manually).
+    pub fn finish(&mut self, wall_seconds: f64) -> TrainReport {
+        let cells: Vec<CellResult> = self
+            .engines
+            .iter_mut()
+            .enumerate()
+            .map(|(i, e)| {
+                let coords = self.grid.coords(i);
+                let gen_fitness = e.best_gen_fitness();
+                let disc_pop = e.disc_population();
+                let disc_fitness = disc_pop.members()[disc_pop.best_index()].fitness;
+                CellResult {
+                    cell: i,
+                    coords,
+                    gen_fitness,
+                    disc_fitness,
+                    mixture_weights: e.mixture().weights().to_vec(),
+                }
+            })
+            .collect();
+        let best_cell = cells
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.gen_fitness
+                    .partial_cmp(&b.gen_fitness)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map_or(0, |(i, _)| i);
+        TrainReport {
+            driver: "sequential".into(),
+            grid: (self.grid.rows(), self.grid.cols()),
+            iterations: self.engines.first().map_or(0, |e| e.iterations_done()),
+            wall_seconds,
+            profile: self.profiler.report(),
+            cells,
+            best_cell,
+        }
+    }
+
+    /// Final ensembles of every cell (flat grid order).
+    pub fn ensembles(&mut self) -> Vec<EnsembleModel> {
+        self.engines.iter_mut().map(|e| e.ensemble()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lipiz_tensor::Rng64;
+
+    fn toy_data(cfg: &TrainConfig) -> Matrix {
+        let mut rng = Rng64::seed_from(cfg.training.data_seed);
+        rng.uniform_matrix(cfg.training.dataset_size, cfg.network.data_dim, -0.9, 0.9)
+    }
+
+    #[test]
+    fn full_smoke_run_produces_report() {
+        let cfg = TrainConfig::smoke(2);
+        let mut t = SequentialTrainer::new(&cfg, |_| toy_data(&cfg));
+        let report = t.run();
+        assert_eq!(report.driver, "sequential");
+        assert_eq!(report.grid, (2, 2));
+        assert_eq!(report.iterations, 2);
+        assert_eq!(report.cells.len(), 4);
+        assert!(report.wall_seconds > 0.0);
+        assert!(report.best().gen_fitness.is_finite());
+        // Gather + 4 phases recorded.
+        assert!(report.profile.seconds(Routine::Train) > 0.0);
+        assert!(report.profile.seconds(Routine::Gather) >= 0.0);
+    }
+
+    #[test]
+    fn sequential_run_is_deterministic() {
+        let cfg = TrainConfig::smoke(2);
+        let run = || {
+            let mut t = SequentialTrainer::new(&cfg, |_| toy_data(&cfg));
+            t.run();
+            t.ensembles()
+                .into_iter()
+                .map(|e| e.genomes)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn migration_spreads_genomes() {
+        // After an iteration, each cell's import slots hold the neighbors'
+        // iteration-start centers.
+        let cfg = TrainConfig::smoke(2);
+        let mut t = SequentialTrainer::new(&cfg, |_| toy_data(&cfg));
+        // Capture the initial snapshot of cell 1's center.
+        let snap1 = t.engines_mut()[1].snapshot();
+        t.run_one_iteration();
+        // Cell 0's W/E import slots (3 and 4 in N,S,W,E order) both map to
+        // cell 1 on a 2×2 torus.
+        let imports = t.engines_mut()[0].gen_population().members()[3].genome.clone();
+        assert_eq!(imports, snap1.gen_genome);
+    }
+
+    #[test]
+    fn best_cell_has_lowest_fitness() {
+        let cfg = TrainConfig::smoke(3);
+        let mut t = SequentialTrainer::new(&cfg, |_| toy_data(&cfg));
+        let report = t.run();
+        let best = report.best().gen_fitness;
+        for c in &report.cells {
+            assert!(best <= c.gen_fitness + 1e-12);
+        }
+    }
+
+    #[test]
+    fn iterations_counted_per_engine() {
+        let mut cfg = TrainConfig::smoke(2);
+        cfg.coevolution.iterations = 3;
+        let mut t = SequentialTrainer::new(&cfg, |_| toy_data(&cfg));
+        let report = t.run();
+        assert_eq!(report.iterations, 3);
+    }
+}

@@ -1,0 +1,106 @@
+//! Image inspection helpers: ASCII rendering and PGM export.
+
+use crate::IMAGE_SIDE;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Render one flat `[-1, 1]` image as ASCII art (darker = more ink).
+pub fn to_ascii(image: &[f32], side: usize) -> String {
+    assert_eq!(image.len(), side * side, "image length");
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let mut out = String::with_capacity(side * (side + 1));
+    for row in image.chunks_exact(side) {
+        for &v in row {
+            let intensity = ((v + 1.0) / 2.0).clamp(0.0, 1.0);
+            let idx = (intensity * (RAMP.len() - 1) as f32).round() as usize;
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a 28×28 image (the workspace default) as ASCII art.
+pub fn to_ascii_28(image: &[f32]) -> String {
+    to_ascii(image, IMAGE_SIDE)
+}
+
+/// Write a gallery of flat `[-1, 1]` images as a binary PGM file, arranged
+/// in a `grid_cols`-wide grid with 1-pixel separators.
+pub fn write_pgm(
+    path: &Path,
+    images: &[&[f32]],
+    side: usize,
+    grid_cols: usize,
+) -> io::Result<()> {
+    assert!(grid_cols > 0, "grid_cols must be positive");
+    let n = images.len();
+    let rows = n.div_ceil(grid_cols);
+    let w = grid_cols * (side + 1) - 1;
+    let h = rows * (side + 1) - 1;
+    let mut canvas = vec![0u8; w * h];
+    for (i, img) in images.iter().enumerate() {
+        assert_eq!(img.len(), side * side, "image {i} length");
+        let gx = (i % grid_cols) * (side + 1);
+        let gy = (i / grid_cols) * (side + 1);
+        for y in 0..side {
+            for x in 0..side {
+                let v = ((img[y * side + x] + 1.0) / 2.0).clamp(0.0, 1.0);
+                canvas[(gy + y) * w + gx + x] = (v * 255.0) as u8;
+            }
+        }
+    }
+    let file = std::fs::File::create(path)?;
+    let mut out = BufWriter::new(file);
+    writeln!(out, "P5\n{w} {h}\n255")?;
+    out.write_all(&canvas)?;
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digits::{render_digit, Jitter};
+    use lipiz_tensor::Rng64;
+
+    #[test]
+    fn ascii_shape() {
+        let img = vec![-1.0f32; 16];
+        let art = to_ascii(&img, 4);
+        assert_eq!(art.lines().count(), 4);
+        assert!(art.lines().all(|l| l.len() == 4));
+        assert!(art.chars().filter(|c| *c != '\n').all(|c| c == ' '));
+    }
+
+    #[test]
+    fn ascii_uses_ramp_extremes() {
+        let img = vec![-1.0f32, 1.0, 0.0, 0.5];
+        let art = to_ascii(&img, 2);
+        assert!(art.contains(' '));
+        assert!(art.contains('@'));
+    }
+
+    #[test]
+    fn rendered_digit_ascii_has_ink() {
+        let mut rng = Rng64::seed_from(1);
+        let img = render_digit(0, &Jitter::none(), &mut rng);
+        let art = to_ascii_28(&img);
+        let ink = art.chars().filter(|&c| c == '@' || c == '%').count();
+        assert!(ink > 20, "digit 0 renders to blank ascii:\n{art}");
+    }
+
+    #[test]
+    fn pgm_round_trip_header() {
+        let dir = std::env::temp_dir().join("lipiz_data_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gallery.pgm");
+        let img = vec![0.0f32; 16];
+        write_pgm(&path, &[&img, &img, &img], 4, 2).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let header = String::from_utf8_lossy(&bytes[..20]);
+        assert!(header.starts_with("P5"), "bad header: {header}");
+        // 2 cols => width 9; 2 rows => height 9.
+        assert!(header.contains("9 9"), "bad dims: {header}");
+        std::fs::remove_file(&path).ok();
+    }
+}

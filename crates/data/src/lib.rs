@@ -1,0 +1,34 @@
+//! Synthetic datasets and batch loading.
+//!
+//! The paper evaluates on MNIST (70,000 grayscale 28×28 handwritten digits).
+//! This environment has no network access, so [`digits`] implements a
+//! procedural substitute: each digit 0–9 is defined by stroke polylines and
+//! rasterized to 28×28 with per-sample jitter (translation, scale, rotation,
+//! stroke thickness, pixel noise). The result is a 784-dimensional, 10-mode
+//! image distribution with the same tensor shapes, value range (`[-1, 1]`),
+//! and per-batch FLOP cost as MNIST — which is what the paper's
+//! scaling/efficiency evaluation exercises. DESIGN.md §1 documents the
+//! substitution.
+//!
+//! [`ring`] additionally provides the classic 2-D ring-of-Gaussians toy
+//! problem used by the mode-collapse example, and [`loader::BatchLoader`]
+//! yields seeded, reshuffled mini-batches (Table I: batch size 100).
+
+pub mod digits;
+pub mod image;
+pub mod loader;
+pub mod partition;
+pub mod ring;
+pub mod synth;
+
+pub use loader::BatchLoader;
+pub use partition::DataPartition;
+pub use ring::RingDataset;
+pub use synth::SynthDigits;
+
+/// Side length of the generated images (MNIST-compatible).
+pub const IMAGE_SIDE: usize = 28;
+/// Flattened image dimension (28 × 28).
+pub const IMAGE_DIM: usize = IMAGE_SIDE * IMAGE_SIDE;
+/// Number of digit classes / modes.
+pub const NUM_CLASSES: usize = 10;

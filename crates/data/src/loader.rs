@@ -1,0 +1,177 @@
+//! Seeded mini-batch loader.
+
+use lipiz_tensor::{Matrix, Rng64};
+
+/// Cycles through a dataset in shuffled mini-batches (Table I: batch 100).
+///
+/// Each epoch draws a fresh permutation from the loader's own RNG stream, so
+/// batch sequences are reproducible given `(data, batch_size, seed)` and
+/// independent of any other random draws in the trainer.
+#[derive(Debug, Clone)]
+pub struct BatchLoader {
+    data: Matrix,
+    batch_size: usize,
+    order: Vec<usize>,
+    cursor: usize,
+    epoch: u64,
+    rng: Rng64,
+}
+
+impl BatchLoader {
+    /// Create a loader over `data` (row-per-sample).
+    ///
+    /// # Panics
+    /// Panics if `batch_size == 0` or the dataset is empty.
+    pub fn new(data: Matrix, batch_size: usize, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        assert!(data.rows() > 0, "empty dataset");
+        let mut rng = Rng64::seed_from(seed);
+        let order = rng.permutation(data.rows());
+        Self { data, batch_size, order, cursor: 0, epoch: 0, rng }
+    }
+
+    /// Number of samples in the underlying dataset.
+    pub fn len(&self) -> usize {
+        self.data.rows()
+    }
+
+    /// True when the dataset is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.rows() == 0
+    }
+
+    /// Batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Number of full epochs completed so far.
+    pub fn epochs_completed(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of batches per epoch (floor; a trailing partial batch wraps
+    /// into the next epoch's permutation, matching common GAN loaders).
+    pub fn batches_per_epoch(&self) -> usize {
+        (self.data.rows() / self.batch_size).max(1)
+    }
+
+    /// Next mini-batch of exactly `batch_size` rows.
+    pub fn next_batch(&mut self) -> Matrix {
+        let n = self.data.rows();
+        let mut indices = Vec::with_capacity(self.batch_size);
+        while indices.len() < self.batch_size {
+            if self.cursor >= n {
+                self.order = self.rng.permutation(n);
+                self.cursor = 0;
+                self.epoch += 1;
+            }
+            let take = (self.batch_size - indices.len()).min(n - self.cursor);
+            indices.extend_from_slice(&self.order[self.cursor..self.cursor + take]);
+            self.cursor += take;
+        }
+        self.data.gather_rows(&indices)
+    }
+
+    /// A fixed evaluation batch: the first `n` rows in storage order
+    /// (not shuffled; stable across calls).
+    pub fn eval_batch(&self, n: usize) -> Matrix {
+        self.data.slice_rows(0, n.min(self.data.rows()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_data(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, 2);
+        for i in 0..n {
+            m[(i, 0)] = i as f32;
+            m[(i, 1)] = -(i as f32);
+        }
+        m
+    }
+
+    #[test]
+    fn batches_have_requested_size() {
+        let mut loader = BatchLoader::new(toy_data(10), 4, 1);
+        for _ in 0..5 {
+            assert_eq!(loader.next_batch().shape(), (4, 2));
+        }
+    }
+
+    #[test]
+    fn epoch_covers_every_sample_once() {
+        let mut loader = BatchLoader::new(toy_data(12), 4, 2);
+        let mut seen = vec![];
+        for _ in 0..3 {
+            let b = loader.next_batch();
+            for r in 0..4 {
+                seen.push(b[(r, 0)] as usize);
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..12).collect::<Vec<_>>());
+        assert_eq!(loader.epochs_completed(), 0);
+        loader.next_batch();
+        assert_eq!(loader.epochs_completed(), 1);
+    }
+
+    #[test]
+    fn wraps_partial_epochs() {
+        // 10 samples, batch 4: batches straddle epoch boundaries without
+        // duplicating a sample within one epoch's permutation.
+        let mut loader = BatchLoader::new(toy_data(10), 4, 3);
+        let mut count = std::collections::HashMap::new();
+        for _ in 0..5 {
+            // 20 samples = 2 full epochs
+            let b = loader.next_batch();
+            for r in 0..4 {
+                *count.entry(b[(r, 0)] as usize).or_insert(0usize) += 1;
+            }
+        }
+        for i in 0..10 {
+            assert_eq!(count[&i], 2, "sample {i} not seen exactly twice");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = BatchLoader::new(toy_data(16), 4, 7);
+        let mut b = BatchLoader::new(toy_data(16), 4, 7);
+        for _ in 0..6 {
+            assert_eq!(a.next_batch(), b.next_batch());
+        }
+    }
+
+    #[test]
+    fn different_seeds_shuffle_differently() {
+        let mut a = BatchLoader::new(toy_data(64), 8, 1);
+        let mut b = BatchLoader::new(toy_data(64), 8, 2);
+        let ba = a.next_batch();
+        let bb = b.next_batch();
+        assert_ne!(ba, bb);
+    }
+
+    #[test]
+    fn eval_batch_is_stable() {
+        let loader = BatchLoader::new(toy_data(10), 4, 5);
+        assert_eq!(loader.eval_batch(3), loader.eval_batch(3));
+        assert_eq!(loader.eval_batch(100).rows(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_panics() {
+        BatchLoader::new(toy_data(4), 0, 1);
+    }
+
+    #[test]
+    fn batches_per_epoch_floor() {
+        let loader = BatchLoader::new(toy_data(10), 4, 1);
+        assert_eq!(loader.batches_per_epoch(), 2);
+        let loader = BatchLoader::new(toy_data(3), 4, 1);
+        assert_eq!(loader.batches_per_epoch(), 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! 2-D ring-of-Gaussians toy dataset.
+//!
+//! The standard mode-collapse benchmark: `k` Gaussian modes arranged on a
+//! circle. A collapsed generator covers one or two modes; a healthy one
+//! covers all of them. Used by the quickstart and mode-collapse examples
+//! because it trains in seconds and coverage is measurable geometrically.
+
+use lipiz_tensor::{Matrix, Rng64};
+
+/// Ring-of-Gaussians dataset: `points` is `(n, 2)`, `modes[i]` is the mode
+/// index each sample was drawn from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingDataset {
+    /// Sample coordinates, `(n, 2)`.
+    pub points: Matrix,
+    /// Mode index of each sample.
+    pub modes: Vec<u8>,
+    /// Number of modes on the ring.
+    pub num_modes: usize,
+    /// Ring radius.
+    pub radius: f32,
+    /// Per-mode standard deviation.
+    pub sigma: f32,
+}
+
+impl RingDataset {
+    /// Generate `n` samples over `num_modes` modes on a circle of `radius`
+    /// with per-mode std `sigma`.
+    pub fn generate(n: usize, num_modes: usize, radius: f32, sigma: f32, seed: u64) -> Self {
+        assert!(num_modes > 0 && num_modes <= u8::MAX as usize, "mode count");
+        let mut rng = Rng64::seed_from(seed);
+        let mut points = Matrix::zeros(n, 2);
+        let mut modes = Vec::with_capacity(n);
+        for i in 0..n {
+            let m = (i % num_modes) as u8;
+            modes.push(m);
+            let (cx, cy) = Self::mode_center(m as usize, num_modes, radius);
+            points[(i, 0)] = cx + rng.normal(0.0, sigma);
+            points[(i, 1)] = cy + rng.normal(0.0, sigma);
+        }
+        // Shuffle rows and labels with a shared permutation.
+        let perm = rng.permutation(n);
+        let points = points.gather_rows(&perm);
+        let modes = perm.iter().map(|&i| modes[i]).collect();
+        Self { points, modes, num_modes, radius, sigma }
+    }
+
+    /// Default 8-mode ring of radius 1 with σ = 0.05 (literature standard).
+    pub fn standard(n: usize, seed: u64) -> Self {
+        Self::generate(n, 8, 1.0, 0.05, seed)
+    }
+
+    /// Center of mode `m`.
+    pub fn mode_center(m: usize, num_modes: usize, radius: f32) -> (f32, f32) {
+        let theta = std::f32::consts::TAU * m as f32 / num_modes as f32;
+        (radius * theta.cos(), radius * theta.sin())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.modes.is_empty()
+    }
+
+    /// Assign each row of `samples` (`(n, 2)`) to its nearest mode and count
+    /// how many distinct modes receive at least `min_share` of the samples.
+    ///
+    /// This is the coverage statistic reported by the mode-collapse example.
+    pub fn covered_modes(&self, samples: &Matrix, min_share: f32) -> usize {
+        assert_eq!(samples.cols(), 2, "ring samples are 2-D");
+        if samples.rows() == 0 {
+            return 0;
+        }
+        let mut counts = vec![0usize; self.num_modes];
+        for r in 0..samples.rows() {
+            let p = samples.row(r);
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for m in 0..self.num_modes {
+                let (cx, cy) = Self::mode_center(m, self.num_modes, self.radius);
+                let d = (p[0] - cx).powi(2) + (p[1] - cy).powi(2);
+                if d < best_d {
+                    best_d = d;
+                    best = m;
+                }
+            }
+            counts[best] += 1;
+        }
+        let threshold = (min_share * samples.rows() as f32).max(1.0) as usize;
+        counts.iter().filter(|&&c| c >= threshold).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_shapes() {
+        let d = RingDataset::standard(64, 1);
+        assert_eq!(d.points.shape(), (64, 2));
+        assert_eq!(d.modes.len(), 64);
+        assert_eq!(d.num_modes, 8);
+    }
+
+    #[test]
+    fn samples_lie_near_the_ring() {
+        let d = RingDataset::standard(200, 2);
+        for r in 0..d.points.rows() {
+            let p = d.points.row(r);
+            let radius = (p[0] * p[0] + p[1] * p[1]).sqrt();
+            assert!((radius - 1.0).abs() < 0.4, "sample {r} at radius {radius}");
+        }
+    }
+
+    #[test]
+    fn real_data_covers_all_modes() {
+        let d = RingDataset::standard(400, 3);
+        assert_eq!(d.covered_modes(&d.points.clone(), 0.02), 8);
+    }
+
+    #[test]
+    fn collapsed_samples_cover_one_mode() {
+        let d = RingDataset::standard(100, 4);
+        // All samples exactly at mode 0's center.
+        let (cx, cy) = RingDataset::mode_center(0, 8, 1.0);
+        let mut collapsed = Matrix::zeros(50, 2);
+        for r in 0..50 {
+            collapsed[(r, 0)] = cx;
+            collapsed[(r, 1)] = cy;
+        }
+        assert_eq!(d.covered_modes(&collapsed, 0.02), 1);
+    }
+
+    #[test]
+    fn mode_centers_are_distinct() {
+        let mut centers = vec![];
+        for m in 0..8 {
+            centers.push(RingDataset::mode_center(m, 8, 1.0));
+        }
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                let d = (centers[i].0 - centers[j].0).powi(2)
+                    + (centers[i].1 - centers[j].1).powi(2);
+                assert!(d > 0.1);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = RingDataset::standard(32, 9);
+        let b = RingDataset::standard(32, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,152 @@
+//! Mode-coverage statistics.
+//!
+//! Mode collapse is the pathology the cellular training is designed to
+//! mitigate (§I). These helpers quantify it: classify generated samples,
+//! compare the induced class histogram to the real one.
+
+use lipiz_tensor::Matrix;
+
+/// Normalized histogram over `classes` from integer labels.
+pub fn label_histogram(labels: &[usize], classes: usize) -> Vec<f64> {
+    let mut h = vec![0.0f64; classes];
+    if labels.is_empty() {
+        return h;
+    }
+    for &l in labels {
+        assert!(l < classes, "label {l} out of range {classes}");
+        h[l] += 1.0;
+    }
+    let inv = 1.0 / labels.len() as f64;
+    h.iter_mut().for_each(|v| *v *= inv);
+    h
+}
+
+/// Total variation distance between two distributions: `½ Σ |p_i - q_i|`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution lengths");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Number of classes whose share is at least `min_share`.
+pub fn modes_covered(hist: &[f64], min_share: f64) -> usize {
+    hist.iter().filter(|&&p| p >= min_share).count()
+}
+
+/// Shannon entropy of a distribution in nats.
+pub fn entropy(p: &[f64]) -> f64 {
+    p.iter().filter(|&&v| v > 0.0).map(|&v| -v * v.ln()).sum()
+}
+
+/// Summary of a generator's mode behaviour against a reference histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageReport {
+    /// Normalized class histogram of generated samples.
+    pub generated_hist: Vec<f64>,
+    /// Total variation distance to the reference histogram.
+    pub tvd: f64,
+    /// Number of classes with ≥ 2% share.
+    pub covered: usize,
+    /// Entropy of the generated histogram (nats).
+    pub entropy: f64,
+}
+
+/// Build a coverage report from predicted labels of generated samples.
+pub fn coverage_report(
+    predicted: &[usize],
+    reference_hist: &[f64],
+) -> CoverageReport {
+    let classes = reference_hist.len();
+    let generated_hist = label_histogram(predicted, classes);
+    CoverageReport {
+        tvd: total_variation(&generated_hist, reference_hist),
+        covered: modes_covered(&generated_hist, 0.02),
+        entropy: entropy(&generated_hist),
+        generated_hist,
+    }
+}
+
+/// Proportion of samples a classifier maps to each class — convenience that
+/// combines prediction and histogram for a probability matrix.
+pub fn histogram_from_probs(probs: &Matrix) -> Vec<f64> {
+    let labels = lipiz_tensor::reduce::row_argmax(probs);
+    label_histogram(&labels, probs.cols())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_normalizes() {
+        let h = label_histogram(&[0, 0, 1, 2], 4);
+        assert_eq!(h, vec![0.5, 0.25, 0.25, 0.0]);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = label_histogram(&[], 3);
+        assert_eq!(h, vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_label_panics() {
+        label_histogram(&[5], 3);
+    }
+
+    #[test]
+    fn tvd_properties() {
+        let p = vec![0.5, 0.5];
+        let q = vec![1.0, 0.0];
+        assert!((total_variation(&p, &q) - 0.5).abs() < 1e-12);
+        assert_eq!(total_variation(&p, &p), 0.0);
+        // Disjoint supports => 1.
+        let a = vec![1.0, 0.0];
+        let b = vec![0.0, 1.0];
+        assert!((total_variation(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modes_covered_threshold() {
+        let h = vec![0.5, 0.3, 0.01, 0.19];
+        assert_eq!(modes_covered(&h, 0.02), 3);
+        assert_eq!(modes_covered(&h, 0.4), 1);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        assert_eq!(entropy(&[1.0, 0.0]), 0.0);
+        let uniform = vec![0.25; 4];
+        assert!((entropy(&uniform) - 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collapsed_generator_report() {
+        let reference = vec![0.1; 10];
+        let predicted = vec![3usize; 100]; // everything is a "3"
+        let r = coverage_report(&predicted, &reference);
+        assert_eq!(r.covered, 1);
+        assert!((r.tvd - 0.9).abs() < 1e-9);
+        assert_eq!(r.entropy, 0.0);
+    }
+
+    #[test]
+    fn healthy_generator_report() {
+        let reference = vec![0.1; 10];
+        let predicted: Vec<usize> = (0..100).map(|i| i % 10).collect();
+        let r = coverage_report(&predicted, &reference);
+        assert_eq!(r.covered, 10);
+        assert!(r.tvd < 1e-9);
+    }
+
+    #[test]
+    fn histogram_from_probs_argmax() {
+        let probs = Matrix::from_rows(&[&[0.9, 0.1], &[0.2, 0.8], &[0.7, 0.3]]);
+        let h = histogram_from_probs(&probs);
+        assert!((h[0] - 2.0 / 3.0).abs() < 1e-9);
+        assert!((h[1] - 1.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,318 @@
+//! Symmetric eigendecomposition (cyclic Jacobi) and PSD matrix square root.
+//!
+//! The Fréchet inception distance needs `tr((Σ₁Σ₂)^{1/2})`. Both covariance
+//! matrices are symmetric PSD, so the trace can be computed through two
+//! symmetric eigendecompositions without any general-matrix machinery:
+//! `S₁ = Σ₁^{1/2}` (eigendecomposition of Σ₁), then
+//! `tr((Σ₁Σ₂)^{1/2}) = tr((S₁Σ₂S₁)^{1/2})`, where `S₁Σ₂S₁` is symmetric PSD.
+//!
+//! The feature dimension here is ≤ 128, where cyclic Jacobi is accurate and
+//! more than fast enough; everything runs in `f64` to keep the FID stable.
+
+/// Dense symmetric matrix in `f64`, row-major, used only inside metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymMat {
+    /// Dimension.
+    pub d: usize,
+    /// Row-major storage, `d*d` entries.
+    pub a: Vec<f64>,
+}
+
+impl SymMat {
+    /// Zero matrix.
+    pub fn zeros(d: usize) -> Self {
+        Self { d, a: vec![0.0; d * d] }
+    }
+
+    /// From row-major data.
+    ///
+    /// # Panics
+    /// Panics if `a.len() != d*d`.
+    pub fn from_vec(d: usize, a: Vec<f64>) -> Self {
+        assert_eq!(a.len(), d * d, "SymMat storage length");
+        Self { d, a }
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.a[i * self.d + j]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.a[i * self.d + j] = v;
+    }
+
+    /// Trace.
+    pub fn trace(&self) -> f64 {
+        (0..self.d).map(|i| self.get(i, i)).sum()
+    }
+
+    /// Maximum absolute asymmetry `max |a_ij - a_ji|` (diagnostic).
+    pub fn asymmetry(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..self.d {
+            for j in (i + 1)..self.d {
+                worst = worst.max((self.get(i, j) - self.get(j, i)).abs());
+            }
+        }
+        worst
+    }
+
+    /// `self · other` (general product, both `d × d`).
+    pub fn matmul(&self, other: &SymMat) -> SymMat {
+        assert_eq!(self.d, other.d, "dim mismatch");
+        let d = self.d;
+        let mut out = SymMat::zeros(d);
+        for i in 0..d {
+            for k in 0..d {
+                let aik = self.get(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..d {
+                    out.a[i * d + j] += aik * other.a[k * d + j];
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Eigendecomposition of a symmetric matrix by cyclic Jacobi rotations.
+///
+/// Returns `(eigenvalues, eigenvectors)` where `eigenvectors` is row-major
+/// with eigenvector `k` in **column** `k`, satisfying `A ≈ V Λ Vᵀ`.
+/// Off-diagonal mass below `1e-12 × ‖A‖` terminates; at most 50 sweeps.
+pub fn sym_eigen(m: &SymMat) -> (Vec<f64>, SymMat) {
+    let d = m.d;
+    let mut a = m.clone();
+    // Symmetrize defensively (covariances can carry f32 noise).
+    for i in 0..d {
+        for j in (i + 1)..d {
+            let avg = 0.5 * (a.get(i, j) + a.get(j, i));
+            a.set(i, j, avg);
+            a.set(j, i, avg);
+        }
+    }
+    let mut v = SymMat::zeros(d);
+    for i in 0..d {
+        v.set(i, i, 1.0);
+    }
+    let norm: f64 = a.a.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-300);
+    let tol = 1e-12 * norm;
+    for _sweep in 0..50 {
+        let mut off = 0.0f64;
+        for i in 0..d {
+            for j in (i + 1)..d {
+                off += a.get(i, j).abs();
+            }
+        }
+        if off < tol {
+            break;
+        }
+        for p in 0..d {
+            for q in (p + 1)..d {
+                let apq = a.get(p, q);
+                if apq.abs() < tol / (d * d) as f64 {
+                    continue;
+                }
+                let app = a.get(p, p);
+                let aqq = a.get(q, q);
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q of A.
+                for k in 0..d {
+                    let akp = a.get(k, p);
+                    let akq = a.get(k, q);
+                    a.set(k, p, c * akp - s * akq);
+                    a.set(k, q, s * akp + c * akq);
+                }
+                for k in 0..d {
+                    let apk = a.get(p, k);
+                    let aqk = a.get(q, k);
+                    a.set(p, k, c * apk - s * aqk);
+                    a.set(q, k, s * apk + c * aqk);
+                }
+                // Accumulate rotations into V.
+                for k in 0..d {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+    let eigvals = (0..d).map(|i| a.get(i, i)).collect();
+    (eigvals, v)
+}
+
+/// Symmetric PSD square root `A^{1/2} = V diag(√max(λ,0)) Vᵀ`.
+///
+/// Negative eigenvalues (numerical noise from covariance estimation) are
+/// clamped to zero.
+#[allow(clippy::needless_range_loop)] // k indexes eigenpairs across two arrays
+pub fn sqrtm_psd(m: &SymMat) -> SymMat {
+    let d = m.d;
+    let (vals, v) = sym_eigen(m);
+    let mut out = SymMat::zeros(d);
+    for k in 0..d {
+        let s = vals[k].max(0.0).sqrt();
+        if s == 0.0 {
+            continue;
+        }
+        for i in 0..d {
+            let vik = v.get(i, k);
+            if vik == 0.0 {
+                continue;
+            }
+            let w = s * vik;
+            for j in 0..d {
+                out.a[i * d + j] += w * v.get(j, k);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::needless_range_loop)] // k indexes eigenpairs
+    fn reconstruct(vals: &[f64], v: &SymMat) -> SymMat {
+        let d = v.d;
+        let mut out = SymMat::zeros(d);
+        for k in 0..d {
+            for i in 0..d {
+                for j in 0..d {
+                    out.a[i * d + j] += vals[k] * v.get(i, k) * v.get(j, k);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn eigen_of_diagonal() {
+        let mut m = SymMat::zeros(3);
+        m.set(0, 0, 3.0);
+        m.set(1, 1, 1.0);
+        m.set(2, 2, 2.0);
+        let (mut vals, _) = sym_eigen(&m);
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((vals[0] - 1.0).abs() < 1e-10);
+        assert!((vals[1] - 2.0).abs() < 1e-10);
+        assert!((vals[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigen_reconstructs_the_matrix() {
+        // Random symmetric matrix.
+        let d = 8;
+        let mut m = SymMat::zeros(d);
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..d {
+            for j in 0..=i {
+                let v = next();
+                m.set(i, j, v);
+                m.set(j, i, v);
+            }
+        }
+        let (vals, v) = sym_eigen(&m);
+        let rec = reconstruct(&vals, &v);
+        for i in 0..d * d {
+            assert!((rec.a[i] - m.a[i]).abs() < 1e-8, "entry {i}");
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let mut m = SymMat::zeros(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                m.set(i, j, 1.0 / (1.0 + (i as f64 - j as f64).abs()));
+            }
+        }
+        let (_, v) = sym_eigen(&m);
+        for a in 0..4 {
+            for b in 0..4 {
+                let dot: f64 = (0..4).map(|k| v.get(k, a) * v.get(k, b)).sum();
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-9, "columns {a},{b}: {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn sqrtm_squares_back() {
+        // PSD matrix: A = B Bᵀ.
+        let d = 5;
+        let mut b = SymMat::zeros(d);
+        for i in 0..d {
+            for j in 0..d {
+                b.set(i, j, ((i * d + j) as f64 * 0.37).sin());
+            }
+        }
+        let mut a = SymMat::zeros(d);
+        for i in 0..d {
+            for j in 0..d {
+                let mut s = 0.0;
+                for k in 0..d {
+                    s += b.get(i, k) * b.get(j, k);
+                }
+                a.set(i, j, s);
+            }
+        }
+        let s = sqrtm_psd(&a);
+        let s2 = s.matmul(&s);
+        for i in 0..d * d {
+            assert!((s2.a[i] - a.a[i]).abs() < 1e-8, "entry {i}: {} vs {}", s2.a[i], a.a[i]);
+        }
+    }
+
+    #[test]
+    fn sqrtm_of_identity_is_identity() {
+        let mut m = SymMat::zeros(6);
+        for i in 0..6 {
+            m.set(i, i, 1.0);
+        }
+        let s = sqrtm_psd(&m);
+        for i in 0..6 {
+            for j in 0..6 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((s.get(i, j) - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn sqrtm_clamps_negative_noise() {
+        let mut m = SymMat::zeros(2);
+        m.set(0, 0, 1.0);
+        m.set(1, 1, -1e-9); // numerical noise
+        let s = sqrtm_psd(&m);
+        assert!(s.get(1, 1).abs() < 1e-4);
+        assert!((s.get(0, 0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_and_asymmetry() {
+        let mut m = SymMat::zeros(2);
+        m.set(0, 0, 2.0);
+        m.set(1, 1, 3.0);
+        m.set(0, 1, 0.5);
+        m.set(1, 0, 0.4);
+        assert_eq!(m.trace(), 5.0);
+        assert!((m.asymmetry() - 0.1).abs() < 1e-12);
+    }
+}

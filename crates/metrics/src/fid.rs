@@ -1,0 +1,134 @@
+//! Fréchet inception distance over classifier features.
+
+use crate::eigen::{sqrtm_psd, SymMat};
+use lipiz_tensor::{reduce, Matrix};
+
+/// Gaussian fit (mean + covariance) of a feature batch, in `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureStats {
+    /// Feature mean, length `d`.
+    pub mu: Vec<f64>,
+    /// Feature covariance, `d × d`.
+    pub cov: SymMat,
+}
+
+impl FeatureStats {
+    /// Fit mean and covariance to feature rows `(n, d)`.
+    pub fn fit(features: &Matrix) -> Self {
+        let d = features.cols();
+        let mu32 = reduce::col_mean(features);
+        let cov32 = reduce::col_covariance(features);
+        let mu = mu32.iter().map(|&v| v as f64).collect();
+        let cov = SymMat::from_vec(d, cov32.as_slice().iter().map(|&v| v as f64).collect());
+        Self { mu, cov }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.mu.len()
+    }
+}
+
+/// Fréchet distance between two Gaussian feature fits:
+/// `‖μ₁-μ₂‖² + tr(Σ₁ + Σ₂ - 2(Σ₁Σ₂)^{1/2})`.
+///
+/// Lower is better; 0 iff the fits are identical. The matrix square root is
+/// computed via two symmetric eigendecompositions (see [`crate::eigen`]).
+///
+/// # Panics
+/// Panics if the two fits have different dimensions.
+pub fn frechet_distance(a: &FeatureStats, b: &FeatureStats) -> f64 {
+    assert_eq!(a.dim(), b.dim(), "feature dimension mismatch");
+    let mean_term: f64 =
+        a.mu.iter().zip(&b.mu).map(|(x, y)| (x - y) * (x - y)).sum();
+    // tr((Σ₁Σ₂)^{1/2}) = tr((S₁ Σ₂ S₁)^{1/2}) with S₁ = Σ₁^{1/2}.
+    let s1 = sqrtm_psd(&a.cov);
+    let inner = s1.matmul(&b.cov).matmul(&s1);
+    let (vals, _) = crate::eigen::sym_eigen(&inner);
+    let tr_sqrt: f64 = vals.iter().map(|v| v.max(0.0).sqrt()).sum();
+    let fid = mean_term + a.cov.trace() + b.cov.trace() - 2.0 * tr_sqrt;
+    // Clamp tiny negative numerical noise.
+    fid.max(0.0)
+}
+
+/// Convenience: FID between two raw feature batches.
+pub fn fid_between(features_a: &Matrix, features_b: &Matrix) -> f64 {
+    frechet_distance(&FeatureStats::fit(features_a), &FeatureStats::fit(features_b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lipiz_tensor::Rng64;
+
+    #[test]
+    fn identical_batches_have_zero_fid() {
+        let mut rng = Rng64::seed_from(1);
+        let f = rng.normal_matrix(200, 6, 0.0, 1.0);
+        let fid = fid_between(&f, &f);
+        assert!(fid < 1e-6, "FID {fid}");
+    }
+
+    #[test]
+    fn mean_shift_increases_fid_quadratically() {
+        let mut rng = Rng64::seed_from(2);
+        let a = rng.normal_matrix(2000, 4, 0.0, 1.0);
+        let mut b1 = a.clone();
+        b1.map_inplace(|v| v + 1.0);
+        let mut b2 = a.clone();
+        b2.map_inplace(|v| v + 2.0);
+        let f1 = fid_between(&a, &b1);
+        let f2 = fid_between(&a, &b2);
+        // Shifting all 4 dims by δ adds 4δ² to the mean term.
+        assert!((f1 - 4.0).abs() < 0.2, "FID1 {f1}");
+        assert!((f2 - 16.0).abs() < 0.5, "FID2 {f2}");
+    }
+
+    #[test]
+    fn scale_mismatch_increases_fid() {
+        let mut rng = Rng64::seed_from(3);
+        let a = rng.normal_matrix(3000, 3, 0.0, 1.0);
+        let mut b = rng.normal_matrix(3000, 3, 0.0, 1.0);
+        b.map_inplace(|v| v * 3.0);
+        let fid = fid_between(&a, &b);
+        // For 1-D gaussians: (σ1-σ2)² per dim = 4 per dim = 12 total.
+        assert!(fid > 8.0, "FID {fid}");
+    }
+
+    #[test]
+    fn fid_is_symmetric() {
+        let mut rng = Rng64::seed_from(4);
+        let a = rng.normal_matrix(500, 5, 0.0, 1.0);
+        let b = rng.normal_matrix(500, 5, 0.5, 1.5);
+        let ab = fid_between(&a, &b);
+        let ba = fid_between(&b, &a);
+        assert!((ab - ba).abs() < 1e-6 * ab.max(1.0), "{ab} vs {ba}");
+    }
+
+    #[test]
+    fn closer_distribution_scores_lower() {
+        let mut rng = Rng64::seed_from(5);
+        let real = rng.normal_matrix(1000, 4, 0.0, 1.0);
+        let near = rng.normal_matrix(1000, 4, 0.1, 1.0);
+        let far = rng.normal_matrix(1000, 4, 2.0, 1.0);
+        assert!(fid_between(&real, &near) < fid_between(&real, &far));
+    }
+
+    #[test]
+    fn stats_fit_shapes() {
+        let mut rng = Rng64::seed_from(6);
+        let f = rng.normal_matrix(50, 7, 0.0, 1.0);
+        let stats = FeatureStats::fit(&f);
+        assert_eq!(stats.dim(), 7);
+        assert_eq!(stats.cov.d, 7);
+        assert!(stats.cov.asymmetry() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dim_mismatch_panics() {
+        let a = FeatureStats::fit(&Matrix::zeros(3, 2));
+        let b = FeatureStats::fit(&Matrix::zeros(3, 4));
+        frechet_distance(&a, &b);
+    }
+}

@@ -1,0 +1,101 @@
+//! Inception score over classifier probabilities.
+
+use lipiz_tensor::Matrix;
+
+/// Inception score: `exp( E_x[ KL(p(y|x) ‖ p(y)) ] )`.
+///
+/// `probs` is `(n, classes)`, each row a conditional class distribution
+/// p(y|x) (e.g. from [`crate::Classifier::probabilities`]). Higher is
+/// better: confident per-sample predictions (low conditional entropy)
+/// spread evenly over classes (high marginal entropy). The score lies in
+/// `[1, classes]`.
+pub fn inception_score(probs: &Matrix) -> f64 {
+    let n = probs.rows();
+    if n == 0 {
+        return 1.0;
+    }
+    let c = probs.cols();
+    // Marginal p(y).
+    let mut marginal = vec![0.0f64; c];
+    for r in 0..n {
+        for (m, &p) in marginal.iter_mut().zip(probs.row(r)) {
+            *m += p as f64;
+        }
+    }
+    marginal.iter_mut().for_each(|m| *m /= n as f64);
+    // Mean KL divergence.
+    let eps = 1e-12f64;
+    let mut mean_kl = 0.0f64;
+    for r in 0..n {
+        let mut kl = 0.0f64;
+        for (j, &p) in probs.row(r).iter().enumerate() {
+            let p = p as f64;
+            if p > eps {
+                kl += p * ((p + eps).ln() - (marginal[j] + eps).ln());
+            }
+        }
+        mean_kl += kl;
+    }
+    (mean_kl / n as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a probability matrix from rows.
+    fn probs(rows: &[&[f32]]) -> Matrix {
+        Matrix::from_rows(rows)
+    }
+
+    #[test]
+    fn perfect_diverse_predictions_score_num_classes() {
+        // 4 samples, 4 classes, each confidently a different class.
+        let p = probs(&[
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0, 0.0],
+            &[0.0, 0.0, 0.0, 1.0],
+        ]);
+        let is = inception_score(&p);
+        assert!((is - 4.0).abs() < 1e-6, "IS {is}");
+    }
+
+    #[test]
+    fn collapsed_predictions_score_one() {
+        // All samples confidently the same class: KL(p||marginal)=0.
+        let p = probs(&[&[1.0, 0.0], &[1.0, 0.0], &[1.0, 0.0]]);
+        let is = inception_score(&p);
+        assert!((is - 1.0).abs() < 1e-6, "IS {is}");
+    }
+
+    #[test]
+    fn uniform_predictions_score_one() {
+        // Maximum conditional entropy: also uninformative.
+        let p = probs(&[&[0.25; 4], &[0.25; 4]]);
+        let is = inception_score(&p);
+        assert!((is - 1.0).abs() < 1e-6, "IS {is}");
+    }
+
+    #[test]
+    fn partial_diversity_scores_in_between() {
+        // Two confident classes out of four.
+        let p = probs(&[&[1.0, 0.0, 0.0, 0.0], &[0.0, 1.0, 0.0, 0.0]]);
+        let is = inception_score(&p);
+        assert!(is > 1.5 && is < 4.0, "IS {is}");
+        assert!((is - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_batch_scores_one() {
+        let p = Matrix::zeros(0, 5);
+        assert_eq!(inception_score(&p), 1.0);
+    }
+
+    #[test]
+    fn score_is_bounded_by_class_count() {
+        let p = probs(&[&[0.9, 0.1, 0.0], &[0.0, 0.8, 0.2], &[0.1, 0.0, 0.9]]);
+        let is = inception_score(&p);
+        assert!((1.0..=3.0 + 1e-9).contains(&is), "IS {is}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Generative-model quality metrics.
+//!
+//! Lipizzaner selects the final generative model by a quality score
+//! (§II-B: "the sub-population with the highest quality according to some
+//! fitness value, e.g., inception score"). On MNIST the original system uses
+//! an MNIST classifier network in place of the Inception net. This crate
+//! reproduces that stack for the synthetic digit dataset:
+//!
+//! * [`classifier::Classifier`] — a small softmax MLP trained on labelled
+//!   synthetic digits; provides class probabilities and penultimate-layer
+//!   features,
+//! * [`inception::inception_score`] — `exp(E_x KL(p(y|x) ‖ p(y)))` over the
+//!   classifier's probabilities,
+//! * [`fid`] — Fréchet distance between Gaussian fits of feature
+//!   activations, with the required symmetric matrix square root computed by
+//!   the Jacobi eigensolver in [`eigen`],
+//! * [`kid::kernel_inception_distance`] — unbiased kernel inception
+//!   distance (polynomial-kernel MMD²), the small-sample complement to FID,
+//! * [`coverage`] — mode-coverage statistics (total variation distance to
+//!   the real class histogram, number of dominated/missing modes),
+//! * [`score::ScoreService`] — the bundle the trainer consumes.
+
+pub mod classifier;
+pub mod coverage;
+pub mod eigen;
+pub mod fid;
+pub mod inception;
+pub mod kid;
+pub mod score;
+
+pub use classifier::Classifier;
+pub use fid::FeatureStats;
+pub use score::ScoreService;

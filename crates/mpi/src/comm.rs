@@ -1,0 +1,508 @@
+//! Communicators: point-to-point messaging and collectives.
+
+use crate::endpoint::Mailbox;
+use crate::message::{Envelope, ReservedTags, Tag};
+use crate::wire::Wire;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The delivery fabric: one mailbox per world rank.
+#[derive(Debug)]
+pub struct Fabric {
+    mailboxes: Vec<Arc<Mailbox>>,
+}
+
+impl Fabric {
+    /// Build a fabric for `n` world ranks.
+    pub fn new(n: usize) -> Arc<Self> {
+        Arc::new(Self { mailboxes: (0..n).map(|_| Mailbox::new()).collect() })
+    }
+
+    /// Mailbox of world rank `r`.
+    fn mailbox(&self, r: usize) -> &Mailbox {
+        &self.mailboxes[r]
+    }
+
+    /// Number of world ranks.
+    pub fn world_size(&self) -> usize {
+        self.mailboxes.len()
+    }
+}
+
+/// Source selector for receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvFrom {
+    /// Receive from any rank in the communicator (MPI_ANY_SOURCE).
+    Any,
+    /// Receive from the given group rank only.
+    Rank(usize),
+}
+
+impl RecvFrom {
+    fn as_option(self) -> Option<usize> {
+        match self {
+            RecvFrom::Any => None,
+            RecvFrom::Rank(r) => Some(r),
+        }
+    }
+}
+
+/// A communication context over a group of ranks.
+///
+/// Clones share the same context (safe to hand to other threads of the same
+/// rank, e.g. the slave's execution thread). Collectives must be called by
+/// *every* member of the group in the same order, and must not be invoked
+/// concurrently on the same communicator from two threads of one rank —
+/// identical to the MPI rules.
+#[derive(Debug, Clone)]
+pub struct Comm {
+    fabric: Arc<Fabric>,
+    context: u16,
+    /// Group rank -> world rank.
+    group: Arc<Vec<usize>>,
+    my_rank: usize,
+    /// Deterministic context-id allocator for subgroup creation.
+    next_context: u16,
+}
+
+#[allow(clippy::needless_range_loop)] // loop indices are group ranks, not positions
+impl Comm {
+    /// The world communicator for `rank` over `fabric`.
+    pub fn world(fabric: Arc<Fabric>, rank: usize) -> Self {
+        let n = fabric.world_size();
+        assert!(rank < n, "rank out of range");
+        Self {
+            fabric,
+            context: 0,
+            group: Arc::new((0..n).collect()),
+            my_rank: rank,
+            next_context: 1,
+        }
+    }
+
+    /// My rank within this communicator's group.
+    pub fn rank(&self) -> usize {
+        self.my_rank
+    }
+
+    /// Number of ranks in this communicator.
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// This communicator's context id (diagnostics).
+    pub fn context(&self) -> u16 {
+        self.context
+    }
+
+    /// World rank of group rank `r`.
+    pub fn world_rank_of(&self, r: usize) -> usize {
+        self.group[r]
+    }
+
+    /// Create a sub-communicator from `members` (ranks of *this* group, in
+    /// the order they will be ranked in the new group).
+    ///
+    /// Every member of `self` must call `subgroup` with the identical list
+    /// and in the same creation order (the MPI_Comm_create contract); ranks
+    /// not in the list receive `None`. Create subgroups before cloning the
+    /// communicator into helper threads so the deterministic context-id
+    /// allocator stays aligned across ranks.
+    pub fn subgroup(&mut self, members: &[usize]) -> Option<Comm> {
+        let ctx = self.alloc_context();
+        let pos = members.iter().position(|&m| m == self.my_rank)?;
+        let group: Vec<usize> = members.iter().map(|&m| self.group[m]).collect();
+        Some(Comm {
+            fabric: Arc::clone(&self.fabric),
+            context: ctx,
+            group: Arc::new(group),
+            my_rank: pos,
+            next_context: 1,
+        })
+    }
+
+    fn alloc_context(&mut self) -> u16 {
+        // Derive child contexts deterministically from the parent context:
+        // parent 0 hands out 1,2,3...; a nested split from context c hands
+        // out c*64+1, c*64+2, ... — collision-free for our shallow trees.
+        let ctx = self
+            .context
+            .wrapping_mul(64)
+            .wrapping_add(self.next_context);
+        self.next_context += 1;
+        ctx
+    }
+
+    // ---- point-to-point -------------------------------------------------
+
+    /// Send `value` to group rank `dst` with `tag`.
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range or `tag` is in the reserved space.
+    pub fn send<T: Wire>(&self, dst: usize, tag: Tag, value: &T) {
+        assert!(tag < ReservedTags::RESERVED_BASE, "tag in reserved space");
+        self.send_raw(dst, tag, value.to_bytes());
+    }
+
+    fn send_raw(&self, dst: usize, tag: Tag, payload: Vec<u8>) {
+        let world_dst = self.group[dst];
+        let env = Envelope::new(self.context, self.my_rank, tag, payload);
+        self.fabric.mailbox(world_dst).deliver(env);
+    }
+
+    /// Blocking receive; returns `(value, source group rank)`.
+    ///
+    /// # Panics
+    /// Panics if the payload fails to decode as `T` (a protocol bug, not a
+    /// runtime condition).
+    pub fn recv<T: Wire>(&self, src: RecvFrom, tag: Tag) -> (T, usize) {
+        let env = self.my_mailbox().recv(self.context, src.as_option(), tag);
+        let value = T::from_bytes(&env.payload).expect("wire protocol mismatch");
+        (value, env.src)
+    }
+
+    /// Receive with a timeout; `None` if the deadline passes.
+    pub fn recv_timeout<T: Wire>(
+        &self,
+        src: RecvFrom,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Option<(T, usize)> {
+        let env =
+            self.my_mailbox().recv_timeout(self.context, src.as_option(), tag, timeout)?;
+        let value = T::from_bytes(&env.payload).expect("wire protocol mismatch");
+        Some((value, env.src))
+    }
+
+    /// Non-blocking probe for a matching message.
+    pub fn probe(&self, src: RecvFrom, tag: Tag) -> bool {
+        self.my_mailbox().probe(self.context, src.as_option(), tag)
+    }
+
+    fn my_mailbox(&self) -> &Mailbox {
+        self.fabric.mailbox(self.group[self.my_rank])
+    }
+
+    // ---- collectives ----------------------------------------------------
+
+    /// Barrier: returns once every rank of the group has entered.
+    ///
+    /// All collective fan-ins receive from each source *individually* (in
+    /// rank order) rather than from-any: non-root contributions are
+    /// fire-and-forget, so a fast rank may already have sent its next
+    /// collective's contribution — per-(src, tag) FIFO matching keeps the
+    /// two collectives separated.
+    pub fn barrier(&self) {
+        // Flat fan-in to rank 0, then fan-out.
+        if self.my_rank == 0 {
+            for src in 1..self.size() {
+                let _ = self
+                    .my_mailbox()
+                    .recv(self.context, Some(src), ReservedTags::BARRIER);
+            }
+            for r in 1..self.size() {
+                self.send_raw(r, ReservedTags::BARRIER, vec![]);
+            }
+        } else {
+            self.send_raw(0, ReservedTags::BARRIER, vec![]);
+            let _ = self
+                .my_mailbox()
+                .recv(self.context, Some(0), ReservedTags::BARRIER);
+        }
+    }
+
+    /// Broadcast from `root`. The root passes `Some(value)`; everyone
+    /// (including the root) gets the value back.
+    ///
+    /// # Panics
+    /// Panics if the root passes `None` or a non-root passes `Some`.
+    pub fn bcast<T: Wire>(&self, root: usize, value: Option<T>) -> T {
+        if self.my_rank == root {
+            let v = value.expect("root must provide the broadcast value");
+            let bytes = v.to_bytes();
+            for r in 0..self.size() {
+                if r != root {
+                    self.send_raw(r, ReservedTags::BCAST, bytes.clone());
+                }
+            }
+            v
+        } else {
+            assert!(value.is_none(), "non-root must pass None to bcast");
+            let env =
+                self.my_mailbox().recv(self.context, Some(root), ReservedTags::BCAST);
+            T::from_bytes(&env.payload).expect("bcast decode")
+        }
+    }
+
+    /// Gather one value per rank at `root` (group-rank order). Non-roots get
+    /// `None`.
+    pub fn gather<T: Wire>(&self, root: usize, value: &T) -> Option<Vec<T>> {
+        if self.my_rank == root {
+            let mut slots: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            slots[root] = Some(T::from_bytes(&value.to_bytes()).expect("self gather"));
+            for src in 0..self.size() {
+                if src == root {
+                    continue;
+                }
+                let env =
+                    self.my_mailbox().recv(self.context, Some(src), ReservedTags::GATHER);
+                let v = T::from_bytes(&env.payload).expect("gather decode");
+                slots[src] = Some(v);
+            }
+            Some(slots.into_iter().map(|s| s.expect("gather slot")).collect())
+        } else {
+            self.send_raw(root, ReservedTags::GATHER, value.to_bytes());
+            None
+        }
+    }
+
+    /// Allgather: every rank receives the vector of all ranks' values, in
+    /// group-rank order. This is the §III-D "gather operations performed
+    /// between slaves to collect partial results" primitive.
+    pub fn allgather<T: Wire>(&self, value: &T) -> Vec<T> {
+        // Gather at 0, then broadcast the concatenation.
+        if self.my_rank == 0 {
+            let mut slots: Vec<Option<Vec<u8>>> = vec![None; self.size()];
+            slots[0] = Some(value.to_bytes());
+            for src in 1..self.size() {
+                let env = self.my_mailbox().recv(
+                    self.context,
+                    Some(src),
+                    ReservedTags::ALLGATHER,
+                );
+                slots[src] = Some(env.payload);
+            }
+            let parts: Vec<Vec<u8>> =
+                slots.into_iter().map(|s| s.expect("allgather slot")).collect();
+            let bytes = parts.to_bytes();
+            for r in 1..self.size() {
+                self.send_raw(r, ReservedTags::ALLGATHER, bytes.clone());
+            }
+            parts
+                .iter()
+                .map(|p| T::from_bytes(p).expect("allgather decode"))
+                .collect()
+        } else {
+            self.send_raw(0, ReservedTags::ALLGATHER, value.to_bytes());
+            let env =
+                self.my_mailbox().recv(self.context, Some(0), ReservedTags::ALLGATHER);
+            let parts = Vec::<Vec<u8>>::from_bytes(&env.payload).expect("allgather parts");
+            parts
+                .iter()
+                .map(|p| T::from_bytes(p).expect("allgather decode"))
+                .collect()
+        }
+    }
+
+    /// Reduce all ranks' values at `root` with a binary combiner (applied in
+    /// group-rank order, so non-commutative combiners are deterministic).
+    pub fn reduce<T: Wire>(
+        &self,
+        root: usize,
+        value: &T,
+        combine: impl Fn(T, T) -> T,
+    ) -> Option<T> {
+        if self.my_rank == root {
+            let mut slots: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            slots[root] = Some(T::from_bytes(&value.to_bytes()).expect("self reduce"));
+            for src in 0..self.size() {
+                if src == root {
+                    continue;
+                }
+                let env =
+                    self.my_mailbox().recv(self.context, Some(src), ReservedTags::REDUCE);
+                slots[src] = Some(T::from_bytes(&env.payload).expect("reduce decode"));
+            }
+            let mut it = slots.into_iter().map(|s| s.expect("reduce slot"));
+            let first = it.next().expect("non-empty group");
+            Some(it.fold(first, &combine))
+        } else {
+            self.send_raw(root, ReservedTags::REDUCE, value.to_bytes());
+            None
+        }
+    }
+
+    /// Allreduce = reduce at 0 + broadcast.
+    pub fn allreduce<T: Wire>(&self, value: &T, combine: impl Fn(T, T) -> T) -> T {
+        let reduced = self.reduce(0, value, combine);
+        self.bcast(0, reduced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn send_recv_pair() {
+        let results = Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, &vec![1.5f32, -2.5]);
+                0.0f32
+            } else {
+                let (v, src): (Vec<f32>, usize) = comm.recv(RecvFrom::Rank(0), 7);
+                assert_eq!(src, 0);
+                v[0] + v[1]
+            }
+        });
+        assert_eq!(results[1], -1.0);
+    }
+
+    #[test]
+    fn recv_from_any_reports_source() {
+        let results = Universe::run(3, |comm| {
+            if comm.rank() == 0 {
+                let mut sources = vec![];
+                for _ in 0..2 {
+                    let (v, src): (u32, usize) = comm.recv(RecvFrom::Any, 1);
+                    assert_eq!(v as usize, src);
+                    sources.push(src);
+                }
+                sources.sort_unstable();
+                sources
+            } else {
+                comm.send(0, 1, &(comm.rank() as u32));
+                vec![]
+            }
+        });
+        assert_eq!(results[0], vec![1, 2]);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        Universe::run(4, |comm| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier, everyone must have incremented.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn bcast_distributes_root_value() {
+        let results = Universe::run(4, |comm| {
+            let v = if comm.rank() == 2 { Some("hello".to_string()) } else { None };
+            comm.bcast(2, v)
+        });
+        assert!(results.iter().all(|r| r == "hello"));
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let results = Universe::run(4, |comm| {
+            comm.gather(0, &(comm.rank() as u64 * 10))
+        });
+        assert_eq!(results[0], Some(vec![0, 10, 20, 30]));
+        assert!(results[1..].iter().all(|r| r.is_none()));
+    }
+
+    #[test]
+    fn allgather_gives_everyone_everything() {
+        let results = Universe::run(5, |comm| {
+            comm.allgather(&format!("r{}", comm.rank()))
+        });
+        for r in &results {
+            assert_eq!(r, &["r0", "r1", "r2", "r3", "r4"]);
+        }
+    }
+
+    #[test]
+    fn consecutive_allgathers_do_not_cross_talk() {
+        let results = Universe::run(3, |comm| {
+            let a = comm.allgather(&(comm.rank() as u32));
+            let b = comm.allgather(&(comm.rank() as u32 + 100));
+            (a, b)
+        });
+        for (a, b) in &results {
+            assert_eq!(a, &[0, 1, 2]);
+            assert_eq!(b, &[100, 101, 102]);
+        }
+    }
+
+    #[test]
+    fn reduce_and_allreduce() {
+        let results = Universe::run(4, |comm| {
+            let sum = comm.reduce(0, &(comm.rank() as i64 + 1), |a, b| a + b);
+            let max = comm.allreduce(&(comm.rank() as i64), i64::max);
+            (sum, max)
+        });
+        assert_eq!(results[0].0, Some(10));
+        assert!(results.iter().all(|(_, m)| *m == 3));
+    }
+
+    #[test]
+    fn subgroup_isolates_traffic_and_reranks() {
+        let results = Universe::run(4, |comm| {
+            let mut comm = comm;
+            // Split off ranks 1..4 as a "slaves" group (the paper's LOCAL).
+            let local = comm.subgroup(&[1, 2, 3]);
+            match (comm.rank(), local) {
+                (0, None) => vec![],
+                (wr, Some(local)) => {
+                    assert_eq!(local.size(), 3);
+                    assert_eq!(local.rank(), wr - 1);
+                    local.allgather(&(wr as u32))
+                }
+                _ => unreachable!(),
+            }
+        });
+        assert_eq!(results[0], Vec::<u32>::new());
+        for r in results.iter().skip(1) {
+            assert_eq!(r, &vec![1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn world_and_subgroup_same_tag_do_not_collide() {
+        let results = Universe::run(3, |comm| {
+            let mut comm = comm;
+            let sub = comm.subgroup(&[0, 1]);
+            if comm.rank() == 0 {
+                // Send on WORLD tag 5 to rank 1, and on SUB tag 5 to sub-rank 1.
+                comm.send(1, 5, &11u32);
+                sub.as_ref().unwrap().send(1, 5, &22u32);
+                (0, 0)
+            } else if comm.rank() == 1 {
+                // Receive sub first even though world arrived first.
+                let (s, _) = sub.as_ref().unwrap().recv::<u32>(RecvFrom::Rank(0), 5);
+                let (w, _) = comm.recv::<u32>(RecvFrom::Rank(0), 5);
+                (w, s)
+            } else {
+                (0, 0)
+            }
+        });
+        assert_eq!(results[1], (11, 22));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved space")]
+    fn reserved_tag_rejected() {
+        Universe::run(1, |comm| {
+            comm.send(0, ReservedTags::BARRIER, &0u8);
+        });
+    }
+
+    #[test]
+    fn clone_shares_context_for_second_thread() {
+        // A rank's second thread (execution thread) can use a cloned comm.
+        let results = Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                let comm2 = comm.clone();
+                let t = std::thread::spawn(move || {
+                    let (v, _) = comm2.recv::<u32>(RecvFrom::Rank(1), 42);
+                    v
+                });
+                let (w, _) = comm.recv::<u32>(RecvFrom::Rank(1), 43);
+                t.join().unwrap() + w
+            } else {
+                comm.send(0, 43, &1u32);
+                comm.send(0, 42, &2u32);
+                0
+            }
+        });
+        assert_eq!(results[0], 3);
+    }
+}

@@ -1,0 +1,37 @@
+//! In-process distributed-memory message passing with MPI-style semantics.
+//!
+//! The paper's implementation runs on MPI across cluster nodes (§III-D).
+//! This crate reproduces the *programming model* on a single machine: every
+//! rank is an OS thread, ranks share **no** data, and all exchange happens
+//! through byte-serialized messages ([`wire::Wire`]) delivered to per-rank
+//! mailboxes. That serialization boundary is deliberate — it makes it
+//! impossible for rank code to accidentally share state, which keeps the
+//! implementation honest as a distributed-memory program and portable to a
+//! real MPI binding.
+//!
+//! Feature map to the paper:
+//!
+//! | paper (§III-D)                    | here                                   |
+//! |-----------------------------------|----------------------------------------|
+//! | `MPI_COMM_WORLD`                  | [`universe::Universe::run`]'s root [`comm::Comm`] |
+//! | WORLD/LOCAL/GLOBAL communicators  | [`comm::Comm::subgroup`] context splits |
+//! | p2p send/recv with tags           | [`comm::Comm::send`] / [`comm::Comm::recv`] |
+//! | collective gather/allgather/bcast | [`comm::Comm`] collectives             |
+//! | `MPI_CART_CREATE`                 | [`topology::CartGrid`]                 |
+//!
+//! Threading rules follow MPI: any thread of a rank may use a communicator
+//! (clone the `Comm`), but collectives on one communicator must not be
+//! called concurrently from two threads of the same rank.
+
+pub mod comm;
+pub mod endpoint;
+pub mod message;
+pub mod topology;
+pub mod universe;
+pub mod wire;
+
+pub use comm::{Comm, RecvFrom};
+pub use message::{Envelope, Tag};
+pub use topology::CartGrid;
+pub use universe::Universe;
+pub use wire::{Wire, WireError};

@@ -1,0 +1,138 @@
+//! Cartesian (toroidal grid) topology helper — the `MPI_CART_CREATE`
+//! analogue mentioned in §III-A for optimizing communications.
+
+/// A periodic 2-D process grid mapping ranks ↔ coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CartGrid {
+    rows: usize,
+    cols: usize,
+}
+
+impl CartGrid {
+    /// Build a `rows × cols` periodic grid.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+        Self { rows, cols }
+    }
+
+    /// Square `m × m` grid.
+    pub fn square(m: usize) -> Self {
+        Self::new(m, m)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of grid positions.
+    pub fn size(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Coordinates of `rank` (row-major).
+    ///
+    /// # Panics
+    /// Panics if `rank >= size()`.
+    pub fn coords_of(&self, rank: usize) -> (usize, usize) {
+        assert!(rank < self.size(), "rank out of grid");
+        (rank / self.cols, rank % self.cols)
+    }
+
+    /// Rank at `(row, col)` with toroidal wrap-around.
+    pub fn rank_of(&self, row: isize, col: isize) -> usize {
+        let r = row.rem_euclid(self.rows as isize) as usize;
+        let c = col.rem_euclid(self.cols as isize) as usize;
+        r * self.cols + c
+    }
+
+    /// Rank reached from `rank` by moving `(dr, dc)` with wrap-around
+    /// (the `MPI_Cart_shift` analogue).
+    pub fn shift(&self, rank: usize, dr: isize, dc: isize) -> usize {
+        let (r, c) = self.coords_of(rank);
+        self.rank_of(r as isize + dr, c as isize + dc)
+    }
+
+    /// The four von-Neumann neighbors `[north, south, west, east]` of a
+    /// rank on the torus.
+    pub fn neighbors4(&self, rank: usize) -> [usize; 4] {
+        [
+            self.shift(rank, -1, 0),
+            self.shift(rank, 1, 0),
+            self.shift(rank, 0, -1),
+            self.shift(rank, 0, 1),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_round_trip() {
+        let g = CartGrid::new(3, 4);
+        for rank in 0..g.size() {
+            let (r, c) = g.coords_of(rank);
+            assert_eq!(g.rank_of(r as isize, c as isize), rank);
+        }
+    }
+
+    #[test]
+    fn wraparound_is_toroidal() {
+        let g = CartGrid::square(4);
+        // North of row 0 is row 3.
+        assert_eq!(g.shift(1, -1, 0), g.rank_of(3, 1));
+        // East of the last column is column 0.
+        assert_eq!(g.shift(3, 0, 1), g.rank_of(0, 0));
+        // Negative wrap of several steps.
+        assert_eq!(g.rank_of(-5, -5), g.rank_of(3, 3));
+    }
+
+    #[test]
+    fn neighbors_of_2x2_grid() {
+        // On a 2×2 torus every cell's N and S coincide, as do W and E.
+        let g = CartGrid::square(2);
+        let n = g.neighbors4(0);
+        assert_eq!(n, [2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn neighbors_match_figure1() {
+        // Fig. 1: a 4×4 grid; the neighborhood of cell (1,1) is itself plus
+        // (0,1) N, (2,1) S, (1,0) W, (1,2) E.
+        let g = CartGrid::square(4);
+        let center = g.rank_of(1, 1);
+        let n = g.neighbors4(center);
+        assert_eq!(
+            n,
+            [g.rank_of(0, 1), g.rank_of(2, 1), g.rank_of(1, 0), g.rank_of(1, 2)]
+        );
+    }
+
+    #[test]
+    fn one_by_one_grid_neighbors_self() {
+        let g = CartGrid::new(1, 1);
+        assert_eq!(g.neighbors4(0), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_panics() {
+        CartGrid::new(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of grid")]
+    fn rank_out_of_grid_panics() {
+        CartGrid::square(2).coords_of(4);
+    }
+}

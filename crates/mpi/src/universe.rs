@@ -1,0 +1,99 @@
+//! Launching a set of ranks.
+
+use crate::comm::{Comm, Fabric};
+
+/// Entry point: runs `n` ranks as threads, each receiving its WORLD
+/// communicator (the analogue of `mpiexec -n <n>`).
+pub struct Universe;
+
+impl Universe {
+    /// Run `f` on `n` ranks and return their results in rank order.
+    ///
+    /// Panics in any rank are propagated (with the rank number) after all
+    /// other ranks have been joined, so a failing test names the guilty
+    /// rank instead of deadlocking.
+    pub fn run<R, F>(n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Send + Sync,
+    {
+        assert!(n > 0, "need at least one rank");
+        let fabric = Fabric::new(n);
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|rank| {
+                    let comm = Comm::world(fabric.clone(), rank);
+                    s.spawn(move || f(comm))
+                })
+                .collect();
+            let mut results = Vec::with_capacity(n);
+            let mut first_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(r) => results.push(r),
+                    Err(p) => {
+                        if first_panic.is_none() {
+                            first_panic = Some((rank, p));
+                        }
+                    }
+                }
+            }
+            if let Some((rank, p)) = first_panic {
+                let msg = p
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                panic!("rank {rank} panicked: {msg}");
+            }
+            results
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_rank_order() {
+        let results = Universe::run(6, |comm| comm.rank() * 2);
+        assert_eq!(results, vec![0, 2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn single_rank_universe() {
+        let results = Universe::run(1, |comm| {
+            assert_eq!(comm.size(), 1);
+            comm.barrier(); // degenerate barrier must not hang
+            comm.allgather(&7u8)
+        });
+        assert_eq!(results[0], vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 panicked")]
+    fn panic_is_propagated_with_rank() {
+        Universe::run(4, |comm| {
+            if comm.rank() == 2 {
+                panic!("deliberate failure");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        Universe::run(0, |_comm| ());
+    }
+
+    #[test]
+    fn ranks_see_consistent_world() {
+        let results = Universe::run(5, |comm| (comm.rank(), comm.size()));
+        for (i, (rank, size)) in results.iter().enumerate() {
+            assert_eq!(*rank, i);
+            assert_eq!(*size, 5);
+        }
+    }
+}

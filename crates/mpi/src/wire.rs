@@ -1,0 +1,317 @@
+//! Binary wire codec.
+//!
+//! Every payload that crosses a rank boundary implements [`Wire`]. The
+//! format is little-endian, length-prefixed, and self-contained — the moral
+//! equivalent of an MPI derived datatype. Implementations exist for the
+//! primitives and containers the runtime needs; composite protocol structs
+//! implement `Wire` field-by-field (see `lipiz-runtime`).
+
+use bytes::{Buf, BufMut};
+use std::fmt;
+
+/// Decoding error: truncated or malformed buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What was being decoded.
+    pub what: &'static str,
+}
+
+impl WireError {
+    /// Construct an error for the given context.
+    pub fn new(what: &'static str) -> Self {
+        Self { what }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire decode error: {}", self.what)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Types that can be serialized to / deserialized from a byte stream.
+pub trait Wire: Sized {
+    /// Append this value's encoding to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+    /// Decode a value from the front of `buf`, advancing it.
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError>;
+
+    /// Encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Decode from a complete buffer, requiring full consumption.
+    fn from_bytes(mut buf: &[u8]) -> Result<Self, WireError> {
+        let v = Self::decode(&mut buf)?;
+        if !buf.is_empty() {
+            return Err(WireError::new("trailing bytes"));
+        }
+        Ok(v)
+    }
+}
+
+macro_rules! impl_wire_primitive {
+    ($ty:ty, $put:ident, $get:ident, $size:expr) => {
+        impl Wire for $ty {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.$put(*self);
+            }
+            fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+                if buf.remaining() < $size {
+                    return Err(WireError::new(stringify!($ty)));
+                }
+                Ok(buf.$get())
+            }
+        }
+    };
+}
+
+impl_wire_primitive!(u8, put_u8, get_u8, 1);
+impl_wire_primitive!(u16, put_u16_le, get_u16_le, 2);
+impl_wire_primitive!(u32, put_u32_le, get_u32_le, 4);
+impl_wire_primitive!(u64, put_u64_le, get_u64_le, 8);
+impl_wire_primitive!(i32, put_i32_le, get_i32_le, 4);
+impl_wire_primitive!(i64, put_i64_le, get_i64_le, 8);
+impl_wire_primitive!(f32, put_f32_le, get_f32_le, 4);
+impl_wire_primitive!(f64, put_f64_le, get_f64_le, 8);
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u8(u8::from(*self));
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::new("bool")),
+        }
+    }
+}
+
+impl Wire for usize {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u64_le(*self as u64);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let v = u64::decode(buf)?;
+        usize::try_from(v).map_err(|_| WireError::new("usize overflow"))
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        buf.put_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let len = u32::decode(buf)? as usize;
+        if buf.remaining() < len {
+            return Err(WireError::new("string body"));
+        }
+        let bytes = buf[..len].to_vec();
+        buf.advance(len);
+        String::from_utf8(bytes).map_err(|_| WireError::new("string utf8"))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let len = u32::decode(buf)? as usize;
+        // Guard against hostile lengths: each element needs ≥ 1 byte.
+        if len > buf.remaining() {
+            return Err(WireError::new("vec length"));
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            _ => Err(WireError::new("option discriminant")),
+        }
+    }
+}
+
+impl Wire for () {
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+    fn decode(_buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?))
+    }
+}
+
+/// Implement [`Wire`] for a plain struct by encoding fields in order.
+///
+/// ```
+/// use lipiz_mpi::wire::Wire;
+/// use lipiz_mpi::wire_struct;
+///
+/// #[derive(Debug, PartialEq)]
+/// struct Point { x: f32, y: f32 }
+/// wire_struct!(Point { x, y });
+///
+/// let p = Point { x: 1.0, y: -2.0 };
+/// assert_eq!(Point::from_bytes(&p.to_bytes()).unwrap(), p);
+/// ```
+#[macro_export]
+macro_rules! wire_struct {
+    ($name:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::wire::Wire for $name {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                $(self.$field.encode(buf);)+
+            }
+            fn decode(buf: &mut &[u8]) -> Result<Self, $crate::wire::WireError> {
+                Ok(Self {
+                    $($field: $crate::wire::Wire::decode(buf)?,)+
+                })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        let back = T::from_bytes(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(42u8);
+        round_trip(0xBEEFu16);
+        round_trip(0xDEAD_BEEFu32);
+        round_trip(u64::MAX);
+        round_trip(-7i32);
+        round_trip(i64::MIN);
+        round_trip(std::f32::consts::PI);
+        round_trip(std::f64::consts::E);
+        round_trip(true);
+        round_trip(false);
+        round_trip(123usize);
+        round_trip(());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip("hello MPI".to_string());
+        round_trip(String::new());
+        round_trip(vec![1.0f32, -2.5, 3.25]);
+        round_trip(Vec::<u32>::new());
+        round_trip(Some(7u32));
+        round_trip(Option::<u32>::None);
+        round_trip((1u32, 2.5f64));
+        round_trip((1u8, "x".to_string(), vec![3u64]));
+        round_trip(vec![vec![1u8, 2], vec![], vec![3]]);
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        let bytes = 0xDEAD_BEEFu32.to_bytes();
+        assert!(u32::from_bytes(&bytes[..3]).is_err());
+        let s = "hello".to_string().to_bytes();
+        assert!(String::from_bytes(&s[..6]).is_err());
+        let v = vec![1u64, 2, 3].to_bytes();
+        assert!(Vec::<u64>::from_bytes(&v[..10]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let mut bytes = 1u8.to_bytes();
+        bytes.push(0);
+        assert!(u8::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_vec_length_rejected() {
+        // Claims 2^31 elements with a 4-byte body.
+        let mut bytes = Vec::new();
+        (0x8000_0000u32).encode(&mut bytes);
+        bytes.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(Vec::<u8>::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_discriminants_rejected() {
+        assert!(bool::from_bytes(&[2]).is_err());
+        assert!(Option::<u8>::from_bytes(&[9]).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut bytes = Vec::new();
+        (2u32).encode(&mut bytes);
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(String::from_bytes(&bytes).is_err());
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Demo {
+        a: u32,
+        b: Vec<f32>,
+        c: String,
+    }
+    wire_struct!(Demo { a, b, c });
+
+    #[test]
+    fn wire_struct_macro_round_trips() {
+        round_trip(Demo { a: 5, b: vec![1.5, -2.5], c: "demo".into() });
+    }
+
+    #[test]
+    fn f32_vec_is_compact() {
+        // 4-byte length prefix + 4 bytes per element: genomes ship tight.
+        let v = vec![0.0f32; 1000];
+        assert_eq!(v.to_bytes().len(), 4 + 4000);
+    }
+}

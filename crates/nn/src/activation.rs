@@ -1,0 +1,168 @@
+//! Elementwise activation functions.
+
+use lipiz_tensor::Matrix;
+
+/// Activation functions supported by [`crate::mlp::Mlp`].
+///
+/// All of them can compute their derivative *from the activated output*
+/// (rather than the pre-activation), which lets the backward pass avoid
+/// caching pre-activation matrices:
+/// `tanh'(z) = 1 - a²`, `σ'(z) = a(1-a)`, and for leaky-ReLU the sign of the
+/// output equals the sign of the input because the slope is positive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Activation {
+    /// Hyperbolic tangent (the paper's Table I activation).
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Leaky rectified linear unit with the given negative-side slope.
+    LeakyRelu(f32),
+    /// Pass-through; used for logit outputs so losses can be computed stably.
+    Identity,
+}
+
+impl Activation {
+    /// Apply the activation to every element of `m` in place.
+    pub fn apply_inplace(&self, m: &mut Matrix) {
+        match *self {
+            Activation::Tanh => m.map_inplace(|v| v.tanh()),
+            Activation::Sigmoid => m.map_inplace(sigmoid),
+            Activation::LeakyRelu(slope) => {
+                m.map_inplace(move |v| if v >= 0.0 { v } else { slope * v })
+            }
+            Activation::Identity => {}
+        }
+    }
+
+    /// Multiply `delta` in place by the activation derivative, evaluated from
+    /// the activated output `out` (same shape as `delta`).
+    pub fn scale_by_derivative(&self, out: &Matrix, delta: &mut Matrix) {
+        debug_assert_eq!(out.shape(), delta.shape());
+        match *self {
+            Activation::Tanh => {
+                for (d, &a) in delta.as_mut_slice().iter_mut().zip(out.as_slice()) {
+                    *d *= 1.0 - a * a;
+                }
+            }
+            Activation::Sigmoid => {
+                for (d, &a) in delta.as_mut_slice().iter_mut().zip(out.as_slice()) {
+                    *d *= a * (1.0 - a);
+                }
+            }
+            Activation::LeakyRelu(slope) => {
+                for (d, &a) in delta.as_mut_slice().iter_mut().zip(out.as_slice()) {
+                    if a < 0.0 {
+                        *d *= slope;
+                    }
+                }
+            }
+            Activation::Identity => {}
+        }
+    }
+
+    /// Short name used in config dumps.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Activation::Tanh => "tanh",
+            Activation::Sigmoid => "sigmoid",
+            Activation::LeakyRelu(_) => "leaky_relu",
+            Activation::Identity => "identity",
+        }
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(z: f32) -> f32 {
+    if z >= 0.0 {
+        let e = (-z).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable softplus `ln(1 + e^z)`.
+#[inline]
+pub fn softplus(z: f32) -> f32 {
+    if z > 0.0 {
+        z + (-z).exp().ln_1p()
+    } else {
+        z.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_derivative(act: Activation, z: f32) -> f32 {
+        let h = 1e-3;
+        let f = |z: f32| {
+            let mut m = Matrix::full(1, 1, z);
+            act.apply_inplace(&mut m);
+            m[(0, 0)]
+        };
+        (f(z + h) - f(z - h)) / (2.0 * h)
+    }
+
+    fn analytic_derivative(act: Activation, z: f32) -> f32 {
+        let mut out = Matrix::full(1, 1, z);
+        act.apply_inplace(&mut out);
+        let mut delta = Matrix::full(1, 1, 1.0);
+        act.scale_by_derivative(&out, &mut delta);
+        delta[(0, 0)]
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        for act in [
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::LeakyRelu(0.2),
+            Activation::Identity,
+        ] {
+            for &z in &[-2.0f32, -0.5, 0.3, 1.7] {
+                let num = numeric_derivative(act, z);
+                let ana = analytic_derivative(act, z);
+                assert!(
+                    (num - ana).abs() < 1e-3,
+                    "{act:?} at {z}: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!(sigmoid(100.0) <= 1.0);
+        assert!(sigmoid(-100.0) >= 0.0);
+        assert!((sigmoid(100.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn softplus_is_stable_and_positive() {
+        assert!(softplus(-200.0) >= 0.0);
+        assert!((softplus(200.0) - 200.0).abs() < 1e-3);
+        assert!((softplus(0.0) - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_bounds_outputs() {
+        let mut m = Matrix::from_rows(&[&[-50.0, 0.0, 50.0]]);
+        Activation::Tanh.apply_inplace(&mut m);
+        assert!(m.as_slice().iter().all(|v| v.abs() <= 1.0));
+        assert_eq!(m[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn leaky_relu_negative_side() {
+        let mut m = Matrix::from_rows(&[&[-2.0, 3.0]]);
+        Activation::LeakyRelu(0.1).apply_inplace(&mut m);
+        assert!((m[(0, 0)] + 0.2).abs() < 1e-6);
+        assert_eq!(m[(0, 1)], 3.0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Generator/discriminator networks and single training steps.
+//!
+//! The network topology mirrors Table I of the paper: MLP, 64 input
+//! (latent) neurons, two hidden layers of 256 units, 784 outputs, tanh
+//! activation. The discriminator mirrors it (784 → 256 → 256 → 1) and emits
+//! *logits* so all losses can be computed in the stable softplus form.
+
+use crate::activation::Activation;
+use crate::adam::Adam;
+use crate::loss::{self, GanLoss};
+use crate::mlp::Mlp;
+use lipiz_tensor::{Matrix, Rng64};
+
+/// Topology description for one generator/discriminator pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkConfig {
+    /// Latent (input) dimension of the generator. Table I: 64.
+    pub latent_dim: usize,
+    /// Number of hidden layers in both networks. Table I: 2.
+    pub hidden_layers: usize,
+    /// Units per hidden layer. Table I: 256.
+    pub hidden_units: usize,
+    /// Data dimension (28×28 = 784 for MNIST-like images).
+    pub data_dim: usize,
+    /// Hidden activation. Table I: tanh.
+    pub activation: Activation,
+}
+
+impl NetworkConfig {
+    /// The exact Table I configuration used for MNIST.
+    pub fn paper_mnist() -> Self {
+        Self {
+            latent_dim: 64,
+            hidden_layers: 2,
+            hidden_units: 256,
+            data_dim: 784,
+            activation: Activation::Tanh,
+        }
+    }
+
+    /// A small configuration for fast unit/integration tests.
+    pub fn tiny(data_dim: usize) -> Self {
+        Self {
+            latent_dim: 8,
+            hidden_layers: 1,
+            hidden_units: 16,
+            data_dim,
+            activation: Activation::Tanh,
+        }
+    }
+
+    /// Width list of the generator network.
+    pub fn generator_dims(&self) -> Vec<usize> {
+        let mut dims = Vec::with_capacity(self.hidden_layers + 2);
+        dims.push(self.latent_dim);
+        dims.extend(std::iter::repeat_n(self.hidden_units, self.hidden_layers));
+        dims.push(self.data_dim);
+        dims
+    }
+
+    /// Width list of the discriminator network.
+    pub fn discriminator_dims(&self) -> Vec<usize> {
+        let mut dims = Vec::with_capacity(self.hidden_layers + 2);
+        dims.push(self.data_dim);
+        dims.extend(std::iter::repeat_n(self.hidden_units, self.hidden_layers));
+        dims.push(1);
+        dims
+    }
+}
+
+/// A generator network: maps latent batches to data-space batches in
+/// `[-1, 1]` (tanh output).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Generator {
+    /// The underlying network.
+    pub net: Mlp,
+    latent_dim: usize,
+}
+
+impl Generator {
+    /// Fresh generator for `cfg` with Glorot-initialized weights.
+    pub fn new(cfg: &NetworkConfig, rng: &mut Rng64) -> Self {
+        let net =
+            Mlp::from_dims(&cfg.generator_dims(), cfg.activation, Activation::Tanh, rng);
+        Self { net, latent_dim: cfg.latent_dim }
+    }
+
+    /// Latent input dimension.
+    pub fn latent_dim(&self) -> usize {
+        self.latent_dim
+    }
+
+    /// Generate images from a latent batch.
+    pub fn generate(&self, z: &Matrix) -> Matrix {
+        self.net.forward(z)
+    }
+
+    /// Draw `n` latent vectors and generate images.
+    pub fn sample(&self, n: usize, rng: &mut Rng64) -> Matrix {
+        let z = latent_batch(rng, n, self.latent_dim);
+        self.generate(&z)
+    }
+}
+
+/// A discriminator network: maps data-space batches to real/fake *logits*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discriminator {
+    /// The underlying network.
+    pub net: Mlp,
+}
+
+impl Discriminator {
+    /// Fresh discriminator for `cfg` with Glorot-initialized weights.
+    pub fn new(cfg: &NetworkConfig, rng: &mut Rng64) -> Self {
+        let net = Mlp::from_dims(
+            &cfg.discriminator_dims(),
+            cfg.activation,
+            Activation::Identity,
+            rng,
+        );
+        Self { net }
+    }
+
+    /// Real/fake logits for a data batch: `(batch, 1)`.
+    pub fn logits(&self, x: &Matrix) -> Matrix {
+        self.net.forward(x)
+    }
+}
+
+/// A generator/discriminator pair (one GAN, the unit placed in each grid
+/// cell).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gan {
+    /// Generator half.
+    pub generator: Generator,
+    /// Discriminator half.
+    pub discriminator: Discriminator,
+}
+
+impl Gan {
+    /// Fresh pair for `cfg`.
+    pub fn new(cfg: &NetworkConfig, rng: &mut Rng64) -> Self {
+        Self {
+            generator: Generator::new(cfg, rng),
+            discriminator: Discriminator::new(cfg, rng),
+        }
+    }
+}
+
+/// Sample a standard-normal latent batch `(n, dim)`.
+pub fn latent_batch(rng: &mut Rng64, n: usize, dim: usize) -> Matrix {
+    rng.normal_matrix(n, dim, 0.0, 1.0)
+}
+
+/// One discriminator SGD/Adam step against a batch of real samples and a
+/// batch of fake samples. Returns the BCE loss before the update.
+pub fn train_discriminator_step(
+    d: &mut Discriminator,
+    adam: &mut Adam,
+    real: &Matrix,
+    fake: &Matrix,
+    lr: f32,
+) -> f32 {
+    let cache_real = d.net.forward_cached(real);
+    let cache_fake = d.net.forward_cached(fake);
+    let (loss_val, d_real, d_fake) =
+        loss::d_bce_loss(cache_real.output(), cache_fake.output());
+    let (mut grads, _) = d.net.backward(&cache_real, &d_real);
+    let (grads_fake, _) = d.net.backward(&cache_fake, &d_fake);
+    grads.accumulate(&grads_fake);
+    adam.step(&mut d.net, &grads, lr);
+    loss_val
+}
+
+/// One generator step against a (frozen) discriminator for the latent batch
+/// `z`, under the given loss variant. Returns the generator loss before the
+/// update.
+pub fn train_generator_step(
+    g: &mut Generator,
+    d: &Discriminator,
+    adam: &mut Adam,
+    z: &Matrix,
+    lr: f32,
+    kind: GanLoss,
+) -> f32 {
+    let g_cache = g.net.forward_cached(z);
+    let d_cache = d.net.forward_cached(g_cache.output());
+    let (loss_val, d_logits) = loss::g_loss(kind, d_cache.output());
+    // Backprop through the discriminator to images, then through G.
+    let (_unused_d_grads, d_images) = d.net.backward(&d_cache, &d_logits);
+    let (g_grads, _) = g.net.backward(&g_cache, &d_images);
+    adam.step(&mut g.net, &g_grads, lr);
+    loss_val
+}
+
+/// Discriminator BCE loss on given batches without updating anything
+/// (used for fitness evaluation).
+pub fn discriminator_loss(d: &Discriminator, real: &Matrix, fake: &Matrix) -> f32 {
+    let z_real = d.logits(real);
+    let z_fake = d.logits(fake);
+    loss::d_bce_loss(&z_real, &z_fake).0
+}
+
+/// Generator loss against a discriminator without updating anything.
+pub fn generator_loss(g: &Generator, d: &Discriminator, z: &Matrix, kind: GanLoss) -> f32 {
+    let fake = g.generate(z);
+    let logits = d.logits(&fake);
+    loss::g_loss(kind, &logits).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table1() {
+        let cfg = NetworkConfig::paper_mnist();
+        assert_eq!(cfg.generator_dims(), vec![64, 256, 256, 784]);
+        assert_eq!(cfg.discriminator_dims(), vec![784, 256, 256, 1]);
+        assert_eq!(cfg.activation, Activation::Tanh);
+    }
+
+    #[test]
+    fn generator_outputs_are_bounded() {
+        let mut rng = Rng64::seed_from(1);
+        let cfg = NetworkConfig::tiny(16);
+        let g = Generator::new(&cfg, &mut rng);
+        let x = g.sample(10, &mut rng);
+        assert_eq!(x.shape(), (10, 16));
+        assert!(x.as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn discriminator_logit_shape() {
+        let mut rng = Rng64::seed_from(2);
+        let cfg = NetworkConfig::tiny(16);
+        let d = Discriminator::new(&cfg, &mut rng);
+        let x = rng.uniform_matrix(7, 16, -1.0, 1.0);
+        assert_eq!(d.logits(&x).shape(), (7, 1));
+    }
+
+    /// The discriminator must learn to separate two trivially separable
+    /// distributions within a few hundred steps.
+    #[test]
+    fn discriminator_learns_separable_data() {
+        let mut rng = Rng64::seed_from(3);
+        let cfg = NetworkConfig::tiny(8);
+        let mut d = Discriminator::new(&cfg, &mut rng);
+        let mut adam = Adam::new(d.net.param_count());
+        let real = Matrix::full(32, 8, 0.8);
+        let fake = Matrix::full(32, 8, -0.8);
+        let initial = discriminator_loss(&d, &real, &fake);
+        for _ in 0..200 {
+            train_discriminator_step(&mut d, &mut adam, &real, &fake, 1e-2);
+        }
+        let trained = discriminator_loss(&d, &real, &fake);
+        assert!(
+            trained < initial * 0.2,
+            "D failed to learn: {initial} -> {trained}"
+        );
+    }
+
+    /// The generator must learn to fool a frozen discriminator.
+    #[test]
+    fn generator_learns_to_fool_frozen_discriminator() {
+        let mut rng = Rng64::seed_from(4);
+        let cfg = NetworkConfig::tiny(8);
+        let mut d = Discriminator::new(&cfg, &mut rng);
+        let mut d_adam = Adam::new(d.net.param_count());
+        // Teach D that "real" = +0.8 constant vectors.
+        let real = Matrix::full(32, 8, 0.8);
+        let noise = rng.uniform_matrix(32, 8, -1.0, 1.0);
+        for _ in 0..200 {
+            train_discriminator_step(&mut d, &mut d_adam, &real, &noise, 1e-2);
+        }
+        // Now train G against frozen D.
+        let mut g = Generator::new(&cfg, &mut rng);
+        let mut g_adam = Adam::new(g.net.param_count());
+        let z = latent_batch(&mut rng, 32, cfg.latent_dim);
+        let initial = generator_loss(&g, &d, &z, GanLoss::Heuristic);
+        for _ in 0..300 {
+            let zb = latent_batch(&mut rng, 32, cfg.latent_dim);
+            train_generator_step(&mut g, &d, &mut g_adam, &zb, 1e-2, GanLoss::Heuristic);
+        }
+        let trained = generator_loss(&g, &d, &z, GanLoss::Heuristic);
+        assert!(
+            trained < initial,
+            "G failed to reduce its loss: {initial} -> {trained}"
+        );
+        // G's samples should now look like the "real" constant to D: mean
+        // output should have moved toward +0.8.
+        let samples = g.sample(64, &mut rng);
+        let mean = lipiz_tensor::reduce::mean(&samples);
+        assert!(mean > 0.2, "generator mean {mean} did not move toward data");
+    }
+
+    #[test]
+    fn generator_step_leaves_discriminator_unchanged() {
+        let mut rng = Rng64::seed_from(5);
+        let cfg = NetworkConfig::tiny(8);
+        let mut g = Generator::new(&cfg, &mut rng);
+        let d = Discriminator::new(&cfg, &mut rng);
+        let d_genome_before = d.net.genome();
+        let mut adam = Adam::new(g.net.param_count());
+        let z = latent_batch(&mut rng, 8, cfg.latent_dim);
+        train_generator_step(&mut g, &d, &mut adam, &z, 1e-3, GanLoss::Heuristic);
+        assert_eq!(d.net.genome(), d_genome_before);
+    }
+
+    #[test]
+    fn latent_batch_is_standard_normalish() {
+        let mut rng = Rng64::seed_from(6);
+        let z = latent_batch(&mut rng, 2000, 4);
+        let mean = lipiz_tensor::reduce::mean(&z);
+        assert!(mean.abs() < 0.05, "latent mean {mean}");
+    }
+
+    #[test]
+    fn gan_pair_has_consistent_dims() {
+        let mut rng = Rng64::seed_from(7);
+        let cfg = NetworkConfig::paper_mnist();
+        let gan = Gan::new(&cfg, &mut rng);
+        assert_eq!(gan.generator.net.output_dim(), gan.discriminator.net.input_dim());
+        assert_eq!(gan.generator.net.param_count(), 64 * 256 + 256 + 256 * 256 + 256 + 256 * 784 + 784);
+    }
+}

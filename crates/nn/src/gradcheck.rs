@@ -1,0 +1,77 @@
+//! Finite-difference gradient checking utilities.
+//!
+//! Exposed as a library module (not just test code) so downstream crates'
+//! tests can verify their own composite losses against numeric gradients.
+
+use crate::mlp::Mlp;
+
+/// Numeric gradient of `loss` with respect to parameter `idx` of `net`,
+/// using central differences with step `eps`.
+pub fn numeric_param_gradient(
+    net: &Mlp,
+    idx: usize,
+    eps: f32,
+    loss: &mut dyn FnMut(&Mlp) -> f64,
+) -> f64 {
+    let mut plus = net.clone();
+    plus.visit_params_mut(|i, v| {
+        if i == idx {
+            *v += eps;
+        }
+    });
+    let mut minus = net.clone();
+    minus.visit_params_mut(|i, v| {
+        if i == idx {
+            *v -= eps;
+        }
+    });
+    (loss(&plus) - loss(&minus)) / (2.0 * eps as f64)
+}
+
+/// Check analytic gradients against numeric ones on a strided subset of
+/// parameters; returns the worst absolute error observed.
+pub fn max_gradient_error(
+    net: &Mlp,
+    analytic: &[f32],
+    stride: usize,
+    eps: f32,
+    loss: &mut dyn FnMut(&Mlp) -> f64,
+) -> f64 {
+    assert_eq!(analytic.len(), net.param_count(), "gradient length");
+    let mut worst = 0.0f64;
+    for idx in (0..net.param_count()).step_by(stride.max(1)) {
+        let numeric = numeric_param_gradient(net, idx, eps, loss);
+        let err = (numeric - analytic[idx] as f64).abs();
+        worst = worst.max(err);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use lipiz_tensor::Rng64;
+
+    #[test]
+    fn gradcheck_detects_wrong_gradients() {
+        let mut rng = Rng64::seed_from(1);
+        let net = Mlp::from_dims(&[2, 3, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        let x = rng.uniform_matrix(4, 2, -1.0, 1.0);
+        let mut loss = |net: &Mlp| -> f64 {
+            let y = net.forward(&x);
+            y.as_slice().iter().map(|&v| 0.5 * (v as f64).powi(2)).sum()
+        };
+        // Correct gradients pass.
+        let cache = net.forward_cached(&x);
+        let d_out = cache.output().clone();
+        let (grads, _) = net.backward(&cache, &d_out);
+        let err = max_gradient_error(&net, grads.as_slice(), 3, 1e-3, &mut loss);
+        assert!(err < 2e-3, "correct gradients flagged: {err}");
+        // Corrupted gradients fail.
+        let mut bad = grads.as_slice().to_vec();
+        bad[0] += 1.0;
+        let err = max_gradient_error(&net, &bad, 1, 1e-3, &mut loss);
+        assert!(err > 0.5, "corrupted gradients not detected: {err}");
+    }
+}

@@ -1,0 +1,35 @@
+//! Hand-rolled neural networks for GAN coevolution.
+//!
+//! The paper trains plain MLP GANs (Table I: 64-dim latent, two hidden
+//! layers of 256 units, 784-dim output, tanh activations) with Adam. This
+//! crate implements exactly that, from scratch:
+//!
+//! * [`mlp::Mlp`] — dense multi-layer perceptron with exact manual
+//!   backpropagation (verified against finite differences in tests),
+//! * [`loss`] — the GAN objectives used by Lipizzaner/Mustangs: binary
+//!   cross-entropy for the discriminator, and the three generator objectives
+//!   the Mustangs loss-mutation operator draws from (minimax/saturating,
+//!   non-saturating heuristic, least-squares),
+//! * [`adam::Adam`] — the Adam optimizer over a network's flat parameter
+//!   (genome) vector,
+//! * [`gan`] — generator/discriminator factories matching Table I, latent
+//!   sampling, and the [`gan::Gan`] pair used by the trainer.
+//!
+//! Networks expose their parameters as a flat `Vec<f32>` *genome*: the
+//! coevolutionary layer (crate `lipiz-core`) treats networks as individuals,
+//! and the distributed layer (`lipiz-runtime`) ships genomes between cells as
+//! byte buffers.
+
+pub mod activation;
+pub mod adam;
+pub mod gan;
+pub mod gradcheck;
+pub mod init;
+pub mod loss;
+pub mod mlp;
+
+pub use activation::Activation;
+pub use adam::Adam;
+pub use gan::{Discriminator, Gan, Generator, NetworkConfig};
+pub use loss::GanLoss;
+pub use mlp::{LayerSpec, Mlp};

@@ -1,0 +1,270 @@
+//! GAN training objectives.
+//!
+//! All losses are computed from discriminator *logits* (the discriminator's
+//! output layer is `Identity`), which keeps every formula numerically stable:
+//! `BCE(z, y) = softplus(z) - y·z` and `log σ(z) = -softplus(-z)`.
+//!
+//! The [`GanLoss`] enum is the gene the **Mustangs** loss-mutation operator
+//! draws from (Toutouh et al., GECCO 2019): the original minimax objective,
+//! the non-saturating heuristic, and least-squares. Plain **Lipizzaner**
+//! training fixes the loss to [`GanLoss::Heuristic`] for every step.
+
+use crate::activation::{sigmoid, softplus};
+use lipiz_tensor::Matrix;
+
+/// Generator objective variants (the Mustangs mutation set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GanLoss {
+    /// Original saturating minimax objective: `min_G E[log(1 - D(G(z)))]`.
+    Minimax,
+    /// Non-saturating heuristic: `min_G -E[log D(G(z))]` (GAN folklore
+    /// default; what Lipizzaner's BCE generator step optimizes).
+    Heuristic,
+    /// Least-squares objective on the discriminator probability:
+    /// `min_G E[(D(G(z)) - 1)²] / 2`.
+    LeastSquares,
+}
+
+impl GanLoss {
+    /// All variants, in the order used for mutation draws.
+    pub const ALL: [GanLoss; 3] =
+        [GanLoss::Minimax, GanLoss::Heuristic, GanLoss::LeastSquares];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GanLoss::Minimax => "minimax",
+            GanLoss::Heuristic => "heuristic",
+            GanLoss::LeastSquares => "least-squares",
+        }
+    }
+
+    /// Stable numeric id for serialization over the wire.
+    pub fn id(&self) -> u8 {
+        match self {
+            GanLoss::Minimax => 0,
+            GanLoss::Heuristic => 1,
+            GanLoss::LeastSquares => 2,
+        }
+    }
+
+    /// Inverse of [`GanLoss::id`].
+    pub fn from_id(id: u8) -> Option<GanLoss> {
+        match id {
+            0 => Some(GanLoss::Minimax),
+            1 => Some(GanLoss::Heuristic),
+            2 => Some(GanLoss::LeastSquares),
+            _ => None,
+        }
+    }
+}
+
+/// Discriminator BCE loss and logit gradients.
+///
+/// `z_real`/`z_fake` are `(batch, 1)` logit matrices. Returns
+/// `(loss, d_z_real, d_z_fake)` where the gradients are already divided by
+/// the respective batch sizes (mean reduction).
+pub fn d_bce_loss(z_real: &Matrix, z_fake: &Matrix) -> (f32, Matrix, Matrix) {
+    let mr = z_real.rows().max(1) as f32;
+    let mf = z_fake.rows().max(1) as f32;
+    let mut loss = 0.0f32;
+    let mut d_real = z_real.clone();
+    for v in d_real.as_mut_slice() {
+        let z = *v;
+        loss += softplus(-z) / mr; // -log σ(z)
+        *v = (sigmoid(z) - 1.0) / mr;
+    }
+    let mut d_fake = z_fake.clone();
+    for v in d_fake.as_mut_slice() {
+        let z = *v;
+        loss += softplus(z) / mf; // -log(1 - σ(z))
+        *v = sigmoid(z) / mf;
+    }
+    (loss, d_real, d_fake)
+}
+
+/// Discriminator least-squares loss (ablation option): probabilities are
+/// pushed toward 1 for real and 0 for fake samples.
+pub fn d_ls_loss(z_real: &Matrix, z_fake: &Matrix) -> (f32, Matrix, Matrix) {
+    let mr = z_real.rows().max(1) as f32;
+    let mf = z_fake.rows().max(1) as f32;
+    let mut loss = 0.0f32;
+    let mut d_real = z_real.clone();
+    for v in d_real.as_mut_slice() {
+        let p = sigmoid(*v);
+        loss += 0.5 * (p - 1.0) * (p - 1.0) / mr;
+        *v = (p - 1.0) * p * (1.0 - p) / mr;
+    }
+    let mut d_fake = z_fake.clone();
+    for v in d_fake.as_mut_slice() {
+        let p = sigmoid(*v);
+        loss += 0.5 * p * p / mf;
+        *v = p * p * (1.0 - p) / mf;
+    }
+    (loss, d_real, d_fake)
+}
+
+/// Generator loss and logit gradient for fake-sample logits `z_fake`.
+///
+/// Returns `(loss, d_z_fake)` with mean reduction.
+pub fn g_loss(kind: GanLoss, z_fake: &Matrix) -> (f32, Matrix) {
+    let m = z_fake.rows().max(1) as f32;
+    let mut loss = 0.0f32;
+    let mut d = z_fake.clone();
+    match kind {
+        GanLoss::Heuristic => {
+            // L = -E[log σ(z)] = E[softplus(-z)]
+            for v in d.as_mut_slice() {
+                let z = *v;
+                loss += softplus(-z) / m;
+                *v = (sigmoid(z) - 1.0) / m;
+            }
+        }
+        GanLoss::Minimax => {
+            // L = E[log(1 - σ(z))] = -E[softplus(z)]
+            for v in d.as_mut_slice() {
+                let z = *v;
+                loss += -softplus(z) / m;
+                *v = -sigmoid(z) / m;
+            }
+        }
+        GanLoss::LeastSquares => {
+            // L = E[(σ(z) - 1)²] / 2
+            for v in d.as_mut_slice() {
+                let p = sigmoid(*v);
+                loss += 0.5 * (p - 1.0) * (p - 1.0) / m;
+                *v = (p - 1.0) * p * (1.0 - p) / m;
+            }
+        }
+    }
+    (loss, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lipiz_tensor::Rng64;
+
+    /// Finite-difference check of a scalar-logit gradient.
+    fn check_grad(f: impl Fn(&Matrix) -> (f32, Matrix), z0: f32) {
+        let eps = 1e-3f32;
+        let z = Matrix::full(1, 1, z0);
+        let (_, g) = f(&z);
+        let (lp, _) = f(&Matrix::full(1, 1, z0 + eps));
+        let (lm, _) = f(&Matrix::full(1, 1, z0 - eps));
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (numeric - g[(0, 0)]).abs() < 1e-3,
+            "z={z0}: numeric {numeric} vs analytic {}",
+            g[(0, 0)]
+        );
+    }
+
+    #[test]
+    fn d_bce_gradients_match_finite_differences() {
+        for &z in &[-2.0f32, -0.1, 0.0, 0.7, 3.0] {
+            // Real-branch gradient with a fixed fake logit.
+            check_grad(
+                |zr| {
+                    let (l, dr, _) = d_bce_loss(zr, &Matrix::full(1, 1, 0.3));
+                    (l, dr)
+                },
+                z,
+            );
+            // Fake-branch gradient with a fixed real logit.
+            check_grad(
+                |zf| {
+                    let (l, _, df) = d_bce_loss(&Matrix::full(1, 1, -0.4), zf);
+                    (l, df)
+                },
+                z,
+            );
+        }
+    }
+
+    #[test]
+    fn g_loss_gradients_match_finite_differences() {
+        for kind in GanLoss::ALL {
+            for &z in &[-3.0f32, -0.5, 0.0, 0.5, 3.0] {
+                check_grad(|zf| g_loss(kind, zf), z);
+            }
+        }
+    }
+
+    #[test]
+    fn d_ls_gradients_match_finite_differences() {
+        for &z in &[-1.5f32, 0.0, 1.5] {
+            check_grad(
+                |zr| {
+                    let (l, dr, _) = d_ls_loss(zr, &Matrix::full(1, 1, 0.3));
+                    (l, dr)
+                },
+                z,
+            );
+            check_grad(
+                |zf| {
+                    let (l, _, df) = d_ls_loss(&Matrix::full(1, 1, -0.4), zf);
+                    (l, df)
+                },
+                z,
+            );
+        }
+    }
+
+    #[test]
+    fn perfect_discriminator_has_small_bce() {
+        let z_real = Matrix::full(4, 1, 20.0);
+        let z_fake = Matrix::full(4, 1, -20.0);
+        let (loss, _, _) = d_bce_loss(&z_real, &z_fake);
+        assert!(loss < 1e-6, "loss {loss}");
+    }
+
+    #[test]
+    fn fooled_discriminator_means_low_generator_loss() {
+        let fooled = Matrix::full(4, 1, 10.0); // D thinks fakes are real
+        let caught = Matrix::full(4, 1, -10.0);
+        for kind in GanLoss::ALL {
+            let (l_fooled, _) = g_loss(kind, &fooled);
+            let (l_caught, _) = g_loss(kind, &caught);
+            assert!(
+                l_fooled < l_caught,
+                "{kind:?}: fooled {l_fooled} should beat caught {l_caught}"
+            );
+        }
+    }
+
+    #[test]
+    fn heuristic_gradient_does_not_saturate_when_caught() {
+        // The motivation for the non-saturating loss: when D confidently
+        // rejects fakes (z very negative), minimax gradients vanish but
+        // heuristic gradients stay ~1/m.
+        let caught = Matrix::full(1, 1, -8.0);
+        let (_, g_heu) = g_loss(GanLoss::Heuristic, &caught);
+        let (_, g_mm) = g_loss(GanLoss::Minimax, &caught);
+        assert!(g_heu[(0, 0)].abs() > 0.5);
+        assert!(g_mm[(0, 0)].abs() < 1e-3);
+    }
+
+    #[test]
+    fn id_round_trip() {
+        for kind in GanLoss::ALL {
+            assert_eq!(GanLoss::from_id(kind.id()), Some(kind));
+        }
+        assert_eq!(GanLoss::from_id(9), None);
+    }
+
+    #[test]
+    fn batch_mean_reduction() {
+        // Loss of a batch equals mean of per-sample losses.
+        let mut rng = Rng64::seed_from(1);
+        let zs: Vec<f32> = (0..6).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let batch = Matrix::from_vec(6, 1, zs.clone()).unwrap();
+        let (batch_loss, _) = g_loss(GanLoss::Heuristic, &batch);
+        let mean_loss: f32 = zs
+            .iter()
+            .map(|&z| g_loss(GanLoss::Heuristic, &Matrix::full(1, 1, z)).0)
+            .sum::<f32>()
+            / 6.0;
+        assert!((batch_loss - mean_loss).abs() < 1e-5);
+    }
+}

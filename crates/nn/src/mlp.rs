@@ -1,0 +1,471 @@
+//! Dense multi-layer perceptron with exact manual backpropagation.
+
+use crate::activation::Activation;
+use crate::init;
+use lipiz_tensor::{ops, Matrix, Pool, Rng64};
+
+/// Shape and activation of one dense layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerSpec {
+    /// Input width.
+    pub fan_in: usize,
+    /// Output width.
+    pub fan_out: usize,
+    /// Activation applied to the affine output.
+    pub act: Activation,
+}
+
+/// A feed-forward network of dense layers: `a_{i+1} = act_i(a_i W_i + b_i)`.
+///
+/// Parameters are owned per layer but are *logically* a single flat genome
+/// vector laid out as `[W_0 (row-major), b_0, W_1, b_1, ...]`; see
+/// [`Mlp::genome`] / [`Mlp::load_genome`] / [`Mlp::visit_params_mut`]. The
+/// coevolutionary layer exchanges and replaces networks through that genome
+/// view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    specs: Vec<LayerSpec>,
+    weights: Vec<Matrix>,
+    biases: Vec<Vec<f32>>,
+}
+
+/// Per-layer activations cached by [`Mlp::forward_cached`] for the backward
+/// pass. `activations[0]` is the input batch; `activations[i + 1]` is the
+/// output of layer `i`.
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    pub activations: Vec<Matrix>,
+}
+
+impl ForwardCache {
+    /// The network output (last activation).
+    pub fn output(&self) -> &Matrix {
+        self.activations.last().expect("empty forward cache")
+    }
+}
+
+/// Flat gradient vector aligned with the genome layout of an [`Mlp`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grads {
+    flat: Vec<f32>,
+}
+
+impl Grads {
+    /// Zero gradients for a network with `n` parameters.
+    pub fn zeros(n: usize) -> Self {
+        Self { flat: vec![0.0; n] }
+    }
+
+    /// The flat gradient data (genome order).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.flat
+    }
+
+    /// Mutable flat gradient data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.flat
+    }
+
+    /// Reset to zero, keeping the allocation.
+    pub fn zero(&mut self) {
+        self.flat.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// `self += other` (for gradient accumulation across adversaries).
+    pub fn accumulate(&mut self, other: &Grads) {
+        assert_eq!(self.flat.len(), other.flat.len(), "grad length");
+        ops::axpy(1.0, &other.flat, &mut self.flat);
+    }
+
+    /// Scale all gradients by `s`.
+    pub fn scale(&mut self, s: f32) {
+        self.flat.iter_mut().for_each(|v| *v *= s);
+    }
+
+    /// Euclidean norm (used for gradient-explosion diagnostics).
+    pub fn norm(&self) -> f32 {
+        lipiz_tensor::reduce::norm2(&self.flat)
+    }
+}
+
+impl Mlp {
+    /// Build a network from layer specs with Glorot-uniform weights.
+    ///
+    /// # Panics
+    /// Panics if consecutive specs do not chain (`fan_out != next fan_in`).
+    pub fn new(specs: Vec<LayerSpec>, rng: &mut Rng64) -> Self {
+        assert!(!specs.is_empty(), "Mlp needs at least one layer");
+        for w in specs.windows(2) {
+            assert_eq!(
+                w[0].fan_out, w[1].fan_in,
+                "layer specs do not chain: {} -> {}",
+                w[0].fan_out, w[1].fan_in
+            );
+        }
+        let weights: Vec<Matrix> = specs
+            .iter()
+            .map(|s| init::glorot_uniform(rng, s.fan_in, s.fan_out))
+            .collect();
+        let biases: Vec<Vec<f32>> = specs.iter().map(|s| vec![0.0; s.fan_out]).collect();
+        Self { specs, weights, biases }
+    }
+
+    /// Build from a width list: `dims = [in, h1, ..., out]`, using `hidden`
+    /// activation everywhere except the final layer which uses `output`.
+    pub fn from_dims(
+        dims: &[usize],
+        hidden: Activation,
+        output: Activation,
+        rng: &mut Rng64,
+    ) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output widths");
+        let n = dims.len() - 1;
+        let specs = (0..n)
+            .map(|i| LayerSpec {
+                fan_in: dims[i],
+                fan_out: dims[i + 1],
+                act: if i + 1 == n { output } else { hidden },
+            })
+            .collect();
+        Self::new(specs, rng)
+    }
+
+    /// Layer specifications.
+    pub fn specs(&self) -> &[LayerSpec] {
+        &self.specs
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Input width of the network.
+    pub fn input_dim(&self) -> usize {
+        self.specs[0].fan_in
+    }
+
+    /// Output width of the network.
+    pub fn output_dim(&self) -> usize {
+        self.specs.last().unwrap().fan_out
+    }
+
+    /// Total number of parameters (weights + biases).
+    pub fn param_count(&self) -> usize {
+        self.specs.iter().map(|s| s.fan_in * s.fan_out + s.fan_out).sum()
+    }
+
+    /// Forward pass without caching (inference).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        self.forward_pooled(x, &Pool::serial())
+    }
+
+    /// Forward pass using `pool` for the matrix products (two-level
+    /// parallelism inside a rank).
+    pub fn forward_pooled(&self, x: &Matrix, pool: &Pool) -> Matrix {
+        assert_eq!(x.cols(), self.input_dim(), "input width");
+        let mut a = ops::matmul_pooled(x, &self.weights[0], pool);
+        ops::add_row_vector(&mut a, &self.biases[0]);
+        self.specs[0].act.apply_inplace(&mut a);
+        for i in 1..self.specs.len() {
+            let mut next = ops::matmul_pooled(&a, &self.weights[i], pool);
+            ops::add_row_vector(&mut next, &self.biases[i]);
+            self.specs[i].act.apply_inplace(&mut next);
+            a = next;
+        }
+        a
+    }
+
+    /// Forward pass that caches every activation for [`Mlp::backward`].
+    pub fn forward_cached(&self, x: &Matrix) -> ForwardCache {
+        assert_eq!(x.cols(), self.input_dim(), "input width");
+        let mut activations = Vec::with_capacity(self.specs.len() + 1);
+        activations.push(x.clone());
+        for i in 0..self.specs.len() {
+            let mut a = ops::matmul(activations.last().unwrap(), &self.weights[i]);
+            ops::add_row_vector(&mut a, &self.biases[i]);
+            self.specs[i].act.apply_inplace(&mut a);
+            activations.push(a);
+        }
+        ForwardCache { activations }
+    }
+
+    /// Backward pass.
+    ///
+    /// `d_out` is `∂L/∂output` (same shape as the network output). Returns
+    /// the flat parameter gradients and `∂L/∂input` (needed to continue
+    /// backpropagation into the generator when training through the
+    /// discriminator).
+    pub fn backward(&self, cache: &ForwardCache, d_out: &Matrix) -> (Grads, Matrix) {
+        assert_eq!(
+            cache.activations.len(),
+            self.specs.len() + 1,
+            "cache does not match network depth"
+        );
+        let mut grads = Grads::zeros(self.param_count());
+        let mut delta = d_out.clone();
+        // Walk layers in reverse, writing each layer's gradient block at its
+        // genome offset.
+        let offsets = self.layer_offsets();
+        for i in (0..self.specs.len()).rev() {
+            let out_act = &cache.activations[i + 1];
+            self.specs[i].act.scale_by_derivative(out_act, &mut delta);
+            let input_act = &cache.activations[i];
+            let dw = ops::matmul_at_b(input_act, &delta);
+            let (w_off, b_off) = offsets[i];
+            let spec = self.specs[i];
+            let wlen = spec.fan_in * spec.fan_out;
+            grads.flat[w_off..w_off + wlen].copy_from_slice(dw.as_slice());
+            // Bias gradient: column sums of delta.
+            {
+                let db = &mut grads.flat[b_off..b_off + spec.fan_out];
+                for r in 0..delta.rows() {
+                    for (g, &d) in db.iter_mut().zip(delta.row(r)) {
+                        *g += d;
+                    }
+                }
+            }
+            if i > 0 {
+                delta = ops::matmul_a_bt(&delta, &self.weights[i]);
+            } else {
+                // delta for the input: compute and return.
+                let dx = ops::matmul_a_bt(&delta, &self.weights[0]);
+                return (grads, dx);
+            }
+        }
+        unreachable!("loop always returns at i == 0");
+    }
+
+    /// Genome offsets of each layer: `(weight_offset, bias_offset)`.
+    fn layer_offsets(&self) -> Vec<(usize, usize)> {
+        let mut offsets = Vec::with_capacity(self.specs.len());
+        let mut off = 0;
+        for s in &self.specs {
+            let w_off = off;
+            off += s.fan_in * s.fan_out;
+            let b_off = off;
+            off += s.fan_out;
+            offsets.push((w_off, b_off));
+        }
+        offsets
+    }
+
+    /// Copy all parameters out as a flat genome vector.
+    pub fn genome(&self) -> Vec<f32> {
+        let mut g = Vec::with_capacity(self.param_count());
+        for (w, b) in self.weights.iter().zip(&self.biases) {
+            g.extend_from_slice(w.as_slice());
+            g.extend_from_slice(b);
+        }
+        g
+    }
+
+    /// Overwrite all parameters from a flat genome vector.
+    ///
+    /// # Panics
+    /// Panics if `genome.len() != self.param_count()`.
+    pub fn load_genome(&mut self, genome: &[f32]) {
+        assert_eq!(genome.len(), self.param_count(), "genome length");
+        let mut off = 0;
+        for (w, b) in self.weights.iter_mut().zip(&mut self.biases) {
+            let wlen = w.len();
+            w.as_mut_slice().copy_from_slice(&genome[off..off + wlen]);
+            off += wlen;
+            let blen = b.len();
+            b.copy_from_slice(&genome[off..off + blen]);
+            off += blen;
+        }
+    }
+
+    /// Visit every parameter mutably in genome order; `f(index, param)`.
+    ///
+    /// This is the optimizer's update hook: it avoids materializing the
+    /// genome copy on every Adam step.
+    pub fn visit_params_mut(&mut self, mut f: impl FnMut(usize, &mut f32)) {
+        let mut idx = 0;
+        for (w, b) in self.weights.iter_mut().zip(&mut self.biases) {
+            for v in w.as_mut_slice() {
+                f(idx, v);
+                idx += 1;
+            }
+            for v in b {
+                f(idx, v);
+                idx += 1;
+            }
+        }
+    }
+
+    /// True when every parameter is finite.
+    pub fn all_finite(&self) -> bool {
+        self.weights.iter().all(|w| w.all_finite())
+            && self.biases.iter().all(|b| b.iter().all(|v| v.is_finite()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lipiz_tensor::reduce;
+
+    fn tiny_net(seed: u64) -> Mlp {
+        let mut rng = Rng64::seed_from(seed);
+        Mlp::from_dims(&[3, 5, 2], Activation::Tanh, Activation::Identity, &mut rng)
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let net = tiny_net(1);
+        assert_eq!(net.input_dim(), 3);
+        assert_eq!(net.output_dim(), 2);
+        assert_eq!(net.param_count(), 3 * 5 + 5 + 5 * 2 + 2);
+        assert_eq!(net.num_layers(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "chain")]
+    fn mismatched_specs_panic() {
+        let mut rng = Rng64::seed_from(1);
+        Mlp::new(
+            vec![
+                LayerSpec { fan_in: 3, fan_out: 4, act: Activation::Tanh },
+                LayerSpec { fan_in: 5, fan_out: 2, act: Activation::Identity },
+            ],
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn forward_matches_cached_output() {
+        let net = tiny_net(2);
+        let mut rng = Rng64::seed_from(3);
+        let x = rng.uniform_matrix(4, 3, -1.0, 1.0);
+        let y = net.forward(&x);
+        let cache = net.forward_cached(&x);
+        assert!(y.max_abs_diff(cache.output()) < 1e-7);
+        assert_eq!(y.shape(), (4, 2));
+    }
+
+    #[test]
+    fn pooled_forward_matches_serial() {
+        let mut rng = Rng64::seed_from(11);
+        let net = Mlp::from_dims(
+            &[32, 64, 16],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        );
+        let x = rng.uniform_matrix(32, 32, -1.0, 1.0);
+        let serial = net.forward(&x);
+        let pooled = net.forward_pooled(&x, &Pool::new(3));
+        assert!(serial.max_abs_diff(&pooled) < 1e-6);
+    }
+
+    #[test]
+    fn genome_round_trip() {
+        let net = tiny_net(4);
+        let g = net.genome();
+        assert_eq!(g.len(), net.param_count());
+        let mut other = tiny_net(99);
+        assert_ne!(other.genome(), g);
+        other.load_genome(&g);
+        assert_eq!(other.genome(), g);
+        // Identical genomes => identical outputs.
+        let mut rng = Rng64::seed_from(5);
+        let x = rng.uniform_matrix(2, 3, -1.0, 1.0);
+        assert!(net.forward(&x).max_abs_diff(&other.forward(&x)) < 1e-7);
+    }
+
+    #[test]
+    fn visit_params_matches_genome_order() {
+        let mut net = tiny_net(6);
+        let g = net.genome();
+        let mut seen = vec![];
+        net.visit_params_mut(|i, v| {
+            assert_eq!(seen.len(), i);
+            seen.push(*v);
+        });
+        assert_eq!(seen, g);
+    }
+
+    /// Finite-difference check of the full backward pass: the analytic
+    /// gradient of `L = sum(output²)/2` must match numeric perturbation of
+    /// every parameter.
+    #[test]
+    fn backward_matches_finite_differences() {
+        let net = tiny_net(7);
+        let mut rng = Rng64::seed_from(8);
+        let x = rng.uniform_matrix(3, 3, -1.0, 1.0);
+
+        let cache = net.forward_cached(&x);
+        let d_out = cache.output().clone(); // dL/dout for L = 0.5*sum(out^2)
+        let (grads, _dx) = net.backward(&cache, &d_out);
+
+        let loss = |net: &Mlp| -> f64 {
+            let y = net.forward(&x);
+            y.as_slice().iter().map(|&v| 0.5 * (v as f64) * (v as f64)).sum()
+        };
+
+        let eps = 1e-3f32;
+        let n = net.param_count();
+        // Check a deterministic subset of parameters plus all biases.
+        for idx in (0..n).step_by(7) {
+            let mut plus = net.clone();
+            let mut minus = net.clone();
+            plus.visit_params_mut(|i, v| {
+                if i == idx {
+                    *v += eps;
+                }
+            });
+            minus.visit_params_mut(|i, v| {
+                if i == idx {
+                    *v -= eps;
+                }
+            });
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps as f64);
+            let analytic = grads.as_slice()[idx] as f64;
+            assert!(
+                (numeric - analytic).abs() < 2e-3,
+                "param {idx}: numeric {numeric:.6} vs analytic {analytic:.6}"
+            );
+        }
+        // The returned dx must also match perturbing the input.
+        let (_, dx) = net.backward(&cache, &d_out);
+        let mut x2 = x.clone();
+        x2[(1, 2)] += eps;
+        let y2 = net.forward(&x2);
+        let l2: f64 = y2.as_slice().iter().map(|&v| 0.5 * (v as f64) * (v as f64)).sum();
+        let numeric = (l2 - loss(&net)) / eps as f64;
+        assert!((numeric - dx[(1, 2)] as f64).abs() < 5e-3);
+    }
+
+    #[test]
+    fn grads_accumulate_and_scale() {
+        let mut a = Grads::zeros(3);
+        a.as_mut_slice().copy_from_slice(&[1.0, 2.0, 3.0]);
+        let mut b = Grads::zeros(3);
+        b.as_mut_slice().copy_from_slice(&[0.5, 0.5, 0.5]);
+        a.accumulate(&b);
+        assert_eq!(a.as_slice(), &[1.5, 2.5, 3.5]);
+        a.scale(2.0);
+        assert_eq!(a.as_slice(), &[3.0, 5.0, 7.0]);
+        assert!((Grads::zeros(2).norm() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deep_network_gradient_flows() {
+        let mut rng = Rng64::seed_from(20);
+        let net = Mlp::from_dims(
+            &[4, 8, 8, 8, 2],
+            Activation::LeakyRelu(0.2),
+            Activation::Sigmoid,
+            &mut rng,
+        );
+        let x = rng.uniform_matrix(5, 4, -1.0, 1.0);
+        let cache = net.forward_cached(&x);
+        let d_out = Matrix::full(5, 2, 1.0);
+        let (grads, dx) = net.backward(&cache, &d_out);
+        assert!(grads.norm() > 0.0, "gradient vanished entirely");
+        assert_eq!(dx.shape(), (5, 4));
+        assert!(reduce::norm2(dx.as_slice()) > 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for networks and losses.
+
+use lipiz_nn::{loss, Activation, GanLoss, Mlp};
+use lipiz_tensor::{Matrix, Rng64};
+use proptest::prelude::*;
+
+fn dims_strategy() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..10, 2..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn param_count_matches_genome_len(dims in dims_strategy(), seed in 0u64..1000) {
+        let mut rng = Rng64::seed_from(seed);
+        let net = Mlp::from_dims(&dims, Activation::Tanh, Activation::Identity, &mut rng);
+        prop_assert_eq!(net.genome().len(), net.param_count());
+    }
+
+    #[test]
+    fn forward_output_shape(dims in dims_strategy(), batch in 1usize..8, seed in 0u64..1000) {
+        let mut rng = Rng64::seed_from(seed);
+        let net = Mlp::from_dims(&dims, Activation::Tanh, Activation::Sigmoid, &mut rng);
+        let x = rng.uniform_matrix(batch, dims[0], -1.0, 1.0);
+        let y = net.forward(&x);
+        prop_assert_eq!(y.shape(), (batch, *dims.last().unwrap()));
+        prop_assert!(y.all_finite());
+        // Sigmoid output bounds.
+        prop_assert!(y.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn backward_gradients_are_finite(dims in dims_strategy(), seed in 0u64..1000) {
+        let mut rng = Rng64::seed_from(seed);
+        let net = Mlp::from_dims(&dims, Activation::LeakyRelu(0.2), Activation::Tanh, &mut rng);
+        let x = rng.uniform_matrix(3, dims[0], -1.0, 1.0);
+        let cache = net.forward_cached(&x);
+        let d_out = rng.uniform_matrix(3, *dims.last().unwrap(), -1.0, 1.0);
+        let (grads, dx) = net.backward(&cache, &d_out);
+        prop_assert!(grads.as_slice().iter().all(|v| v.is_finite()));
+        prop_assert!(dx.all_finite());
+    }
+
+    #[test]
+    fn loss_values_and_grads_are_finite_for_extreme_logits(
+        z in proptest::collection::vec(-60.0f32..60.0, 1..8)
+    ) {
+        let logits = Matrix::from_vec(z.len(), 1, z).unwrap();
+        for kind in GanLoss::ALL {
+            let (l, g) = loss::g_loss(kind, &logits);
+            prop_assert!(l.is_finite(), "{kind:?} loss not finite");
+            prop_assert!(g.all_finite(), "{kind:?} grad not finite");
+        }
+        let (l, gr, gf) = loss::d_bce_loss(&logits, &logits);
+        prop_assert!(l.is_finite());
+        prop_assert!(gr.all_finite() && gf.all_finite());
+    }
+
+    #[test]
+    fn d_loss_is_nonnegative(z in proptest::collection::vec(-20.0f32..20.0, 1..8)) {
+        let logits = Matrix::from_vec(z.len(), 1, z).unwrap();
+        let (l, _, _) = loss::d_bce_loss(&logits, &logits);
+        prop_assert!(l >= 0.0, "BCE must be non-negative: {l}");
+    }
+
+    #[test]
+    fn generator_prefers_being_believed(
+        fooled_logit in 0.5f32..20.0,
+        caught_logit in -20.0f32..-0.5
+    ) {
+        // For every loss variant, the loss with D fooled must be lower.
+        let fooled = Matrix::full(4, 1, fooled_logit);
+        let caught = Matrix::full(4, 1, caught_logit);
+        for kind in GanLoss::ALL {
+            let (lf, _) = loss::g_loss(kind, &fooled);
+            let (lc, _) = loss::g_loss(kind, &caught);
+            prop_assert!(lf < lc, "{kind:?}: fooled {lf} !< caught {lc}");
+        }
+    }
+
+    #[test]
+    fn genome_load_is_idempotent(dims in dims_strategy(), seed in 0u64..1000) {
+        let mut rng = Rng64::seed_from(seed);
+        let mut net = Mlp::from_dims(&dims, Activation::Tanh, Activation::Identity, &mut rng);
+        let g = net.genome();
+        net.load_genome(&g);
+        net.load_genome(&g);
+        prop_assert_eq!(net.genome(), g);
+    }
+}

@@ -1,0 +1,300 @@
+//! The `comm-manager` class (§III-C): every communication the runtime
+//! performs, wrapped behind typed methods.
+//!
+//! Three communicators are used, exactly as §III-D describes:
+//!
+//! * **WORLD** — global configuration, run-task messages, status control;
+//! * **LOCAL** — slave-only collectives (the per-iteration allgather of
+//!   center snapshots), so gathers never involve the master or inactive
+//!   processes;
+//! * **GLOBAL** — collectives involving all processes (the final result
+//!   gather at the master).
+//!
+//! The underlying transport is `lipiz-mpi`; nothing outside this module
+//! touches raw tags or payload encoding, which is what lets a real MPI
+//! binding replace the in-process fabric without touching master/slave
+//! logic (the decoupling the paper calls out).
+
+use crate::protocol::{
+    tags, NodeAnnouncement, RunTask, SlaveResult, SnapshotMsg, StatusReport,
+};
+use lipiz_core::CellSnapshot;
+use lipiz_mpi::{Comm, RecvFrom};
+use std::time::Duration;
+
+/// Typed communication facade for one rank.
+#[derive(Debug, Clone)]
+pub struct CommManager {
+    world: Comm,
+    local: Option<Comm>,
+    global: Comm,
+}
+
+impl CommManager {
+    /// WORLD rank of the master process.
+    pub const MASTER: usize = 0;
+
+    /// Build the three communicators from the WORLD communicator. Must be
+    /// called collectively by every rank (subgroup creation is collective).
+    pub fn new(mut world: Comm) -> Self {
+        let n = world.size();
+        assert!(n >= 2, "need a master and at least one slave");
+        let slaves: Vec<usize> = (1..n).collect();
+        let local = world.subgroup(&slaves);
+        let all: Vec<usize> = (0..n).collect();
+        let global = world.subgroup(&all).expect("every rank is in GLOBAL");
+        Self { world, local, global }
+    }
+
+    /// Is this rank the master?
+    pub fn is_master(&self) -> bool {
+        self.world.rank() == Self::MASTER
+    }
+
+    /// This rank's WORLD rank.
+    pub fn world_rank(&self) -> usize {
+        self.world.rank()
+    }
+
+    /// Number of slave ranks.
+    pub fn num_slaves(&self) -> usize {
+        self.world.size() - 1
+    }
+
+    /// The slave-only communicator.
+    ///
+    /// # Panics
+    /// Panics when called on the master (which is not a LOCAL member).
+    pub fn local(&self) -> &Comm {
+        self.local.as_ref().expect("master has no LOCAL communicator")
+    }
+
+    /// LOCAL rank of this slave (= its grid cell index under the uniform
+    /// assignment).
+    pub fn local_rank(&self) -> usize {
+        self.local().rank()
+    }
+
+    // ---- startup protocol -------------------------------------------------
+
+    /// Slave: announce this rank's node name to the master (Fig. 3).
+    pub fn announce_node(&self, node_name: &str) {
+        let msg = NodeAnnouncement {
+            rank: self.world.rank(),
+            node_name: node_name.to_string(),
+        };
+        self.world.send(Self::MASTER, tags::NODE_NAME, &msg);
+    }
+
+    /// Master: collect every slave's announcement (any arrival order).
+    pub fn collect_announcements(&self) -> Vec<NodeAnnouncement> {
+        let mut out: Vec<NodeAnnouncement> = (0..self.num_slaves())
+            .map(|_| {
+                let (msg, _src): (NodeAnnouncement, usize) =
+                    self.world.recv(RecvFrom::Any, tags::NODE_NAME);
+                msg
+            })
+            .collect();
+        out.sort_by_key(|a| a.rank);
+        out
+    }
+
+    /// Master: assign a workload to a slave (run-task message, Fig. 2's
+    /// inactive→processing trigger).
+    pub fn send_run_task(&self, slave_world_rank: usize, task: &RunTask) {
+        self.world.send(slave_world_rank, tags::RUN_TASK, task);
+    }
+
+    /// Slave: block until the master's run-task message arrives.
+    pub fn recv_run_task(&self) -> RunTask {
+        let (task, _): (RunTask, usize) =
+            self.world.recv(RecvFrom::Rank(Self::MASTER), tags::RUN_TASK);
+        task
+    }
+
+    // ---- heartbeat protocol -----------------------------------------------
+
+    /// Master: ask a slave for its status.
+    pub fn request_status(&self, slave_world_rank: usize) {
+        self.world.send(slave_world_rank, tags::STATUS_REQ, &());
+    }
+
+    /// Master: await a slave's status response with a deadline.
+    pub fn await_status(
+        &self,
+        slave_world_rank: usize,
+        timeout: Duration,
+    ) -> Option<StatusReport> {
+        self.world
+            .recv_timeout::<StatusReport>(
+                RecvFrom::Rank(slave_world_rank),
+                tags::STATUS_RESP,
+                timeout,
+            )
+            .map(|(r, _)| r)
+    }
+
+    /// Slave: check for a pending status request (non-blocking-ish).
+    pub fn poll_status_request(&self, timeout: Duration) -> bool {
+        self.world
+            .recv_timeout::<()>(RecvFrom::Rank(Self::MASTER), tags::STATUS_REQ, timeout)
+            .is_some()
+    }
+
+    /// Slave: answer a status request.
+    pub fn respond_status(&self, report: &StatusReport) {
+        self.world.send(Self::MASTER, tags::STATUS_RESP, report);
+    }
+
+    // ---- training collectives ----------------------------------------------
+
+    /// Slave: per-iteration allgather of center snapshots on LOCAL.
+    /// Returns all cells' snapshots in cell order.
+    pub fn exchange_centers(&self, snapshot: &CellSnapshot) -> Vec<CellSnapshot> {
+        let msg = SnapshotMsg::from(snapshot);
+        self.local()
+            .allgather(&msg)
+            .into_iter()
+            .map(SnapshotMsg::into_snapshot)
+            .collect()
+    }
+
+    /// Final gather of results on GLOBAL: slaves pass `Some(result)`, the
+    /// master passes `None` and receives every slave's result (cell order).
+    pub fn gather_results(&self, mine: Option<SlaveResult>) -> Option<Vec<SlaveResult>> {
+        let gathered = self.global.gather(Self::MASTER, &mine)?;
+        let mut results: Vec<SlaveResult> = gathered.into_iter().flatten().collect();
+        results.sort_by_key(|r| r.cell);
+        Some(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ConfigMsg;
+    use lipiz_core::TrainConfig;
+    use lipiz_mpi::Universe;
+
+    #[test]
+    fn communicator_roles() {
+        let results = Universe::run(4, |world| {
+            let cm = CommManager::new(world);
+            let local = if cm.is_master() { None } else { Some(cm.local_rank()) };
+            (cm.is_master(), cm.num_slaves(), local)
+        });
+        assert_eq!(results[0], (true, 3, None));
+        for (i, r) in results.iter().enumerate().skip(1) {
+            assert_eq!(*r, (false, 3, Some(i - 1)), "slave {i}");
+        }
+    }
+
+    #[test]
+    fn announcement_and_run_task_flow() {
+        let cfg = TrainConfig::smoke(2);
+        let results = Universe::run(3, |world| {
+            let cm = CommManager::new(world);
+            if cm.is_master() {
+                let announcements = cm.collect_announcements();
+                for (i, a) in announcements.iter().enumerate() {
+                    assert_eq!(a.rank, i + 1);
+                    let task = RunTask {
+                        config: ConfigMsg::from(&TrainConfig::smoke(2)),
+                        cell_index: i,
+                    };
+                    cm.send_run_task(a.rank, &task);
+                }
+                announcements.len()
+            } else {
+                cm.announce_node(&format!("node{:02}", cm.world_rank()));
+                let task = cm.recv_run_task();
+                assert_eq!(task.cell_index, cm.world_rank() - 1);
+                assert_eq!(task.config.clone().into_config(), TrainConfig::smoke(2));
+                0
+            }
+        });
+        assert_eq!(results[0], 2);
+        let _ = cfg;
+    }
+
+    #[test]
+    fn center_exchange_orders_by_cell() {
+        let results = Universe::run(5, |world| {
+            let cm = CommManager::new(world);
+            if cm.is_master() {
+                return vec![];
+            }
+            let cell = cm.local_rank();
+            let snap = CellSnapshot {
+                cell,
+                gen_genome: vec![cell as f32; 3],
+                gen_lr: 1e-4,
+                gen_loss: lipiz_nn::GanLoss::Heuristic,
+                gen_fitness: cell as f64,
+                disc_genome: vec![-(cell as f32); 2],
+                disc_lr: 1e-4,
+                disc_fitness: 0.0,
+            };
+            cm.exchange_centers(&snap)
+                .into_iter()
+                .map(|s| s.gen_genome[0])
+                .collect::<Vec<f32>>()
+        });
+        for r in results.iter().skip(1) {
+            assert_eq!(r, &[0.0, 1.0, 2.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn heartbeat_round_trip() {
+        let results = Universe::run(2, |world| {
+            let cm = CommManager::new(world);
+            if cm.is_master() {
+                cm.request_status(1);
+                let status = cm.await_status(1, Duration::from_secs(5));
+                status.map(|s| (s.state, s.iterations_done))
+            } else {
+                assert!(cm.poll_status_request(Duration::from_secs(5)));
+                cm.respond_status(&StatusReport { state: 1, iterations_done: 7 });
+                None
+            }
+        });
+        assert_eq!(results[0], Some((1, 7)));
+    }
+
+    #[test]
+    fn result_gather_collects_all_slaves() {
+        let results = Universe::run(4, |world| {
+            let cm = CommManager::new(world);
+            if cm.is_master() {
+                let all = cm.gather_results(None).expect("master receives");
+                Some(all.iter().map(|r| (r.cell, r.gen_fitness)).collect::<Vec<_>>())
+            } else {
+                let cell = cm.local_rank();
+                cm.gather_results(Some(SlaveResult {
+                    cell,
+                    gen_fitness: cell as f64 * 0.1,
+                    disc_fitness: 0.0,
+                    mixture: vec![1.0],
+                    profile: vec![],
+                    wall_seconds: 0.0,
+                }));
+                None
+            }
+        });
+        assert_eq!(
+            results[0].as_ref().unwrap(),
+            &[(0, 0.0), (1, 0.1), (2, 0.2)]
+        );
+    }
+
+    #[test]
+    fn status_poll_times_out_quietly() {
+        Universe::run(2, |world| {
+            let cm = CommManager::new(world);
+            if !cm.is_master() {
+                assert!(!cm.poll_status_request(Duration::from_millis(10)));
+            }
+        });
+    }
+}

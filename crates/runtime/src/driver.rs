@@ -1,0 +1,118 @@
+//! One-call entry point for a distributed run.
+
+use crate::comm_manager::CommManager;
+use crate::master::{run_master, MasterOutcome};
+use crate::slave::run_slave;
+use lipiz_core::{TrainConfig, TrainReport};
+use lipiz_mpi::Universe;
+use lipiz_tensor::Matrix;
+use std::time::Duration;
+
+/// Knobs for the distributed runtime that are not part of the training
+/// configuration proper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistributedOptions {
+    /// Delay between heartbeat rounds ("Wait X seconds" in Fig. 3).
+    pub heartbeat_interval: Duration,
+}
+
+impl Default for DistributedOptions {
+    fn default() -> Self {
+        Self { heartbeat_interval: Duration::from_millis(50) }
+    }
+}
+
+/// Launch `cells + 1` ranks (Table II: an `m×m` grid uses `m² + 1` tasks),
+/// run the full master/slave protocol, and return the master's outcome.
+///
+/// `make_data(cell, cfg)` builds each slave's local dataset — it runs *on
+/// the slave rank*, mirroring Fig. 3's "download data" step.
+pub fn run_distributed(
+    cfg: &TrainConfig,
+    make_data: impl Fn(usize, &TrainConfig) -> Matrix + Send + Sync,
+    opts: DistributedOptions,
+) -> MasterOutcome {
+    let n = cfg.cells() + 1;
+    let mut outcomes = Universe::run(n, |world| {
+        let cm = CommManager::new(world);
+        if cm.is_master() {
+            Some(run_master(&cm, cfg, opts.heartbeat_interval))
+        } else {
+            let node = format!("node{:02}", cm.world_rank());
+            run_slave(&cm, &make_data, &node);
+            None
+        }
+    });
+    outcomes
+        .swap_remove(0)
+        .expect("master rank produces the outcome")
+}
+
+/// Convenience wrapper returning only the training report.
+pub fn run_distributed_report(
+    cfg: &TrainConfig,
+    make_data: impl Fn(usize, &TrainConfig) -> Matrix + Send + Sync,
+) -> TrainReport {
+    run_distributed(cfg, make_data, DistributedOptions::default()).report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lipiz_core::Routine;
+    use lipiz_tensor::Rng64;
+
+    fn toy_data(cell: usize, cfg: &TrainConfig) -> Matrix {
+        let _ = cell; // every cell trains on the same deterministic data
+        let mut rng = Rng64::seed_from(cfg.training.data_seed);
+        rng.uniform_matrix(cfg.training.dataset_size, cfg.network.data_dim, -0.9, 0.9)
+    }
+
+    #[test]
+    fn distributed_smoke_run_completes() {
+        let cfg = TrainConfig::smoke(2);
+        let outcome = run_distributed(&cfg, toy_data, DistributedOptions::default());
+        let report = &outcome.report;
+        assert_eq!(report.driver, "distributed");
+        assert_eq!(report.cells.len(), 4);
+        assert_eq!(report.iterations, 2);
+        assert!(report.wall_seconds > 0.0);
+        assert!(report.best().gen_fitness.is_finite());
+        // All four slaves announced themselves.
+        assert_eq!(outcome.announcements.len(), 4);
+        assert!(outcome.announcements.iter().all(|a| a.node_name.starts_with("node")));
+        // Training time was recorded per routine.
+        assert!(report.profile.seconds(Routine::Train) > 0.0);
+    }
+
+    #[test]
+    fn distributed_matches_sequential_exactly() {
+        // The headline equivalence: same config + same data ⇒ identical
+        // per-cell fitness and mixtures across drivers.
+        let cfg = TrainConfig::smoke(2);
+        let outcome = run_distributed(&cfg, toy_data, DistributedOptions::default());
+
+        let mut seq = lipiz_core::sequential::SequentialTrainer::new(&cfg, |cell| {
+            toy_data(cell, &cfg)
+        });
+        let seq_report = seq.run();
+
+        for (d, s) in outcome.report.cells.iter().zip(&seq_report.cells) {
+            assert_eq!(d.cell, s.cell);
+            assert_eq!(d.gen_fitness, s.gen_fitness, "cell {} gen fitness", d.cell);
+            assert_eq!(d.disc_fitness, s.disc_fitness, "cell {} disc fitness", d.cell);
+            assert_eq!(d.mixture_weights, s.mixture_weights, "cell {} mixture", d.cell);
+        }
+        assert_eq!(outcome.report.best_cell, seq_report.best_cell);
+    }
+
+    #[test]
+    fn heartbeat_observes_progress() {
+        let mut cfg = TrainConfig::smoke(2);
+        // Enough work that at least one heartbeat round lands mid-training.
+        cfg.coevolution.iterations = 6;
+        let opts = DistributedOptions { heartbeat_interval: Duration::from_millis(5) };
+        let outcome = run_distributed(&cfg, toy_data, opts);
+        assert!(!outcome.heartbeat.is_empty(), "no heartbeat rounds ran");
+    }
+}

@@ -1,0 +1,234 @@
+//! The master's heartbeat monitor thread (§III-B).
+//!
+//! "During the execution, the master periodically performs control
+//! activities to determine if all slaves are working properly, are on time,
+//! or are delayed … handled by a thread of the master process (the
+//! heartbeat thread), in order to perform the system monitoring in
+//! background."
+
+use crate::comm_manager::CommManager;
+use crate::state::SlaveState;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// One slave's status at one heartbeat round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeartbeatRecord {
+    /// Slave WORLD rank.
+    pub slave: usize,
+    /// Reported state, if the slave answered in time.
+    pub state: Option<SlaveState>,
+    /// Iterations the slave reported having completed.
+    pub iterations_done: u64,
+    /// True when the slave missed the response deadline (the paper's
+    /// "delayed" condition).
+    pub delayed: bool,
+}
+
+/// Full heartbeat log of a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HeartbeatLog {
+    /// One entry per round; each round has one record per slave.
+    pub rounds: Vec<Vec<HeartbeatRecord>>,
+}
+
+impl HeartbeatLog {
+    /// Number of rounds performed.
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// True when no rounds were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Did any slave ever miss a deadline?
+    pub fn any_delayed(&self) -> bool {
+        self.rounds.iter().flatten().any(|r| r.delayed)
+    }
+
+    /// Highest iteration count ever reported by any slave.
+    pub fn max_reported_iteration(&self) -> u64 {
+        self.rounds
+            .iter()
+            .flatten()
+            .map(|r| r.iterations_done)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Run heartbeat rounds until `stop` is set. Each round polls every slave
+/// with `response_timeout`, waits `interval` between rounds, and records
+/// results. Designed to run on its own thread of the master process.
+pub fn run_heartbeat_loop(
+    cm: &CommManager,
+    interval: Duration,
+    response_timeout: Duration,
+    stop: &AtomicBool,
+) -> HeartbeatLog {
+    let mut log = HeartbeatLog::default();
+    while !stop.load(Ordering::Acquire) {
+        let mut round = Vec::with_capacity(cm.num_slaves());
+        for slave in 1..=cm.num_slaves() {
+            cm.request_status(slave);
+        }
+        for slave in 1..=cm.num_slaves() {
+            match cm.await_status(slave, response_timeout) {
+                Some(status) => round.push(HeartbeatRecord {
+                    slave,
+                    state: SlaveState::from_id(status.state),
+                    iterations_done: status.iterations_done,
+                    delayed: false,
+                }),
+                None => round.push(HeartbeatRecord {
+                    slave,
+                    state: None,
+                    iterations_done: 0,
+                    delayed: true,
+                }),
+            }
+        }
+        log.rounds.push(round);
+        // Sleep in small slices so a stop request is honored promptly.
+        let mut remaining = interval;
+        let slice = Duration::from_millis(5);
+        while remaining > Duration::ZERO && !stop.load(Ordering::Acquire) {
+            let nap = remaining.min(slice);
+            std::thread::sleep(nap);
+            remaining = remaining.saturating_sub(nap);
+        }
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::StatusReport;
+    use lipiz_mpi::Universe;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn heartbeat_records_responsive_slaves() {
+        let results = Universe::run(3, |world| {
+            let cm = CommManager::new(world);
+            if cm.is_master() {
+                let stop = AtomicBool::new(false);
+                // Run exactly two rounds, then stop.
+                let log = {
+                    let mut log = HeartbeatLog::default();
+                    for _ in 0..2 {
+                        let partial = run_one_round(&cm);
+                        log.rounds.push(partial);
+                    }
+                    stop.store(true, Ordering::Release);
+                    log
+                };
+                Some(log)
+            } else {
+                // Answer exactly two status requests.
+                for i in 0..2u64 {
+                    assert!(cm.poll_status_request(Duration::from_secs(5)));
+                    cm.respond_status(&StatusReport {
+                        state: SlaveState::Processing.id(),
+                        iterations_done: i,
+                    });
+                }
+                None
+            }
+        });
+        let log = results[0].as_ref().unwrap();
+        assert_eq!(log.len(), 2);
+        assert!(!log.any_delayed());
+        assert_eq!(log.max_reported_iteration(), 1);
+        for round in &log.rounds {
+            assert_eq!(round.len(), 2);
+            assert!(round
+                .iter()
+                .all(|r| r.state == Some(SlaveState::Processing)));
+        }
+    }
+
+    fn run_one_round(cm: &CommManager) -> Vec<HeartbeatRecord> {
+        for slave in 1..=cm.num_slaves() {
+            cm.request_status(slave);
+        }
+        (1..=cm.num_slaves())
+            .map(|slave| match cm.await_status(slave, Duration::from_secs(5)) {
+                Some(s) => HeartbeatRecord {
+                    slave,
+                    state: SlaveState::from_id(s.state),
+                    iterations_done: s.iterations_done,
+                    delayed: false,
+                },
+                None => HeartbeatRecord {
+                    slave,
+                    state: None,
+                    iterations_done: 0,
+                    delayed: true,
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unresponsive_slave_is_flagged_delayed() {
+        let results = Universe::run(2, |world| {
+            let cm = CommManager::new(world);
+            if cm.is_master() {
+                cm.request_status(1);
+                let got = cm.await_status(1, Duration::from_millis(30));
+                Some(got.is_none())
+            } else {
+                // Deliberately never answer; just drain the request so the
+                // mailbox is clean.
+                let _ = cm.poll_status_request(Duration::from_secs(1));
+                None
+            }
+        });
+        assert_eq!(results[0], Some(true));
+    }
+
+    #[test]
+    fn heartbeat_loop_stops_on_flag() {
+        let results = Universe::run(2, |world| {
+            let cm = CommManager::new(world);
+            if cm.is_master() {
+                let stop = AtomicBool::new(false);
+                let answered = AtomicU64::new(0);
+                let log = std::thread::scope(|s| {
+                    let handle = s.spawn(|| {
+                        run_heartbeat_loop(
+                            &cm,
+                            Duration::from_millis(10),
+                            Duration::from_millis(50),
+                            &stop,
+                        )
+                    });
+                    std::thread::sleep(Duration::from_millis(80));
+                    stop.store(true, Ordering::Release);
+                    let log = handle.join().unwrap();
+                    answered.store(log.len() as u64, Ordering::Relaxed);
+                    log
+                });
+                assert!(!log.is_empty(), "no heartbeat rounds ran");
+                Some(log.len())
+            } else {
+                // Keep answering until the master goes quiet for a while.
+                let mut answered = 0u32;
+                while cm.poll_status_request(Duration::from_millis(200)) {
+                    cm.respond_status(&StatusReport {
+                        state: SlaveState::Processing.id(),
+                        iterations_done: 0,
+                    });
+                    answered += 1;
+                }
+                assert!(answered > 0);
+                None
+            }
+        });
+        assert!(results[0].unwrap() >= 1);
+    }
+}

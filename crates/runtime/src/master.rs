@@ -1,0 +1,205 @@
+//! Master process logic (Fig. 3, left side).
+//!
+//! The master: gathers node information, decides the workload assignment,
+//! distributes the parameter configuration, monitors the slaves with a
+//! background heartbeat thread, and finally gathers and reduces the
+//! results.
+
+use crate::comm_manager::CommManager;
+use crate::heartbeat::{run_heartbeat_loop, HeartbeatLog};
+use crate::protocol::{ConfigMsg, NodeAnnouncement, RunTask, SlaveResult};
+use lipiz_core::profiling::{ProfileReport, ProfileRow};
+use lipiz_core::{CellResult, Grid, Routine, TrainConfig, TrainReport};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Everything the master learned from a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MasterOutcome {
+    /// The combined training report (driver = "distributed").
+    pub report: TrainReport,
+    /// Node announcements received at startup.
+    pub announcements: Vec<NodeAnnouncement>,
+    /// Heartbeat monitoring log.
+    pub heartbeat: HeartbeatLog,
+    /// Raw per-slave results (cell order).
+    pub slave_results: Vec<SlaveResult>,
+}
+
+/// Workload assignment: which WORLD rank trains which grid cell.
+///
+/// Uniform partitioning (§III-A): the estimated workload in every cell is
+/// identical, so cell `i` simply goes to slave rank `i + 1`.
+pub fn assign_workload(num_slaves: usize) -> Vec<(usize, usize)> {
+    (0..num_slaves).map(|cell| (cell + 1, cell)).collect()
+}
+
+/// Run the complete master lifecycle.
+pub fn run_master(
+    cm: &CommManager,
+    cfg: &TrainConfig,
+    heartbeat_interval: Duration,
+) -> MasterOutcome {
+    assert_eq!(
+        cm.num_slaves(),
+        cfg.cells(),
+        "need exactly one slave per grid cell (Table II: m²+1 tasks)"
+    );
+    let start = Instant::now();
+
+    // i) gather infrastructure information.
+    let announcements = cm.collect_announcements();
+
+    // ii + iii) decide placement and assign workload.
+    let assignment = assign_workload(cm.num_slaves());
+
+    // iv) share the parameter configuration and launch the slaves.
+    let config_msg = ConfigMsg::from(cfg);
+    for &(rank, cell) in &assignment {
+        cm.send_run_task(rank, &RunTask { config: config_msg.clone(), cell_index: cell });
+    }
+
+    // Heartbeat thread monitors in the background while the master waits
+    // for the final gather.
+    let stop = AtomicBool::new(false);
+    let (slave_results, heartbeat) = std::thread::scope(|s| {
+        let hb_cm = cm.clone();
+        let stop_ref = &stop;
+        let hb = s.spawn(move || {
+            run_heartbeat_loop(
+                &hb_cm,
+                heartbeat_interval,
+                heartbeat_interval.max(Duration::from_millis(50)),
+                stop_ref,
+            )
+        });
+        let results = cm.gather_results(None).expect("master gathers results");
+        stop.store(true, Ordering::Release);
+        let log = hb.join().expect("heartbeat thread panicked");
+        (results, log)
+    });
+
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let report = reduce_results(cfg, &slave_results, wall_seconds);
+    MasterOutcome { report, announcements, heartbeat, slave_results }
+}
+
+/// Reduction phase: combine per-slave results into the final report and
+/// pick the best cell (lowest generator fitness).
+pub fn reduce_results(
+    cfg: &TrainConfig,
+    slave_results: &[SlaveResult],
+    wall_seconds: f64,
+) -> TrainReport {
+    let grid = Grid::from_config(&cfg.grid);
+    let cells: Vec<CellResult> = slave_results
+        .iter()
+        .map(|r| CellResult {
+            cell: r.cell,
+            coords: grid.coords(r.cell),
+            gen_fitness: r.gen_fitness,
+            disc_fitness: r.disc_fitness,
+            mixture_weights: r.mixture.clone(),
+        })
+        .collect();
+    let best_cell = cells
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.gen_fitness
+                .partial_cmp(&b.gen_fitness)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map_or(0, |(i, _)| i);
+
+    // Distributed profile: the mean across slaves (they run concurrently, so
+    // a per-rank view — not the sum — is what Table IV's distributed column
+    // reports).
+    let profile = mean_profile(slave_results);
+
+    TrainReport {
+        driver: "distributed".into(),
+        grid: (cfg.grid.rows, cfg.grid.cols),
+        iterations: cfg.coevolution.iterations,
+        wall_seconds,
+        profile,
+        cells,
+        best_cell,
+    }
+}
+
+/// Average the slaves' per-routine profiles.
+pub fn mean_profile(slave_results: &[SlaveResult]) -> ProfileReport {
+    let n = slave_results.len().max(1) as f64;
+    let rows = Routine::ALL
+        .iter()
+        .map(|r| {
+            let (mut secs, mut calls) = (0.0f64, 0u64);
+            for s in slave_results {
+                for row in &s.profile {
+                    if row.routine == r.name() {
+                        secs += row.seconds;
+                        calls = calls.max(row.calls);
+                    }
+                }
+            }
+            ProfileRow { routine: r.name().to_string(), seconds: secs / n, calls }
+        })
+        .collect();
+    ProfileReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ProfileRowMsg;
+
+    fn result(cell: usize, fit: f64, train_secs: f64) -> SlaveResult {
+        SlaveResult {
+            cell,
+            gen_fitness: fit,
+            disc_fitness: 0.5,
+            mixture: vec![1.0],
+            profile: vec![ProfileRowMsg {
+                routine: "train".into(),
+                seconds: train_secs,
+                calls: 4,
+            }],
+            wall_seconds: 1.0,
+        }
+    }
+
+    #[test]
+    fn workload_assignment_is_uniform() {
+        let a = assign_workload(4);
+        assert_eq!(a, vec![(1, 0), (2, 1), (3, 2), (4, 3)]);
+    }
+
+    #[test]
+    fn reduction_picks_lowest_fitness() {
+        let cfg = lipiz_core::TrainConfig::smoke(2);
+        let results: Vec<SlaveResult> =
+            (0..4).map(|c| result(c, 1.0 - c as f64 * 0.1, 2.0)).collect();
+        let report = reduce_results(&cfg, &results, 10.0);
+        assert_eq!(report.best_cell, 3);
+        assert_eq!(report.cells.len(), 4);
+        assert_eq!(report.driver, "distributed");
+        assert_eq!(report.grid, (2, 2));
+    }
+
+    #[test]
+    fn mean_profile_averages_across_slaves() {
+        let results = vec![result(0, 0.0, 2.0), result(1, 0.0, 4.0)];
+        let profile = mean_profile(&results);
+        assert!((profile.seconds(Routine::Train) - 3.0).abs() < 1e-9);
+        assert_eq!(profile.seconds(Routine::Gather), 0.0);
+    }
+
+    #[test]
+    fn coords_follow_grid_layout() {
+        let cfg = lipiz_core::TrainConfig::smoke(2);
+        let results: Vec<SlaveResult> = (0..4).map(|c| result(c, 0.1, 1.0)).collect();
+        let report = reduce_results(&cfg, &results, 1.0);
+        assert_eq!(report.cells[3].coords, (1, 1));
+    }
+}

@@ -1,0 +1,459 @@
+//! Typed wire messages exchanged between master and slaves.
+//!
+//! The orphan rule keeps `Wire` impls out of `lipiz-core`, so this module
+//! defines mirror structs for everything that crosses a rank boundary and
+//! converts to/from the core types at the edges.
+
+use lipiz_core::{
+    AdversaryStrategy, CellSnapshot, CoevolutionConfig, GridConfig, LossMode,
+    MutationConfig, NeighborhoodPattern, ProfileReport, TrainConfig, TrainingConfig,
+};
+use lipiz_core::config::{NetworkSettings, WireGanLoss};
+use lipiz_core::profiling::ProfileRow;
+use lipiz_mpi::wire::WireError;
+#[allow(unused_imports)]
+use lipiz_mpi::wire::Wire;
+use lipiz_mpi::wire_struct;
+use lipiz_nn::GanLoss;
+
+/// User-tag allocations on the WORLD communicator.
+pub mod tags {
+    /// Slave → master: node name announcement (Fig. 3 "send node name").
+    pub const NODE_NAME: u32 = 10;
+    /// Master → slave: run-task message (config + cell assignment).
+    pub const RUN_TASK: u32 = 11;
+    /// Master → slave: heartbeat status request.
+    pub const STATUS_REQ: u32 = 12;
+    /// Slave → master: heartbeat status response.
+    pub const STATUS_RESP: u32 = 13;
+}
+
+/// Fig. 3 "send node name to master".
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeAnnouncement {
+    /// WORLD rank of the slave.
+    pub rank: usize,
+    /// Host the slave runs on (synthetic hostname in-process).
+    pub node_name: String,
+}
+wire_struct!(NodeAnnouncement { rank, node_name });
+
+/// Master → slave workload assignment: the full configuration plus which
+/// grid cell this slave owns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTask {
+    /// Serialized training configuration.
+    pub config: ConfigMsg,
+    /// Flat grid index assigned to this slave.
+    pub cell_index: usize,
+}
+wire_struct!(RunTask { config, cell_index });
+
+/// Heartbeat status response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusReport {
+    /// Current state id ([`crate::state::SlaveState`]).
+    pub state: u8,
+    /// Iterations completed so far.
+    pub iterations_done: u64,
+}
+wire_struct!(StatusReport { state, iterations_done });
+
+/// Wire mirror of [`CellSnapshot`] (the LOCAL allgather payload).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotMsg {
+    /// Originating cell.
+    pub cell: usize,
+    /// Generator genome.
+    pub gen_genome: Vec<f32>,
+    /// Generator learning rate.
+    pub gen_lr: f32,
+    /// Generator loss id.
+    pub gen_loss: u8,
+    /// Generator fitness.
+    pub gen_fitness: f64,
+    /// Discriminator genome.
+    pub disc_genome: Vec<f32>,
+    /// Discriminator learning rate.
+    pub disc_lr: f32,
+    /// Discriminator fitness.
+    pub disc_fitness: f64,
+}
+wire_struct!(SnapshotMsg {
+    cell,
+    gen_genome,
+    gen_lr,
+    gen_loss,
+    gen_fitness,
+    disc_genome,
+    disc_lr,
+    disc_fitness,
+});
+
+impl From<&CellSnapshot> for SnapshotMsg {
+    fn from(s: &CellSnapshot) -> Self {
+        Self {
+            cell: s.cell,
+            gen_genome: s.gen_genome.clone(),
+            gen_lr: s.gen_lr,
+            gen_loss: s.gen_loss.id(),
+            gen_fitness: s.gen_fitness,
+            disc_genome: s.disc_genome.clone(),
+            disc_lr: s.disc_lr,
+            disc_fitness: s.disc_fitness,
+        }
+    }
+}
+
+impl SnapshotMsg {
+    /// Convert back into the core type.
+    ///
+    /// # Panics
+    /// Panics on an invalid loss id (protocol bug).
+    pub fn into_snapshot(self) -> CellSnapshot {
+        CellSnapshot {
+            cell: self.cell,
+            gen_genome: self.gen_genome,
+            gen_lr: self.gen_lr,
+            gen_loss: GanLoss::from_id(self.gen_loss).expect("valid loss id"),
+            gen_fitness: self.gen_fitness,
+            disc_genome: self.disc_genome,
+            disc_lr: self.disc_lr,
+            disc_fitness: self.disc_fitness,
+        }
+    }
+}
+
+/// One profile row on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRowMsg {
+    /// Routine label.
+    pub routine: String,
+    /// Accumulated seconds.
+    pub seconds: f64,
+    /// Call count.
+    pub calls: u64,
+}
+wire_struct!(ProfileRowMsg { routine, seconds, calls });
+
+/// Slave → master final result (gathered on the GLOBAL communicator).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlaveResult {
+    /// Grid cell this slave trained.
+    pub cell: usize,
+    /// Best generator fitness in the final sub-population.
+    pub gen_fitness: f64,
+    /// Best discriminator fitness.
+    pub disc_fitness: f64,
+    /// Final mixture weights.
+    pub mixture: Vec<f32>,
+    /// Per-routine profile rows.
+    pub profile: Vec<ProfileRowMsg>,
+    /// Wall seconds this slave spent in the training loop.
+    pub wall_seconds: f64,
+}
+wire_struct!(SlaveResult {
+    cell,
+    gen_fitness,
+    disc_fitness,
+    mixture,
+    profile,
+    wall_seconds,
+});
+
+impl SlaveResult {
+    /// Convert the profile rows into a core [`ProfileReport`].
+    pub fn profile_report(&self) -> ProfileReport {
+        ProfileReport {
+            rows: self
+                .profile
+                .iter()
+                .map(|r| ProfileRow {
+                    routine: r.routine.clone(),
+                    seconds: r.seconds,
+                    calls: r.calls,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Wire mirror of [`TrainConfig`] — flattened scalars only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigMsg {
+    grid_rows: usize,
+    grid_cols: usize,
+    pattern: u8,
+    latent_dim: usize,
+    hidden_layers: usize,
+    hidden_units: usize,
+    data_dim: usize,
+    iterations: usize,
+    population_per_cell: usize,
+    tournament_size: usize,
+    mixture_sigma: f32,
+    mixture_every: usize,
+    adversary_kind: u8,
+    adversary_k: usize,
+    initial_lr: f32,
+    mutation_rate: f32,
+    mutation_probability: f64,
+    loss_mode: u8,
+    fixed_loss: u8,
+    batch_size: usize,
+    batches_per_iteration: usize,
+    skip_disc_steps: usize,
+    dataset_size: usize,
+    data_seed: u64,
+    eval_batch: usize,
+    seed: u64,
+}
+wire_struct!(ConfigMsg {
+    grid_rows,
+    grid_cols,
+    pattern,
+    latent_dim,
+    hidden_layers,
+    hidden_units,
+    data_dim,
+    iterations,
+    population_per_cell,
+    tournament_size,
+    mixture_sigma,
+    mixture_every,
+    adversary_kind,
+    adversary_k,
+    initial_lr,
+    mutation_rate,
+    mutation_probability,
+    loss_mode,
+    fixed_loss,
+    batch_size,
+    batches_per_iteration,
+    skip_disc_steps,
+    dataset_size,
+    data_seed,
+    eval_batch,
+    seed,
+});
+
+fn pattern_id(p: NeighborhoodPattern) -> u8 {
+    match p {
+        NeighborhoodPattern::Cross5 => 0,
+        NeighborhoodPattern::Moore9 => 1,
+        NeighborhoodPattern::Isolated => 2,
+    }
+}
+
+fn pattern_from_id(id: u8) -> Result<NeighborhoodPattern, WireError> {
+    match id {
+        0 => Ok(NeighborhoodPattern::Cross5),
+        1 => Ok(NeighborhoodPattern::Moore9),
+        2 => Ok(NeighborhoodPattern::Isolated),
+        _ => Err(WireError::new("neighborhood pattern id")),
+    }
+}
+
+fn wire_loss_id(l: WireGanLoss) -> u8 {
+    let g: GanLoss = l.into();
+    g.id()
+}
+
+impl From<&TrainConfig> for ConfigMsg {
+    fn from(c: &TrainConfig) -> Self {
+        let (adversary_kind, adversary_k) = match c.coevolution.adversary {
+            AdversaryStrategy::Tournament(k) => (0u8, k),
+            AdversaryStrategy::All => (1u8, 0),
+        };
+        let (loss_mode, fixed_loss) = match c.mutation.loss_mode {
+            LossMode::Fixed(l) => (0u8, wire_loss_id(l)),
+            LossMode::Mutate => (1u8, 0),
+        };
+        Self {
+            grid_rows: c.grid.rows,
+            grid_cols: c.grid.cols,
+            pattern: pattern_id(c.grid.pattern),
+            latent_dim: c.network.latent_dim,
+            hidden_layers: c.network.hidden_layers,
+            hidden_units: c.network.hidden_units,
+            data_dim: c.network.data_dim,
+            iterations: c.coevolution.iterations,
+            population_per_cell: c.coevolution.population_per_cell,
+            tournament_size: c.coevolution.tournament_size,
+            mixture_sigma: c.coevolution.mixture_sigma,
+            mixture_every: c.coevolution.mixture_every,
+            adversary_kind,
+            adversary_k,
+            initial_lr: c.mutation.initial_lr,
+            mutation_rate: c.mutation.rate,
+            mutation_probability: c.mutation.probability,
+            loss_mode,
+            fixed_loss,
+            batch_size: c.training.batch_size,
+            batches_per_iteration: c.training.batches_per_iteration,
+            skip_disc_steps: c.training.skip_disc_steps,
+            dataset_size: c.training.dataset_size,
+            data_seed: c.training.data_seed,
+            eval_batch: c.training.eval_batch,
+            seed: c.seed,
+        }
+    }
+}
+
+impl ConfigMsg {
+    /// Rebuild the core config.
+    ///
+    /// # Panics
+    /// Panics on invalid enum ids (protocol bug).
+    pub fn into_config(self) -> TrainConfig {
+        let adversary = match self.adversary_kind {
+            0 => AdversaryStrategy::Tournament(self.adversary_k),
+            1 => AdversaryStrategy::All,
+            other => panic!("bad adversary kind {other}"),
+        };
+        let loss_mode = match self.loss_mode {
+            0 => {
+                let g = GanLoss::from_id(self.fixed_loss).expect("valid fixed loss id");
+                LossMode::Fixed(g.into())
+            }
+            1 => LossMode::Mutate,
+            other => panic!("bad loss mode {other}"),
+        };
+        TrainConfig {
+            grid: GridConfig {
+                rows: self.grid_rows,
+                cols: self.grid_cols,
+                pattern: pattern_from_id(self.pattern).expect("valid pattern id"),
+            },
+            network: NetworkSettings {
+                latent_dim: self.latent_dim,
+                hidden_layers: self.hidden_layers,
+                hidden_units: self.hidden_units,
+                data_dim: self.data_dim,
+            },
+            coevolution: CoevolutionConfig {
+                iterations: self.iterations,
+                population_per_cell: self.population_per_cell,
+                tournament_size: self.tournament_size,
+                mixture_sigma: self.mixture_sigma,
+                mixture_every: self.mixture_every,
+                adversary,
+            },
+            mutation: MutationConfig {
+                initial_lr: self.initial_lr,
+                rate: self.mutation_rate,
+                probability: self.mutation_probability,
+                loss_mode,
+            },
+            training: TrainingConfig {
+                batch_size: self.batch_size,
+                batches_per_iteration: self.batches_per_iteration,
+                skip_disc_steps: self.skip_disc_steps,
+                dataset_size: self.dataset_size,
+                data_seed: self.data_seed,
+                eval_batch: self.eval_batch,
+            },
+            seed: self.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_round_trips_exactly() {
+        for cfg in [
+            TrainConfig::paper_table1(),
+            TrainConfig::smoke(2),
+            TrainConfig::smoke(3).with_mustangs(),
+        ] {
+            let msg = ConfigMsg::from(&cfg);
+            let bytes = msg.to_bytes();
+            let back = ConfigMsg::from_bytes(&bytes).unwrap().into_config();
+            assert_eq!(back, cfg);
+        }
+    }
+
+    #[test]
+    fn config_with_all_strategy_round_trips() {
+        let mut cfg = TrainConfig::smoke(2);
+        cfg.coevolution.adversary = AdversaryStrategy::All;
+        cfg.grid.pattern = NeighborhoodPattern::Moore9;
+        let back = ConfigMsg::from_bytes(&ConfigMsg::from(&cfg).to_bytes())
+            .unwrap()
+            .into_config();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let snap = CellSnapshot {
+            cell: 7,
+            gen_genome: vec![1.0, -2.0, 3.0],
+            gen_lr: 2e-4,
+            gen_loss: GanLoss::LeastSquares,
+            gen_fitness: 0.75,
+            disc_genome: vec![0.5; 8],
+            disc_lr: 1e-4,
+            disc_fitness: 0.25,
+        };
+        let msg = SnapshotMsg::from(&snap);
+        let back = SnapshotMsg::from_bytes(&msg.to_bytes()).unwrap().into_snapshot();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn run_task_round_trips() {
+        let task = RunTask { config: ConfigMsg::from(&TrainConfig::smoke(2)), cell_index: 3 };
+        let back = RunTask::from_bytes(&task.to_bytes()).unwrap();
+        assert_eq!(back, task);
+    }
+
+    #[test]
+    fn slave_result_round_trips() {
+        let r = SlaveResult {
+            cell: 2,
+            gen_fitness: 0.5,
+            disc_fitness: 0.75,
+            mixture: vec![0.2, 0.8],
+            profile: vec![ProfileRowMsg {
+                routine: "train".into(),
+                seconds: 1.5,
+                calls: 10,
+            }],
+            wall_seconds: 2.25,
+        };
+        let back = SlaveResult::from_bytes(&r.to_bytes()).unwrap();
+        assert_eq!(back, r);
+        let report = back.profile_report();
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].routine, "train");
+    }
+
+    #[test]
+    fn status_and_announcement_round_trip() {
+        let s = StatusReport { state: 1, iterations_done: 42 };
+        assert_eq!(StatusReport::from_bytes(&s.to_bytes()).unwrap(), s);
+        let a = NodeAnnouncement { rank: 5, node_name: "node03".into() };
+        assert_eq!(NodeAnnouncement::from_bytes(&a.to_bytes()).unwrap(), a);
+    }
+
+    #[test]
+    fn corrupted_config_is_rejected() {
+        let msg = ConfigMsg::from(&TrainConfig::smoke(2));
+        let bytes = msg.to_bytes();
+        assert!(ConfigMsg::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let all = [tags::NODE_NAME, tags::RUN_TASK, tags::STATUS_REQ, tags::STATUS_RESP];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Slave process logic (Fig. 3, right side).
+//!
+//! Each slave runs two threads, exactly like the paper's design: the *main
+//! thread* is the communication interface with the master (it answers
+//! heartbeat status requests), while the *execution thread* performs the
+//! training. The execution thread also performs the per-iteration LOCAL
+//! allgather with the neighboring slaves — communication with peers
+//! overlaps the master's monitoring traffic without interference because
+//! they use different communicators.
+
+use crate::comm_manager::CommManager;
+use crate::protocol::{ProfileRowMsg, SlaveResult, StatusReport};
+use crate::state::SlaveState;
+use lipiz_core::{CellEngine, CellSnapshot, Grid, Profiler, TrainConfig};
+use lipiz_tensor::Matrix;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+
+/// How a slave builds its local dataset for an assigned cell ("download
+/// data" in Fig. 3 — every rank synthesizes the same data deterministically
+/// from the config's data seed).
+pub type DataFactory<'a> = &'a (dyn Fn(usize, &TrainConfig) -> Matrix + Sync);
+
+/// Run the complete slave lifecycle. Returns the final state (always
+/// `Finished` on a healthy run).
+pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) -> SlaveState {
+    let mut state = SlaveState::Inactive;
+
+    // Fig. 3: announce the node, then wait for the workload.
+    cm.announce_node(node_name);
+    let task = cm.recv_run_task();
+    let cfg = task.config.into_config();
+    let cell_index = task.cell_index;
+    state = state.transition(SlaveState::Processing);
+
+    // Shared status for the heartbeat answers.
+    let state_atomic = AtomicU8::new(state.id());
+    let iterations_done = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+
+    // "Download data (optional)" + engine assembly happen on the execution
+    // side of the fork below so the main thread can already answer
+    // heartbeats while data synthesis runs.
+    let mut result_slot: Option<SlaveResult> = None;
+
+    std::thread::scope(|s| {
+        // Execution thread: training loop with per-iteration allgather.
+        let exec_cm = cm.clone();
+        let exec_cfg = cfg.clone();
+        let exec = s.spawn({
+            let iterations_done = &iterations_done;
+            let done = &done;
+            let state_atomic = &state_atomic;
+            move || {
+                let start = Instant::now();
+                let data = make_data(cell_index, &exec_cfg);
+                let grid = Grid::from_config(&exec_cfg.grid);
+                let mut engine = CellEngine::new(cell_index, &exec_cfg, data);
+                let mut profiler = Profiler::new();
+                for _ in 0..exec_cfg.coevolution.iterations {
+                    // Gather: allgather my center, pick my neighbors.
+                    let gather_start = Instant::now();
+                    let snapshot = engine.snapshot();
+                    let all = exec_cm.exchange_centers(&snapshot);
+                    let neighbors: Vec<CellSnapshot> = grid
+                        .neighbors(cell_index)
+                        .into_iter()
+                        .map(|n| all[n].clone())
+                        .collect();
+                    profiler.record(
+                        lipiz_core::Routine::Gather,
+                        gather_start.elapsed(),
+                    );
+                    engine.run_iteration(&neighbors, &mut profiler);
+                    iterations_done.fetch_add(1, Ordering::Release);
+                }
+                state_atomic.store(SlaveState::Finished.id(), Ordering::Release);
+                done.store(true, Ordering::Release);
+                let disc_pop = engine.disc_population();
+                let disc_fitness =
+                    disc_pop.members()[disc_pop.best_index()].fitness;
+                SlaveResult {
+                    cell: cell_index,
+                    gen_fitness: engine.best_gen_fitness(),
+                    disc_fitness,
+                    mixture: engine.mixture().weights().to_vec(),
+                    profile: profiler
+                        .report()
+                        .rows
+                        .into_iter()
+                        .map(|r| ProfileRowMsg {
+                            routine: r.routine,
+                            seconds: r.seconds,
+                            calls: r.calls,
+                        })
+                        .collect(),
+                    wall_seconds: start.elapsed().as_secs_f64(),
+                }
+            }
+        });
+
+        // Main thread: answer the master's heartbeats until training ends.
+        while !done.load(Ordering::Acquire) {
+            if cm.poll_status_request(Duration::from_millis(10)) {
+                cm.respond_status(&StatusReport {
+                    state: state_atomic.load(Ordering::Acquire),
+                    iterations_done: iterations_done.load(Ordering::Acquire),
+                });
+            }
+        }
+        // Drain any last status request so the master's final round is not
+        // left hanging until its timeout.
+        while cm.poll_status_request(Duration::from_millis(1)) {
+            cm.respond_status(&StatusReport {
+                state: state_atomic.load(Ordering::Acquire),
+                iterations_done: iterations_done.load(Ordering::Acquire),
+            });
+        }
+        result_slot = Some(exec.join().expect("execution thread panicked"));
+    });
+
+    state = state.transition(SlaveState::Finished);
+
+    // Final gather: hand the result to the master on GLOBAL.
+    let result = result_slot.expect("execution thread produced a result");
+    cm.gather_results(Some(result));
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The full slave flow is exercised end-to-end in driver.rs tests and the
+    // workspace integration suite; here we pin unit-level properties.
+
+    #[test]
+    fn state_ids_used_by_slave_match_enum() {
+        assert_eq!(SlaveState::from_id(SlaveState::Processing.id()), Some(SlaveState::Processing));
+        assert_eq!(SlaveState::from_id(SlaveState::Finished.id()), Some(SlaveState::Finished));
+    }
+}

@@ -1,0 +1,125 @@
+//! Slave state machine (Fig. 2 of the paper).
+
+/// States of a slave process.
+///
+/// Transitions (Fig. 2): `Inactive → Processing` on receiving a *run task*
+/// message; `Processing → Finished` after the last training iteration.
+/// No other transition is legal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlaveState {
+    /// No workload received yet.
+    Inactive,
+    /// Executing the assigned training task.
+    Processing,
+    /// Training complete; waiting for the master to gather results.
+    Finished,
+}
+
+impl SlaveState {
+    /// Whether `self → next` is a legal transition.
+    pub fn can_transition(self, next: SlaveState) -> bool {
+        matches!(
+            (self, next),
+            (SlaveState::Inactive, SlaveState::Processing)
+                | (SlaveState::Processing, SlaveState::Finished)
+        )
+    }
+
+    /// Apply a transition.
+    ///
+    /// # Panics
+    /// Panics on an illegal transition — state bugs must be loud.
+    pub fn transition(self, next: SlaveState) -> SlaveState {
+        assert!(
+            self.can_transition(next),
+            "illegal slave transition {self:?} -> {next:?}"
+        );
+        next
+    }
+
+    /// Stable id for the wire protocol.
+    pub fn id(self) -> u8 {
+        match self {
+            SlaveState::Inactive => 0,
+            SlaveState::Processing => 1,
+            SlaveState::Finished => 2,
+        }
+    }
+
+    /// Inverse of [`SlaveState::id`].
+    pub fn from_id(id: u8) -> Option<SlaveState> {
+        match id {
+            0 => Some(SlaveState::Inactive),
+            1 => Some(SlaveState::Processing),
+            2 => Some(SlaveState::Finished),
+            _ => None,
+        }
+    }
+
+    /// Display name (matches Fig. 2 labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            SlaveState::Inactive => "inactive",
+            SlaveState::Processing => "processing",
+            SlaveState::Finished => "finished",
+        }
+    }
+
+    /// ASCII rendering of the full state machine (the `repro fig2` target).
+    pub fn render_machine() -> String {
+        concat!(
+            "          run task message            last iteration\n",
+            "[inactive] ----------------> [processing] ----------------> [finished]\n",
+        )
+        .to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legal_transitions() {
+        assert!(SlaveState::Inactive.can_transition(SlaveState::Processing));
+        assert!(SlaveState::Processing.can_transition(SlaveState::Finished));
+    }
+
+    #[test]
+    fn illegal_transitions() {
+        assert!(!SlaveState::Inactive.can_transition(SlaveState::Finished));
+        assert!(!SlaveState::Finished.can_transition(SlaveState::Processing));
+        assert!(!SlaveState::Processing.can_transition(SlaveState::Inactive));
+        assert!(!SlaveState::Inactive.can_transition(SlaveState::Inactive));
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal slave transition")]
+    fn transition_panics_on_violation() {
+        SlaveState::Finished.transition(SlaveState::Processing);
+    }
+
+    #[test]
+    fn full_lifecycle() {
+        let s = SlaveState::Inactive;
+        let s = s.transition(SlaveState::Processing);
+        let s = s.transition(SlaveState::Finished);
+        assert_eq!(s, SlaveState::Finished);
+    }
+
+    #[test]
+    fn id_round_trip() {
+        for s in [SlaveState::Inactive, SlaveState::Processing, SlaveState::Finished] {
+            assert_eq!(SlaveState::from_id(s.id()), Some(s));
+        }
+        assert_eq!(SlaveState::from_id(7), None);
+    }
+
+    #[test]
+    fn machine_rendering_names_all_states() {
+        let art = SlaveState::render_machine();
+        for s in [SlaveState::Inactive, SlaveState::Processing, SlaveState::Finished] {
+            assert!(art.contains(s.name()));
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Shape-mismatch error type shared by all matrix kernels.
+
+use std::fmt;
+
+/// Error raised when the dimensions of matrix operands do not line up.
+///
+/// Kernels in this crate use `debug_assert!`-style checked entry points that
+/// return `Result<_, ShapeError>` (`try_*` functions) plus panicking
+/// convenience wrappers for call sites where shapes are statically known.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// The operation that was attempted, e.g. `"matmul"`.
+    pub op: &'static str,
+    /// Shape of the left/first operand as `(rows, cols)`.
+    pub lhs: (usize, usize),
+    /// Shape of the right/second operand as `(rows, cols)`.
+    pub rhs: (usize, usize),
+}
+
+impl ShapeError {
+    /// Build a shape error for `op` with the two offending shapes.
+    pub fn new(op: &'static str, lhs: (usize, usize), rhs: (usize, usize)) -> Self {
+        Self { op, lhs, rhs }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch in {}: lhs {}x{} vs rhs {}x{}",
+            self.op, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_op_and_shapes() {
+        let e = ShapeError::new("matmul", (2, 3), (4, 5));
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn equality() {
+        let a = ShapeError::new("add", (1, 2), (3, 4));
+        let b = ShapeError::new("add", (1, 2), (3, 4));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,25 @@
+//! Dense f32 matrix kernels and seeded randomness for lipizzaner-rs.
+//!
+//! This crate is the numerical substrate of the workspace: a row-major
+//! [`Matrix`] type, cache-friendly matrix products (including the transposed
+//! variants backpropagation needs), elementwise kernels, axis reductions, a
+//! deterministic [`rng::Rng64`] with Gaussian sampling, and a small
+//! scoped-thread [`pool::Pool`] that provides the *intra-process* level of the
+//! paper's two-level parallel model (threads inside a rank, message passing
+//! across ranks).
+//!
+//! Everything is deliberately `f32`: the GANs reproduced here (MLPs from
+//! Table I of the paper) train in single precision, and half the memory
+//! traffic matters more than the extra mantissa bits.
+
+pub mod error;
+pub mod matrix;
+pub mod ops;
+pub mod pool;
+pub mod reduce;
+pub mod rng;
+
+pub use error::ShapeError;
+pub use matrix::Matrix;
+pub use pool::Pool;
+pub use rng::Rng64;

@@ -1,0 +1,343 @@
+//! Matrix products and elementwise kernels.
+//!
+//! The three product variants (`A·B`, `Aᵀ·B`, `A·Bᵀ`) are exactly the shapes
+//! dense-layer backpropagation needs; providing them directly avoids
+//! materializing transposed copies in the training hot loop. All products use
+//! an i-k-j loop order so the inner loop walks both operands contiguously,
+//! which lets LLVM vectorize the FMA chain.
+
+use crate::error::ShapeError;
+use crate::matrix::Matrix;
+use crate::pool::Pool;
+
+/// `out = a · b`, checked. `a: (m,k)`, `b: (k,n)` → `(m,n)`.
+pub fn try_matmul(a: &Matrix, b: &Matrix) -> Result<Matrix, ShapeError> {
+    if a.cols() != b.rows() {
+        return Err(ShapeError::new("matmul", a.shape(), b.shape()));
+    }
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    matmul_into(a, b, &mut out);
+    Ok(out)
+}
+
+/// `a · b`, panicking on shape mismatch.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    try_matmul(a, b).expect("matmul shape mismatch")
+}
+
+/// `out += a · b` for a pre-zeroed or accumulating output.
+///
+/// # Panics
+/// Panics if shapes do not line up.
+pub fn matmul_acc_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.cols(), b.rows(), "matmul inner dim");
+    assert_eq!(out.shape(), (a.rows(), b.cols()), "matmul out shape");
+    let n = b.cols();
+    let k = a.cols();
+    let bd = b.as_slice();
+    for i in 0..a.rows() {
+        let arow = a.row(i);
+        // Split borrow: out row is disjoint from a/b.
+        let orow = out.row_mut(i);
+        for (p, &av) in arow.iter().enumerate().take(k) {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `out = a · b`, overwriting `out`.
+pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    out.fill_zero();
+    matmul_acc_into(a, b, out);
+}
+
+/// `aᵀ · b`: `a: (k,m)`, `b: (k,n)` → `(m,n)`.
+///
+/// This is the weight-gradient product `xᵀ · δ` of a dense layer.
+pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "matmul_at_b shared dim");
+    let (k, m) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for p in 0..k {
+        let arow = a.row(p);
+        let brow = b.row(p);
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = out.row_mut(i);
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// `a · bᵀ`: `a: (m,k)`, `b: (n,k)` → `(m,n)`.
+///
+/// This is the input-gradient product `δ · Wᵀ` of a dense layer. The inner
+/// loop is a dot product of two contiguous rows.
+pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_a_bt shared dim");
+    let m = a.rows();
+    let n = b.rows();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let orow = out.row_mut(i);
+        for (j, o) in orow.iter_mut().enumerate().take(n) {
+            *o = dot(arow, b.row(j));
+        }
+    }
+    out
+}
+
+/// Dot product of two equal-length slices (unchecked length in release).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // 4-wide manual unroll: reliable vectorization without unsafe.
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc[0] += a[i] * b[i];
+        acc[1] += a[i + 1] * b[i + 1];
+        acc[2] += a[i + 2] * b[i + 2];
+        acc[3] += a[i + 3] * b[i + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// Parallel `a · b` using `pool` to split the rows of `a` across workers.
+///
+/// Falls back to the serial kernel when the pool has one worker or the
+/// problem is too small to amortize the spawn cost.
+pub fn matmul_pooled(a: &Matrix, b: &Matrix, pool: &Pool) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul inner dim");
+    let flops = a.rows() * a.cols() * b.cols();
+    if pool.workers() <= 1 || flops < 64 * 1024 {
+        return matmul(a, b);
+    }
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    let n = b.cols();
+    let k = a.cols();
+    let bd = b.as_slice();
+    let ad = a.as_slice();
+    pool.run_rows(a.rows(), n, out.as_mut_slice(), &|r0, rows, chunk| {
+        for (local_i, orow) in chunk.chunks_exact_mut(n).enumerate() {
+            let i = r0 + local_i;
+            debug_assert!(i < r0 + rows);
+            let arow = &ad[i * k..(i + 1) * k];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bd[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Elementwise `a + b` (checked).
+pub fn try_add(a: &Matrix, b: &Matrix) -> Result<Matrix, ShapeError> {
+    if a.shape() != b.shape() {
+        return Err(ShapeError::new("add", a.shape(), b.shape()));
+    }
+    let mut out = a.clone();
+    add_assign(&mut out, b);
+    Ok(out)
+}
+
+/// `a += b` elementwise.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn add_assign(a: &mut Matrix, b: &Matrix) {
+    assert_eq!(a.shape(), b.shape(), "add_assign shape");
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += y;
+    }
+}
+
+/// `a -= b` elementwise.
+pub fn sub_assign(a: &mut Matrix, b: &Matrix) {
+    assert_eq!(a.shape(), b.shape(), "sub_assign shape");
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x -= y;
+    }
+}
+
+/// Elementwise `a - b` (panicking).
+pub fn sub(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = a.clone();
+    sub_assign(&mut out, b);
+    out
+}
+
+/// Elementwise Hadamard product `a ⊙ b` (panicking).
+pub fn hadamard(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "hadamard shape");
+    let mut out = a.clone();
+    for (x, y) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x *= y;
+    }
+    out
+}
+
+/// `a *= s` for a scalar.
+pub fn scale_assign(a: &mut Matrix, s: f32) {
+    for x in a.as_mut_slice() {
+        *x *= s;
+    }
+}
+
+/// `y += alpha * x` on raw slices (the Adam/SGD update primitive).
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Add a row vector `bias` (length `cols`) to every row of `a`.
+pub fn add_row_vector(a: &mut Matrix, bias: &[f32]) {
+    assert_eq!(a.cols(), bias.len(), "add_row_vector width");
+    for r in 0..a.rows() {
+        for (x, b) in a.row_mut(r).iter_mut().zip(bias) {
+            *x += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for p in 0..a.cols() {
+                    s += a[(i, p)] * b[(p, j)];
+                }
+                out[(i, j)] = s;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = Rng64::seed_from(7);
+        let a = rng.uniform_matrix(5, 7, -1.0, 1.0);
+        let b = rng.uniform_matrix(7, 3, -1.0, 1.0);
+        let fast = matmul(&a, &b);
+        let slow = naive_matmul(&a, &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        assert!(try_matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let mut rng = Rng64::seed_from(8);
+        let a = rng.uniform_matrix(6, 4, -1.0, 1.0);
+        let b = rng.uniform_matrix(6, 5, -1.0, 1.0);
+        let fast = matmul_at_b(&a, &b);
+        let slow = matmul(&a.transpose(), &b);
+        assert!(fast.max_abs_diff(&slow) < 1e-5);
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let mut rng = Rng64::seed_from(9);
+        let a = rng.uniform_matrix(4, 6, -1.0, 1.0);
+        let b = rng.uniform_matrix(3, 6, -1.0, 1.0);
+        let fast = matmul_a_bt(&a, &b);
+        let slow = matmul(&a, &b.transpose());
+        assert!(fast.max_abs_diff(&slow) < 1e-5);
+    }
+
+    #[test]
+    fn pooled_matmul_matches_serial() {
+        let mut rng = Rng64::seed_from(10);
+        let a = rng.uniform_matrix(64, 96, -1.0, 1.0);
+        let b = rng.uniform_matrix(96, 80, -1.0, 1.0);
+        let pool = Pool::new(3);
+        let par = matmul_pooled(&a, &b, &pool);
+        let ser = matmul(&a, &b);
+        assert!(par.max_abs_diff(&ser) < 1e-5);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Rng64::seed_from(11);
+        let a = rng.uniform_matrix(4, 4, -2.0, 2.0);
+        let i = Matrix::identity(4);
+        assert!(matmul(&a, &i).max_abs_diff(&a) < 1e-6);
+        assert!(matmul(&i, &a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::full(2, 2, 2.0);
+        let sum = try_add(&a, &b).unwrap();
+        assert_eq!(sum[(1, 1)], 6.0);
+        let d = sub(&sum, &b);
+        assert!(d.max_abs_diff(&a) < 1e-7);
+        let h = hadamard(&a, &b);
+        assert_eq!(h[(1, 0)], 6.0);
+        let mut s = a.clone();
+        scale_assign(&mut s, 0.5);
+        assert_eq!(s[(0, 1)], 1.0);
+    }
+
+    #[test]
+    fn add_row_vector_broadcasts() {
+        let mut a = Matrix::zeros(3, 2);
+        add_row_vector(&mut a, &[1.0, -1.0]);
+        for r in 0..3 {
+            assert_eq!(a.row(r), &[1.0, -1.0]);
+        }
+    }
+
+    #[test]
+    fn axpy_updates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [1.0, 1.0, 1.0];
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y, [1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn dot_handles_remainder() {
+        let a: Vec<f32> = (0..7).map(|i| i as f32).collect();
+        let b = vec![2.0f32; 7];
+        assert_eq!(dot(&a, &b), 2.0 * (0..7).sum::<i32>() as f32);
+    }
+}

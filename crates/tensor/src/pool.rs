@@ -1,0 +1,178 @@
+//! Scoped worker pool for intra-rank parallelism.
+//!
+//! The paper's implementation is two-level parallel: MPI across ranks plus
+//! multithreading inside each process (§III-A). [`Pool`] is that inner level.
+//! It deliberately uses `std::thread::scope` per call instead of a resident
+//! pool: the parallel sections here are coarse (whole matrix products), the
+//! spawn cost is negligible against them, and scoped threads let us borrow
+//! the operands without any `Arc`/channel machinery or unsafe code.
+
+use std::ops::Range;
+
+/// A fixed-width fork/join helper.
+///
+/// `Pool::new(1)` (or [`Pool::serial`]) makes every `run_*` call execute
+/// inline, which keeps single-threaded baselines honest: they pay zero
+/// synchronization cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// Create a pool that splits work across `workers` threads (min 1).
+    pub fn new(workers: usize) -> Self {
+        Self { workers: workers.max(1) }
+    }
+
+    /// A pool that always runs inline on the calling thread.
+    pub fn serial() -> Self {
+        Self { workers: 1 }
+    }
+
+    /// Pool sized to the host's available parallelism.
+    pub fn host() -> Self {
+        let n = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::new(n)
+    }
+
+    /// Number of worker threads this pool fans out to.
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Split `rows` rows of a `row_width`-wide output buffer across workers.
+    ///
+    /// `f(start_row, n_rows, chunk)` receives a disjoint mutable chunk of
+    /// `out` covering rows `[start_row, start_row + n_rows)`.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != rows * row_width`.
+    pub fn run_rows(
+        &self,
+        rows: usize,
+        row_width: usize,
+        out: &mut [f32],
+        f: &(dyn Fn(usize, usize, &mut [f32]) + Sync),
+    ) {
+        assert_eq!(out.len(), rows * row_width, "run_rows buffer size");
+        if self.workers == 1 || rows <= 1 {
+            f(0, rows, out);
+            return;
+        }
+        let nchunks = self.workers.min(rows);
+        let base = rows / nchunks;
+        let extra = rows % nchunks;
+        std::thread::scope(|s| {
+            let mut rest = out;
+            let mut row0 = 0;
+            for c in 0..nchunks {
+                let take = base + usize::from(c < extra);
+                let (chunk, tail) = rest.split_at_mut(take * row_width);
+                rest = tail;
+                let start = row0;
+                row0 += take;
+                s.spawn(move || f(start, take, chunk));
+            }
+            debug_assert!(rest.is_empty());
+        });
+    }
+
+    /// Run `f` over disjoint index ranges covering `0..n` in parallel.
+    ///
+    /// Useful for read-only sweeps (e.g. evaluating several adversaries).
+    pub fn run_ranges(&self, n: usize, f: &(dyn Fn(Range<usize>) + Sync)) {
+        if self.workers == 1 || n <= 1 {
+            f(0..n);
+            return;
+        }
+        let nchunks = self.workers.min(n);
+        let base = n / nchunks;
+        let extra = n % nchunks;
+        std::thread::scope(|s| {
+            let mut start = 0;
+            for c in 0..nchunks {
+                let take = base + usize::from(c < extra);
+                let range = start..start + take;
+                start += take;
+                s.spawn(move || f(range));
+            }
+        });
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn serial_pool_runs_inline() {
+        let pool = Pool::serial();
+        let mut out = vec![0.0; 6];
+        pool.run_rows(3, 2, &mut out, &|r0, rows, chunk| {
+            for (i, row) in chunk.chunks_exact_mut(2).enumerate() {
+                row[0] = (r0 + i) as f32;
+                row[1] = rows as f32;
+            }
+        });
+        assert_eq!(out, vec![0.0, 3.0, 1.0, 3.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn parallel_rows_cover_everything_once() {
+        let pool = Pool::new(4);
+        let rows = 13;
+        let width = 3;
+        let mut out = vec![0.0; rows * width];
+        pool.run_rows(rows, width, &mut out, &|r0, _rows, chunk| {
+            for (i, row) in chunk.chunks_exact_mut(width).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (r0 + i) as f32 + 1.0;
+                }
+            }
+        });
+        for r in 0..rows {
+            for c in 0..width {
+                assert_eq!(out[r * width + c], (r + 1) as f32, "row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_ranges_partitions_exactly() {
+        let pool = Pool::new(3);
+        let hits = AtomicUsize::new(0);
+        pool.run_ranges(10, &|range| {
+            hits.fetch_add(range.len(), Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn more_workers_than_rows() {
+        let pool = Pool::new(8);
+        let mut out = vec![0.0; 2];
+        pool.run_rows(2, 1, &mut out, &|r0, _n, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (r0 + i) as f32;
+            }
+        });
+        assert_eq!(out, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_rows_is_noop() {
+        let pool = Pool::new(2);
+        let mut out: Vec<f32> = vec![];
+        pool.run_rows(0, 4, &mut out, &|_, _, _| {});
+        pool.run_ranges(0, &|r| assert!(r.is_empty()));
+    }
+}

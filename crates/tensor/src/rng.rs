@@ -1,0 +1,243 @@
+//! Deterministic random number generation.
+//!
+//! Every stochastic component in the workspace (weight init, latent samples,
+//! batch shuffles, hyperparameter mutation, tournament draws) pulls from an
+//! [`Rng64`] seeded from the experiment seed and the cell's grid coordinates.
+//! Determinism is what lets the integration tests assert that the sequential
+//! driver, the threaded distributed runtime, and the virtual-time cluster
+//! simulator all produce *bit-identical* trained genomes.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng as _, RngCore, SeedableRng};
+
+/// Seeded RNG wrapper with the sampling helpers the trainer needs.
+///
+/// Wraps `rand`'s `StdRng` and adds Box–Muller Gaussian sampling (the offline
+/// crate set does not include `rand_distr`).
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    inner: StdRng,
+    /// Cached second output of the last Box–Muller draw.
+    spare_gauss: Option<f64>,
+}
+
+impl Rng64 {
+    /// Construct from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        Self { inner: StdRng::seed_from_u64(seed), spare_gauss: None }
+    }
+
+    /// Derive a child RNG from this one plus a stream id.
+    ///
+    /// Used to give each cell / each purpose (init vs. batching vs. mutation)
+    /// its own independent stream so adding draws to one does not perturb the
+    /// others.
+    pub fn derive(&mut self, stream: u64) -> Rng64 {
+        // Mix the stream id with fresh entropy from the parent stream using
+        // splitmix64 so that nearby stream ids give unrelated child seeds.
+        let base = self.inner.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Rng64::seed_from(splitmix64(base))
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Raw 64-bit draw (for deriving seeds of sub-components).
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "Rng64::below(0)");
+        self.inner.random_range(0..n)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.random::<f64>() < p
+    }
+
+    /// Standard normal draw via Box–Muller (mean 0, std 1).
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(z) = self.spare_gauss.take() {
+            return z;
+        }
+        // Draw u1 in (0, 1] to keep ln finite.
+        let u1 = 1.0 - self.inner.random::<f64>();
+        let u2 = self.inner.random::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.spare_gauss = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation, as `f32`.
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        (mean as f64 + std as f64 * self.gaussian()) as f32
+    }
+
+    /// Matrix with i.i.d. uniform entries in `[lo, hi)`.
+    pub fn uniform_matrix(&mut self, rows: usize, cols: usize, lo: f32, hi: f32) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for v in m.as_mut_slice() {
+            *v = self.uniform(lo, hi);
+        }
+        m
+    }
+
+    /// Matrix with i.i.d. normal entries.
+    pub fn normal_matrix(&mut self, rows: usize, cols: usize, mean: f32, std: f32) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for v in m.as_mut_slice() {
+            *v = self.normal(mean, std);
+        }
+        m
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// A shuffled permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx
+    }
+
+    /// `k` distinct indices drawn uniformly from `0..n` (k ≤ n).
+    ///
+    /// # Panics
+    /// Panics if `k > n`.
+    pub fn sample_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "sample_distinct k > n");
+        // Partial Fisher-Yates: O(n) setup is fine at our sizes (n ≤ 25).
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.below(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+/// splitmix64 finalizer: decorrelates sequential seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng64::seed_from(42);
+        let mut b = Rng64::seed_from(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(-1.0, 1.0), b.uniform(-1.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng64::seed_from(1);
+        let mut b = Rng64::seed_from(2);
+        let va: Vec<f32> = (0..16).map(|_| a.uniform(0.0, 1.0)).collect();
+        let vb: Vec<f32> = (0..16).map(|_| b.uniform(0.0, 1.0)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = Rng64::seed_from(123);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = Rng64::seed_from(5);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Rng64::seed_from(6);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = Rng64::seed_from(7);
+        let mut p = rng.permutation(20);
+        p.sort_unstable();
+        assert_eq!(p, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_distinct_unique_and_bounded() {
+        let mut rng = Rng64::seed_from(8);
+        let s = rng.sample_distinct(10, 5);
+        assert_eq!(s.len(), 5);
+        let mut t = s.clone();
+        t.sort_unstable();
+        t.dedup();
+        assert_eq!(t.len(), 5);
+        assert!(s.iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    fn derive_streams_are_independent() {
+        let mut parent1 = Rng64::seed_from(99);
+        let mut parent2 = Rng64::seed_from(99);
+        let mut c1 = parent1.derive(0);
+        let mut c2 = parent2.derive(0);
+        // Identical derivations agree...
+        assert_eq!(c1.uniform(0.0, 1.0), c2.uniform(0.0, 1.0));
+        // ...but different stream ids diverge.
+        let mut parent3 = Rng64::seed_from(99);
+        let mut c3 = parent3.derive(1);
+        let a: Vec<f32> = (0..8).map(|_| c1.uniform(0.0, 1.0)).collect();
+        let b: Vec<f32> = (0..8).map(|_| c3.uniform(0.0, 1.0)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn normal_matrix_shape_and_spread() {
+        let mut rng = Rng64::seed_from(10);
+        let m = rng.normal_matrix(10, 10, 0.0, 0.5);
+        assert_eq!(m.shape(), (10, 10));
+        assert!(m.all_finite());
+        let spread = m.as_slice().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        assert!(spread > 0.1 && spread < 4.0);
+    }
+}

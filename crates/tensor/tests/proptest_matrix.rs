@@ -1,0 +1,115 @@
+//! Property tests for the matrix substrate.
+
+use lipiz_tensor::{ops, reduce, Matrix, Pool, Rng64};
+use proptest::prelude::*;
+
+fn matrix(max_r: usize, max_c: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_r, 1..=max_c).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-100.0f32..100.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn identity_is_left_and_right_neutral(m in matrix(8, 8)) {
+        let left = Matrix::identity(m.rows());
+        let right = Matrix::identity(m.cols());
+        prop_assert!(ops::matmul(&left, &m).max_abs_diff(&m) < 1e-3);
+        prop_assert!(ops::matmul(&m, &right).max_abs_diff(&m) < 1e-3);
+    }
+
+    #[test]
+    fn matmul_associativity(seed in 0u64..10_000) {
+        let mut rng = Rng64::seed_from(seed);
+        let a = rng.uniform_matrix(3, 4, -1.0, 1.0);
+        let b = rng.uniform_matrix(4, 5, -1.0, 1.0);
+        let c = rng.uniform_matrix(5, 2, -1.0, 1.0);
+        let ab_c = ops::matmul(&ops::matmul(&a, &b), &c);
+        let a_bc = ops::matmul(&a, &ops::matmul(&b, &c));
+        prop_assert!(ab_c.max_abs_diff(&a_bc) < 1e-3);
+    }
+
+    #[test]
+    fn pooled_matmul_equals_serial(seed in 0u64..10_000, workers in 1usize..4) {
+        let mut rng = Rng64::seed_from(seed);
+        let a = rng.uniform_matrix(17, 23, -1.0, 1.0);
+        let b = rng.uniform_matrix(23, 11, -1.0, 1.0);
+        let serial = ops::matmul(&a, &b);
+        let pooled = ops::matmul_pooled(&a, &b, &Pool::new(workers));
+        prop_assert!(serial.max_abs_diff(&pooled) < 1e-5);
+    }
+
+    #[test]
+    fn vstack_then_slice_recovers_parts(a in matrix(5, 4), seed in 0u64..100) {
+        let mut rng = Rng64::seed_from(seed);
+        let b = rng.uniform_matrix(3, a.cols(), -1.0, 1.0);
+        let stacked = Matrix::vstack(&[&a, &b]).unwrap();
+        prop_assert_eq!(stacked.slice_rows(0, a.rows()), a.clone());
+        prop_assert_eq!(stacked.slice_rows(a.rows(), a.rows() + 3), b);
+    }
+
+    #[test]
+    fn gather_rows_picks_expected_rows(m in matrix(8, 5), seed in 0u64..100) {
+        let mut rng = Rng64::seed_from(seed);
+        let indices: Vec<usize> = (0..4).map(|_| rng.below(m.rows())).collect();
+        let g = m.gather_rows(&indices);
+        for (out_row, &src) in indices.iter().enumerate() {
+            prop_assert_eq!(g.row(out_row), m.row(src));
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(n in 1usize..64, seed in 0u64..1000) {
+        let mut rng = Rng64::seed_from(seed);
+        let mut xs: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn col_mean_matches_manual(m in matrix(6, 6)) {
+        let means = reduce::col_mean(&m);
+        for c in 0..m.cols() {
+            let manual: f32 =
+                (0..m.rows()).map(|r| m[(r, c)]).sum::<f32>() / m.rows() as f32;
+            prop_assert!((means[c] - manual).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn covariance_is_symmetric_psd_diagonal(m in matrix(8, 4)) {
+        let cov = reduce::col_covariance(&m);
+        for i in 0..cov.rows() {
+            prop_assert!(cov[(i, i)] >= -1e-3, "negative variance at {}", i);
+            for j in 0..cov.cols() {
+                prop_assert!((cov[(i, j)] - cov[(j, i)]).abs() < 1e-2);
+            }
+        }
+    }
+
+    #[test]
+    fn normal_draws_are_finite(seed in 0u64..10_000) {
+        let mut rng = Rng64::seed_from(seed);
+        for _ in 0..100 {
+            let v = rng.gaussian();
+            prop_assert!(v.is_finite());
+            prop_assert!(v.abs() < 10.0, "absurd normal draw {}", v);
+        }
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct(n in 1usize..32, seed in 0u64..1000) {
+        let mut rng = Rng64::seed_from(seed);
+        let k = 1 + seed as usize % n;
+        let s = rng.sample_distinct(n, k);
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), s.len());
+    }
+}

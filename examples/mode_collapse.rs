@@ -1,0 +1,76 @@
+//! Why cellular training: mode collapse on the ring-of-Gaussians toy set.
+//!
+//! ```text
+//! cargo run --release --example mode_collapse
+//! ```
+//!
+//! Trains (a) a single isolated GAN and (b) a 2×2 cellular grid on the
+//! classic 8-mode ring, then compares how many modes each covers. The
+//! isolated GAN routinely drops modes; the coevolutionary grid's diverse
+//! sub-populations and migration pressure keep more of the ring alive —
+//! the motivation the paper cites for Lipizzaner-style training (§I, §II).
+
+use lipizzaner::prelude::*;
+
+fn ring_config(grid_m: usize, pattern: NeighborhoodPattern) -> TrainConfig {
+    let mut cfg = TrainConfig::smoke(grid_m);
+    cfg.grid.pattern = pattern;
+    cfg.network.latent_dim = 8;
+    cfg.network.hidden_layers = 2;
+    cfg.network.hidden_units = 32;
+    cfg.network.data_dim = 2;
+    cfg.coevolution.iterations = 30;
+    cfg.coevolution.mixture_every = 5;
+    cfg.training.batch_size = 64;
+    cfg.training.batches_per_iteration = 8;
+    cfg.training.dataset_size = 1024;
+    cfg.training.eval_batch = 128;
+    cfg.mutation.initial_lr = 1e-3;
+    cfg
+}
+
+fn covered_by(cfg: &TrainConfig, ring: &RingDataset, label: &str) -> usize {
+    let data = ring.points.clone();
+    let mut trainer = SequentialTrainer::new(cfg, |_| data.clone());
+    let report = trainer.run();
+    let mut rng = Rng64::seed_from(7);
+    // Sample from the best cell's ensemble.
+    let ensembles = trainer.ensembles();
+    let samples = ensembles[report.best_cell].sample(512, &mut rng);
+    let covered = ring.covered_modes(&samples, 0.02);
+    println!(
+        "{label}: {covered}/8 modes covered (best cell {}, G fitness {:.3}, {:.1}s)",
+        report.best().cell,
+        report.best().gen_fitness,
+        report.wall_seconds
+    );
+    covered
+}
+
+fn main() {
+    let ring = RingDataset::standard(1024, 42);
+    println!(
+        "ring dataset: {} samples over {} modes, radius {}, sigma {}\n",
+        ring.len(),
+        ring.num_modes,
+        ring.radius,
+        ring.sigma
+    );
+
+    // Baseline: one isolated GAN (1×1 grid, no neighbors, no migration).
+    let isolated = ring_config(1, NeighborhoodPattern::Isolated);
+    let covered_isolated = covered_by(&isolated, &ring, "isolated single GAN  ");
+
+    // Cellular: 2×2 toroidal grid with the paper's five-cell neighborhood.
+    let cellular = ring_config(2, NeighborhoodPattern::Cross5);
+    let covered_cellular = covered_by(&cellular, &ring, "2x2 cellular grid    ");
+
+    println!(
+        "\ncellular training covered {covered_cellular} modes vs {covered_isolated} for the isolated baseline"
+    );
+    if covered_cellular >= covered_isolated {
+        println!("=> the coevolutionary grid resists mode collapse at least as well");
+    } else {
+        println!("=> unlucky seed: try a different data seed (training is stochastic)");
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: a minimal cellular coevolutionary GAN training run.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Trains a 2×2 grid of tiny GANs on a synthetic dataset with the
+//! sequential driver, then prints the per-cell outcome and the routine
+//! profile (the same four routines the paper's Table IV analyses).
+
+use lipizzaner::prelude::*;
+
+fn main() {
+    // A small-but-real configuration: same algorithm and phases as the
+    // paper's Table I setup, toy sizes so this finishes in seconds.
+    let mut cfg = TrainConfig::smoke(2);
+    cfg.coevolution.iterations = 5;
+    cfg.training.batches_per_iteration = 4;
+
+    // Deterministic synthetic data in [-1, 1].
+    let mut rng = Rng64::seed_from(cfg.training.data_seed);
+    let data = rng.uniform_matrix(cfg.training.dataset_size, cfg.network.data_dim, -0.9, 0.9);
+
+    println!("training a {}x{} toroidal grid, {} iterations ...", cfg.grid.rows, cfg.grid.cols, cfg.coevolution.iterations);
+    let mut trainer = SequentialTrainer::new(&cfg, |_| data.clone());
+    let report = trainer.run();
+
+    println!("\nper-cell results (fitness = adversarial loss, lower is better):");
+    for cell in &report.cells {
+        println!(
+            "  cell {:>2} at {:?}: G fitness {:.4}, D fitness {:.4}",
+            cell.cell, cell.coords, cell.gen_fitness, cell.disc_fitness
+        );
+    }
+    println!(
+        "\nbest cell: {} (G fitness {:.4})",
+        report.best().cell,
+        report.best().gen_fitness
+    );
+
+    println!("\nroutine profile (Table IV's rows):");
+    for routine in Routine::ALL {
+        let secs = report.profile.seconds(routine);
+        if secs > 0.0 {
+            println!("  {:<16} {:.4}s", routine.name(), secs);
+        }
+    }
+
+    // Sample from the winning cell's ensemble.
+    let mut ensembles = trainer.ensembles();
+    let best = ensembles.swap_remove(report.best_cell);
+    let samples = best.sample(4, &mut rng);
+    println!(
+        "\nsampled {} vectors from the best ensemble ({} mixture components)",
+        samples.rows(),
+        best.components()
+    );
+    println!("done in {:.2}s", report.wall_seconds);
+}

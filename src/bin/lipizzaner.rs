@@ -1,0 +1,245 @@
+//! `lipizzaner` — command-line front end for cellular GAN training.
+//!
+//! ```text
+//! lipizzaner train --grid 2 --iterations 8 --driver sequential --out model.lpz
+//! lipizzaner train --grid 3 --driver distributed --mustangs
+//! lipizzaner sample --model model.lpz --count 16 --gallery samples.pgm
+//! lipizzaner info  --model model.lpz
+//! ```
+
+use lipizzaner::core::persist;
+use lipizzaner::data::image;
+use lipizzaner::prelude::*;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("train") => cmd_train(&args[1..]),
+        Some("sample") => cmd_sample(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: lipizzaner <train|sample|info> [options]\n\
+                 \n\
+                 train   --grid N --iterations I --batches B --driver sequential|distributed|cluster-sim\n\
+                 \u{20}       --mustangs --shards --out FILE.lpz\n\
+                 sample  --model FILE.lpz --count N [--gallery FILE.pgm]\n\
+                 info    --model FILE.lpz"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag_present(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn cmd_train(args: &[String]) -> ExitCode {
+    let grid: usize = flag_value(args, "--grid").and_then(|v| v.parse().ok()).unwrap_or(2);
+    let iterations: usize =
+        flag_value(args, "--iterations").and_then(|v| v.parse().ok()).unwrap_or(6);
+    let batches: usize =
+        flag_value(args, "--batches").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let driver = flag_value(args, "--driver").unwrap_or("sequential").to_string();
+    let out = flag_value(args, "--out").map(PathBuf::from);
+
+    // A laptop-scale digit config (Table I shape, reduced capacity).
+    let mut cfg = TrainConfig::smoke(grid);
+    cfg.network.latent_dim = 16;
+    cfg.network.hidden_layers = 1;
+    cfg.network.hidden_units = 48;
+    cfg.network.data_dim = lipizzaner::data::IMAGE_DIM;
+    cfg.coevolution.iterations = iterations;
+    cfg.coevolution.mixture_every = 3;
+    cfg.training.batch_size = 32;
+    cfg.training.batches_per_iteration = batches;
+    cfg.training.dataset_size = 640;
+    cfg.training.eval_batch = 64;
+    cfg.mutation.initial_lr = 1e-3;
+    if flag_present(args, "--mustangs") {
+        cfg = cfg.with_mustangs();
+    }
+    let use_shards = flag_present(args, "--shards");
+    let cells = cfg.cells();
+
+    println!(
+        "training {grid}x{grid} grid, {iterations} iterations x {batches} batches, driver: {driver}"
+    );
+    let digits = SynthDigits::generate(cfg.training.dataset_size, cfg.training.data_seed);
+    let full = digits.images.clone();
+    let make_data = move |cell: usize| -> Matrix {
+        if use_shards {
+            lipizzaner::data::DataPartition::Shards.slice_for_cell(&full, cells, cell, 0)
+        } else {
+            full.clone()
+        }
+    };
+
+    let (report, best_model) = match driver.as_str() {
+        "sequential" => {
+            let mut t = SequentialTrainer::new(&cfg, make_data);
+            let report = t.run();
+            let mut ensembles = t.ensembles();
+            let best = ensembles.swap_remove(report.best_cell);
+            (report, best)
+        }
+        "cluster-sim" => {
+            let sim = SimulatedCluster::cluster_uy(SimulationOptions::default());
+            let outcome = sim.run(&cfg, make_data);
+            // Rebuild the winning ensemble with a sequential pass (the sim
+            // reports fitness; ensembles live in its engines).
+            let mut t = {
+                let digits2 =
+                    SynthDigits::generate(cfg.training.dataset_size, cfg.training.data_seed);
+                let full2 = digits2.images;
+                let cells2 = cfg.cells();
+                SequentialTrainer::new(&cfg, move |cell| {
+                    if use_shards {
+                        lipizzaner::data::DataPartition::Shards
+                            .slice_for_cell(&full2, cells2, cell, 0)
+                    } else {
+                        full2.clone()
+                    }
+                })
+            };
+            t.run();
+            let mut ensembles = t.ensembles();
+            let best = ensembles.swap_remove(outcome.report.best_cell);
+            (outcome.report, best)
+        }
+        "distributed" => {
+            let outcome = lipizzaner::runtime::run_distributed(
+                &cfg,
+                move |cell, cfg| {
+                    let digits =
+                        SynthDigits::generate(cfg.training.dataset_size, cfg.training.data_seed);
+                    if use_shards {
+                        lipizzaner::data::DataPartition::Shards.slice_for_cell(
+                            &digits.images,
+                            cfg.cells(),
+                            cell,
+                            0,
+                        )
+                    } else {
+                        digits.images
+                    }
+                },
+                DistributedOptions::default(),
+            );
+            // Rebuild the winner's ensemble deterministically.
+            let digits2 =
+                SynthDigits::generate(cfg.training.dataset_size, cfg.training.data_seed);
+            let full2 = digits2.images;
+            let cells2 = cfg.cells();
+            let mut t = SequentialTrainer::new(&cfg, move |cell| {
+                if use_shards {
+                    lipizzaner::data::DataPartition::Shards
+                        .slice_for_cell(&full2, cells2, cell, 0)
+                } else {
+                    full2.clone()
+                }
+            });
+            t.run();
+            let mut ensembles = t.ensembles();
+            let best = ensembles.swap_remove(outcome.report.best_cell);
+            (outcome.report, best)
+        }
+        other => {
+            eprintln!("unknown driver {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "done in {:.2}s ({}), best cell {} with G fitness {:.4}",
+        report.wall_seconds,
+        report.driver,
+        report.best().cell,
+        report.best().gen_fitness
+    );
+    if let Some(path) = out {
+        if let Err(e) = persist::save_ensemble(&path, &best_model) {
+            eprintln!("failed to save model: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("saved winning ensemble to {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_sample(args: &[String]) -> ExitCode {
+    let Some(model_path) = flag_value(args, "--model") else {
+        eprintln!("sample requires --model FILE.lpz");
+        return ExitCode::FAILURE;
+    };
+    let count: usize = flag_value(args, "--count").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let model = match persist::load_ensemble(std::path::Path::new(model_path)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("failed to load {model_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut rng = Rng64::seed_from(
+        flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42),
+    );
+    let samples = model.sample(count, &mut rng);
+    if model.network.data_dim == lipizzaner::data::IMAGE_DIM {
+        println!("{}", image::to_ascii_28(samples.row(0)));
+        if let Some(gallery) = flag_value(args, "--gallery") {
+            let rows: Vec<&[f32]> = (0..samples.rows()).map(|r| samples.row(r)).collect();
+            let cols = (count as f64).sqrt().ceil() as usize;
+            if let Err(e) = image::write_pgm(
+                std::path::Path::new(gallery),
+                &rows,
+                lipizzaner::data::IMAGE_SIDE,
+                cols.max(1),
+            ) {
+                eprintln!("failed to write gallery: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {count} samples to {gallery}");
+        }
+    } else {
+        for r in 0..samples.rows().min(8) {
+            println!("{:?}", samples.row(r));
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_info(args: &[String]) -> ExitCode {
+    let Some(model_path) = flag_value(args, "--model") else {
+        eprintln!("info requires --model FILE.lpz");
+        return ExitCode::FAILURE;
+    };
+    match persist::load_ensemble(std::path::Path::new(model_path)) {
+        Ok(m) => {
+            println!("lipizzaner ensemble: {}", model_path);
+            println!("  components: {}", m.components());
+            println!(
+                "  generator: {} -> {}x{} -> {}",
+                m.network.latent_dim,
+                m.network.hidden_layers,
+                m.network.hidden_units,
+                m.network.data_dim
+            );
+            println!("  mixture weights: {:?}", m.weights.weights());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to load {model_path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! The workspace's strongest correctness claim: the sequential baseline,
+//! the threaded master/slave runtime, and the virtual-time cluster
+//! simulator all execute the *same* deterministic training and must agree
+//! bit-for-bit on the results — only their notion of time differs.
+
+use lipizzaner::prelude::*;
+
+fn toy_data(cfg: &TrainConfig) -> Matrix {
+    let mut rng = Rng64::seed_from(cfg.training.data_seed);
+    rng.uniform_matrix(cfg.training.dataset_size, cfg.network.data_dim, -0.9, 0.9)
+}
+
+fn assert_reports_equal(a: &TrainReport, b: &TrainReport, label: &str) {
+    assert_eq!(a.cells.len(), b.cells.len(), "{label}: cell counts");
+    for (x, y) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(x.cell, y.cell, "{label}: cell ids");
+        assert_eq!(x.gen_fitness, y.gen_fitness, "{label}: cell {} G fitness", x.cell);
+        assert_eq!(x.disc_fitness, y.disc_fitness, "{label}: cell {} D fitness", x.cell);
+        assert_eq!(
+            x.mixture_weights, y.mixture_weights,
+            "{label}: cell {} mixture",
+            x.cell
+        );
+    }
+    assert_eq!(a.best_cell, b.best_cell, "{label}: best cell");
+}
+
+fn run_all_three(cfg: &TrainConfig) -> (TrainReport, TrainReport, TrainReport) {
+    let data = toy_data(cfg);
+    let mut seq = SequentialTrainer::new(cfg, |_| data.clone());
+    let seq_report = seq.run();
+
+    let dist_outcome = run_distributed(
+        cfg,
+        |_, cfg| toy_data(cfg),
+        DistributedOptions::default(),
+    );
+
+    let sim = SimulatedCluster::cluster_uy(SimulationOptions::default());
+    let sim_outcome = sim.run(cfg, |_| data.clone());
+
+    (seq_report, dist_outcome.report, sim_outcome.report)
+}
+
+#[test]
+fn three_drivers_agree_on_2x2() {
+    let cfg = TrainConfig::smoke(2);
+    let (seq, dist, sim) = run_all_three(&cfg);
+    assert_reports_equal(&seq, &dist, "sequential vs distributed");
+    assert_reports_equal(&seq, &sim, "sequential vs cluster-sim");
+}
+
+#[test]
+fn three_drivers_agree_on_3x3() {
+    let cfg = TrainConfig::smoke(3);
+    let (seq, dist, sim) = run_all_three(&cfg);
+    assert_reports_equal(&seq, &dist, "sequential vs distributed 3x3");
+    assert_reports_equal(&seq, &sim, "sequential vs cluster-sim 3x3");
+}
+
+#[test]
+fn drivers_agree_under_mustangs_loss_mutation() {
+    let cfg = TrainConfig::smoke(2).with_mustangs();
+    let (seq, dist, sim) = run_all_three(&cfg);
+    assert_reports_equal(&seq, &dist, "mustangs: sequential vs distributed");
+    assert_reports_equal(&seq, &sim, "mustangs: sequential vs cluster-sim");
+}
+
+#[test]
+fn drivers_agree_under_moore9_neighborhood() {
+    let mut cfg = TrainConfig::smoke(2);
+    cfg.grid.pattern = NeighborhoodPattern::Moore9;
+    let (seq, dist, sim) = run_all_three(&cfg);
+    assert_reports_equal(&seq, &dist, "moore9: sequential vs distributed");
+    assert_reports_equal(&seq, &sim, "moore9: sequential vs cluster-sim");
+}
+
+#[test]
+fn drivers_agree_with_all_pairs_adversaries() {
+    let mut cfg = TrainConfig::smoke(2);
+    cfg.coevolution.adversary = lipizzaner::core::AdversaryStrategy::All;
+    cfg.coevolution.iterations = 1;
+    let (seq, dist, sim) = run_all_three(&cfg);
+    assert_reports_equal(&seq, &dist, "all-pairs: sequential vs distributed");
+    assert_reports_equal(&seq, &sim, "all-pairs: sequential vs cluster-sim");
+}
+
+#[test]
+fn different_seeds_change_results() {
+    // Sanity check that the equality above is non-vacuous.
+    let cfg_a = TrainConfig::smoke(2);
+    let mut cfg_b = TrainConfig::smoke(2);
+    cfg_b.seed += 1;
+    let data = toy_data(&cfg_a);
+    let mut seq_a = SequentialTrainer::new(&cfg_a, |_| data.clone());
+    let mut seq_b = SequentialTrainer::new(&cfg_b, |_| data.clone());
+    let a = seq_a.run();
+    let b = seq_b.run();
+    let same = a
+        .cells
+        .iter()
+        .zip(&b.cells)
+        .all(|(x, y)| x.gen_fitness == y.gen_fitness);
+    assert!(!same, "different master seeds produced identical runs");
+}

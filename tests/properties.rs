@@ -1,0 +1,194 @@
+//! Property-based tests (proptest) over the workspace's core data
+//! structures and invariants.
+
+use lipizzaner::core::{Grid, MixtureWeights, NeighborhoodPattern};
+use lipizzaner::mpi::wire::Wire;
+use lipizzaner::nn::{Activation, Mlp};
+use lipizzaner::tensor::{ops, reduce, Matrix, Rng64};
+use proptest::prelude::*;
+
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- tensor algebra ---------------------------------------------------
+
+    #[test]
+    fn transpose_is_involutive(m in matrix_strategy(12)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        seed in 0u64..1000,
+        (m, k, n) in (1usize..6, 1usize..6, 1usize..6)
+    ) {
+        let mut rng = Rng64::seed_from(seed);
+        let a = rng.uniform_matrix(m, k, -2.0, 2.0);
+        let b = rng.uniform_matrix(k, n, -2.0, 2.0);
+        let c = rng.uniform_matrix(k, n, -2.0, 2.0);
+        // A(B + C) == AB + AC up to f32 rounding.
+        let bc = ops::try_add(&b, &c).unwrap();
+        let lhs = ops::matmul(&a, &bc);
+        let mut rhs = ops::matmul(&a, &b);
+        ops::add_assign(&mut rhs, &ops::matmul(&a, &c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn transposed_products_are_consistent(seed in 0u64..1000) {
+        let mut rng = Rng64::seed_from(seed);
+        let a = rng.uniform_matrix(4, 6, -1.0, 1.0);
+        let b = rng.uniform_matrix(4, 5, -1.0, 1.0);
+        let fast = ops::matmul_at_b(&a, &b);
+        let slow = ops::matmul(&a.transpose(), &b);
+        prop_assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn row_argmax_points_at_max(m in matrix_strategy(10)) {
+        for (r, &idx) in reduce::row_argmax(&m).iter().enumerate() {
+            let row = m.row(r);
+            for &v in row {
+                prop_assert!(row[idx] >= v);
+            }
+        }
+    }
+
+    // ---- wire codec ---------------------------------------------------------
+
+    #[test]
+    fn f32_vecs_roundtrip(v in proptest::collection::vec(any::<f32>(), 0..256)) {
+        let bytes = v.to_bytes();
+        let back = Vec::<f32>::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(v.len(), back.len());
+        for (a, b) in v.iter().zip(&back) {
+            prop_assert!(a.to_bits() == b.to_bits());
+        }
+    }
+
+    #[test]
+    fn strings_roundtrip(s in ".{0,64}") {
+        let bytes = s.to_string().to_bytes();
+        prop_assert_eq!(String::from_bytes(&bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn nested_options_roundtrip(v in proptest::option::of(proptest::option::of(any::<u32>()))) {
+        let bytes = v.to_bytes();
+        prop_assert_eq!(Option::<Option<u32>>::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn truncation_never_panics(
+        v in proptest::collection::vec(any::<u8>(), 0..64),
+        cut in 0usize..64
+    ) {
+        let bytes = vec![v.clone()].to_bytes();
+        let cut = cut.min(bytes.len());
+        // Must return Err or Ok, never panic.
+        let _ = Vec::<Vec<u8>>::from_bytes(&bytes[..cut]);
+    }
+
+    // ---- grid topology ------------------------------------------------------
+
+    #[test]
+    fn neighbor_relation_is_symmetric_on_cross5(
+        rows in 1usize..6,
+        cols in 1usize..6
+    ) {
+        let g = Grid::new(rows, cols, NeighborhoodPattern::Cross5);
+        for cell in 0..g.cell_count() {
+            for n in g.neighbors(cell) {
+                prop_assert!(
+                    g.neighbors(n).contains(&cell),
+                    "cell {} -> {} not symmetric", cell, n
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_neighbor_is_in_overlap_set(rows in 1usize..5, cols in 1usize..5) {
+        let g = Grid::new(rows, cols, NeighborhoodPattern::Cross5);
+        for cell in 0..g.cell_count() {
+            let overlaps = g.overlapping(cell);
+            for n in g.neighbors(cell) {
+                prop_assert!(overlaps.contains(&n));
+            }
+        }
+    }
+
+    #[test]
+    fn coords_index_roundtrip(rows in 1usize..8, cols in 1usize..8) {
+        let g = Grid::new(rows, cols, NeighborhoodPattern::Cross5);
+        for cell in 0..g.cell_count() {
+            let (r, c) = g.coords(cell);
+            prop_assert_eq!(g.index(r as isize, c as isize), cell);
+        }
+    }
+
+    // ---- mixture weights ----------------------------------------------------
+
+    #[test]
+    fn mixture_from_raw_is_normalized(
+        raw in proptest::collection::vec(-5.0f32..5.0, 1..10)
+    ) {
+        let w = MixtureWeights::from_raw(&raw);
+        let sum: f32 = w.weights().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(w.weights().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn mixture_mutation_preserves_normalization(
+        n in 1usize..8,
+        seed in 0u64..500,
+        sigma in 0.001f32..0.2
+    ) {
+        let mut rng = Rng64::seed_from(seed);
+        let w = MixtureWeights::uniform(n);
+        let m = w.mutate(sigma, &mut rng);
+        let sum: f32 = m.weights().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sampled_components_are_in_range(n in 1usize..8, seed in 0u64..500) {
+        let mut rng = Rng64::seed_from(seed);
+        let w = MixtureWeights::uniform(n);
+        for _ in 0..32 {
+            prop_assert!(w.sample_component(&mut rng) < n);
+        }
+    }
+
+    // ---- network genome -----------------------------------------------------
+
+    #[test]
+    fn genome_roundtrip_preserves_network_output(seed in 0u64..500) {
+        let mut rng = Rng64::seed_from(seed);
+        let net = Mlp::from_dims(&[3, 6, 2], Activation::Tanh, Activation::Identity, &mut rng);
+        let x = rng.uniform_matrix(4, 3, -1.0, 1.0);
+        let y = net.forward(&x);
+        let genome = net.genome();
+        let mut other =
+            Mlp::from_dims(&[3, 6, 2], Activation::Tanh, Activation::Identity, &mut rng);
+        other.load_genome(&genome);
+        prop_assert!(other.forward(&x).max_abs_diff(&y) < 1e-7);
+    }
+
+    #[test]
+    fn generator_outputs_stay_in_tanh_range(seed in 0u64..200) {
+        let mut rng = Rng64::seed_from(seed);
+        let cfg = lipizzaner::nn::NetworkConfig::tiny(12);
+        let g = lipizzaner::nn::Generator::new(&cfg, &mut rng);
+        let samples = g.sample(8, &mut rng);
+        prop_assert!(samples.as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+}
