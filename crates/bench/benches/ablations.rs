@@ -83,7 +83,10 @@ fn bench_comm_cost_sensitivity(c: &mut Criterion) {
     for (label, cost) in [
         ("cluster_uy", CommCost::cluster_uy()),
         ("10x_latency", CommCost { alpha: 600e-6, beta: CommCost::cluster_uy().beta }),
-        ("tenth_bandwidth", CommCost { alpha: 60e-6, beta: CommCost::cluster_uy().beta * 10.0 }),
+        (
+            "tenth_bandwidth",
+            CommCost { alpha: 60e-6, beta: CommCost::cluster_uy().beta * 10.0 },
+        ),
     ] {
         group.bench_function(BenchmarkId::new("model", label), |b| {
             b.iter(|| {

@@ -32,19 +32,15 @@ fn bench_allgather_grid_sizes(c: &mut Criterion) {
     // Genome-shaped payload, scaled down 100x from the paper for sampling.
     let floats = 2840usize;
     for &slaves in &[4usize, 9, 16] {
-        group.bench_with_input(
-            BenchmarkId::new("slaves", slaves),
-            &slaves,
-            |b, &slaves| {
-                b.iter(|| {
-                    Universe::run(slaves, |comm: Comm| {
-                        let genome = vec![comm.rank() as f32; floats];
-                        let all = comm.allgather(&genome);
-                        assert_eq!(all.len(), slaves);
-                    })
+        group.bench_with_input(BenchmarkId::new("slaves", slaves), &slaves, |b, &slaves| {
+            b.iter(|| {
+                Universe::run(slaves, |comm: Comm| {
+                    let genome = vec![comm.rank() as f32; floats];
+                    let all = comm.allgather(&genome);
+                    assert_eq!(all.len(), slaves);
                 })
-            },
-        );
+            })
+        });
     }
     group.finish();
 }

@@ -43,11 +43,9 @@ fn bench_pooled_matmul(c: &mut Criterion) {
     let b = rng.uniform_matrix(256, 784, -1.0, 1.0);
     for workers in [1usize, 2] {
         let pool = Pool::new(workers);
-        group.bench_with_input(
-            BenchmarkId::new("workers", workers),
-            &pool,
-            |bench, pool| bench.iter(|| ops::matmul_pooled(&a, &b, pool)),
-        );
+        group.bench_with_input(BenchmarkId::new("workers", workers), &pool, |bench, pool| {
+            bench.iter(|| ops::matmul_pooled(&a, &b, pool))
+        });
     }
     group.finish();
 }
@@ -89,9 +87,7 @@ fn bench_batch_gather(c: &mut Criterion) {
     let mut rng = Rng64::seed_from(4);
     let data = rng.uniform_matrix(2000, 784, -1.0, 1.0);
     let idx: Vec<usize> = (0..100).map(|i| (i * 13) % 2000).collect();
-    c.bench_function("gather_rows_batch100", |b| {
-        b.iter(|| Matrix::gather_rows(&data, &idx))
-    });
+    c.bench_function("gather_rows_batch100", |b| b.iter(|| Matrix::gather_rows(&data, &idx)));
 }
 
 criterion_group!(

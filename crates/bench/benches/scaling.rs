@@ -48,9 +48,7 @@ fn bench_threaded_distributed(c: &mut Criterion) {
     let cfg = scaled_config(m, Scale::Smoke);
     group.bench_with_input(BenchmarkId::new("m", m), &m, |b, _| {
         b.iter(|| {
-            lipiz_runtime::driver::run_distributed_report(&cfg, |_, cfg| {
-                digits_data(cfg)
-            })
+            lipiz_runtime::driver::run_distributed_report(&cfg, |_, cfg| digits_data(cfg))
         })
     });
     group.finish();

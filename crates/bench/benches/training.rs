@@ -34,9 +34,7 @@ fn engine() -> (CellEngine, Vec<CellSnapshot>) {
 
 fn bench_gather_phase(c: &mut Criterion) {
     let (mut e, snaps) = engine();
-    c.bench_function("routine_gather_ingest", |b| {
-        b.iter(|| e.ingest_neighbors(&snaps))
-    });
+    c.bench_function("routine_gather_ingest", |b| b.iter(|| e.ingest_neighbors(&snaps)));
 }
 
 fn bench_mutate_phase(c: &mut Criterion) {

@@ -2,9 +2,7 @@
 
 use crate::table::{fixed, minutes, TextTable};
 use crate::workload::{digits_data, scaled_config, Scale};
-use lipiz_cluster::{
-    allocation, SimulatedCluster, SimulationOptions,
-};
+use lipiz_cluster::{allocation, SimulatedCluster, SimulationOptions};
 use lipiz_core::{Grid, Routine, TrainConfig};
 use lipiz_runtime::SlaveState;
 
@@ -140,7 +138,8 @@ pub fn run_table3(scale: Scale, runs: usize, grids: &[usize]) -> Vec<Table3Row> 
             let cfg = scaled_config(m, scale);
             let data = digits_data(&cfg);
             // Sequential baseline (real single-core wall time).
-            let mut seq = lipiz_core::sequential::SequentialTrainer::new(&cfg, |_| data.clone());
+            let mut seq =
+                lipiz_core::sequential::SequentialTrainer::new(&cfg, |_| data.clone());
             let seq_report = seq.run();
             // Distributed runs on the virtual cluster.
             let walls: Vec<f64> = (0..runs)
@@ -211,24 +210,25 @@ pub fn run_table4(scale: Scale, m: usize) -> Vec<Table4Row> {
     let sim = SimulatedCluster::cluster_uy(SimulationOptions::default());
     let sim_outcome = sim.run(&cfg, |_| data.clone());
 
-    let mut rows: Vec<Table4Row> = [Routine::Gather, Routine::Train, Routine::UpdateGenomes, Routine::Mutate]
-        .iter()
-        .map(|r| {
-            let single = seq_report.profile.seconds(*r);
-            let dist = sim_outcome.report.profile.seconds(*r);
-            Table4Row {
-                routine: r.name().to_string(),
-                single,
-                distributed: dist,
-                acceleration_pct: if single > 0.0 {
-                    (1.0 - dist / single) * 100.0
-                } else {
-                    0.0
-                },
-                speedup: single / dist.max(1e-12),
-            }
-        })
-        .collect();
+    let mut rows: Vec<Table4Row> =
+        [Routine::Gather, Routine::Train, Routine::UpdateGenomes, Routine::Mutate]
+            .iter()
+            .map(|r| {
+                let single = seq_report.profile.seconds(*r);
+                let dist = sim_outcome.report.profile.seconds(*r);
+                Table4Row {
+                    routine: r.name().to_string(),
+                    single,
+                    distributed: dist,
+                    acceleration_pct: if single > 0.0 {
+                        (1.0 - dist / single) * 100.0
+                    } else {
+                        0.0
+                    },
+                    speedup: single / dist.max(1e-12),
+                }
+            })
+            .collect();
     let single_total: f64 = rows.iter().map(|r| r.single).sum();
     let dist_total: f64 = rows.iter().map(|r| r.distributed).sum();
     rows.push(Table4Row {
@@ -275,9 +275,8 @@ pub fn fig4(scale: Scale) -> String {
 /// Fig. 1: the toroidal grid with two overlapping neighborhoods.
 pub fn fig1() -> String {
     let grid = Grid::square(4);
-    let mut out = String::from(
-        "FIG. 1 — 4x4 toroidal grid; C = center, n = neighborhood member\n\n",
-    );
+    let mut out =
+        String::from("FIG. 1 — 4x4 toroidal grid; C = center, n = neighborhood member\n\n");
     let n11 = grid.index(1, 1);
     out.push_str(&format!("Neighborhood N(1,1) (cell {n11}):\n"));
     out.push_str(&grid.render_neighborhood(n11));
@@ -311,9 +310,8 @@ pub fn fig3() -> String {
             heartbeat_interval: std::time::Duration::from_millis(5),
         },
     );
-    let mut out = String::from(
-        "FIG. 3 — MASTER/SLAVE FLOW (live trace of a real threaded run)\n\n",
-    );
+    let mut out =
+        String::from("FIG. 3 — MASTER/SLAVE FLOW (live trace of a real threaded run)\n\n");
     out.push_str("1. slaves -> master: node announcements\n");
     for a in &outcome.announcements {
         out.push_str(&format!("   rank {} on {}\n", a.rank, a.node_name));

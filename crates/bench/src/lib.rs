@@ -25,6 +25,18 @@
 //! batch size and algorithm but runs fewer iterations/batches so the whole
 //! suite finishes in minutes. Because per-iteration cost is constant across
 //! iterations, scaling shape is preserved (see EXPERIMENTS.md).
+//!
+//! # Example
+//!
+//! ```
+//! use lipiz_bench::workload::{scaled_config, Scale};
+//!
+//! // Smoke scale keeps the paper's grid shape but shrinks the workload.
+//! let cfg = scaled_config(2, Scale::Smoke);
+//! assert_eq!(cfg.cells(), 4);
+//! let full = scaled_config(3, Scale::Full);
+//! assert!(full.coevolution.iterations > cfg.coevolution.iterations);
+//! ```
 
 pub mod experiments;
 pub mod table;

@@ -50,11 +50,8 @@ impl TextTable {
         let mut out = String::new();
         out.push_str(&self.title);
         out.push('\n');
-        let sep: String = widths
-            .iter()
-            .map(|w| "-".repeat(w + 2))
-            .collect::<Vec<_>>()
-            .join("+");
+        let sep: String =
+            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
         out.push_str(&sep);
         out.push('\n');
         let fmt_row = |cells: &[String]| -> String {

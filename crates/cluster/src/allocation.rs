@@ -76,12 +76,14 @@ pub fn estimate_rank_memory_bytes(cfg: &TrainConfig) -> usize {
     let net = cfg.network;
     let g_params = net.latent_dim * net.hidden_units
         + net.hidden_units
-        + net.hidden_layers.saturating_sub(1) * (net.hidden_units * net.hidden_units + net.hidden_units)
+        + net.hidden_layers.saturating_sub(1)
+            * (net.hidden_units * net.hidden_units + net.hidden_units)
         + net.hidden_units * net.data_dim
         + net.data_dim;
     let d_params = net.data_dim * net.hidden_units
         + net.hidden_units
-        + net.hidden_layers.saturating_sub(1) * (net.hidden_units * net.hidden_units + net.hidden_units)
+        + net.hidden_layers.saturating_sub(1)
+            * (net.hidden_units * net.hidden_units + net.hidden_units)
         + net.hidden_units
         + 1;
     let s = cfg.subpopulation_size();

@@ -22,6 +22,24 @@
 //! size, which routines parallelize) is therefore reproduced from real
 //! measurements, while absolute minutes depend on this host's single-core
 //! speed — the substitution DESIGN.md §1 documents.
+//!
+//! # Example
+//!
+//! ```
+//! use lipiz_cluster::{SimulatedCluster, SimulationOptions};
+//! use lipiz_core::TrainConfig;
+//! use lipiz_tensor::Rng64;
+//!
+//! let cfg = TrainConfig::smoke(2);
+//! let sim = SimulatedCluster::cluster_uy(SimulationOptions::default());
+//! let outcome = sim.run(&cfg, |_| {
+//!     let mut rng = Rng64::seed_from(cfg.training.data_seed);
+//!     rng.uniform_matrix(cfg.training.dataset_size, cfg.network.data_dim, -0.9, 0.9)
+//! });
+//! // One virtual clock per slave rank (m² cells), all advanced.
+//! assert_eq!(outcome.rank_clocks.len(), 4);
+//! assert!(outcome.rank_clocks.iter().all(|&t| t > 0.0));
+//! ```
 
 pub mod allocation;
 pub mod costmodel;

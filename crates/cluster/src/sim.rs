@@ -6,8 +6,7 @@ use crate::platform::ClusterSpec;
 use crate::report::{CommStats, SimOutcome};
 use crate::vtime::RankClock;
 use lipiz_core::{
-    CellEngine, CellResult, CellSnapshot, Grid, Profiler, Routine, TrainConfig,
-    TrainReport,
+    CellEngine, CellResult, CellSnapshot, Grid, Profiler, Routine, TrainConfig, TrainReport,
 };
 use lipiz_tensor::Matrix;
 use std::time::Instant;
@@ -104,7 +103,8 @@ impl SimulatedCluster {
             // transfer cost.
             let sync = ready.iter().copied().fold(0.0, f64::max);
             let xfer = self.cost.allgather(cells, max_bytes);
-            comm.allgather_seconds += xfer + (sync - ready.iter().copied().fold(f64::INFINITY, f64::min));
+            comm.allgather_seconds +=
+                xfer + (sync - ready.iter().copied().fold(f64::INFINITY, f64::min));
             comm.allgather_bytes += max_bytes * cells;
             for (c, clock) in clocks.iter_mut().enumerate() {
                 let before = clock.now();
@@ -119,11 +119,8 @@ impl SimulatedCluster {
 
             // --- compute phases, measured on the host --------------------
             for (c, engine) in engines.iter_mut().enumerate() {
-                let neighbors: Vec<CellSnapshot> = grid
-                    .neighbors(c)
-                    .into_iter()
-                    .map(|n| snapshots[n].clone())
-                    .collect();
+                let neighbors: Vec<CellSnapshot> =
+                    grid.neighbors(c).into_iter().map(|n| snapshots[n].clone()).collect();
                 // Measure this iteration's phases into a scratch profiler,
                 // then charge them (speed-scaled) to the rank clock.
                 let mut scratch = Profiler::new();
@@ -136,10 +133,7 @@ impl SimulatedCluster {
                 for r in [Routine::Mutate, Routine::Train, Routine::UpdateGenomes] {
                     let host = scratch.total(r).as_secs_f64();
                     clocks[c].advance(host * speed);
-                    profilers[c].record(
-                        r,
-                        std::time::Duration::from_secs_f64(host * speed),
-                    );
+                    profilers[c].record(r, std::time::Duration::from_secs_f64(host * speed));
                 }
             }
         }
@@ -171,9 +165,7 @@ impl SimulatedCluster {
             .iter()
             .enumerate()
             .min_by(|(_, a), (_, b)| {
-                a.gen_fitness
-                    .partial_cmp(&b.gen_fitness)
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                a.gen_fitness.partial_cmp(&b.gen_fitness).unwrap_or(std::cmp::Ordering::Equal)
             })
             .map_or(0, |(i, _)| i);
         let mut mean_prof = Profiler::new();
@@ -237,8 +229,7 @@ mod tests {
         );
         let outcome = sim.run(&cfg, |_| toy_data(&cfg));
 
-        let mut seq =
-            lipiz_core::sequential::SequentialTrainer::new(&cfg, |_| toy_data(&cfg));
+        let mut seq = lipiz_core::sequential::SequentialTrainer::new(&cfg, |_| toy_data(&cfg));
         let seq_report = seq.run();
         for (a, b) in outcome.report.cells.iter().zip(&seq_report.cells) {
             assert_eq!(a.gen_fitness, b.gen_fitness, "cell {}", a.cell);
@@ -295,12 +286,8 @@ mod tests {
         let mut cfg = TrainConfig::smoke(2);
         cfg.coevolution.iterations = 1;
         let opts = SimulationOptions { per_iteration_overhead: 0.0, ..Default::default() };
-        let base = SimulatedCluster::new(
-            ClusterSpec::dedicated(1, 8),
-            CommCost::free(),
-            opts,
-        )
-        .run(&cfg, |_| toy_data(&cfg));
+        let base = SimulatedCluster::new(ClusterSpec::dedicated(1, 8), CommCost::free(), opts)
+            .run(&cfg, |_| toy_data(&cfg));
         let slowed = SimulatedCluster::new(
             ClusterSpec::dedicated(1, 8),
             CommCost::free(),

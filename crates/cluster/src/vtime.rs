@@ -25,10 +25,7 @@ impl RankClock {
     /// Panics on negative or non-finite durations — a sign of a broken
     /// measurement, which must not silently corrupt the schedule.
     pub fn advance(&mut self, seconds: f64) {
-        assert!(
-            seconds.is_finite() && seconds >= 0.0,
-            "invalid virtual duration {seconds}"
-        );
+        assert!(seconds.is_finite() && seconds >= 0.0, "invalid virtual duration {seconds}");
         self.t += seconds;
     }
 

@@ -1,0 +1,140 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! Provides the [`Buf`] / [`BufMut`] surface `lipiz-mpi`'s wire codec uses:
+//! little-endian primitive get/put on `&[u8]` cursors and `Vec<u8>` sinks.
+
+macro_rules! buf_get {
+    ($($name:ident -> $ty:ty),+ $(,)?) => {
+        $(
+            /// Read a little-endian value from the front of the buffer,
+            /// advancing past it.
+            ///
+            /// # Panics
+            /// Panics if fewer than `size_of` bytes remain (callers are
+            /// expected to check [`Buf::remaining`] first, as upstream does).
+            fn $name(&mut self) -> $ty {
+                const N: usize = std::mem::size_of::<$ty>();
+                let mut raw = [0u8; N];
+                raw.copy_from_slice(&self.chunk()[..N]);
+                self.advance(N);
+                <$ty>::from_le_bytes(raw)
+            }
+        )+
+    };
+}
+
+/// Read side: a byte cursor that can be advanced.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Skip `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    buf_get! {
+        get_u16_le -> u16,
+        get_u32_le -> u32,
+        get_u64_le -> u64,
+        get_i16_le -> i16,
+        get_i32_le -> i32,
+        get_i64_le -> i64,
+        get_f32_le -> f32,
+        get_f64_le -> f64,
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+macro_rules! buf_put {
+    ($($name:ident($ty:ty)),+ $(,)?) => {
+        $(
+            /// Append a little-endian value.
+            fn $name(&mut self, v: $ty) {
+                self.put_slice(&v.to_le_bytes());
+            }
+        )+
+    };
+}
+
+/// Write side: an append-only byte sink.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    buf_put! {
+        put_u16_le(u16),
+        put_u32_le(u32),
+        put_u64_le(u64),
+        put_i16_le(i16),
+        put_i32_le(i32),
+        put_i64_le(i64),
+        put_f32_le(f32),
+        put_f64_le(f64),
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u16_le(0xBEEF);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(u64::MAX);
+        buf.put_i32_le(-5);
+        buf.put_i64_le(i64::MIN);
+        buf.put_f32_le(1.5);
+        buf.put_f64_le(-2.25);
+        let mut cur: &[u8] = &buf;
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_u16_le(), 0xBEEF);
+        assert_eq!(cur.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cur.get_u64_le(), u64::MAX);
+        assert_eq!(cur.get_i32_le(), -5);
+        assert_eq!(cur.get_i64_le(), i64::MIN);
+        assert_eq!(cur.get_f32_le(), 1.5);
+        assert_eq!(cur.get_f64_le(), -2.25);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_moves_cursor() {
+        let data = [1u8, 2, 3, 4];
+        let mut cur: &[u8] = &data;
+        cur.advance(2);
+        assert_eq!(cur.remaining(), 2);
+        assert_eq!(cur.get_u8(), 3);
+    }
+}

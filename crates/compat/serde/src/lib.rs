@@ -1,0 +1,7 @@
+//! Offline shim for the `serde` facade crate.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives so that
+//! `use serde::{Deserialize, Serialize};` plus `#[derive(...)]` compiles
+//! unchanged. See `crates/compat/README.md` for the migration story.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`: the derives expand to nothing.
+//!
+//! In-tree types use `#[derive(Serialize, Deserialize)]` as forward-looking
+//! annotations; nothing serializes through serde yet (the wire codec in
+//! `lipiz-mpi` and the line-based persistence in `lipiz-core` are
+//! hand-rolled). When the real serde is wired in, these derives start
+//! emitting impls with no source change at the use sites.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -58,10 +58,7 @@ impl CellEngine {
     pub fn new(cell_index: usize, cfg: &TrainConfig, data: Matrix) -> Self {
         let net_cfg = cfg.network.to_network_config();
         assert_eq!(data.cols(), net_cfg.data_dim, "dataset width vs network data_dim");
-        assert!(
-            data.rows() >= cfg.training.eval_batch,
-            "dataset smaller than eval batch"
-        );
+        assert!(data.rows() >= cfg.training.eval_batch, "dataset smaller than eval batch");
         let mut root = Rng64::seed_from(cfg.cell_seed(cell_index));
         let mut rng_init = root.derive(0);
         let rng_mutate = root.derive(1);

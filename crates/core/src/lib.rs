@@ -35,6 +35,22 @@
 //! `lipiz-cluster`; all three share [`cell::CellEngine`] and are
 //! bit-identical given the same [`config::TrainConfig`] (asserted by
 //! integration tests).
+//!
+//! # Example
+//!
+//! ```
+//! use lipiz_core::sequential::SequentialTrainer;
+//! use lipiz_core::TrainConfig;
+//! use lipiz_tensor::Rng64;
+//!
+//! let cfg = TrainConfig::smoke(2); // 2×2 grid, toy networks
+//! let mut rng = Rng64::seed_from(cfg.training.data_seed);
+//! let data = rng.uniform_matrix(cfg.training.dataset_size, cfg.network.data_dim, -0.9, 0.9);
+//! let report = SequentialTrainer::new(&cfg, |_| data.clone()).run();
+//! assert_eq!(report.driver, "sequential");
+//! assert_eq!(report.cells.len(), 4);
+//! assert!(report.best().gen_fitness.is_finite());
+//! ```
 
 pub mod cell;
 pub mod config;
@@ -49,8 +65,8 @@ pub mod topology;
 
 pub use cell::CellEngine;
 pub use config::{
-    AdversaryStrategy, CoevolutionConfig, GridConfig, LossMode, MutationConfig,
-    TrainConfig, TrainingConfig,
+    AdversaryStrategy, CoevolutionConfig, GridConfig, LossMode, MutationConfig, TrainConfig,
+    TrainingConfig,
 };
 pub use individual::{Individual, SubPopulation};
 pub use mixture::{EnsembleModel, MixtureWeights};

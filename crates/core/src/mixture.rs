@@ -110,7 +110,11 @@ impl EnsembleModel {
     ///
     /// # Panics
     /// Panics if `genomes.len() != weights.len()` or no components.
-    pub fn new(network: NetworkConfig, genomes: Vec<Vec<f32>>, weights: MixtureWeights) -> Self {
+    pub fn new(
+        network: NetworkConfig,
+        genomes: Vec<Vec<f32>>,
+        weights: MixtureWeights,
+    ) -> Self {
         assert!(!genomes.is_empty(), "ensemble needs at least one generator");
         assert_eq!(genomes.len(), weights.len(), "weights/genomes misaligned");
         Self { network, genomes, weights }
@@ -139,8 +143,7 @@ impl EnsembleModel {
         }
         let mut out = Matrix::zeros(n, self.network.data_dim);
         for (c, gen) in gens.iter().enumerate() {
-            let rows: Vec<usize> =
-                (0..n).filter(|&i| assignment[i] == c).collect();
+            let rows: Vec<usize> = (0..n).filter(|&i| assignment[i] == c).collect();
             if rows.is_empty() {
                 continue;
             }
@@ -246,11 +249,8 @@ mod tests {
         let cfg = NetworkConfig::tiny(8);
         let g1 = Generator::new(&cfg, &mut rng).net.genome();
         let g2 = Generator::new(&cfg, &mut rng).net.genome();
-        let model = EnsembleModel::new(
-            cfg,
-            vec![g1, g2],
-            MixtureWeights::from_raw(&[1.0, 0.0]),
-        );
+        let model =
+            EnsembleModel::new(cfg, vec![g1, g2], MixtureWeights::from_raw(&[1.0, 0.0]));
         let samples = model.sample(5, &mut rng);
         assert_eq!(samples.rows(), 5);
     }

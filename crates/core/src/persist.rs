@@ -107,8 +107,8 @@ pub fn load_ensemble(path: &Path) -> Result<EnsembleModel, PersistError> {
     let hidden_layers = read_u32(&mut r)? as usize;
     let hidden_units = read_u32(&mut r)? as usize;
     let data_dim = read_u32(&mut r)? as usize;
-    let activation = activation_from_id(read_u32(&mut r)?)
-        .ok_or(PersistError::Corrupt("activation id"))?;
+    let activation =
+        activation_from_id(read_u32(&mut r)?).ok_or(PersistError::Corrupt("activation id"))?;
     let network =
         NetworkConfig { latent_dim, hidden_layers, hidden_units, data_dim, activation };
 
@@ -118,8 +118,7 @@ pub fn load_ensemble(path: &Path) -> Result<EnsembleModel, PersistError> {
     }
     // Validate genome length against the declared topology.
     let dims = network.generator_dims();
-    let expected: usize =
-        dims.windows(2).map(|w| w[0] * w[1] + w[1]).sum();
+    let expected: usize = dims.windows(2).map(|w| w[0] * w[1] + w[1]).sum();
     let mut weights = Vec::with_capacity(components);
     let mut genomes = Vec::with_capacity(components);
     for _ in 0..components {
@@ -238,10 +237,7 @@ mod tests {
         let mut bytes = std::fs::read(&path).unwrap();
         bytes[4] = 99; // bump version field
         std::fs::write(&path, &bytes).unwrap();
-        assert!(matches!(
-            load_ensemble(&path),
-            Err(PersistError::UnsupportedVersion(_))
-        ));
+        assert!(matches!(load_ensemble(&path), Err(PersistError::UnsupportedVersion(_))));
         std::fs::remove_file(&path).ok();
     }
 

@@ -149,10 +149,7 @@ pub struct ProfileReport {
 impl ProfileReport {
     /// Seconds recorded for a routine by name; 0 if absent.
     pub fn seconds(&self, routine: Routine) -> f64 {
-        self.rows
-            .iter()
-            .find(|r| r.routine == routine.name())
-            .map_or(0.0, |r| r.seconds)
+        self.rows.iter().find(|r| r.routine == routine.name()).map_or(0.0, |r| r.seconds)
     }
 
     /// Sum of all routine times.

@@ -32,9 +32,8 @@ impl SequentialTrainer {
     /// the distributed-memory layout).
     pub fn new(cfg: &TrainConfig, mut make_data: impl FnMut(usize) -> Matrix) -> Self {
         let grid = Grid::from_config(&cfg.grid);
-        let engines = (0..grid.cell_count())
-            .map(|i| CellEngine::new(i, cfg, make_data(i)))
-            .collect();
+        let engines =
+            (0..grid.cell_count()).map(|i| CellEngine::new(i, cfg, make_data(i))).collect();
         Self { grid, cfg: cfg.clone(), engines, profiler: Profiler::new() }
     }
 
@@ -67,12 +66,8 @@ impl SequentialTrainer {
         self.profiler.record(Routine::Gather, start.elapsed());
 
         for idx in 0..self.engines.len() {
-            let neighbor_snaps: Vec<CellSnapshot> = self
-                .grid
-                .neighbors(idx)
-                .into_iter()
-                .map(|n| snapshots[n].clone())
-                .collect();
+            let neighbor_snaps: Vec<CellSnapshot> =
+                self.grid.neighbors(idx).into_iter().map(|n| snapshots[n].clone()).collect();
             self.engines[idx].run_iteration(&neighbor_snaps, &mut self.profiler);
         }
     }
@@ -111,9 +106,7 @@ impl SequentialTrainer {
             .iter()
             .enumerate()
             .min_by(|(_, a), (_, b)| {
-                a.gen_fitness
-                    .partial_cmp(&b.gen_fitness)
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                a.gen_fitness.partial_cmp(&b.gen_fitness).unwrap_or(std::cmp::Ordering::Equal)
             })
             .map_or(0, |(i, _)| i);
         TrainReport {
@@ -165,10 +158,7 @@ mod tests {
         let run = || {
             let mut t = SequentialTrainer::new(&cfg, |_| toy_data(&cfg));
             t.run();
-            t.ensembles()
-                .into_iter()
-                .map(|e| e.genomes)
-                .collect::<Vec<_>>()
+            t.ensembles().into_iter().map(|e| e.genomes).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

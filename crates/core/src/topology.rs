@@ -26,16 +26,9 @@ impl NeighborhoodPattern {
     pub fn offsets(&self) -> &'static [(isize, isize)] {
         match self {
             NeighborhoodPattern::Cross5 => &[(-1, 0), (1, 0), (0, -1), (0, 1)],
-            NeighborhoodPattern::Moore9 => &[
-                (-1, 0),
-                (1, 0),
-                (0, -1),
-                (0, 1),
-                (-1, -1),
-                (-1, 1),
-                (1, -1),
-                (1, 1),
-            ],
+            NeighborhoodPattern::Moore9 => {
+                &[(-1, 0), (1, 0), (0, -1), (0, 1), (-1, -1), (-1, 1), (1, -1), (1, 1)]
+            }
             NeighborhoodPattern::Isolated => &[],
         }
     }

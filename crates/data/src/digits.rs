@@ -85,10 +85,9 @@ pub fn strokes(d: u8) -> Vec<Vec<Pt>> {
             s.extend(arc(0.46, 0.68, 0.24, 0.2, 1.65 * PI, 3.3 * PI, 12));
             s
         }],
-        4 => vec![
-            vec![(0.62, 0.12), (0.28, 0.62), (0.78, 0.62)],
-            vec![(0.62, 0.4), (0.62, 0.9)],
-        ],
+        4 => {
+            vec![vec![(0.62, 0.12), (0.28, 0.62), (0.78, 0.62)], vec![(0.62, 0.4), (0.62, 0.9)]]
+        }
         5 => vec![{
             let mut s = vec![(0.72, 0.14), (0.34, 0.14), (0.32, 0.47)];
             s.extend(arc(0.48, 0.66, 0.22, 0.21, 1.45 * PI, 2.9 * PI, 14));
@@ -283,8 +282,7 @@ mod tests {
             (0..10u8).map(|d| render_digit(d, &Jitter::none(), &mut rng)).collect();
         for i in 0..10 {
             for j in (i + 1)..10 {
-                let diff: f32 =
-                    imgs[i].iter().zip(&imgs[j]).map(|(x, y)| (x - y).abs()).sum();
+                let diff: f32 = imgs[i].iter().zip(&imgs[j]).map(|(x, y)| (x - y).abs()).sum();
                 assert!(diff > 20.0, "digits {i} and {j} are too similar: {diff}");
             }
         }

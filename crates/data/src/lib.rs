@@ -13,6 +13,20 @@
 //! [`ring`] additionally provides the classic 2-D ring-of-Gaussians toy
 //! problem used by the mode-collapse example, and [`loader::BatchLoader`]
 //! yields seeded, reshuffled mini-batches (Table I: batch size 100).
+//!
+//! # Example
+//!
+//! ```
+//! use lipiz_data::{BatchLoader, SynthDigits};
+//!
+//! let digits = SynthDigits::generate(200, 42);
+//! assert_eq!(digits.len(), 200);
+//! // MNIST-shaped: 784 pixels per image, values in [-1, 1].
+//! let mut loader = BatchLoader::new(digits.images, 50, 7);
+//! let batch = loader.next_batch();
+//! assert_eq!(batch.shape(), (50, 784));
+//! assert!(batch.as_slice().iter().all(|v| (-1.0..=1.0).contains(v)));
+//! ```
 
 pub mod digits;
 pub mod image;

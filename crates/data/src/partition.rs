@@ -57,7 +57,10 @@ impl DataPartition {
             DataPartition::Shards => {
                 let start = cell * total / cells;
                 let end = (cell + 1) * total / cells;
-                assert!(end > start, "shard for cell {cell} is empty ({total} rows / {cells} cells)");
+                assert!(
+                    end > start,
+                    "shard for cell {cell} is empty ({total} rows / {cells} cells)"
+                );
                 (start..end).collect()
             }
             DataPartition::RandomSubset { fraction } => {

@@ -101,7 +101,8 @@ mod tests {
     fn labels_are_shuffled() {
         let d = SynthDigits::generate(100, 2);
         // The unshuffled sequence would be 0,1,2,...; require a deviation.
-        let in_order = d.labels.iter().enumerate().filter(|(i, &l)| (i % 10) as u8 == l).count();
+        let in_order =
+            d.labels.iter().enumerate().filter(|(i, &l)| (i % 10) as u8 == l).count();
         assert!(in_order < 50, "labels look unshuffled: {in_order}/100 in order");
     }
 

@@ -79,11 +79,8 @@ impl Classifier {
             return 0.0;
         }
         let pred = self.predict(&data.images);
-        let correct = pred
-            .iter()
-            .zip(&data.labels)
-            .filter(|(p, l)| **p == **l as usize)
-            .count();
+        let correct =
+            pred.iter().zip(&data.labels).filter(|(p, l)| **p == **l as usize).count();
         correct as f32 / data.len() as f32
     }
 }

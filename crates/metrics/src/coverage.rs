@@ -54,10 +54,7 @@ pub struct CoverageReport {
 }
 
 /// Build a coverage report from predicted labels of generated samples.
-pub fn coverage_report(
-    predicted: &[usize],
-    reference_hist: &[f64],
-) -> CoverageReport {
+pub fn coverage_report(predicted: &[usize], reference_hist: &[f64]) -> CoverageReport {
     let classes = reference_hist.len();
     let generated_hist = label_histogram(predicted, classes);
     CoverageReport {

@@ -39,8 +39,7 @@ impl FeatureStats {
 /// Panics if the two fits have different dimensions.
 pub fn frechet_distance(a: &FeatureStats, b: &FeatureStats) -> f64 {
     assert_eq!(a.dim(), b.dim(), "feature dimension mismatch");
-    let mean_term: f64 =
-        a.mu.iter().zip(&b.mu).map(|(x, y)| (x - y) * (x - y)).sum();
+    let mean_term: f64 = a.mu.iter().zip(&b.mu).map(|(x, y)| (x - y) * (x - y)).sum();
     // tr((Σ₁Σ₂)^{1/2}) = tr((S₁ Σ₂ S₁)^{1/2}) with S₁ = Σ₁^{1/2}.
     let s1 = sqrtm_psd(&a.cov);
     let inner = s1.matmul(&b.cov).matmul(&s1);

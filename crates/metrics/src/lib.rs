@@ -19,6 +19,21 @@
 //! * [`coverage`] — mode-coverage statistics (total variation distance to
 //!   the real class histogram, number of dominated/missing modes),
 //! * [`score::ScoreService`] — the bundle the trainer consumes.
+//!
+//! # Example
+//!
+//! ```
+//! use lipiz_data::SynthDigits;
+//! use lipiz_metrics::ScoreService;
+//!
+//! let reference = SynthDigits::generate(120, 3);
+//! let service = ScoreService::bootstrap(&reference, 1, 5);
+//! // Real held-out digits score better (lower FID) than pure noise.
+//! let held_out = SynthDigits::generate(60, 9);
+//! let mut rng = lipiz_tensor::Rng64::seed_from(11);
+//! let noise = rng.uniform_matrix(60, 784, -1.0, 1.0);
+//! assert!(service.fid_of(&held_out.images) < service.fid_of(&noise));
+//! ```
 
 pub mod classifier;
 pub mod coverage;

@@ -125,10 +125,7 @@ impl Comm {
         // Derive child contexts deterministically from the parent context:
         // parent 0 hands out 1,2,3...; a nested split from context c hands
         // out c*64+1, c*64+2, ... — collision-free for our shallow trees.
-        let ctx = self
-            .context
-            .wrapping_mul(64)
-            .wrapping_add(self.next_context);
+        let ctx = self.context.wrapping_mul(64).wrapping_add(self.next_context);
         self.next_context += 1;
         ctx
     }
@@ -196,18 +193,14 @@ impl Comm {
         // Flat fan-in to rank 0, then fan-out.
         if self.my_rank == 0 {
             for src in 1..self.size() {
-                let _ = self
-                    .my_mailbox()
-                    .recv(self.context, Some(src), ReservedTags::BARRIER);
+                let _ = self.my_mailbox().recv(self.context, Some(src), ReservedTags::BARRIER);
             }
             for r in 1..self.size() {
                 self.send_raw(r, ReservedTags::BARRIER, vec![]);
             }
         } else {
             self.send_raw(0, ReservedTags::BARRIER, vec![]);
-            let _ = self
-                .my_mailbox()
-                .recv(self.context, Some(0), ReservedTags::BARRIER);
+            let _ = self.my_mailbox().recv(self.context, Some(0), ReservedTags::BARRIER);
         }
     }
 
@@ -228,8 +221,7 @@ impl Comm {
             v
         } else {
             assert!(value.is_none(), "non-root must pass None to bcast");
-            let env =
-                self.my_mailbox().recv(self.context, Some(root), ReservedTags::BCAST);
+            let env = self.my_mailbox().recv(self.context, Some(root), ReservedTags::BCAST);
             T::from_bytes(&env.payload).expect("bcast decode")
         }
     }
@@ -244,8 +236,7 @@ impl Comm {
                 if src == root {
                     continue;
                 }
-                let env =
-                    self.my_mailbox().recv(self.context, Some(src), ReservedTags::GATHER);
+                let env = self.my_mailbox().recv(self.context, Some(src), ReservedTags::GATHER);
                 let v = T::from_bytes(&env.payload).expect("gather decode");
                 slots[src] = Some(v);
             }
@@ -265,11 +256,8 @@ impl Comm {
             let mut slots: Vec<Option<Vec<u8>>> = vec![None; self.size()];
             slots[0] = Some(value.to_bytes());
             for src in 1..self.size() {
-                let env = self.my_mailbox().recv(
-                    self.context,
-                    Some(src),
-                    ReservedTags::ALLGATHER,
-                );
+                let env =
+                    self.my_mailbox().recv(self.context, Some(src), ReservedTags::ALLGATHER);
                 slots[src] = Some(env.payload);
             }
             let parts: Vec<Vec<u8>> =
@@ -278,19 +266,12 @@ impl Comm {
             for r in 1..self.size() {
                 self.send_raw(r, ReservedTags::ALLGATHER, bytes.clone());
             }
-            parts
-                .iter()
-                .map(|p| T::from_bytes(p).expect("allgather decode"))
-                .collect()
+            parts.iter().map(|p| T::from_bytes(p).expect("allgather decode")).collect()
         } else {
             self.send_raw(0, ReservedTags::ALLGATHER, value.to_bytes());
-            let env =
-                self.my_mailbox().recv(self.context, Some(0), ReservedTags::ALLGATHER);
+            let env = self.my_mailbox().recv(self.context, Some(0), ReservedTags::ALLGATHER);
             let parts = Vec::<Vec<u8>>::from_bytes(&env.payload).expect("allgather parts");
-            parts
-                .iter()
-                .map(|p| T::from_bytes(p).expect("allgather decode"))
-                .collect()
+            parts.iter().map(|p| T::from_bytes(p).expect("allgather decode")).collect()
         }
     }
 
@@ -309,8 +290,7 @@ impl Comm {
                 if src == root {
                     continue;
                 }
-                let env =
-                    self.my_mailbox().recv(self.context, Some(src), ReservedTags::REDUCE);
+                let env = self.my_mailbox().recv(self.context, Some(src), ReservedTags::REDUCE);
                 slots[src] = Some(T::from_bytes(&env.payload).expect("reduce decode"));
             }
             let mut it = slots.into_iter().map(|s| s.expect("reduce slot"));
@@ -392,18 +372,14 @@ mod tests {
 
     #[test]
     fn gather_collects_in_rank_order() {
-        let results = Universe::run(4, |comm| {
-            comm.gather(0, &(comm.rank() as u64 * 10))
-        });
+        let results = Universe::run(4, |comm| comm.gather(0, &(comm.rank() as u64 * 10)));
         assert_eq!(results[0], Some(vec![0, 10, 20, 30]));
         assert!(results[1..].iter().all(|r| r.is_none()));
     }
 
     #[test]
     fn allgather_gives_everyone_everything() {
-        let results = Universe::run(5, |comm| {
-            comm.allgather(&format!("r{}", comm.rank()))
-        });
+        let results = Universe::run(5, |comm| comm.allgather(&format!("r{}", comm.rank())));
         for r in &results {
             assert_eq!(r, &["r0", "r1", "r2", "r3", "r4"]);
         }

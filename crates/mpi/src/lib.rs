@@ -23,6 +23,19 @@
 //! (clone the `Comm`), but collectives on one communicator must not be
 //! called concurrently from two threads of the same rank.
 
+//!
+//! # Example
+//!
+//! ```
+//! use lipiz_mpi::{Comm, Universe};
+//!
+//! // Three ranks, each contributing rank+1; allreduce sums across ranks.
+//! let results = Universe::run(3, |comm: Comm| {
+//!     comm.allreduce(&(comm.rank() as u64 + 1), |a, b| a + b)
+//! });
+//! assert_eq!(results, vec![6, 6, 6]);
+//! ```
+
 pub mod comm;
 pub mod endpoint;
 pub mod message;

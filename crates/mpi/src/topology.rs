@@ -112,10 +112,7 @@ mod tests {
         let g = CartGrid::square(4);
         let center = g.rank_of(1, 1);
         let n = g.neighbors4(center);
-        assert_eq!(
-            n,
-            [g.rank_of(0, 1), g.rank_of(2, 1), g.rank_of(1, 0), g.rank_of(1, 2)]
-        );
+        assert_eq!(n, [g.rank_of(0, 1), g.rank_of(2, 1), g.rank_of(1, 0), g.rank_of(1, 2)]);
     }
 
     #[test]

@@ -135,8 +135,7 @@ mod tests {
     #[test]
     fn zero_gradient_keeps_params() {
         let mut rng = Rng64::seed_from(8);
-        let mut net =
-            Mlp::from_dims(&[3, 3], Activation::Tanh, Activation::Identity, &mut rng);
+        let mut net = Mlp::from_dims(&[3, 3], Activation::Tanh, Activation::Identity, &mut rng);
         let before = net.genome();
         let grads = Grads::zeros(net.param_count());
         let mut adam = Adam::new(net.param_count());
@@ -169,8 +168,7 @@ mod tests {
     #[should_panic(expected = "width mismatch")]
     fn mismatched_grads_panic() {
         let mut rng = Rng64::seed_from(10);
-        let mut net =
-            Mlp::from_dims(&[2, 2], Activation::Tanh, Activation::Identity, &mut rng);
+        let mut net = Mlp::from_dims(&[2, 2], Activation::Tanh, Activation::Identity, &mut rng);
         let grads = Grads::zeros(net.param_count() + 1);
         let mut adam = Adam::new(net.param_count());
         adam.step(&mut net, &grads, 0.1);

@@ -80,8 +80,7 @@ pub struct Generator {
 impl Generator {
     /// Fresh generator for `cfg` with Glorot-initialized weights.
     pub fn new(cfg: &NetworkConfig, rng: &mut Rng64) -> Self {
-        let net =
-            Mlp::from_dims(&cfg.generator_dims(), cfg.activation, Activation::Tanh, rng);
+        let net = Mlp::from_dims(&cfg.generator_dims(), cfg.activation, Activation::Tanh, rng);
         Self { net, latent_dim: cfg.latent_dim }
     }
 
@@ -163,8 +162,7 @@ pub fn train_discriminator_step(
 ) -> f32 {
     let cache_real = d.net.forward_cached(real);
     let cache_fake = d.net.forward_cached(fake);
-    let (loss_val, d_real, d_fake) =
-        loss::d_bce_loss(cache_real.output(), cache_fake.output());
+    let (loss_val, d_real, d_fake) = loss::d_bce_loss(cache_real.output(), cache_fake.output());
     let (mut grads, _) = d.net.backward(&cache_real, &d_real);
     let (grads_fake, _) = d.net.backward(&cache_fake, &d_fake);
     grads.accumulate(&grads_fake);
@@ -254,10 +252,7 @@ mod tests {
             train_discriminator_step(&mut d, &mut adam, &real, &fake, 1e-2);
         }
         let trained = discriminator_loss(&d, &real, &fake);
-        assert!(
-            trained < initial * 0.2,
-            "D failed to learn: {initial} -> {trained}"
-        );
+        assert!(trained < initial * 0.2, "D failed to learn: {initial} -> {trained}");
     }
 
     /// The generator must learn to fool a frozen discriminator.
@@ -283,10 +278,7 @@ mod tests {
             train_generator_step(&mut g, &d, &mut g_adam, &zb, 1e-2, GanLoss::Heuristic);
         }
         let trained = generator_loss(&g, &d, &z, GanLoss::Heuristic);
-        assert!(
-            trained < initial,
-            "G failed to reduce its loss: {initial} -> {trained}"
-        );
+        assert!(trained < initial, "G failed to reduce its loss: {initial} -> {trained}");
         // G's samples should now look like the "real" constant to D: mean
         // output should have moved toward +0.8.
         let samples = g.sample(64, &mut rng);
@@ -321,6 +313,9 @@ mod tests {
         let cfg = NetworkConfig::paper_mnist();
         let gan = Gan::new(&cfg, &mut rng);
         assert_eq!(gan.generator.net.output_dim(), gan.discriminator.net.input_dim());
-        assert_eq!(gan.generator.net.param_count(), 64 * 256 + 256 + 256 * 256 + 256 + 256 * 784 + 784);
+        assert_eq!(
+            gan.generator.net.param_count(),
+            64 * 256 + 256 + 256 * 256 + 256 + 256 * 784 + 784
+        );
     }
 }

@@ -51,7 +51,59 @@ pub fn max_gradient_error(
 mod tests {
     use super::*;
     use crate::activation::Activation;
+    use crate::gan::{Discriminator, Generator, NetworkConfig};
+    use crate::loss::{self, GanLoss};
     use lipiz_tensor::Rng64;
+
+    #[test]
+    fn discriminator_bce_gradients_pass_gradcheck() {
+        // Full-path check: both BCE branches backpropagated through the
+        // discriminator MLP and accumulated, against numeric gradients of
+        // the same two-batch loss.
+        let mut rng = Rng64::seed_from(21);
+        let cfg = NetworkConfig::tiny(4);
+        let d = Discriminator::new(&cfg, &mut rng);
+        let real = rng.uniform_matrix(3, 4, -0.9, 0.9);
+        let fake = rng.uniform_matrix(3, 4, -0.9, 0.9);
+
+        let cache_real = d.net.forward_cached(&real);
+        let cache_fake = d.net.forward_cached(&fake);
+        let (_, d_real, d_fake) = loss::d_bce_loss(cache_real.output(), cache_fake.output());
+        let (mut grads, _) = d.net.backward(&cache_real, &d_real);
+        let (grads_fake, _) = d.net.backward(&cache_fake, &d_fake);
+        grads.accumulate(&grads_fake);
+
+        let mut loss_fn = |net: &Mlp| -> f64 {
+            loss::d_bce_loss(&net.forward(&real), &net.forward(&fake)).0 as f64
+        };
+        let err = max_gradient_error(&d.net, grads.as_slice(), 5, 1e-2, &mut loss_fn);
+        assert!(err < 2e-3, "D BCE gradcheck error {err}");
+    }
+
+    #[test]
+    fn generator_gradients_pass_gradcheck_for_every_loss() {
+        // Full-path check per Mustangs loss variant: gradients flow through
+        // the frozen discriminator into the generator parameters.
+        let mut rng = Rng64::seed_from(22);
+        let cfg = NetworkConfig::tiny(4);
+        let g = Generator::new(&cfg, &mut rng);
+        let d = Discriminator::new(&cfg, &mut rng);
+        let z = rng.normal_matrix(3, g.latent_dim(), 0.0, 1.0);
+
+        for kind in GanLoss::ALL {
+            let g_cache = g.net.forward_cached(&z);
+            let d_cache = d.net.forward_cached(g_cache.output());
+            let (_, d_logits) = loss::g_loss(kind, d_cache.output());
+            let (_, d_images) = d.net.backward(&d_cache, &d_logits);
+            let (g_grads, _) = g.net.backward(&g_cache, &d_images);
+
+            let mut loss_fn = |net: &Mlp| -> f64 {
+                loss::g_loss(kind, &d.net.forward(&net.forward(&z))).0 as f64
+            };
+            let err = max_gradient_error(&g.net, g_grads.as_slice(), 7, 1e-2, &mut loss_fn);
+            assert!(err < 2e-3, "{kind:?} G gradcheck error {err}");
+        }
+    }
 
     #[test]
     fn gradcheck_detects_wrong_gradients() {

@@ -48,8 +48,7 @@ mod tests {
     fn he_normal_scale() {
         let mut rng = Rng64::seed_from(5);
         let w = he_normal(&mut rng, 200, 100);
-        let var: f32 =
-            w.as_slice().iter().map(|v| v * v).sum::<f32>() / w.len() as f32;
+        let var: f32 = w.as_slice().iter().map(|v| v * v).sum::<f32>() / w.len() as f32;
         let expected = 2.0 / 200.0;
         assert!((var - expected).abs() < expected * 0.3, "var {var}");
     }

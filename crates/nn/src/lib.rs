@@ -19,6 +19,27 @@
 //! coevolutionary layer (crate `lipiz-core`) treats networks as individuals,
 //! and the distributed layer (`lipiz-runtime`) ships genomes between cells as
 //! byte buffers.
+//!
+//! # Example
+//!
+//! ```
+//! use lipiz_nn::{gan, Adam, Discriminator, GanLoss, Generator, NetworkConfig};
+//! use lipiz_tensor::Rng64;
+//!
+//! let mut rng = Rng64::seed_from(1);
+//! let cfg = NetworkConfig::tiny(8);
+//! let mut g = Generator::new(&cfg, &mut rng);
+//! let d = Discriminator::new(&cfg, &mut rng);
+//! let z = gan::latent_batch(&mut rng, 16, g.latent_dim());
+//! let mut adam = Adam::new(g.net.param_count());
+//!
+//! let before = gan::generator_loss(&g, &d, &z, GanLoss::Heuristic);
+//! for _ in 0..20 {
+//!     gan::train_generator_step(&mut g, &d, &mut adam, &z, 1e-2, GanLoss::Heuristic);
+//! }
+//! let after = gan::generator_loss(&g, &d, &z, GanLoss::Heuristic);
+//! assert!(after < before, "G failed to fool the frozen D: {before} -> {after}");
+//! ```
 
 pub mod activation;
 pub mod adam;

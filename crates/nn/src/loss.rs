@@ -27,8 +27,7 @@ pub enum GanLoss {
 
 impl GanLoss {
     /// All variants, in the order used for mutation draws.
-    pub const ALL: [GanLoss; 3] =
-        [GanLoss::Minimax, GanLoss::Heuristic, GanLoss::LeastSquares];
+    pub const ALL: [GanLoss; 3] = [GanLoss::Minimax, GanLoss::Heuristic, GanLoss::LeastSquares];
 
     /// Short display name.
     pub fn name(&self) -> &'static str {

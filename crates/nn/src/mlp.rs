@@ -102,10 +102,8 @@ impl Mlp {
                 w[0].fan_out, w[1].fan_in
             );
         }
-        let weights: Vec<Matrix> = specs
-            .iter()
-            .map(|s| init::glorot_uniform(rng, s.fan_in, s.fan_out))
-            .collect();
+        let weights: Vec<Matrix> =
+            specs.iter().map(|s| init::glorot_uniform(rng, s.fan_in, s.fan_out)).collect();
         let biases: Vec<Vec<f32>> = specs.iter().map(|s| vec![0.0; s.fan_out]).collect();
         Self { specs, weights, biases }
     }
@@ -348,12 +346,8 @@ mod tests {
     #[test]
     fn pooled_forward_matches_serial() {
         let mut rng = Rng64::seed_from(11);
-        let net = Mlp::from_dims(
-            &[32, 64, 16],
-            Activation::Tanh,
-            Activation::Identity,
-            &mut rng,
-        );
+        let net =
+            Mlp::from_dims(&[32, 64, 16], Activation::Tanh, Activation::Identity, &mut rng);
         let x = rng.uniform_matrix(32, 32, -1.0, 1.0);
         let serial = net.forward(&x);
         let pooled = net.forward_pooled(&x, &Pool::new(3));

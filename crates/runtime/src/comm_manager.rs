@@ -79,10 +79,8 @@ impl CommManager {
 
     /// Slave: announce this rank's node name to the master (Fig. 3).
     pub fn announce_node(&self, node_name: &str) {
-        let msg = NodeAnnouncement {
-            rank: self.world.rank(),
-            node_name: node_name.to_string(),
-        };
+        let msg =
+            NodeAnnouncement { rank: self.world.rank(), node_name: node_name.to_string() };
         self.world.send(Self::MASTER, tags::NODE_NAME, &msg);
     }
 
@@ -152,11 +150,7 @@ impl CommManager {
     /// Returns all cells' snapshots in cell order.
     pub fn exchange_centers(&self, snapshot: &CellSnapshot) -> Vec<CellSnapshot> {
         let msg = SnapshotMsg::from(snapshot);
-        self.local()
-            .allgather(&msg)
-            .into_iter()
-            .map(SnapshotMsg::into_snapshot)
-            .collect()
+        self.local().allgather(&msg).into_iter().map(SnapshotMsg::into_snapshot).collect()
     }
 
     /// Final gather of results on GLOBAL: slaves pass `Some(result)`, the
@@ -282,10 +276,7 @@ mod tests {
                 None
             }
         });
-        assert_eq!(
-            results[0].as_ref().unwrap(),
-            &[(0, 0.0), (1, 0.1), (2, 0.2)]
-        );
+        assert_eq!(results[0].as_ref().unwrap(), &[(0, 0.0), (1, 0.1), (2, 0.2)]);
     }
 
     #[test]

@@ -43,9 +43,7 @@ pub fn run_distributed(
             None
         }
     });
-    outcomes
-        .swap_remove(0)
-        .expect("master rank produces the outcome")
+    outcomes.swap_remove(0).expect("master rank produces the outcome")
 }
 
 /// Convenience wrapper returning only the training report.
@@ -92,9 +90,8 @@ mod tests {
         let cfg = TrainConfig::smoke(2);
         let outcome = run_distributed(&cfg, toy_data, DistributedOptions::default());
 
-        let mut seq = lipiz_core::sequential::SequentialTrainer::new(&cfg, |cell| {
-            toy_data(cell, &cfg)
-        });
+        let mut seq =
+            lipiz_core::sequential::SequentialTrainer::new(&cfg, |cell| toy_data(cell, &cfg));
         let seq_report = seq.run();
 
         for (d, s) in outcome.report.cells.iter().zip(&seq_report.cells) {

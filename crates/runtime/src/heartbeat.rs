@@ -50,12 +50,7 @@ impl HeartbeatLog {
 
     /// Highest iteration count ever reported by any slave.
     pub fn max_reported_iteration(&self) -> u64 {
-        self.rounds
-            .iter()
-            .flatten()
-            .map(|r| r.iterations_done)
-            .max()
-            .unwrap_or(0)
+        self.rounds.iter().flatten().map(|r| r.iterations_done).max().unwrap_or(0)
     }
 }
 
@@ -145,9 +140,7 @@ mod tests {
         assert_eq!(log.max_reported_iteration(), 1);
         for round in &log.rounds {
             assert_eq!(round.len(), 2);
-            assert!(round
-                .iter()
-                .all(|r| r.state == Some(SlaveState::Processing)));
+            assert!(round.iter().all(|r| r.state == Some(SlaveState::Processing)));
         }
     }
 
@@ -163,12 +156,9 @@ mod tests {
                     iterations_done: s.iterations_done,
                     delayed: false,
                 },
-                None => HeartbeatRecord {
-                    slave,
-                    state: None,
-                    iterations_done: 0,
-                    delayed: true,
-                },
+                None => {
+                    HeartbeatRecord { slave, state: None, iterations_done: 0, delayed: true }
+                }
             })
             .collect()
     }

@@ -22,6 +22,22 @@
 //! same config (the per-cell engines are deterministic and the allgather
 //! reproduces the sequential snapshot semantics); the integration tests
 //! assert this equivalence.
+//!
+//! # Example
+//!
+//! ```
+//! use lipiz_core::TrainConfig;
+//! use lipiz_runtime::driver::run_distributed_report;
+//! use lipiz_tensor::Rng64;
+//!
+//! let cfg = TrainConfig::smoke(2); // 2×2 grid -> 4 slave ranks + 1 master
+//! let report = run_distributed_report(&cfg, |_cell, cfg| {
+//!     let mut rng = Rng64::seed_from(cfg.training.data_seed);
+//!     rng.uniform_matrix(cfg.training.dataset_size, cfg.network.data_dim, -0.9, 0.9)
+//! });
+//! assert_eq!(report.driver, "distributed");
+//! assert_eq!(report.cells.len(), 4);
+//! ```
 
 pub mod comm_manager;
 pub mod driver;

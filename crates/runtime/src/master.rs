@@ -106,9 +106,7 @@ pub fn reduce_results(
         .iter()
         .enumerate()
         .min_by(|(_, a), (_, b)| {
-            a.gen_fitness
-                .partial_cmp(&b.gen_fitness)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            a.gen_fitness.partial_cmp(&b.gen_fitness).unwrap_or(std::cmp::Ordering::Equal)
         })
         .map_or(0, |(i, _)| i);
 

@@ -4,15 +4,15 @@
 //! defines mirror structs for everything that crosses a rank boundary and
 //! converts to/from the core types at the edges.
 
-use lipiz_core::{
-    AdversaryStrategy, CellSnapshot, CoevolutionConfig, GridConfig, LossMode,
-    MutationConfig, NeighborhoodPattern, ProfileReport, TrainConfig, TrainingConfig,
-};
 use lipiz_core::config::{NetworkSettings, WireGanLoss};
 use lipiz_core::profiling::ProfileRow;
-use lipiz_mpi::wire::WireError;
+use lipiz_core::{
+    AdversaryStrategy, CellSnapshot, CoevolutionConfig, GridConfig, LossMode, MutationConfig,
+    NeighborhoodPattern, ProfileReport, TrainConfig, TrainingConfig,
+};
 #[allow(unused_imports)]
 use lipiz_mpi::wire::Wire;
+use lipiz_mpi::wire::WireError;
 use lipiz_mpi::wire_struct;
 use lipiz_nn::GanLoss;
 
@@ -152,14 +152,7 @@ pub struct SlaveResult {
     /// Wall seconds this slave spent in the training loop.
     pub wall_seconds: f64,
 }
-wire_struct!(SlaveResult {
-    cell,
-    gen_fitness,
-    disc_fitness,
-    mixture,
-    profile,
-    wall_seconds,
-});
+wire_struct!(SlaveResult { cell, gen_fitness, disc_fitness, mixture, profile, wall_seconds });
 
 impl SlaveResult {
     /// Convert the profile rows into a core [`ProfileReport`].
@@ -381,9 +374,8 @@ mod tests {
         let mut cfg = TrainConfig::smoke(2);
         cfg.coevolution.adversary = AdversaryStrategy::All;
         cfg.grid.pattern = NeighborhoodPattern::Moore9;
-        let back = ConfigMsg::from_bytes(&ConfigMsg::from(&cfg).to_bytes())
-            .unwrap()
-            .into_config();
+        let back =
+            ConfigMsg::from_bytes(&ConfigMsg::from(&cfg).to_bytes()).unwrap().into_config();
         assert_eq!(back, cfg);
     }
 
@@ -418,11 +410,7 @@ mod tests {
             gen_fitness: 0.5,
             disc_fitness: 0.75,
             mixture: vec![0.2, 0.8],
-            profile: vec![ProfileRowMsg {
-                routine: "train".into(),
-                seconds: 1.5,
-                calls: 10,
-            }],
+            profile: vec![ProfileRowMsg { routine: "train".into(), seconds: 1.5, calls: 10 }],
             wall_seconds: 2.25,
         };
         let back = SlaveResult::from_bytes(&r.to_bytes()).unwrap();

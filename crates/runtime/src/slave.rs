@@ -67,18 +67,14 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
                         .into_iter()
                         .map(|n| all[n].clone())
                         .collect();
-                    profiler.record(
-                        lipiz_core::Routine::Gather,
-                        gather_start.elapsed(),
-                    );
+                    profiler.record(lipiz_core::Routine::Gather, gather_start.elapsed());
                     engine.run_iteration(&neighbors, &mut profiler);
                     iterations_done.fetch_add(1, Ordering::Release);
                 }
                 state_atomic.store(SlaveState::Finished.id(), Ordering::Release);
                 done.store(true, Ordering::Release);
                 let disc_pop = engine.disc_population();
-                let disc_fitness =
-                    disc_pop.members()[disc_pop.best_index()].fitness;
+                let disc_fitness = disc_pop.members()[disc_pop.best_index()].fitness;
                 SlaveResult {
                     cell: cell_index,
                     gen_fitness: engine.best_gen_fitness(),
@@ -136,7 +132,10 @@ mod tests {
 
     #[test]
     fn state_ids_used_by_slave_match_enum() {
-        assert_eq!(SlaveState::from_id(SlaveState::Processing.id()), Some(SlaveState::Processing));
+        assert_eq!(
+            SlaveState::from_id(SlaveState::Processing.id()),
+            Some(SlaveState::Processing)
+        );
         assert_eq!(SlaveState::from_id(SlaveState::Finished.id()), Some(SlaveState::Finished));
     }
 }

@@ -30,10 +30,7 @@ impl SlaveState {
     /// # Panics
     /// Panics on an illegal transition — state bugs must be loud.
     pub fn transition(self, next: SlaveState) -> SlaveState {
-        assert!(
-            self.can_transition(next),
-            "illegal slave transition {self:?} -> {next:?}"
-        );
+        assert!(self.can_transition(next), "illegal slave transition {self:?} -> {next:?}");
         next
     }
 

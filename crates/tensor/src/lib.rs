@@ -11,6 +11,21 @@
 //! Everything is deliberately `f32`: the GANs reproduced here (MLPs from
 //! Table I of the paper) train in single precision, and half the memory
 //! traffic matters more than the extra mantissa bits.
+//!
+//! # Example
+//!
+//! ```
+//! use lipiz_tensor::{ops, Matrix, Pool, Rng64};
+//!
+//! let mut rng = Rng64::seed_from(7);
+//! let a = rng.uniform_matrix(4, 3, -1.0, 1.0);
+//! let b = rng.uniform_matrix(3, 5, -1.0, 1.0);
+//! let c = ops::matmul(&a, &b);
+//! assert_eq!(c.shape(), (4, 5));
+//! // The pooled kernel is bit-identical to the serial one.
+//! let pooled = ops::matmul_pooled(&a, &b, &Pool::new(2));
+//! assert_eq!(pooled.as_slice(), c.as_slice());
+//! ```
 
 pub mod error;
 pub mod matrix;

@@ -262,6 +262,72 @@ mod tests {
         assert!(try_matmul(&a, &b).is_err());
     }
 
+    fn naive_matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.cols(), b.cols());
+        for i in 0..a.cols() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for p in 0..a.rows() {
+                    s += a[(p, i)] * b[(p, j)];
+                }
+                out[(i, j)] = s;
+            }
+        }
+        out
+    }
+
+    fn naive_matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.rows());
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                let mut s = 0.0;
+                for p in 0..a.cols() {
+                    s += a[(i, p)] * b[(j, p)];
+                }
+                out[(i, j)] = s;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn at_b_matches_naive_reference() {
+        let mut rng = Rng64::seed_from(20);
+        let a = rng.uniform_matrix(9, 5, -1.0, 1.0);
+        let b = rng.uniform_matrix(9, 7, -1.0, 1.0);
+        assert!(matmul_at_b(&a, &b).max_abs_diff(&naive_matmul_at_b(&a, &b)) < 1e-5);
+    }
+
+    #[test]
+    fn a_bt_matches_naive_reference() {
+        let mut rng = Rng64::seed_from(21);
+        let a = rng.uniform_matrix(6, 8, -1.0, 1.0);
+        let b = rng.uniform_matrix(5, 8, -1.0, 1.0);
+        assert!(matmul_a_bt(&a, &b).max_abs_diff(&naive_matmul_a_bt(&a, &b)) < 1e-5);
+    }
+
+    #[test]
+    fn pooled_matmul_is_bit_exact_for_any_worker_count() {
+        // Determinism, not mere closeness: the distributed drivers assert
+        // bit-identical genomes, so the row-partitioned kernel must produce
+        // exactly the serial result regardless of pool size or run order.
+        let mut rng = Rng64::seed_from(22);
+        let a = rng.uniform_matrix(23, 17, -1.0, 1.0);
+        let b = rng.uniform_matrix(17, 11, -1.0, 1.0);
+        let serial = matmul(&a, &b);
+        for workers in 1..=4 {
+            let pool = Pool::new(workers);
+            for _ in 0..3 {
+                let pooled = matmul_pooled(&a, &b, &pool);
+                assert_eq!(
+                    pooled.as_slice(),
+                    serial.as_slice(),
+                    "bit drift with {workers} workers"
+                );
+            }
+        }
+    }
+
     #[test]
     fn at_b_matches_explicit_transpose() {
         let mut rng = Rng64::seed_from(8);

@@ -84,13 +84,16 @@ pub fn row_argmax(m: &Matrix) -> Vec<usize> {
         .map(|row| {
             row.iter()
                 .enumerate()
-                .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
-                    if v > bv {
-                        (i, v)
-                    } else {
-                        (bi, bv)
-                    }
-                })
+                .fold(
+                    (0usize, f32::NEG_INFINITY),
+                    |(bi, bv), (i, &v)| {
+                        if v > bv {
+                            (i, v)
+                        } else {
+                            (bi, bv)
+                        }
+                    },
+                )
                 .0
         })
         .collect()

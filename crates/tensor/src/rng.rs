@@ -170,6 +170,33 @@ mod tests {
     }
 
     #[test]
+    fn clone_continues_identical_stream() {
+        // Snapshot/restore of trainer state relies on cloned RNGs resuming
+        // exactly where the original would have.
+        let mut a = Rng64::seed_from(77);
+        for _ in 0..10 {
+            a.gaussian();
+        }
+        let mut b = a.clone();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.gaussian().to_bits(), b.gaussian().to_bits());
+        }
+    }
+
+    #[test]
+    fn matrix_helpers_are_reproducible() {
+        let mut a = Rng64::seed_from(31);
+        let mut b = Rng64::seed_from(31);
+        let ma = a.uniform_matrix(7, 5, -2.0, 2.0);
+        let mb = b.uniform_matrix(7, 5, -2.0, 2.0);
+        assert_eq!(ma.as_slice(), mb.as_slice());
+        let na = a.normal_matrix(4, 6, 0.5, 0.1);
+        let nb = b.normal_matrix(4, 6, 0.5, 0.1);
+        assert_eq!(na.as_slice(), nb.as_slice());
+    }
+
+    #[test]
     fn gaussian_moments() {
         let mut rng = Rng64::seed_from(123);
         let n = 20_000;

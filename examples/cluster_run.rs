@@ -75,12 +75,8 @@ fn main() {
     );
 
     // ---- The invariant that makes the comparison meaningful -------------
-    for ((d, s), v) in outcome
-        .report
-        .cells
-        .iter()
-        .zip(&seq_report.cells)
-        .zip(&sim_outcome.report.cells)
+    for ((d, s), v) in
+        outcome.report.cells.iter().zip(&seq_report.cells).zip(&sim_outcome.report.cells)
     {
         assert_eq!(d.gen_fitness, s.gen_fitness, "threaded vs sequential diverged");
         assert_eq!(s.gen_fitness, v.gen_fitness, "sequential vs simulator diverged");

@@ -21,7 +21,10 @@ fn main() {
     let mut rng = Rng64::seed_from(cfg.training.data_seed);
     let data = rng.uniform_matrix(cfg.training.dataset_size, cfg.network.data_dim, -0.9, 0.9);
 
-    println!("training a {}x{} toroidal grid, {} iterations ...", cfg.grid.rows, cfg.grid.cols, cfg.coevolution.iterations);
+    println!(
+        "training a {}x{} toroidal grid, {} iterations ...",
+        cfg.grid.rows, cfg.grid.cols, cfg.coevolution.iterations
+    );
     let mut trainer = SequentialTrainer::new(&cfg, |_| data.clone());
     let report = trainer.run();
 

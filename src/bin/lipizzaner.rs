@@ -34,10 +34,7 @@ fn main() -> ExitCode {
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
 fn flag_present(args: &[String], name: &str) -> bool {
@@ -121,8 +118,10 @@ fn cmd_train(args: &[String]) -> ExitCode {
             let outcome = lipizzaner::runtime::run_distributed(
                 &cfg,
                 move |cell, cfg| {
-                    let digits =
-                        SynthDigits::generate(cfg.training.dataset_size, cfg.training.data_seed);
+                    let digits = SynthDigits::generate(
+                        cfg.training.dataset_size,
+                        cfg.training.data_seed,
+                    );
                     if use_shards {
                         lipizzaner::data::DataPartition::Shards.slice_for_cell(
                             &digits.images,
@@ -190,9 +189,8 @@ fn cmd_sample(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut rng = Rng64::seed_from(
-        flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42),
-    );
+    let mut rng =
+        Rng64::seed_from(flag_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42));
     let samples = model.sample(count, &mut rng);
     if model.network.data_dim == lipizzaner::data::IMAGE_DIM {
         println!("{}", image::to_ascii_28(samples.row(0)));

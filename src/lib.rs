@@ -49,12 +49,14 @@ pub mod prelude {
     pub use lipiz_cluster::{ClusterSpec, CommCost, SimulatedCluster, SimulationOptions};
     pub use lipiz_core::sequential::SequentialTrainer;
     pub use lipiz_core::{
-        CellEngine, CellSnapshot, EnsembleModel, Grid, LossMode, NeighborhoodPattern,
-        Profiler, Routine, TrainConfig, TrainReport,
+        CellEngine, CellSnapshot, EnsembleModel, Grid, LossMode, NeighborhoodPattern, Profiler,
+        Routine, TrainConfig, TrainReport,
     };
     pub use lipiz_data::{BatchLoader, DataPartition, RingDataset, SynthDigits};
     pub use lipiz_metrics::ScoreService;
-    pub use lipiz_nn::{Activation, Adam, Discriminator, GanLoss, Generator, Mlp, NetworkConfig};
+    pub use lipiz_nn::{
+        Activation, Adam, Discriminator, GanLoss, Generator, Mlp, NetworkConfig,
+    };
     pub use lipiz_runtime::{run_distributed, DistributedOptions};
     pub use lipiz_tensor::{Matrix, Pool, Rng64};
 }

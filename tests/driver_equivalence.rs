@@ -16,11 +16,7 @@ fn assert_reports_equal(a: &TrainReport, b: &TrainReport, label: &str) {
         assert_eq!(x.cell, y.cell, "{label}: cell ids");
         assert_eq!(x.gen_fitness, y.gen_fitness, "{label}: cell {} G fitness", x.cell);
         assert_eq!(x.disc_fitness, y.disc_fitness, "{label}: cell {} D fitness", x.cell);
-        assert_eq!(
-            x.mixture_weights, y.mixture_weights,
-            "{label}: cell {} mixture",
-            x.cell
-        );
+        assert_eq!(x.mixture_weights, y.mixture_weights, "{label}: cell {} mixture", x.cell);
     }
     assert_eq!(a.best_cell, b.best_cell, "{label}: best cell");
 }
@@ -30,11 +26,8 @@ fn run_all_three(cfg: &TrainConfig) -> (TrainReport, TrainReport, TrainReport) {
     let mut seq = SequentialTrainer::new(cfg, |_| data.clone());
     let seq_report = seq.run();
 
-    let dist_outcome = run_distributed(
-        cfg,
-        |_, cfg| toy_data(cfg),
-        DistributedOptions::default(),
-    );
+    let dist_outcome =
+        run_distributed(cfg, |_, cfg| toy_data(cfg), DistributedOptions::default());
 
     let sim = SimulatedCluster::cluster_uy(SimulationOptions::default());
     let sim_outcome = sim.run(cfg, |_| data.clone());
@@ -96,10 +89,6 @@ fn different_seeds_change_results() {
     let mut seq_b = SequentialTrainer::new(&cfg_b, |_| data.clone());
     let a = seq_a.run();
     let b = seq_b.run();
-    let same = a
-        .cells
-        .iter()
-        .zip(&b.cells)
-        .all(|(x, y)| x.gen_fitness == y.gen_fitness);
+    let same = a.cells.iter().zip(&b.cells).all(|(x, y)| x.gen_fitness == y.gen_fitness);
     assert!(!same, "different master seeds produced identical runs");
 }

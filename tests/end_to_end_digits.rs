@@ -88,13 +88,8 @@ fn ensemble_samples_look_like_images() {
     assert!(samples.as_slice().iter().all(|v| v.abs() <= 1.0), "outside tanh range");
     // Not constant: the ensemble must produce varied outputs.
     let first = samples.row(0);
-    let varied = (1..samples.rows()).any(|r| {
-        samples
-            .row(r)
-            .iter()
-            .zip(first)
-            .any(|(a, b)| (a - b).abs() > 1e-3)
-    });
+    let varied = (1..samples.rows())
+        .any(|r| samples.row(r).iter().zip(first).any(|(a, b)| (a - b).abs() > 1e-3));
     assert!(varied, "ensemble collapsed to a constant output");
 }
 
@@ -109,8 +104,7 @@ fn scorer_ranks_real_above_noise() {
     let junk = scorer.score(&noise);
     assert!(real.fid < junk.fid, "FID failed to separate real from noise");
     assert!(
-        real.coverage.covered > junk.coverage.covered
-            || real.inception > junk.inception,
+        real.coverage.covered > junk.coverage.covered || real.inception > junk.inception,
         "no metric separated real from noise"
     );
 }

@@ -49,11 +49,7 @@ fn heartbeat_thread_observes_training_progress() {
     // At least one round saw a live slave; reported iterations never exceed
     // the configured count.
     assert!(log.max_reported_iteration() <= cfg.coevolution.iterations as u64);
-    let saw_any_state = log
-        .rounds
-        .iter()
-        .flatten()
-        .any(|r| r.state.is_some());
+    let saw_any_state = log.rounds.iter().flatten().any(|r| r.state.is_some());
     assert!(saw_any_state, "no slave ever answered a heartbeat");
 }
 
@@ -64,11 +60,7 @@ fn per_slave_profiles_cover_all_routines() {
     for sr in &outcome.slave_results {
         let report = sr.profile_report();
         assert!(report.seconds(Routine::Train) > 0.0, "cell {} train time", sr.cell);
-        assert!(
-            report.seconds(Routine::Gather) >= 0.0,
-            "cell {} gather time",
-            sr.cell
-        );
+        assert!(report.seconds(Routine::Gather) >= 0.0, "cell {} gather time", sr.cell);
         assert!(sr.wall_seconds > 0.0);
     }
 }
@@ -77,11 +69,7 @@ fn per_slave_profiles_cover_all_routines() {
 fn distributed_wall_time_is_bounded_by_slowest_slave_plus_overhead() {
     let cfg = TrainConfig::smoke(2);
     let outcome = run_distributed(&cfg, |_, cfg| toy_data(cfg), DistributedOptions::default());
-    let slowest = outcome
-        .slave_results
-        .iter()
-        .map(|r| r.wall_seconds)
-        .fold(0.0f64, f64::max);
+    let slowest = outcome.slave_results.iter().map(|r| r.wall_seconds).fold(0.0f64, f64::max);
     assert!(
         outcome.report.wall_seconds >= slowest * 0.5,
         "master wall {} vs slowest slave {}",
