@@ -41,11 +41,36 @@ fn bench_pooled_matmul(c: &mut Criterion) {
     let mut rng = Rng64::seed_from(3);
     let a = rng.uniform_matrix(256, 256, -1.0, 1.0);
     let b = rng.uniform_matrix(256, 784, -1.0, 1.0);
-    for workers in [1usize, 2] {
+    for workers in [1usize, 2, 4, 8] {
         let pool = Pool::new(workers);
         group.bench_with_input(BenchmarkId::new("workers", workers), &pool, |bench, pool| {
             bench.iter(|| ops::matmul_pooled(&a, &b, pool))
         });
+    }
+    group.finish();
+}
+
+fn bench_pooled_backprop_shapes(c: &mut Criterion) {
+    // The two transposed gradient products at the paper's heaviest layer
+    // (256→784, batch 100), across pool widths — the ROADMAP "parallel
+    // scaling of Pool beyond 2 workers" measurement.
+    let mut group = c.benchmark_group("pooled_backprop_shapes");
+    let mut rng = Rng64::seed_from(5);
+    let x = rng.uniform_matrix(100, 256, -1.0, 1.0);
+    let delta = rng.uniform_matrix(100, 784, -1.0, 1.0);
+    let w = rng.uniform_matrix(256, 784, -1.0, 1.0);
+    for workers in [1usize, 2, 4, 8] {
+        let pool = Pool::new(workers);
+        group.bench_with_input(
+            BenchmarkId::new("at_b_256x784_workers", workers),
+            &pool,
+            |bench, pool| bench.iter(|| ops::matmul_at_b_pooled(&x, &delta, pool)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("a_bt_100x256_workers", workers),
+            &pool,
+            |bench, pool| bench.iter(|| ops::matmul_a_bt_pooled(&delta, &w, pool)),
+        );
     }
     group.finish();
 }
@@ -95,6 +120,7 @@ criterion_group!(
     bench_matmul,
     bench_matmul_transposed_variants,
     bench_pooled_matmul,
+    bench_pooled_backprop_shapes,
     bench_eigensolver,
     bench_wire_codec,
     bench_batch_gather

@@ -1,0 +1,211 @@
+//! Machine-readable kernel + communication microbenchmarks.
+//!
+//! Runs the hot-path kernels (the three Table-I matmul shapes, the two
+//! backprop products, the pooled variants across worker counts) plus the
+//! snapshot-exchange micro-costs, and writes `BENCH_kernels.json` with
+//! ns/op per entry. CI runs `--smoke` on every PR and uploads the file as
+//! an artifact, so kernel regressions are visible per-change; full runs
+//! seed the repo's perf trajectory in the committed JSON.
+//!
+//! ```text
+//! cargo run --release -p lipiz-bench --bin bench-json            # full
+//! cargo run --release -p lipiz-bench --bin bench-json -- --smoke
+//! cargo run --release -p lipiz-bench --bin bench-json -- --out my.json
+//! ```
+
+use lipiz_core::CellSnapshot;
+use lipiz_mpi::wire::Wire;
+use lipiz_mpi::{Comm, Universe};
+use lipiz_runtime::protocol::SnapshotMsg;
+use lipiz_tensor::{ops, Pool, Rng64};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured entry.
+struct Entry {
+    group: &'static str,
+    name: String,
+    ns_per_op: f64,
+    reps: usize,
+}
+
+/// How many timed batches per entry (the reported figure is the *minimum*
+/// batch mean, which filters scheduler noise on shared hosts — a single
+/// mean can be inflated 2× by a noisy neighbor on a one-core container).
+const BATCHES: usize = 5;
+
+/// ns per call of `f`: minimum over [`BATCHES`] batches of `reps` calls
+/// each, after one warmup call.
+fn time_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / reps as f64);
+    }
+    best
+}
+
+fn push(
+    entries: &mut Vec<Entry>,
+    group: &'static str,
+    name: impl Into<String>,
+    reps: usize,
+    f: impl FnMut(),
+) {
+    let name = name.into();
+    let ns = time_ns(reps, f);
+    println!("bench {group}/{name:<40} {:>12.0} ns/op (best of {BATCHES}x{reps})", ns);
+    entries.push(Entry { group, name, ns_per_op: ns, reps });
+}
+
+fn kernel_benches(entries: &mut Vec<Entry>, reps: usize) {
+    let mut rng = Rng64::seed_from(1);
+    // The three shapes of one Table I generator forward pass (batch 100).
+    for &(m, k, n) in &[(100usize, 64usize, 256usize), (100, 256, 256), (100, 256, 784)] {
+        let a = rng.uniform_matrix(m, k, -1.0, 1.0);
+        let b = rng.uniform_matrix(k, n, -1.0, 1.0);
+        push(entries, "matmul_serial", format!("{m}x{k}x{n}"), reps, || {
+            black_box(ops::matmul(black_box(&a), black_box(&b)));
+        });
+    }
+    // Backprop shapes at the heaviest layer (256→784, batch 100).
+    let x = rng.uniform_matrix(100, 256, -1.0, 1.0);
+    let delta = rng.uniform_matrix(100, 784, -1.0, 1.0);
+    let w = rng.uniform_matrix(256, 784, -1.0, 1.0);
+    push(entries, "backprop_serial", "at_b_100x256x784", reps, || {
+        black_box(ops::matmul_at_b(black_box(&x), black_box(&delta)));
+    });
+    push(entries, "backprop_serial", "a_bt_100x784x256", reps, || {
+        black_box(ops::matmul_a_bt(black_box(&delta), black_box(&w)));
+    });
+
+    // Pooled scaling on the discriminator-sized product (256×256×784) and
+    // the two backprop shapes.
+    let pa = rng.uniform_matrix(256, 256, -1.0, 1.0);
+    let pb = rng.uniform_matrix(256, 784, -1.0, 1.0);
+    for workers in [1usize, 2, 4, 8] {
+        let pool = Pool::new(workers);
+        push(entries, "matmul_pooled_256x256x784", format!("workers_{workers}"), reps, || {
+            black_box(ops::matmul_pooled(black_box(&pa), black_box(&pb), &pool));
+        });
+        push(entries, "at_b_pooled_100x256x784", format!("workers_{workers}"), reps, || {
+            black_box(ops::matmul_at_b_pooled(black_box(&x), black_box(&delta), &pool));
+        });
+        push(entries, "a_bt_pooled_100x784x256", format!("workers_{workers}"), reps, || {
+            black_box(ops::matmul_a_bt_pooled(black_box(&delta), black_box(&w), &pool));
+        });
+    }
+}
+
+fn communication_benches(entries: &mut Vec<Entry>, reps: usize, smoke: bool) {
+    // Paper-scale generator genome unless smoking.
+    let genome_len = if smoke { 2_840 } else { 283_920 };
+    let snap = CellSnapshot {
+        cell: 0,
+        gen_genome: vec![0.5; genome_len],
+        gen_lr: 2e-4,
+        gen_loss: lipiz_nn::GanLoss::Heuristic,
+        gen_fitness: 0.0,
+        disc_genome: vec![-0.5; genome_len],
+        disc_lr: 2e-4,
+        disc_fitness: 0.0,
+    };
+    let mut scratch = Vec::new();
+    push(entries, "snapshot", "encode_scratch_reuse", reps.max(10), || {
+        scratch.clear();
+        SnapshotMsg::encode_snapshot(black_box(&snap), &mut scratch);
+        black_box(scratch.len());
+    });
+    push(entries, "snapshot", "encode_fresh_alloc", reps.max(10), || {
+        black_box(SnapshotMsg::from(black_box(&snap)).to_bytes());
+    });
+
+    // Generic Wire scratch reuse on a genome-sized payload.
+    let genome = vec![0.25f32; genome_len];
+    let mut wire_scratch = Vec::new();
+    push(entries, "wire", "genome_to_bytes_into", reps.max(10), || {
+        black_box(&genome).to_bytes_into(&mut wire_scratch);
+        black_box(wire_scratch.len());
+    });
+    push(entries, "wire", "genome_to_bytes", reps.max(10), || {
+        black_box(black_box(&genome).to_bytes());
+    });
+
+    // The per-iteration LOCAL allgather at the paper's 3×3 grid size,
+    // timed *inside* a resident universe so thread spawn/join cost stays
+    // out of the figure (the whole point is catching collective-path
+    // regressions, not measuring `Universe::run` setup).
+    let slaves = 9usize;
+    let floats = if smoke { 284 } else { 28_392 };
+    let inner_reps = reps.max(4);
+    let mut best = f64::INFINITY;
+    for _ in 0..BATCHES {
+        let per_rank_ns = Universe::run(slaves, move |comm: Comm| {
+            let genome = vec![comm.rank() as f32; floats];
+            // Warmup round doubles as a barrier so every rank starts hot.
+            black_box(comm.allgather(&genome).len());
+            let start = Instant::now();
+            for _ in 0..inner_reps {
+                black_box(comm.allgather(&genome).len());
+            }
+            start.elapsed().as_nanos() as f64 / inner_reps as f64
+        });
+        best = best.min(per_rank_ns[0]);
+    }
+    let name = format!("slaves_{slaves}_floats_{floats}");
+    println!("bench allgather/{name:<40} {best:>12.0} ns/op (best of {BATCHES}x{inner_reps})");
+    entries.push(Entry {
+        group: "allgather",
+        name,
+        ns_per_op: best,
+        reps: BATCHES * inner_reps,
+    });
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(path: &str, entries: &[Entry], smoke: bool) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"lipiz-bench-kernels/v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", if smoke { "smoke" } else { "full" }));
+    out.push_str(&format!("  \"host_cores\": {cores},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"ns_per_op\": {:.1}, \"reps\": {}}}{}\n",
+            json_escape(e.group),
+            json_escape(&e.name),
+            e.ns_per_op,
+            e.reps,
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write bench json");
+    println!("wrote {path} ({} entries)", entries.len());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let reps = if smoke { 2 } else { 8 };
+
+    let mut entries = Vec::new();
+    kernel_benches(&mut entries, reps);
+    communication_benches(&mut entries, reps, smoke);
+    write_json(&out_path, &entries, smoke);
+}

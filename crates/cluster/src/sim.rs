@@ -8,7 +8,7 @@ use crate::vtime::RankClock;
 use lipiz_core::{
     CellEngine, CellResult, CellSnapshot, Grid, Profiler, Routine, TrainConfig, TrainReport,
 };
-use lipiz_tensor::Matrix;
+use lipiz_tensor::{Matrix, Pool};
 use std::time::Instant;
 
 /// Simulation knobs.
@@ -67,8 +67,12 @@ impl SimulatedCluster {
         let cells = grid.cell_count();
         let placement = Placement::allocate(&self.spec, cells + 1, self.opts.run_seed);
 
-        let mut engines: Vec<CellEngine> =
-            (0..cells).map(|i| CellEngine::new(i, cfg, make_data(i))).collect();
+        // All simulated slaves run in this one host process, so they share
+        // one resident pool instead of spawning workers per cell.
+        let pool = Pool::new(cfg.training.workers_per_cell);
+        let mut engines: Vec<CellEngine> = (0..cells)
+            .map(|i| CellEngine::with_pool(i, cfg, make_data(i), pool.clone()))
+            .collect();
         let speed_of = |cell: usize| -> f64 {
             let mut speed = placement.speed_of(cell + 1);
             if let Some((victim, slowdown)) = self.opts.straggler {

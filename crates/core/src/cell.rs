@@ -8,7 +8,7 @@ use crate::profiling::{Profiler, Routine};
 use crate::snapshot::CellSnapshot;
 use lipiz_data::BatchLoader;
 use lipiz_nn::{gan, loss, Adam, Discriminator, GanLoss, Generator, NetworkConfig};
-use lipiz_tensor::{Matrix, Rng64};
+use lipiz_tensor::{Matrix, Pool, Rng64};
 use std::sync::Arc;
 
 /// Optional external scorer for mixture evolution (lower is better). The
@@ -46,6 +46,9 @@ pub struct CellEngine {
     scorer: Option<MixtureScorer>,
     batch_counter: u64,
     iteration: usize,
+    /// Intra-rank worker pool: every matrix product of the iteration —
+    /// generation, evaluation, and both backward passes — fans out here.
+    pool: Pool,
 }
 
 impl CellEngine {
@@ -56,6 +59,15 @@ impl CellEngine {
     /// Panics if the dataset width does not match the configured data
     /// dimension, or the dataset is smaller than the eval batch.
     pub fn new(cell_index: usize, cfg: &TrainConfig, data: Matrix) -> Self {
+        let pool = Pool::new(cfg.training.workers_per_cell);
+        Self::with_pool(cell_index, cfg, data, pool)
+    }
+
+    /// Like [`CellEngine::new`] but sharing an existing worker pool —
+    /// drivers that host several engines in one process (the sequential
+    /// baseline, the virtual cluster) hand every engine a clone of one pool
+    /// so the resident threads are spawned once.
+    pub fn with_pool(cell_index: usize, cfg: &TrainConfig, data: Matrix, pool: Pool) -> Self {
         let net_cfg = cfg.network.to_network_config();
         assert_eq!(data.cols(), net_cfg.data_dim, "dataset width vs network data_dim");
         assert!(data.rows() >= cfg.training.eval_batch, "dataset smaller than eval batch");
@@ -111,6 +123,7 @@ impl CellEngine {
             scorer: None,
             batch_counter: 0,
             iteration: 0,
+            pool,
         }
     }
 
@@ -277,7 +290,15 @@ impl CellEngine {
             self.scratch_disc.net.load_genome(&self.disc_pop.members()[d_idx].genome);
             &self.scratch_disc
         };
-        gan::train_generator_step(&mut self.gen, adversary, &mut self.adam_g, &z, lr, kind);
+        gan::train_generator_step_pooled(
+            &mut self.gen,
+            adversary,
+            &mut self.adam_g,
+            &z,
+            lr,
+            kind,
+            &self.pool,
+        );
     }
 
     /// One discriminator Adam step against generator sub-population member
@@ -289,13 +310,20 @@ impl CellEngine {
             self.net_cfg.latent_dim,
         );
         let fake = if g_idx == 0 {
-            self.gen.generate(&z)
+            self.gen.generate_pooled(&z, &self.pool)
         } else {
             self.scratch_gen.net.load_genome(&self.gen_pop.members()[g_idx].genome);
-            self.scratch_gen.generate(&z)
+            self.scratch_gen.generate_pooled(&z, &self.pool)
         };
         let lr = self.disc_pop.center().lr;
-        gan::train_discriminator_step(&mut self.disc, &mut self.adam_d, real, &fake, lr);
+        gan::train_discriminator_step_pooled(
+            &mut self.disc,
+            &mut self.adam_d,
+            real,
+            &fake,
+            lr,
+            &self.pool,
+        );
     }
 
     // ---- phase 4: update genomes -------------------------------------------
@@ -316,7 +344,7 @@ impl CellEngine {
         let mut fakes: Vec<Matrix> = Vec::with_capacity(s);
         for i in 0..s {
             self.scratch_gen.net.load_genome(&self.gen_pop.members()[i].genome);
-            fakes.push(self.scratch_gen.generate(&z_eval));
+            fakes.push(self.scratch_gen.generate_pooled(&z_eval, &self.pool));
         }
 
         // Pairwise logits: discriminator j scores real batch + all fakes.
@@ -324,9 +352,9 @@ impl CellEngine {
         let mut d_fit = vec![0.0f64; s];
         for j in 0..s {
             self.scratch_disc.net.load_genome(&self.disc_pop.members()[j].genome);
-            let z_real = self.scratch_disc.logits(&self.eval_real);
+            let z_real = self.scratch_disc.logits_pooled(&self.eval_real, &self.pool);
             for (i, fake) in fakes.iter().enumerate() {
-                let z_fake = self.scratch_disc.logits(fake);
+                let z_fake = self.scratch_disc.logits_pooled(fake, &self.pool);
                 let (g_loss, _) = loss::g_loss(GanLoss::Heuristic, &z_fake);
                 let (d_loss, _, _) = loss::d_bce_loss(&z_real, &z_fake);
                 g_fit[i] += g_loss as f64 / s as f64;
@@ -368,6 +396,7 @@ impl CellEngine {
         let assignment_seed = self.rng_mixture.derive(self.iteration as u64);
         let scorer = self.scorer.clone();
         let disc = &self.disc;
+        let pool = &self.pool;
         let score = |w: &MixtureWeights| -> f64 {
             let mut rng = assignment_seed.clone();
             let mut blended = Matrix::zeros(n, fakes[0].cols());
@@ -378,7 +407,7 @@ impl CellEngine {
             match &scorer {
                 Some(s) => s(&blended),
                 None => {
-                    let logits = disc.logits(&blended);
+                    let logits = disc.logits_pooled(&blended, pool);
                     loss::g_loss(GanLoss::Heuristic, &logits).0 as f64
                 }
             }
@@ -455,6 +484,27 @@ mod tests {
         // All four phases recorded time.
         for r in [Routine::Gather, Routine::Mutate, Routine::Train, Routine::UpdateGenomes] {
             assert_eq!(prof.calls(r), 1, "{r:?} not recorded");
+        }
+    }
+
+    #[test]
+    fn multithreaded_engine_is_bit_identical_to_serial() {
+        // The intra-rank pool must never change results — only wall-clock.
+        // Run the full four-phase iteration at several worker counts and
+        // require byte-identical snapshots.
+        let run_with = |workers: usize| {
+            let cfg = TrainConfig::smoke(2).with_workers(workers);
+            let data = toy_data(&cfg);
+            let mut e = CellEngine::new(0, &cfg, data);
+            let snaps = neighbor_snaps(&mut e, 4);
+            let mut prof = Profiler::new();
+            e.run_iteration(&snaps, &mut prof);
+            e.run_iteration(&snaps, &mut prof);
+            e.snapshot()
+        };
+        let serial = run_with(1);
+        for workers in [2, 3, 4] {
+            assert_eq!(run_with(workers), serial, "drift at {workers} workers");
         }
     }
 

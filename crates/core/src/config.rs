@@ -131,6 +131,12 @@ pub struct TrainingConfig {
     pub data_seed: u64,
     /// Rows of the fixed evaluation batch used for fitness.
     pub eval_batch: usize,
+    /// Worker threads per cell engine for the intra-rank level of the
+    /// paper's two-level parallelism (§III-A). Every matrix product of the
+    /// training iteration — forward, backward, and evaluation — fans out to
+    /// this many threads; results are bit-identical for every value.
+    /// `1` (the default) runs fully inline.
+    pub workers_per_cell: usize,
 }
 
 /// Serializable mirror of the network topology (Table I, top block).
@@ -210,6 +216,7 @@ impl TrainConfig {
                 dataset_size: 60_000,
                 data_seed: 0xDA7A,
                 eval_batch: 100,
+                workers_per_cell: 1,
             },
             seed: 1,
         }
@@ -247,6 +254,7 @@ impl TrainConfig {
                 dataset_size: 64,
                 data_seed: 7,
                 eval_batch: 16,
+                workers_per_cell: 1,
             },
             seed: 3,
         }
@@ -255,6 +263,14 @@ impl TrainConfig {
     /// Mustangs variant of any config (loss mutation on).
     pub fn with_mustangs(mut self) -> Self {
         self.mutation.loss_mode = LossMode::Mutate;
+        self
+    }
+
+    /// Same config with `workers` threads per cell engine (min 1). Training
+    /// results are bit-identical for every worker count; only wall-clock
+    /// changes.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.training.workers_per_cell = workers.max(1);
         self
     }
 
@@ -345,6 +361,13 @@ mod tests {
     fn mustangs_toggle() {
         let cfg = TrainConfig::smoke(2).with_mustangs();
         assert_eq!(cfg.mutation.loss_mode, LossMode::Mutate);
+    }
+
+    #[test]
+    fn workers_toggle_clamps_to_one() {
+        assert_eq!(TrainConfig::smoke(2).with_workers(4).training.workers_per_cell, 4);
+        assert_eq!(TrainConfig::smoke(2).with_workers(0).training.workers_per_cell, 1);
+        assert_eq!(TrainConfig::smoke(2).training.workers_per_cell, 1);
     }
 
     #[test]

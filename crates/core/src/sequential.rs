@@ -15,7 +15,7 @@ use crate::profiling::{Profiler, Routine};
 use crate::report::{CellResult, TrainReport};
 use crate::snapshot::CellSnapshot;
 use crate::topology::Grid;
-use lipiz_tensor::Matrix;
+use lipiz_tensor::{Matrix, Pool};
 use std::time::Instant;
 
 /// Sequential whole-grid trainer.
@@ -32,8 +32,12 @@ impl SequentialTrainer {
     /// the distributed-memory layout).
     pub fn new(cfg: &TrainConfig, mut make_data: impl FnMut(usize) -> Matrix) -> Self {
         let grid = Grid::from_config(&cfg.grid);
-        let engines =
-            (0..grid.cell_count()).map(|i| CellEngine::new(i, cfg, make_data(i))).collect();
+        // One resident pool for the whole grid: every engine gets a clone
+        // (cells run one after another here, so they can share workers).
+        let pool = Pool::new(cfg.training.workers_per_cell);
+        let engines = (0..grid.cell_count())
+            .map(|i| CellEngine::with_pool(i, cfg, make_data(i), pool.clone()))
+            .collect();
         Self { grid, cfg: cfg.clone(), engines, profiler: Profiler::new() }
     }
 

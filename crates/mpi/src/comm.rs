@@ -251,10 +251,23 @@ impl Comm {
     /// group-rank order. This is the §III-D "gather operations performed
     /// between slaves to collect partial results" primitive.
     pub fn allgather<T: Wire>(&self, value: &T) -> Vec<T> {
+        self.allgather_bytes(&value.to_bytes())
+            .iter()
+            .map(|p| T::from_bytes(p).expect("allgather decode"))
+            .collect()
+    }
+
+    /// Raw-payload allgather: every rank receives all ranks' payloads in
+    /// group-rank order. Callers that maintain a reusable encode buffer
+    /// (the per-iteration snapshot exchange) use this to skip the typed
+    /// wrapper's per-exchange encode allocation; the transport itself still
+    /// takes one owned copy of `payload`, since the mailbox keeps the bytes
+    /// after the call returns.
+    pub fn allgather_bytes(&self, payload: &[u8]) -> Vec<Vec<u8>> {
         // Gather at 0, then broadcast the concatenation.
         if self.my_rank == 0 {
             let mut slots: Vec<Option<Vec<u8>>> = vec![None; self.size()];
-            slots[0] = Some(value.to_bytes());
+            slots[0] = Some(payload.to_vec());
             for src in 1..self.size() {
                 let env =
                     self.my_mailbox().recv(self.context, Some(src), ReservedTags::ALLGATHER);
@@ -266,12 +279,11 @@ impl Comm {
             for r in 1..self.size() {
                 self.send_raw(r, ReservedTags::ALLGATHER, bytes.clone());
             }
-            parts.iter().map(|p| T::from_bytes(p).expect("allgather decode")).collect()
+            parts
         } else {
-            self.send_raw(0, ReservedTags::ALLGATHER, value.to_bytes());
+            self.send_raw(0, ReservedTags::ALLGATHER, payload.to_vec());
             let env = self.my_mailbox().recv(self.context, Some(0), ReservedTags::ALLGATHER);
-            let parts = Vec::<Vec<u8>>::from_bytes(&env.payload).expect("allgather parts");
-            parts.iter().map(|p| T::from_bytes(p).expect("allgather decode")).collect()
+            Vec::<Vec<u8>>::from_bytes(&env.payload).expect("allgather parts")
         }
     }
 

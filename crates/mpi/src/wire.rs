@@ -45,6 +45,16 @@ pub trait Wire: Sized {
         buf
     }
 
+    /// Encode into a reusable scratch buffer: clears `buf` but keeps its
+    /// capacity. The scratch-reuse counterpart of [`Wire::to_bytes`] for
+    /// callers that encode the same message type repeatedly (the snapshot
+    /// allgather goes one step further and encodes straight from the core
+    /// type — see `SnapshotMsg::encode_snapshot` in `lipiz-runtime`).
+    fn to_bytes_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        self.encode(buf);
+    }
+
     /// Decode from a complete buffer, requiring full consumption.
     fn from_bytes(mut buf: &[u8]) -> Result<Self, WireError> {
         let v = Self::decode(&mut buf)?;
@@ -306,6 +316,20 @@ mod tests {
     #[test]
     fn wire_struct_macro_round_trips() {
         round_trip(Demo { a: 5, b: vec![1.5, -2.5], c: "demo".into() });
+    }
+
+    #[test]
+    fn to_bytes_into_reuses_capacity() {
+        let v = vec![1.5f32; 256];
+        let mut scratch = Vec::new();
+        v.to_bytes_into(&mut scratch);
+        assert_eq!(scratch, v.to_bytes());
+        let cap = scratch.capacity();
+        let ptr = scratch.as_ptr();
+        v.to_bytes_into(&mut scratch);
+        assert_eq!(scratch, v.to_bytes());
+        assert_eq!(scratch.capacity(), cap);
+        assert_eq!(scratch.as_ptr(), ptr, "scratch was reallocated");
     }
 
     #[test]

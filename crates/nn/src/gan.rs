@@ -9,7 +9,7 @@ use crate::activation::Activation;
 use crate::adam::Adam;
 use crate::loss::{self, GanLoss};
 use crate::mlp::Mlp;
-use lipiz_tensor::{Matrix, Rng64};
+use lipiz_tensor::{Matrix, Pool, Rng64};
 
 /// Topology description for one generator/discriminator pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,6 +94,11 @@ impl Generator {
         self.net.forward(z)
     }
 
+    /// [`Generator::generate`] with pooled matrix products (bit-identical).
+    pub fn generate_pooled(&self, z: &Matrix, pool: &Pool) -> Matrix {
+        self.net.forward_pooled(z, pool)
+    }
+
     /// Draw `n` latent vectors and generate images.
     pub fn sample(&self, n: usize, rng: &mut Rng64) -> Matrix {
         let z = latent_batch(rng, n, self.latent_dim);
@@ -123,6 +128,12 @@ impl Discriminator {
     /// Real/fake logits for a data batch: `(batch, 1)`.
     pub fn logits(&self, x: &Matrix) -> Matrix {
         self.net.forward(x)
+    }
+
+    /// [`Discriminator::logits`] with pooled matrix products
+    /// (bit-identical).
+    pub fn logits_pooled(&self, x: &Matrix, pool: &Pool) -> Matrix {
+        self.net.forward_pooled(x, pool)
     }
 }
 
@@ -160,11 +171,25 @@ pub fn train_discriminator_step(
     fake: &Matrix,
     lr: f32,
 ) -> f32 {
-    let cache_real = d.net.forward_cached(real);
-    let cache_fake = d.net.forward_cached(fake);
+    train_discriminator_step_pooled(d, adam, real, fake, lr, &Pool::serial())
+}
+
+/// [`train_discriminator_step`] with every matrix product fanned out to
+/// `pool` (the paper's two-level parallelism, now covering the backward
+/// pass). Bit-identical to the serial step for every worker count.
+pub fn train_discriminator_step_pooled(
+    d: &mut Discriminator,
+    adam: &mut Adam,
+    real: &Matrix,
+    fake: &Matrix,
+    lr: f32,
+    pool: &Pool,
+) -> f32 {
+    let cache_real = d.net.forward_cached_pooled(real, pool);
+    let cache_fake = d.net.forward_cached_pooled(fake, pool);
     let (loss_val, d_real, d_fake) = loss::d_bce_loss(cache_real.output(), cache_fake.output());
-    let (mut grads, _) = d.net.backward(&cache_real, &d_real);
-    let (grads_fake, _) = d.net.backward(&cache_fake, &d_fake);
+    let (mut grads, _) = d.net.backward_pooled(&cache_real, &d_real, pool);
+    let (grads_fake, _) = d.net.backward_pooled(&cache_fake, &d_fake, pool);
     grads.accumulate(&grads_fake);
     adam.step(&mut d.net, &grads, lr);
     loss_val
@@ -181,12 +206,26 @@ pub fn train_generator_step(
     lr: f32,
     kind: GanLoss,
 ) -> f32 {
-    let g_cache = g.net.forward_cached(z);
-    let d_cache = d.net.forward_cached(g_cache.output());
+    train_generator_step_pooled(g, d, adam, z, lr, kind, &Pool::serial())
+}
+
+/// [`train_generator_step`] with every matrix product fanned out to `pool`.
+/// Bit-identical to the serial step for every worker count.
+pub fn train_generator_step_pooled(
+    g: &mut Generator,
+    d: &Discriminator,
+    adam: &mut Adam,
+    z: &Matrix,
+    lr: f32,
+    kind: GanLoss,
+    pool: &Pool,
+) -> f32 {
+    let g_cache = g.net.forward_cached_pooled(z, pool);
+    let d_cache = d.net.forward_cached_pooled(g_cache.output(), pool);
     let (loss_val, d_logits) = loss::g_loss(kind, d_cache.output());
     // Backprop through the discriminator to images, then through G.
-    let (_unused_d_grads, d_images) = d.net.backward(&d_cache, &d_logits);
-    let (g_grads, _) = g.net.backward(&g_cache, &d_images);
+    let (_unused_d_grads, d_images) = d.net.backward_pooled(&d_cache, &d_logits, pool);
+    let (g_grads, _) = g.net.backward_pooled(&g_cache, &d_images, pool);
     adam.step(&mut g.net, &g_grads, lr);
     loss_val
 }

@@ -176,11 +176,17 @@ impl Mlp {
 
     /// Forward pass that caches every activation for [`Mlp::backward`].
     pub fn forward_cached(&self, x: &Matrix) -> ForwardCache {
+        self.forward_cached_pooled(x, &Pool::serial())
+    }
+
+    /// Caching forward pass with pooled matrix products. Bit-identical to
+    /// [`Mlp::forward_cached`] for every worker count.
+    pub fn forward_cached_pooled(&self, x: &Matrix, pool: &Pool) -> ForwardCache {
         assert_eq!(x.cols(), self.input_dim(), "input width");
         let mut activations = Vec::with_capacity(self.specs.len() + 1);
         activations.push(x.clone());
         for i in 0..self.specs.len() {
-            let mut a = ops::matmul(activations.last().unwrap(), &self.weights[i]);
+            let mut a = ops::matmul_pooled(activations.last().unwrap(), &self.weights[i], pool);
             ops::add_row_vector(&mut a, &self.biases[i]);
             self.specs[i].act.apply_inplace(&mut a);
             activations.push(a);
@@ -195,6 +201,18 @@ impl Mlp {
     /// backpropagation into the generator when training through the
     /// discriminator).
     pub fn backward(&self, cache: &ForwardCache, d_out: &Matrix) -> (Grads, Matrix) {
+        self.backward_pooled(cache, d_out, &Pool::serial())
+    }
+
+    /// Backward pass with pooled matrix products (the two transposed
+    /// gradient products dominate the train routine — Table IV). Gradients
+    /// are bit-identical to [`Mlp::backward`] for every worker count.
+    pub fn backward_pooled(
+        &self,
+        cache: &ForwardCache,
+        d_out: &Matrix,
+        pool: &Pool,
+    ) -> (Grads, Matrix) {
         assert_eq!(
             cache.activations.len(),
             self.specs.len() + 1,
@@ -209,7 +227,7 @@ impl Mlp {
             let out_act = &cache.activations[i + 1];
             self.specs[i].act.scale_by_derivative(out_act, &mut delta);
             let input_act = &cache.activations[i];
-            let dw = ops::matmul_at_b(input_act, &delta);
+            let dw = ops::matmul_at_b_pooled(input_act, &delta, pool);
             let (w_off, b_off) = offsets[i];
             let spec = self.specs[i];
             let wlen = spec.fan_in * spec.fan_out;
@@ -224,10 +242,10 @@ impl Mlp {
                 }
             }
             if i > 0 {
-                delta = ops::matmul_a_bt(&delta, &self.weights[i]);
+                delta = ops::matmul_a_bt_pooled(&delta, &self.weights[i], pool);
             } else {
                 // delta for the input: compute and return.
-                let dx = ops::matmul_a_bt(&delta, &self.weights[0]);
+                let dx = ops::matmul_a_bt_pooled(&delta, &self.weights[0], pool);
                 return (grads, dx);
             }
         }
@@ -352,6 +370,27 @@ mod tests {
         let serial = net.forward(&x);
         let pooled = net.forward_pooled(&x, &Pool::new(3));
         assert!(serial.max_abs_diff(&pooled) < 1e-6);
+    }
+
+    #[test]
+    fn pooled_backward_is_bit_identical_to_serial() {
+        // The drivers assert bit-identical genomes across worker counts, so
+        // the pooled backward pass must not drift by a single bit.
+        let mut rng = Rng64::seed_from(12);
+        let net =
+            Mlp::from_dims(&[24, 48, 32], Activation::Tanh, Activation::Identity, &mut rng);
+        let x = rng.uniform_matrix(16, 24, -1.0, 1.0);
+        let cache = net.forward_cached(&x);
+        let d_out = cache.output().clone();
+        let (grads, dx) = net.backward(&cache, &d_out);
+        for workers in 1..=4 {
+            let pool = Pool::new(workers);
+            let pooled_cache = net.forward_cached_pooled(&x, &pool);
+            assert_eq!(pooled_cache.output().as_slice(), cache.output().as_slice());
+            let (pg, pdx) = net.backward_pooled(&pooled_cache, &d_out, &pool);
+            assert_eq!(pg.as_slice(), grads.as_slice(), "grads drift at {workers} workers");
+            assert_eq!(pdx.as_slice(), dx.as_slice(), "dx drift at {workers} workers");
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::protocol::{
     tags, NodeAnnouncement, RunTask, SlaveResult, SnapshotMsg, StatusReport,
 };
 use lipiz_core::CellSnapshot;
+use lipiz_mpi::wire::Wire;
 use lipiz_mpi::{Comm, RecvFrom};
 use std::time::Duration;
 
@@ -28,6 +29,10 @@ pub struct CommManager {
     world: Comm,
     local: Option<Comm>,
     global: Comm,
+    /// Reusable encode buffer for the per-iteration snapshot allgather —
+    /// grows to genome size once, then every exchange reuses it instead of
+    /// allocating a fresh wire buffer.
+    snapshot_scratch: Vec<u8>,
 }
 
 impl CommManager {
@@ -43,7 +48,7 @@ impl CommManager {
         let local = world.subgroup(&slaves);
         let all: Vec<usize> = (0..n).collect();
         let global = world.subgroup(&all).expect("every rank is in GLOBAL");
-        Self { world, local, global }
+        Self { world, local, global, snapshot_scratch: Vec::new() }
     }
 
     /// Is this rank the master?
@@ -148,9 +153,20 @@ impl CommManager {
 
     /// Slave: per-iteration allgather of center snapshots on LOCAL.
     /// Returns all cells' snapshots in cell order.
-    pub fn exchange_centers(&self, snapshot: &CellSnapshot) -> Vec<CellSnapshot> {
-        let msg = SnapshotMsg::from(snapshot);
-        self.local().allgather(&msg).into_iter().map(SnapshotMsg::into_snapshot).collect()
+    ///
+    /// Encodes straight from the snapshot into a scratch buffer owned by
+    /// this manager (no `SnapshotMsg` clone, no fresh wire allocation), so
+    /// the steady-state gather cost is the transport alone.
+    pub fn exchange_centers(&mut self, snapshot: &CellSnapshot) -> Vec<CellSnapshot> {
+        self.snapshot_scratch.clear();
+        SnapshotMsg::encode_snapshot(snapshot, &mut self.snapshot_scratch);
+        self.local()
+            .allgather_bytes(&self.snapshot_scratch)
+            .into_iter()
+            .map(|part| {
+                SnapshotMsg::from_bytes(&part).expect("snapshot decode").into_snapshot()
+            })
+            .collect()
     }
 
     /// Final gather of results on GLOBAL: slaves pass `Some(result)`, the
@@ -214,7 +230,7 @@ mod tests {
     #[test]
     fn center_exchange_orders_by_cell() {
         let results = Universe::run(5, |world| {
-            let cm = CommManager::new(world);
+            let mut cm = CommManager::new(world);
             if cm.is_master() {
                 return vec![];
             }

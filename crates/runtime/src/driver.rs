@@ -104,6 +104,22 @@ mod tests {
     }
 
     #[test]
+    fn multithreaded_slaves_match_serial_slaves_exactly() {
+        // Two-level parallelism end-to-end: slaves running their engines on
+        // a multi-worker pool must produce byte-identical results to serial
+        // slaves (and therefore to the sequential baseline).
+        let serial_cfg = TrainConfig::smoke(2);
+        let threaded_cfg = TrainConfig::smoke(2).with_workers(2);
+        let serial = run_distributed(&serial_cfg, toy_data, DistributedOptions::default());
+        let threaded = run_distributed(&threaded_cfg, toy_data, DistributedOptions::default());
+        for (s, t) in serial.report.cells.iter().zip(&threaded.report.cells) {
+            assert_eq!(s.gen_fitness, t.gen_fitness, "cell {} gen fitness", s.cell);
+            assert_eq!(s.disc_fitness, t.disc_fitness, "cell {} disc fitness", s.cell);
+            assert_eq!(s.mixture_weights, t.mixture_weights, "cell {} mixture", s.cell);
+        }
+    }
+
+    #[test]
     fn heartbeat_observes_progress() {
         let mut cfg = TrainConfig::smoke(2);
         // Enough work that at least one heartbeat round lands mid-training.

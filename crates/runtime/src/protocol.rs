@@ -106,6 +106,23 @@ impl From<&CellSnapshot> for SnapshotMsg {
 }
 
 impl SnapshotMsg {
+    /// Encode a [`CellSnapshot`] directly into `buf` in `SnapshotMsg` wire
+    /// order, without materializing the message struct — the per-iteration
+    /// allgather used to clone both genomes into a `SnapshotMsg` and then
+    /// serialize that copy; this writes the one wire buffer straight from
+    /// the snapshot. Byte-identical to `SnapshotMsg::from(s).to_bytes()`
+    /// appended to `buf`.
+    pub fn encode_snapshot(s: &CellSnapshot, buf: &mut Vec<u8>) {
+        s.cell.encode(buf);
+        s.gen_genome.encode(buf);
+        s.gen_lr.encode(buf);
+        s.gen_loss.id().encode(buf);
+        s.gen_fitness.encode(buf);
+        s.disc_genome.encode(buf);
+        s.disc_lr.encode(buf);
+        s.disc_fitness.encode(buf);
+    }
+
     /// Convert back into the core type.
     ///
     /// # Panics
@@ -199,6 +216,7 @@ pub struct ConfigMsg {
     dataset_size: usize,
     data_seed: u64,
     eval_batch: usize,
+    workers_per_cell: usize,
     seed: u64,
 }
 wire_struct!(ConfigMsg {
@@ -227,6 +245,7 @@ wire_struct!(ConfigMsg {
     dataset_size,
     data_seed,
     eval_batch,
+    workers_per_cell,
     seed,
 });
 
@@ -288,6 +307,7 @@ impl From<&TrainConfig> for ConfigMsg {
             dataset_size: c.training.dataset_size,
             data_seed: c.training.data_seed,
             eval_batch: c.training.eval_batch,
+            workers_per_cell: c.training.workers_per_cell,
             seed: c.seed,
         }
     }
@@ -345,6 +365,7 @@ impl ConfigMsg {
                 dataset_size: self.dataset_size,
                 data_seed: self.data_seed,
                 eval_batch: self.eval_batch,
+                workers_per_cell: self.workers_per_cell,
             },
             seed: self.seed,
         }
@@ -361,6 +382,7 @@ mod tests {
             TrainConfig::paper_table1(),
             TrainConfig::smoke(2),
             TrainConfig::smoke(3).with_mustangs(),
+            TrainConfig::smoke(2).with_workers(4),
         ] {
             let msg = ConfigMsg::from(&cfg);
             let bytes = msg.to_bytes();
@@ -394,6 +416,29 @@ mod tests {
         let msg = SnapshotMsg::from(&snap);
         let back = SnapshotMsg::from_bytes(&msg.to_bytes()).unwrap().into_snapshot();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn direct_snapshot_encode_matches_message_encode() {
+        // The scratch-buffer fast path must stay byte-identical to the
+        // struct-based encoding, or mixed-version ranks would diverge.
+        let snap = CellSnapshot {
+            cell: 3,
+            gen_genome: vec![0.25; 17],
+            gen_lr: 3e-4,
+            gen_loss: GanLoss::Minimax,
+            gen_fitness: -1.5,
+            disc_genome: vec![-0.75; 9],
+            disc_lr: 5e-4,
+            disc_fitness: 2.25,
+        };
+        let mut direct = Vec::new();
+        SnapshotMsg::encode_snapshot(&snap, &mut direct);
+        assert_eq!(direct, SnapshotMsg::from(&snap).to_bytes());
+        // And it appends (scratch reuse clears before encoding, not here).
+        let mut appended = vec![0xAA];
+        SnapshotMsg::encode_snapshot(&snap, &mut appended);
+        assert_eq!(&appended[1..], &direct[..]);
     }
 
     #[test]

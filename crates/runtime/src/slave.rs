@@ -45,7 +45,7 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
 
     std::thread::scope(|s| {
         // Execution thread: training loop with per-iteration allgather.
-        let exec_cm = cm.clone();
+        let mut exec_cm = cm.clone();
         let exec_cfg = cfg.clone();
         let exec = s.spawn({
             let iterations_done = &iterations_done;

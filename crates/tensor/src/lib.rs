@@ -1,12 +1,13 @@
 //! Dense f32 matrix kernels and seeded randomness for lipizzaner-rs.
 //!
 //! This crate is the numerical substrate of the workspace: a row-major
-//! [`Matrix`] type, cache-friendly matrix products (including the transposed
-//! variants backpropagation needs), elementwise kernels, axis reductions, a
-//! deterministic [`rng::Rng64`] with Gaussian sampling, and a small
-//! scoped-thread [`pool::Pool`] that provides the *intra-process* level of the
-//! paper's two-level parallel model (threads inside a rank, message passing
-//! across ranks).
+//! [`Matrix`] type, register-blocked matrix products (including the
+//! transposed variants backpropagation needs, with a runtime-dispatched
+//! AVX2 micro-kernel that stays bit-identical to the portable path),
+//! elementwise kernels, axis reductions, a deterministic [`rng::Rng64`]
+//! with Gaussian sampling, and a resident worker [`pool::Pool`] that
+//! provides the *intra-process* level of the paper's two-level parallel
+//! model (threads inside a rank, message passing across ranks).
 //!
 //! Everything is deliberately `f32`: the GANs reproduced here (MLPs from
 //! Table I of the paper) train in single precision, and half the memory

@@ -2,13 +2,41 @@
 //!
 //! The three product variants (`A·B`, `Aᵀ·B`, `A·Bᵀ`) are exactly the shapes
 //! dense-layer backpropagation needs; providing them directly avoids
-//! materializing transposed copies in the training hot loop. All products use
-//! an i-k-j loop order so the inner loop walks both operands contiguously,
-//! which lets LLVM vectorize the FMA chain.
+//! materializing transposed copies in the training hot loop.
+//!
+//! # Kernel design
+//!
+//! All three products funnel into one register-blocked kernel over a common
+//! canonical form `out[i][j] = Σ_p A'[p][i] · B'[p][j]`, where `A'` is a
+//! `k×m` panel and `B'` a `k×n` panel:
+//!
+//! * `A·B`   — `A'` is the packed transpose of `a`, `B'` is `b` as-is;
+//! * `Aᵀ·B`  — both operands are already in canonical layout, zero packing;
+//! * `A·Bᵀ`  — both operands are packed transposes.
+//!
+//! The micro-kernel holds an `MR×NR` accumulator tile in registers and walks
+//! the shared dimension `p` innermost, so each `p` step touches one
+//! contiguous `MR`-wide segment of `A'` and one `NR`-wide segment of `B'`
+//! and performs `MR·NR` independent multiply-adds — a clean FMA chain for
+//! LLVM with no data-dependent branches (the old kernels' `av == 0.0`
+//! sparse-skip defeated vectorization on dense operands).
+//!
+//! # Determinism
+//!
+//! Every kernel — serial, blocked, and pooled at any worker count —
+//! accumulates each output element in a single `f32` accumulator over `p`
+//! in ascending order. Tiling only regroups *independent* elements, so all
+//! variants are bit-identical to the naive triple loop; the distributed
+//! drivers rely on this to stay byte-identical across worker counts.
 
 use crate::error::ShapeError;
 use crate::matrix::Matrix;
 use crate::pool::Pool;
+
+/// Register-tile height (rows of the output micro-tile).
+const MR: usize = 4;
+/// Register-tile width (columns of the output micro-tile).
+const NR: usize = 16;
 
 /// `out = a · b`, checked. `a: (m,k)`, `b: (k,n)` → `(m,n)`.
 pub fn try_matmul(a: &Matrix, b: &Matrix) -> Result<Matrix, ShapeError> {
@@ -32,23 +60,10 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 pub fn matmul_acc_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(a.cols(), b.rows(), "matmul inner dim");
     assert_eq!(out.shape(), (a.rows(), b.cols()), "matmul out shape");
+    let (m, k) = a.shape();
     let n = b.cols();
-    let k = a.cols();
-    let bd = b.as_slice();
-    for i in 0..a.rows() {
-        let arow = a.row(i);
-        // Split borrow: out row is disjoint from a/b.
-        let orow = out.row_mut(i);
-        for (p, &av) in arow.iter().enumerate().take(k) {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[p * n..(p + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    }
+    let at = pack_transpose(a);
+    blocked_tn(k, m, n, &at, b.as_slice(), 0, m, out.as_mut_slice());
 }
 
 /// `out = a · b`, overwriting `out`.
@@ -59,44 +74,29 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
 
 /// `aᵀ · b`: `a: (k,m)`, `b: (k,n)` → `(m,n)`.
 ///
-/// This is the weight-gradient product `xᵀ · δ` of a dense layer.
+/// This is the weight-gradient product `xᵀ · δ` of a dense layer. Both
+/// operands are already in the canonical `k×·` layout, so no packing at all.
 pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.rows(), b.rows(), "matmul_at_b shared dim");
     let (k, m) = a.shape();
     let n = b.cols();
     let mut out = Matrix::zeros(m, n);
-    for p in 0..k {
-        let arow = a.row(p);
-        let brow = b.row(p);
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let orow = out.row_mut(i);
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    }
+    blocked_tn(k, m, n, a.as_slice(), b.as_slice(), 0, m, out.as_mut_slice());
     out
 }
 
 /// `a · bᵀ`: `a: (m,k)`, `b: (n,k)` → `(m,n)`.
 ///
-/// This is the input-gradient product `δ · Wᵀ` of a dense layer. The inner
-/// loop is a dot product of two contiguous rows.
+/// This is the input-gradient product `δ · Wᵀ` of a dense layer; both
+/// operands are packed into canonical `k×·` panels first.
 pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.cols(), "matmul_a_bt shared dim");
-    let m = a.rows();
+    let (m, k) = a.shape();
     let n = b.rows();
+    let at = pack_transpose(a);
+    let bt = pack_transpose(b);
     let mut out = Matrix::zeros(m, n);
-    for i in 0..m {
-        let arow = a.row(i);
-        let orow = out.row_mut(i);
-        for (j, o) in orow.iter_mut().enumerate().take(n) {
-            *o = dot(arow, b.row(j));
-        }
-    }
+    blocked_tn(k, m, n, &at, &bt, 0, m, out.as_mut_slice());
     out
 }
 
@@ -121,39 +121,275 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     s
 }
 
-/// Parallel `a · b` using `pool` to split the rows of `a` across workers.
+// ---- blocked canonical kernel ---------------------------------------------
+
+/// Pack the transpose of `src` into a fresh `cols×rows` row-major buffer.
 ///
-/// Falls back to the serial kernel when the pool has one worker or the
-/// problem is too small to amortize the spawn cost.
-pub fn matmul_pooled(a: &Matrix, b: &Matrix, pool: &Pool) -> Matrix {
-    assert_eq!(a.cols(), b.rows(), "matmul inner dim");
-    let flops = a.rows() * a.cols() * b.cols();
-    if pool.workers() <= 1 || flops < 64 * 1024 {
-        return matmul(a, b);
-    }
-    let mut out = Matrix::zeros(a.rows(), b.cols());
-    let n = b.cols();
-    let k = a.cols();
-    let bd = b.as_slice();
-    let ad = a.as_slice();
-    pool.run_rows(a.rows(), n, out.as_mut_slice(), &|r0, rows, chunk| {
-        for (local_i, orow) in chunk.chunks_exact_mut(n).enumerate() {
-            let i = r0 + local_i;
-            debug_assert!(i < r0 + rows);
-            let arow = &ad[i * k..(i + 1) * k];
-            for (p, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &bd[p * n..(p + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
+/// Cache-blocked so both the read and write sides stay within a few lines.
+fn pack_transpose(src: &Matrix) -> Vec<f32> {
+    const TB: usize = 32;
+    let (r, c) = src.shape();
+    let s = src.as_slice();
+    let mut dst = vec![0.0f32; r * c];
+    for i0 in (0..r).step_by(TB) {
+        let i1 = (i0 + TB).min(r);
+        for j0 in (0..c).step_by(TB) {
+            let j1 = (j0 + TB).min(c);
+            for i in i0..i1 {
+                for j in j0..j1 {
+                    dst[j * r + i] = s[i * c + j];
                 }
             }
         }
+    }
+    dst
+}
+
+/// Canonical blocked product over output rows `[r0, r0 + rows)`:
+/// `out[i][j] += Σ_p at[p·m + i] · bp[p·n + j]`.
+///
+/// `at` is the `k×m` left panel ("A transposed"), `bp` the `k×n` right
+/// panel, and `out` the chunk of the output covering exactly the given row
+/// range (`rows·n` elements). Accumulates on top of whatever `out` holds.
+#[allow(clippy::too_many_arguments)] // flat panel-geometry signature, kept register-friendly
+fn blocked_tn(
+    k: usize,
+    m: usize,
+    n: usize,
+    at: &[f32],
+    bp: &[f32],
+    r0: usize,
+    rows: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(at.len(), k * m);
+    debug_assert_eq!(bp.len(), k * n);
+    debug_assert_eq!(out.len(), rows * n);
+    debug_assert!(r0 + rows <= m);
+    let wide = have_wide_simd();
+    let mut i = 0;
+    while i < rows {
+        let mr = MR.min(rows - i);
+        let mut j = 0;
+        while j < n {
+            let nr = NR.min(n - j);
+            if mr == MR && nr == NR {
+                micro_full_dispatch(wide, k, m, n, at, bp, r0 + i, j, &mut out[i * n..]);
+            } else {
+                micro_edge(k, m, n, at, bp, r0 + i, mr, j, nr, &mut out[i * n..]);
+            }
+            j += nr;
+        }
+        i += mr;
+    }
+}
+
+/// Does the host support the 256-bit micro-kernel? (Cached by the stdlib
+/// feature-detection macro; one relaxed atomic load per call.)
+#[cfg(target_arch = "x86_64")]
+fn have_wide_simd() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+/// Non-x86 hosts always take the portable scalar micro-kernel.
+#[cfg(not(target_arch = "x86_64"))]
+fn have_wide_simd() -> bool {
+    false
+}
+
+/// Pick the widest micro-kernel the host supports. Both paths perform the
+/// identical sequence of individually-rounded IEEE multiplies and adds per
+/// output element, so the choice never changes a single bit of the result.
+#[inline]
+#[allow(clippy::too_many_arguments)] // flat panel-geometry signature, kept register-friendly
+fn micro_full_dispatch(
+    wide: bool,
+    k: usize,
+    m: usize,
+    n: usize,
+    at: &[f32],
+    bp: &[f32],
+    gi: usize,
+    j: usize,
+    out_rows: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if wide {
+        // SAFETY: `wide` asserts AVX2 support at runtime.
+        unsafe { micro_full_avx2(k, m, n, at, bp, gi, j, out_rows) };
+        return;
+    }
+    let _ = wide;
+    micro_full(k, m, n, at, bp, gi, j, out_rows);
+}
+
+/// AVX2 variant of [`micro_full`]: the 4×16 accumulator tile lives in eight
+/// 256-bit registers. Uses separate `vmulps`/`vaddps` — *not* FMA — because
+/// fused rounding would break bit-exactness against the scalar kernel.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)] // flat panel-geometry signature, kept register-friendly
+unsafe fn micro_full_avx2(
+    k: usize,
+    m: usize,
+    n: usize,
+    at: &[f32],
+    bp: &[f32],
+    gi: usize,
+    j: usize,
+    out_rows: &mut [f32],
+) {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_storeu_ps,
+    };
+    debug_assert!(gi + MR <= m && j + NR <= n && (MR - 1) * n + j + NR <= out_rows.len());
+    debug_assert!(k * m <= at.len() && k * n <= bp.len());
+    let out_ptr = out_rows.as_mut_ptr();
+    let mut acc = [[_mm256_set1_ps(0.0); 2]; MR];
+    for (r, accr) in acc.iter_mut().enumerate() {
+        let o = out_ptr.add(r * n + j);
+        accr[0] = _mm256_loadu_ps(o);
+        accr[1] = _mm256_loadu_ps(o.add(8));
+    }
+    let at_ptr = at.as_ptr();
+    let bp_ptr = bp.as_ptr();
+    for p in 0..k {
+        let bq = bp_ptr.add(p * n + j);
+        let b0 = _mm256_loadu_ps(bq);
+        let b1 = _mm256_loadu_ps(bq.add(8));
+        let aq = at_ptr.add(p * m + gi);
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = _mm256_set1_ps(*aq.add(r));
+            accr[0] = _mm256_add_ps(accr[0], _mm256_mul_ps(av, b0));
+            accr[1] = _mm256_add_ps(accr[1], _mm256_mul_ps(av, b1));
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let o = out_ptr.add(r * n + j);
+        _mm256_storeu_ps(o, accr[0]);
+        _mm256_storeu_ps(o.add(8), accr[1]);
+    }
+}
+
+/// Full `MR×NR` register-tile micro-kernel. `out_rows` starts at the tile's
+/// first output row; `gi`/`j` are the global row/column of the tile.
+#[inline]
+#[allow(clippy::too_many_arguments)] // flat panel-geometry signature, kept register-friendly
+fn micro_full(
+    k: usize,
+    m: usize,
+    n: usize,
+    at: &[f32],
+    bp: &[f32],
+    gi: usize,
+    j: usize,
+    out_rows: &mut [f32],
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, accr) in acc.iter_mut().enumerate() {
+        accr.copy_from_slice(&out_rows[r * n + j..r * n + j + NR]);
+    }
+    for p in 0..k {
+        let arow = &at[p * m + gi..p * m + gi + MR];
+        let brow = &bp[p * n + j..p * n + j + NR];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = arow[r];
+            for (o, &bv) in accr.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        out_rows[r * n + j..r * n + j + NR].copy_from_slice(accr);
+    }
+}
+
+/// Edge-tile kernel for ragged `mr×nr` remainders; same per-element
+/// accumulation order as the full tile (single accumulator, `p` ascending).
+#[allow(clippy::too_many_arguments)] // flat panel-geometry signature, kept register-friendly
+fn micro_edge(
+    k: usize,
+    m: usize,
+    n: usize,
+    at: &[f32],
+    bp: &[f32],
+    gi: usize,
+    mr: usize,
+    j: usize,
+    nr: usize,
+    out_rows: &mut [f32],
+) {
+    for r in 0..mr {
+        for c in 0..nr {
+            let mut s = out_rows[r * n + j + c];
+            for p in 0..k {
+                s += at[p * m + gi + r] * bp[p * n + j + c];
+            }
+            out_rows[r * n + j + c] = s;
+        }
+    }
+}
+
+// ---- pooled products -------------------------------------------------------
+
+/// Minimum multiply-add count before fanning a product out to the pool.
+const POOL_FLOP_THRESHOLD: usize = 64 * 1024;
+
+/// Parallel `a · b` using `pool` to split the rows of the output across
+/// workers. Bit-identical to [`matmul`] for every worker count.
+///
+/// Falls back to the serial kernel when the pool has one worker or the
+/// problem is too small to amortize the handoff cost.
+pub fn matmul_pooled(a: &Matrix, b: &Matrix, pool: &Pool) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul inner dim");
+    let (m, k) = a.shape();
+    let n = b.cols();
+    if pool.workers() <= 1 || m * k * n < POOL_FLOP_THRESHOLD {
+        return matmul(a, b);
+    }
+    let at = pack_transpose(a);
+    let mut out = Matrix::zeros(m, n);
+    pool.run_rows(m, n, out.as_mut_slice(), &|r0, rows, chunk| {
+        blocked_tn(k, m, n, &at, b.as_slice(), r0, rows, chunk);
     });
     out
 }
+
+/// Parallel `aᵀ · b` (weight-gradient shape). Bit-identical to
+/// [`matmul_at_b`] for every worker count.
+pub fn matmul_at_b_pooled(a: &Matrix, b: &Matrix, pool: &Pool) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "matmul_at_b shared dim");
+    let (k, m) = a.shape();
+    let n = b.cols();
+    if pool.workers() <= 1 || m * k * n < POOL_FLOP_THRESHOLD {
+        return matmul_at_b(a, b);
+    }
+    let mut out = Matrix::zeros(m, n);
+    pool.run_rows(m, n, out.as_mut_slice(), &|r0, rows, chunk| {
+        blocked_tn(k, m, n, a.as_slice(), b.as_slice(), r0, rows, chunk);
+    });
+    out
+}
+
+/// Parallel `a · bᵀ` (input-gradient shape). Bit-identical to
+/// [`matmul_a_bt`] for every worker count.
+pub fn matmul_a_bt_pooled(a: &Matrix, b: &Matrix, pool: &Pool) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_a_bt shared dim");
+    let (m, k) = a.shape();
+    let n = b.rows();
+    if pool.workers() <= 1 || m * k * n < POOL_FLOP_THRESHOLD {
+        return matmul_a_bt(a, b);
+    }
+    let at = pack_transpose(a);
+    let bt = pack_transpose(b);
+    let mut out = Matrix::zeros(m, n);
+    pool.run_rows(m, n, out.as_mut_slice(), &|r0, rows, chunk| {
+        blocked_tn(k, m, n, &at, &bt, r0, rows, chunk);
+    });
+    out
+}
+
+// ---- elementwise kernels ---------------------------------------------------
 
 /// Elementwise `a + b` (checked).
 pub fn try_add(a: &Matrix, b: &Matrix) -> Result<Matrix, ShapeError> {
@@ -256,6 +492,45 @@ mod tests {
     }
 
     #[test]
+    fn blocked_matmul_is_bit_exact_vs_naive() {
+        // The blocked kernel only regroups independent output elements; each
+        // element must accumulate in exactly the naive single-accumulator,
+        // ascending-p order, so the results are bit-identical — not close.
+        let mut rng = Rng64::seed_from(40);
+        for &(m, k, n) in
+            &[(1usize, 1usize, 1usize), (3, 5, 2), (4, 16, 16), (7, 33, 19), (37, 23, 65)]
+        {
+            let a = rng.uniform_matrix(m, k, -1.0, 1.0);
+            let b = rng.uniform_matrix(k, n, -1.0, 1.0);
+            assert_eq!(
+                matmul(&a, &b).as_slice(),
+                naive_matmul(&a, &b).as_slice(),
+                "{m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn acc_into_accumulates_on_top() {
+        let mut rng = Rng64::seed_from(41);
+        let a = rng.uniform_matrix(6, 9, -1.0, 1.0);
+        let b = rng.uniform_matrix(9, 5, -1.0, 1.0);
+        let mut out = Matrix::full(6, 5, 2.0);
+        matmul_acc_into(&a, &b, &mut out);
+        let mut expect = Matrix::full(6, 5, 2.0);
+        for i in 0..6 {
+            for j in 0..5 {
+                let mut s = expect[(i, j)];
+                for p in 0..9 {
+                    s += a[(i, p)] * b[(p, j)];
+                }
+                expect[(i, j)] = s;
+            }
+        }
+        assert_eq!(out.as_slice(), expect.as_slice());
+    }
+
+    #[test]
     fn matmul_shape_error() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(4, 2);
@@ -291,19 +566,19 @@ mod tests {
     }
 
     #[test]
-    fn at_b_matches_naive_reference() {
+    fn at_b_is_bit_exact_vs_naive() {
         let mut rng = Rng64::seed_from(20);
         let a = rng.uniform_matrix(9, 5, -1.0, 1.0);
         let b = rng.uniform_matrix(9, 7, -1.0, 1.0);
-        assert!(matmul_at_b(&a, &b).max_abs_diff(&naive_matmul_at_b(&a, &b)) < 1e-5);
+        assert_eq!(matmul_at_b(&a, &b).as_slice(), naive_matmul_at_b(&a, &b).as_slice());
     }
 
     #[test]
-    fn a_bt_matches_naive_reference() {
+    fn a_bt_is_bit_exact_vs_naive() {
         let mut rng = Rng64::seed_from(21);
         let a = rng.uniform_matrix(6, 8, -1.0, 1.0);
         let b = rng.uniform_matrix(5, 8, -1.0, 1.0);
-        assert!(matmul_a_bt(&a, &b).max_abs_diff(&naive_matmul_a_bt(&a, &b)) < 1e-5);
+        assert_eq!(matmul_a_bt(&a, &b).as_slice(), naive_matmul_a_bt(&a, &b).as_slice());
     }
 
     #[test]
@@ -325,6 +600,22 @@ mod tests {
                     "bit drift with {workers} workers"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn pooled_backprop_kernels_are_bit_exact() {
+        let mut rng = Rng64::seed_from(23);
+        // Big enough to clear the pooling threshold.
+        let x = rng.uniform_matrix(64, 48, -1.0, 1.0);
+        let delta = rng.uniform_matrix(64, 56, -1.0, 1.0);
+        let w = rng.uniform_matrix(48, 56, -1.0, 1.0);
+        let at_b = matmul_at_b(&x, &delta);
+        let a_bt = matmul_a_bt(&delta, &w);
+        for workers in 1..=4 {
+            let pool = Pool::new(workers);
+            assert_eq!(matmul_at_b_pooled(&x, &delta, &pool).as_slice(), at_b.as_slice());
+            assert_eq!(matmul_a_bt_pooled(&delta, &w, &pool).as_slice(), a_bt.as_slice());
         }
     }
 
@@ -366,6 +657,15 @@ mod tests {
         let i = Matrix::identity(4);
         assert!(matmul(&a, &i).max_abs_diff(&a) < 1e-6);
         assert!(matmul(&i, &a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn zero_rows_in_operands() {
+        let a = Matrix::zeros(0, 4);
+        let b = Matrix::zeros(4, 3);
+        assert_eq!(matmul(&a, &b).shape(), (0, 3));
+        let at = Matrix::zeros(4, 0);
+        assert_eq!(matmul_at_b(&at, &b).shape(), (0, 3));
     }
 
     #[test]

@@ -1,33 +1,167 @@
-//! Scoped worker pool for intra-rank parallelism.
+//! Resident worker pool for intra-rank parallelism.
 //!
 //! The paper's implementation is two-level parallel: MPI across ranks plus
 //! multithreading inside each process (§III-A). [`Pool`] is that inner level.
-//! It deliberately uses `std::thread::scope` per call instead of a resident
-//! pool: the parallel sections here are coarse (whole matrix products), the
-//! spawn cost is negligible against them, and scoped threads let us borrow
-//! the operands without any `Arc`/channel machinery or unsafe code.
+//! Workers are spawned once and parked on a condvar between jobs, so the
+//! per-call cost of a parallel section is one mutex hand-off instead of a
+//! `thread::scope` spawn/join cycle — the training loop issues thousands of
+//! pooled matrix products per iteration, which made the per-call spawn the
+//! dominant overhead.
+//!
+//! A job is split into chunks that the submitting thread *and* the resident
+//! workers claim from a shared counter, so the caller is always one of the
+//! workers and `Pool::new(1)` spawns no threads at all and runs everything
+//! inline (single-threaded baselines pay zero synchronization cost).
+//! Chunks are disjoint, and every kernel built on the pool accumulates
+//! per-element in a fixed order, so results are bit-identical for every
+//! worker count.
 
+use parking_lot::{Condvar, Mutex};
 use std::ops::Range;
+use std::sync::Arc;
+use std::thread::JoinHandle;
 
-/// A fixed-width fork/join helper.
+/// A fixed-width fork/join helper backed by resident threads.
 ///
 /// `Pool::new(1)` (or [`Pool::serial`]) makes every `run_*` call execute
-/// inline, which keeps single-threaded baselines honest: they pay zero
-/// synchronization cost.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// inline. Cloning a pool shares the same resident workers; the threads shut
+/// down when the last clone is dropped.
 pub struct Pool {
     workers: usize,
+    registry: Option<Arc<Registry>>,
+}
+
+/// Lifetime-erased fat pointer to the caller's job closure.
+///
+/// Only ever dereferenced while the submitting call is blocked in
+/// [`Pool::execute`], which keeps the closure alive.
+#[derive(Clone, Copy)]
+struct RawJob(*const (dyn Fn(usize) + Sync));
+
+impl RawJob {
+    /// Erase the closure's borrow lifetime. Sound because the pointer is
+    /// only dereferenced while the submitting [`Pool::execute`] call (which
+    /// borrows the closure) is blocked waiting for the job to retire.
+    fn erase(f: &(dyn Fn(usize) + Sync)) -> Self {
+        // SAFETY: reference-to-reference transmute only changes the
+        // lifetime; layout is identical.
+        let erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+        Self(erased)
+    }
+}
+
+// SAFETY: the pointee is `Sync` (the bound on every job closure), and the
+// submitting thread outlives every dereference (it blocks until the job is
+// retired), so sending the pointer to worker threads is sound.
+unsafe impl Send for RawJob {}
+
+/// One in-flight job: a chunked closure plus claim/completion bookkeeping.
+/// All fields are only touched under the pool mutex.
+struct Job {
+    func: RawJob,
+    next: usize,
+    nchunks: usize,
+    running: usize,
+}
+
+struct State {
+    job: Option<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here between jobs.
+    work_cv: Condvar,
+    /// The submitting thread parks here while straggler chunks finish.
+    done_cv: Condvar,
+}
+
+/// Owns the worker handles; joining happens when the last [`Pool`] clone
+/// drops this registry.
+struct Registry {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Drop for Registry {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut st = shared.state.lock();
+    loop {
+        if st.shutdown {
+            return;
+        }
+        let claimed = match st.job.as_mut() {
+            Some(job) if job.next < job.nchunks => {
+                let c = job.next;
+                job.next += 1;
+                job.running += 1;
+                Some((c, job.func))
+            }
+            _ => None,
+        };
+        match claimed {
+            Some((chunk, func)) => {
+                drop(st);
+                // SAFETY: see `RawJob` — the submitter keeps the closure
+                // alive until the job slot is cleared below.
+                unsafe { (*func.0)(chunk) };
+                st = shared.state.lock();
+                let job = st.job.as_mut().expect("job retired while chunks were running");
+                job.running -= 1;
+                if job.next == job.nchunks && job.running == 0 {
+                    st.job = None;
+                    shared.done_cv.notify_all();
+                }
+            }
+            None => shared.work_cv.wait(&mut st),
+        }
+    }
 }
 
 impl Pool {
     /// Create a pool that splits work across `workers` threads (min 1).
+    ///
+    /// Spawns `workers - 1` resident threads; the calling thread is always
+    /// the remaining worker.
     pub fn new(workers: usize) -> Self {
-        Self { workers: workers.max(1) }
+        let workers = workers.max(1);
+        if workers == 1 {
+            return Self { workers, registry: None };
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { job: None, shutdown: false }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..workers - 1)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("lipiz-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        let registry = Registry { shared, handles: Mutex::new(handles) };
+        Self { workers, registry: Some(Arc::new(registry)) }
     }
 
     /// A pool that always runs inline on the calling thread.
     pub fn serial() -> Self {
-        Self { workers: 1 }
+        Self::new(1)
     }
 
     /// Pool sized to the host's available parallelism.
@@ -40,6 +174,66 @@ impl Pool {
     #[inline]
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Run `f(chunk_index)` for every chunk in `0..nchunks`, fanning out to
+    /// the resident workers and returning when all chunks are done.
+    ///
+    /// Runs inline when the pool is serial, the job is a single chunk, or a
+    /// job is already in flight on this pool (nested or concurrent submit),
+    /// so re-entrant use is safe — just not additionally parallel.
+    fn execute(&self, nchunks: usize, f: &(dyn Fn(usize) + Sync)) {
+        let run_inline = || {
+            for c in 0..nchunks {
+                f(c);
+            }
+        };
+        let Some(registry) = &self.registry else {
+            return run_inline();
+        };
+        if nchunks <= 1 {
+            return run_inline();
+        }
+        let shared = &registry.shared;
+        let mut st = shared.state.lock();
+        if st.job.is_some() {
+            drop(st);
+            return run_inline();
+        }
+        st.job = Some(Job { func: RawJob::erase(f), next: 0, nchunks, running: 0 });
+        drop(st);
+        shared.work_cv.notify_all();
+        // Participate as a worker, then wait out straggler chunks.
+        let mut st = shared.state.lock();
+        loop {
+            let claimed = match st.job.as_mut() {
+                Some(job) if job.next < job.nchunks => {
+                    let c = job.next;
+                    job.next += 1;
+                    job.running += 1;
+                    Some((c, job.func))
+                }
+                Some(_) => None,
+                None => break,
+            };
+            match claimed {
+                Some((chunk, func)) => {
+                    drop(st);
+                    // SAFETY: `func` is the closure `f` borrowed above; it
+                    // outlives this call frame.
+                    unsafe { (*func.0)(chunk) };
+                    st = shared.state.lock();
+                    let job = st.job.as_mut().expect("job retired while chunks were running");
+                    job.running -= 1;
+                    if job.next == job.nchunks && job.running == 0 {
+                        st.job = None;
+                        shared.done_cv.notify_all();
+                        break;
+                    }
+                }
+                None => shared.done_cv.wait(&mut st),
+            }
+        }
     }
 
     /// Split `rows` rows of a `row_width`-wide output buffer across workers.
@@ -62,20 +256,19 @@ impl Pool {
             return;
         }
         let nchunks = self.workers.min(rows);
-        let base = rows / nchunks;
-        let extra = rows % nchunks;
-        std::thread::scope(|s| {
-            let mut rest = out;
-            let mut row0 = 0;
-            for c in 0..nchunks {
-                let take = base + usize::from(c < extra);
-                let (chunk, tail) = rest.split_at_mut(take * row_width);
-                rest = tail;
-                let start = row0;
-                row0 += take;
-                s.spawn(move || f(start, take, chunk));
-            }
-            debug_assert!(rest.is_empty());
+        let bounds = chunk_bounds(rows, nchunks);
+        let base = SyncPtr(out.as_mut_ptr());
+        self.execute(nchunks, &|c| {
+            let (start, take) = bounds(c);
+            // SAFETY: chunk row ranges are disjoint and within `out`, so
+            // each chunk index maps to a non-overlapping sub-slice.
+            let chunk = unsafe {
+                std::slice::from_raw_parts_mut(
+                    base.get().add(start * row_width),
+                    take * row_width,
+                )
+            };
+            f(start, take, chunk);
         });
     }
 
@@ -88,17 +281,58 @@ impl Pool {
             return;
         }
         let nchunks = self.workers.min(n);
-        let base = n / nchunks;
-        let extra = n % nchunks;
-        std::thread::scope(|s| {
-            let mut start = 0;
-            for c in 0..nchunks {
-                let take = base + usize::from(c < extra);
-                let range = start..start + take;
-                start += take;
-                s.spawn(move || f(range));
-            }
+        let bounds = chunk_bounds(n, nchunks);
+        self.execute(nchunks, &|c| {
+            let (start, take) = bounds(c);
+            f(start..start + take);
         });
+    }
+}
+
+/// Shared mutable base pointer for disjoint row chunks.
+struct SyncPtr(*mut f32);
+
+impl SyncPtr {
+    /// The base pointer (method access keeps closures capturing the whole
+    /// `Sync` wrapper rather than the raw field).
+    fn get(&self) -> *mut f32 {
+        self.0
+    }
+}
+// SAFETY: only used to derive non-overlapping sub-slices (one per chunk
+// index), so concurrent access never aliases.
+unsafe impl Sync for SyncPtr {}
+
+/// Balanced partition of `n` items into `nchunks` chunks: returns a
+/// `chunk_index -> (start, len)` map with the remainder spread over the
+/// leading chunks (same layout the scoped pool used).
+fn chunk_bounds(n: usize, nchunks: usize) -> impl Fn(usize) -> (usize, usize) + Sync {
+    let base = n / nchunks;
+    let extra = n % nchunks;
+    move |c: usize| {
+        let start = c * base + c.min(extra);
+        let take = base + usize::from(c < extra);
+        (start, take)
+    }
+}
+
+impl Clone for Pool {
+    fn clone(&self) -> Self {
+        Self { workers: self.workers, registry: self.registry.clone() }
+    }
+}
+
+impl PartialEq for Pool {
+    fn eq(&self, other: &Self) -> bool {
+        self.workers == other.workers
+    }
+}
+
+impl Eq for Pool {}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool").field("workers", &self.workers).finish()
     }
 }
 
@@ -174,5 +408,66 @@ mod tests {
         let mut out: Vec<f32> = vec![];
         pool.run_rows(0, 4, &mut out, &|_, _, _| {});
         pool.run_ranges(0, &|r| assert!(r.is_empty()));
+    }
+
+    #[test]
+    fn resident_workers_survive_many_jobs() {
+        // The resident pool must hand off thousands of consecutive jobs
+        // without deadlock or lost chunks (the whole point of residency).
+        let pool = Pool::new(3);
+        let hits = AtomicUsize::new(0);
+        for _ in 0..2000 {
+            pool.run_ranges(7, &|range| {
+                hits.fetch_add(range.len(), Ordering::SeqCst);
+            });
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 7 * 2000);
+    }
+
+    #[test]
+    fn nested_jobs_run_inline_without_deadlock() {
+        let pool = Pool::new(2);
+        let hits = AtomicUsize::new(0);
+        pool.run_ranges(4, &|outer| {
+            // A pooled call from inside a pooled call must not deadlock.
+            pool.run_ranges(3, &|inner| {
+                hits.fetch_add(outer.len() * inner.len(), Ordering::SeqCst);
+            });
+        });
+        // Σ over outer chunks of (outer_len * 3) = 4 * 3.
+        assert_eq!(hits.load(Ordering::SeqCst), 12);
+    }
+
+    #[test]
+    fn clones_share_workers_and_drop_cleanly() {
+        let pool = Pool::new(4);
+        let clone = pool.clone();
+        assert_eq!(pool, clone);
+        let hits = AtomicUsize::new(0);
+        clone.run_ranges(9, &|r| {
+            hits.fetch_add(r.len(), Ordering::SeqCst);
+        });
+        drop(clone);
+        // Original still works after a clone is dropped.
+        pool.run_ranges(9, &|r| {
+            hits.fetch_add(r.len(), Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 18);
+    }
+
+    #[test]
+    fn chunk_bounds_cover_exactly() {
+        for n in 0..40usize {
+            for nchunks in 1..=8usize.min(n.max(1)) {
+                let bounds = chunk_bounds(n, nchunks);
+                let mut next = 0;
+                for c in 0..nchunks {
+                    let (start, take) = bounds(c);
+                    assert_eq!(start, next, "n={n} nchunks={nchunks} c={c}");
+                    next += take;
+                }
+                assert_eq!(next, n);
+            }
+        }
     }
 }

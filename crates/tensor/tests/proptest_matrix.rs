@@ -10,6 +10,52 @@ fn matrix(max_r: usize, max_c: usize) -> impl Strategy<Value = Matrix> {
     })
 }
 
+/// Reference `a · b` with the canonical accumulation order every kernel
+/// must reproduce bit-for-bit: one accumulator per element, `p` ascending.
+fn reference_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut s = 0.0f32;
+            for p in 0..a.cols() {
+                s += a[(i, p)] * b[(p, j)];
+            }
+            out[(i, j)] = s;
+        }
+    }
+    out
+}
+
+/// Reference `aᵀ · b` (same canonical accumulation order).
+fn reference_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    for i in 0..a.cols() {
+        for j in 0..b.cols() {
+            let mut s = 0.0f32;
+            for p in 0..a.rows() {
+                s += a[(p, i)] * b[(p, j)];
+            }
+            out[(i, j)] = s;
+        }
+    }
+    out
+}
+
+/// Reference `a · bᵀ` (same canonical accumulation order).
+fn reference_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    for i in 0..a.rows() {
+        for j in 0..b.rows() {
+            let mut s = 0.0f32;
+            for p in 0..a.cols() {
+                s += a[(i, p)] * b[(j, p)];
+            }
+            out[(i, j)] = s;
+        }
+    }
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -40,6 +86,58 @@ proptest! {
         let serial = ops::matmul(&a, &b);
         let pooled = ops::matmul_pooled(&a, &b, &Pool::new(workers));
         prop_assert!(serial.max_abs_diff(&pooled) < 1e-5);
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_exact_for_any_shape(
+        seed in 0u64..10_000, m in 1usize..40, k in 1usize..40, n in 1usize..40,
+    ) {
+        // Arbitrary shapes hit every full-tile/edge-tile combination of the
+        // blocked kernel; results must be bit-identical to the reference.
+        let mut rng = Rng64::seed_from(seed);
+        let a = rng.uniform_matrix(m, k, -1.0, 1.0);
+        let b = rng.uniform_matrix(k, n, -1.0, 1.0);
+        prop_assert_eq!(ops::matmul(&a, &b).as_slice(), reference_matmul(&a, &b).as_slice());
+    }
+
+    #[test]
+    fn blocked_and_pooled_at_b_are_bit_exact(
+        seed in 0u64..10_000, k in 1usize..40, m in 1usize..40, n in 1usize..40,
+        workers in 1usize..5,
+    ) {
+        let mut rng = Rng64::seed_from(seed);
+        let a = rng.uniform_matrix(k, m, -1.0, 1.0);
+        let b = rng.uniform_matrix(k, n, -1.0, 1.0);
+        let reference = reference_at_b(&a, &b);
+        prop_assert_eq!(ops::matmul_at_b(&a, &b).as_slice(), reference.as_slice());
+        let pooled = ops::matmul_at_b_pooled(&a, &b, &Pool::new(workers));
+        prop_assert_eq!(pooled.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn blocked_and_pooled_a_bt_are_bit_exact(
+        seed in 0u64..10_000, m in 1usize..40, k in 1usize..40, n in 1usize..40,
+        workers in 1usize..5,
+    ) {
+        let mut rng = Rng64::seed_from(seed);
+        let a = rng.uniform_matrix(m, k, -1.0, 1.0);
+        let b = rng.uniform_matrix(n, k, -1.0, 1.0);
+        let reference = reference_a_bt(&a, &b);
+        prop_assert_eq!(ops::matmul_a_bt(&a, &b).as_slice(), reference.as_slice());
+        let pooled = ops::matmul_a_bt_pooled(&a, &b, &Pool::new(workers));
+        prop_assert_eq!(pooled.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn pooled_matmul_is_bit_exact_for_any_shape_and_workers(
+        seed in 0u64..10_000, m in 1usize..40, k in 1usize..40, n in 1usize..40,
+        workers in 1usize..5,
+    ) {
+        let mut rng = Rng64::seed_from(seed);
+        let a = rng.uniform_matrix(m, k, -1.0, 1.0);
+        let b = rng.uniform_matrix(k, n, -1.0, 1.0);
+        let pooled = ops::matmul_pooled(&a, &b, &Pool::new(workers));
+        prop_assert_eq!(pooled.as_slice(), reference_matmul(&a, &b).as_slice());
     }
 
     #[test]
