@@ -29,6 +29,41 @@ impl GridConfig {
     }
 }
 
+/// Which message-passing backend carries the distributed runtime's traffic.
+///
+/// The training semantics are transport-independent (the runtime proves the
+/// two backends byte-identical), so this lives beside — not inside — the
+/// [`TrainConfig`] that travels over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TransportKind {
+    /// Every rank is a thread of one OS process (in-memory mailboxes).
+    #[default]
+    InProcess,
+    /// Every rank is an OS process; envelopes travel over TCP sockets.
+    Tcp,
+}
+
+impl std::str::FromStr for TransportKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "in-process" | "inprocess" | "threads" => Ok(TransportKind::InProcess),
+            "tcp" | "sockets" => Ok(TransportKind::Tcp),
+            other => Err(format!("unknown transport '{other}' (expected in-process|tcp)")),
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportKind::InProcess => write!(f, "in-process"),
+            TransportKind::Tcp => write!(f, "tcp"),
+        }
+    }
+}
+
 /// How the trainer picks adversaries from the sub-population each batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AdversaryStrategy {
@@ -137,6 +172,12 @@ pub struct TrainingConfig {
     /// this many threads; results are bit-identical for every value.
     /// `1` (the default) runs fully inline.
     pub workers_per_cell: usize,
+    /// Partition the dataset into per-cell shards instead of replicating it
+    /// (the data-dieting setup). Carried in the configuration — not as a
+    /// per-host flag — so every rank of a distributed run, including slave
+    /// processes on other machines, derives the same data layout from the
+    /// wire config alone.
+    pub shard_data: bool,
 }
 
 /// Serializable mirror of the network topology (Table I, top block).
@@ -217,6 +258,7 @@ impl TrainConfig {
                 data_seed: 0xDA7A,
                 eval_batch: 100,
                 workers_per_cell: 1,
+                shard_data: false,
             },
             seed: 1,
         }
@@ -255,6 +297,7 @@ impl TrainConfig {
                 data_seed: 7,
                 eval_batch: 16,
                 workers_per_cell: 1,
+                shard_data: false,
             },
             seed: 3,
         }
@@ -271,6 +314,12 @@ impl TrainConfig {
     /// changes.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.training.workers_per_cell = workers.max(1);
+        self
+    }
+
+    /// Same config with per-cell data sharding toggled.
+    pub fn with_shards(mut self, shard: bool) -> Self {
+        self.training.shard_data = shard;
         self
     }
 
@@ -368,6 +417,17 @@ mod tests {
         assert_eq!(TrainConfig::smoke(2).with_workers(4).training.workers_per_cell, 4);
         assert_eq!(TrainConfig::smoke(2).with_workers(0).training.workers_per_cell, 1);
         assert_eq!(TrainConfig::smoke(2).training.workers_per_cell, 1);
+    }
+
+    #[test]
+    fn transport_kind_parses_and_displays() {
+        use std::str::FromStr;
+        assert_eq!(TransportKind::from_str("tcp"), Ok(TransportKind::Tcp));
+        assert_eq!(TransportKind::from_str("in-process"), Ok(TransportKind::InProcess));
+        assert_eq!(TransportKind::default(), TransportKind::InProcess);
+        assert!(TransportKind::from_str("carrier-pigeon").is_err());
+        assert_eq!(TransportKind::Tcp.to_string(), "tcp");
+        assert_eq!(TransportKind::InProcess.to_string(), "in-process");
     }
 
     #[test]

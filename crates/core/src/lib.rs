@@ -66,7 +66,7 @@ pub mod topology;
 pub use cell::CellEngine;
 pub use config::{
     AdversaryStrategy, CoevolutionConfig, GridConfig, LossMode, MutationConfig, TrainConfig,
-    TrainingConfig,
+    TrainingConfig, TransportKind,
 };
 pub use individual::{Individual, SubPopulation};
 pub use mixture::{EnsembleModel, MixtureWeights};

@@ -37,6 +37,24 @@ impl MixtureWeights {
         Self { w }
     }
 
+    /// Rebuild from weights that already sum to 1 — the wire-transfer path.
+    ///
+    /// Unlike [`MixtureWeights::from_raw`] this performs **no**
+    /// renormalization: the division would perturb the low bits and break
+    /// the byte-identity between a master reassembling gathered slave
+    /// ensembles and the slave's own [`EnsembleModel`].
+    ///
+    /// # Panics
+    /// Panics if `w` is empty; debug-asserts the unit sum.
+    pub fn from_normalized(w: &[f32]) -> Self {
+        assert!(!w.is_empty(), "mixture over zero generators");
+        debug_assert!(
+            (w.iter().sum::<f32>() - 1.0).abs() < 1e-3,
+            "from_normalized requires unit-sum weights"
+        );
+        Self { w: w.to_vec() }
+    }
+
     /// The weights (sum to 1).
     pub fn weights(&self) -> &[f32] {
         &self.w
@@ -176,6 +194,20 @@ mod tests {
         // All-zero raw falls back to uniform.
         let w = MixtureWeights::from_raw(&[0.0, 0.0]);
         assert_eq!(w.weights(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn from_normalized_is_bit_exact() {
+        // The wire path must reproduce weights bit-for-bit, including ones
+        // whose f32 sum is not exactly 1.0.
+        let mut rng = Rng64::seed_from(11);
+        let original = MixtureWeights::uniform(5).mutate(0.01, &mut rng);
+        let back = MixtureWeights::from_normalized(original.weights());
+        assert_eq!(back, original);
+        assert_eq!(
+            back.weights().iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+            original.weights().iter().map(|w| w.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

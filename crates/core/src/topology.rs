@@ -265,6 +265,86 @@ mod tests {
     }
 
     #[test]
+    fn one_by_n_grid_collapses_vertical_neighbors() {
+        // 1×4 torus, Cross5: the N and S slots both wrap to the cell
+        // itself, W/E wrap along the row — and every slot still exists, so
+        // the sub-population layout matches larger grids.
+        let g = Grid::new(1, 4, NeighborhoodPattern::Cross5);
+        for idx in 0..4 {
+            let n = g.neighbors(idx);
+            assert_eq!(n.len(), 4, "slot count is shape-independent");
+            assert_eq!(n[0], idx, "N wraps to self on one row");
+            assert_eq!(n[1], idx, "S wraps to self on one row");
+            assert_eq!(n[2], (idx + 3) % 4, "W");
+            assert_eq!(n[3], (idx + 1) % 4, "E");
+        }
+    }
+
+    #[test]
+    fn two_by_five_neighborhoods_are_consistent() {
+        let g = Grid::new(2, 5, NeighborhoodPattern::Cross5);
+        for idx in 0..g.cell_count() {
+            let n = g.neighbors(idx);
+            assert_eq!(n.len(), 4);
+            // Two rows: N and S land on the same physical cell.
+            assert_eq!(n[0], n[1], "N == S on a 2-row torus");
+            // Neighbor relations are symmetric on the torus: if b is in
+            // a's neighborhood, a is in b's.
+            for &b in &n {
+                assert!(g.neighbors(b).contains(&idx), "asymmetric {idx}<->{b}");
+            }
+        }
+        // Overlap bookkeeping: each cell's neighborhood holds 4 *distinct*
+        // cells on 2 rows (center, N==S, W, E), so the overlap sets sum to
+        // 4 incidences per cell.
+        let total: usize = (0..g.cell_count()).map(|i| g.overlapping(i).len()).sum();
+        assert_eq!(total, g.cell_count() * 4);
+    }
+
+    #[test]
+    fn single_cell_grid_all_slots_point_home() {
+        let g = Grid::new(1, 1, NeighborhoodPattern::Cross5);
+        assert_eq!(g.neighbors(0), vec![0, 0, 0, 0]);
+        assert_eq!(g.neighborhood(0), vec![0, 0, 0, 0, 0]);
+        assert_eq!(g.overlapping(0), vec![0]);
+        let m = Grid::new(1, 1, NeighborhoodPattern::Moore9);
+        assert_eq!(m.neighbors(0), vec![0; 8]);
+    }
+
+    #[test]
+    fn moore9_on_single_row_wraps_diagonals_into_the_row() {
+        // On a 1×3 torus every "diagonal" collapses into the row, so the
+        // 8 neighbor slots only ever reference the 3 physical cells.
+        let g = Grid::new(1, 3, NeighborhoodPattern::Moore9);
+        for idx in 0..3 {
+            let n = g.neighbors(idx);
+            assert_eq!(n.len(), 8);
+            assert!(n.iter().all(|&c| c < 3));
+            // N/S collapse to self; NW/SW collapse to W; NE/SE to E.
+            assert_eq!(n[0], idx);
+            assert_eq!(n[1], idx);
+            assert_eq!(n[4], n[2], "NW == W on one row");
+            assert_eq!(n[6], n[2], "SW == W on one row");
+            assert_eq!(n[5], n[3], "NE == E on one row");
+            assert_eq!(n[7], n[3], "SE == E on one row");
+        }
+    }
+
+    #[test]
+    fn regrid_to_degenerate_shapes_keeps_invariants() {
+        let mut g = Grid::square(3);
+        for (rows, cols) in [(1, 9), (9, 1), (2, 5), (1, 1)] {
+            g.regrid(rows, cols);
+            assert_eq!(g.cell_count(), rows * cols);
+            for idx in 0..g.cell_count() {
+                assert_eq!(g.neighbors(idx).len(), 4);
+                let (r, c) = g.coords(idx);
+                assert_eq!(g.index(r as isize, c as isize), idx);
+            }
+        }
+    }
+
+    #[test]
     fn render_marks_center_and_neighbors() {
         let g = Grid::square(4);
         let art = g.render_neighborhood(g.index(1, 1));

@@ -2,11 +2,13 @@
 
 use crate::endpoint::Mailbox;
 use crate::message::{Envelope, ReservedTags, Tag};
+use crate::transport::Transport;
 use crate::wire::Wire;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// The delivery fabric: one mailbox per world rank.
+/// The in-process delivery fabric: one mailbox per world rank, delivery is
+/// a queue push. The reference [`Transport`] implementation.
 #[derive(Debug)]
 pub struct Fabric {
     mailboxes: Vec<Arc<Mailbox>>,
@@ -17,15 +19,19 @@ impl Fabric {
     pub fn new(n: usize) -> Arc<Self> {
         Arc::new(Self { mailboxes: (0..n).map(|_| Mailbox::new()).collect() })
     }
+}
 
-    /// Mailbox of world rank `r`.
-    fn mailbox(&self, r: usize) -> &Mailbox {
-        &self.mailboxes[r]
+impl Transport for Fabric {
+    fn world_size(&self) -> usize {
+        self.mailboxes.len()
     }
 
-    /// Number of world ranks.
-    pub fn world_size(&self) -> usize {
-        self.mailboxes.len()
+    fn deliver(&self, dst: usize, env: Envelope) {
+        self.mailboxes[dst].deliver(env);
+    }
+
+    fn mailbox(&self, r: usize) -> &Mailbox {
+        &self.mailboxes[r]
     }
 }
 
@@ -56,7 +62,7 @@ impl RecvFrom {
 /// identical to the MPI rules.
 #[derive(Debug, Clone)]
 pub struct Comm {
-    fabric: Arc<Fabric>,
+    transport: Arc<dyn Transport>,
     context: u16,
     /// Group rank -> world rank.
     group: Arc<Vec<usize>>,
@@ -67,12 +73,14 @@ pub struct Comm {
 
 #[allow(clippy::needless_range_loop)] // loop indices are group ranks, not positions
 impl Comm {
-    /// The world communicator for `rank` over `fabric`.
-    pub fn world(fabric: Arc<Fabric>, rank: usize) -> Self {
-        let n = fabric.world_size();
+    /// The world communicator for `rank` over any [`Transport`] — the
+    /// in-process [`Fabric`] or a socket transport like
+    /// [`crate::tcp::TcpFabric`].
+    pub fn world(transport: Arc<dyn Transport>, rank: usize) -> Self {
+        let n = transport.world_size();
         assert!(rank < n, "rank out of range");
         Self {
-            fabric,
+            transport,
             context: 0,
             group: Arc::new((0..n).collect()),
             my_rank: rank,
@@ -113,7 +121,7 @@ impl Comm {
         let pos = members.iter().position(|&m| m == self.my_rank)?;
         let group: Vec<usize> = members.iter().map(|&m| self.group[m]).collect();
         Some(Comm {
-            fabric: Arc::clone(&self.fabric),
+            transport: Arc::clone(&self.transport),
             context: ctx,
             group: Arc::new(group),
             my_rank: pos,
@@ -144,7 +152,7 @@ impl Comm {
     fn send_raw(&self, dst: usize, tag: Tag, payload: Vec<u8>) {
         let world_dst = self.group[dst];
         let env = Envelope::new(self.context, self.my_rank, tag, payload);
-        self.fabric.mailbox(world_dst).deliver(env);
+        self.transport.deliver(world_dst, env);
     }
 
     /// Blocking receive; returns `(value, source group rank)`.
@@ -177,7 +185,7 @@ impl Comm {
     }
 
     fn my_mailbox(&self) -> &Mailbox {
-        self.fabric.mailbox(self.group[self.my_rank])
+        self.transport.mailbox(self.group[self.my_rank])
     }
 
     // ---- collectives ----------------------------------------------------

@@ -1,13 +1,16 @@
-//! In-process distributed-memory message passing with MPI-style semantics.
+//! Distributed-memory message passing with MPI-style semantics.
 //!
 //! The paper's implementation runs on MPI across cluster nodes (§III-D).
-//! This crate reproduces the *programming model* on a single machine: every
-//! rank is an OS thread, ranks share **no** data, and all exchange happens
-//! through byte-serialized messages ([`wire::Wire`]) delivered to per-rank
-//! mailboxes. That serialization boundary is deliberate — it makes it
-//! impossible for rank code to accidentally share state, which keeps the
-//! implementation honest as a distributed-memory program and portable to a
-//! real MPI binding.
+//! This crate reproduces the *programming model* behind a swappable
+//! [`transport::Transport`]: every rank shares **no** data, and all
+//! exchange happens through byte-serialized messages ([`wire::Wire`])
+//! delivered to per-rank mailboxes. Two backends exist — the in-process
+//! [`comm::Fabric`] (every rank an OS thread, used by the threaded driver
+//! and all unit tests) and the multi-process [`tcp::TcpFabric`] (every
+//! rank an OS process, envelopes framed over TCP sockets). The
+//! serialization boundary is deliberate — it makes it impossible for rank
+//! code to accidentally share state, which is exactly what lets the two
+//! backends produce byte-identical training runs.
 //!
 //! Feature map to the paper:
 //!
@@ -39,12 +42,16 @@
 pub mod comm;
 pub mod endpoint;
 pub mod message;
+pub mod tcp;
 pub mod topology;
+pub mod transport;
 pub mod universe;
 pub mod wire;
 
 pub use comm::{Comm, RecvFrom};
 pub use message::{Envelope, Tag};
+pub use tcp::TcpFabric;
 pub use topology::CartGrid;
+pub use transport::Transport;
 pub use universe::Universe;
 pub use wire::{Wire, WireError};

@@ -1,6 +1,9 @@
 //! Message envelope and tag space.
 
-/// Message tag (user tags live below [`Tag::RESERVED_BASE`]).
+use crate::wire::{Wire, WireError};
+use bytes::{Buf, BufMut};
+
+/// Message tag (user tags live below [`ReservedTags::RESERVED_BASE`]).
 pub type Tag = u32;
 
 /// Reserved tag constants used by the collective implementations.
@@ -47,6 +50,33 @@ impl Envelope {
     }
 }
 
+/// Envelopes cross process boundaries on socket transports, so they encode
+/// with the same little-endian codec as every payload. The payload gets a
+/// `u32` length prefix and is copied as one slice (not element-wise) — this
+/// is the hot path of the TCP transport.
+impl Wire for Envelope {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.context.encode(buf);
+        self.src.encode(buf);
+        self.tag.encode(buf);
+        (self.payload.len() as u32).encode(buf);
+        buf.put_slice(&self.payload);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let context = u16::decode(buf)?;
+        let src = usize::decode(buf)?;
+        let tag = Tag::decode(buf)?;
+        let len = u32::decode(buf)? as usize;
+        if buf.remaining() < len {
+            return Err(WireError::new("envelope payload"));
+        }
+        let payload = buf[..len].to_vec();
+        buf.advance(len);
+        Ok(Self { context, src, tag, payload })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,6 +89,26 @@ mod tests {
         assert!(!env.matches(4, Some(2), 7), "wrong context");
         assert!(!env.matches(3, Some(1), 7), "wrong source");
         assert!(!env.matches(3, Some(2), 8), "wrong tag");
+    }
+
+    #[test]
+    fn envelope_wire_round_trip() {
+        for env in [
+            Envelope::new(0, 0, 0, vec![]),
+            Envelope::new(7, 3, ReservedTags::ALLGATHER, vec![1, 2, 3]),
+            Envelope::new(u16::MAX, usize::MAX, u32::MAX, vec![0xAB; 1024]),
+        ] {
+            let back = Envelope::from_bytes(&env.to_bytes()).unwrap();
+            assert_eq!(back, env);
+        }
+    }
+
+    #[test]
+    fn envelope_decode_rejects_truncation() {
+        let bytes = Envelope::new(1, 2, 3, vec![9; 16]).to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Envelope::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

@@ -1,0 +1,687 @@
+//! Multi-process TCP transport: the real distributed backend behind
+//! [`crate::comm::Comm`].
+//!
+//! Every rank is one OS process. Rank 0 (the runtime's master) listens on a
+//! socket; slaves connect, perform a versioned handshake, and get their
+//! world rank plus an address book of every peer. The slaves then build a
+//! full mesh among themselves (each rank dials every lower slave rank), so
+//! any pair of ranks shares a dedicated stream — point-to-point sends never
+//! route through a hub. Envelopes travel as length-prefixed frames
+//! ([`crate::transport::encode_frame`]); one reader thread per stream
+//! decodes frames into the local [`Mailbox`], where the usual selective
+//! matching takes over. Nothing above the [`Transport`] trait can tell this
+//! backend from the in-process [`crate::comm::Fabric`] — the
+//! `distributed_process` integration suite proves the two produce
+//! byte-identical training results.
+//!
+//! Shutdown is leader-led: the master hard-closes its streams once the
+//! final gather is done ([`TcpFabric::shutdown`]); slaves half-close their
+//! write sides and drain until the master's close arrives as EOF
+//! ([`TcpFabric::shutdown_when_drained`]), which keeps in-flight result
+//! frames safe from RST-induced loss. Sends to an already-gone peer are
+//! dropped silently, and any receive with a deadline (the heartbeat path)
+//! times out instead of hanging — which is how the runtime *detects and
+//! reports* a dead peer. Untimed collectives keep MPI semantics: a rank
+//! that dies mid-collective stalls the group, exactly as `MPI_Allgather`
+//! would; acting on the heartbeat's verdict (abort, restart, re-rank) is
+//! the runtime's future-work territory, not the transport's (see ROADMAP).
+
+use crate::endpoint::Mailbox;
+use crate::message::Envelope;
+use crate::transport::{encode_frame, FrameDecoder, Transport};
+use crate::wire::Wire;
+use crate::wire_struct;
+use parking_lot::Mutex;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Handshake magic ("LPZT").
+const MAGIC: u32 = 0x4C50_5A54;
+/// Handshake protocol version.
+const VERSION: u32 = 1;
+/// Deadline for every handshake read (a stuck bootstrap fails loudly
+/// instead of hanging the suite).
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(30);
+/// How long a slave keeps retrying its dial to the master (covers manual
+/// multi-machine runs where slaves start before the master listens).
+const CONNECT_RETRY_WINDOW: Duration = Duration::from_secs(20);
+/// How long a bootstrap waits for all expected peers to arrive before
+/// failing loudly. Generous, because the multi-machine recipe has a human
+/// starting slaves by hand — but finite, so a crashed-before-connecting
+/// peer can never hang a launch forever.
+const BOOTSTRAP_ACCEPT_TIMEOUT: Duration = Duration::from_secs(600);
+/// Upper bound on a *handshake* frame. Real handshake messages are tens of
+/// bytes (a Welcome with a thousand-slave address book is still ~30 KiB);
+/// anything bigger is a hostile or confused client, rejected before the
+/// body is allocated — unlike data frames, handshake peers are
+/// unauthenticated, so they do not get the full
+/// [`crate::transport::MAX_FRAME_LEN`] budget.
+const MAX_HANDSHAKE_FRAME: usize = 64 * 1024;
+
+/// Slave → master bootstrap hello: protocol id plus the port the slave's
+/// own mesh listener is bound to (the master pairs it with the IP it
+/// observed on the control connection, so the recipe works across hosts).
+#[derive(Debug, Clone, PartialEq)]
+struct Hello {
+    magic: u32,
+    version: u32,
+    listen_port: u16,
+}
+wire_struct!(Hello { magic, version, listen_port });
+
+/// Master → slave bootstrap welcome: the assigned world rank, the world
+/// size, and the address book of every slave's mesh listener.
+#[derive(Debug, Clone, PartialEq)]
+struct Welcome {
+    rank: usize,
+    world_size: usize,
+    /// `(world rank, "ip:port")` for every slave rank.
+    peers: Vec<(usize, String)>,
+}
+wire_struct!(Welcome { rank, world_size, peers });
+
+/// Slave → slave mesh hello: identifies the dialing rank.
+#[derive(Debug, Clone, PartialEq)]
+struct PeerHello {
+    magic: u32,
+    version: u32,
+    rank: usize,
+}
+wire_struct!(PeerHello { magic, version, rank });
+
+fn bad_data(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+/// Write one length-prefixed frame carrying `body` (handshake helper; data
+/// frames go through the per-peer scratch buffer instead).
+fn write_frame(stream: &mut TcpStream, body: &[u8]) -> io::Result<()> {
+    let mut out = Vec::with_capacity(4 + body.len());
+    (body.len() as u32).encode(&mut out);
+    out.extend_from_slice(body);
+    stream.write_all(&out)
+}
+
+/// Read one length-prefixed frame (handshake helper).
+fn read_frame(stream: &mut TcpStream) -> io::Result<Vec<u8>> {
+    let mut header = [0u8; 4];
+    stream.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_HANDSHAKE_FRAME {
+        return Err(bad_data("handshake frame too large"));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Accept one connection from a non-blocking `listener`, polling until
+/// `deadline`. The returned stream is switched back to blocking mode.
+fn accept_with_deadline(
+    listener: &TcpListener,
+    deadline: Instant,
+) -> io::Result<(TcpStream, SocketAddr)> {
+    loop {
+        match listener.accept() {
+            Ok((stream, remote)) => {
+                stream.set_nonblocking(false)?;
+                return Ok((stream, remote));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "bootstrap accept deadline: expected peers never connected",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn send_msg<T: Wire>(stream: &mut TcpStream, msg: &T) -> io::Result<()> {
+    write_frame(stream, &msg.to_bytes())
+}
+
+fn recv_msg<T: Wire>(stream: &mut TcpStream, what: &str) -> io::Result<T> {
+    let body = read_frame(stream)?;
+    T::from_bytes(&body).map_err(|_| bad_data(what))
+}
+
+/// Receive and protocol-check one handshake message on a fresh connection.
+fn handshake<T: Wire + HandshakeMsg>(stream: &mut TcpStream, what: &str) -> io::Result<T> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+    let msg: T = recv_msg(stream, what)?;
+    check_protocol(msg.magic(), msg.version())?;
+    Ok(msg)
+}
+
+/// Handshake messages carry the protocol id for [`check_protocol`].
+trait HandshakeMsg {
+    fn magic(&self) -> u32;
+    fn version(&self) -> u32;
+}
+
+impl HandshakeMsg for Hello {
+    fn magic(&self) -> u32 {
+        self.magic
+    }
+    fn version(&self) -> u32 {
+        self.version
+    }
+}
+
+impl HandshakeMsg for PeerHello {
+    fn magic(&self) -> u32 {
+        self.magic
+    }
+    fn version(&self) -> u32 {
+        self.version
+    }
+}
+
+fn check_protocol(magic: u32, version: u32) -> io::Result<()> {
+    if magic != MAGIC {
+        return Err(bad_data("not a lipizzaner transport peer (bad magic)"));
+    }
+    if version != VERSION {
+        return Err(bad_data("transport protocol version mismatch"));
+    }
+    Ok(())
+}
+
+/// One connected peer: the write half (framed, mutex-serialized so both
+/// rank threads can send) plus a reusable frame-encode scratch buffer.
+#[derive(Debug)]
+struct PeerLink {
+    stream: Mutex<(TcpStream, Vec<u8>)>,
+}
+
+impl PeerLink {
+    fn new(stream: TcpStream) -> Self {
+        Self { stream: Mutex::new((stream, Vec::new())) }
+    }
+
+    /// Frame and send `env`; returns false when the peer is gone.
+    fn send(&self, env: &Envelope) -> bool {
+        let mut guard = self.stream.lock();
+        let (stream, scratch) = &mut *guard;
+        scratch.clear();
+        encode_frame(env, scratch);
+        stream.write_all(scratch).is_ok()
+    }
+
+    fn shutdown(&self, how: Shutdown) {
+        let _ = self.stream.lock().0.shutdown(how);
+    }
+}
+
+/// The TCP-backed [`Transport`]: this process's end of a multi-process
+/// universe. Build one with [`TcpFabric::master`] (rank 0, accepts the
+/// bootstrap connections) or [`TcpFabric::slave`] (dials the master and is
+/// assigned a rank).
+#[derive(Debug)]
+pub struct TcpFabric {
+    rank: usize,
+    world_size: usize,
+    mailbox: Arc<Mailbox>,
+    /// Index = world rank; `None` at `rank` (self-delivery is local).
+    peers: Vec<Option<PeerLink>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl TcpFabric {
+    /// Rank 0 bootstrap: accept `world_size - 1` slave connections on
+    /// `listener`, assign ranks in arrival order, and broadcast the mesh
+    /// address book. Returns once every slave is connected to the master
+    /// (slave↔slave mesh links establish concurrently).
+    ///
+    /// The caller binds the listener so it can learn the port (and spawn or
+    /// instruct slaves) before accepting starts. Connections that fail the
+    /// handshake — port scanners, health checks, version-skewed peers — are
+    /// dropped and their slot re-accepted, so a stray client cannot kill a
+    /// waiting multi-machine bootstrap; only the overall accept deadline is
+    /// fatal.
+    pub fn master(listener: TcpListener, world_size: usize) -> io::Result<Arc<Self>> {
+        Self::master_with_timeout(listener, world_size, BOOTSTRAP_ACCEPT_TIMEOUT)
+    }
+
+    /// [`TcpFabric::master`] with an explicit accept deadline (tests use a
+    /// short one to prove a missing peer fails the bootstrap loudly).
+    pub fn master_with_timeout(
+        listener: TcpListener,
+        world_size: usize,
+        accept_timeout: Duration,
+    ) -> io::Result<Arc<Self>> {
+        assert!(world_size >= 2, "a TCP universe needs a master and at least one slave");
+        let deadline = Instant::now() + accept_timeout;
+        listener.set_nonblocking(true)?;
+        let mut streams: Vec<TcpStream> = Vec::with_capacity(world_size - 1);
+        let mut peer_addrs: Vec<(usize, String)> = Vec::with_capacity(world_size - 1);
+        while streams.len() < world_size - 1 {
+            let (mut stream, remote) = accept_with_deadline(&listener, deadline)?;
+            let hello = match handshake::<Hello>(&mut stream, "bootstrap hello") {
+                Ok(h) => h,
+                Err(_) => continue, // stray or hostile client: drop, re-accept
+            };
+            let next_rank = streams.len() + 1;
+            peer_addrs.push((next_rank, format!("{}:{}", remote.ip(), hello.listen_port)));
+            streams.push(stream);
+        }
+        for (i, stream) in streams.iter_mut().enumerate() {
+            let welcome = Welcome { rank: i + 1, world_size, peers: peer_addrs.clone() };
+            send_msg(stream, &welcome)?;
+        }
+        let peers = streams
+            .into_iter()
+            .map(|s| {
+                s.set_read_timeout(None)?;
+                Ok(Some(PeerLink::new(s)))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        let mut peers_with_self = vec![None];
+        peers_with_self.extend(peers);
+        Ok(Self::finish(0, world_size, peers_with_self))
+    }
+
+    /// Slave bootstrap: dial the master at `master_addr` (retrying while it
+    /// is still coming up), learn this process's rank and the address book,
+    /// then complete the slave↔slave mesh — dialing every lower slave rank
+    /// and accepting every higher one.
+    pub fn slave(master_addr: impl ToSocketAddrs) -> io::Result<Arc<Self>> {
+        let addr = master_addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| bad_data("unresolvable master address"))?;
+        // The mesh listener must exist before the hello that advertises it.
+        let listener = TcpListener::bind(local_bind_addr(&addr))?;
+        let listen_port = listener.local_addr()?.port();
+
+        let mut master = connect_with_retry(addr)?;
+        master.set_nodelay(true)?;
+        master.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+        send_msg(&mut master, &Hello { magic: MAGIC, version: VERSION, listen_port })?;
+        let welcome: Welcome = recv_msg(&mut master, "bootstrap welcome")?;
+        let (rank, world_size) = (welcome.rank, welcome.world_size);
+        if rank == 0 || rank >= world_size {
+            return Err(bad_data("bootstrap assigned an invalid rank"));
+        }
+        master.set_read_timeout(None)?;
+
+        let mut peers: Vec<Option<PeerLink>> = (0..world_size).map(|_| None).collect();
+        peers[0] = Some(PeerLink::new(master));
+
+        // Dial every lower slave rank. Their listeners are bound (they
+        // advertised them before we got our welcome), so the connection
+        // lands in the OS backlog even if they have not reached accept yet.
+        for &(peer_rank, ref peer_addr) in &welcome.peers {
+            if peer_rank >= rank {
+                continue;
+            }
+            let mut stream = connect_with_retry(
+                peer_addr
+                    .to_socket_addrs()?
+                    .next()
+                    .ok_or_else(|| bad_data("unresolvable peer address"))?,
+            )?;
+            stream.set_nodelay(true)?;
+            send_msg(&mut stream, &PeerHello { magic: MAGIC, version: VERSION, rank })?;
+            peers[peer_rank] = Some(PeerLink::new(stream));
+        }
+        // Accept every higher slave rank; like the master's bootstrap,
+        // drop anything that fails the handshake and keep accepting.
+        let deadline = Instant::now() + BOOTSTRAP_ACCEPT_TIMEOUT;
+        listener.set_nonblocking(true)?;
+        let mut accepted = 0;
+        while accepted < world_size - 1 - rank {
+            let (mut stream, _) = accept_with_deadline(&listener, deadline)?;
+            let hello = match handshake::<PeerHello>(&mut stream, "mesh hello") {
+                Ok(h) => h,
+                Err(_) => continue,
+            };
+            let valid = hello.rank > rank && hello.rank < world_size;
+            if !valid || peers[hello.rank].is_some() {
+                continue; // confused or duplicate peer: drop, keep accepting
+            }
+            stream.set_read_timeout(None)?;
+            peers[hello.rank] = Some(PeerLink::new(stream));
+            accepted += 1;
+        }
+        Ok(Self::finish(rank, world_size, peers))
+    }
+
+    /// Spawn one reader thread per connected peer and assemble the fabric.
+    fn finish(rank: usize, world_size: usize, peers: Vec<Option<PeerLink>>) -> Arc<Self> {
+        let mailbox = Mailbox::new();
+        let mut readers = Vec::new();
+        for link in peers.iter().flatten() {
+            let stream = link.stream.lock().0.try_clone().expect("clone stream read half");
+            let mailbox = Arc::clone(&mailbox);
+            readers.push(std::thread::spawn(move || read_loop(stream, &mailbox)));
+        }
+        Arc::new(Self { rank, world_size, mailbox, peers, readers: Mutex::new(readers) })
+    }
+
+    /// This process's world rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Leader-side orderly shutdown: hard-close every stream and join the
+    /// reader threads. The master calls this after the final gather; peers
+    /// observe EOF (or a reset, if they were still sending heartbeat
+    /// answers) and unwind.
+    pub fn shutdown(&self) {
+        for link in self.peers.iter().flatten() {
+            link.shutdown(Shutdown::Both);
+        }
+        self.join_readers();
+    }
+
+    /// Follower-side orderly shutdown: half-close the write sides, then
+    /// wait for every peer to close theirs (the reader threads exit on
+    /// EOF). This guarantees frames this rank already sent — its final
+    /// result gather — stay deliverable: a full close here could turn a
+    /// late master heartbeat into a connection reset that discards them.
+    pub fn shutdown_when_drained(&self) {
+        for link in self.peers.iter().flatten() {
+            link.shutdown(Shutdown::Write);
+        }
+        self.join_readers();
+    }
+
+    fn join_readers(&self) {
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.readers.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpFabric {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl Transport for TcpFabric {
+    fn world_size(&self) -> usize {
+        self.world_size
+    }
+
+    fn deliver(&self, dst: usize, env: Envelope) {
+        if dst == self.rank {
+            self.mailbox.deliver(env);
+            return;
+        }
+        let link = self.peers[dst].as_ref().expect("peer link for remote rank");
+        // A false return means the peer disconnected; the envelope is
+        // dropped and the receive side's deadline machinery takes over.
+        let _ = link.send(&env);
+    }
+
+    fn mailbox(&self, r: usize) -> &Mailbox {
+        assert_eq!(r, self.rank, "a TCP fabric hosts only its own rank's mailbox");
+        &self.mailbox
+    }
+}
+
+/// Reader thread: decode frames from one peer stream into the local
+/// mailbox until EOF, a connection error, or a corrupt frame.
+fn read_loop(mut stream: TcpStream, mailbox: &Mailbox) {
+    let mut decoder = FrameDecoder::new();
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return, // EOF or reset: peer is gone
+            Ok(n) => n,
+        };
+        decoder.extend(&chunk[..n]);
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(env)) => mailbox.deliver(env),
+                Ok(None) => break,
+                // Corrupt stream: frame sync is unrecoverable; drop the
+                // connection (pending receives time out rather than hang).
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+/// Dial `addr`, retrying while the listener may still be coming up. The
+/// window defaults to [`CONNECT_RETRY_WINDOW`]; the `LIPIZ_TCP_RETRY_MS`
+/// environment variable overrides it (test suites shrink it so a slave
+/// pointed at a dead address gives up fast).
+fn connect_with_retry(addr: SocketAddr) -> io::Result<TcpStream> {
+    let window = std::env::var("LIPIZ_TCP_RETRY_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map_or(CONNECT_RETRY_WINDOW, Duration::from_millis);
+    let deadline = Instant::now() + window;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// Pick the wildcard bind address matching the master's address family, so
+/// the mesh listener is reachable from other hosts in multi-machine runs.
+fn local_bind_addr(master: &SocketAddr) -> SocketAddr {
+    match master {
+        SocketAddr::V4(_) => "0.0.0.0:0".parse().expect("v4 wildcard"),
+        SocketAddr::V6(_) => "[::]:0".parse().expect("v6 wildcard"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{Comm, RecvFrom};
+
+    /// Spin up an in-test TCP universe of `n` ranks (each rank a thread of
+    /// this test process, but all traffic over real localhost sockets) and
+    /// run `f` on every rank.
+    fn tcp_universe<R: Send>(
+        n: usize,
+        f: impl Fn(Comm, Arc<TcpFabric>) -> R + Send + Sync,
+    ) -> Vec<R> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let f = &f;
+        std::thread::scope(|s| {
+            let slaves: Vec<_> = (1..n)
+                .map(|_| {
+                    s.spawn(move || {
+                        let fabric = TcpFabric::slave(addr).expect("slave bootstrap");
+                        let comm = Comm::world(fabric.clone(), fabric.rank());
+                        let out = f(comm, fabric.clone());
+                        fabric.shutdown_when_drained();
+                        (fabric.rank(), out)
+                    })
+                })
+                .collect();
+            let fabric = TcpFabric::master(listener, n).expect("master bootstrap");
+            let comm = Comm::world(fabric.clone(), 0);
+            let master_out = f(comm, fabric.clone());
+            fabric.shutdown();
+            let mut results: Vec<(usize, R)> = vec![(0, master_out)];
+            for h in slaves {
+                results.push(h.join().expect("slave thread"));
+            }
+            results.sort_by_key(|(rank, _)| *rank);
+            results.into_iter().map(|(_, r)| r).collect()
+        })
+    }
+
+    #[test]
+    fn handshake_assigns_distinct_ranks() {
+        let ranks = tcp_universe(4, |comm, _| (comm.rank(), comm.size()));
+        assert_eq!(ranks, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn point_to_point_over_sockets() {
+        let results = tcp_universe(3, |comm, _| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, &vec![1.5f32, -2.5]);
+                comm.send(2, 5, &vec![10.0f32]);
+                0.0
+            } else {
+                let (v, src): (Vec<f32>, usize) = comm.recv(RecvFrom::Rank(0), 5);
+                assert_eq!(src, 0);
+                v.iter().sum::<f32>()
+            }
+        });
+        assert_eq!(results, vec![0.0, -1.0, 10.0]);
+    }
+
+    #[test]
+    fn slave_to_slave_mesh_traffic() {
+        // Exercises the mesh links that bypass the master entirely (the
+        // LOCAL communicator's allgather path).
+        let results = tcp_universe(4, |comm, _| {
+            let mut comm = comm;
+            let local = comm.subgroup(&[1, 2, 3]);
+            match local {
+                Some(local) => local.allgather(&(comm.rank() as u32 * 11)),
+                None => vec![],
+            }
+        });
+        assert_eq!(results[0], Vec::<u32>::new());
+        for r in &results[1..] {
+            assert_eq!(r, &[11, 22, 33]);
+        }
+    }
+
+    #[test]
+    fn collectives_match_in_process_semantics() {
+        let results = tcp_universe(3, |comm, _| {
+            comm.barrier();
+            let sum = comm.allreduce(&(comm.rank() as i64 + 1), |a, b| a + b);
+            let all = comm.allgather(&format!("r{}", comm.rank()));
+            (sum, all)
+        });
+        for (sum, all) in &results {
+            assert_eq!(*sum, 6);
+            assert_eq!(all, &["r0", "r1", "r2"]);
+        }
+    }
+
+    #[test]
+    fn large_payload_crosses_frame_chunks() {
+        // Bigger than the 64 KiB reader chunk: forces split-frame reassembly.
+        let big: Vec<f32> = (0..60_000).map(|i| i as f32 * 0.25).collect();
+        let expect = big.clone();
+        let results = tcp_universe(2, move |comm, _| {
+            if comm.rank() == 0 {
+                comm.send(1, 9, &big);
+                true
+            } else {
+                let (v, _): (Vec<f32>, usize) = comm.recv(RecvFrom::Rank(0), 9);
+                v == expect
+            }
+        });
+        assert!(results[1]);
+    }
+
+    #[test]
+    fn bootstrap_survives_stray_and_hostile_clients() {
+        // The --no-spawn master advertises an open port; whatever touches
+        // it first must not kill the bootstrap. Throw the full rogue's
+        // gallery at it — wrong magic, version skew, a hostile 1 GiB length
+        // prefix (must be rejected before allocation), and a connect-and-
+        // close probe — then connect a real slave and prove the universe
+        // still forms.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let rogues = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            send_msg(&mut s, &Hello { magic: 0xDEAD_BEEF, version: VERSION, listen_port: 1 })
+                .expect("bad magic");
+            let mut s = TcpStream::connect(addr).expect("connect");
+            send_msg(&mut s, &Hello { magic: MAGIC, version: VERSION + 1, listen_port: 1 })
+                .expect("version skew");
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&0x4000_0000u32.to_le_bytes()).expect("hostile length prefix");
+            drop(TcpStream::connect(addr).expect("connect-and-close probe"));
+            // Only after the gallery: the one legitimate slave.
+            let fabric = TcpFabric::slave(addr).expect("slave bootstrap");
+            let comm = Comm::world(fabric.clone(), fabric.rank());
+            let (v, _): (u8, usize) = comm.recv(RecvFrom::Rank(0), 4);
+            fabric.shutdown_when_drained();
+            v
+        });
+        let fabric = TcpFabric::master(listener, 2).expect("bootstrap survives rogues");
+        let comm = Comm::world(fabric.clone(), 0);
+        comm.send(1, 4, &42u8);
+        // Close before joining: the slave's drained shutdown waits for the
+        // master's FIN (queued data is still delivered after it).
+        fabric.shutdown();
+        assert_eq!(rogues.join().expect("rogue thread"), 42);
+    }
+
+    #[test]
+    fn missing_peer_fails_bootstrap_within_deadline() {
+        // A spawned slave that dies before connecting must fail the launch
+        // loudly at the accept deadline — never hang it forever.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let start = Instant::now();
+        let err = TcpFabric::master_with_timeout(listener, 2, Duration::from_millis(200))
+            .expect_err("no slave ever connects");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(start.elapsed() < Duration::from_secs(10), "deadline not bounded");
+    }
+
+    #[test]
+    fn dead_peer_times_out_instead_of_hanging() {
+        // Regression guard for the heartbeat path: once a peer vanishes, a
+        // bounded receive must return None within its deadline — never
+        // block forever, never panic on the send side.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let t = std::thread::spawn(move || {
+            let fabric = TcpFabric::slave(addr).expect("slave bootstrap");
+            let comm = Comm::world(fabric.clone(), fabric.rank());
+            comm.send(0, 1, &7u8); // prove liveness, then vanish abruptly
+            fabric.shutdown();
+        });
+        let fabric = TcpFabric::master(listener, 2).expect("master bootstrap");
+        let comm = Comm::world(fabric.clone(), 0);
+        let (v, _): (u8, usize) = comm.recv(RecvFrom::Rank(1), 1);
+        assert_eq!(v, 7);
+        t.join().expect("slave thread");
+        // Peer is gone: a send must not panic, and a timed receive must
+        // come back within (roughly) its deadline.
+        comm.send(1, 2, &1u8);
+        let start = Instant::now();
+        let got = comm.recv_timeout::<u8>(RecvFrom::Rank(1), 3, Duration::from_millis(100));
+        assert!(got.is_none());
+        assert!(start.elapsed() < Duration::from_secs(5), "timeout not bounded");
+        fabric.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let results = tcp_universe(2, |comm, fabric| {
+            comm.barrier();
+            fabric.shutdown();
+            fabric.shutdown();
+            comm.rank()
+        });
+        assert_eq!(results, vec![0, 1]);
+    }
+}

@@ -122,6 +122,58 @@ mod tests {
     }
 
     #[test]
+    fn single_row_grid_wraps_only_horizontally() {
+        // 1×5: N and S collapse onto the cell itself; W/E wrap the row.
+        let g = CartGrid::new(1, 5);
+        for rank in 0..5 {
+            let [n, s, w, e] = g.neighbors4(rank);
+            assert_eq!(n, rank, "north of a 1-row torus is self");
+            assert_eq!(s, rank, "south of a 1-row torus is self");
+            assert_eq!(w, (rank + 4) % 5);
+            assert_eq!(e, (rank + 1) % 5);
+        }
+    }
+
+    #[test]
+    fn single_column_grid_wraps_only_vertically() {
+        let g = CartGrid::new(4, 1);
+        for rank in 0..4 {
+            let [n, s, w, e] = g.neighbors4(rank);
+            assert_eq!(n, (rank + 3) % 4);
+            assert_eq!(s, (rank + 1) % 4);
+            assert_eq!(w, rank, "west of a 1-col torus is self");
+            assert_eq!(e, rank, "east of a 1-col torus is self");
+        }
+    }
+
+    #[test]
+    fn rectangular_2x5_coords_and_shifts() {
+        let g = CartGrid::new(2, 5);
+        assert_eq!(g.size(), 10);
+        // Row-major layout: rank 7 sits at (1, 2).
+        assert_eq!(g.coords_of(7), (1, 2));
+        assert_eq!(g.rank_of(1, 2), 7);
+        // Vertical wrap on 2 rows: N and S of any rank coincide.
+        assert_eq!(g.shift(7, -1, 0), g.shift(7, 1, 0));
+        assert_eq!(g.shift(7, -1, 0), 2);
+        // Horizontal wrap crosses the 5-wide row.
+        assert_eq!(g.shift(5, 0, -1), 9);
+        assert_eq!(g.shift(9, 0, 1), 5);
+    }
+
+    #[test]
+    fn coords_round_trip_on_degenerate_shapes() {
+        for (rows, cols) in [(1, 1), (1, 7), (7, 1), (2, 5), (5, 2), (3, 4)] {
+            let g = CartGrid::new(rows, cols);
+            for rank in 0..g.size() {
+                let (r, c) = g.coords_of(rank);
+                assert!(r < rows && c < cols);
+                assert_eq!(g.rank_of(r as isize, c as isize), rank, "{rows}x{cols}");
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "positive")]
     fn zero_dimension_panics() {
         CartGrid::new(0, 3);

@@ -1,0 +1,208 @@
+//! The delivery-substrate abstraction behind [`crate::comm::Comm`], plus the
+//! stream framing shared by socket transports.
+//!
+//! A [`Transport`] moves [`Envelope`]s between world ranks and hands each
+//! rank a [`Mailbox`] for selective receives. Two implementations exist:
+//!
+//! * [`crate::comm::Fabric`] — the in-process fabric (every rank is a thread
+//!   of one OS process, one mailbox per rank);
+//! * [`crate::tcp::TcpFabric`] — a real multi-process transport (every rank
+//!   is an OS process, envelopes travel as length-prefixed frames over TCP).
+//!
+//! Everything above this layer — communicators, collectives, the master/
+//! slave runtime — is transport-agnostic, which is what lets the
+//! `driver_equivalence` and `distributed_process` suites prove the two
+//! backends byte-identical.
+
+use crate::endpoint::Mailbox;
+use crate::message::Envelope;
+use crate::wire::{Wire, WireError};
+use std::fmt;
+
+/// An envelope-delivery substrate for one universe of world ranks.
+///
+/// Implementations must be safe to use from every thread of a rank
+/// concurrently (the slave runtime sends from two threads at once).
+pub trait Transport: fmt::Debug + Send + Sync {
+    /// Number of world ranks in the universe.
+    fn world_size(&self) -> usize;
+
+    /// Deliver `env` to world rank `dst`. Delivery to an unreachable peer
+    /// (e.g. a disconnected TCP slave) drops the envelope silently — the
+    /// runtime's heartbeat deadline, not the transport, reports dead peers.
+    fn deliver(&self, dst: usize, env: Envelope);
+
+    /// The receive mailbox of world rank `r`.
+    ///
+    /// # Panics
+    /// Socket transports host only their own rank and panic for any other
+    /// `r`; the in-process fabric hosts all ranks.
+    fn mailbox(&self, r: usize) -> &Mailbox;
+}
+
+/// Upper bound on a frame body, rejecting hostile length prefixes before
+/// any allocation happens (a full Table-I genome snapshot is ~1 MiB; this
+/// leaves three orders of magnitude of headroom).
+pub const MAX_FRAME_LEN: usize = 1 << 30;
+
+/// Append one length-prefixed frame carrying `env` to `out`:
+/// `[u32-le body length][body = Envelope wire encoding]`.
+pub fn encode_frame(env: &Envelope, out: &mut Vec<u8>) {
+    let header_at = out.len();
+    0u32.encode(out);
+    let body_at = out.len();
+    env.encode(out);
+    let body_len = (out.len() - body_at) as u32;
+    out[header_at..body_at].copy_from_slice(&body_len.to_le_bytes());
+}
+
+/// Incremental frame decoder: feed arbitrary stream chunks with
+/// [`FrameDecoder::extend`], pop complete envelopes with
+/// [`FrameDecoder::next_frame`]. Tolerates any chunking of the byte stream —
+/// 1-byte reads, frames split across reads, many frames coalesced into one
+/// read — which the property suite exercises adversarially.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted once it outgrows the live tail.
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// New empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append raw stream bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: keeps the buffer bounded by the largest
+        // in-flight frame rather than the whole stream history.
+        if self.start > 0 && self.start >= self.buf.len().saturating_sub(self.start) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded into a frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Decode the next complete frame, if one is fully buffered.
+    ///
+    /// `Ok(None)` means "need more bytes"; an error means the stream is
+    /// corrupt (bad length prefix or malformed envelope) and the connection
+    /// must be torn down — frame boundaries cannot be re-synchronized.
+    pub fn next_frame(&mut self) -> Result<Option<Envelope>, WireError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4-byte slice")) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::new("frame length"));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let env = Envelope::from_bytes(&avail[4..4 + len])?;
+        self.start += 4 + len;
+        Ok(Some(env))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(src: usize, tag: u32, n: usize) -> Envelope {
+        Envelope::new(2, src, tag, (0..n).map(|i| i as u8).collect())
+    }
+
+    #[test]
+    fn frame_round_trips_whole() {
+        let e = env(3, 42, 17);
+        let mut stream = Vec::new();
+        encode_frame(&e, &mut stream);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&stream);
+        assert_eq!(dec.next_frame().unwrap(), Some(e));
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn byte_at_a_time_feeding() {
+        let envelopes = vec![env(0, 1, 0), env(1, 2, 33), env(2, 3, 5)];
+        let mut stream = Vec::new();
+        for e in &envelopes {
+            encode_frame(e, &mut stream);
+        }
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for b in &stream {
+            dec.extend(std::slice::from_ref(b));
+            while let Some(e) = dec.next_frame().unwrap() {
+                out.push(e);
+            }
+        }
+        assert_eq!(out, envelopes);
+    }
+
+    #[test]
+    fn coalesced_frames_in_one_chunk() {
+        let envelopes: Vec<Envelope> = (0..8).map(|i| env(i, i as u32, i * 3)).collect();
+        let mut stream = Vec::new();
+        for e in &envelopes {
+            encode_frame(e, &mut stream);
+        }
+        let mut dec = FrameDecoder::new();
+        dec.extend(&stream);
+        let mut out = Vec::new();
+        while let Some(e) = dec.next_frame().unwrap() {
+            out.push(e);
+        }
+        assert_eq!(out, envelopes);
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&(u32::MAX).to_le_bytes());
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn corrupt_body_rejected() {
+        // A frame whose body is one byte short of a valid envelope.
+        let mut stream = Vec::new();
+        encode_frame(&env(1, 2, 3), &mut stream);
+        let last = stream.len() - 1;
+        stream[0] -= 1; // shrink declared length by one byte
+        let mut dec = FrameDecoder::new();
+        dec.extend(&stream[..last]);
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn compaction_keeps_decoding_correct() {
+        // Interleave extend/next_frame so the consumed prefix gets compacted
+        // mid-stream; every envelope must still come out intact and in order.
+        let envelopes: Vec<Envelope> = (0..64).map(|i| env(i, 7, i % 19)).collect();
+        let mut stream = Vec::new();
+        for e in &envelopes {
+            encode_frame(e, &mut stream);
+        }
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for chunk in stream.chunks(13) {
+            dec.extend(chunk);
+            while let Some(e) = dec.next_frame().unwrap() {
+                out.push(e);
+            }
+        }
+        assert_eq!(out, envelopes);
+    }
+}

@@ -1,12 +1,22 @@
 //! Launching a set of ranks.
 
 use crate::comm::{Comm, Fabric};
+use crate::transport::Transport;
+use std::sync::Arc;
 
 /// Entry point: runs `n` ranks as threads, each receiving its WORLD
 /// communicator (the analogue of `mpiexec -n <n>`).
 pub struct Universe;
 
 impl Universe {
+    /// Join an externally-bootstrapped universe as world rank `rank` over
+    /// `transport` — the multi-process analogue of [`Universe::run`], where
+    /// each OS process calls `attach` once with its end of a socket
+    /// transport (see [`crate::tcp::TcpFabric`]) instead of one process
+    /// spawning every rank as a thread.
+    pub fn attach(transport: Arc<dyn Transport>, rank: usize) -> Comm {
+        Comm::world(transport, rank)
+    }
     /// Run `f` on `n` ranks and return their results in rank order.
     ///
     /// Panics in any rank are propagated (with the rank number) after all

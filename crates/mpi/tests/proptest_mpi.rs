@@ -2,8 +2,9 @@
 //! delivery exactly-once, and collective consistency under arbitrary
 //! payloads.
 
+use lipiz_mpi::transport::{encode_frame, FrameDecoder};
 use lipiz_mpi::wire::Wire;
-use lipiz_mpi::{Comm, RecvFrom, Universe};
+use lipiz_mpi::{Comm, Envelope, RecvFrom, Universe};
 use proptest::prelude::*;
 
 proptest! {
@@ -66,6 +67,73 @@ proptest! {
         });
         for r in results {
             prop_assert_eq!(r, expected);
+        }
+    }
+
+    #[test]
+    fn framing_survives_arbitrary_stream_chunking(
+        raw_envs in proptest::collection::vec(
+            (any::<u16>(), 0usize..64, any::<u32>(), proptest::collection::vec(any::<u8>(), 0..96)),
+            1..12,
+        ),
+        cuts in proptest::collection::vec(1usize..257, 1..48),
+    ) {
+        // The TCP reader sees an arbitrary re-chunking of the frame stream:
+        // 1-byte reads, frames split across reads, several frames coalesced
+        // into one read. Whatever the chunking, the decoder must hand back
+        // exactly the sent envelopes, in order.
+        let envelopes: Vec<Envelope> = raw_envs
+            .into_iter()
+            .map(|(context, src, tag, payload)| Envelope::new(context, src, tag, payload))
+            .collect();
+        let mut stream = Vec::new();
+        for env in &envelopes {
+            encode_frame(env, &mut stream);
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        let mut offset = 0;
+        let mut cut_idx = 0;
+        while offset < stream.len() {
+            let step = cuts[cut_idx % cuts.len()].min(stream.len() - offset);
+            decoder.extend(&stream[offset..offset + step]);
+            offset += step;
+            cut_idx += 1;
+            while let Some(env) = decoder.next_frame().expect("valid stream") {
+                decoded.push(env);
+            }
+        }
+        prop_assert_eq!(decoded, envelopes);
+        prop_assert_eq!(decoder.pending(), 0);
+    }
+
+    #[test]
+    fn frame_decoder_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+        cuts in proptest::collection::vec(1usize..33, 1..16),
+    ) {
+        // Totality under hostile input: arbitrary bytes fed in arbitrary
+        // chunks must yield Ok or Err — never a panic, never an infinite
+        // loop — and after an error the decoder stays inert.
+        let mut decoder = FrameDecoder::new();
+        let mut offset = 0;
+        let mut cut_idx = 0;
+        let mut dead = false;
+        while offset < bytes.len() && !dead {
+            let step = cuts[cut_idx % cuts.len()].min(bytes.len() - offset);
+            decoder.extend(&bytes[offset..offset + step]);
+            offset += step;
+            cut_idx += 1;
+            loop {
+                match decoder.next_frame() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => break,
+                    Err(_) => {
+                        dead = true; // a real reader drops the connection here
+                        break;
+                    }
+                }
+            }
         }
     }
 

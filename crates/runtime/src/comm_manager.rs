@@ -286,6 +286,7 @@ mod tests {
                     gen_fitness: cell as f64 * 0.1,
                     disc_fitness: 0.0,
                     mixture: vec![1.0],
+                    ensemble: vec![vec![0.5; 3]],
                     profile: vec![],
                     wall_seconds: 0.0,
                 }));

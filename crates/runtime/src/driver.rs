@@ -1,11 +1,16 @@
-//! One-call entry point for a distributed run.
+//! One-call entry points for a distributed run — over the in-process
+//! fabric (every rank a thread) or over the TCP transport (every rank an
+//! OS process; see [`lipiz_mpi::tcp::TcpFabric`]).
 
 use crate::comm_manager::CommManager;
 use crate::master::{run_master, MasterOutcome};
 use crate::slave::run_slave;
+use crate::state::SlaveState;
 use lipiz_core::{TrainConfig, TrainReport};
+use lipiz_mpi::tcp::TcpFabric;
 use lipiz_mpi::Universe;
 use lipiz_tensor::Matrix;
+use std::net::{TcpListener, ToSocketAddrs};
 use std::time::Duration;
 
 /// Knobs for the distributed runtime that are not part of the training
@@ -44,6 +49,43 @@ pub fn run_distributed(
         }
     });
     outcomes.swap_remove(0).expect("master rank produces the outcome")
+}
+
+/// Master side of a multi-process TCP run: accept `cfg.cells()` slave
+/// connections on `listener`, run the full master lifecycle, and shut the
+/// transport down once the final gather lands. The caller binds the
+/// listener so it can advertise (or spawn slaves against) the actual port
+/// before accepting starts.
+///
+/// The same [`run_master`] drives both transports — this function only
+/// swaps the fabric underneath it, which is exactly the decoupling the
+/// paper's comm-manager design argues for.
+pub fn run_tcp_master(
+    listener: TcpListener,
+    cfg: &TrainConfig,
+    opts: DistributedOptions,
+) -> std::io::Result<MasterOutcome> {
+    let fabric = TcpFabric::master(listener, cfg.cells() + 1)?;
+    let cm = CommManager::new(Universe::attach(fabric.clone(), 0));
+    let outcome = run_master(&cm, cfg, opts.heartbeat_interval);
+    fabric.shutdown();
+    Ok(outcome)
+}
+
+/// Slave side of a multi-process TCP run: dial the master at
+/// `master_addr`, learn this process's rank, run the full slave lifecycle
+/// (identical to the in-process driver's), and drain the transport before
+/// returning so the final result frame is never lost to a reset.
+pub fn run_tcp_slave(
+    master_addr: impl ToSocketAddrs,
+    make_data: impl Fn(usize, &TrainConfig) -> Matrix + Sync,
+) -> std::io::Result<SlaveState> {
+    let fabric = TcpFabric::slave(master_addr)?;
+    let rank = fabric.rank();
+    let cm = CommManager::new(Universe::attach(fabric.clone(), rank));
+    let state = run_slave(&cm, &make_data, &format!("node{rank:02}"));
+    fabric.shutdown_when_drained();
+    Ok(state)
 }
 
 /// Convenience wrapper returning only the training report.
@@ -117,6 +159,52 @@ mod tests {
             assert_eq!(s.disc_fitness, t.disc_fitness, "cell {} disc fitness", s.cell);
             assert_eq!(s.mixture_weights, t.mixture_weights, "cell {} mixture", s.cell);
         }
+    }
+
+    #[test]
+    fn shipped_ensemble_matches_sequential_rebuild() {
+        // The genomes gathered from the slaves must reassemble into exactly
+        // the model a sequential run computes locally — weights, genomes,
+        // and network config all bit-equal.
+        let cfg = TrainConfig::smoke(2);
+        let outcome = run_distributed(&cfg, toy_data, DistributedOptions::default());
+        let mut seq =
+            lipiz_core::sequential::SequentialTrainer::new(&cfg, |cell| toy_data(cell, &cfg));
+        let seq_report = seq.run();
+        let mut seq_ensembles = seq.ensembles();
+        assert_eq!(outcome.report.best_cell, seq_report.best_cell);
+        let shipped = outcome.best_ensemble(&cfg);
+        let local = seq_ensembles.swap_remove(seq_report.best_cell);
+        assert_eq!(shipped, local);
+    }
+
+    #[test]
+    fn tcp_transport_matches_sequential_exactly() {
+        // The full master/slave protocol over real localhost sockets (each
+        // rank a thread of this test, but all traffic through TcpFabric)
+        // must be bit-identical to the sequential baseline — the in-process
+        // half of the equivalence the multi-OS-process suite completes.
+        let cfg = TrainConfig::smoke(2);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let outcome = std::thread::scope(|s| {
+            for _ in 0..cfg.cells() {
+                s.spawn(move || run_tcp_slave(addr, toy_data).expect("tcp slave"));
+            }
+            run_tcp_master(listener, &cfg, DistributedOptions::default()).expect("tcp master")
+        });
+
+        let mut seq =
+            lipiz_core::sequential::SequentialTrainer::new(&cfg, |cell| toy_data(cell, &cfg));
+        let seq_report = seq.run();
+        for (d, s) in outcome.report.cells.iter().zip(&seq_report.cells) {
+            assert_eq!(d.gen_fitness, s.gen_fitness, "cell {} gen fitness", d.cell);
+            assert_eq!(d.disc_fitness, s.disc_fitness, "cell {} disc fitness", d.cell);
+            assert_eq!(d.mixture_weights, s.mixture_weights, "cell {} mixture", d.cell);
+        }
+        assert_eq!(outcome.report.best_cell, seq_report.best_cell);
+        let shipped = outcome.best_ensemble(&cfg);
+        assert_eq!(shipped, seq.ensembles().swap_remove(seq_report.best_cell));
     }
 
     #[test]

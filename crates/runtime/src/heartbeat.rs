@@ -182,6 +182,87 @@ mod tests {
     }
 
     #[test]
+    fn deaf_slave_is_reported_delayed_without_wedging_the_master() {
+        // Failure injection for the full master lifecycle: one slave runs
+        // the complete protocol *except* it never answers a status request
+        // (a hung communication thread, in the paper's terms). The master
+        // must flag it via `HeartbeatLog::any_delayed()` and still finish
+        // the run — the heartbeat deadline bounds every wait, so a silent
+        // peer can degrade monitoring but never wedge `run_master`.
+        use crate::comm_manager::CommManager;
+        use crate::master::run_master;
+        use crate::protocol::{ProfileRowMsg, SlaveResult};
+        use crate::slave::run_slave;
+        use lipiz_core::{CellEngine, CellSnapshot, Grid, Profiler, TrainConfig};
+
+        let mut cfg = TrainConfig::smoke(2);
+        cfg.grid.rows = 1;
+        cfg.grid.cols = 2;
+        cfg.coevolution.iterations = 3;
+        let toy_data = |cfg: &TrainConfig| {
+            let mut rng = lipiz_tensor::Rng64::seed_from(cfg.training.data_seed);
+            rng.uniform_matrix(cfg.training.dataset_size, cfg.network.data_dim, -0.9, 0.9)
+        };
+
+        let results = Universe::run(3, |world| {
+            let mut cm = CommManager::new(world);
+            if cm.is_master() {
+                return Some(run_master(&cm, &cfg, Duration::from_millis(2)));
+            }
+            if cm.world_rank() == 1 {
+                run_slave(&cm, &|_, cfg: &TrainConfig| toy_data(cfg), "healthy");
+                return None;
+            }
+            // Deaf slave: announces, trains, exchanges, gathers — but never
+            // touches the status tags. Slowed down so heartbeat rounds are
+            // guaranteed to land (and expire) mid-training.
+            cm.announce_node("deaf");
+            let task = cm.recv_run_task();
+            let slave_cfg = task.config.into_config();
+            let grid = Grid::from_config(&slave_cfg.grid);
+            let mut engine = CellEngine::new(task.cell_index, &slave_cfg, toy_data(&slave_cfg));
+            let mut profiler = Profiler::new();
+            for _ in 0..slave_cfg.coevolution.iterations {
+                std::thread::sleep(Duration::from_millis(60));
+                let snapshot = engine.snapshot();
+                let all = cm.exchange_centers(&snapshot);
+                let neighbors: Vec<CellSnapshot> = grid
+                    .neighbors(task.cell_index)
+                    .into_iter()
+                    .map(|n| all[n].clone())
+                    .collect();
+                engine.run_iteration(&neighbors, &mut profiler);
+            }
+            let ensemble = engine.ensemble();
+            let disc_pop = engine.disc_population();
+            cm.gather_results(Some(SlaveResult {
+                cell: task.cell_index,
+                gen_fitness: engine.best_gen_fitness(),
+                disc_fitness: disc_pop.members()[disc_pop.best_index()].fitness,
+                mixture: ensemble.weights.weights().to_vec(),
+                ensemble: ensemble.genomes,
+                profile: Vec::<ProfileRowMsg>::new(),
+                wall_seconds: 0.0,
+            }));
+            None
+        });
+
+        let outcome = results[0].as_ref().expect("master outcome");
+        // The run completed despite the deaf slave...
+        assert_eq!(outcome.report.cells.len(), 2);
+        assert!(outcome.report.cells.iter().all(|c| c.gen_fitness.is_finite()));
+        // ...and the monitoring saw the failure.
+        assert!(!outcome.heartbeat.is_empty(), "no heartbeat rounds ran");
+        assert!(outcome.heartbeat.any_delayed(), "deaf slave was never flagged");
+        let deaf_flagged =
+            outcome.heartbeat.rounds.iter().flatten().any(|r| r.slave == 2 && r.delayed);
+        assert!(deaf_flagged, "the delayed flag must name the deaf slave");
+        let healthy_answered =
+            outcome.heartbeat.rounds.iter().flatten().any(|r| r.slave == 1 && !r.delayed);
+        assert!(healthy_answered, "healthy slave should still be seen alive");
+    }
+
+    #[test]
     fn heartbeat_loop_stops_on_flag() {
         let results = Universe::run(2, |world| {
             let cm = CommManager::new(world);

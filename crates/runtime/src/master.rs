@@ -9,7 +9,9 @@ use crate::comm_manager::CommManager;
 use crate::heartbeat::{run_heartbeat_loop, HeartbeatLog};
 use crate::protocol::{ConfigMsg, NodeAnnouncement, RunTask, SlaveResult};
 use lipiz_core::profiling::{ProfileReport, ProfileRow};
-use lipiz_core::{CellResult, Grid, Routine, TrainConfig, TrainReport};
+use lipiz_core::{
+    CellResult, EnsembleModel, Grid, MixtureWeights, Routine, TrainConfig, TrainReport,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
@@ -24,6 +26,25 @@ pub struct MasterOutcome {
     pub heartbeat: HeartbeatLog,
     /// Raw per-slave results (cell order).
     pub slave_results: Vec<SlaveResult>,
+}
+
+impl MasterOutcome {
+    /// Reassemble the winning cell's generative model from the genomes the
+    /// slave shipped in its final gather. Byte-identical to the ensemble
+    /// the slave's own engine would report (the mixture weights cross the
+    /// wire exactly and are **not** renormalized), which is what the
+    /// multi-process `.lpz` equivalence suite asserts.
+    ///
+    /// # Panics
+    /// Panics if the gathered results are empty (no slaves ran).
+    pub fn best_ensemble(&self, cfg: &TrainConfig) -> EnsembleModel {
+        let best = &self.slave_results[self.report.best_cell];
+        EnsembleModel::new(
+            cfg.network.to_network_config(),
+            best.ensemble.clone(),
+            MixtureWeights::from_normalized(&best.mixture),
+        )
+    }
 }
 
 /// Workload assignment: which WORLD rank trains which grid cell.
@@ -158,6 +179,7 @@ mod tests {
             gen_fitness: fit,
             disc_fitness: 0.5,
             mixture: vec![1.0],
+            ensemble: vec![vec![0.0; 4]],
             profile: vec![ProfileRowMsg {
                 routine: "train".into(),
                 seconds: train_secs,

@@ -164,12 +164,25 @@ pub struct SlaveResult {
     pub disc_fitness: f64,
     /// Final mixture weights.
     pub mixture: Vec<f32>,
+    /// Final ensemble generator genomes, aligned with `mixture` — the
+    /// trained model itself, so the master can persist the winning
+    /// ensemble without re-deriving it locally (on a real multi-machine
+    /// run the master has nothing else to derive it from).
+    pub ensemble: Vec<Vec<f32>>,
     /// Per-routine profile rows.
     pub profile: Vec<ProfileRowMsg>,
     /// Wall seconds this slave spent in the training loop.
     pub wall_seconds: f64,
 }
-wire_struct!(SlaveResult { cell, gen_fitness, disc_fitness, mixture, profile, wall_seconds });
+wire_struct!(SlaveResult {
+    cell,
+    gen_fitness,
+    disc_fitness,
+    mixture,
+    ensemble,
+    profile,
+    wall_seconds,
+});
 
 impl SlaveResult {
     /// Convert the profile rows into a core [`ProfileReport`].
@@ -217,6 +230,7 @@ pub struct ConfigMsg {
     data_seed: u64,
     eval_batch: usize,
     workers_per_cell: usize,
+    shard_data: bool,
     seed: u64,
 }
 wire_struct!(ConfigMsg {
@@ -246,6 +260,7 @@ wire_struct!(ConfigMsg {
     data_seed,
     eval_batch,
     workers_per_cell,
+    shard_data,
     seed,
 });
 
@@ -308,6 +323,7 @@ impl From<&TrainConfig> for ConfigMsg {
             data_seed: c.training.data_seed,
             eval_batch: c.training.eval_batch,
             workers_per_cell: c.training.workers_per_cell,
+            shard_data: c.training.shard_data,
             seed: c.seed,
         }
     }
@@ -366,6 +382,7 @@ impl ConfigMsg {
                 data_seed: self.data_seed,
                 eval_batch: self.eval_batch,
                 workers_per_cell: self.workers_per_cell,
+                shard_data: self.shard_data,
             },
             seed: self.seed,
         }
@@ -383,6 +400,7 @@ mod tests {
             TrainConfig::smoke(2),
             TrainConfig::smoke(3).with_mustangs(),
             TrainConfig::smoke(2).with_workers(4),
+            TrainConfig::smoke(2).with_shards(true),
         ] {
             let msg = ConfigMsg::from(&cfg);
             let bytes = msg.to_bytes();
@@ -455,6 +473,7 @@ mod tests {
             gen_fitness: 0.5,
             disc_fitness: 0.75,
             mixture: vec![0.2, 0.8],
+            ensemble: vec![vec![1.0, -2.0, 3.0], vec![0.5; 4]],
             profile: vec![ProfileRowMsg { routine: "train".into(), seconds: 1.5, calls: 10 }],
             wall_seconds: 2.25,
         };

@@ -75,11 +75,13 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
                 done.store(true, Ordering::Release);
                 let disc_pop = engine.disc_population();
                 let disc_fitness = disc_pop.members()[disc_pop.best_index()].fitness;
+                let ensemble = engine.ensemble();
                 SlaveResult {
                     cell: cell_index,
                     gen_fitness: engine.best_gen_fitness(),
                     disc_fitness,
-                    mixture: engine.mixture().weights().to_vec(),
+                    mixture: ensemble.weights.weights().to_vec(),
+                    ensemble: ensemble.genomes,
                     profile: profiler
                         .report()
                         .rows

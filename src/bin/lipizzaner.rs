@@ -1,30 +1,42 @@
 //! `lipizzaner` — command-line front end for cellular GAN training.
 //!
 //! ```text
-//! lipizzaner train --grid 2 --iterations 8 --driver sequential --out model.lpz
-//! lipizzaner train --grid 3 --driver distributed --mustangs
+//! lipizzaner train  --grid 2 --iterations 8 --driver sequential --out model.lpz
+//! lipizzaner train  --grid 3 --driver distributed --transport tcp --mustangs
+//! lipizzaner launch --rows 1 --cols 2 --out model.lpz     # spawn slaves + master over TCP
+//! lipizzaner slave  --connect 192.168.0.10:4455           # join a multi-machine run by hand
 //! lipizzaner sample --model model.lpz --count 16 --gallery samples.pgm
-//! lipizzaner info  --model model.lpz
+//! lipizzaner info   --model model.lpz
 //! ```
 
-use lipizzaner::core::persist;
+use lipizzaner::core::{persist, TransportKind};
 use lipizzaner::data::image;
 use lipizzaner::prelude::*;
+use lipizzaner::runtime::driver::{run_tcp_master, run_tcp_slave};
+use std::net::TcpListener;
 use std::path::PathBuf;
-use std::process::ExitCode;
+use std::process::{Child, Command, ExitCode, Stdio};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("train") => cmd_train(&args[1..]),
+        Some("launch") => cmd_launch(&args[1..]),
+        Some("slave") => cmd_slave(&args[1..]),
         Some("sample") => cmd_sample(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         _ => {
             eprintln!(
-                "usage: lipizzaner <train|sample|info> [options]\n\
+                "usage: lipizzaner <train|launch|slave|sample|info> [options]\n\
                  \n\
-                 train   --grid N --iterations I --batches B --driver sequential|distributed|cluster-sim\n\
-                 \u{20}       --mustangs --shards --out FILE.lpz\n\
+                 train   --grid N | --rows R --cols C   --iterations I --batches B\n\
+                 \u{20}       --driver sequential|distributed|cluster-sim --transport in-process|tcp\n\
+                 \u{20}       --mustangs --shards --tiny --out FILE.lpz\n\
+                 launch  same training flags as train; spawns one slave OS process per grid\n\
+                 \u{20}       cell plus a TCP master (--bind HOST:PORT, default 127.0.0.1:0);\n\
+                 \u{20}       --no-spawn waits for hand-started slaves instead (multi-machine)\n\
+                 slave   --connect HOST:PORT   join a master started elsewhere (the data\n\
+                 \u{20}       layout, incl. --shards, arrives in the wire config)\n\
                  sample  --model FILE.lpz --count N [--gallery FILE.pgm]\n\
                  info    --model FILE.lpz"
             );
@@ -41,116 +53,149 @@ fn flag_present(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
-fn cmd_train(args: &[String]) -> ExitCode {
+/// Build the training configuration shared by every driver and transport
+/// from the CLI flags. `--tiny` selects the smoke-scale config (uniform toy
+/// data) for fast protocol exercises; the default is a laptop-scale digit
+/// config (Table I shape, reduced capacity). Non-square grids come from
+/// `--rows`/`--cols`, which override `--grid`.
+fn cli_config(args: &[String]) -> TrainConfig {
     let grid: usize = flag_value(args, "--grid").and_then(|v| v.parse().ok()).unwrap_or(2);
-    let iterations: usize =
-        flag_value(args, "--iterations").and_then(|v| v.parse().ok()).unwrap_or(6);
-    let batches: usize =
-        flag_value(args, "--batches").and_then(|v| v.parse().ok()).unwrap_or(4);
-    let driver = flag_value(args, "--driver").unwrap_or("sequential").to_string();
-    let out = flag_value(args, "--out").map(PathBuf::from);
+    let rows: usize = flag_value(args, "--rows").and_then(|v| v.parse().ok()).unwrap_or(grid);
+    let cols: usize = flag_value(args, "--cols").and_then(|v| v.parse().ok()).unwrap_or(grid);
+    let tiny = flag_present(args, "--tiny");
+    let iterations: usize = flag_value(args, "--iterations")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if tiny { 2 } else { 6 });
+    let batches: usize = flag_value(args, "--batches")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if tiny { 2 } else { 4 });
 
-    // A laptop-scale digit config (Table I shape, reduced capacity).
-    let mut cfg = TrainConfig::smoke(grid);
-    cfg.network.latent_dim = 16;
-    cfg.network.hidden_layers = 1;
-    cfg.network.hidden_units = 48;
-    cfg.network.data_dim = lipizzaner::data::IMAGE_DIM;
+    let mut cfg = TrainConfig::smoke(2);
+    if !tiny {
+        cfg.network.latent_dim = 16;
+        cfg.network.hidden_layers = 1;
+        cfg.network.hidden_units = 48;
+        cfg.network.data_dim = lipizzaner::data::IMAGE_DIM;
+        cfg.coevolution.mixture_every = 3;
+        cfg.training.batch_size = 32;
+        cfg.training.dataset_size = 640;
+        cfg.training.eval_batch = 64;
+        cfg.mutation.initial_lr = 1e-3;
+    }
+    cfg.grid.rows = rows;
+    cfg.grid.cols = cols;
     cfg.coevolution.iterations = iterations;
-    cfg.coevolution.mixture_every = 3;
-    cfg.training.batch_size = 32;
     cfg.training.batches_per_iteration = batches;
-    cfg.training.dataset_size = 640;
-    cfg.training.eval_batch = 64;
-    cfg.mutation.initial_lr = 1e-3;
+    cfg.training.shard_data = flag_present(args, "--shards");
     if flag_present(args, "--mustangs") {
         cfg = cfg.with_mustangs();
     }
-    let use_shards = flag_present(args, "--shards");
-    let cells = cfg.cells();
+    cfg
+}
+
+/// Synthesize the full dataset. Every rank — sequential driver, threaded
+/// slave, or a slave OS process on another machine — derives the same bytes
+/// from the config alone, so the data dimension picks the source:
+/// digit-shaped configs use the synthetic digits, anything else the uniform
+/// toy set.
+fn cli_full_data(cfg: &TrainConfig) -> Matrix {
+    if cfg.network.data_dim == lipizzaner::data::IMAGE_DIM {
+        SynthDigits::generate(cfg.training.dataset_size, cfg.training.data_seed).images
+    } else {
+        let mut rng = Rng64::seed_from(cfg.training.data_seed);
+        rng.uniform_matrix(cfg.training.dataset_size, cfg.network.data_dim, -0.9, 0.9)
+    }
+}
+
+/// Carve one cell's view out of the full dataset: its shard when the config
+/// says the data is partitioned, a full copy otherwise. The shard switch
+/// rides in the wire config, so hand-started slaves on other machines can
+/// never disagree with the master about the data layout.
+fn cli_slice(full: &Matrix, cfg: &TrainConfig, cell: usize) -> Matrix {
+    if cfg.training.shard_data {
+        lipizzaner::data::DataPartition::Shards.slice_for_cell(full, cfg.cells(), cell, 0)
+    } else {
+        full.clone()
+    }
+}
+
+/// One cell's dataset from scratch (full synthesis + slice) — the per-rank
+/// path, where each OS process builds exactly one cell's data anyway.
+fn cli_make_data(cell: usize, cfg: &TrainConfig) -> Matrix {
+    cli_slice(&cli_full_data(cfg), cfg, cell)
+}
+
+fn cmd_train(args: &[String]) -> ExitCode {
+    let driver = flag_value(args, "--driver").unwrap_or("sequential").to_string();
+    let transport: TransportKind =
+        match flag_value(args, "--transport").unwrap_or("in-process").parse() {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    let out = flag_value(args, "--out").map(PathBuf::from);
+    let cfg = cli_config(args);
+
+    if transport == TransportKind::Tcp && driver != "distributed" {
+        eprintln!("--transport tcp requires --driver distributed");
+        return ExitCode::FAILURE;
+    }
 
     println!(
-        "training {grid}x{grid} grid, {iterations} iterations x {batches} batches, driver: {driver}"
+        "training {}x{} grid, {} iterations x {} batches, driver: {driver}",
+        cfg.grid.rows,
+        cfg.grid.cols,
+        cfg.coevolution.iterations,
+        cfg.training.batches_per_iteration
     );
-    let digits = SynthDigits::generate(cfg.training.dataset_size, cfg.training.data_seed);
-    let full = digits.images.clone();
-    let make_data = move |cell: usize| -> Matrix {
-        if use_shards {
-            lipizzaner::data::DataPartition::Shards.slice_for_cell(&full, cells, cell, 0)
-        } else {
-            full.clone()
-        }
-    };
 
     let (report, best_model) = match driver.as_str() {
         "sequential" => {
-            let mut t = SequentialTrainer::new(&cfg, make_data);
+            // Synthesize the dataset once; cells share it (or their shard).
+            let full = cli_full_data(&cfg);
+            let mut t = SequentialTrainer::new(&cfg, |cell| cli_slice(&full, &cfg, cell));
             let report = t.run();
             let mut ensembles = t.ensembles();
             let best = ensembles.swap_remove(report.best_cell);
             (report, best)
         }
         "cluster-sim" => {
+            let full = cli_full_data(&cfg);
             let sim = SimulatedCluster::cluster_uy(SimulationOptions::default());
-            let outcome = sim.run(&cfg, make_data);
+            let outcome = sim.run(&cfg, |cell| cli_slice(&full, &cfg, cell));
             // Rebuild the winning ensemble with a sequential pass (the sim
-            // reports fitness; ensembles live in its engines).
-            let mut t = {
-                let digits2 =
-                    SynthDigits::generate(cfg.training.dataset_size, cfg.training.data_seed);
-                let full2 = digits2.images;
-                let cells2 = cfg.cells();
-                SequentialTrainer::new(&cfg, move |cell| {
-                    if use_shards {
-                        lipizzaner::data::DataPartition::Shards
-                            .slice_for_cell(&full2, cells2, cell, 0)
-                    } else {
-                        full2.clone()
-                    }
-                })
-            };
+            // reports fitness; ensembles live in its engines). Bit-identical
+            // to the sim's own engines — the drivers agree exactly.
+            let mut t = SequentialTrainer::new(&cfg, |cell| cli_slice(&full, &cfg, cell));
             t.run();
             let mut ensembles = t.ensembles();
             let best = ensembles.swap_remove(outcome.report.best_cell);
             (outcome.report, best)
         }
         "distributed" => {
-            let outcome = lipizzaner::runtime::run_distributed(
-                &cfg,
-                move |cell, cfg| {
-                    let digits = SynthDigits::generate(
-                        cfg.training.dataset_size,
-                        cfg.training.data_seed,
-                    );
-                    if use_shards {
-                        lipizzaner::data::DataPartition::Shards.slice_for_cell(
-                            &digits.images,
-                            cfg.cells(),
-                            cell,
-                            0,
-                        )
-                    } else {
-                        digits.images
+            let outcome = match transport {
+                TransportKind::InProcess => lipizzaner::runtime::run_distributed(
+                    &cfg,
+                    cli_make_data,
+                    DistributedOptions::default(),
+                ),
+                TransportKind::Tcp => {
+                    let spawn_slaves = !flag_present(args, "--no-spawn");
+                    match launch_tcp_run(&cfg, flag_value(args, "--bind"), spawn_slaves) {
+                        Ok(o) => o,
+                        Err(e) => {
+                            eprintln!("tcp launch failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
                     }
-                },
-                DistributedOptions::default(),
-            );
-            // Rebuild the winner's ensemble deterministically.
-            let digits2 =
-                SynthDigits::generate(cfg.training.dataset_size, cfg.training.data_seed);
-            let full2 = digits2.images;
-            let cells2 = cfg.cells();
-            let mut t = SequentialTrainer::new(&cfg, move |cell| {
-                if use_shards {
-                    lipizzaner::data::DataPartition::Shards
-                        .slice_for_cell(&full2, cells2, cell, 0)
-                } else {
-                    full2.clone()
                 }
-            });
-            t.run();
-            let mut ensembles = t.ensembles();
-            let best = ensembles.swap_remove(outcome.report.best_cell);
+            };
+            // The winning ensemble arrived in the final gather — no local
+            // rebuild; over TCP these genomes really crossed process
+            // boundaries.
+            let best = outcome.best_ensemble(&cfg);
             (outcome.report, best)
         }
         other => {
@@ -174,6 +219,77 @@ fn cmd_train(args: &[String]) -> ExitCode {
         println!("saved winning ensemble to {}", path.display());
     }
     ExitCode::SUCCESS
+}
+
+/// `launch`: the one-machine TCP recipe — same flags as `train`, forced
+/// onto the distributed driver over the TCP transport. The overrides go
+/// *first*: `flag_value` reads the first occurrence, so a stray `--driver`
+/// or `--transport` in the user's arguments cannot silently downgrade a
+/// launch to an in-process run.
+fn cmd_launch(args: &[String]) -> ExitCode {
+    let mut forwarded: Vec<String> =
+        ["--driver", "distributed", "--transport", "tcp"].map(String::from).to_vec();
+    forwarded.extend_from_slice(args);
+    cmd_train(&forwarded)
+}
+
+/// Run the master over TCP on this process; with `spawn_slaves`, also
+/// spawn one slave OS process per grid cell (the one-machine recipe). With
+/// `--no-spawn` the master just listens and waits for slaves started by
+/// hand — the multi-machine recipe (`lipizzaner slave --connect HOST:PORT`
+/// on each worker host).
+fn launch_tcp_run(
+    cfg: &TrainConfig,
+    bind: Option<&str>,
+    spawn_slaves: bool,
+) -> std::io::Result<lipizzaner::runtime::master::MasterOutcome> {
+    let listener = TcpListener::bind(bind.unwrap_or("127.0.0.1:0"))?;
+    let addr = listener.local_addr()?;
+    println!("master listening on {addr}");
+
+    let mut children: Vec<Child> = Vec::new();
+    if spawn_slaves {
+        let exe = std::env::current_exe()?;
+        for _ in 0..cfg.cells() {
+            let mut cmd = Command::new(&exe);
+            // The shard switch (and everything else) travels in the wire
+            // config, so slaves need no data flags.
+            cmd.arg("slave").arg("--connect").arg(addr.to_string());
+            // Slaves stay quiet on stdout (the master owns the report);
+            // their stderr passes through so failures surface.
+            cmd.stdout(Stdio::null());
+            let child = cmd.spawn()?;
+            println!("spawned slave pid={}", child.id());
+            children.push(child);
+        }
+    } else {
+        println!("waiting for {} slaves to connect", cfg.cells());
+    }
+
+    let outcome = run_tcp_master(listener, cfg, DistributedOptions::default());
+    for mut child in children {
+        let _ = child.wait();
+    }
+    outcome
+}
+
+/// `slave`: join a TCP master, receive the configuration and cell
+/// assignment over the wire, train, and ship the results back.
+fn cmd_slave(args: &[String]) -> ExitCode {
+    let Some(connect) = flag_value(args, "--connect") else {
+        eprintln!("slave requires --connect HOST:PORT");
+        return ExitCode::FAILURE;
+    };
+    match run_tcp_slave(connect, cli_make_data) {
+        Ok(state) => {
+            println!("slave finished in state {state:?}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("slave failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_sample(args: &[String]) -> ExitCode {

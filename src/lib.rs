@@ -16,9 +16,9 @@
 //! | networks | [`nn`] | MLPs with manual backprop, GAN losses, Adam |
 //! | data | [`data`] | synthetic MNIST-like digits, ring toy set, loaders |
 //! | metrics | [`metrics`] | classifier, inception score, FID, coverage |
-//! | transport | [`mpi`] | in-process MPI-style message passing |
+//! | transport | [`mpi`] | MPI-style message passing: in-process + TCP backends |
 //! | algorithm | [`core`] | cellular coevolution, grid, sequential driver |
-//! | runtime | [`runtime`] | master/slave protocol, heartbeats |
+//! | runtime | [`runtime`] | master/slave protocol, heartbeats, TCP driver |
 //! | platform | [`cluster`] | virtual-time Cluster-UY simulator |
 //!
 //! # Quickstart
@@ -50,13 +50,15 @@ pub mod prelude {
     pub use lipiz_core::sequential::SequentialTrainer;
     pub use lipiz_core::{
         CellEngine, CellSnapshot, EnsembleModel, Grid, LossMode, NeighborhoodPattern, Profiler,
-        Routine, TrainConfig, TrainReport,
+        Routine, TrainConfig, TrainReport, TransportKind,
     };
     pub use lipiz_data::{BatchLoader, DataPartition, RingDataset, SynthDigits};
     pub use lipiz_metrics::ScoreService;
+    pub use lipiz_mpi::{TcpFabric, Transport};
     pub use lipiz_nn::{
         Activation, Adam, Discriminator, GanLoss, Generator, Mlp, NetworkConfig,
     };
+    pub use lipiz_runtime::driver::{run_tcp_master, run_tcp_slave};
     pub use lipiz_runtime::{run_distributed, DistributedOptions};
     pub use lipiz_tensor::{Matrix, Pool, Rng64};
 }

@@ -79,6 +79,23 @@ fn drivers_agree_with_all_pairs_adversaries() {
 }
 
 #[test]
+fn drivers_agree_on_non_square_grids() {
+    // The virtual cluster and most suites only ever run square grids; the
+    // degenerate shapes (single row, 2×5 with its N==S wrap collapse) must
+    // agree across drivers too.
+    for (rows, cols) in [(1, 3), (2, 5)] {
+        let mut cfg = TrainConfig::smoke(2);
+        cfg.grid.rows = rows;
+        cfg.grid.cols = cols;
+        cfg.coevolution.iterations = 1;
+        let (seq, dist, sim) = run_all_three(&cfg);
+        assert_eq!(seq.cells.len(), rows * cols);
+        assert_reports_equal(&seq, &dist, &format!("{rows}x{cols}: sequential vs distributed"));
+        assert_reports_equal(&seq, &sim, &format!("{rows}x{cols}: sequential vs cluster-sim"));
+    }
+}
+
+#[test]
 fn different_seeds_change_results() {
     // Sanity check that the equality above is non-vacuous.
     let cfg_a = TrainConfig::smoke(2);
