@@ -73,6 +73,9 @@ fn main() {
     if run("fig4") {
         println!("FIG. 4 — ROUTINE TIME COMPARISON (CSV)\n{}", experiments::fig4(args.scale));
     }
+    if run("checkpoint") {
+        println!("{}", experiments::checkpoint_resume(args.scale));
+    }
     if run("scaling") {
         println!("{}", experiments::scaling_extension(args.scale, args.max_m));
     }

@@ -308,6 +308,7 @@ pub fn fig3() -> String {
         },
         lipiz_runtime::DistributedOptions {
             heartbeat_interval: std::time::Duration::from_millis(5),
+            ..lipiz_runtime::DistributedOptions::default()
         },
     );
     let mut out =
@@ -338,6 +339,70 @@ pub fn fig3() -> String {
 // ------------------------------------------------------------- Extension
 
 /// Scaling beyond the paper: grids up to `max_m`.
+/// Beyond the paper: the checkpoint/restore proof obligation at smoke
+/// scale. A sequential run is interrupted at the halfway iteration (its
+/// state committed through the async checkpoint writer), restored from the
+/// on-disk files, and run to completion — the final ensembles must be
+/// bit-identical to the uninterrupted run's, and every per-cell commit
+/// must have landed.
+pub fn checkpoint_resume(scale: Scale) -> String {
+    use lipiz_runtime::checkpoint::{self, CheckpointWriter};
+
+    let mut cfg = scaled_config(2, scale);
+    cfg.coevolution.iterations = cfg.coevolution.iterations.max(4);
+    let pause_at = cfg.coevolution.iterations / 2;
+    let data = digits_data(&cfg);
+
+    let dir = std::env::temp_dir()
+        .join("lipiz_repro_checkpoint")
+        .join(format!("{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+
+    // Uninterrupted reference.
+    let mut reference = lipiz_core::sequential::SequentialTrainer::new(&cfg, |_| data.clone());
+    reference.run();
+    let ref_ensembles = reference.ensembles();
+
+    // Interrupted run: checkpoint every iteration, stop at the pause point.
+    checkpoint::write_manifest(&dir, &cfg).expect("write manifest");
+    let writer = CheckpointWriter::to_dir(&dir, cfg.cells());
+    let mut first = lipiz_core::sequential::SequentialTrainer::new(&cfg, |_| data.clone());
+    while first.iterations_done() < pause_at {
+        first.run_one_iteration();
+        for state in first.capture_states() {
+            writer.submit(state);
+        }
+    }
+    let commits = writer.finish().expect("checkpoint commits");
+    drop(first);
+
+    // Restore from disk and finish.
+    let (cut, states) = checkpoint::load_grid_states(&dir, &cfg).expect("load cut");
+    let mut resumed =
+        lipiz_core::sequential::SequentialTrainer::from_states(&cfg, |_| data.clone(), &states);
+    resumed.run();
+    let identical = resumed.ensembles() == ref_ensembles;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut out =
+        String::from("CHECKPOINT/RESUME — deterministic restore proof (beyond paper)\n\n");
+    out.push_str(&format!(
+        "  grid 2x2, {} iterations, interrupted after {pause_at} (cut restored at {cut})\n",
+        cfg.coevolution.iterations
+    ));
+    out.push_str(&format!(
+        "  async writer commits: {commits} (4 cells x {pause_at} iterations)\n"
+    ));
+    out.push_str(&format!(
+        "  resumed ensembles vs uninterrupted: {}\n",
+        if identical { "BIT-IDENTICAL" } else { "MISMATCH" }
+    ));
+    assert!(identical, "resumed ensembles diverged from the uninterrupted run");
+    assert_eq!(commits as usize, 4 * pause_at, "missing checkpoint commits");
+    out
+}
+
 pub fn scaling_extension(scale: Scale, max_m: usize) -> String {
     let grids: Vec<usize> = (2..=max_m).collect();
     let rows = run_table3(scale, 3, &grids);

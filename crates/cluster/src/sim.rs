@@ -6,7 +6,8 @@ use crate::platform::ClusterSpec;
 use crate::report::{CommStats, SimOutcome};
 use crate::vtime::RankClock;
 use lipiz_core::{
-    CellEngine, CellResult, CellSnapshot, Grid, Profiler, Routine, TrainConfig, TrainReport,
+    CellEngine, CellResult, CellSnapshot, CellState, Grid, Profiler, Routine, TrainConfig,
+    TrainReport,
 };
 use lipiz_tensor::{Matrix, Pool};
 use std::time::Instant;
@@ -57,10 +58,26 @@ impl SimulatedCluster {
     /// `wall_seconds` is the *virtual* distributed wall-clock. Training
     /// results are bit-identical to `SequentialTrainer` under the same
     /// config.
-    pub fn run(
+    pub fn run(&self, cfg: &TrainConfig, make_data: impl FnMut(usize) -> Matrix) -> SimOutcome {
+        self.run_resumable(cfg, make_data, None, |_, _| {})
+    }
+
+    /// [`SimulatedCluster::run`] with checkpoint hooks: optionally start
+    /// from captured per-cell `resume` states (flat grid order, all from
+    /// the same iteration), and invoke `on_iteration(iter, engines)` after
+    /// every completed iteration so a driver can commit checkpoints on its
+    /// cadence. Virtual-time accounting restarts at zero for a resumed run
+    /// (wall clocks are not part of the training state).
+    ///
+    /// # Panics
+    /// Panics if `resume` disagrees with the grid (count, cell order, or a
+    /// torn iteration cut).
+    pub fn run_resumable(
         &self,
         cfg: &TrainConfig,
         mut make_data: impl FnMut(usize) -> Matrix,
+        resume: Option<&[CellState]>,
+        mut on_iteration: impl FnMut(usize, &mut [CellEngine]),
     ) -> SimOutcome {
         let host_start = Instant::now();
         let grid = Grid::from_config(&cfg.grid);
@@ -70,9 +87,19 @@ impl SimulatedCluster {
         // All simulated slaves run in this one host process, so they share
         // one resident pool instead of spawning workers per cell.
         let pool = Pool::new(cfg.training.workers_per_cell);
-        let mut engines: Vec<CellEngine> = (0..cells)
-            .map(|i| CellEngine::with_pool(i, cfg, make_data(i), pool.clone()))
-            .collect();
+        let mut engines: Vec<CellEngine> = match resume {
+            None => (0..cells)
+                .map(|i| CellEngine::with_pool(i, cfg, make_data(i), pool.clone()))
+                .collect(),
+            Some(states) => {
+                lipiz_core::resume::assert_grid_states(states, cells);
+                states
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| CellEngine::from_state(cfg, make_data(i), pool.clone(), s))
+                    .collect()
+            }
+        };
         let speed_of = |cell: usize| -> f64 {
             let mut speed = placement.speed_of(cell + 1);
             if let Some((victim, slowdown)) = self.opts.straggler {
@@ -88,7 +115,9 @@ impl SimulatedCluster {
         let mut profilers: Vec<Profiler> = (0..cells).map(|_| Profiler::new()).collect();
         let mut comm = CommStats::default();
 
-        for _iter in 0..cfg.coevolution.iterations {
+        let start_iter = engines.first().map_or(0, |e| e.iterations_done());
+        let target = cfg.checkpoint.effective_iterations(cfg.coevolution.iterations);
+        for iter in start_iter..target {
             // --- gather: snapshot, allgather (sync point), ingest -------
             let mut snapshots: Vec<CellSnapshot> = Vec::with_capacity(cells);
             let mut ready = vec![0.0f64; cells];
@@ -140,6 +169,7 @@ impl SimulatedCluster {
                     profilers[c].record(r, std::time::Duration::from_secs_f64(host * speed));
                 }
             }
+            on_iteration(iter, &mut engines);
         }
 
         // Final result gather to the master (GLOBAL): after the slowest
@@ -184,7 +214,7 @@ impl SimulatedCluster {
         let report = TrainReport {
             driver: "cluster-sim".into(),
             grid: (grid.rows(), grid.cols()),
-            iterations: cfg.coevolution.iterations,
+            iterations: engines.first().map_or(0, |e| e.iterations_done()),
             wall_seconds: wall,
             profile,
             cells: cell_results,
@@ -240,6 +270,40 @@ mod tests {
             assert_eq!(a.mixture_weights, b.mixture_weights, "cell {}", a.cell);
         }
         assert_eq!(outcome.report.best_cell, seq_report.best_cell);
+    }
+
+    #[test]
+    fn resumed_sim_matches_uninterrupted() {
+        // Pause the simulated cluster after one iteration (capturing through
+        // the per-iteration hook), resume from the states, and require the
+        // final training results to agree exactly with an uninterrupted run.
+        let mut cfg = TrainConfig::smoke(2);
+        cfg.coevolution.iterations = 3;
+        let sim = SimulatedCluster::cluster_uy(SimulationOptions::default());
+        let reference = sim.run(&cfg, |_| toy_data(&cfg));
+
+        let mut states: Vec<CellState> = Vec::new();
+        let paused_cfg = cfg.clone().with_pause_after(1);
+        let _ = sim.run_resumable(
+            &paused_cfg,
+            |_| toy_data(&paused_cfg),
+            None,
+            |iter, engines| {
+                if iter == 0 {
+                    states = engines.iter_mut().map(|e| e.capture_state()).collect();
+                }
+            },
+        );
+        assert_eq!(states.len(), 4, "pause hook never captured");
+
+        let resumed = sim.run_resumable(&cfg, |_| toy_data(&cfg), Some(&states), |_, _| {});
+        assert_eq!(resumed.report.iterations, 3);
+        for (a, b) in resumed.report.cells.iter().zip(&reference.report.cells) {
+            assert_eq!(a.gen_fitness, b.gen_fitness, "cell {}", a.cell);
+            assert_eq!(a.disc_fitness, b.disc_fitness, "cell {}", a.cell);
+            assert_eq!(a.mixture_weights, b.mixture_weights, "cell {}", a.cell);
+        }
+        assert_eq!(resumed.report.best_cell, reference.report.best_cell);
     }
 
     #[test]

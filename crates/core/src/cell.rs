@@ -5,6 +5,7 @@ use crate::config::{AdversaryStrategy, LossMode, TrainConfig};
 use crate::individual::{Individual, SubPopulation};
 use crate::mixture::{EnsembleModel, MixtureWeights};
 use crate::profiling::{Profiler, Routine};
+use crate::resume::CellState;
 use crate::snapshot::CellSnapshot;
 use lipiz_data::BatchLoader;
 use lipiz_nn::{gan, loss, Adam, Discriminator, GanLoss, Generator, NetworkConfig};
@@ -125,6 +126,105 @@ impl CellEngine {
             iteration: 0,
             pool,
         }
+    }
+
+    /// Rebuild an engine from a captured [`CellState`] — the
+    /// checkpoint-restore path. The dataset is supplied exactly as in
+    /// [`CellEngine::with_pool`] (every rank re-derives it from the config);
+    /// everything else comes from the state. A restored engine continues
+    /// the run bit-identically to the engine the state was captured from.
+    ///
+    /// # Panics
+    /// Panics if the state fails [`CellState::validate`] against `cfg`, or
+    /// the dataset shape disagrees with the configuration — a corrupt or
+    /// mismatched checkpoint must never restore partially.
+    pub fn from_state(cfg: &TrainConfig, data: Matrix, pool: Pool, state: &CellState) -> Self {
+        state.validate(cfg).expect("cell state validates against config");
+        let net_cfg = cfg.network.to_network_config();
+        assert_eq!(data.cols(), net_cfg.data_dim, "dataset width vs network data_dim");
+        assert!(data.rows() >= cfg.training.eval_batch, "dataset smaller than eval batch");
+
+        // Materialize network shells, then overwrite with the center
+        // genomes (at an iteration boundary the working nets always mirror
+        // the centers — `update_phase` re-syncs them before it returns).
+        let mut shell_rng = Rng64::seed_from(0);
+        let mut gen = Generator::new(&net_cfg, &mut shell_rng);
+        let mut disc = Discriminator::new(&net_cfg, &mut shell_rng);
+        gen.net.load_genome(&state.gen_members[0].genome);
+        disc.net.load_genome(&state.disc_members[0].genome);
+        let scratch_gen = gen.clone();
+        let scratch_disc = disc.clone();
+
+        let eval_real = data.slice_rows(0, cfg.training.eval_batch);
+        let loader =
+            BatchLoader::from_state(data, cfg.training.batch_size, state.loader.clone());
+
+        Self {
+            cell_index: state.cell,
+            cfg: cfg.clone(),
+            net_cfg,
+            gen_pop: SubPopulation::from_members(state.gen_members.clone()),
+            disc_pop: SubPopulation::from_members(state.disc_members.clone()),
+            gen,
+            disc,
+            scratch_gen,
+            scratch_disc,
+            adam_g: Adam::from_state(state.adam_g.clone()),
+            adam_d: Adam::from_state(state.adam_d.clone()),
+            mixture: MixtureWeights::from_normalized(&state.mixture),
+            loader,
+            eval_real,
+            rng_mutate: Rng64::from_state(state.rng_mutate),
+            rng_train: Rng64::from_state(state.rng_train),
+            rng_mixture: Rng64::from_state(state.rng_mixture),
+            scorer: None,
+            batch_counter: state.batch_counter,
+            iteration: state.iteration,
+            pool,
+        }
+    }
+
+    /// Capture the engine's complete training state (see [`CellState`]).
+    /// Meant to be called at an iteration boundary; syncs the working
+    /// center networks into the population first, exactly like
+    /// [`CellEngine::snapshot`].
+    pub fn capture_state(&mut self) -> CellState {
+        self.sync_center_genomes();
+        CellState {
+            cell: self.cell_index,
+            iteration: self.iteration,
+            batch_counter: self.batch_counter,
+            gen_members: self.gen_pop.members().to_vec(),
+            disc_members: self.disc_pop.members().to_vec(),
+            mixture: self.mixture.weights().to_vec(),
+            adam_g: self.adam_g.state(),
+            adam_d: self.adam_d.state(),
+            rng_mutate: self.rng_mutate.state(),
+            rng_train: self.rng_train.state(),
+            rng_mixture: self.rng_mixture.state(),
+            loader: self.loader.state(),
+        }
+    }
+
+    /// Capture into an existing [`CellState`], reusing its buffers — the
+    /// double-buffered fast path of the async checkpoint writer: the
+    /// training thread swaps between two recycled states, so steady-state
+    /// capture performs no genome-sized allocations.
+    pub fn capture_state_into(&mut self, state: &mut CellState) {
+        self.sync_center_genomes();
+        state.cell = self.cell_index;
+        state.iteration = self.iteration;
+        state.batch_counter = self.batch_counter;
+        clone_members_into(self.gen_pop.members(), &mut state.gen_members);
+        clone_members_into(self.disc_pop.members(), &mut state.disc_members);
+        state.mixture.clear();
+        state.mixture.extend_from_slice(self.mixture.weights());
+        self.adam_g.state_into(&mut state.adam_g);
+        self.adam_d.state_into(&mut state.adam_d);
+        state.rng_mutate = self.rng_mutate.state();
+        state.rng_train = self.rng_train.state();
+        state.rng_mixture = self.rng_mixture.state();
+        self.loader.state_into(&mut state.loader);
     }
 
     /// Attach an external mixture scorer (e.g. FID against real features).
@@ -441,6 +541,23 @@ impl CellEngine {
     }
 }
 
+/// Clone a member slice into a recycled buffer, reusing genome capacity.
+fn clone_members_into(src: &[Individual], dst: &mut Vec<Individual>) {
+    dst.truncate(src.len());
+    for (i, m) in src.iter().enumerate() {
+        match dst.get_mut(i) {
+            Some(slot) => {
+                slot.genome.clear();
+                slot.genome.extend_from_slice(&m.genome);
+                slot.lr = m.lr;
+                slot.loss = m.loss;
+                slot.fitness = m.fitness;
+            }
+            None => dst.push(m.clone()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -651,6 +768,75 @@ mod tests {
         b.ingest_neighbors(&snaps);
         assert_eq!(b.gen_population().members()[1].genome, snap_a.gen_genome);
         assert_eq!(b.disc_population().members()[4].genome, snap_a.disc_genome);
+    }
+
+    #[test]
+    fn capture_restore_resumes_bit_identically() {
+        // The tentpole invariant at engine level: run k iterations, capture,
+        // restore into a fresh engine over re-derived data, run the rest —
+        // the restored engine's trajectory must be byte-identical to the
+        // uninterrupted one's.
+        let cfg = TrainConfig::smoke(2);
+        let make_engine = || CellEngine::new(0, &cfg, toy_data(&cfg));
+        let mut prof = Profiler::new();
+
+        // Uninterrupted reference: 4 iterations against a fixed donor snap.
+        let mut donor = {
+            let mut e = CellEngine::new(0, &cfg, toy_data(&cfg));
+            e.snapshot()
+        };
+        donor.cell = 1;
+        let snaps = vec![donor; 4];
+        let mut reference = make_engine();
+        for _ in 0..4 {
+            reference.run_iteration(&snaps, &mut prof);
+        }
+
+        // Interrupted run: 2 iterations, capture, restore, 2 more.
+        let mut first_half = make_engine();
+        first_half.run_iteration(&snaps, &mut prof);
+        first_half.run_iteration(&snaps, &mut prof);
+        let state = first_half.capture_state();
+        drop(first_half);
+        let mut resumed = CellEngine::from_state(&cfg, toy_data(&cfg), Pool::new(1), &state);
+        assert_eq!(resumed.iterations_done(), 2);
+        resumed.run_iteration(&snaps, &mut prof);
+        resumed.run_iteration(&snaps, &mut prof);
+
+        // Snapshots (genomes, lrs, fitness) and final states must agree
+        // bit-for-bit.
+        assert_eq!(resumed.snapshot(), reference.snapshot());
+        assert_eq!(resumed.capture_state(), reference.capture_state());
+        assert_eq!(resumed.ensemble(), reference.ensemble());
+    }
+
+    #[test]
+    fn capture_into_reuses_buffers_and_matches_fresh_capture() {
+        let mut e = smoke_engine(0);
+        let snaps = neighbor_snaps(&mut e, 4);
+        let mut prof = Profiler::new();
+        e.run_iteration(&snaps, &mut prof);
+        let mut recycled = e.capture_state();
+        let genome_ptr = recycled.gen_members[0].genome.as_ptr();
+        e.run_iteration(&snaps, &mut prof);
+        e.capture_state_into(&mut recycled);
+        assert_eq!(recycled, e.capture_state(), "recycled capture drifted");
+        assert_eq!(
+            recycled.gen_members[0].genome.as_ptr(),
+            genome_ptr,
+            "recycled capture reallocated a same-size genome buffer"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cell state validates")]
+    fn restore_rejects_mismatched_config() {
+        let cfg = TrainConfig::smoke(2);
+        let mut e = CellEngine::new(0, &cfg, toy_data(&cfg));
+        let state = e.capture_state();
+        let mut other = cfg.clone();
+        other.network.hidden_units += 1;
+        let _ = CellEngine::from_state(&other, toy_data(&other), Pool::new(1), &state);
     }
 
     #[test]

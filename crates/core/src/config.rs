@@ -207,6 +207,48 @@ impl NetworkSettings {
     }
 }
 
+/// Checkpoint/restore settings.
+///
+/// Checkpointing rides in the training configuration — not as a per-host
+/// flag — so every rank of a distributed run derives the same cadence and
+/// target directory from the wire config alone (the same reasoning as
+/// `shard_data`). On multi-machine runs `dir` must resolve to a shared
+/// filesystem path visible to every host.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CheckpointConfig {
+    /// Commit a checkpoint every this many iterations (`0` = off).
+    pub every: usize,
+    /// Directory the checkpoints and manifest live in.
+    pub dir: Option<String>,
+    /// Pause the run after this many iterations, leaving a committed
+    /// checkpoint behind — time-budgeted training, and the deterministic
+    /// "interrupt at iteration k" lever the resume-equivalence suite uses.
+    pub pause_after: Option<usize>,
+}
+
+impl CheckpointConfig {
+    /// Is periodic checkpointing active?
+    pub fn enabled(&self) -> bool {
+        self.every > 0 && self.dir.is_some()
+    }
+
+    /// Does iteration `iter` (0-based, just completed) commit a checkpoint?
+    /// Commits land at the end of iterations `every-1, 2·every-1, …` and at
+    /// a configured pause point.
+    pub fn commits_after(&self, iter: usize) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        (iter + 1).is_multiple_of(self.every) || self.pause_after == Some(iter + 1)
+    }
+
+    /// The iteration count this run actually executes to before stopping:
+    /// the configured pause point, or the full run.
+    pub fn effective_iterations(&self, total: usize) -> usize {
+        self.pause_after.map_or(total, |p| p.min(total))
+    }
+}
+
 /// Complete training configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainConfig {
@@ -220,6 +262,8 @@ pub struct TrainConfig {
     pub mutation: MutationConfig,
     /// Training/batching settings.
     pub training: TrainingConfig,
+    /// Checkpoint/restore settings.
+    pub checkpoint: CheckpointConfig,
     /// Master seed; every cell derives its streams from this and its grid
     /// coordinates, which is what makes all three drivers bit-identical.
     pub seed: u64,
@@ -260,6 +304,7 @@ impl TrainConfig {
                 workers_per_cell: 1,
                 shard_data: false,
             },
+            checkpoint: CheckpointConfig::default(),
             seed: 1,
         }
     }
@@ -299,6 +344,7 @@ impl TrainConfig {
                 workers_per_cell: 1,
                 shard_data: false,
             },
+            checkpoint: CheckpointConfig::default(),
             seed: 3,
         }
     }
@@ -320,6 +366,21 @@ impl TrainConfig {
     /// Same config with per-cell data sharding toggled.
     pub fn with_shards(mut self, shard: bool) -> Self {
         self.training.shard_data = shard;
+        self
+    }
+
+    /// Same config with periodic checkpointing into `dir` every `every`
+    /// iterations (`every` is clamped to ≥ 1).
+    pub fn with_checkpoints(mut self, dir: impl Into<String>, every: usize) -> Self {
+        self.checkpoint.every = every.max(1);
+        self.checkpoint.dir = Some(dir.into());
+        self
+    }
+
+    /// Same config pausing after `k` iterations with a committed checkpoint
+    /// (see [`CheckpointConfig::pause_after`]).
+    pub fn with_pause_after(mut self, k: usize) -> Self {
+        self.checkpoint.pause_after = Some(k);
         self
     }
 
@@ -428,6 +489,28 @@ mod tests {
         assert!(TransportKind::from_str("carrier-pigeon").is_err());
         assert_eq!(TransportKind::Tcp.to_string(), "tcp");
         assert_eq!(TransportKind::InProcess.to_string(), "in-process");
+    }
+
+    #[test]
+    fn checkpoint_config_defaults_off() {
+        let cfg = TrainConfig::smoke(2);
+        assert!(!cfg.checkpoint.enabled());
+        assert!(!cfg.checkpoint.commits_after(0));
+        assert_eq!(cfg.checkpoint.effective_iterations(10), 10);
+    }
+
+    #[test]
+    fn checkpoint_cadence_and_pause() {
+        let cfg = TrainConfig::smoke(2).with_checkpoints("/tmp/ckpt", 3).with_pause_after(4);
+        assert!(cfg.checkpoint.enabled());
+        // Commits after iterations 3 (cadence), 4 (pause), 6, 9, ...
+        let commits: Vec<usize> =
+            (0..10).filter(|&i| cfg.checkpoint.commits_after(i)).map(|i| i + 1).collect();
+        assert_eq!(commits, vec![3, 4, 6, 9]);
+        assert_eq!(cfg.checkpoint.effective_iterations(10), 4);
+        assert_eq!(cfg.checkpoint.effective_iterations(2), 2);
+        // every is clamped to at least 1.
+        assert_eq!(TrainConfig::smoke(2).with_checkpoints("d", 0).checkpoint.every, 1);
     }
 
     #[test]

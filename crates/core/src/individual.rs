@@ -47,6 +47,16 @@ impl SubPopulation {
         Self { members }
     }
 
+    /// Rebuild a sub-population from captured members (center first) — the
+    /// checkpoint-restore path.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty.
+    pub fn from_members(members: Vec<Individual>) -> Self {
+        assert!(!members.is_empty(), "sub-population needs at least a center");
+        Self { members }
+    }
+
     /// All members, center first.
     pub fn members(&self) -> &[Individual] {
         &self.members

@@ -59,18 +59,20 @@ pub mod mixture;
 pub mod persist;
 pub mod profiling;
 pub mod report;
+pub mod resume;
 pub mod sequential;
 pub mod snapshot;
 pub mod topology;
 
 pub use cell::CellEngine;
 pub use config::{
-    AdversaryStrategy, CoevolutionConfig, GridConfig, LossMode, MutationConfig, TrainConfig,
-    TrainingConfig, TransportKind,
+    AdversaryStrategy, CheckpointConfig, CoevolutionConfig, GridConfig, LossMode,
+    MutationConfig, TrainConfig, TrainingConfig, TransportKind,
 };
 pub use individual::{Individual, SubPopulation};
 pub use mixture::{EnsembleModel, MixtureWeights};
 pub use profiling::{ProfileReport, Profiler, Routine};
 pub use report::{CellResult, TrainReport};
+pub use resume::CellState;
 pub use snapshot::CellSnapshot;
 pub use topology::{Grid, NeighborhoodPattern};

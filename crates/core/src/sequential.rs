@@ -13,6 +13,7 @@ use crate::config::TrainConfig;
 use crate::mixture::EnsembleModel;
 use crate::profiling::{Profiler, Routine};
 use crate::report::{CellResult, TrainReport};
+use crate::resume::CellState;
 use crate::snapshot::CellSnapshot;
 use crate::topology::Grid;
 use lipiz_tensor::{Matrix, Pool};
@@ -39,6 +40,43 @@ impl SequentialTrainer {
             .map(|i| CellEngine::with_pool(i, cfg, make_data(i), pool.clone()))
             .collect();
         Self { grid, cfg: cfg.clone(), engines, profiler: Profiler::new() }
+    }
+
+    /// Rebuild a whole-grid trainer from captured per-cell states (flat
+    /// grid order) — the resume path. `make_data` re-derives each cell's
+    /// dataset exactly as at run start; everything else comes from the
+    /// states. The resumed run is bit-identical to the uninterrupted one.
+    ///
+    /// # Panics
+    /// Panics if the state count does not match the grid, the states are
+    /// out of cell order, or they disagree on the iteration they were
+    /// captured at (a torn checkpoint must never resume).
+    pub fn from_states(
+        cfg: &TrainConfig,
+        mut make_data: impl FnMut(usize) -> Matrix,
+        states: &[CellState],
+    ) -> Self {
+        let grid = Grid::from_config(&cfg.grid);
+        crate::resume::assert_grid_states(states, grid.cell_count());
+        let pool = Pool::new(cfg.training.workers_per_cell);
+        let engines = states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| CellEngine::from_state(cfg, make_data(i), pool.clone(), s))
+            .collect();
+        Self { grid, cfg: cfg.clone(), engines, profiler: Profiler::new() }
+    }
+
+    /// Capture every cell's full training state (flat grid order), for the
+    /// checkpoint layer. Call at an iteration boundary.
+    pub fn capture_states(&mut self) -> Vec<CellState> {
+        self.engines.iter_mut().map(|e| e.capture_state()).collect()
+    }
+
+    /// Iterations completed so far (0 on a fresh trainer, the checkpoint
+    /// iteration on a resumed one).
+    pub fn iterations_done(&self) -> usize {
+        self.engines.first().map_or(0, |e| e.iterations_done())
     }
 
     /// Attach a mixture scorer to every cell (see
@@ -76,11 +114,27 @@ impl SequentialTrainer {
         }
     }
 
-    /// Run the configured number of iterations and produce the report.
+    /// Run to the configured iteration count (or the checkpoint pause
+    /// point) and produce the report. On a resumed trainer this runs only
+    /// the remaining iterations.
     pub fn run(&mut self) -> TrainReport {
+        self.run_hooked(|_, _| {})
+    }
+
+    /// [`Self::run`] with a per-iteration hook, mirroring the simulated
+    /// cluster's `run_resumable`: `on_iteration(iter, engines)` fires
+    /// after every completed iteration (`iter` is the count *before* it
+    /// ran) so a driver can commit checkpoints on its cadence.
+    pub fn run_hooked(
+        &mut self,
+        mut on_iteration: impl FnMut(usize, &mut [CellEngine]),
+    ) -> TrainReport {
         let start = Instant::now();
-        for _ in 0..self.cfg.coevolution.iterations {
+        let target = self.cfg.checkpoint.effective_iterations(self.cfg.coevolution.iterations);
+        while self.iterations_done() < target {
+            let iter = self.iterations_done();
             self.run_one_iteration();
+            on_iteration(iter, &mut self.engines);
         }
         self.finish(start.elapsed().as_secs_f64())
     }
@@ -191,6 +245,49 @@ mod tests {
         for c in &report.cells {
             assert!(best <= c.gen_fitness + 1e-12);
         }
+    }
+
+    #[test]
+    fn paused_then_resumed_run_matches_uninterrupted() {
+        // Grid-level resume equivalence: pause after 1 of 3 iterations,
+        // capture, rebuild from states, finish — the final ensembles must
+        // be byte-identical to the uninterrupted run's.
+        let mut cfg = TrainConfig::smoke(2);
+        cfg.coevolution.iterations = 3;
+
+        let mut reference = SequentialTrainer::new(&cfg, |_| toy_data(&cfg));
+        let ref_report = reference.run();
+        let ref_ensembles = reference.ensembles();
+
+        let paused_cfg = cfg.clone().with_pause_after(1);
+        let mut first = SequentialTrainer::new(&paused_cfg, |_| toy_data(&paused_cfg));
+        let paused_report = first.run();
+        assert_eq!(paused_report.iterations, 1, "pause_after did not stop the run");
+        let states = first.capture_states();
+        drop(first);
+
+        let mut resumed = SequentialTrainer::from_states(&cfg, |_| toy_data(&cfg), &states);
+        assert_eq!(resumed.iterations_done(), 1);
+        let resumed_report = resumed.run();
+
+        assert_eq!(resumed_report.iterations, 3);
+        assert_eq!(resumed_report.best_cell, ref_report.best_cell);
+        for (a, b) in resumed_report.cells.iter().zip(&ref_report.cells) {
+            assert_eq!(a.gen_fitness, b.gen_fitness, "cell {} fitness", a.cell);
+            assert_eq!(a.mixture_weights, b.mixture_weights, "cell {} mixture", a.cell);
+        }
+        assert_eq!(resumed.ensembles(), ref_ensembles, "resumed ensembles diverged");
+    }
+
+    #[test]
+    #[should_panic(expected = "torn checkpoint")]
+    fn resume_rejects_mixed_iteration_states() {
+        let cfg = TrainConfig::smoke(2);
+        let mut t = SequentialTrainer::new(&cfg, |_| toy_data(&cfg));
+        t.run_one_iteration();
+        let mut states = t.capture_states();
+        states[2].iteration = 0; // torn: one cell from a different cut
+        let _ = SequentialTrainer::from_states(&cfg, |_| toy_data(&cfg), &states);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod partition;
 pub mod ring;
 pub mod synth;
 
-pub use loader::BatchLoader;
+pub use loader::{BatchLoader, BatchLoaderState};
 pub use partition::DataPartition;
 pub use ring::RingDataset;
 pub use synth::SynthDigits;

@@ -159,11 +159,28 @@ impl Comm {
     ///
     /// # Panics
     /// Panics if the payload fails to decode as `T` (a protocol bug, not a
-    /// runtime condition).
+    /// runtime condition), or — on multi-process transports — if the
+    /// awaited peer's connection dies with nothing matching queued: a rank
+    /// whose counterpart is gone can never be satisfied, so it fails loudly
+    /// instead of hanging the process forever (the elastic-recovery story
+    /// needs doomed ranks to *exit*, not wedge).
     pub fn recv<T: Wire>(&self, src: RecvFrom, tag: Tag) -> (T, usize) {
-        let env = self.my_mailbox().recv(self.context, src.as_option(), tag);
+        let env = match src {
+            RecvFrom::Any => self.my_mailbox().recv(self.context, None, tag),
+            RecvFrom::Rank(r) => self.recv_live(r, tag),
+        };
         let value = T::from_bytes(&env.payload).expect("wire protocol mismatch");
         (value, env.src)
+    }
+
+    /// Untimed receive from group rank `src`, bounded by the peer's
+    /// connection liveness (see [`Comm::recv`] on why death must panic).
+    fn recv_live(&self, src: usize, tag: Tag) -> crate::message::Envelope {
+        self.my_mailbox()
+            .recv_from_live(self.context, Some(src), tag, Some(self.group[src]))
+            .unwrap_or_else(|e| {
+                panic!("rank {} (context {}) receive failed: {e}", self.my_rank, self.context)
+            })
     }
 
     /// Receive with a timeout; `None` if the deadline passes.
@@ -184,6 +201,14 @@ impl Comm {
         self.my_mailbox().probe(self.context, src.as_option(), tag)
     }
 
+    /// Is group rank `r`'s transport connection known to be gone? Always
+    /// `false` on in-process fabrics (which never mark peers dead). Lets a
+    /// caller that abandoned a collective name the *actual* casualty
+    /// instead of guessing from the pending set.
+    pub fn peer_connection_dead(&self, r: usize) -> bool {
+        self.my_mailbox().peer_is_dead(self.group[r])
+    }
+
     fn my_mailbox(&self) -> &Mailbox {
         self.transport.mailbox(self.group[self.my_rank])
     }
@@ -201,14 +226,14 @@ impl Comm {
         // Flat fan-in to rank 0, then fan-out.
         if self.my_rank == 0 {
             for src in 1..self.size() {
-                let _ = self.my_mailbox().recv(self.context, Some(src), ReservedTags::BARRIER);
+                let _ = self.recv_live(src, ReservedTags::BARRIER);
             }
             for r in 1..self.size() {
                 self.send_raw(r, ReservedTags::BARRIER, vec![]);
             }
         } else {
             self.send_raw(0, ReservedTags::BARRIER, vec![]);
-            let _ = self.my_mailbox().recv(self.context, Some(0), ReservedTags::BARRIER);
+            let _ = self.recv_live(0, ReservedTags::BARRIER);
         }
     }
 
@@ -229,7 +254,7 @@ impl Comm {
             v
         } else {
             assert!(value.is_none(), "non-root must pass None to bcast");
-            let env = self.my_mailbox().recv(self.context, Some(root), ReservedTags::BCAST);
+            let env = self.recv_live(root, ReservedTags::BCAST);
             T::from_bytes(&env.payload).expect("bcast decode")
         }
     }
@@ -244,7 +269,7 @@ impl Comm {
                 if src == root {
                     continue;
                 }
-                let env = self.my_mailbox().recv(self.context, Some(src), ReservedTags::GATHER);
+                let env = self.recv_live(src, ReservedTags::GATHER);
                 let v = T::from_bytes(&env.payload).expect("gather decode");
                 slots[src] = Some(v);
             }
@@ -253,6 +278,85 @@ impl Comm {
             self.send_raw(root, ReservedTags::GATHER, value.to_bytes());
             None
         }
+    }
+
+    /// [`Comm::gather`] whose *root side* can be abandoned: sources are
+    /// drained with `poll`-long bounded waits, and `should_abort` is
+    /// checked between polls **with the still-pending group ranks** — so a
+    /// caller can ignore a stale verdict about a rank whose contribution
+    /// already arrived (e.g. a slave that finished, delivered, and went
+    /// quiet). Non-roots behave exactly like `gather` (their contribution
+    /// is fire-and-forget), so the two are wire-compatible — a master may
+    /// collect abortably while slaves call plain `gather`.
+    ///
+    /// Returns `Ok(None)` on non-roots, `Ok(Some(values))` on a completed
+    /// root gather, and `Err(pending)` — the group ranks not yet received —
+    /// when the root aborted. The runtime uses this for the final result
+    /// gather so a dead slave (declared by the heartbeat deadline) aborts
+    /// the collection instead of wedging the master forever.
+    pub fn gather_abortable<T: Wire>(
+        &self,
+        root: usize,
+        value: &T,
+        poll: Duration,
+        should_abort: &dyn Fn(&[usize]) -> bool,
+    ) -> Result<Option<Vec<T>>, Vec<usize>> {
+        if self.my_rank != root {
+            self.send_raw(root, ReservedTags::GATHER, value.to_bytes());
+            return Ok(None);
+        }
+        let mut slots: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+        slots[root] = Some(T::from_bytes(&value.to_bytes()).expect("self gather"));
+        let mut pending: Vec<usize> = (0..self.size()).filter(|&r| r != root).collect();
+        while !pending.is_empty() {
+            // Drain whatever is queued from any pending source, then sleep
+            // one poll interval at most before re-checking the abort flag.
+            pending.retain(|&src| {
+                match self.my_mailbox().recv_timeout(
+                    self.context,
+                    Some(src),
+                    ReservedTags::GATHER,
+                    Duration::ZERO,
+                ) {
+                    Some(env) => {
+                        slots[src] = Some(T::from_bytes(&env.payload).expect("gather decode"));
+                        false
+                    }
+                    None => true,
+                }
+            });
+            if pending.is_empty() {
+                break;
+            }
+            if should_abort(&pending) {
+                return Err(pending);
+            }
+            // A pending source whose transport connection is gone (and has
+            // nothing queued) can never contribute: the gather is doomed
+            // regardless of the abort predicate. In-process fabrics never
+            // mark peers dead, so this only fires on real transports.
+            let doomed = pending.iter().any(|&src| {
+                self.my_mailbox().peer_is_dead(self.group[src])
+                    && !self.my_mailbox().probe(self.context, Some(src), ReservedTags::GATHER)
+            });
+            if doomed {
+                return Err(pending);
+            }
+            // Block on the *first* pending source for the poll interval —
+            // any delivery wakes the mailbox, so this is a bounded nap, not
+            // a scheduling commitment to that source.
+            if let Some(env) = self.my_mailbox().recv_timeout(
+                self.context,
+                Some(pending[0]),
+                ReservedTags::GATHER,
+                poll,
+            ) {
+                let src = pending[0];
+                slots[src] = Some(T::from_bytes(&env.payload).expect("gather decode"));
+                pending.retain(|&r| r != src);
+            }
+        }
+        Ok(Some(slots.into_iter().map(|s| s.expect("gather slot")).collect()))
     }
 
     /// Allgather: every rank receives the vector of all ranks' values, in
@@ -277,8 +381,7 @@ impl Comm {
             let mut slots: Vec<Option<Vec<u8>>> = vec![None; self.size()];
             slots[0] = Some(payload.to_vec());
             for src in 1..self.size() {
-                let env =
-                    self.my_mailbox().recv(self.context, Some(src), ReservedTags::ALLGATHER);
+                let env = self.recv_live(src, ReservedTags::ALLGATHER);
                 slots[src] = Some(env.payload);
             }
             let parts: Vec<Vec<u8>> =
@@ -290,7 +393,7 @@ impl Comm {
             parts
         } else {
             self.send_raw(0, ReservedTags::ALLGATHER, payload.to_vec());
-            let env = self.my_mailbox().recv(self.context, Some(0), ReservedTags::ALLGATHER);
+            let env = self.recv_live(0, ReservedTags::ALLGATHER);
             Vec::<Vec<u8>>::from_bytes(&env.payload).expect("allgather parts")
         }
     }
@@ -310,7 +413,7 @@ impl Comm {
                 if src == root {
                     continue;
                 }
-                let env = self.my_mailbox().recv(self.context, Some(src), ReservedTags::REDUCE);
+                let env = self.recv_live(src, ReservedTags::REDUCE);
                 slots[src] = Some(T::from_bytes(&env.payload).expect("reduce decode"));
             }
             let mut it = slots.into_iter().map(|s| s.expect("reduce slot"));
@@ -395,6 +498,46 @@ mod tests {
         let results = Universe::run(4, |comm| comm.gather(0, &(comm.rank() as u64 * 10)));
         assert_eq!(results[0], Some(vec![0, 10, 20, 30]));
         assert!(results[1..].iter().all(|r| r.is_none()));
+    }
+
+    #[test]
+    fn abortable_gather_completes_when_all_send() {
+        let results = Universe::run(4, |comm| {
+            comm.gather_abortable(
+                0,
+                &(comm.rank() as u64 * 10),
+                Duration::from_millis(20),
+                &|_| false,
+            )
+        });
+        assert_eq!(results[0], Ok(Some(vec![0, 10, 20, 30])));
+        assert!(results[1..].iter().all(|r| *r == Ok(None)));
+    }
+
+    #[test]
+    fn abortable_gather_names_the_silent_ranks() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let abort = AtomicBool::new(false);
+        let results = Universe::run(3, |comm| {
+            if comm.rank() == 0 {
+                // Abort after the first poll round comes up short.
+                let got = comm.gather_abortable(0, &0u64, Duration::from_millis(10), &|_| {
+                    abort.swap(true, Ordering::SeqCst) // false once, then true
+                });
+                Some(got)
+            } else if comm.rank() == 1 {
+                let _ = comm.gather_abortable(0, &11u64, Duration::from_millis(10), &|_| false);
+                None
+            } else {
+                // Rank 2 never contributes (the dead slave).
+                std::thread::sleep(Duration::from_millis(100));
+                None
+            }
+        });
+        match results[0].as_ref().unwrap() {
+            Err(pending) => assert!(pending.contains(&2), "dead rank not named: {pending:?}"),
+            other => panic!("gather did not abort: {other:?}"),
+        }
     }
 
     #[test]

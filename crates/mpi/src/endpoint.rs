@@ -8,15 +8,37 @@
 
 use crate::message::{Envelope, Tag};
 use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A matching message can no longer arrive: the peer's connection is gone
+/// and nothing is queued. Returned by [`Mailbox::recv_from_live`] so a rank
+/// blocked on a dead peer fails loudly instead of hanging forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerLost {
+    /// World rank of the lost peer.
+    pub world_rank: usize,
+}
+
+impl std::fmt::Display for PeerLost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "connection to world rank {} lost with a receive pending", self.world_rank)
+    }
+}
+
+impl std::error::Error for PeerLost {}
 
 /// A rank's incoming-message queue.
 #[derive(Debug, Default)]
 pub struct Mailbox {
     queue: Mutex<VecDeque<Envelope>>,
     arrived: Condvar,
+    /// World ranks whose transport connection is gone (multi-process
+    /// backends mark these from their reader threads; the in-process fabric
+    /// never does). Queued envelopes from a dead peer remain receivable —
+    /// death only means nothing *new* can arrive.
+    dead_peers: Mutex<HashSet<usize>>,
 }
 
 impl Mailbox {
@@ -33,13 +55,47 @@ impl Mailbox {
         self.arrived.notify_all();
     }
 
+    /// Record that the transport connection to `world_rank` is gone and
+    /// wake every blocked receiver so waits on that peer can fail loudly.
+    pub fn mark_peer_dead(&self, world_rank: usize) {
+        self.dead_peers.lock().insert(world_rank);
+        // Waiters re-check their source's liveness on wake.
+        let _q = self.queue.lock();
+        self.arrived.notify_all();
+    }
+
+    /// Is `world_rank`'s connection known to be gone?
+    pub fn peer_is_dead(&self, world_rank: usize) -> bool {
+        self.dead_peers.lock().contains(&world_rank)
+    }
+
     /// Blocking selective receive: first queued envelope matching
     /// `(context, src, tag)`, in arrival order.
     pub fn recv(&self, context: u16, src: Option<usize>, tag: Tag) -> Envelope {
+        self.recv_from_live(context, src, tag, None).expect("no liveness bound requested")
+    }
+
+    /// [`Mailbox::recv`] that additionally fails with [`PeerLost`] when the
+    /// awaited source's connection (identified by its *world* rank, which
+    /// is what transports track) dies with nothing matching queued. Pass
+    /// `src_world = None` for sources whose liveness cannot be pinned
+    /// (from-any receives) — then this blocks exactly like [`Mailbox::recv`].
+    pub fn recv_from_live(
+        &self,
+        context: u16,
+        src: Option<usize>,
+        tag: Tag,
+        src_world: Option<usize>,
+    ) -> Result<Envelope, PeerLost> {
         let mut q = self.queue.lock();
         loop {
             if let Some(pos) = q.iter().position(|e| e.matches(context, src, tag)) {
-                return q.remove(pos).expect("position valid under lock");
+                return Ok(q.remove(pos).expect("position valid under lock"));
+            }
+            if let Some(world_rank) = src_world {
+                if self.peer_is_dead(world_rank) {
+                    return Err(PeerLost { world_rank });
+                }
             }
             self.arrived.wait(&mut q);
         }
@@ -181,6 +237,41 @@ mod tests {
         mb.deliver(env(1, 100));
         assert_eq!(ta.join().unwrap().tag, 100);
         assert_eq!(tb.join().unwrap().tag, 200);
+    }
+
+    #[test]
+    fn recv_from_live_fails_when_peer_dies() {
+        let mb = Mailbox::new();
+        let mb2 = Arc::clone(&mb);
+        let t = thread::spawn(move || mb2.recv_from_live(0, Some(3), 7, Some(3)));
+        thread::sleep(Duration::from_millis(20));
+        mb.mark_peer_dead(3);
+        assert_eq!(t.join().unwrap(), Err(PeerLost { world_rank: 3 }));
+    }
+
+    #[test]
+    fn recv_from_live_ignores_other_peers_deaths() {
+        let mb = Mailbox::new();
+        let mb2 = Arc::clone(&mb);
+        let t = thread::spawn(move || mb2.recv_from_live(0, Some(3), 7, Some(3)));
+        thread::sleep(Duration::from_millis(10));
+        // A different peer dying must not fail a wait on rank 3.
+        mb.mark_peer_dead(5);
+        thread::sleep(Duration::from_millis(10));
+        mb.deliver(env(3, 7));
+        assert!(t.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn queued_messages_from_a_dead_peer_remain_receivable() {
+        // Death means nothing *new* arrives; a frame delivered before the
+        // EOF must still be consumed (the final-result race on shutdown).
+        let mb = Mailbox::new();
+        mb.deliver(env(2, 9));
+        mb.mark_peer_dead(2);
+        assert!(mb.recv_from_live(0, Some(2), 9, Some(2)).is_ok());
+        // Now the queue is empty and the peer is dead: fail.
+        assert!(mb.recv_from_live(0, Some(2), 9, Some(2)).is_err());
     }
 
     #[test]

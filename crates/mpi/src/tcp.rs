@@ -40,8 +40,11 @@ use std::time::{Duration, Instant};
 
 /// Handshake magic ("LPZT").
 const MAGIC: u32 = 0x4C50_5A54;
-/// Handshake protocol version.
-const VERSION: u32 = 1;
+/// Handshake protocol version. Bump whenever any post-handshake wire
+/// layout changes, so mixed builds are rejected at connect time ("version
+/// skew") instead of panicking mid-run on a decode mismatch. v2: ConfigMsg
+/// gained the checkpoint fields and RunTask the resume marker.
+const VERSION: u32 = 2;
 /// Deadline for every handshake read (a stuck bootstrap fails loudly
 /// instead of hanging the suite).
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(30);
@@ -305,7 +308,12 @@ impl TcpFabric {
 
         let mut master = connect_with_retry(addr)?;
         master.set_nodelay(true)?;
-        master.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+        // The Welcome legitimately arrives only once *every* expected peer
+        // has connected — on a hand-started multi-machine bootstrap that
+        // can take minutes. Bound the wait by the same accept budget the
+        // master itself uses, not the per-message handshake timeout, or an
+        // early slave would give up and kill the whole launch.
+        master.set_read_timeout(Some(BOOTSTRAP_ACCEPT_TIMEOUT))?;
         send_msg(&mut master, &Hello { magic: MAGIC, version: VERSION, listen_port })?;
         let welcome: Welcome = recv_msg(&mut master, "bootstrap welcome")?;
         let (rank, world_size) = (welcome.rank, welcome.world_size);
@@ -360,10 +368,11 @@ impl TcpFabric {
     fn finish(rank: usize, world_size: usize, peers: Vec<Option<PeerLink>>) -> Arc<Self> {
         let mailbox = Mailbox::new();
         let mut readers = Vec::new();
-        for link in peers.iter().flatten() {
+        for (peer_rank, link) in peers.iter().enumerate() {
+            let Some(link) = link else { continue };
             let stream = link.stream.lock().0.try_clone().expect("clone stream read half");
             let mailbox = Arc::clone(&mailbox);
-            readers.push(std::thread::spawn(move || read_loop(stream, &mailbox)));
+            readers.push(std::thread::spawn(move || read_loop(peer_rank, stream, &mailbox)));
         }
         Arc::new(Self { rank, world_size, mailbox, peers, readers: Mutex::new(readers) })
     }
@@ -433,13 +442,23 @@ impl Transport for TcpFabric {
 }
 
 /// Reader thread: decode frames from one peer stream into the local
-/// mailbox until EOF, a connection error, or a corrupt frame.
-fn read_loop(mut stream: TcpStream, mailbox: &Mailbox) {
+/// mailbox until EOF, a connection error, or a corrupt frame. On exit the
+/// peer is marked dead in the mailbox, so untimed receives pinned to it
+/// fail loudly instead of wedging the rank (already-queued frames remain
+/// receivable — death only means nothing new arrives).
+fn read_loop(peer_rank: usize, mut stream: TcpStream, mailbox: &Mailbox) {
     let mut decoder = FrameDecoder::new();
     let mut chunk = [0u8; 64 * 1024];
     loop {
         let n = match stream.read(&mut chunk) {
-            Ok(0) | Err(_) => return, // EOF or reset: peer is gone
+            // A signal landing on this thread (profilers, timers) is not a
+            // liveness verdict — retry instead of declaring the peer dead.
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Ok(0) | Err(_) => {
+                // EOF or reset: peer is gone.
+                mailbox.mark_peer_dead(peer_rank);
+                return;
+            }
             Ok(n) => n,
         };
         decoder.extend(&chunk[..n]);
@@ -448,8 +467,12 @@ fn read_loop(mut stream: TcpStream, mailbox: &Mailbox) {
                 Ok(Some(env)) => mailbox.deliver(env),
                 Ok(None) => break,
                 // Corrupt stream: frame sync is unrecoverable; drop the
-                // connection (pending receives time out rather than hang).
-                Err(_) => return,
+                // connection (pending receives fail or time out rather
+                // than hang).
+                Err(_) => {
+                    mailbox.mark_peer_dead(peer_rank);
+                    return;
+                }
             }
         }
     }

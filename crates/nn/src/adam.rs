@@ -2,6 +2,28 @@
 
 use crate::mlp::{Grads, Mlp};
 
+/// The complete state of an [`Adam`] optimizer, as plain data.
+///
+/// Everything the update rule depends on is here — moments, step count,
+/// *and* the hyperparameters — so `Adam::from_state(adam.state())` resumes
+/// training bit-exactly. The checkpoint layer serializes this instead of
+/// assuming moments can be reconstructed by replaying steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamState {
+    /// First-moment vector (genome order).
+    pub m: Vec<f32>,
+    /// Second-moment vector (genome order).
+    pub v: Vec<f32>,
+    /// Steps taken so far.
+    pub t: u64,
+    /// β₁ decay.
+    pub beta1: f32,
+    /// β₂ decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+}
+
 /// Adam state (Kingma & Ba, 2015) for one network.
 ///
 /// The moment vectors are aligned with the network's genome layout. Table I
@@ -34,6 +56,48 @@ impl Adam {
     /// Number of steps taken so far.
     pub fn steps(&self) -> u64 {
         self.t
+    }
+
+    /// Capture the optimizer's full state (see [`AdamState`]).
+    pub fn state(&self) -> AdamState {
+        AdamState {
+            m: self.m.clone(),
+            v: self.v.clone(),
+            t: self.t,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+        }
+    }
+
+    /// Capture into an existing [`AdamState`], reusing its moment buffers
+    /// (the allocation-free path of a double-buffered checkpoint capture).
+    pub fn state_into(&self, out: &mut AdamState) {
+        out.m.clear();
+        out.m.extend_from_slice(&self.m);
+        out.v.clear();
+        out.v.extend_from_slice(&self.v);
+        out.t = self.t;
+        out.beta1 = self.beta1;
+        out.beta2 = self.beta2;
+        out.eps = self.eps;
+    }
+
+    /// Rebuild an optimizer from a captured [`Adam::state`].
+    ///
+    /// # Panics
+    /// Panics if the moment vectors disagree in length (a corrupt state
+    /// must never restore partially).
+    pub fn from_state(state: AdamState) -> Self {
+        assert_eq!(state.m.len(), state.v.len(), "Adam state moment lengths");
+        Self {
+            m: state.m,
+            v: state.v,
+            t: state.t,
+            beta1: state.beta1,
+            beta2: state.beta2,
+            eps: state.eps,
+        }
     }
 
     /// Reset moments and step count (used when a genome import replaces the
@@ -162,6 +226,55 @@ mod tests {
         assert_eq!(adam2.steps(), 0);
         adam.reset();
         assert_eq!(adam.steps(), 0);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_identically() {
+        // Capture mid-descent, restore, and require the two optimizers to
+        // produce bit-identical parameter trajectories from there on.
+        let mut rng = Rng64::seed_from(21);
+        let mut net =
+            Mlp::from_dims(&[3, 5, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        let mut adam = Adam::with_betas(net.param_count(), 0.8, 0.95);
+        let x = rng.uniform_matrix(8, 3, -1.0, 1.0);
+        let step = |net: &mut Mlp, adam: &mut Adam| {
+            let cache = net.forward_cached(&x);
+            let d_out = cache.output().clone();
+            let (grads, _) = net.backward(&cache, &d_out);
+            adam.step(net, &grads, 3e-3);
+        };
+        for _ in 0..5 {
+            step(&mut net, &mut adam);
+        }
+        let mut net2 = net.clone();
+        let mut adam2 = Adam::from_state(adam.state());
+        assert_eq!(adam2.state(), adam.state());
+        for _ in 0..10 {
+            step(&mut net, &mut adam);
+            step(&mut net2, &mut adam2);
+        }
+        let (a, b) = (net.genome(), net2.genome());
+        assert_eq!(
+            a.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+            "restored Adam diverged from the original"
+        );
+        assert_eq!(adam.steps(), adam2.steps());
+    }
+
+    #[test]
+    fn state_preserves_custom_betas() {
+        let adam = Adam::with_betas(4, 0.7, 0.9);
+        let back = Adam::from_state(adam.state());
+        assert_eq!(back.state(), adam.state());
+    }
+
+    #[test]
+    #[should_panic(expected = "moment lengths")]
+    fn mismatched_state_moments_panic() {
+        let mut state = Adam::new(4).state();
+        state.v.pop();
+        let _ = Adam::from_state(state);
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod loss;
 pub mod mlp;
 
 pub use activation::Activation;
-pub use adam::Adam;
+pub use adam::{Adam, AdamState};
 pub use gan::{Discriminator, Gan, Generator, NetworkConfig};
 pub use loss::GanLoss;
 pub use mlp::{LayerSpec, Mlp};

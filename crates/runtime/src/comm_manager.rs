@@ -90,16 +90,51 @@ impl CommManager {
     }
 
     /// Master: collect every slave's announcement (any arrival order).
+    ///
+    /// # Panics
+    /// Panics if a slave's connection dies before it announces (the
+    /// monitored master uses [`CommManager::collect_announcements_monitored`]
+    /// to turn that into a recoverable abort instead).
     pub fn collect_announcements(&self) -> Vec<NodeAnnouncement> {
-        let mut out: Vec<NodeAnnouncement> = (0..self.num_slaves())
-            .map(|_| {
-                let (msg, _src): (NodeAnnouncement, usize) =
-                    self.world.recv(RecvFrom::Any, tags::NODE_NAME);
-                msg
-            })
-            .collect();
+        self.collect_announcements_monitored(Duration::from_millis(50))
+            .unwrap_or_else(|rank| panic!("slave rank {rank} died before announcing"))
+    }
+
+    /// [`CommManager::collect_announcements`] that fails with the dead
+    /// WORLD rank instead of wedging when a slave's connection dies before
+    /// its announcement arrives — this phase runs *before* the heartbeat
+    /// thread exists, so without the check a slave killed in the
+    /// bootstrap-to-announce window would hang the master forever.
+    pub fn collect_announcements_monitored(
+        &self,
+        poll: Duration,
+    ) -> Result<Vec<NodeAnnouncement>, usize> {
+        let mut out: Vec<NodeAnnouncement> = Vec::with_capacity(self.num_slaves());
+        while out.len() < self.num_slaves() {
+            if let Some((msg, _src)) = self.world.recv_timeout::<NodeAnnouncement>(
+                RecvFrom::Any,
+                tags::NODE_NAME,
+                poll,
+            ) {
+                out.push(msg);
+                continue;
+            }
+            // Nothing arrived this poll: every still-missing slave must at
+            // least have a live connection. (Re-check the queue first — an
+            // announcement may have landed between the timeout and here,
+            // and a queued message from a dead peer is still valid.)
+            if self.world.probe(RecvFrom::Any, tags::NODE_NAME) {
+                continue;
+            }
+            for rank in 1..=self.num_slaves() {
+                if !out.iter().any(|a| a.rank == rank) && self.world.peer_connection_dead(rank)
+                {
+                    return Err(rank);
+                }
+            }
+        }
         out.sort_by_key(|a| a.rank);
-        out
+        Ok(out)
     }
 
     /// Master: assign a workload to a slave (run-task message, Fig. 2's
@@ -177,6 +212,43 @@ impl CommManager {
         results.sort_by_key(|r| r.cell);
         Some(results)
     }
+
+    /// Master side of [`CommManager::gather_results`] with an abort hook:
+    /// wire-compatible with slaves calling the plain gather, but the
+    /// collection is abandoned (returning the still-pending WORLD ranks)
+    /// once `should_abort` turns true — the elastic-recovery path where a
+    /// heartbeat-declared death must not wedge the master forever.
+    ///
+    /// # Panics
+    /// Panics when called on a slave rank.
+    pub fn gather_results_abortable(
+        &self,
+        poll: Duration,
+        should_abort: &dyn Fn(&[usize]) -> bool,
+    ) -> Result<Vec<SlaveResult>, Vec<usize>> {
+        assert!(self.is_master(), "only the master collects results abortably");
+        let mine: Option<SlaveResult> = None;
+        match self.global.gather_abortable(Self::MASTER, &mine, poll, should_abort) {
+            Ok(gathered) => {
+                let mut results: Vec<SlaveResult> = gathered
+                    .expect("master receives the gather")
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                results.sort_by_key(|r| r.cell);
+                Ok(results)
+            }
+            // GLOBAL group rank == WORLD rank (it spans all ranks in order).
+            Err(pending) => Err(pending),
+        }
+    }
+
+    /// Is the transport connection to `world_rank` known to be gone?
+    /// (Always `false` on the in-process fabric.)
+    pub fn connection_dead(&self, world_rank: usize) -> bool {
+        // GLOBAL spans all ranks in order, so its group ranks ARE world ranks.
+        self.global.peer_connection_dead(world_rank)
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +283,7 @@ mod tests {
                     let task = RunTask {
                         config: ConfigMsg::from(&TrainConfig::smoke(2)),
                         cell_index: i,
+                        resume_from: None,
                     };
                     cm.send_run_task(a.rank, &task);
                 }

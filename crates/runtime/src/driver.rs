@@ -3,7 +3,7 @@
 //! OS process; see [`lipiz_mpi::tcp::TcpFabric`]).
 
 use crate::comm_manager::CommManager;
-use crate::master::{run_master, MasterOutcome};
+use crate::master::{run_master_monitored, MasterAbort, MasterOutcome};
 use crate::slave::run_slave;
 use crate::state::SlaveState;
 use lipiz_core::{TrainConfig, TrainReport};
@@ -19,11 +19,27 @@ use std::time::Duration;
 pub struct DistributedOptions {
     /// Delay between heartbeat rounds ("Wait X seconds" in Fig. 3).
     pub heartbeat_interval: Duration,
+    /// Per-round heartbeat response deadline; `None` derives
+    /// `max(heartbeat_interval, 50ms)`.
+    pub response_timeout: Option<Duration>,
+    /// Consecutive missed heartbeat rounds after which a slave is declared
+    /// dead and the run aborts for recovery. `0` (the default) never
+    /// declares death — monitoring only, the pre-elastic behavior.
+    pub deadline_misses: usize,
+    /// Start every slave from this committed checkpoint iteration instead
+    /// of initializing fresh (the config's checkpoint directory names the
+    /// files). `None` = fresh run.
+    pub resume_from: Option<usize>,
 }
 
 impl Default for DistributedOptions {
     fn default() -> Self {
-        Self { heartbeat_interval: Duration::from_millis(50) }
+        Self {
+            heartbeat_interval: Duration::from_millis(50),
+            response_timeout: None,
+            deadline_misses: 0,
+            resume_from: None,
+        }
     }
 }
 
@@ -41,7 +57,9 @@ pub fn run_distributed(
     let mut outcomes = Universe::run(n, |world| {
         let cm = CommManager::new(world);
         if cm.is_master() {
-            Some(run_master(&cm, cfg, opts.heartbeat_interval))
+            let outcome = run_master_monitored(&cm, cfg, &opts)
+                .unwrap_or_else(|e| panic!("in-process distributed run aborted: {e}"));
+            Some(outcome)
         } else {
             let node = format!("node{:02}", cm.world_rank());
             run_slave(&cm, &make_data, &node);
@@ -65,9 +83,23 @@ pub fn run_tcp_master(
     cfg: &TrainConfig,
     opts: DistributedOptions,
 ) -> std::io::Result<MasterOutcome> {
+    run_tcp_master_monitored(listener, cfg, opts)?
+        .map_err(|e| std::io::Error::other(e.to_string()))
+}
+
+/// [`run_tcp_master`] exposing the abort outcome: the outer `Result` is
+/// transport bootstrap failure, the inner one a monitored-run abort (a
+/// heartbeat-declared slave death) that the caller can recover from by
+/// respawning slaves and rerunning from the last committed checkpoint.
+/// The fabric is shut down on every path before returning.
+pub fn run_tcp_master_monitored(
+    listener: TcpListener,
+    cfg: &TrainConfig,
+    opts: DistributedOptions,
+) -> std::io::Result<Result<MasterOutcome, MasterAbort>> {
     let fabric = TcpFabric::master(listener, cfg.cells() + 1)?;
     let cm = CommManager::new(Universe::attach(fabric.clone(), 0));
-    let outcome = run_master(&cm, cfg, opts.heartbeat_interval);
+    let outcome = run_master_monitored(&cm, cfg, &opts);
     fabric.shutdown();
     Ok(outcome)
 }
@@ -212,7 +244,10 @@ mod tests {
         let mut cfg = TrainConfig::smoke(2);
         // Enough work that at least one heartbeat round lands mid-training.
         cfg.coevolution.iterations = 6;
-        let opts = DistributedOptions { heartbeat_interval: Duration::from_millis(5) };
+        let opts = DistributedOptions {
+            heartbeat_interval: Duration::from_millis(5),
+            ..DistributedOptions::default()
+        };
         let outcome = run_distributed(&cfg, toy_data, opts);
         assert!(!outcome.heartbeat.is_empty(), "no heartbeat rounds ran");
     }

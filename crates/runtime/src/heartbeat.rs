@@ -8,7 +8,7 @@
 
 use crate::comm_manager::CommManager;
 use crate::state::SlaveState;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::time::Duration;
 
 /// One slave's status at one heartbeat round.
@@ -54,6 +54,9 @@ impl HeartbeatLog {
     }
 }
 
+/// Sentinel for "no slave declared dead yet" in the dead-rank flag.
+pub const NO_DEAD_SLAVE: i64 = -1;
+
 /// Run heartbeat rounds until `stop` is set. Each round polls every slave
 /// with `response_timeout`, waits `interval` between rounds, and records
 /// results. Designed to run on its own thread of the master process.
@@ -63,26 +66,96 @@ pub fn run_heartbeat_loop(
     response_timeout: Duration,
     stop: &AtomicBool,
 ) -> HeartbeatLog {
+    let first_dead = AtomicI64::new(NO_DEAD_SLAVE);
+    run_heartbeat_loop_with_deadline(cm, interval, response_timeout, 0, stop, &first_dead)
+}
+
+/// [`run_heartbeat_loop`] with a death deadline: a slave that misses
+/// `deadline_misses` *consecutive* rounds is declared dead — its WORLD rank
+/// is published into `first_dead` (first death wins; the flag starts at
+/// [`NO_DEAD_SLAVE`]). `deadline_misses == 0` never declares anyone dead,
+/// reproducing the monitor-only behavior. The loop keeps observing after a
+/// declaration — the master aborts its gather on the flag and stops the
+/// loop itself.
+///
+/// A slave that ever reported the *finished* state is exempt from
+/// conviction: its communication thread legitimately stops answering once
+/// training ends, while its result may sit in the gather queue for as long
+/// as slower cells keep training. Convicting it would kill healthy runs
+/// with uneven per-cell wall times; a finished slave whose *connection*
+/// actually dies is still caught by the transport's doomed-peer check.
+///
+/// The exemption also covers the master clearing a conviction as stale
+/// (the convicted rank's result had already arrived): once cleared, that
+/// rank is never convicted again, so a genuinely wedged rank behind it in
+/// round order still gets its death declared instead of being starved by
+/// an endless convict/clear cycle.
+pub fn run_heartbeat_loop_with_deadline(
+    cm: &CommManager,
+    interval: Duration,
+    response_timeout: Duration,
+    deadline_misses: usize,
+    stop: &AtomicBool,
+    first_dead: &AtomicI64,
+) -> HeartbeatLog {
     let mut log = HeartbeatLog::default();
+    let mut consecutive_misses = vec![0usize; cm.num_slaves() + 1];
+    let mut finished = vec![false; cm.num_slaves() + 1];
+    let mut convicted = vec![false; cm.num_slaves() + 1];
     while !stop.load(Ordering::Acquire) {
         let mut round = Vec::with_capacity(cm.num_slaves());
         for slave in 1..=cm.num_slaves() {
             cm.request_status(slave);
         }
-        for slave in 1..=cm.num_slaves() {
+        let slaves = consecutive_misses.iter_mut().zip(finished.iter_mut()).enumerate();
+        for (slave, (misses, done)) in slaves.skip(1) {
             match cm.await_status(slave, response_timeout) {
-                Some(status) => round.push(HeartbeatRecord {
-                    slave,
-                    state: SlaveState::from_id(status.state),
-                    iterations_done: status.iterations_done,
-                    delayed: false,
-                }),
-                None => round.push(HeartbeatRecord {
-                    slave,
-                    state: None,
-                    iterations_done: 0,
-                    delayed: true,
-                }),
+                Some(status) => {
+                    *misses = 0;
+                    if status.state == SlaveState::Finished.id() {
+                        *done = true;
+                    }
+                    round.push(HeartbeatRecord {
+                        slave,
+                        state: SlaveState::from_id(status.state),
+                        iterations_done: status.iterations_done,
+                        delayed: false,
+                    });
+                }
+                None => {
+                    *misses += 1;
+                    if convicted[slave] && first_dead.load(Ordering::Acquire) != slave as i64 {
+                        // We convicted this rank and the master cleared the
+                        // verdict as stale (its result had already arrived —
+                        // it finished and went quiet before a Finished report
+                        // ever landed here). Exempt it permanently:
+                        // re-convicting it every round would win the
+                        // first-death CAS forever and starve the conviction
+                        // of a rank that is genuinely wedged with its
+                        // connection still open.
+                        *done = true;
+                    } else if !*done && deadline_misses > 0 && *misses >= deadline_misses {
+                        // First declared death wins; later ones keep the log
+                        // but not the flag.
+                        if first_dead
+                            .compare_exchange(
+                                NO_DEAD_SLAVE,
+                                slave as i64,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
+                            .is_ok()
+                        {
+                            convicted[slave] = true;
+                        }
+                    }
+                    round.push(HeartbeatRecord {
+                        slave,
+                        state: None,
+                        iterations_done: 0,
+                        delayed: true,
+                    });
+                }
             }
         }
         log.rounds.push(round);
@@ -260,6 +333,160 @@ mod tests {
         let healthy_answered =
             outcome.heartbeat.rounds.iter().flatten().any(|r| r.slave == 1 && !r.delayed);
         assert!(healthy_answered, "healthy slave should still be seen alive");
+    }
+
+    #[test]
+    fn deadline_declares_a_dead_slave_by_rank() {
+        // One silent slave: with a 2-miss deadline, the heartbeat must
+        // publish exactly that slave's WORLD rank into the dead flag.
+        let results = Universe::run(3, |world| {
+            let cm = CommManager::new(world);
+            if cm.is_master() {
+                let stop = AtomicBool::new(false);
+                let first_dead = AtomicI64::new(NO_DEAD_SLAVE);
+                let log = std::thread::scope(|s| {
+                    let handle = s.spawn(|| {
+                        run_heartbeat_loop_with_deadline(
+                            &cm,
+                            Duration::from_millis(5),
+                            Duration::from_millis(20),
+                            2,
+                            &stop,
+                            &first_dead,
+                        )
+                    });
+                    // Wait for the declaration, then stop.
+                    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+                    while first_dead.load(Ordering::Acquire) == NO_DEAD_SLAVE {
+                        assert!(std::time::Instant::now() < deadline, "never declared dead");
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    stop.store(true, Ordering::Release);
+                    handle.join().unwrap()
+                });
+                assert!(log.any_delayed());
+                Some(first_dead.load(Ordering::Acquire))
+            } else if cm.world_rank() == 1 {
+                // Healthy slave answers until the master goes quiet.
+                while cm.poll_status_request(Duration::from_millis(200)) {
+                    cm.respond_status(&StatusReport {
+                        state: SlaveState::Processing.id(),
+                        iterations_done: 3,
+                    });
+                }
+                None
+            } else {
+                // Rank 2 is deaf: drain requests without ever answering.
+                while cm.poll_status_request(Duration::from_millis(200)) {}
+                None
+            }
+        });
+        assert_eq!(results[0], Some(2), "the deaf slave's rank must be declared");
+    }
+
+    #[test]
+    fn stale_cleared_conviction_cannot_starve_a_real_death() {
+        // Rank 1 finished, delivered its result, and went quiet before the
+        // loop ever saw a Finished report — so it keeps getting convicted,
+        // and the master keeps clearing the verdict as stale. Rank 2 is
+        // genuinely wedged (silent, connection open). Without the
+        // cleared-conviction exemption, rank 1 re-wins the first-death CAS
+        // every round and rank 2's conviction never lands.
+        let results = Universe::run(3, |world| {
+            let cm = CommManager::new(world);
+            if cm.is_master() {
+                let stop = AtomicBool::new(false);
+                let first_dead = AtomicI64::new(NO_DEAD_SLAVE);
+                let declared = std::thread::scope(|s| {
+                    let handle = s.spawn(|| {
+                        run_heartbeat_loop_with_deadline(
+                            &cm,
+                            Duration::from_millis(5),
+                            Duration::from_millis(20),
+                            2,
+                            &stop,
+                            &first_dead,
+                        )
+                    });
+                    // The master's abort predicate, in miniature: rank 1 is
+                    // not pending (its result arrived), so its conviction is
+                    // stale and gets cleared; rank 2's must stick.
+                    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+                    let declared = loop {
+                        assert!(
+                            std::time::Instant::now() < deadline,
+                            "wedged rank 2 was never declared dead"
+                        );
+                        match first_dead.load(Ordering::Acquire) {
+                            1 => {
+                                let _ = first_dead.compare_exchange(
+                                    1,
+                                    NO_DEAD_SLAVE,
+                                    Ordering::AcqRel,
+                                    Ordering::Acquire,
+                                );
+                            }
+                            NO_DEAD_SLAVE => {}
+                            rank => break rank,
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    };
+                    stop.store(true, Ordering::Release);
+                    handle.join().unwrap();
+                    declared
+                });
+                Some(declared)
+            } else {
+                // Both slaves are deaf: they drain requests, never answer.
+                while cm.poll_status_request(Duration::from_millis(200)) {}
+                None
+            }
+        });
+        assert_eq!(results[0], Some(2), "the wedged slave's rank must win eventually");
+    }
+
+    #[test]
+    fn finished_slave_is_never_convicted_by_silence() {
+        // A slave that reports Finished and then legitimately goes quiet
+        // (its result is waiting in the gather while slower cells train)
+        // must NOT be declared dead, no matter how many rounds pass.
+        let results = Universe::run(2, |world| {
+            let cm = CommManager::new(world);
+            if cm.is_master() {
+                let stop = AtomicBool::new(false);
+                let first_dead = AtomicI64::new(NO_DEAD_SLAVE);
+                let log = std::thread::scope(|s| {
+                    let handle = s.spawn(|| {
+                        run_heartbeat_loop_with_deadline(
+                            &cm,
+                            Duration::from_millis(5),
+                            Duration::from_millis(15),
+                            1, // the harshest possible deadline
+                            &stop,
+                            &first_dead,
+                        )
+                    });
+                    // Give the loop time to see the Finished report and
+                    // then plenty of silent rounds.
+                    std::thread::sleep(Duration::from_millis(250));
+                    stop.store(true, Ordering::Release);
+                    handle.join().unwrap()
+                });
+                assert!(log.any_delayed(), "the silent rounds must still be logged");
+                Some(first_dead.load(Ordering::Acquire))
+            } else {
+                // Answer exactly one request with Finished, then go silent.
+                assert!(cm.poll_status_request(Duration::from_secs(5)));
+                cm.respond_status(&StatusReport {
+                    state: SlaveState::Finished.id(),
+                    iterations_done: 9,
+                });
+                std::thread::sleep(Duration::from_millis(300));
+                while cm.poll_status_request(Duration::from_millis(10)) {}
+                None
+            }
+        });
+        assert_eq!(results[0], Some(NO_DEAD_SLAVE), "finished slave was convicted");
     }
 
     #[test]

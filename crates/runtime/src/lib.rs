@@ -39,6 +39,7 @@
 //! assert_eq!(report.cells.len(), 4);
 //! ```
 
+pub mod checkpoint;
 pub mod comm_manager;
 pub mod driver;
 pub mod heartbeat;

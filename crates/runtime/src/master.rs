@@ -5,15 +5,53 @@
 //! background heartbeat thread, and finally gathers and reduces the
 //! results.
 
+use crate::checkpoint::{self, CheckpointError};
 use crate::comm_manager::CommManager;
-use crate::heartbeat::{run_heartbeat_loop, HeartbeatLog};
+use crate::driver::DistributedOptions;
+use crate::heartbeat::{run_heartbeat_loop_with_deadline, HeartbeatLog, NO_DEAD_SLAVE};
 use crate::protocol::{ConfigMsg, NodeAnnouncement, RunTask, SlaveResult};
 use lipiz_core::profiling::{ProfileReport, ProfileRow};
 use lipiz_core::{
     CellResult, EnsembleModel, Grid, MixtureWeights, Routine, TrainConfig, TrainReport,
 };
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Why a monitored master run aborted instead of completing.
+///
+/// The variants carry enough context for recovery logs to *name* the
+/// failure: the dead slave's WORLD rank and grid cell, plus the heartbeat
+/// evidence that convicted it.
+#[derive(Debug)]
+pub enum MasterAbort {
+    /// A slave missed its heartbeat deadline (or went silent before the
+    /// final gather) and was declared dead.
+    SlaveDead {
+        /// WORLD rank of the dead slave.
+        world_rank: usize,
+        /// Grid cell that slave was training.
+        cell: usize,
+        /// The heartbeat log up to the abort.
+        heartbeat: HeartbeatLog,
+    },
+    /// The run's checkpoint manifest could not be written.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for MasterAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MasterAbort::SlaveDead { world_rank, cell, .. } => write!(
+                f,
+                "slave world rank {world_rank} (cell {cell}) missed its heartbeat deadline"
+            ),
+            MasterAbort::Checkpoint(e) => write!(f, "checkpoint setup failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MasterAbort {}
 
 /// Everything the master learned from a run.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,12 +93,31 @@ pub fn assign_workload(num_slaves: usize) -> Vec<(usize, usize)> {
     (0..num_slaves).map(|cell| (cell + 1, cell)).collect()
 }
 
-/// Run the complete master lifecycle.
+/// Run the complete master lifecycle with monitor-only heartbeats (a
+/// silent slave is logged as delayed but never declared dead). Kept as the
+/// simple entry point; the elastic path is [`run_master_monitored`].
 pub fn run_master(
     cm: &CommManager,
     cfg: &TrainConfig,
     heartbeat_interval: Duration,
 ) -> MasterOutcome {
+    let opts = DistributedOptions { heartbeat_interval, ..DistributedOptions::default() };
+    run_master_monitored(cm, cfg, &opts)
+        .unwrap_or_else(|e| panic!("unmonitored master run aborted: {e}"))
+}
+
+/// Run the complete master lifecycle, optionally with a death deadline
+/// (`opts.deadline_misses > 0`) and a resume marker for the slaves.
+///
+/// On a declared death the final gather is abandoned and
+/// [`MasterAbort::SlaveDead`] names the failed rank — the caller (the
+/// `lipizzaner launch` recovery loop) respawns slaves and reruns from the
+/// last committed checkpoint cut.
+pub fn run_master_monitored(
+    cm: &CommManager,
+    cfg: &TrainConfig,
+    opts: &DistributedOptions,
+) -> Result<MasterOutcome, MasterAbort> {
     assert_eq!(
         cm.num_slaves(),
         cfg.cells(),
@@ -68,8 +125,22 @@ pub fn run_master(
     );
     let start = Instant::now();
 
-    // i) gather infrastructure information.
-    let announcements = cm.collect_announcements();
+    // The master is the run's coordinator: it owns the checkpoint manifest.
+    if cfg.checkpoint.enabled() {
+        let dir = cfg.checkpoint.dir.as_deref().expect("enabled checkpoint has a dir");
+        checkpoint::write_manifest(Path::new(dir), cfg).map_err(MasterAbort::Checkpoint)?;
+    }
+
+    // i) gather infrastructure information. A slave dying *before* it
+    // announces (the heartbeat thread does not exist yet) aborts here with
+    // its rank instead of wedging the master.
+    let announcements = cm
+        .collect_announcements_monitored(opts.heartbeat_interval.max(Duration::from_millis(10)))
+        .map_err(|world_rank| MasterAbort::SlaveDead {
+            world_rank,
+            cell: world_rank - 1,
+            heartbeat: HeartbeatLog::default(),
+        })?;
 
     // ii + iii) decide placement and assign workload.
     let assignment = assign_workload(cm.num_slaves());
@@ -77,32 +148,88 @@ pub fn run_master(
     // iv) share the parameter configuration and launch the slaves.
     let config_msg = ConfigMsg::from(cfg);
     for &(rank, cell) in &assignment {
-        cm.send_run_task(rank, &RunTask { config: config_msg.clone(), cell_index: cell });
+        cm.send_run_task(
+            rank,
+            &RunTask {
+                config: config_msg.clone(),
+                cell_index: cell,
+                resume_from: opts.resume_from,
+            },
+        );
     }
 
     // Heartbeat thread monitors in the background while the master waits
-    // for the final gather.
+    // for the final gather; the gather aborts once a death is declared.
+    let response_timeout = opts
+        .response_timeout
+        .unwrap_or_else(|| opts.heartbeat_interval.max(Duration::from_millis(50)));
     let stop = AtomicBool::new(false);
-    let (slave_results, heartbeat) = std::thread::scope(|s| {
+    let first_dead = AtomicI64::new(NO_DEAD_SLAVE);
+    let (gathered, heartbeat) = std::thread::scope(|s| {
         let hb_cm = cm.clone();
         let stop_ref = &stop;
+        let dead_ref = &first_dead;
+        let hb_opts = *opts;
         let hb = s.spawn(move || {
-            run_heartbeat_loop(
+            run_heartbeat_loop_with_deadline(
                 &hb_cm,
-                heartbeat_interval,
-                heartbeat_interval.max(Duration::from_millis(50)),
+                hb_opts.heartbeat_interval,
+                response_timeout,
+                hb_opts.deadline_misses,
                 stop_ref,
+                dead_ref,
             )
         });
-        let results = cm.gather_results(None).expect("master gathers results");
+        let poll = opts.heartbeat_interval.max(Duration::from_millis(10));
+        let results = cm.gather_results_abortable(poll, &|pending: &[usize]| {
+            let convicted = first_dead.load(Ordering::Acquire);
+            if convicted == NO_DEAD_SLAVE {
+                return false;
+            }
+            if pending.contains(&(convicted as usize)) {
+                return true;
+            }
+            // Stale verdict: the convicted rank's result already arrived —
+            // it finished, delivered, and legitimately went quiet (a slave
+            // stops answering heartbeats once training ends, and the
+            // Finished exemption is best-effort: the master only observes
+            // that state if a request lands in the slave's drain window).
+            // Clear the flag so a *real* death can still be recorded.
+            let _ = first_dead.compare_exchange(
+                convicted,
+                NO_DEAD_SLAVE,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
+            false
+        });
         stop.store(true, Ordering::Release);
         let log = hb.join().expect("heartbeat thread panicked");
         (results, log)
     });
 
-    let wall_seconds = start.elapsed().as_secs_f64();
-    let report = reduce_results(cfg, &slave_results, wall_seconds);
-    MasterOutcome { report, announcements, heartbeat, slave_results }
+    match gathered {
+        Ok(slave_results) => {
+            let wall_seconds = start.elapsed().as_secs_f64();
+            let report = reduce_results(cfg, &slave_results, wall_seconds);
+            Ok(MasterOutcome { report, announcements, heartbeat, slave_results })
+        }
+        Err(pending) => {
+            // Name the actual casualty: the heartbeat conviction if one
+            // landed, else the pending rank whose connection is really
+            // gone (the doomed-gather path fires well before the deadline
+            // can convict), else the first pending rank.
+            let world_rank = match first_dead.load(Ordering::Acquire) {
+                NO_DEAD_SLAVE => pending
+                    .iter()
+                    .copied()
+                    .find(|&r| cm.connection_dead(r))
+                    .unwrap_or(pending[0]),
+                rank => rank as usize,
+            };
+            Err(MasterAbort::SlaveDead { world_rank, cell: world_rank - 1, heartbeat })
+        }
+    }
 }
 
 /// Reduction phase: combine per-slave results into the final report and
@@ -213,6 +340,94 @@ mod tests {
         let profile = mean_profile(&results);
         assert!((profile.seconds(Routine::Train) - 3.0).abs() < 1e-9);
         assert_eq!(profile.seconds(Routine::Gather), 0.0);
+    }
+
+    #[test]
+    fn monitored_master_names_a_dead_slave_instead_of_hanging() {
+        // A slave that takes its task and then dies silently: with a death
+        // deadline configured, the master must abandon the final gather and
+        // name the dead rank — never wedge. (1×1 grid so no surviving slave
+        // is left blocked in a collective.)
+        use lipiz_mpi::Universe;
+        let mut cfg = lipiz_core::TrainConfig::smoke(2);
+        cfg.grid.rows = 1;
+        cfg.grid.cols = 1;
+        let results = Universe::run(2, |world| {
+            let cm = crate::comm_manager::CommManager::new(world);
+            if cm.is_master() {
+                let opts = crate::driver::DistributedOptions {
+                    heartbeat_interval: Duration::from_millis(5),
+                    response_timeout: Some(Duration::from_millis(10)),
+                    deadline_misses: 3,
+                    resume_from: None,
+                };
+                Some(run_master_monitored(&cm, &cfg, &opts))
+            } else {
+                // Take the workload, then die without a word.
+                cm.announce_node("doomed");
+                let _task = cm.recv_run_task();
+                None
+            }
+        });
+        let outcome = results.into_iter().next().unwrap().unwrap();
+        match outcome {
+            Err(MasterAbort::SlaveDead { world_rank, cell, heartbeat }) => {
+                assert_eq!(world_rank, 1);
+                assert_eq!(cell, 0);
+                assert!(heartbeat.any_delayed(), "death declared without evidence");
+            }
+            other => panic!("expected SlaveDead, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn early_finisher_going_silent_is_not_convicted() {
+        // The finishing-skew scenario: slave 1 delivers its result early and
+        // stops answering heartbeats (exactly what a finished slave does),
+        // while slave 2 keeps training well past the death deadline. The
+        // conviction of the silent-but-delivered slave must be recognized
+        // as stale — the run completes instead of aborting.
+        use crate::protocol::StatusReport;
+        use lipiz_mpi::Universe;
+        let mut cfg = lipiz_core::TrainConfig::smoke(2);
+        cfg.grid.rows = 1;
+        cfg.grid.cols = 2;
+        let results = Universe::run(3, |world| {
+            let cm = crate::comm_manager::CommManager::new(world);
+            if cm.is_master() {
+                let opts = crate::driver::DistributedOptions {
+                    heartbeat_interval: Duration::from_millis(5),
+                    response_timeout: Some(Duration::from_millis(10)),
+                    deadline_misses: 2, // harsh: ~30ms of silence convicts
+                    resume_from: None,
+                };
+                return Some(run_master_monitored(&cm, &cfg, &opts));
+            }
+            cm.announce_node(&format!("node{}", cm.world_rank()));
+            let task = cm.recv_run_task();
+            if cm.world_rank() == 1 {
+                // Deliver immediately, then go silent but stay alive while
+                // the other slave keeps the run open far past the deadline.
+                cm.gather_results(Some(result(task.cell_index, 0.5, 1.0)));
+                std::thread::sleep(Duration::from_millis(300));
+            } else {
+                // Slow trainer: keeps answering heartbeats for a while,
+                // then delivers.
+                let deadline = Instant::now() + Duration::from_millis(250);
+                while Instant::now() < deadline {
+                    if cm.poll_status_request(Duration::from_millis(5)) {
+                        cm.respond_status(&StatusReport { state: 1, iterations_done: 1 });
+                    }
+                }
+                cm.gather_results(Some(result(task.cell_index, 0.7, 1.0)));
+            }
+            None
+        });
+        let outcome = results.into_iter().next().unwrap().unwrap();
+        match outcome {
+            Ok(o) => assert_eq!(o.report.cells.len(), 2),
+            Err(e) => panic!("healthy skewed run was aborted: {e}"),
+        }
     }
 
     #[test]

@@ -7,8 +7,8 @@
 use lipiz_core::config::{NetworkSettings, WireGanLoss};
 use lipiz_core::profiling::ProfileRow;
 use lipiz_core::{
-    AdversaryStrategy, CellSnapshot, CoevolutionConfig, GridConfig, LossMode, MutationConfig,
-    NeighborhoodPattern, ProfileReport, TrainConfig, TrainingConfig,
+    AdversaryStrategy, CellSnapshot, CheckpointConfig, CoevolutionConfig, GridConfig, LossMode,
+    MutationConfig, NeighborhoodPattern, ProfileReport, TrainConfig, TrainingConfig,
 };
 #[allow(unused_imports)]
 use lipiz_mpi::wire::Wire;
@@ -46,8 +46,13 @@ pub struct RunTask {
     pub config: ConfigMsg,
     /// Flat grid index assigned to this slave.
     pub cell_index: usize,
+    /// Resume marker: `Some(k)` tells the slave to restore its cell from
+    /// the committed checkpoint at iteration `k` (found under the config's
+    /// checkpoint directory) instead of initializing fresh — the elastic
+    /// recovery and `lipizzaner resume` path.
+    pub resume_from: Option<usize>,
 }
-wire_struct!(RunTask { config, cell_index });
+wire_struct!(RunTask { config, cell_index, resume_from });
 
 /// Heartbeat status response.
 #[derive(Debug, Clone, PartialEq)]
@@ -231,6 +236,9 @@ pub struct ConfigMsg {
     eval_batch: usize,
     workers_per_cell: usize,
     shard_data: bool,
+    checkpoint_every: usize,
+    checkpoint_dir: Option<String>,
+    checkpoint_pause_after: Option<usize>,
     seed: u64,
 }
 wire_struct!(ConfigMsg {
@@ -261,6 +269,9 @@ wire_struct!(ConfigMsg {
     eval_batch,
     workers_per_cell,
     shard_data,
+    checkpoint_every,
+    checkpoint_dir,
+    checkpoint_pause_after,
     seed,
 });
 
@@ -324,6 +335,9 @@ impl From<&TrainConfig> for ConfigMsg {
             eval_batch: c.training.eval_batch,
             workers_per_cell: c.training.workers_per_cell,
             shard_data: c.training.shard_data,
+            checkpoint_every: c.checkpoint.every,
+            checkpoint_dir: c.checkpoint.dir.clone(),
+            checkpoint_pause_after: c.checkpoint.pause_after,
             seed: c.seed,
         }
     }
@@ -384,6 +398,11 @@ impl ConfigMsg {
                 workers_per_cell: self.workers_per_cell,
                 shard_data: self.shard_data,
             },
+            checkpoint: CheckpointConfig {
+                every: self.checkpoint_every,
+                dir: self.checkpoint_dir,
+                pause_after: self.checkpoint_pause_after,
+            },
             seed: self.seed,
         }
     }
@@ -401,6 +420,7 @@ mod tests {
             TrainConfig::smoke(3).with_mustangs(),
             TrainConfig::smoke(2).with_workers(4),
             TrainConfig::smoke(2).with_shards(true),
+            TrainConfig::smoke(2).with_checkpoints("/tmp/ckpt", 3).with_pause_after(1),
         ] {
             let msg = ConfigMsg::from(&cfg);
             let bytes = msg.to_bytes();
@@ -461,9 +481,15 @@ mod tests {
 
     #[test]
     fn run_task_round_trips() {
-        let task = RunTask { config: ConfigMsg::from(&TrainConfig::smoke(2)), cell_index: 3 };
-        let back = RunTask::from_bytes(&task.to_bytes()).unwrap();
-        assert_eq!(back, task);
+        for resume_from in [None, Some(7usize)] {
+            let task = RunTask {
+                config: ConfigMsg::from(&TrainConfig::smoke(2)),
+                cell_index: 3,
+                resume_from,
+            };
+            let back = RunTask::from_bytes(&task.to_bytes()).unwrap();
+            assert_eq!(back, task);
+        }
     }
 
     #[test]

@@ -8,11 +8,13 @@
 //! overlaps the master's monitoring traffic without interference because
 //! they use different communicators.
 
+use crate::checkpoint::{self, CheckpointWriter};
 use crate::comm_manager::CommManager;
 use crate::protocol::{ProfileRowMsg, SlaveResult, StatusReport};
 use crate::state::SlaveState;
 use lipiz_core::{CellEngine, CellSnapshot, Grid, Profiler, TrainConfig};
-use lipiz_tensor::Matrix;
+use lipiz_tensor::{Matrix, Pool};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
 
@@ -31,6 +33,7 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
     let task = cm.recv_run_task();
     let cfg = task.config.into_config();
     let cell_index = task.cell_index;
+    let resume_from = task.resume_from;
     state = state.transition(SlaveState::Processing);
 
     // Shared status for the heartbeat answers.
@@ -52,12 +55,74 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
             let done = &done;
             let state_atomic = &state_atomic;
             move || {
+                // The main thread spins on `done` while answering
+                // heartbeats; if this thread unwinds (e.g. a collective
+                // failed because a peer died), `done` must still be set or
+                // the slave would wedge instead of exiting loudly.
+                struct DoneGuard<'a>(&'a AtomicBool);
+                impl Drop for DoneGuard<'_> {
+                    fn drop(&mut self) {
+                        self.0.store(true, Ordering::Release);
+                    }
+                }
+                let _done_on_exit = DoneGuard(done);
+
                 let start = Instant::now();
                 let data = make_data(cell_index, &exec_cfg);
                 let grid = Grid::from_config(&exec_cfg.grid);
-                let mut engine = CellEngine::new(cell_index, &exec_cfg, data);
+
+                // Fresh engine, or restore this cell from the committed
+                // checkpoint the master's resume marker names. Restore
+                // failures are fatal and loud — a half-restored slave must
+                // never train.
+                let mut engine = match resume_from {
+                    None => CellEngine::new(cell_index, &exec_cfg, data),
+                    Some(iter) => {
+                        let dir = exec_cfg
+                            .checkpoint
+                            .dir
+                            .as_deref()
+                            .expect("resume requires a checkpoint dir in the config");
+                        let state = checkpoint::load_cell_state_at(
+                            Path::new(dir),
+                            &exec_cfg,
+                            cell_index,
+                            iter,
+                        )
+                        .unwrap_or_else(|e| {
+                            panic!("cell {cell_index}: restore from iteration {iter}: {e}")
+                        });
+                        let pool = Pool::new(exec_cfg.training.workers_per_cell);
+                        CellEngine::from_state(&exec_cfg, data, pool, &state)
+                    }
+                };
+                iterations_done.store(engine.iterations_done() as u64, Ordering::Release);
+
+                // Async checkpoint writer: capture on the training thread
+                // (into a recycled buffer), serialize + commit on the
+                // writer thread — training never blocks on disk.
+                let mut writer = if exec_cfg.checkpoint.enabled() {
+                    let dir = exec_cfg.checkpoint.dir.as_deref().expect("enabled has dir");
+                    if resume_from.is_none() {
+                        // Fresh start: drop any stale files for this cell
+                        // left in the directory by a previous run (on a
+                        // multi-machine run only the coordinator's own host
+                        // gets cleaned) — a recovery scan must never adopt
+                        // another run's cut.
+                        checkpoint::clear_stale(Path::new(dir), Some(cell_index))
+                            .unwrap_or_else(|e| {
+                                panic!("cell {cell_index}: clearing stale checkpoints: {e}")
+                            });
+                    }
+                    Some(CheckpointWriter::to_dir(Path::new(dir), exec_cfg.cells()))
+                } else {
+                    None
+                };
+
                 let mut profiler = Profiler::new();
-                for _ in 0..exec_cfg.coevolution.iterations {
+                let target =
+                    exec_cfg.checkpoint.effective_iterations(exec_cfg.coevolution.iterations);
+                while engine.iterations_done() < target {
                     // Gather: allgather my center, pick my neighbors.
                     let gather_start = Instant::now();
                     let snapshot = engine.snapshot();
@@ -68,8 +133,32 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
                         .map(|n| all[n].clone())
                         .collect();
                     profiler.record(lipiz_core::Routine::Gather, gather_start.elapsed());
+                    let iter = engine.iterations_done();
                     engine.run_iteration(&neighbors, &mut profiler);
                     iterations_done.fetch_add(1, Ordering::Release);
+                    if let Some(w) = &writer {
+                        if exec_cfg.checkpoint.commits_after(iter) {
+                            let ckpt_start = Instant::now();
+                            let state = match w.recycled() {
+                                Some(mut recycled) => {
+                                    engine.capture_state_into(&mut recycled);
+                                    recycled
+                                }
+                                None => engine.capture_state(),
+                            };
+                            w.submit(state);
+                            // Charged to "other": capture is the only
+                            // checkpoint cost on the training thread.
+                            profiler.record(lipiz_core::Routine::Other, ckpt_start.elapsed());
+                        }
+                    }
+                }
+                if let Some(w) = writer.take() {
+                    // Drain the queue so every committed cut is durable
+                    // before the result ships; a failed commit is fatal.
+                    w.finish().unwrap_or_else(|e| {
+                        panic!("cell {cell_index}: checkpoint commit failed: {e}")
+                    });
                 }
                 state_atomic.store(SlaveState::Finished.id(), Ordering::Release);
                 done.store(true, Ordering::Release);

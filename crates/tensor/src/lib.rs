@@ -38,4 +38,4 @@ pub mod rng;
 pub use error::ShapeError;
 pub use matrix::Matrix;
 pub use pool::Pool;
-pub use rng::Rng64;
+pub use rng::{Rng64, Rng64State};

@@ -22,10 +22,36 @@ pub struct Rng64 {
     spare_gauss: Option<f64>,
 }
 
+/// The complete, explicit state of an [`Rng64`] stream.
+///
+/// Captures the generator words *and* the cached Box–Muller spare — the
+/// spare is real state: dropping it would shift every Gaussian draw after a
+/// restore by one half-pair. `Rng64::from_state(rng.state())` therefore
+/// continues the stream bit-exactly, with no reconstruct-by-replay
+/// assumptions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rng64State {
+    /// xoshiro256++ state words of the underlying generator.
+    pub words: [u64; 4],
+    /// Cached second output of the last Box–Muller draw, if any.
+    pub spare_gauss: Option<f64>,
+}
+
 impl Rng64 {
     /// Construct from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
         Self { inner: StdRng::seed_from_u64(seed), spare_gauss: None }
+    }
+
+    /// Capture the stream's full state (see [`Rng64State`]).
+    pub fn state(&self) -> Rng64State {
+        Rng64State { words: self.inner.state(), spare_gauss: self.spare_gauss }
+    }
+
+    /// Rebuild a stream from a captured [`Rng64::state`]. The restored
+    /// stream produces exactly the draws the captured one would have.
+    pub fn from_state(state: Rng64State) -> Self {
+        Self { inner: StdRng::from_state(state.words), spare_gauss: state.spare_gauss }
     }
 
     /// Derive a child RNG from this one plus a stream id.
@@ -182,6 +208,47 @@ mod tests {
             assert_eq!(a.next_u64(), b.next_u64());
             assert_eq!(a.gaussian().to_bits(), b.gaussian().to_bits());
         }
+    }
+
+    #[test]
+    fn state_round_trip_is_bit_exact() {
+        // The checkpoint path: capture mid-stream (with a Box–Muller spare
+        // pending) and restore; every subsequent draw must agree bit-for-bit.
+        let mut a = Rng64::seed_from(2024);
+        for _ in 0..7 {
+            a.gaussian(); // odd count leaves a spare cached
+        }
+        let state = a.state();
+        assert!(state.spare_gauss.is_some(), "test must capture a pending spare");
+        let mut b = Rng64::from_state(state);
+        for _ in 0..64 {
+            assert_eq!(a.gaussian().to_bits(), b.gaussian().to_bits());
+            assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.uniform(-1.0, 1.0).to_bits(), b.uniform(-1.0, 1.0).to_bits());
+        }
+    }
+
+    #[test]
+    fn state_without_spare_round_trips() {
+        let mut a = Rng64::seed_from(5);
+        a.next_u64();
+        let mut b = Rng64::from_state(a.state());
+        assert_eq!(a.state(), b.state());
+        assert_eq!(a.gaussian().to_bits(), b.gaussian().to_bits());
+        // Both now carry the same spare.
+        assert_eq!(a.state(), b.state());
+    }
+
+    #[test]
+    fn restored_stream_diverges_from_fresh_seed() {
+        // A restored stream is *not* a reseed: it continues mid-stream.
+        let mut a = Rng64::seed_from(9);
+        for _ in 0..5 {
+            a.next_u64();
+        }
+        let mut restored = Rng64::from_state(a.state());
+        let mut fresh = Rng64::seed_from(9);
+        assert_ne!(restored.next_u64(), fresh.next_u64());
     }
 
     #[test]

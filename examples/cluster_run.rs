@@ -31,7 +31,10 @@ fn main() {
     let outcome = run_distributed(
         &cfg,
         make_data,
-        DistributedOptions { heartbeat_interval: Duration::from_millis(5) },
+        DistributedOptions {
+            heartbeat_interval: Duration::from_millis(5),
+            ..DistributedOptions::default()
+        },
     );
     println!("node announcements:");
     for a in &outcome.announcements {

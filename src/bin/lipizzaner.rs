@@ -4,39 +4,52 @@
 //! lipizzaner train  --grid 2 --iterations 8 --driver sequential --out model.lpz
 //! lipizzaner train  --grid 3 --driver distributed --transport tcp --mustangs
 //! lipizzaner launch --rows 1 --cols 2 --out model.lpz     # spawn slaves + master over TCP
+//! lipizzaner launch --grid 2 --checkpoint-dir ckpt/       # + elastic recovery on slave death
+//! lipizzaner resume --from ckpt/ --out model.lpz          # restart an interrupted run
 //! lipizzaner slave  --connect 192.168.0.10:4455           # join a multi-machine run by hand
 //! lipizzaner sample --model model.lpz --count 16 --gallery samples.pgm
 //! lipizzaner info   --model model.lpz
 //! ```
 
-use lipizzaner::core::{persist, TransportKind};
+use lipizzaner::core::{persist, CellState, TransportKind};
 use lipizzaner::data::image;
 use lipizzaner::prelude::*;
-use lipizzaner::runtime::driver::{run_tcp_master, run_tcp_slave};
+use lipizzaner::runtime::checkpoint;
+use lipizzaner::runtime::checkpoint::CheckpointWriter;
+use lipizzaner::runtime::driver::{run_tcp_master_monitored, run_tcp_slave};
+use lipizzaner::runtime::master::MasterOutcome;
+use std::io::Read as _;
 use std::net::TcpListener;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, ExitCode, Stdio};
+use std::sync::{Arc, Mutex};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("train") => cmd_train(&args[1..]),
         Some("launch") => cmd_launch(&args[1..]),
+        Some("resume") => cmd_resume(&args[1..]),
         Some("slave") => cmd_slave(&args[1..]),
         Some("sample") => cmd_sample(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         _ => {
             eprintln!(
-                "usage: lipizzaner <train|launch|slave|sample|info> [options]\n\
+                "usage: lipizzaner <train|launch|resume|slave|sample|info> [options]\n\
                  \n\
                  train   --grid N | --rows R --cols C   --iterations I --batches B\n\
                  \u{20}       --driver sequential|distributed|cluster-sim --transport in-process|tcp\n\
                  \u{20}       --mustangs --shards --tiny --out FILE.lpz\n\
+                 \u{20}       --checkpoint-dir DIR [--checkpoint-every N] [--pause-after K]\n\
                  launch  same training flags as train; spawns one slave OS process per grid\n\
                  \u{20}       cell plus a TCP master (--bind HOST:PORT, default 127.0.0.1:0);\n\
-                 \u{20}       --no-spawn waits for hand-started slaves instead (multi-machine)\n\
+                 \u{20}       --no-spawn waits for hand-started slaves instead (multi-machine);\n\
+                 \u{20}       with --checkpoint-dir, a heartbeat-dead slave is respawned and the\n\
+                 \u{20}       run restored from the last committed checkpoint\n\
+                 resume  --from DIR   restart an interrupted run from its checkpoint directory\n\
+                 \u{20}       (config comes from the manifest; --driver/--transport/--out as train)\n\
                  slave   --connect HOST:PORT   join a master started elsewhere (the data\n\
-                 \u{20}       layout, incl. --shards, arrives in the wire config)\n\
+                 \u{20}       layout, incl. --shards and checkpointing, arrives in the wire config)\n\
                  sample  --model FILE.lpz --count N [--gallery FILE.pgm]\n\
                  info    --model FILE.lpz"
             );
@@ -90,7 +103,23 @@ fn cli_config(args: &[String]) -> TrainConfig {
     if flag_present(args, "--mustangs") {
         cfg = cfg.with_mustangs();
     }
+    apply_checkpoint_flags(&mut cfg, args);
     cfg
+}
+
+/// Checkpoint knobs shared by `train`, `launch` and `resume`: cadence, the
+/// target directory, and the pause point. They land in the config — not in
+/// per-host state — so every rank of a distributed run derives the same
+/// checkpoint behavior from the wire config alone.
+fn apply_checkpoint_flags(cfg: &mut TrainConfig, args: &[String]) {
+    if let Some(dir) = flag_value(args, "--checkpoint-dir") {
+        let every: usize =
+            flag_value(args, "--checkpoint-every").and_then(|v| v.parse().ok()).unwrap_or(1);
+        *cfg = cfg.clone().with_checkpoints(dir, every);
+    }
+    if let Some(k) = flag_value(args, "--pause-after").and_then(|v| v.parse().ok()) {
+        *cfg = cfg.clone().with_pause_after(k);
+    }
 }
 
 /// Synthesize the full dataset. Every rank — sequential driver, threaded
@@ -126,6 +155,51 @@ fn cli_make_data(cell: usize, cfg: &TrainConfig) -> Matrix {
 }
 
 fn cmd_train(args: &[String]) -> ExitCode {
+    run_training(cli_config(args), args, None)
+}
+
+/// `resume --from DIR`: restart an interrupted run. The configuration
+/// comes from the directory's manifest (so the resumed run is the *same*
+/// run), the start point is the newest committed cut every cell has, and
+/// the driver/transport/out flags work exactly like `train`'s.
+fn cmd_resume(args: &[String]) -> ExitCode {
+    let Some(from) = flag_value(args, "--from") else {
+        eprintln!("resume requires --from DIR");
+        return ExitCode::FAILURE;
+    };
+    let dir = Path::new(from);
+    let mut cfg = match checkpoint::read_manifest(dir) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("failed to read manifest in {from}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The directory may have been moved since the run was interrupted; the
+    // path on *this* invocation wins. A paused run resumes to completion
+    // unless a new pause point is given.
+    cfg.checkpoint.dir = Some(from.to_string());
+    cfg.checkpoint.pause_after = None;
+    if let Some(k) = flag_value(args, "--pause-after").and_then(|v| v.parse().ok()) {
+        cfg = cfg.with_pause_after(k);
+    }
+    let resume_from = match checkpoint::latest_consistent_iteration(dir, cfg.cells()) {
+        Ok(Some(k)) => k,
+        Ok(None) => {
+            eprintln!("{from} holds no complete checkpoint cut to resume from");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("failed to scan {from}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("resuming from {from} at iteration {resume_from}");
+    run_training(cfg, args, Some(resume_from))
+}
+
+/// Shared driver dispatch behind `train` and `resume`.
+fn run_training(cfg: TrainConfig, args: &[String], resume_from: Option<usize>) -> ExitCode {
     let driver = flag_value(args, "--driver").unwrap_or("sequential").to_string();
     let transport: TransportKind =
         match flag_value(args, "--transport").unwrap_or("in-process").parse() {
@@ -136,11 +210,30 @@ fn cmd_train(args: &[String]) -> ExitCode {
             }
         };
     let out = flag_value(args, "--out").map(PathBuf::from);
-    let cfg = cli_config(args);
 
     if transport == TransportKind::Tcp && driver != "distributed" {
         eprintln!("--transport tcp requires --driver distributed");
         return ExitCode::FAILURE;
+    }
+    if cfg.checkpoint.pause_after.is_some() && !cfg.checkpoint.enabled() {
+        eprintln!("--pause-after without --checkpoint-dir would lose the run; refusing");
+        return ExitCode::FAILURE;
+    }
+
+    // A fresh run into a directory still holding a previous run's
+    // checkpoints must clear them first: a recovery scan only checks
+    // structure, so a structurally compatible stale cut would resurrect
+    // the old run's weights as this run's output.
+    if cfg.checkpoint.enabled() && resume_from.is_none() {
+        let dir = PathBuf::from(cfg.checkpoint.dir.as_deref().expect("enabled has dir"));
+        match checkpoint::clear_stale(&dir, None) {
+            Ok(0) => {}
+            Ok(n) => println!("cleared {n} stale checkpoint file(s) from {}", dir.display()),
+            Err(e) => {
+                eprintln!("clearing stale checkpoints in {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     println!(
@@ -151,12 +244,32 @@ fn cmd_train(args: &[String]) -> ExitCode {
         cfg.training.batches_per_iteration
     );
 
+    // The in-process drivers restore from the states directly; the TCP
+    // driver only forwards the iteration number (each slave process loads
+    // its own cell's file).
+    let resume_states: Option<Vec<CellState>> = match (resume_from, driver.as_str()) {
+        (Some(_), "sequential" | "cluster-sim") => {
+            let dir = cfg.checkpoint.dir.clone().expect("resume has a checkpoint dir");
+            match checkpoint::load_grid_states(Path::new(&dir), &cfg) {
+                Ok((iter, states)) => {
+                    println!("restored {} cells at iteration {iter}", states.len());
+                    Some(states)
+                }
+                Err(e) => {
+                    eprintln!("failed to restore from {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        _ => None,
+    };
+
     let (report, best_model) = match driver.as_str() {
         "sequential" => {
             // Synthesize the dataset once; cells share it (or their shard).
             let full = cli_full_data(&cfg);
-            let mut t = SequentialTrainer::new(&cfg, |cell| cli_slice(&full, &cfg, cell));
-            let report = t.run();
+            let mut t = sequential_trainer(&cfg, &full, resume_states.as_deref());
+            let report = run_sequential_driver(&mut t, &cfg);
             let mut ensembles = t.ensembles();
             let best = ensembles.swap_remove(report.best_cell);
             (report, best)
@@ -164,26 +277,25 @@ fn cmd_train(args: &[String]) -> ExitCode {
         "cluster-sim" => {
             let full = cli_full_data(&cfg);
             let sim = SimulatedCluster::cluster_uy(SimulationOptions::default());
-            let outcome = sim.run(&cfg, |cell| cli_slice(&full, &cfg, cell));
+            let outcome = run_sim_driver(&sim, &cfg, &full, resume_states.as_deref());
             // Rebuild the winning ensemble with a sequential pass (the sim
             // reports fitness; ensembles live in its engines). Bit-identical
             // to the sim's own engines — the drivers agree exactly.
-            let mut t = SequentialTrainer::new(&cfg, |cell| cli_slice(&full, &cfg, cell));
+            let mut t = sequential_trainer(&cfg, &full, resume_states.as_deref());
             t.run();
             let mut ensembles = t.ensembles();
             let best = ensembles.swap_remove(outcome.report.best_cell);
             (outcome.report, best)
         }
         "distributed" => {
+            let opts = DistributedOptions { resume_from, ..DistributedOptions::default() };
             let outcome = match transport {
-                TransportKind::InProcess => lipizzaner::runtime::run_distributed(
-                    &cfg,
-                    cli_make_data,
-                    DistributedOptions::default(),
-                ),
+                TransportKind::InProcess => {
+                    lipizzaner::runtime::run_distributed(&cfg, cli_make_data, opts)
+                }
                 TransportKind::Tcp => {
                     let spawn_slaves = !flag_present(args, "--no-spawn");
-                    match launch_tcp_run(&cfg, flag_value(args, "--bind"), spawn_slaves) {
+                    match launch_tcp_run(&cfg, flag_value(args, "--bind"), spawn_slaves, opts) {
                         Ok(o) => o,
                         Err(e) => {
                             eprintln!("tcp launch failed: {e}");
@@ -221,6 +333,81 @@ fn cmd_train(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Whole-grid trainer over the shared dataset — fresh, or restored from
+/// captured states.
+fn sequential_trainer(
+    cfg: &TrainConfig,
+    full: &Matrix,
+    states: Option<&[CellState]>,
+) -> SequentialTrainer {
+    match states {
+        Some(states) => {
+            SequentialTrainer::from_states(cfg, |cell| cli_slice(full, cfg, cell), states)
+        }
+        None => SequentialTrainer::new(cfg, |cell| cli_slice(full, cfg, cell)),
+    }
+}
+
+/// Write the run manifest and start the async checkpoint writer (the CLI
+/// is the coordinator for the in-process drivers).
+fn start_checkpoint_writer(cfg: &TrainConfig) -> CheckpointWriter {
+    let dir = PathBuf::from(cfg.checkpoint.dir.as_deref().expect("enabled has dir"));
+    checkpoint::write_manifest(&dir, cfg)
+        .unwrap_or_else(|e| fail(&format!("writing checkpoint manifest: {e}")));
+    CheckpointWriter::to_dir(&dir, cfg.cells())
+}
+
+/// Drive the sequential trainer, committing checkpoints on the configured
+/// cadence through the async writer.
+fn run_sequential_driver(t: &mut SequentialTrainer, cfg: &TrainConfig) -> TrainReport {
+    if !cfg.checkpoint.enabled() {
+        return t.run();
+    }
+    let writer = start_checkpoint_writer(cfg);
+    let report = t.run_hooked(|iter, engines| {
+        if cfg.checkpoint.commits_after(iter) {
+            for e in engines.iter_mut() {
+                writer.submit(e.capture_state());
+            }
+        }
+    });
+    writer.finish().unwrap_or_else(|e| fail(&format!("checkpoint commit failed: {e}")));
+    report
+}
+
+/// Drive the virtual cluster, with the same checkpoint semantics as the
+/// sequential driver.
+fn run_sim_driver(
+    sim: &SimulatedCluster,
+    cfg: &TrainConfig,
+    full: &Matrix,
+    resume: Option<&[CellState]>,
+) -> lipizzaner::cluster::SimOutcome {
+    if !cfg.checkpoint.enabled() {
+        return sim.run_resumable(cfg, |cell| cli_slice(full, cfg, cell), resume, |_, _| {});
+    }
+    let writer = start_checkpoint_writer(cfg);
+    let outcome = sim.run_resumable(
+        cfg,
+        |cell| cli_slice(full, cfg, cell),
+        resume,
+        |iter, engines| {
+            if cfg.checkpoint.commits_after(iter) {
+                for e in engines.iter_mut() {
+                    writer.submit(e.capture_state());
+                }
+            }
+        },
+    );
+    writer.finish().unwrap_or_else(|e| fail(&format!("checkpoint commit failed: {e}")));
+    outcome
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1);
+}
+
 /// `launch`: the one-machine TCP recipe — same flags as `train`, forced
 /// onto the distributed driver over the TCP transport. The overrides go
 /// *first*: `flag_value` reads the first occurrence, so a stray `--driver`
@@ -233,44 +420,196 @@ fn cmd_launch(args: &[String]) -> ExitCode {
     cmd_train(&forwarded)
 }
 
+/// A spawned slave OS process with its stderr captured so an abnormal
+/// death can be reported with its cause (not just a heartbeat timeout).
+struct SlaveChild {
+    child: Child,
+    pid: u32,
+    stderr: Arc<Mutex<Vec<u8>>>,
+    drain: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SlaveChild {
+    fn spawn(exe: &Path, master_addr: &str) -> std::io::Result<Self> {
+        let mut cmd = Command::new(exe);
+        // The shard switch, checkpoint settings, and everything else travel
+        // in the wire config, so slaves need no data flags.
+        cmd.arg("slave").arg("--connect").arg(master_addr);
+        // Slaves stay quiet on stdout (the master owns the report); stderr
+        // is captured so an abnormal death can be reported with its cause.
+        cmd.stdout(Stdio::null());
+        cmd.stderr(Stdio::piped());
+        let mut child = cmd.spawn()?;
+        let pid = child.id();
+        let stderr = Arc::new(Mutex::new(Vec::new()));
+        let drain = child.stderr.take().map(|mut pipe| {
+            let sink = Arc::clone(&stderr);
+            std::thread::spawn(move || {
+                let mut chunk = [0u8; 4096];
+                while let Ok(n) = pipe.read(&mut chunk) {
+                    if n == 0 {
+                        break;
+                    }
+                    sink.lock().expect("stderr sink").extend_from_slice(&chunk[..n]);
+                }
+            })
+        });
+        println!("spawned slave pid={pid}");
+        Ok(Self { child, pid, stderr, drain })
+    }
+
+    /// Kill a stranded survivor quietly (it is being cleared for a
+    /// relaunch — its death is ours, not a failure worth reporting).
+    fn kill_quietly(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        if let Some(handle) = self.drain.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Wait for the child; report and return `true` when it died
+    /// abnormally, with its captured stderr.
+    fn reap_report(mut self) -> bool {
+        let status = self.child.wait();
+        if let Some(handle) = self.drain.take() {
+            let _ = handle.join();
+        }
+        match status {
+            Ok(s) if s.success() => false,
+            status => {
+                let cause = match status {
+                    Ok(s) => format!("exit status {s}"),
+                    Err(e) => format!("wait failed: {e}"),
+                };
+                eprintln!("slave pid={} died abnormally ({cause})", self.pid);
+                let captured = self.stderr.lock().expect("stderr sink");
+                if !captured.is_empty() {
+                    let text = String::from_utf8_lossy(&captured);
+                    for line in text.lines().rev().take(12).collect::<Vec<_>>().iter().rev() {
+                        eprintln!("  slave pid={} stderr: {line}", self.pid);
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    fn is_dead(&mut self) -> bool {
+        matches!(self.child.try_wait(), Ok(Some(_)))
+    }
+}
+
+/// How many consecutive missed heartbeat rounds convict a slave when
+/// elastic recovery is armed (~1 s of silence at the default cadence —
+/// generous against scheduler noise, fast against a real death).
+const ELASTIC_DEADLINE_MISSES: usize = 10;
+/// How many recovery relaunches `launch` attempts before giving up.
+const MAX_RECOVERY_ATTEMPTS: usize = 5;
+
 /// Run the master over TCP on this process; with `spawn_slaves`, also
 /// spawn one slave OS process per grid cell (the one-machine recipe). With
 /// `--no-spawn` the master just listens and waits for slaves started by
 /// hand — the multi-machine recipe (`lipizzaner slave --connect HOST:PORT`
 /// on each worker host).
+///
+/// **Elastic recovery:** with spawned slaves *and* checkpointing enabled,
+/// a slave that misses its heartbeat deadline is declared dead; the master
+/// reports the failed rank and the dead process's exit status/stderr,
+/// kills the stranded survivors, respawns a full set of slaves (each
+/// re-ranks through the ordinary TCP handshake), and reruns from the last
+/// committed checkpoint cut — from scratch if none was committed yet.
 fn launch_tcp_run(
     cfg: &TrainConfig,
     bind: Option<&str>,
     spawn_slaves: bool,
-) -> std::io::Result<lipizzaner::runtime::master::MasterOutcome> {
+    base_opts: DistributedOptions,
+) -> std::io::Result<MasterOutcome> {
+    let elastic = spawn_slaves && cfg.checkpoint.enabled();
+    let mut resume_from = base_opts.resume_from;
+    let attempts = if elastic { MAX_RECOVERY_ATTEMPTS } else { 1 };
+
+    // Bound once and cloned per attempt: re-binding an explicit --bind
+    // port right after a recovery shutdown fails with EADDRINUSE (the
+    // closed connections linger in TIME_WAIT and std sets no
+    // SO_REUSEADDR); the original handle keeps the port across relaunches.
     let listener = TcpListener::bind(bind.unwrap_or("127.0.0.1:0"))?;
     let addr = listener.local_addr()?;
-    println!("master listening on {addr}");
 
-    let mut children: Vec<Child> = Vec::new();
-    if spawn_slaves {
-        let exe = std::env::current_exe()?;
-        for _ in 0..cfg.cells() {
-            let mut cmd = Command::new(&exe);
-            // The shard switch (and everything else) travels in the wire
-            // config, so slaves need no data flags.
-            cmd.arg("slave").arg("--connect").arg(addr.to_string());
-            // Slaves stay quiet on stdout (the master owns the report);
-            // their stderr passes through so failures surface.
-            cmd.stdout(Stdio::null());
-            let child = cmd.spawn()?;
-            println!("spawned slave pid={}", child.id());
-            children.push(child);
+    for attempt in 0..attempts {
+        println!("master listening on {addr}");
+
+        let mut children: Vec<SlaveChild> = Vec::new();
+        if spawn_slaves {
+            let exe = std::env::current_exe()?;
+            for _ in 0..cfg.cells() {
+                children.push(SlaveChild::spawn(&exe, &addr.to_string())?);
+            }
+        } else {
+            println!("waiting for {} slaves to connect", cfg.cells());
         }
-    } else {
-        println!("waiting for {} slaves to connect", cfg.cells());
-    }
 
-    let outcome = run_tcp_master(listener, cfg, DistributedOptions::default());
-    for mut child in children {
-        let _ = child.wait();
+        let opts = DistributedOptions {
+            deadline_misses: if elastic { ELASTIC_DEADLINE_MISSES } else { 0 },
+            resume_from,
+            ..base_opts
+        };
+        let run = match run_tcp_master_monitored(listener.try_clone()?, cfg, opts) {
+            Ok(run) => run,
+            Err(bootstrap_err) => {
+                // Bootstrap itself failed (e.g. a slave crashed before
+                // connecting and the accept deadline fired): report any
+                // casualties and clear the rest — never leak live children.
+                for mut child in children {
+                    if child.is_dead() {
+                        child.reap_report();
+                    } else {
+                        child.kill_quietly();
+                    }
+                }
+                return Err(bootstrap_err);
+            }
+        };
+        match run {
+            Ok(outcome) => {
+                for child in children {
+                    child.reap_report();
+                }
+                return Ok(outcome);
+            }
+            Err(abort) => {
+                eprintln!("run aborted: {abort}");
+                // Report the original casualties (already dead before we
+                // intervene) with their exit status and stderr, then clear
+                // the stranded survivors quietly for the relaunch.
+                for mut child in children {
+                    if child.is_dead() {
+                        child.reap_report();
+                    } else {
+                        child.kill_quietly();
+                    }
+                }
+                if attempt + 1 == attempts {
+                    return Err(std::io::Error::other(format!(
+                        "giving up after {attempts} launch attempts: {abort}"
+                    )));
+                }
+                let dir = PathBuf::from(cfg.checkpoint.dir.as_deref().expect("elastic dir"));
+                resume_from = checkpoint::latest_consistent_iteration(&dir, cfg.cells())
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                match resume_from {
+                    Some(k) => {
+                        println!("recovering: respawning slaves, resuming from iteration {k}");
+                    }
+                    None => println!(
+                        "recovering: respawning slaves, restarting from scratch \
+                         (no committed checkpoint yet)"
+                    ),
+                }
+            }
+        }
     }
-    outcome
+    unreachable!("the attempt loop either returns an outcome or errors out")
 }
 
 /// `slave`: join a TCP master, receive the configuration and cell

@@ -1,10 +1,15 @@
 //! Property-based tests (proptest) over the workspace's core data
 //! structures and invariants.
 
-use lipizzaner::core::{Grid, MixtureWeights, NeighborhoodPattern};
+use lipizzaner::core::{
+    CellState, Grid, Individual, MixtureWeights, NeighborhoodPattern, TrainConfig,
+};
+use lipizzaner::data::BatchLoaderState;
 use lipizzaner::mpi::wire::Wire;
-use lipizzaner::nn::{Activation, Mlp};
-use lipizzaner::tensor::{ops, reduce, Matrix, Rng64};
+use lipizzaner::nn::{Activation, AdamState, GanLoss, Mlp};
+use lipizzaner::runtime::checkpoint;
+use lipizzaner::runtime::checkpoint::CellStateMsg;
+use lipizzaner::tensor::{ops, reduce, Matrix, Rng64, Rng64State};
 use proptest::prelude::*;
 
 fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
@@ -191,4 +196,154 @@ proptest! {
         let samples = g.sample(8, &mut rng);
         prop_assert!(samples.as_slice().iter().all(|v| v.abs() <= 1.0));
     }
+
+    // ---- checkpoint codec ----------------------------------------------------
+
+    #[test]
+    fn checkpoint_encoding_round_trips_arbitrary_states_bit_exactly(
+        seed in 0u64..2000,
+        pop in 1usize..7,
+        gen_len in 1usize..40,
+        disc_len in 1usize..40,
+        order_len in 1usize..30,
+    ) {
+        let state = arb_cell_state(seed, pop, gen_len, disc_len, order_len);
+        let bytes = CellStateMsg::from(&state).to_bytes();
+        let back = CellStateMsg::from_bytes(&bytes)
+            .expect("decode")
+            .into_state()
+            .expect("valid loss ids");
+        // Bit-exact: every float compared through its raw bits.
+        prop_assert_eq!(state_bits(&back), state_bits(&state));
+        prop_assert_eq!(back, state);
+    }
+
+    #[test]
+    fn corrupted_checkpoint_files_fail_loudly_never_partially(
+        seed in 0u64..500,
+        cut in 1usize..512,
+        flip_pos in 0usize..512,
+        flip_mask in 1u8..=255,
+    ) {
+        let cfg = TrainConfig::smoke(2);
+        let dir = std::env::temp_dir().join("lipiz_properties_ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut engine = lipizzaner::core::CellEngine::new(0, &cfg, {
+            let mut rng = Rng64::seed_from(cfg.training.data_seed);
+            rng.uniform_matrix(cfg.training.dataset_size, cfg.network.data_dim, -0.9, 0.9)
+        });
+        let state = engine.capture_state();
+        let path = checkpoint::write_cell_state(&dir, &state).expect("write");
+        let original = std::fs::read(&path).unwrap();
+        // The intact file reads back exactly (control).
+        prop_assert_eq!(&checkpoint::read_cell_state(&path, &cfg).expect("control read"), &state);
+
+        // Truncation at any point must fail with a typed error.
+        let cut = cut.min(original.len() - 1);
+        let truncated = dir.join(format!("trunc_{seed}.ckpt"));
+        std::fs::write(&truncated, &original[..cut]).unwrap();
+        prop_assert!(checkpoint::read_cell_state(&truncated, &cfg).is_err());
+
+        // Any single-byte corruption must fail — never a partial restore.
+        let mut flipped = original.clone();
+        let pos = flip_pos % flipped.len();
+        flipped[pos] ^= flip_mask;
+        let corrupt = dir.join(format!("corrupt_{seed}.ckpt"));
+        std::fs::write(&corrupt, &flipped).unwrap();
+        match checkpoint::read_cell_state(&corrupt, &cfg) {
+            Err(_) => {}
+            Ok(back) => {
+                // The flip landed somewhere the frame does not cover only
+                // if it decoded to the *identical* state — anything else is
+                // a partial restore.
+                prop_assert_eq!(back, state.clone(), "corruption restored a different state");
+                prop_assert!(false, "a flipped byte must never read back cleanly");
+            }
+        }
+    }
+}
+
+/// Deterministically build a structurally arbitrary [`CellState`] (sizes
+/// from proptest, contents from a seeded stream, including extreme float
+/// bit patterns — everything except NaN, which has no `==`).
+fn arb_cell_state(
+    seed: u64,
+    pop: usize,
+    gen_len: usize,
+    disc_len: usize,
+    order_len: usize,
+) -> CellState {
+    let mut rng = Rng64::seed_from(seed);
+    let f32_bits = |rng: &mut Rng64| -> f32 {
+        let v = f32::from_bits(rng.next_u64() as u32);
+        if v.is_nan() {
+            f32::MIN_POSITIVE
+        } else {
+            v
+        }
+    };
+    let member = |rng: &mut Rng64, len: usize| Individual {
+        genome: (0..len).map(|_| f32_bits(rng)).collect(),
+        lr: f32_bits(rng),
+        loss: GanLoss::ALL[rng.below(GanLoss::ALL.len())],
+        fitness: if rng.chance(0.1) { f64::INFINITY } else { rng.unit_f64() * 1e9 - 5e8 },
+    };
+    let adam = |rng: &mut Rng64, len: usize| AdamState {
+        m: (0..len).map(|_| f32_bits(rng)).collect(),
+        v: (0..len).map(|_| f32_bits(rng)).collect(),
+        t: rng.next_u64(),
+        beta1: f32_bits(rng),
+        beta2: f32_bits(rng),
+        eps: f32_bits(rng),
+    };
+    let rng_state = |rng: &mut Rng64| Rng64State {
+        words: [rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()],
+        spare_gauss: if rng.chance(0.5) { Some(rng.unit_f64() * 8.0 - 4.0) } else { None },
+    };
+    CellState {
+        cell: rng.below(1024),
+        iteration: rng.below(1 << 20),
+        batch_counter: rng.next_u64(),
+        gen_members: (0..pop).map(|_| member(&mut rng, gen_len)).collect(),
+        disc_members: (0..pop).map(|_| member(&mut rng, disc_len)).collect(),
+        mixture: (0..pop).map(|_| f32_bits(&mut rng)).collect(),
+        adam_g: adam(&mut rng, gen_len),
+        adam_d: adam(&mut rng, disc_len),
+        rng_mutate: rng_state(&mut rng),
+        rng_train: rng_state(&mut rng),
+        rng_mixture: rng_state(&mut rng),
+        loader: BatchLoaderState {
+            order: (0..order_len).map(|_| rng.below(1 << 24)).collect(),
+            cursor: rng.below(order_len + 1),
+            epoch: rng.next_u64(),
+            rng: rng_state(&mut rng),
+        },
+    }
+}
+
+/// Every float in a state as raw bits (so `-0.0` vs `0.0` and subnormal
+/// drift are caught).
+fn state_bits(s: &CellState) -> Vec<u64> {
+    let mut bits = Vec::new();
+    let member = |m: &Individual, bits: &mut Vec<u64>| {
+        bits.extend(m.genome.iter().map(|v| v.to_bits() as u64));
+        bits.push(m.lr.to_bits() as u64);
+        bits.push(m.fitness.to_bits());
+    };
+    for m in s.gen_members.iter().chain(&s.disc_members) {
+        member(m, &mut bits);
+    }
+    bits.extend(s.mixture.iter().map(|v| v.to_bits() as u64));
+    for a in [&s.adam_g, &s.adam_d] {
+        bits.extend(a.m.iter().map(|v| v.to_bits() as u64));
+        bits.extend(a.v.iter().map(|v| v.to_bits() as u64));
+        bits.push(a.beta1.to_bits() as u64);
+        bits.push(a.beta2.to_bits() as u64);
+        bits.push(a.eps.to_bits() as u64);
+    }
+    for r in [&s.rng_mutate, &s.rng_train, &s.rng_mixture, &s.loader.rng] {
+        bits.extend(r.words);
+        bits.push(r.spare_gauss.map_or(0, f64::to_bits));
+    }
+    bits
 }

@@ -42,7 +42,10 @@ fn heartbeat_thread_observes_training_progress() {
     let outcome = run_distributed(
         &cfg,
         |_, cfg| toy_data(cfg),
-        DistributedOptions { heartbeat_interval: Duration::from_millis(2) },
+        DistributedOptions {
+            heartbeat_interval: Duration::from_millis(2),
+            ..DistributedOptions::default()
+        },
     );
     let log = &outcome.heartbeat;
     assert!(!log.is_empty(), "heartbeat thread never ran a round");

@@ -1,0 +1,168 @@
+//! The checkpoint subsystem's proof obligation, in the repo's signature
+//! style: a run checkpointed at iteration `k` and resumed must produce a
+//! **byte-identical `.lpz`** to the uninterrupted run — for every driver.
+//!
+//! Each test invokes the compiled `lipizzaner` binary: a run is interrupted
+//! with `--pause-after k` (stopping at a clean boundary with a committed
+//! checkpoint, exactly the state a crash recovery restores), then restarted
+//! with `lipizzaner resume --from DIR`, and the saved ensemble is compared
+//! byte-for-byte against an uninterrupted sequential reference. Since the
+//! `distributed_process` suite already proves all four drivers agree with
+//! the sequential baseline, matching that one reference closes the square:
+//! interrupt + resume is invisible on every driver.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_lipizzaner");
+/// Per-invocation deadline; a wedged process fails the test, never hangs it.
+const DEADLINE: Duration = Duration::from_secs(60);
+
+/// The shared run shape: 2×2 grid, 4 iterations, interrupted after 2.
+const FLAGS: [&str; 7] = ["--tiny", "--grid", "2", "--iterations", "4", "--batches", "2"];
+const PAUSE_AT: &str = "2";
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("lipiz_resume_equivalence").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test workdir");
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    let mut child = Command::new(BIN)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn lipizzaner binary");
+    let start = Instant::now();
+    loop {
+        match child.try_wait().expect("poll child") {
+            Some(_) => break,
+            None if start.elapsed() > DEADLINE => {
+                let _ = child.kill();
+                let _ = child.wait();
+                panic!("`lipizzaner {}` exceeded the {DEADLINE:?} deadline", args.join(" "));
+            }
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+    let out = child.wait_with_output().expect("collect output");
+    assert!(
+        out.status.success(),
+        "`lipizzaner {}` failed:\n{}\n{}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    out
+}
+
+fn read(path: &Path) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Uninterrupted sequential reference ensemble for the shared run shape.
+fn reference(dir: &Path) -> Vec<u8> {
+    let out = dir.join("reference.lpz");
+    let mut args = vec!["train", "--driver", "sequential", "--out", out.to_str().unwrap()];
+    args.extend_from_slice(&FLAGS);
+    run(&args);
+    read(&out)
+}
+
+/// Interrupt a run of `driver` at iteration `PAUSE_AT` (committing a
+/// checkpoint), resume it with `lipizzaner resume`, and return the resumed
+/// run's ensemble bytes.
+fn interrupt_and_resume(dir: &Path, subcommand: &str, extra: &[&str]) -> Vec<u8> {
+    let ckpt = dir.join("ckpt");
+    let paused = dir.join("paused.lpz");
+    let resumed = dir.join("resumed.lpz");
+
+    let mut pause_args = vec![subcommand];
+    pause_args.extend_from_slice(extra);
+    let ckpt_str = ckpt.to_str().unwrap().to_string();
+    pause_args.extend_from_slice(&[
+        "--checkpoint-dir",
+        &ckpt_str,
+        "--checkpoint-every",
+        "1",
+        "--pause-after",
+        PAUSE_AT,
+        "--out",
+        paused.to_str().unwrap(),
+    ]);
+    pause_args.extend_from_slice(&FLAGS);
+    run(&pause_args);
+
+    // The interruption must be real: a paused 2-iteration ensemble differs
+    // from the full 4-iteration one.
+    assert!(paused.exists(), "paused run saved no ensemble");
+
+    let mut resume_args =
+        vec!["resume", "--from", &ckpt_str, "--out", resumed.to_str().unwrap()];
+    resume_args.extend_from_slice(extra);
+    let out = run(&resume_args);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains(&format!("resuming from {ckpt_str} at iteration {PAUSE_AT}")),
+        "resume did not restart from the pause cut: {stdout}"
+    );
+    read(&resumed)
+}
+
+#[test]
+fn sequential_resume_is_byte_identical() {
+    let dir = workdir("sequential");
+    let reference = reference(&dir);
+    let resumed = interrupt_and_resume(&dir, "train", &["--driver", "sequential"]);
+    assert_eq!(resumed, reference, "sequential: resumed .lpz differs from uninterrupted");
+    // Non-vacuity: the paused half-run really is a different model.
+    assert_ne!(read(&dir.join("paused.lpz")), reference, "pause point did not interrupt");
+}
+
+#[test]
+fn threaded_distributed_resume_is_byte_identical() {
+    let dir = workdir("threaded");
+    let reference = reference(&dir);
+    let resumed = interrupt_and_resume(&dir, "train", &["--driver", "distributed"]);
+    assert_eq!(resumed, reference, "threaded: resumed .lpz differs from uninterrupted");
+}
+
+#[test]
+fn simulated_cluster_resume_is_byte_identical() {
+    let dir = workdir("cluster_sim");
+    let reference = reference(&dir);
+    let resumed = interrupt_and_resume(&dir, "train", &["--driver", "cluster-sim"]);
+    assert_eq!(resumed, reference, "cluster-sim: resumed .lpz differs from uninterrupted");
+}
+
+#[test]
+fn tcp_multi_process_resume_is_byte_identical() {
+    // The full story over real OS processes: `launch` spawns one slave
+    // process per cell, every slave commits its own checkpoints through the
+    // async writer, the run pauses, and a *fresh set of processes* resumes
+    // it — each restoring its cell from disk after re-ranking through the
+    // TCP handshake.
+    let dir = workdir("tcp");
+    let reference = reference(&dir);
+    let resumed = interrupt_and_resume(
+        &dir,
+        "launch",
+        &["--driver", "distributed", "--transport", "tcp"],
+    );
+    assert_eq!(resumed, reference, "tcp: resumed .lpz differs from uninterrupted");
+}
+
+#[test]
+fn resume_refuses_an_empty_directory() {
+    let dir = workdir("empty");
+    std::fs::create_dir_all(dir.join("nothing")).unwrap();
+    let out = Command::new(BIN)
+        .args(["resume", "--from", dir.join("nothing").to_str().unwrap()])
+        .output()
+        .expect("run binary");
+    assert!(!out.status.success(), "resume from an empty dir must fail");
+}
