@@ -16,6 +16,8 @@
 use lipiz_core::CellSnapshot;
 use lipiz_mpi::wire::Wire;
 use lipiz_mpi::{Comm, Universe};
+use lipiz_nn::mlp::Grads;
+use lipiz_nn::{gan, Adam, Discriminator, GanLoss, Generator, NetworkConfig, TrainWorkspace};
 use lipiz_runtime::protocol::SnapshotMsg;
 use lipiz_tensor::{ops, Pool, Rng64};
 use std::hint::black_box;
@@ -101,6 +103,74 @@ fn kernel_benches(entries: &mut Vec<Entry>, reps: usize) {
     }
 }
 
+/// Step-level benchmarks: one full generator / discriminator Adam step at
+/// the paper's Table I shapes (batch 100), through the workspace-reusing
+/// path the training loop actually runs (zero allocations in steady
+/// state), plus the bare Adam update on paper-sized parameter vectors.
+/// These shapes are identical in smoke and full mode (only the repetition
+/// count differs) so `--check` can compare a smoke run against the
+/// committed full-mode baseline.
+fn train_step_benches(entries: &mut Vec<Entry>, reps: usize) {
+    let cfg = NetworkConfig::paper_mnist();
+    let batch = 100usize;
+    let mut rng = Rng64::seed_from(3);
+    let mut g = Generator::new(&cfg, &mut rng);
+    let mut d = Discriminator::new(&cfg, &mut rng);
+    let mut adam_g = Adam::new(g.net.param_count());
+    let mut adam_d = Adam::new(d.net.param_count());
+    let real = rng.uniform_matrix(batch, cfg.data_dim, -0.9, 0.9);
+    let fake = rng.uniform_matrix(batch, cfg.data_dim, -0.9, 0.9);
+    let z = gan::latent_batch(&mut rng, batch, cfg.latent_dim);
+    let mut ws = TrainWorkspace::default();
+    let pool = Pool::serial();
+
+    push(entries, "train_step_serial", format!("generator_b{batch}"), reps, || {
+        black_box(gan::train_generator_step_ws(
+            &mut g,
+            &d,
+            &mut adam_g,
+            black_box(&z),
+            2e-4,
+            GanLoss::Heuristic,
+            &mut ws,
+            &pool,
+        ));
+    });
+    push(entries, "train_step_serial", format!("discriminator_b{batch}"), reps, || {
+        black_box(gan::train_discriminator_step_ws(
+            &mut d,
+            &mut adam_d,
+            black_box(&real),
+            black_box(&fake),
+            2e-4,
+            &mut ws,
+            &pool,
+        ));
+    });
+
+    // Bare Adam update at both paper parameter widths (G: 64→256→256→784,
+    // D: 784→256→256→1). The gradient is fixed; only the update is timed.
+    for (name, n) in [
+        ("generator_params", g.net.param_count()),
+        ("discriminator_params", d.net.param_count()),
+    ] {
+        let mut net_rng = Rng64::seed_from(5);
+        let mut net = if name.starts_with("gen") {
+            Generator::new(&cfg, &mut net_rng).net
+        } else {
+            Discriminator::new(&cfg, &mut net_rng).net
+        };
+        let mut adam = Adam::new(n);
+        let mut grads = Grads::zeros(n);
+        for (i, v) in grads.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i % 17) as f32 - 8.0) * 1e-3;
+        }
+        push(entries, "adam_step", format!("{name}_{n}"), reps.max(4), || {
+            adam.step(&mut net, black_box(&grads), 2e-4);
+        });
+    }
+}
+
 fn communication_benches(entries: &mut Vec<Entry>, reps: usize, smoke: bool) {
     // Paper-scale generator genome unless smoking.
     let genome_len = if smoke { 2_840 } else { 283_920 };
@@ -170,6 +240,98 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Groups whose workload depends on `--smoke` (payload sizes differ between
+/// modes), so a smoke run cannot be compared against the committed
+/// full-mode baseline.
+const MODE_DEPENDENT_GROUPS: &[&str] = &["snapshot", "wire", "allgather"];
+
+/// Regression gate: any baseline group slower by more than this factor
+/// (geometric mean over matching entries) fails the check.
+const CHECK_TOLERANCE: f64 = 1.5;
+
+/// Minimal parser for the file this binary writes (the offline crate set
+/// has no serde_json): extracts `(group, name, ns_per_op)` triples from the
+/// `results` array.
+fn parse_baseline(text: &str) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"group\":") {
+            continue;
+        }
+        let field = |key: &str| -> Option<&str> {
+            let tag = format!("\"{key}\": ");
+            let start = line.find(&tag)? + tag.len();
+            let rest = &line[start..];
+            if let Some(stripped) = rest.strip_prefix('"') {
+                stripped.find('"').map(|end| &stripped[..end])
+            } else {
+                let end = rest.find([',', '}'])?;
+                Some(&rest[..end])
+            }
+        };
+        if let (Some(group), Some(name), Some(ns)) =
+            (field("group"), field("name"), field("ns_per_op"))
+        {
+            if let Ok(ns) = ns.parse::<f64>() {
+                out.push((group.to_string(), name.to_string(), ns));
+            }
+        }
+    }
+    out
+}
+
+/// Compare this run against a committed baseline: for every baseline group
+/// with matching `(group, name)` entries and a mode-independent workload,
+/// the geometric mean ratio `current / baseline` must stay under
+/// [`CHECK_TOLERANCE`]. Returns the offending groups.
+fn check_against_baseline(entries: &[Entry], baseline_path: &str) -> Vec<String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("reading baseline {baseline_path}: {e}"));
+    let baseline = parse_baseline(&text);
+    assert!(!baseline.is_empty(), "baseline {baseline_path} holds no entries");
+    // group -> (sum of log ratios, count)
+    let mut per_group: Vec<(String, f64, usize)> = Vec::new();
+    let mut unmatched = 0usize;
+    for (group, name, base_ns) in &baseline {
+        if MODE_DEPENDENT_GROUPS.contains(&group.as_str()) || *base_ns <= 0.0 {
+            continue;
+        }
+        let Some(cur) = entries.iter().find(|e| e.group == group.as_str() && &e.name == name)
+        else {
+            // A renamed or deleted entry silently dropping out of the gate
+            // would be invisible coverage loss — surface it loudly.
+            println!("check WARNING: baseline entry {group}/{name} has no match in this run");
+            unmatched += 1;
+            continue;
+        };
+        let ratio = cur.ns_per_op / base_ns;
+        match per_group.iter_mut().find(|(g, _, _)| g == group) {
+            Some((_, sum, n)) => {
+                *sum += ratio.ln();
+                *n += 1;
+            }
+            None => per_group.push((group.clone(), ratio.ln(), 1)),
+        }
+    }
+    let mut offenders = Vec::new();
+    for (group, log_sum, n) in per_group {
+        let geomean = (log_sum / n as f64).exp();
+        let verdict = if geomean > CHECK_TOLERANCE { "REGRESSED" } else { "ok" };
+        println!("check {group:<28} {geomean:>6.2}x vs baseline ({n} entries) {verdict}");
+        if geomean > CHECK_TOLERANCE {
+            offenders.push(format!("{group} ({geomean:.2}x)"));
+        }
+    }
+    if unmatched > 0 {
+        offenders.push(format!(
+            "{unmatched} baseline entr{} without a match — regenerate BENCH_kernels.json",
+            if unmatched == 1 { "y" } else { "ies" }
+        ));
+    }
+    offenders
+}
+
 fn write_json(path: &str, entries: &[Entry], smoke: bool) {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out = String::new();
@@ -202,10 +364,25 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let check_path =
+        args.iter().position(|a| a == "--check").and_then(|i| args.get(i + 1)).cloned();
     let reps = if smoke { 2 } else { 8 };
 
     let mut entries = Vec::new();
     kernel_benches(&mut entries, reps);
+    train_step_benches(&mut entries, reps);
     communication_benches(&mut entries, reps, smoke);
     write_json(&out_path, &entries, smoke);
+
+    if let Some(baseline) = check_path {
+        let offenders = check_against_baseline(&entries, &baseline);
+        if !offenders.is_empty() {
+            eprintln!(
+                "kernel regression vs {baseline}: {} (tolerance {CHECK_TOLERANCE}x)",
+                offenders.join(", ")
+            );
+            std::process::exit(1);
+        }
+        println!("check passed: no group regressed more than {CHECK_TOLERANCE}x vs {baseline}");
+    }
 }

@@ -117,20 +117,24 @@ impl SimulatedCluster {
 
         let start_iter = engines.first().map_or(0, |e| e.iterations_done());
         let target = cfg.checkpoint.effective_iterations(cfg.coevolution.iterations);
+        // Recycled snapshot + neighbor fan-out buffers (the virtual clocks
+        // measure host time, so the capture path should stay as cheap as
+        // the real drivers': no genome-sized allocations per iteration).
+        let mut snapshots: Vec<CellSnapshot> = Vec::new();
+        let mut neighbor_scratch: Vec<CellSnapshot> = Vec::new();
         for iter in start_iter..target {
             // --- gather: snapshot, allgather (sync point), ingest -------
-            let mut snapshots: Vec<CellSnapshot> = Vec::with_capacity(cells);
+            snapshots.resize_with(cells, CellSnapshot::empty);
             let mut ready = vec![0.0f64; cells];
             let mut max_bytes = 0usize;
             for (c, engine) in engines.iter_mut().enumerate() {
                 let t0 = Instant::now();
-                let snap = engine.snapshot();
+                engine.snapshot_into(&mut snapshots[c]);
                 let host = t0.elapsed().as_secs_f64();
                 let speed = speed_of(c);
                 clocks[c].advance(host * speed + self.opts.per_iteration_overhead);
                 ready[c] = clocks[c].now();
-                max_bytes = max_bytes.max(snap.wire_size());
-                snapshots.push(snap);
+                max_bytes = max_bytes.max(snapshots[c].wire_size());
             }
             // Allgather: everyone waits for the slowest, then pays the
             // transfer cost.
@@ -152,12 +156,15 @@ impl SimulatedCluster {
 
             // --- compute phases, measured on the host --------------------
             for (c, engine) in engines.iter_mut().enumerate() {
-                let neighbors: Vec<CellSnapshot> =
-                    grid.neighbors(c).into_iter().map(|n| snapshots[n].clone()).collect();
+                let neighbor_ids = grid.neighbors(c);
+                neighbor_scratch.resize_with(neighbor_ids.len(), CellSnapshot::empty);
+                for (slot, n) in neighbor_ids.into_iter().enumerate() {
+                    neighbor_scratch[slot].copy_from(&snapshots[n]);
+                }
                 // Measure this iteration's phases into a scratch profiler,
                 // then charge them (speed-scaled) to the rank clock.
                 let mut scratch = Profiler::new();
-                engine.ingest_neighbors(&neighbors);
+                engine.ingest_neighbors(&neighbor_scratch);
                 scratch.time(Routine::Mutate, || engine.mutate_phase());
                 scratch.time(Routine::Train, || engine.train_phase());
                 scratch.time(Routine::UpdateGenomes, || engine.update_phase());

@@ -8,7 +8,9 @@ use crate::profiling::{Profiler, Routine};
 use crate::resume::CellState;
 use crate::snapshot::CellSnapshot;
 use lipiz_data::BatchLoader;
-use lipiz_nn::{gan, loss, Adam, Discriminator, GanLoss, Generator, NetworkConfig};
+use lipiz_nn::{
+    gan, loss, Adam, Discriminator, GanLoss, Generator, NetworkConfig, TrainWorkspace,
+};
 use lipiz_tensor::{Matrix, Pool, Rng64};
 use std::sync::Arc;
 
@@ -50,6 +52,63 @@ pub struct CellEngine {
     /// Intra-rank worker pool: every matrix product of the iteration —
     /// generation, evaluation, and both backward passes — fans out here.
     pool: Pool,
+    /// Recycled per-cell scratch. Together with the engine's workspace, a
+    /// steady-state iteration performs zero heap allocations — asserted by
+    /// the counting-allocator integration test.
+    scratch: CellScratch,
+}
+
+/// Every recycled buffer of one cell's training iteration, grouped so the
+/// constructors initialize them in exactly one place.
+struct CellScratch {
+    /// Reusable step workspace (forward caches, loss gradients, delta
+    /// ping-pong, gradient accumulators).
+    ws: TrainWorkspace,
+    /// Latent batches (training and evaluation sizes share the buffer).
+    z: Matrix,
+    /// Generated fakes for discriminator steps.
+    fake: Matrix,
+    /// Current real mini-batch.
+    real: Matrix,
+    /// Forward-pass ping-pong scratch for `forward_into`.
+    fwd: Matrix,
+    /// Per-member fake batches of the update phase.
+    fakes: Vec<Matrix>,
+    /// Update-phase logits over the real evaluation batch.
+    logits_real: Matrix,
+    /// Update-phase logits over one fake batch / the blended batch.
+    logits_fake: Matrix,
+    /// Mixture-ES blended evaluation batch.
+    blended: Matrix,
+    /// Per-member fitness accumulators.
+    g_fit: Vec<f64>,
+    d_fit: Vec<f64>,
+    /// Tournament draw buffer.
+    tourney: Vec<usize>,
+    /// Mixture-ES candidate buffer.
+    mixture: MixtureWeights,
+}
+
+impl CellScratch {
+    /// Empty scratch for a cell with `subpop` sub-population members;
+    /// every buffer sizes itself lazily on first use.
+    fn new(subpop: usize) -> Self {
+        Self {
+            ws: TrainWorkspace::default(),
+            z: Matrix::default(),
+            fake: Matrix::default(),
+            real: Matrix::default(),
+            fwd: Matrix::default(),
+            fakes: Vec::new(),
+            logits_real: Matrix::default(),
+            logits_fake: Matrix::default(),
+            blended: Matrix::default(),
+            g_fit: Vec::new(),
+            d_fit: Vec::new(),
+            tourney: Vec::new(),
+            mixture: MixtureWeights::uniform(subpop),
+        }
+    }
 }
 
 impl CellEngine {
@@ -92,9 +151,12 @@ impl CellEngine {
         };
         let imports = cfg.subpopulation_size() - 1;
         let gen_center =
-            Individual::new(gen.net.genome(), cfg.mutation.initial_lr, initial_loss);
-        let disc_center =
-            Individual::new(disc.net.genome(), cfg.mutation.initial_lr, GanLoss::Heuristic);
+            Individual::new(gen.net.genome().to_vec(), cfg.mutation.initial_lr, initial_loss);
+        let disc_center = Individual::new(
+            disc.net.genome().to_vec(),
+            cfg.mutation.initial_lr,
+            GanLoss::Heuristic,
+        );
         let gen_pop = SubPopulation::bootstrap(gen_center, imports);
         let disc_pop = SubPopulation::bootstrap(disc_center, imports);
         let mixture = MixtureWeights::uniform(gen_pop.len());
@@ -102,6 +164,7 @@ impl CellEngine {
         let eval_real = data.slice_rows(0, cfg.training.eval_batch);
         let mut loader_seed = loader_seed_rng;
         let loader = BatchLoader::new(data, cfg.training.batch_size, loader_seed.next_u64());
+        let subpop = gen_pop.len();
 
         Self {
             cell_index,
@@ -125,6 +188,7 @@ impl CellEngine {
             batch_counter: 0,
             iteration: 0,
             pool,
+            scratch: CellScratch::new(subpop),
         }
     }
 
@@ -158,6 +222,7 @@ impl CellEngine {
         let eval_real = data.slice_rows(0, cfg.training.eval_batch);
         let loader =
             BatchLoader::from_state(data, cfg.training.batch_size, state.loader.clone());
+        let subpop = state.gen_members.len();
 
         Self {
             cell_index: state.cell,
@@ -181,6 +246,7 @@ impl CellEngine {
             batch_counter: state.batch_counter,
             iteration: state.iteration,
             pool,
+            scratch: CellScratch::new(subpop),
         }
     }
 
@@ -259,19 +325,28 @@ impl CellEngine {
 
     /// Snapshot of the current center pair for migration to neighbors.
     pub fn snapshot(&mut self) -> CellSnapshot {
+        let mut snap = CellSnapshot::empty();
+        self.snapshot_into(&mut snap);
+        snap
+    }
+
+    /// [`CellEngine::snapshot`] into a recycled snapshot — the
+    /// zero-allocation path the drivers use every iteration (genome buffers
+    /// are reused in place).
+    pub fn snapshot_into(&mut self, out: &mut CellSnapshot) {
         self.sync_center_genomes();
         let g = self.gen_pop.center();
         let d = self.disc_pop.center();
-        CellSnapshot {
-            cell: self.cell_index,
-            gen_genome: g.genome.clone(),
-            gen_lr: g.lr,
-            gen_loss: g.loss,
-            gen_fitness: g.fitness,
-            disc_genome: d.genome.clone(),
-            disc_lr: d.lr,
-            disc_fitness: d.fitness,
-        }
+        out.cell = self.cell_index;
+        out.gen_genome.clear();
+        out.gen_genome.extend_from_slice(&g.genome);
+        out.gen_lr = g.lr;
+        out.gen_loss = g.loss;
+        out.gen_fitness = g.fitness;
+        out.disc_genome.clear();
+        out.disc_genome.extend_from_slice(&d.genome);
+        out.disc_lr = d.lr;
+        out.disc_fitness = d.fitness;
     }
 
     /// Run one full training iteration given this round's neighbor
@@ -307,8 +382,20 @@ impl CellEngine {
             "snapshot count vs neighborhood size"
         );
         for (slot, snap) in neighbors.iter().enumerate() {
-            self.gen_pop.set_import(slot + 1, snap.gen_individual());
-            self.disc_pop.set_import(slot + 1, snap.disc_individual());
+            self.gen_pop.assign_import(
+                slot + 1,
+                &snap.gen_genome,
+                snap.gen_lr,
+                snap.gen_loss,
+                snap.gen_fitness,
+            );
+            self.disc_pop.assign_import(
+                slot + 1,
+                &snap.disc_genome,
+                snap.disc_lr,
+                GanLoss::Heuristic,
+                snap.disc_fitness,
+            );
         }
     }
 
@@ -340,13 +427,25 @@ impl CellEngine {
     /// sub-population adversaries.
     pub fn train_phase(&mut self) {
         for _ in 0..self.cfg.training.batches_per_iteration {
-            let real = self.loader.next_batch();
+            // The real batch lives in a recycled buffer; it is moved out of
+            // `self` for the duration of the steps (a pointer swap, not a
+            // copy) so the step methods can borrow the engine mutably.
+            self.loader.next_batch_into(&mut self.scratch.real);
+            let real = std::mem::take(&mut self.scratch.real);
             match self.cfg.coevolution.adversary {
                 AdversaryStrategy::Tournament(k) => {
-                    let d_idx = self.disc_pop.tournament(&mut self.rng_train, k);
+                    let d_idx = self.disc_pop.tournament_with(
+                        &mut self.rng_train,
+                        k,
+                        &mut self.scratch.tourney,
+                    );
                     self.generator_step(d_idx);
                     if self.should_train_disc() {
-                        let g_idx = self.gen_pop.tournament(&mut self.rng_train, k);
+                        let g_idx = self.gen_pop.tournament_with(
+                            &mut self.rng_train,
+                            k,
+                            &mut self.scratch.tourney,
+                        );
                         self.discriminator_step(g_idx, &real);
                     }
                 }
@@ -361,6 +460,7 @@ impl CellEngine {
                     }
                 }
             }
+            self.scratch.real = real;
             self.batch_counter += 1;
         }
     }
@@ -375,10 +475,11 @@ impl CellEngine {
     /// One generator Adam step against discriminator sub-population member
     /// `d_idx`.
     fn generator_step(&mut self, d_idx: usize) {
-        let z = gan::latent_batch(
+        gan::latent_batch_into(
             &mut self.rng_train,
             self.cfg.training.batch_size,
             self.net_cfg.latent_dim,
+            &mut self.scratch.z,
         );
         let (lr, kind) = {
             let c = self.gen_pop.center();
@@ -390,13 +491,14 @@ impl CellEngine {
             self.scratch_disc.net.load_genome(&self.disc_pop.members()[d_idx].genome);
             &self.scratch_disc
         };
-        gan::train_generator_step_pooled(
+        gan::train_generator_step_ws(
             &mut self.gen,
             adversary,
             &mut self.adam_g,
-            &z,
+            &self.scratch.z,
             lr,
             kind,
+            &mut self.scratch.ws,
             &self.pool,
         );
     }
@@ -404,24 +506,36 @@ impl CellEngine {
     /// One discriminator Adam step against generator sub-population member
     /// `g_idx` using a real batch.
     fn discriminator_step(&mut self, g_idx: usize, real: &Matrix) {
-        let z = gan::latent_batch(
+        gan::latent_batch_into(
             &mut self.rng_train,
             self.cfg.training.batch_size,
             self.net_cfg.latent_dim,
+            &mut self.scratch.z,
         );
-        let fake = if g_idx == 0 {
-            self.gen.generate_pooled(&z, &self.pool)
+        if g_idx == 0 {
+            self.gen.generate_into(
+                &self.scratch.z,
+                &mut self.scratch.fake,
+                &mut self.scratch.fwd,
+                &self.pool,
+            );
         } else {
             self.scratch_gen.net.load_genome(&self.gen_pop.members()[g_idx].genome);
-            self.scratch_gen.generate_pooled(&z, &self.pool)
-        };
+            self.scratch_gen.generate_into(
+                &self.scratch.z,
+                &mut self.scratch.fake,
+                &mut self.scratch.fwd,
+                &self.pool,
+            );
+        }
         let lr = self.disc_pop.center().lr;
-        gan::train_discriminator_step_pooled(
+        gan::train_discriminator_step_ws(
             &mut self.disc,
             &mut self.adam_d,
             real,
-            &fake,
+            &self.scratch.fake,
             lr,
+            &mut self.scratch.ws,
             &self.pool,
         );
     }
@@ -434,36 +548,57 @@ impl CellEngine {
     pub fn update_phase(&mut self) {
         self.sync_center_genomes();
         let s = self.gen_pop.len();
-        let z_eval = gan::latent_batch(
+        gan::latent_batch_into(
             &mut self.rng_train,
             self.cfg.training.eval_batch,
             self.net_cfg.latent_dim,
+            &mut self.scratch.z,
         );
 
-        // Generate each component's fake batch once.
-        let mut fakes: Vec<Matrix> = Vec::with_capacity(s);
+        // Generate each component's fake batch once (recycled buffers).
+        self.scratch.fakes.resize_with(s, Matrix::default);
         for i in 0..s {
             self.scratch_gen.net.load_genome(&self.gen_pop.members()[i].genome);
-            fakes.push(self.scratch_gen.generate_pooled(&z_eval, &self.pool));
+            self.scratch_gen.generate_into(
+                &self.scratch.z,
+                &mut self.scratch.fakes[i],
+                &mut self.scratch.fwd,
+                &self.pool,
+            );
         }
 
         // Pairwise logits: discriminator j scores real batch + all fakes.
-        let mut g_fit = vec![0.0f64; s];
-        let mut d_fit = vec![0.0f64; s];
+        self.scratch.g_fit.clear();
+        self.scratch.g_fit.resize(s, 0.0);
+        self.scratch.d_fit.clear();
+        self.scratch.d_fit.resize(s, 0.0);
         for j in 0..s {
             self.scratch_disc.net.load_genome(&self.disc_pop.members()[j].genome);
-            let z_real = self.scratch_disc.logits_pooled(&self.eval_real, &self.pool);
-            for (i, fake) in fakes.iter().enumerate() {
-                let z_fake = self.scratch_disc.logits_pooled(fake, &self.pool);
-                let (g_loss, _) = loss::g_loss(GanLoss::Heuristic, &z_fake);
-                let (d_loss, _, _) = loss::d_bce_loss(&z_real, &z_fake);
-                g_fit[i] += g_loss as f64 / s as f64;
-                d_fit[j] += d_loss as f64 / s as f64;
+            self.scratch_disc.logits_into(
+                &self.eval_real,
+                &mut self.scratch.logits_real,
+                &mut self.scratch.fwd,
+                &self.pool,
+            );
+            for i in 0..s {
+                self.scratch_disc.logits_into(
+                    &self.scratch.fakes[i],
+                    &mut self.scratch.logits_fake,
+                    &mut self.scratch.fwd,
+                    &self.pool,
+                );
+                let g_loss = loss::g_loss_value(GanLoss::Heuristic, &self.scratch.logits_fake);
+                let d_loss = loss::d_bce_loss_value(
+                    &self.scratch.logits_real,
+                    &self.scratch.logits_fake,
+                );
+                self.scratch.g_fit[i] += g_loss as f64 / s as f64;
+                self.scratch.d_fit[j] += d_loss as f64 / s as f64;
             }
         }
         for i in 0..s {
-            self.gen_pop.members_mut()[i].fitness = g_fit[i];
-            self.disc_pop.members_mut()[i].fitness = d_fit[i];
+            self.gen_pop.members_mut()[i].fitness = self.scratch.g_fit[i];
+            self.disc_pop.members_mut()[i].fitness = self.scratch.d_fit[i];
         }
 
         // Replacement: promote the sub-population best to the center slot.
@@ -481,44 +616,61 @@ impl CellEngine {
         // Mixture-weight evolution ((1+1)-ES, Table I scale 0.01).
         let every = self.cfg.coevolution.mixture_every;
         if every > 0 && (self.iteration + 1).is_multiple_of(every) {
-            self.evolve_mixture(&fakes);
+            self.evolve_mixture();
         }
     }
 
-    /// One ES step on the mixture weights. With an external scorer the
-    /// candidate mixtures are scored by it (e.g. FID); otherwise by how
-    /// well the blended batch fools the center discriminator.
-    fn evolve_mixture(&mut self, fakes: &[Matrix]) {
+    /// One ES step on the mixture weights over the update phase's fake
+    /// batches. With an external scorer the candidate mixtures are scored
+    /// by it (e.g. FID); otherwise by how well the blended batch fools the
+    /// center discriminator.
+    fn evolve_mixture(&mut self) {
         let sigma = self.cfg.coevolution.mixture_sigma;
-        let n = fakes[0].rows();
+        let n = self.scratch.fakes[0].rows();
+        let cols = self.scratch.fakes[0].cols();
         // Pre-draw one component assignment stream per candidate scoring so
         // both candidates see the same randomness (common random numbers).
         let assignment_seed = self.rng_mixture.derive(self.iteration as u64);
         let scorer = self.scorer.clone();
+        let fakes = &self.scratch.fakes;
         let disc = &self.disc;
         let pool = &self.pool;
+        let blended = &mut self.scratch.blended;
+        let logits = &mut self.scratch.logits_fake;
+        let fwd_scratch = &mut self.scratch.fwd;
         let score = |w: &MixtureWeights| -> f64 {
             let mut rng = assignment_seed.clone();
-            let mut blended = Matrix::zeros(n, fakes[0].cols());
+            blended.resize_buffer(n, cols);
             for r in 0..n {
                 let c = w.sample_component(&mut rng);
                 blended.row_mut(r).copy_from_slice(fakes[c].row(r));
             }
             match &scorer {
-                Some(s) => s(&blended),
+                Some(s) => s(blended),
                 None => {
-                    let logits = disc.logits_pooled(&blended, pool);
-                    loss::g_loss(GanLoss::Heuristic, &logits).0 as f64
+                    disc.logits_into(blended, logits, fwd_scratch, pool);
+                    loss::g_loss_value(GanLoss::Heuristic, logits) as f64
                 }
             }
         };
-        self.mixture.es_step(sigma, &mut self.rng_mixture, score);
+        self.mixture.es_step_with(
+            sigma,
+            &mut self.rng_mixture,
+            score,
+            &mut self.scratch.mixture,
+        );
     }
 
-    /// Copy the working center networks back into the population slots.
+    /// Copy the working center networks back into the population slots
+    /// (recycling the center genome buffers — `genome()` is a zero-copy
+    /// borrow of the contiguous parameter storage).
     fn sync_center_genomes(&mut self) {
-        self.gen_pop.center_mut().genome = self.gen.net.genome();
-        self.disc_pop.center_mut().genome = self.disc.net.genome();
+        let c = self.gen_pop.center_mut();
+        c.genome.clear();
+        c.genome.extend_from_slice(self.gen.net.genome());
+        let c = self.disc_pop.center_mut();
+        c.genome.clear();
+        c.genome.extend_from_slice(self.disc.net.genome());
     }
 
     /// The cell's final generative model: its generator sub-population
@@ -612,7 +764,9 @@ mod tests {
         let run_with = |workers: usize| {
             let cfg = TrainConfig::smoke(2).with_workers(workers);
             let data = toy_data(&cfg);
-            let mut e = CellEngine::new(0, &cfg, data);
+            // Uncapped pool: the chunked kernel paths must be exercised
+            // even when the test host has fewer cores than `workers`.
+            let mut e = CellEngine::with_pool(0, &cfg, data, Pool::uncapped(workers));
             let snaps = neighbor_snaps(&mut e, 4);
             let mut prof = Profiler::new();
             e.run_iteration(&snaps, &mut prof);

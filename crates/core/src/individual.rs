@@ -98,6 +98,29 @@ impl SubPopulation {
         self.members[slot] = ind;
     }
 
+    /// [`SubPopulation::set_import`] from borrowed fields, recycling the
+    /// slot's genome buffer — the gather phase's zero-allocation path
+    /// (steady-state imports always have the same genome length).
+    ///
+    /// # Panics
+    /// Panics when writing slot 0 or out of range.
+    pub fn assign_import(
+        &mut self,
+        slot: usize,
+        genome: &[f32],
+        lr: f32,
+        loss: GanLoss,
+        fitness: f64,
+    ) {
+        assert!(slot >= 1 && slot < self.members.len(), "import slot out of range");
+        let m = &mut self.members[slot];
+        m.genome.clear();
+        m.genome.extend_from_slice(genome);
+        m.lr = lr;
+        m.loss = loss;
+        m.fitness = fitness;
+    }
+
     /// Index of the best (lowest-fitness) member.
     pub fn best_index(&self) -> usize {
         self.members
@@ -116,11 +139,28 @@ impl SubPopulation {
     /// # Panics
     /// Panics if `k == 0`.
     pub fn tournament(&self, rng: &mut Rng64, k: usize) -> usize {
+        let mut scratch = Vec::new();
+        self.tournament_with(rng, k, &mut scratch)
+    }
+
+    /// [`SubPopulation::tournament`] with a recycled draw buffer — same
+    /// RNG draws, same winner, zero allocations once `scratch` has
+    /// capacity for the sub-population.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn tournament_with(
+        &self,
+        rng: &mut Rng64,
+        k: usize,
+        scratch: &mut Vec<usize>,
+    ) -> usize {
         assert!(k > 0, "tournament size must be positive");
         let k = k.min(self.members.len());
-        let contenders = rng.sample_distinct(self.members.len(), k);
-        contenders
-            .into_iter()
+        rng.sample_distinct_with(self.members.len(), k, scratch);
+        scratch
+            .iter()
+            .copied()
             .min_by(|&a, &b| {
                 self.members[a]
                     .fitness

@@ -73,8 +73,24 @@ impl MixtureWeights {
     /// Gaussian-mutated copy: `w'_i = max(0, w_i + N(0, sigma))`,
     /// renormalized (Table I: sigma = 0.01).
     pub fn mutate(&self, sigma: f32, rng: &mut Rng64) -> Self {
-        let raw: Vec<f32> = self.w.iter().map(|&v| v + rng.normal(0.0, sigma)).collect();
-        Self::from_raw(&raw)
+        let mut out = Self::uniform(self.w.len());
+        self.mutate_into(sigma, rng, &mut out);
+        out
+    }
+
+    /// [`MixtureWeights::mutate`] into a recycled instance — identical
+    /// draws and identical clamp/renormalize arithmetic, zero allocations
+    /// once `out` has capacity.
+    pub fn mutate_into(&self, sigma: f32, rng: &mut Rng64, out: &mut MixtureWeights) {
+        out.w.clear();
+        out.w.extend(self.w.iter().map(|&v| (v + rng.normal(0.0, sigma)).max(0.0)));
+        let sum: f32 = out.w.iter().sum();
+        if sum <= f32::EPSILON {
+            let n = out.w.len();
+            out.w.iter_mut().for_each(|v| *v = 1.0 / n as f32);
+        } else {
+            out.w.iter_mut().for_each(|v| *v /= sum);
+        }
     }
 
     /// Draw a component index according to the weights.
@@ -96,13 +112,27 @@ impl MixtureWeights {
         &mut self,
         sigma: f32,
         rng: &mut Rng64,
-        mut score: impl FnMut(&MixtureWeights) -> f64,
+        score: impl FnMut(&MixtureWeights) -> f64,
     ) -> bool {
-        let mutant = self.mutate(sigma, rng);
+        let mut scratch = MixtureWeights::uniform(self.w.len());
+        self.es_step_with(sigma, rng, score, &mut scratch)
+    }
+
+    /// [`MixtureWeights::es_step`] with a recycled candidate buffer — the
+    /// zero-allocation path of the per-iteration mixture evolution. An
+    /// accepted mutant is swapped in (no copy, no allocation).
+    pub fn es_step_with(
+        &mut self,
+        sigma: f32,
+        rng: &mut Rng64,
+        mut score: impl FnMut(&MixtureWeights) -> f64,
+        scratch: &mut MixtureWeights,
+    ) -> bool {
+        self.mutate_into(sigma, rng, scratch);
         let current_score = score(self);
-        let mutant_score = score(&mutant);
+        let mutant_score = score(scratch);
         if mutant_score < current_score {
-            *self = mutant;
+            std::mem::swap(&mut self.w, &mut scratch.w);
             true
         } else {
             false
@@ -266,8 +296,8 @@ mod tests {
     fn ensemble_samples_have_data_shape() {
         let mut rng = Rng64::seed_from(5);
         let cfg = NetworkConfig::tiny(12);
-        let g1 = Generator::new(&cfg, &mut rng).net.genome();
-        let g2 = Generator::new(&cfg, &mut rng).net.genome();
+        let g1 = Generator::new(&cfg, &mut rng).net.genome().to_vec();
+        let g2 = Generator::new(&cfg, &mut rng).net.genome().to_vec();
         let model = EnsembleModel::new(cfg, vec![g1, g2], MixtureWeights::uniform(2));
         let samples = model.sample(9, &mut rng);
         assert_eq!(samples.shape(), (9, 12));
@@ -279,8 +309,8 @@ mod tests {
     fn ensemble_with_one_dead_component_still_samples() {
         let mut rng = Rng64::seed_from(6);
         let cfg = NetworkConfig::tiny(8);
-        let g1 = Generator::new(&cfg, &mut rng).net.genome();
-        let g2 = Generator::new(&cfg, &mut rng).net.genome();
+        let g1 = Generator::new(&cfg, &mut rng).net.genome().to_vec();
+        let g2 = Generator::new(&cfg, &mut rng).net.genome().to_vec();
         let model =
             EnsembleModel::new(cfg, vec![g1, g2], MixtureWeights::from_raw(&[1.0, 0.0]));
         let samples = model.sample(5, &mut rng);

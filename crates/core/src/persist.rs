@@ -176,7 +176,7 @@ mod tests {
         let cfg = NetworkConfig::tiny(12);
         let mut rng = Rng64::seed_from(3);
         let genomes: Vec<Vec<f32>> =
-            (0..3).map(|_| Generator::new(&cfg, &mut rng).net.genome()).collect();
+            (0..3).map(|_| Generator::new(&cfg, &mut rng).net.genome().to_vec()).collect();
         EnsembleModel::new(cfg, genomes, MixtureWeights::from_raw(&[0.5, 0.3, 0.2]))
     }
 

@@ -25,6 +25,11 @@ pub struct SequentialTrainer {
     cfg: TrainConfig,
     engines: Vec<CellEngine>,
     profiler: Profiler,
+    /// Recycled per-cell center snapshots (the sequential "allgather"
+    /// buffer) — genome buffers are reused across iterations.
+    snapshots: Vec<CellSnapshot>,
+    /// Recycled neighbor fan-out buffer.
+    neighbor_scratch: Vec<CellSnapshot>,
 }
 
 impl SequentialTrainer {
@@ -39,7 +44,14 @@ impl SequentialTrainer {
         let engines = (0..grid.cell_count())
             .map(|i| CellEngine::with_pool(i, cfg, make_data(i), pool.clone()))
             .collect();
-        Self { grid, cfg: cfg.clone(), engines, profiler: Profiler::new() }
+        Self {
+            grid,
+            cfg: cfg.clone(),
+            engines,
+            profiler: Profiler::new(),
+            snapshots: Vec::new(),
+            neighbor_scratch: Vec::new(),
+        }
     }
 
     /// Rebuild a whole-grid trainer from captured per-cell states (flat
@@ -64,7 +76,14 @@ impl SequentialTrainer {
             .enumerate()
             .map(|(i, s)| CellEngine::from_state(cfg, make_data(i), pool.clone(), s))
             .collect();
-        Self { grid, cfg: cfg.clone(), engines, profiler: Profiler::new() }
+        Self {
+            grid,
+            cfg: cfg.clone(),
+            engines,
+            profiler: Profiler::new(),
+            snapshots: Vec::new(),
+            neighbor_scratch: Vec::new(),
+        }
     }
 
     /// Capture every cell's full training state (flat grid order), for the
@@ -101,16 +120,23 @@ impl SequentialTrainer {
     pub fn run_one_iteration(&mut self) {
         // Snapshot every center first (the sequential "allgather"). The
         // snapshot cost is charged to the gather routine, exactly like the
-        // distributed version charges its allgather.
+        // distributed version charges its allgather. Snapshot and fan-out
+        // buffers are recycled across iterations: steady state performs no
+        // genome-sized allocation anywhere in the driver loop.
         let start = Instant::now();
-        let snapshots: Vec<CellSnapshot> =
-            self.engines.iter_mut().map(|e| e.snapshot()).collect();
+        self.snapshots.resize_with(self.engines.len(), CellSnapshot::empty);
+        for (e, snap) in self.engines.iter_mut().zip(&mut self.snapshots) {
+            e.snapshot_into(snap);
+        }
         self.profiler.record(Routine::Gather, start.elapsed());
 
         for idx in 0..self.engines.len() {
-            let neighbor_snaps: Vec<CellSnapshot> =
-                self.grid.neighbors(idx).into_iter().map(|n| snapshots[n].clone()).collect();
-            self.engines[idx].run_iteration(&neighbor_snaps, &mut self.profiler);
+            let neighbors = self.grid.neighbors(idx);
+            self.neighbor_scratch.resize_with(neighbors.len(), CellSnapshot::empty);
+            for (slot, n) in neighbors.into_iter().enumerate() {
+                self.neighbor_scratch[slot].copy_from(&self.snapshots[n]);
+            }
+            self.engines[idx].run_iteration(&self.neighbor_scratch, &mut self.profiler);
         }
     }
 

@@ -31,6 +31,37 @@ pub struct CellSnapshot {
 }
 
 impl CellSnapshot {
+    /// An empty snapshot shell for recycled buffers (filled by
+    /// `CellEngine::snapshot_into` or [`CellSnapshot::copy_from`]).
+    pub fn empty() -> Self {
+        Self {
+            cell: 0,
+            gen_genome: Vec::new(),
+            gen_lr: 0.0,
+            gen_loss: GanLoss::Heuristic,
+            gen_fitness: 0.0,
+            disc_genome: Vec::new(),
+            disc_lr: 0.0,
+            disc_fitness: 0.0,
+        }
+    }
+
+    /// Overwrite `self` with `src`, reusing both genome buffers — the
+    /// zero-allocation analogue of `clone` for snapshot fan-out in the
+    /// drivers.
+    pub fn copy_from(&mut self, src: &CellSnapshot) {
+        self.cell = src.cell;
+        self.gen_genome.clear();
+        self.gen_genome.extend_from_slice(&src.gen_genome);
+        self.gen_lr = src.gen_lr;
+        self.gen_loss = src.gen_loss;
+        self.gen_fitness = src.gen_fitness;
+        self.disc_genome.clear();
+        self.disc_genome.extend_from_slice(&src.disc_genome);
+        self.disc_lr = src.disc_lr;
+        self.disc_fitness = src.disc_fitness;
+    }
+
     /// Serialized payload size in bytes (used by the comm cost model):
     /// 4 bytes per f32 plus fixed header fields.
     pub fn wire_size(&self) -> usize {

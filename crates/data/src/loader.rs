@@ -32,6 +32,9 @@ pub struct BatchLoader {
     cursor: usize,
     epoch: u64,
     rng: Rng64,
+    /// Recycled index buffer for batch assembly (not part of the state —
+    /// purely scratch).
+    idx_scratch: Vec<usize>,
 }
 
 impl BatchLoader {
@@ -44,7 +47,7 @@ impl BatchLoader {
         assert!(data.rows() > 0, "empty dataset");
         let mut rng = Rng64::seed_from(seed);
         let order = rng.permutation(data.rows());
-        Self { data, batch_size, order, cursor: 0, epoch: 0, rng }
+        Self { data, batch_size, order, cursor: 0, epoch: 0, rng, idx_scratch: Vec::new() }
     }
 
     /// Capture the loader's cursor state (see [`BatchLoaderState`]).
@@ -91,6 +94,7 @@ impl BatchLoader {
             cursor: state.cursor,
             epoch: state.epoch,
             rng: Rng64::from_state(state.rng),
+            idx_scratch: Vec::new(),
         }
     }
 
@@ -122,19 +126,36 @@ impl BatchLoader {
 
     /// Next mini-batch of exactly `batch_size` rows.
     pub fn next_batch(&mut self) -> Matrix {
+        let mut out = Matrix::default();
+        self.next_batch_into(&mut out);
+        out
+    }
+
+    /// [`BatchLoader::next_batch`] into a recycled buffer — identical batch
+    /// stream (same shuffle draws, same rows), zero heap allocations once
+    /// `out` and the internal scratch have warmed up. The epoch reshuffle
+    /// refills the standing permutation in place.
+    pub fn next_batch_into(&mut self, out: &mut Matrix) {
         let n = self.data.rows();
-        let mut indices = Vec::with_capacity(self.batch_size);
-        while indices.len() < self.batch_size {
+        self.idx_scratch.clear();
+        while self.idx_scratch.len() < self.batch_size {
             if self.cursor >= n {
-                self.order = self.rng.permutation(n);
+                // In-place reshuffle: refill 0..n, then the same
+                // Fisher-Yates draws `Rng64::permutation` performs.
+                self.order.clear();
+                self.order.extend(0..n);
+                self.rng.shuffle(&mut self.order);
                 self.cursor = 0;
                 self.epoch += 1;
             }
-            let take = (self.batch_size - indices.len()).min(n - self.cursor);
-            indices.extend_from_slice(&self.order[self.cursor..self.cursor + take]);
+            let take = (self.batch_size - self.idx_scratch.len()).min(n - self.cursor);
+            self.idx_scratch.extend_from_slice(&self.order[self.cursor..self.cursor + take]);
             self.cursor += take;
         }
-        self.data.gather_rows(&indices)
+        out.resize_buffer(self.batch_size, self.data.cols());
+        for (i, &idx) in self.idx_scratch.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.data.row(idx));
+        }
     }
 
     /// A fixed evaluation batch: the first `n` rows in storage order

@@ -1,6 +1,6 @@
 //! Elementwise activation functions.
 
-use lipiz_tensor::Matrix;
+use lipiz_tensor::{ActKind, Matrix};
 
 /// Activation functions supported by [`crate::mlp::Mlp`].
 ///
@@ -22,16 +22,23 @@ pub enum Activation {
 }
 
 impl Activation {
-    /// Apply the activation to every element of `m` in place.
-    pub fn apply_inplace(&self, m: &mut Matrix) {
+    /// The tensor-level activation kind the fused kernel epilogues apply.
+    /// Fused and unfused paths share this one scalar implementation per
+    /// function, which is what makes them bit-equal by construction.
+    #[inline]
+    pub fn kind(&self) -> ActKind {
         match *self {
-            Activation::Tanh => m.map_inplace(|v| v.tanh()),
-            Activation::Sigmoid => m.map_inplace(sigmoid),
-            Activation::LeakyRelu(slope) => {
-                m.map_inplace(move |v| if v >= 0.0 { v } else { slope * v })
-            }
-            Activation::Identity => {}
+            Activation::Tanh => ActKind::Tanh,
+            Activation::Sigmoid => ActKind::Sigmoid,
+            Activation::LeakyRelu(slope) => ActKind::LeakyRelu(slope),
+            Activation::Identity => ActKind::Identity,
         }
+    }
+
+    /// Apply the activation to every element of `m` in place (vectorized
+    /// slice kernel; bit-identical to an elementwise [`ActKind::apply`]).
+    pub fn apply_inplace(&self, m: &mut Matrix) {
+        lipiz_tensor::ops::apply_act(self.kind(), m.as_mut_slice());
     }
 
     /// Multiply `delta` in place by the activation derivative, evaluated from
@@ -71,16 +78,11 @@ impl Activation {
     }
 }
 
-/// Numerically stable logistic sigmoid.
+/// Numerically stable logistic sigmoid (shared with the tensor crate's
+/// fused kernel epilogues — one implementation, bit-equal everywhere).
 #[inline]
 pub fn sigmoid(z: f32) -> f32 {
-    if z >= 0.0 {
-        let e = (-z).exp();
-        1.0 / (1.0 + e)
-    } else {
-        let e = z.exp();
-        e / (1.0 + e)
-    }
+    lipiz_tensor::ops::sigmoid(z)
 }
 
 /// Numerically stable softplus `ln(1 + e^z)`.

@@ -114,22 +114,156 @@ impl Adam {
     /// # Panics
     /// Panics if the gradient length does not match this state's width.
     pub fn step(&mut self, net: &mut Mlp, grads: &Grads, lr: f32) {
-        let g = grads.as_slice();
-        assert_eq!(g.len(), self.m.len(), "Adam width mismatch");
-        self.t += 1;
-        let b1t = 1.0 - self.beta1.powi(self.t as i32);
-        let b2t = 1.0 - self.beta2.powi(self.t as i32);
-        let (beta1, beta2, eps) = (self.beta1, self.beta2, self.eps);
-        let (m, v) = (&mut self.m, &mut self.v);
-        net.visit_params_mut(|i, p| {
-            let gi = g[i];
-            m[i] = beta1 * m[i] + (1.0 - beta1) * gi;
-            v[i] = beta2 * v[i] + (1.0 - beta2) * gi * gi;
-            let mhat = m[i] / b1t;
-            let vhat = v[i] / b2t;
-            *p -= lr * mhat / (vhat.sqrt() + eps);
-        });
+        self.step_slice(net.params_mut(), grads.as_slice(), lr);
     }
+
+    /// The update itself, over a flat parameter slice — the network's
+    /// contiguous genome storage makes the whole optimizer one pass over
+    /// three parallel slices, dispatched to an AVX2 mul/add micro-kernel
+    /// when the host supports it (bit-identical to the scalar loop: every
+    /// lane performs the same individually rounded IEEE operations,
+    /// including the correctly rounded `vsqrtps`/`vdivps`).
+    ///
+    /// # Panics
+    /// Panics if `params`/`g` lengths do not match this state's width.
+    pub fn step_slice(&mut self, params: &mut [f32], g: &[f32], lr: f32) {
+        assert_eq!(g.len(), self.m.len(), "Adam width mismatch");
+        assert_eq!(params.len(), self.m.len(), "Adam width mismatch");
+        self.t += 1;
+        let c = UpdateCoeffs {
+            beta1: self.beta1,
+            beta2: self.beta2,
+            b1t: 1.0 - self.beta1.powi(self.t as i32),
+            b2t: 1.0 - self.beta2.powi(self.t as i32),
+            eps: self.eps,
+            lr,
+        };
+        update_dispatch(params, g, &mut self.m, &mut self.v, &c);
+    }
+}
+
+/// Per-step constants of the Adam update rule.
+#[derive(Clone, Copy)]
+struct UpdateCoeffs {
+    beta1: f32,
+    beta2: f32,
+    /// `1 - β₁ᵗ` (first-moment bias correction).
+    b1t: f32,
+    /// `1 - β₂ᵗ` (second-moment bias correction).
+    b2t: f32,
+    eps: f32,
+    lr: f32,
+}
+
+/// Pick the widest update kernel the host supports.
+fn update_dispatch(
+    params: &mut [f32],
+    g: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    c: &UpdateCoeffs,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the detection macro asserts AVX2 support at runtime.
+        unsafe { update_avx2(params, g, m, v, c) };
+        return;
+    }
+    update_scalar(params, g, m, v, c);
+}
+
+/// Portable scalar update — the reference the vector kernel is
+/// property-tested against. One fused pass:
+/// `m ← β₁m + (1-β₁)g`, `v ← β₂v + (1-β₂)g·g`,
+/// `p ← p - lr·(m/b1t) / (√(v/b2t) + ε)`.
+fn update_scalar(
+    params: &mut [f32],
+    g: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    c: &UpdateCoeffs,
+) {
+    for i in 0..params.len() {
+        let gi = g[i];
+        m[i] = c.beta1 * m[i] + (1.0 - c.beta1) * gi;
+        v[i] = c.beta2 * v[i] + (1.0 - c.beta2) * gi * gi;
+        let mhat = m[i] / c.b1t;
+        let vhat = v[i] / c.b2t;
+        params[i] -= c.lr * mhat / (vhat.sqrt() + c.eps);
+    }
+}
+
+/// AVX2 update: eight lanes per iteration, separate `vmulps`/`vaddps`
+/// (never FMA) plus IEEE-correct `vsqrtps`/`vdivps`, so every lane computes
+/// exactly what [`update_scalar`] computes. Note the `(1-β₂)·g·g` term is
+/// associated left-to-right exactly like the scalar expression — the
+/// rounding of `((1-β₂)·g)·g` and `(1-β₂)·(g·g)` can differ.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn update_avx2(
+    params: &mut [f32],
+    g: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    c: &UpdateCoeffs,
+) {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_div_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps,
+        _mm256_sqrt_ps, _mm256_storeu_ps, _mm256_sub_ps,
+    };
+    let n = params.len();
+    let lanes = n / 8 * 8;
+    let b1 = _mm256_set1_ps(c.beta1);
+    let one_m_b1 = _mm256_set1_ps(1.0 - c.beta1);
+    let b2 = _mm256_set1_ps(c.beta2);
+    let one_m_b2 = _mm256_set1_ps(1.0 - c.beta2);
+    let inv1 = _mm256_set1_ps(c.b1t);
+    let inv2 = _mm256_set1_ps(c.b2t);
+    let eps = _mm256_set1_ps(c.eps);
+    let lr = _mm256_set1_ps(c.lr);
+    let (pp, gp, mp, vp) = (params.as_mut_ptr(), g.as_ptr(), m.as_mut_ptr(), v.as_mut_ptr());
+    let mut i = 0;
+    while i < lanes {
+        let gv = _mm256_loadu_ps(gp.add(i));
+        let mv = _mm256_add_ps(
+            _mm256_mul_ps(b1, _mm256_loadu_ps(mp.add(i))),
+            _mm256_mul_ps(one_m_b1, gv),
+        );
+        // ((1-β₂)·g)·g — same association as the scalar path.
+        let vv = _mm256_add_ps(
+            _mm256_mul_ps(b2, _mm256_loadu_ps(vp.add(i))),
+            _mm256_mul_ps(_mm256_mul_ps(one_m_b2, gv), gv),
+        );
+        _mm256_storeu_ps(mp.add(i), mv);
+        _mm256_storeu_ps(vp.add(i), vv);
+        let mhat = _mm256_div_ps(mv, inv1);
+        let vhat = _mm256_div_ps(vv, inv2);
+        let denom = _mm256_add_ps(_mm256_sqrt_ps(vhat), eps);
+        let step = _mm256_div_ps(_mm256_mul_ps(lr, mhat), denom);
+        _mm256_storeu_ps(pp.add(i), _mm256_sub_ps(_mm256_loadu_ps(pp.add(i)), step));
+        i += 8;
+    }
+    if lanes < n {
+        update_scalar(&mut params[lanes..], &g[lanes..], &mut m[lanes..], &mut v[lanes..], c);
+    }
+}
+
+/// Scalar reference step, exposed for the vector-vs-scalar property tests:
+/// performs exactly one [`Adam::step_slice`] worth of state mutation using
+/// only the portable loop, regardless of host features.
+pub fn step_slice_scalar(adam: &mut Adam, params: &mut [f32], g: &[f32], lr: f32) {
+    assert_eq!(g.len(), adam.m.len(), "Adam width mismatch");
+    assert_eq!(params.len(), adam.m.len(), "Adam width mismatch");
+    adam.t += 1;
+    let c = UpdateCoeffs {
+        beta1: adam.beta1,
+        beta2: adam.beta2,
+        b1t: 1.0 - adam.beta1.powi(adam.t as i32),
+        b2t: 1.0 - adam.beta2.powi(adam.t as i32),
+        eps: adam.eps,
+        lr,
+    };
+    update_scalar(params, g, &mut adam.m, &mut adam.v, &c);
 }
 
 #[cfg(test)]
@@ -177,14 +311,14 @@ mod tests {
         let mut rng = Rng64::seed_from(7);
         let mut net =
             Mlp::from_dims(&[2, 2], Activation::Identity, Activation::Identity, &mut rng);
-        let before = net.genome();
+        let before = net.genome().to_vec();
         let mut grads = Grads::zeros(net.param_count());
         for (i, g) in grads.as_mut_slice().iter_mut().enumerate() {
             *g = if i % 2 == 0 { 1.0 } else { -1.0 };
         }
         let mut adam = Adam::new(net.param_count());
         adam.step(&mut net, &grads, 0.1);
-        let after = net.genome();
+        let after = net.genome().to_vec();
         for i in 0..before.len() {
             let moved = after[i] - before[i];
             let expected_sign = if i % 2 == 0 { -1.0 } else { 1.0 };
@@ -200,11 +334,11 @@ mod tests {
     fn zero_gradient_keeps_params() {
         let mut rng = Rng64::seed_from(8);
         let mut net = Mlp::from_dims(&[3, 3], Activation::Tanh, Activation::Identity, &mut rng);
-        let before = net.genome();
+        let before = net.genome().to_vec();
         let grads = Grads::zeros(net.param_count());
         let mut adam = Adam::new(net.param_count());
         adam.step(&mut net, &grads, 0.1);
-        let after = net.genome();
+        let after = net.genome().to_vec();
         for (b, a) in before.iter().zip(&after) {
             assert!((b - a).abs() < 1e-6);
         }
@@ -253,7 +387,7 @@ mod tests {
             step(&mut net, &mut adam);
             step(&mut net2, &mut adam2);
         }
-        let (a, b) = (net.genome(), net2.genome());
+        let (a, b) = (net.genome().to_vec(), net2.genome().to_vec());
         assert_eq!(
             a.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
             b.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),

@@ -51,6 +51,6 @@ pub mod mlp;
 
 pub use activation::Activation;
 pub use adam::{Adam, AdamState};
-pub use gan::{Discriminator, Gan, Generator, NetworkConfig};
+pub use gan::{Discriminator, Gan, Generator, NetworkConfig, TrainWorkspace};
 pub use loss::GanLoss;
-pub use mlp::{LayerSpec, Mlp};
+pub use mlp::{DeltaScratch, Grads, LayerCache, LayerSpec, Mlp};

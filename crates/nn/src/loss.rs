@@ -64,22 +64,52 @@ impl GanLoss {
 /// `(loss, d_z_real, d_z_fake)` where the gradients are already divided by
 /// the respective batch sizes (mean reduction).
 pub fn d_bce_loss(z_real: &Matrix, z_fake: &Matrix) -> (f32, Matrix, Matrix) {
+    let mut d_real = Matrix::default();
+    let mut d_fake = Matrix::default();
+    let loss = d_bce_loss_into(z_real, z_fake, &mut d_real, &mut d_fake);
+    (loss, d_real, d_fake)
+}
+
+/// [`d_bce_loss`] into recycled gradient buffers (the zero-allocation path
+/// of the training loop). Same values, bit for bit.
+pub fn d_bce_loss_into(
+    z_real: &Matrix,
+    z_fake: &Matrix,
+    d_real: &mut Matrix,
+    d_fake: &mut Matrix,
+) -> f32 {
     let mr = z_real.rows().max(1) as f32;
     let mf = z_fake.rows().max(1) as f32;
     let mut loss = 0.0f32;
-    let mut d_real = z_real.clone();
+    d_real.copy_from(z_real);
     for v in d_real.as_mut_slice() {
         let z = *v;
         loss += softplus(-z) / mr; // -log σ(z)
         *v = (sigmoid(z) - 1.0) / mr;
     }
-    let mut d_fake = z_fake.clone();
+    d_fake.copy_from(z_fake);
     for v in d_fake.as_mut_slice() {
         let z = *v;
         loss += softplus(z) / mf; // -log(1 - σ(z))
         *v = sigmoid(z) / mf;
     }
-    (loss, d_real, d_fake)
+    loss
+}
+
+/// The loss value of [`d_bce_loss`] without materializing the gradients —
+/// the fitness-evaluation path (identical accumulation order, so the value
+/// matches the gradient-producing version bit for bit).
+pub fn d_bce_loss_value(z_real: &Matrix, z_fake: &Matrix) -> f32 {
+    let mr = z_real.rows().max(1) as f32;
+    let mf = z_fake.rows().max(1) as f32;
+    let mut loss = 0.0f32;
+    for &z in z_real.as_slice() {
+        loss += softplus(-z) / mr;
+    }
+    for &z in z_fake.as_slice() {
+        loss += softplus(z) / mf;
+    }
+    loss
 }
 
 /// Discriminator least-squares loss (ablation option): probabilities are
@@ -107,9 +137,17 @@ pub fn d_ls_loss(z_real: &Matrix, z_fake: &Matrix) -> (f32, Matrix, Matrix) {
 ///
 /// Returns `(loss, d_z_fake)` with mean reduction.
 pub fn g_loss(kind: GanLoss, z_fake: &Matrix) -> (f32, Matrix) {
+    let mut d = Matrix::default();
+    let loss = g_loss_into(kind, z_fake, &mut d);
+    (loss, d)
+}
+
+/// [`g_loss`] into a recycled gradient buffer (the zero-allocation path of
+/// the training loop). Same values, bit for bit.
+pub fn g_loss_into(kind: GanLoss, z_fake: &Matrix, d: &mut Matrix) -> f32 {
     let m = z_fake.rows().max(1) as f32;
     let mut loss = 0.0f32;
-    let mut d = z_fake.clone();
+    d.copy_from(z_fake);
     match kind {
         GanLoss::Heuristic => {
             // L = -E[log σ(z)] = E[softplus(-z)]
@@ -136,7 +174,34 @@ pub fn g_loss(kind: GanLoss, z_fake: &Matrix) -> (f32, Matrix) {
             }
         }
     }
-    (loss, d)
+    loss
+}
+
+/// The loss value of [`g_loss`] without materializing the gradient —
+/// the fitness-evaluation path (identical accumulation order, so the value
+/// matches the gradient-producing version bit for bit).
+pub fn g_loss_value(kind: GanLoss, z_fake: &Matrix) -> f32 {
+    let m = z_fake.rows().max(1) as f32;
+    let mut loss = 0.0f32;
+    match kind {
+        GanLoss::Heuristic => {
+            for &z in z_fake.as_slice() {
+                loss += softplus(-z) / m;
+            }
+        }
+        GanLoss::Minimax => {
+            for &z in z_fake.as_slice() {
+                loss += -softplus(z) / m;
+            }
+        }
+        GanLoss::LeastSquares => {
+            for &z in z_fake.as_slice() {
+                let p = sigmoid(z);
+                loss += 0.5 * (p - 1.0) * (p - 1.0) / m;
+            }
+        }
+    }
+    loss
 }
 
 #[cfg(test)]
@@ -242,6 +307,23 @@ mod tests {
         let (_, g_mm) = g_loss(GanLoss::Minimax, &caught);
         assert!(g_heu[(0, 0)].abs() > 0.5);
         assert!(g_mm[(0, 0)].abs() < 1e-3);
+    }
+
+    #[test]
+    fn value_only_losses_match_gradient_versions_bitwise() {
+        let mut rng = Rng64::seed_from(9);
+        let zr =
+            Matrix::from_vec(5, 1, (0..5).map(|_| rng.uniform(-6.0, 6.0)).collect()).unwrap();
+        let zf =
+            Matrix::from_vec(7, 1, (0..7).map(|_| rng.uniform(-6.0, 6.0)).collect()).unwrap();
+        assert_eq!(d_bce_loss_value(&zr, &zf).to_bits(), d_bce_loss(&zr, &zf).0.to_bits());
+        for kind in GanLoss::ALL {
+            assert_eq!(
+                g_loss_value(kind, &zf).to_bits(),
+                g_loss(kind, &zf).0.to_bits(),
+                "{kind:?}"
+            );
+        }
     }
 
     #[test]

@@ -17,16 +17,20 @@ pub struct LayerSpec {
 
 /// A feed-forward network of dense layers: `a_{i+1} = act_i(a_i W_i + b_i)`.
 ///
-/// Parameters are owned per layer but are *logically* a single flat genome
-/// vector laid out as `[W_0 (row-major), b_0, W_1, b_1, ...]`; see
-/// [`Mlp::genome`] / [`Mlp::load_genome`] / [`Mlp::visit_params_mut`]. The
-/// coevolutionary layer exchanges and replaces networks through that genome
-/// view.
+/// All parameters live in **one contiguous `Vec<f32>` in genome order**
+/// (`[W_0 (row-major), b_0, W_1, b_1, ...]`), with per-layer offsets into
+/// it. The coevolutionary layer exchanges and replaces networks through
+/// that flat view: [`Mlp::genome`] is a zero-copy borrow, [`Mlp::load_genome`]
+/// a single `copy_from_slice`, and the optimizer updates the whole network
+/// as one flat slice ([`Mlp::params_mut`]) — no per-layer gather or
+/// scatter anywhere on the training path.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Mlp {
     specs: Vec<LayerSpec>,
-    weights: Vec<Matrix>,
-    biases: Vec<Vec<f32>>,
+    /// All weights and biases, flat in genome order.
+    params: Vec<f32>,
+    /// Per-layer `(weight_offset, bias_offset)` into `params`.
+    offsets: Vec<(usize, usize)>,
 }
 
 /// Per-layer activations cached by [`Mlp::forward_cached`] for the backward
@@ -44,8 +48,38 @@ impl ForwardCache {
     }
 }
 
+/// Reusable per-layer output activations for the workspace training path.
+///
+/// Unlike [`ForwardCache`] this does **not** store a copy of the input
+/// batch (the backward pass receives it by reference), and its buffers are
+/// recycled across steps: after the first use at a given shape,
+/// [`Mlp::forward_cached_ws`] performs zero heap allocations.
+#[derive(Debug, Clone, Default)]
+pub struct LayerCache {
+    /// `outs[i]` is the activated output of layer `i`.
+    outs: Vec<Matrix>,
+}
+
+impl LayerCache {
+    /// The network output (last layer's activation).
+    ///
+    /// # Panics
+    /// Panics if no forward pass has filled the cache yet.
+    pub fn output(&self) -> &Matrix {
+        self.outs.last().expect("empty layer cache")
+    }
+}
+
+/// Reusable delta ping-pong buffers for [`Mlp::backward_ws`]. One scratch
+/// serves networks of any shape (buffers are resized in place).
+#[derive(Debug, Clone, Default)]
+pub struct DeltaScratch {
+    cur: Matrix,
+    next: Matrix,
+}
+
 /// Flat gradient vector aligned with the genome layout of an [`Mlp`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Grads {
     flat: Vec<f32>,
 }
@@ -102,10 +136,16 @@ impl Mlp {
                 w[0].fan_out, w[1].fan_in
             );
         }
-        let weights: Vec<Matrix> =
-            specs.iter().map(|s| init::glorot_uniform(rng, s.fan_in, s.fan_out)).collect();
-        let biases: Vec<Vec<f32>> = specs.iter().map(|s| vec![0.0; s.fan_out]).collect();
-        Self { specs, weights, biases }
+        let offsets = compute_offsets(&specs);
+        let total: usize = specs.iter().map(|s| s.fan_in * s.fan_out + s.fan_out).sum();
+        let mut params = vec![0.0f32; total];
+        // Fill weights layer by layer in genome order (biases stay zero);
+        // the RNG draw sequence is identical to per-layer initialization.
+        for (spec, &(w_off, _)) in specs.iter().zip(&offsets) {
+            let w = init::glorot_uniform(rng, spec.fan_in, spec.fan_out);
+            params[w_off..w_off + w.len()].copy_from_slice(w.as_slice());
+        }
+        Self { specs, params, offsets }
     }
 
     /// Build from a width list: `dims = [in, h1, ..., out]`, using `hidden`
@@ -150,7 +190,26 @@ impl Mlp {
 
     /// Total number of parameters (weights + biases).
     pub fn param_count(&self) -> usize {
-        self.specs.iter().map(|s| s.fan_in * s.fan_out + s.fan_out).sum()
+        self.params.len()
+    }
+
+    /// Row-major weight block of layer `i` (`fan_in × fan_out`).
+    #[inline]
+    pub fn weight(&self, i: usize) -> &[f32] {
+        let (w_off, b_off) = self.offsets[i];
+        &self.params[w_off..b_off]
+    }
+
+    /// Bias vector of layer `i` (length `fan_out`).
+    #[inline]
+    pub fn bias(&self, i: usize) -> &[f32] {
+        let (_, b_off) = self.offsets[i];
+        &self.params[b_off..b_off + self.specs[i].fan_out]
+    }
+
+    /// Genome offsets of each layer: `(weight_offset, bias_offset)`.
+    pub fn layer_offsets(&self) -> &[(usize, usize)] {
+        &self.offsets
     }
 
     /// Forward pass without caching (inference).
@@ -161,17 +220,50 @@ impl Mlp {
     /// Forward pass using `pool` for the matrix products (two-level
     /// parallelism inside a rank).
     pub fn forward_pooled(&self, x: &Matrix, pool: &Pool) -> Matrix {
+        let mut out = Matrix::default();
+        let mut scratch = Matrix::default();
+        self.forward_into(x, &mut out, &mut scratch, pool);
+        out
+    }
+
+    /// Forward pass into recycled buffers: the result lands in `out`,
+    /// `scratch` holds intermediate activations (ping-pong). Performs zero
+    /// heap allocations once both buffers have warmed up to the network's
+    /// widest layer.
+    pub fn forward_into(
+        &self,
+        x: &Matrix,
+        out: &mut Matrix,
+        scratch: &mut Matrix,
+        pool: &Pool,
+    ) {
         assert_eq!(x.cols(), self.input_dim(), "input width");
-        let mut a = ops::matmul_pooled(x, &self.weights[0], pool);
-        ops::add_row_vector(&mut a, &self.biases[0]);
-        self.specs[0].act.apply_inplace(&mut a);
-        for i in 1..self.specs.len() {
-            let mut next = ops::matmul_pooled(&a, &self.weights[i], pool);
-            ops::add_row_vector(&mut next, &self.biases[i]);
-            self.specs[i].act.apply_inplace(&mut next);
-            a = next;
+        let ln = self.specs.len();
+        // Alternate targets so the final layer writes `out`.
+        let mut a: &mut Matrix = scratch;
+        let mut b: &mut Matrix = out;
+        if ln % 2 == 1 {
+            std::mem::swap(&mut a, &mut b);
         }
-        a
+        self.layer_fused(0, x, a, pool);
+        for i in 1..ln {
+            self.layer_fused(i, a, b, pool);
+            std::mem::swap(&mut a, &mut b);
+        }
+    }
+
+    /// One fused dense layer: `dst = act_i(src · W_i + b_i)`.
+    fn layer_fused(&self, i: usize, src: &Matrix, dst: &mut Matrix, pool: &Pool) {
+        let spec = self.specs[i];
+        ops::matmul_bias_act_into(
+            src,
+            self.weight(i),
+            spec.fan_out,
+            self.bias(i),
+            spec.act.kind(),
+            dst,
+            pool,
+        );
     }
 
     /// Forward pass that caches every activation for [`Mlp::backward`].
@@ -182,16 +274,27 @@ impl Mlp {
     /// Caching forward pass with pooled matrix products. Bit-identical to
     /// [`Mlp::forward_cached`] for every worker count.
     pub fn forward_cached_pooled(&self, x: &Matrix, pool: &Pool) -> ForwardCache {
-        assert_eq!(x.cols(), self.input_dim(), "input width");
+        let mut cache = LayerCache::default();
+        self.forward_cached_ws(x, &mut cache, pool);
         let mut activations = Vec::with_capacity(self.specs.len() + 1);
         activations.push(x.clone());
-        for i in 0..self.specs.len() {
-            let mut a = ops::matmul_pooled(activations.last().unwrap(), &self.weights[i], pool);
-            ops::add_row_vector(&mut a, &self.biases[i]);
-            self.specs[i].act.apply_inplace(&mut a);
-            activations.push(a);
-        }
+        activations.extend(cache.outs);
         ForwardCache { activations }
+    }
+
+    /// Caching forward pass into a recycled [`LayerCache`] — the
+    /// zero-allocation path of the training loop. Bit-identical to
+    /// [`Mlp::forward_cached`]; the input batch is *not* copied (pass it to
+    /// [`Mlp::backward_ws`] alongside the cache).
+    pub fn forward_cached_ws(&self, x: &Matrix, cache: &mut LayerCache, pool: &Pool) {
+        assert_eq!(x.cols(), self.input_dim(), "input width");
+        let ln = self.specs.len();
+        cache.outs.resize_with(ln, Matrix::default);
+        for i in 0..ln {
+            let (head, tail) = cache.outs.split_at_mut(i);
+            let src = if i == 0 { x } else { &head[i - 1] };
+            self.layer_fused(i, src, &mut tail[0], pool);
+        }
     }
 
     /// Backward pass.
@@ -218,104 +321,171 @@ impl Mlp {
             self.specs.len() + 1,
             "cache does not match network depth"
         );
-        let mut grads = Grads::zeros(self.param_count());
-        let mut delta = d_out.clone();
-        // Walk layers in reverse, writing each layer's gradient block at its
-        // genome offset.
-        let offsets = self.layer_offsets();
+        let (x, outs) = cache.activations.split_first().expect("non-empty cache");
+        let mut grads = Grads::default();
+        let mut scratch = DeltaScratch::default();
+        let mut dx = Matrix::default();
+        self.backward_core(x, outs, d_out, &mut grads, &mut scratch, Some(&mut dx), pool);
+        (grads, dx)
+    }
+
+    /// Backward pass into recycled buffers — the zero-allocation training
+    /// path. `x` is the input batch the cache was filled from. When `dx` is
+    /// `Some`, `∂L/∂input` is written into it. Bit-identical to
+    /// [`Mlp::backward`].
+    ///
+    /// # Panics
+    /// Panics if the cache depth does not match the network.
+    #[allow(clippy::too_many_arguments)] // the full workspace surface of one backward pass
+    pub fn backward_ws(
+        &self,
+        x: &Matrix,
+        cache: &LayerCache,
+        d_out: &Matrix,
+        grads: &mut Grads,
+        scratch: &mut DeltaScratch,
+        dx: Option<&mut Matrix>,
+        pool: &Pool,
+    ) {
+        assert_eq!(cache.outs.len(), self.specs.len(), "cache does not match network depth");
+        self.backward_core(x, &cache.outs, d_out, grads, scratch, dx, pool);
+    }
+
+    /// Input-gradient-only backward pass: computes `∂L/∂input` without
+    /// materializing any parameter gradients. This is what the generator
+    /// step needs from the (frozen) discriminator — skipping the weight
+    /// gradients drops the `xᵀ·δ` product of every layer. The produced `dx`
+    /// is bit-identical to the one [`Mlp::backward`] returns.
+    pub fn backward_input_ws(
+        &self,
+        cache: &LayerCache,
+        d_out: &Matrix,
+        scratch: &mut DeltaScratch,
+        dx: &mut Matrix,
+        pool: &Pool,
+    ) {
+        assert_eq!(cache.outs.len(), self.specs.len(), "cache does not match network depth");
+        scratch.cur.copy_from(d_out);
         for i in (0..self.specs.len()).rev() {
-            let out_act = &cache.activations[i + 1];
-            self.specs[i].act.scale_by_derivative(out_act, &mut delta);
-            let input_act = &cache.activations[i];
-            let dw = ops::matmul_at_b_pooled(input_act, &delta, pool);
-            let (w_off, b_off) = offsets[i];
+            self.specs[i].act.scale_by_derivative(&cache.outs[i], &mut scratch.cur);
+            let spec = self.specs[i];
+            if i > 0 {
+                ops::matmul_a_bt_view_into(
+                    &scratch.cur,
+                    self.weight(i),
+                    spec.fan_in,
+                    &mut scratch.next,
+                    pool,
+                );
+                std::mem::swap(&mut scratch.cur, &mut scratch.next);
+            } else {
+                ops::matmul_a_bt_view_into(&scratch.cur, self.weight(0), spec.fan_in, dx, pool);
+            }
+        }
+    }
+
+    /// Shared backward walk: writes each layer's gradient block directly at
+    /// its genome offset (weight gradients land in place via the slice
+    /// kernel — no intermediate matrix, no copy).
+    #[allow(clippy::too_many_arguments)] // internal: the ws entry points repackage this
+    fn backward_core(
+        &self,
+        x: &Matrix,
+        outs: &[Matrix],
+        d_out: &Matrix,
+        grads: &mut Grads,
+        scratch: &mut DeltaScratch,
+        mut dx: Option<&mut Matrix>,
+        pool: &Pool,
+    ) {
+        grads.flat.resize(self.param_count(), 0.0);
+        scratch.cur.copy_from(d_out);
+        for i in (0..self.specs.len()).rev() {
+            self.specs[i].act.scale_by_derivative(&outs[i], &mut scratch.cur);
+            let input = if i == 0 { x } else { &outs[i - 1] };
+            let (w_off, b_off) = self.offsets[i];
             let spec = self.specs[i];
             let wlen = spec.fan_in * spec.fan_out;
-            grads.flat[w_off..w_off + wlen].copy_from_slice(dw.as_slice());
+            ops::matmul_at_b_slice_into(
+                input,
+                &scratch.cur,
+                &mut grads.flat[w_off..w_off + wlen],
+                pool,
+            );
             // Bias gradient: column sums of delta.
             {
                 let db = &mut grads.flat[b_off..b_off + spec.fan_out];
-                for r in 0..delta.rows() {
-                    for (g, &d) in db.iter_mut().zip(delta.row(r)) {
+                db.fill(0.0);
+                for r in 0..scratch.cur.rows() {
+                    for (g, &d) in db.iter_mut().zip(scratch.cur.row(r)) {
                         *g += d;
                     }
                 }
             }
             if i > 0 {
-                delta = ops::matmul_a_bt_pooled(&delta, &self.weights[i], pool);
-            } else {
-                // delta for the input: compute and return.
-                let dx = ops::matmul_a_bt_pooled(&delta, &self.weights[0], pool);
-                return (grads, dx);
+                ops::matmul_a_bt_view_into(
+                    &scratch.cur,
+                    self.weight(i),
+                    spec.fan_in,
+                    &mut scratch.next,
+                    pool,
+                );
+                std::mem::swap(&mut scratch.cur, &mut scratch.next);
+            } else if let Some(dx) = dx.take() {
+                ops::matmul_a_bt_view_into(&scratch.cur, self.weight(0), spec.fan_in, dx, pool);
             }
         }
-        unreachable!("loop always returns at i == 0");
     }
 
-    /// Genome offsets of each layer: `(weight_offset, bias_offset)`.
-    fn layer_offsets(&self) -> Vec<(usize, usize)> {
-        let mut offsets = Vec::with_capacity(self.specs.len());
-        let mut off = 0;
-        for s in &self.specs {
-            let w_off = off;
-            off += s.fan_in * s.fan_out;
-            let b_off = off;
-            off += s.fan_out;
-            offsets.push((w_off, b_off));
-        }
-        offsets
+    /// The flat parameter vector in genome order — **zero-copy**: snapshot,
+    /// checkpoint capture, and selection exchange borrow this directly.
+    pub fn genome(&self) -> &[f32] {
+        &self.params
     }
 
-    /// Copy all parameters out as a flat genome vector.
-    pub fn genome(&self) -> Vec<f32> {
-        let mut g = Vec::with_capacity(self.param_count());
-        for (w, b) in self.weights.iter().zip(&self.biases) {
-            g.extend_from_slice(w.as_slice());
-            g.extend_from_slice(b);
-        }
-        g
+    /// Mutable flat parameter vector (the optimizer's update surface).
+    pub fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
     }
 
-    /// Overwrite all parameters from a flat genome vector.
+    /// Overwrite all parameters from a flat genome vector (one
+    /// `copy_from_slice`).
     ///
     /// # Panics
     /// Panics if `genome.len() != self.param_count()`.
     pub fn load_genome(&mut self, genome: &[f32]) {
         assert_eq!(genome.len(), self.param_count(), "genome length");
-        let mut off = 0;
-        for (w, b) in self.weights.iter_mut().zip(&mut self.biases) {
-            let wlen = w.len();
-            w.as_mut_slice().copy_from_slice(&genome[off..off + wlen]);
-            off += wlen;
-            let blen = b.len();
-            b.copy_from_slice(&genome[off..off + blen]);
-            off += blen;
-        }
+        self.params.copy_from_slice(genome);
     }
 
     /// Visit every parameter mutably in genome order; `f(index, param)`.
     ///
-    /// This is the optimizer's update hook: it avoids materializing the
-    /// genome copy on every Adam step.
+    /// Kept for gradient-check tooling; the optimizer now updates the flat
+    /// slice directly ([`Mlp::params_mut`]).
     pub fn visit_params_mut(&mut self, mut f: impl FnMut(usize, &mut f32)) {
-        let mut idx = 0;
-        for (w, b) in self.weights.iter_mut().zip(&mut self.biases) {
-            for v in w.as_mut_slice() {
-                f(idx, v);
-                idx += 1;
-            }
-            for v in b {
-                f(idx, v);
-                idx += 1;
-            }
+        for (i, v) in self.params.iter_mut().enumerate() {
+            f(i, v);
         }
     }
 
     /// True when every parameter is finite.
     pub fn all_finite(&self) -> bool {
-        self.weights.iter().all(|w| w.all_finite())
-            && self.biases.iter().all(|b| b.iter().all(|v| v.is_finite()))
+        self.params.iter().all(|v| v.is_finite())
     }
+}
+
+/// Genome offsets for a spec list: `(weight_offset, bias_offset)` per layer.
+fn compute_offsets(specs: &[LayerSpec]) -> Vec<(usize, usize)> {
+    let mut offsets = Vec::with_capacity(specs.len());
+    let mut off = 0;
+    for s in specs {
+        let w_off = off;
+        off += s.fan_in * s.fan_out;
+        let b_off = off;
+        off += s.fan_out;
+        offsets.push((w_off, b_off));
+    }
+    offsets
 }
 
 #[cfg(test)]
@@ -335,6 +505,19 @@ mod tests {
         assert_eq!(net.output_dim(), 2);
         assert_eq!(net.param_count(), 3 * 5 + 5 + 5 * 2 + 2);
         assert_eq!(net.num_layers(), 2);
+    }
+
+    #[test]
+    fn layer_views_partition_the_genome() {
+        let net = tiny_net(1);
+        // weight(0) ∥ bias(0) ∥ weight(1) ∥ bias(1) must tile the genome.
+        let mut rebuilt: Vec<f32> = Vec::new();
+        for i in 0..net.num_layers() {
+            rebuilt.extend_from_slice(net.weight(i));
+            rebuilt.extend_from_slice(net.bias(i));
+        }
+        assert_eq!(rebuilt, net.genome());
+        assert_eq!(net.layer_offsets(), &[(0, 15), (20, 30)]);
     }
 
     #[test]
@@ -368,7 +551,7 @@ mod tests {
             Mlp::from_dims(&[32, 64, 16], Activation::Tanh, Activation::Identity, &mut rng);
         let x = rng.uniform_matrix(32, 32, -1.0, 1.0);
         let serial = net.forward(&x);
-        let pooled = net.forward_pooled(&x, &Pool::new(3));
+        let pooled = net.forward_pooled(&x, &Pool::uncapped(3));
         assert!(serial.max_abs_diff(&pooled) < 1e-6);
     }
 
@@ -384,7 +567,7 @@ mod tests {
         let d_out = cache.output().clone();
         let (grads, dx) = net.backward(&cache, &d_out);
         for workers in 1..=4 {
-            let pool = Pool::new(workers);
+            let pool = Pool::uncapped(workers);
             let pooled_cache = net.forward_cached_pooled(&x, &pool);
             assert_eq!(pooled_cache.output().as_slice(), cache.output().as_slice());
             let (pg, pdx) = net.backward_pooled(&pooled_cache, &d_out, &pool);
@@ -394,14 +577,59 @@ mod tests {
     }
 
     #[test]
+    fn workspace_paths_match_allocating_paths() {
+        // forward_cached_ws / backward_ws / backward_input_ws over recycled
+        // buffers must be bit-identical to the allocating API, including on
+        // the second use of the same (dirty) workspace.
+        let mut rng = Rng64::seed_from(13);
+        let net = Mlp::from_dims(&[6, 9, 4], Activation::Tanh, Activation::Sigmoid, &mut rng);
+        let pool = Pool::serial();
+        let mut cache = LayerCache::default();
+        let mut scratch = DeltaScratch::default();
+        let mut grads = Grads::default();
+        let mut dx = Matrix::default();
+        for round in 0..3 {
+            let x = rng.uniform_matrix(5, 6, -1.0, 1.0);
+            let alloc_cache = net.forward_cached(&x);
+            let d_out = alloc_cache.output().clone();
+            let (alloc_grads, alloc_dx) = net.backward(&alloc_cache, &d_out);
+
+            net.forward_cached_ws(&x, &mut cache, &pool);
+            assert_eq!(cache.output().as_slice(), alloc_cache.output().as_slice(), "{round}");
+            net.backward_ws(&x, &cache, &d_out, &mut grads, &mut scratch, Some(&mut dx), &pool);
+            assert_eq!(grads.as_slice(), alloc_grads.as_slice(), "round {round} grads");
+            assert_eq!(dx.as_slice(), alloc_dx.as_slice(), "round {round} dx");
+
+            // Input-only backward must reproduce the same dx.
+            let mut dx2 = Matrix::default();
+            net.backward_input_ws(&cache, &d_out, &mut scratch, &mut dx2, &pool);
+            assert_eq!(dx2.as_slice(), alloc_dx.as_slice(), "round {round} dx-only");
+        }
+    }
+
+    #[test]
+    fn forward_into_lands_in_out_for_any_depth() {
+        let mut rng = Rng64::seed_from(14);
+        for dims in [vec![4, 3], vec![4, 5, 3], vec![4, 6, 5, 3], vec![4, 2, 6, 5, 3]] {
+            let net = Mlp::from_dims(&dims, Activation::Tanh, Activation::Identity, &mut rng);
+            let x = rng.uniform_matrix(3, 4, -1.0, 1.0);
+            let expect = net.forward(&x);
+            let mut out = Matrix::default();
+            let mut scratch = Matrix::default();
+            net.forward_into(&x, &mut out, &mut scratch, &Pool::serial());
+            assert_eq!(out.as_slice(), expect.as_slice(), "depth {}", dims.len() - 1);
+        }
+    }
+
+    #[test]
     fn genome_round_trip() {
         let net = tiny_net(4);
-        let g = net.genome();
+        let g = net.genome().to_vec();
         assert_eq!(g.len(), net.param_count());
         let mut other = tiny_net(99);
-        assert_ne!(other.genome(), g);
+        assert_ne!(other.genome(), g.as_slice());
         other.load_genome(&g);
-        assert_eq!(other.genome(), g);
+        assert_eq!(other.genome(), g.as_slice());
         // Identical genomes => identical outputs.
         let mut rng = Rng64::seed_from(5);
         let x = rng.uniform_matrix(2, 3, -1.0, 1.0);
@@ -411,7 +639,7 @@ mod tests {
     #[test]
     fn visit_params_matches_genome_order() {
         let mut net = tiny_net(6);
-        let g = net.genome();
+        let g = net.genome().to_vec();
         let mut seen = vec![];
         net.visit_params_mut(|i, v| {
             assert_eq!(seen.len(), i);

@@ -1,11 +1,28 @@
 //! Property tests for networks and losses.
 
-use lipiz_nn::{loss, Activation, GanLoss, Mlp};
-use lipiz_tensor::{Matrix, Rng64};
+use lipiz_nn::adam::step_slice_scalar;
+use lipiz_nn::{
+    gan, loss, Activation, Adam, Discriminator, GanLoss, Generator, Mlp, NetworkConfig,
+    TrainWorkspace,
+};
+use lipiz_tensor::{Matrix, Pool, Rng64};
 use proptest::prelude::*;
 
 fn dims_strategy() -> impl Strategy<Value = Vec<usize>> {
     proptest::collection::vec(1usize..10, 2..5)
+}
+
+/// Arbitrary small-but-real GAN topologies.
+fn net_cfg_strategy() -> impl Strategy<Value = NetworkConfig> {
+    (1usize..10, 1usize..3, 2usize..18, 1usize..20).prop_map(
+        |(latent, layers, hidden, data)| NetworkConfig {
+            latent_dim: latent,
+            hidden_layers: layers,
+            hidden_units: hidden,
+            data_dim: data,
+            activation: Activation::Tanh,
+        },
+    )
 }
 
 proptest! {
@@ -79,13 +96,113 @@ proptest! {
         }
     }
 
+    /// Tentpole property: full GAN training steps through a *recycled*
+    /// workspace are bit-identical to the allocating steps, for arbitrary
+    /// topologies, batch sizes, seeds and worker counts — after several
+    /// steps, so buffer reuse across steps is covered, and with one shared
+    /// (dirty) workspace serving both networks.
+    #[test]
+    fn workspace_train_steps_are_bit_identical_to_allocating_steps(
+        cfg in net_cfg_strategy(),
+        batch in 1usize..9,
+        seed in 0u64..1000,
+        workers in 1usize..4,
+    ) {
+        let pool = Pool::uncapped(workers);
+        let mut rng = Rng64::seed_from(seed);
+        let mut g_alloc = Generator::new(&cfg, &mut rng);
+        let mut d_alloc = Discriminator::new(&cfg, &mut rng);
+        let mut g_ws = g_alloc.clone();
+        let mut d_ws = d_alloc.clone();
+        let mut adam_g_alloc = Adam::new(g_alloc.net.param_count());
+        let mut adam_d_alloc = Adam::new(d_alloc.net.param_count());
+        let mut adam_g_ws = adam_g_alloc.clone();
+        let mut adam_d_ws = adam_d_alloc.clone();
+        let mut ws = TrainWorkspace::default();
+
+        for step in 0..3 {
+            let z = gan::latent_batch(&mut rng, batch, cfg.latent_dim);
+            let real = rng.uniform_matrix(batch, cfg.data_dim, -0.9, 0.9);
+            let fake = rng.uniform_matrix(batch, cfg.data_dim, -0.9, 0.9);
+            let kind = GanLoss::ALL[step % GanLoss::ALL.len()];
+
+            let lg_alloc = gan::train_generator_step_pooled(
+                &mut g_alloc, &d_alloc, &mut adam_g_alloc, &z, 1e-3, kind, &pool);
+            let lg_ws = gan::train_generator_step_ws(
+                &mut g_ws, &d_ws, &mut adam_g_ws, &z, 1e-3, kind, &mut ws, &pool);
+            prop_assert_eq!(lg_alloc.to_bits(), lg_ws.to_bits(), "G loss, step {}", step);
+            prop_assert_eq!(g_alloc.net.genome(), g_ws.net.genome(), "G genome, step {}", step);
+
+            let ld_alloc = gan::train_discriminator_step_pooled(
+                &mut d_alloc, &mut adam_d_alloc, &real, &fake, 1e-3, &pool);
+            let ld_ws = gan::train_discriminator_step_ws(
+                &mut d_ws, &mut adam_d_ws, &real, &fake, 1e-3, &mut ws, &pool);
+            prop_assert_eq!(ld_alloc.to_bits(), ld_ws.to_bits(), "D loss, step {}", step);
+            prop_assert_eq!(d_alloc.net.genome(), d_ws.net.genome(), "D genome, step {}", step);
+        }
+    }
+
+    /// The runtime-dispatched Adam kernel (AVX2 where the host has it) must
+    /// update parameters and moments bit-identically to the portable scalar
+    /// loop, for arbitrary widths (incl. non-multiple-of-8 tails), betas,
+    /// gradients and step counts.
+    #[test]
+    fn vectorized_adam_matches_scalar_bitwise(
+        n in 1usize..70,
+        seed in 0u64..1000,
+        beta1 in 0.5f32..0.99,
+        beta2 in 0.9f32..0.9999,
+        steps in 1usize..5,
+    ) {
+        let mut rng = Rng64::seed_from(seed);
+        let mut p_vec: Vec<f32> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut p_scalar = p_vec.clone();
+        let mut adam_vec = Adam::with_betas(n, beta1, beta2);
+        let mut adam_scalar = adam_vec.clone();
+        for _ in 0..steps {
+            let g: Vec<f32> = (0..n).map(|_| rng.uniform(-2.0, 2.0)).collect();
+            adam_vec.step_slice(&mut p_vec, &g, 3e-3);
+            step_slice_scalar(&mut adam_scalar, &mut p_scalar, &g, 3e-3);
+            let bits = |xs: &[f32]| xs.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            prop_assert_eq!(bits(&p_vec), bits(&p_scalar), "params drift");
+            prop_assert_eq!(adam_vec.state(), adam_scalar.state(), "moment drift");
+        }
+    }
+
+    /// Fused bias+activation epilogues must be bit-identical to the unfused
+    /// pipeline through the full network forward (all activations, odd
+    /// shapes, any worker count).
+    #[test]
+    fn fused_forward_matches_unfused_pipeline(
+        dims in dims_strategy(),
+        batch in 1usize..8,
+        seed in 0u64..1000,
+        workers in 1usize..4,
+    ) {
+        use lipiz_tensor::ops;
+        let mut rng = Rng64::seed_from(seed);
+        let net = Mlp::from_dims(&dims, Activation::Tanh, Activation::Sigmoid, &mut rng);
+        let x = rng.uniform_matrix(batch, dims[0], -1.0, 1.0);
+        // Unfused reference: explicit matmul → bias → activation per layer.
+        let mut a = x.clone();
+        for (i, spec) in net.specs().iter().enumerate() {
+            let w = Matrix::from_vec(spec.fan_in, spec.fan_out, net.weight(i).to_vec()).unwrap();
+            let mut next = ops::matmul(&a, &w);
+            ops::add_row_vector(&mut next, net.bias(i));
+            spec.act.apply_inplace(&mut next);
+            a = next;
+        }
+        let fused = net.forward_pooled(&x, &Pool::uncapped(workers));
+        prop_assert_eq!(fused.as_slice(), a.as_slice());
+    }
+
     #[test]
     fn genome_load_is_idempotent(dims in dims_strategy(), seed in 0u64..1000) {
         let mut rng = Rng64::seed_from(seed);
         let mut net = Mlp::from_dims(&dims, Activation::Tanh, Activation::Identity, &mut rng);
-        let g = net.genome();
+        let g = net.genome().to_vec();
         net.load_genome(&g);
         net.load_genome(&g);
-        prop_assert_eq!(net.genome(), g);
+        prop_assert_eq!(net.genome(), g.as_slice());
     }
 }

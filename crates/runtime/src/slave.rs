@@ -122,16 +122,22 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
                 let mut profiler = Profiler::new();
                 let target =
                     exec_cfg.checkpoint.effective_iterations(exec_cfg.coevolution.iterations);
+                // Recycled per-iteration buffers: the outgoing center
+                // snapshot and the neighbor fan-out (genome buffers are
+                // reused; the allgather decode itself still owns its
+                // payloads).
+                let mut snapshot = CellSnapshot::empty();
+                let mut neighbors: Vec<CellSnapshot> = Vec::new();
+                let neighbor_ids = grid.neighbors(cell_index);
                 while engine.iterations_done() < target {
                     // Gather: allgather my center, pick my neighbors.
                     let gather_start = Instant::now();
-                    let snapshot = engine.snapshot();
+                    engine.snapshot_into(&mut snapshot);
                     let all = exec_cm.exchange_centers(&snapshot);
-                    let neighbors: Vec<CellSnapshot> = grid
-                        .neighbors(cell_index)
-                        .into_iter()
-                        .map(|n| all[n].clone())
-                        .collect();
+                    neighbors.resize_with(neighbor_ids.len(), CellSnapshot::empty);
+                    for (slot, &n) in neighbor_ids.iter().enumerate() {
+                        neighbors[slot].copy_from(&all[n]);
+                    }
                     profiler.record(lipiz_core::Routine::Gather, gather_start.elapsed());
                     let iter = engine.iterations_done();
                     engine.run_iteration(&neighbors, &mut profiler);

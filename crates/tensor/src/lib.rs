@@ -37,5 +37,6 @@ pub mod rng;
 
 pub use error::ShapeError;
 pub use matrix::Matrix;
+pub use ops::ActKind;
 pub use pool::Pool;
 pub use rng::{Rng64, Rng64State};

@@ -204,6 +204,28 @@ impl Matrix {
         self.data.iter_mut().for_each(|v| *v = 0.0);
     }
 
+    /// Reshape to `rows × cols`, reusing the backing allocation.
+    ///
+    /// The contents are unspecified afterwards — this is the workspace
+    /// primitive for buffers that are fully overwritten by the next kernel.
+    /// Allocates only when the new size exceeds the current capacity, so a
+    /// steady-state training step that cycles through fixed shapes performs
+    /// no allocation here.
+    pub fn resize_buffer(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Overwrite `self` with a copy of `src`, reusing the allocation
+    /// (shape included — the buffer-recycling analogue of `clone`).
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Maximum absolute difference against another matrix of the same shape.
     ///
     /// # Panics
@@ -216,6 +238,14 @@ impl Matrix {
     /// True when all elements are finite (no NaN / infinity).
     pub fn all_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl Default for Matrix {
+    /// An empty `0×0` matrix — the placeholder state of recycled workspace
+    /// buffers before their first use.
+    fn default() -> Self {
+        Self::zeros(0, 0)
     }
 }
 
@@ -340,5 +370,27 @@ mod tests {
     fn col_extraction() {
         let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         assert_eq!(m.col(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn resize_buffer_reuses_allocation() {
+        let mut m = Matrix::zeros(4, 8);
+        let ptr = m.as_slice().as_ptr();
+        m.resize_buffer(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.as_slice().as_ptr(), ptr, "shrink must not reallocate");
+        m.resize_buffer(4, 8);
+        assert_eq!(m.as_slice().as_ptr(), ptr, "regrow within capacity must not reallocate");
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let src = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let mut dst = Matrix::zeros(5, 5);
+        let ptr = dst.as_slice().as_ptr();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.as_slice().as_ptr(), ptr, "copy_from must reuse the buffer");
+        assert_eq!(Matrix::default().shape(), (0, 0));
     }
 }

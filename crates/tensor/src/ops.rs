@@ -18,25 +18,306 @@
 //! the shared dimension `p` innermost, so each `p` step touches one
 //! contiguous `MR`-wide segment of `A'` and one `NR`-wide segment of `B'`
 //! and performs `MR·NR` independent multiply-adds — a clean FMA chain for
-//! LLVM with no data-dependent branches (the old kernels' `av == 0.0`
-//! sparse-skip defeated vectorization on dense operands).
+//! LLVM with no data-dependent branches.
+//!
+//! # Fused epilogues
+//!
+//! The dense-layer forward pass is `act(x·W + b)`. The fused entry point
+//! [`matmul_bias_act_into`] folds the bias add and the activation into the
+//! micro-kernel's writeback: the accumulator tile starts at zero (no output
+//! load, no `fill_zero` pre-pass), and each element is stored exactly once
+//! as `act(acc + bias[j])`. That removes two full passes over the output
+//! matrix per layer. Per element the FP sequence is identical to
+//! `matmul` → `add_row_vector` → `apply_inplace` (same adds, same scalar
+//! activation function, same order), so fused and unfused are bit-equal —
+//! property-tested, not assumed.
+//!
+//! # Scratch reuse
+//!
+//! Panel packing writes into per-thread recycled buffers instead of fresh
+//! allocations, so a steady-state training step performs no heap allocation
+//! inside any kernel here.
 //!
 //! # Determinism
 //!
-//! Every kernel — serial, blocked, and pooled at any worker count —
+//! Every kernel — serial, blocked, fused, and pooled at any worker count —
 //! accumulates each output element in a single `f32` accumulator over `p`
 //! in ascending order. Tiling only regroups *independent* elements, so all
 //! variants are bit-identical to the naive triple loop; the distributed
-//! drivers rely on this to stay byte-identical across worker counts.
+//! drivers rely on this to stay byte-identical across worker counts. The
+//! AVX2 micro-kernels use separate `vmulps`/`vaddps` — never FMA — for the
+//! same reason.
 
 use crate::error::ShapeError;
 use crate::matrix::Matrix;
 use crate::pool::Pool;
+use std::cell::RefCell;
 
 /// Register-tile height (rows of the output micro-tile).
 const MR: usize = 4;
 /// Register-tile width (columns of the output micro-tile).
 const NR: usize = 16;
+
+/// Minimum multiply-add count *per worker* before a pooled product fans a
+/// chunk out: below this, the condvar hand-off and the cache traffic of
+/// splitting cost more than the chunk saves, so small shapes run inline and
+/// mid-sized shapes cap their fan-out (`flops / MIN_MADDS_PER_WORKER`
+/// chunks at most).
+const MIN_MADDS_PER_WORKER: usize = 1 << 20;
+
+/// How many ways of parallelism a product of `madds` multiply-adds is
+/// worth. `1` means "run inline".
+#[inline]
+fn chunk_limit(madds: usize) -> usize {
+    (madds / MIN_MADDS_PER_WORKER).max(1)
+}
+
+// ---- activation epilogues ---------------------------------------------------
+
+/// Elementwise activation applied by a fused kernel epilogue.
+///
+/// This is the tensor-level mirror of the nn crate's activation enum; the
+/// nn crate maps onto it so the fused and unfused paths share one scalar
+/// implementation per function (bit-equality by construction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ActKind {
+    /// Pass-through.
+    Identity,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Numerically stable logistic sigmoid.
+    Sigmoid,
+    /// Leaky rectified linear unit with the given negative-side slope.
+    LeakyRelu(f32),
+}
+
+impl ActKind {
+    /// Apply the activation to one value.
+    #[inline]
+    pub fn apply(self, v: f32) -> f32 {
+        match self {
+            ActKind::Identity => v,
+            ActKind::Tanh => fast_tanh(v),
+            ActKind::Sigmoid => sigmoid(v),
+            ActKind::LeakyRelu(slope) => {
+                if v >= 0.0 {
+                    v
+                } else {
+                    slope * v
+                }
+            }
+        }
+    }
+}
+
+/// Apply `act` to every element of `xs`, dispatching to the widest kernel
+/// the host supports. Bit-identical to an elementwise [`ActKind::apply`]
+/// loop — the AVX2 tanh performs the same exactly-rounded operation
+/// sequence per lane as the scalar [`fast_tanh`].
+pub fn apply_act(act: ActKind, xs: &mut [f32]) {
+    match act {
+        ActKind::Identity => {}
+        ActKind::Tanh => {
+            #[cfg(target_arch = "x86_64")]
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: the detection macro asserts AVX2 support.
+                unsafe { tanh_slice_avx2(xs) };
+                return;
+            }
+            for v in xs {
+                *v = fast_tanh(*v);
+            }
+        }
+        ActKind::Sigmoid => {
+            for v in xs {
+                *v = sigmoid(*v);
+            }
+        }
+        ActKind::LeakyRelu(slope) => {
+            for v in xs {
+                *v = if *v >= 0.0 { *v } else { slope * *v };
+            }
+        }
+    }
+}
+
+// ---- fast tanh --------------------------------------------------------------
+//
+// tanh(x) = sign(x) · em1 / (em1 + 2),  em1 = e^{2|x|} − 1,
+// with e^{2|x|} = 2^y, y = 2·log₂e·|x|, split as 2^k · 2^f
+// (k = ⌊y + ½⌋, f = y − k ∈ [−½, ½)) and 2^f − 1 evaluated by a degree-6
+// polynomial. The em1 formulation keeps full relative precision near zero
+// (where tanh(x) ≈ x), unlike 1 − 2/(e+1).
+//
+// Every step is an exactly-rounded IEEE operation (mul, add, sub, div,
+// floor, integer shifts — never FMA), so the scalar and AVX2 versions are
+// bit-identical by construction; a unit test pins that. Inputs with
+// |x| ≥ 9 saturate to ±1 (correct to the last f32 bit); NaN propagates
+// unchanged — payload included — in both versions.
+
+/// Saturation threshold: tanh(9) rounds to 1.0f32.
+const TANH_CLAMP: f32 = 9.0;
+/// `2·log₂e` — folds the `2|x|` of the exponent into the base-2 scaling.
+const TANH_TWO_LOG2E: f32 = 2.0 * std::f32::consts::LOG2_E;
+/// Taylor coefficients of `2^f − 1` (that is, `ln2ⁿ/n!` for n = 1..=6);
+/// |f| ≤ ½ keeps the truncation error around one ulp.
+const EXP2_C: [f32; 6] = [
+    std::f32::consts::LN_2,
+    0.240_226_5,
+    0.055_504_11,
+    0.009_618_129,
+    0.001_333_355_8,
+    0.000_154_035_3,
+];
+
+/// Scalar fast tanh — the reference the AVX2 slice kernel must match
+/// bit-for-bit.
+#[inline]
+pub fn fast_tanh(x: f32) -> f32 {
+    let bits = x.to_bits();
+    let sign = bits & 0x8000_0000;
+    let a = f32::from_bits(bits & 0x7FFF_FFFF);
+    if a.is_nan() {
+        // Propagate NaN (payload and all) like IEEE tanh — a diverged
+        // training run must stay visibly poisoned, not saturate to ±1.
+        return x;
+    }
+    let t = if a < TANH_CLAMP {
+        let y = a * TANH_TWO_LOG2E;
+        let kf = (y + 0.5).floor();
+        let f = y - kf;
+        let mut p1 = EXP2_C[5];
+        p1 = p1 * f + EXP2_C[4];
+        p1 = p1 * f + EXP2_C[3];
+        p1 = p1 * f + EXP2_C[2];
+        p1 = p1 * f + EXP2_C[1];
+        p1 = p1 * f + EXP2_C[0];
+        p1 *= f;
+        let two_k = f32::from_bits(((kf as i32 + 127) as u32) << 23);
+        let em1 = two_k * p1 + (two_k - 1.0);
+        em1 / (em1 + 2.0)
+    } else {
+        1.0
+    };
+    f32::from_bits(t.to_bits() | sign)
+}
+
+/// AVX2 tanh over a slice: eight [`fast_tanh`] lanes per iteration, every
+/// lane performing the identical exactly-rounded operation sequence.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn tanh_slice_avx2(xs: &mut [f32]) {
+    use std::arch::x86_64::{
+        _mm256_add_epi32, _mm256_add_ps, _mm256_and_ps, _mm256_blendv_ps, _mm256_castsi256_ps,
+        _mm256_cmp_ps, _mm256_cvtps_epi32, _mm256_div_ps, _mm256_floor_ps, _mm256_loadu_ps,
+        _mm256_mul_ps, _mm256_or_ps, _mm256_set1_epi32, _mm256_set1_ps, _mm256_slli_epi32,
+        _mm256_storeu_ps, _mm256_sub_ps, _CMP_LT_OQ, _CMP_UNORD_Q,
+    };
+    let n = xs.len();
+    let lanes = n / 8 * 8;
+    let abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFF_FFFF));
+    let sign_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x8000_0000u32 as i32));
+    let clamp = _mm256_set1_ps(TANH_CLAMP);
+    let two_log2e = _mm256_set1_ps(TANH_TWO_LOG2E);
+    let half = _mm256_set1_ps(0.5);
+    let one = _mm256_set1_ps(1.0);
+    let two = _mm256_set1_ps(2.0);
+    let bias127 = _mm256_set1_epi32(127);
+    let c = EXP2_C.map(|v| _mm256_set1_ps(v));
+    let ptr = xs.as_mut_ptr();
+    let mut i = 0;
+    while i < lanes {
+        let x = _mm256_loadu_ps(ptr.add(i));
+        let sign = _mm256_and_ps(x, sign_mask);
+        let a = _mm256_and_ps(x, abs_mask);
+        let in_range = _mm256_cmp_ps::<_CMP_LT_OQ>(a, clamp);
+        let y = _mm256_mul_ps(a, two_log2e);
+        let kf = _mm256_floor_ps(_mm256_add_ps(y, half));
+        let f = _mm256_sub_ps(y, kf);
+        let mut p1 = c[5];
+        p1 = _mm256_add_ps(_mm256_mul_ps(p1, f), c[4]);
+        p1 = _mm256_add_ps(_mm256_mul_ps(p1, f), c[3]);
+        p1 = _mm256_add_ps(_mm256_mul_ps(p1, f), c[2]);
+        p1 = _mm256_add_ps(_mm256_mul_ps(p1, f), c[1]);
+        p1 = _mm256_add_ps(_mm256_mul_ps(p1, f), c[0]);
+        p1 = _mm256_mul_ps(p1, f);
+        // 2^k via exponent-field construction (kf is an exact integer, so
+        // the nearest-int conversion is exact; out-of-range lanes are
+        // blended away below).
+        let k = _mm256_cvtps_epi32(kf);
+        let two_k = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(k, bias127)));
+        let em1 = _mm256_add_ps(_mm256_mul_ps(two_k, p1), _mm256_sub_ps(two_k, one));
+        let t_poly = _mm256_div_ps(em1, _mm256_add_ps(em1, two));
+        let t = _mm256_blendv_ps(one, t_poly, in_range);
+        let result = _mm256_or_ps(t, sign);
+        // NaN lanes propagate the input unchanged (payload and all),
+        // matching the scalar reference.
+        let is_nan = _mm256_cmp_ps::<_CMP_UNORD_Q>(x, x);
+        _mm256_storeu_ps(ptr.add(i), _mm256_blendv_ps(result, x, is_nan));
+        i += 8;
+    }
+    for v in &mut xs[lanes..] {
+        *v = fast_tanh(*v);
+    }
+}
+
+/// Numerically stable logistic sigmoid (never exponentiates a positive
+/// argument).
+#[inline]
+pub fn sigmoid(z: f32) -> f32 {
+    if z >= 0.0 {
+        let e = (-z).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+// ---- pack-buffer recycling --------------------------------------------------
+
+thread_local! {
+    /// Recycled panel-packing buffers (two: `A·Bᵀ` packs both operands).
+    /// Taken out by value while a kernel runs so a re-entrant call can never
+    /// alias or panic — it just uses (and re-caches) fresh buffers.
+    static PACK_BUFS: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Run `f` with the thread's two recycled packing buffers.
+fn with_pack_bufs<R>(f: impl FnOnce(&mut Vec<f32>, &mut Vec<f32>) -> R) -> R {
+    let (mut a, mut b) = PACK_BUFS.with(|p| p.take());
+    let out = f(&mut a, &mut b);
+    PACK_BUFS.with(|p| p.replace((a, b)));
+    out
+}
+
+/// Pack the transpose of `src` into `dst` (a `cols×rows` row-major panel),
+/// reusing `dst`'s allocation.
+fn pack_transpose_into(src: &Matrix, dst: &mut Vec<f32>) {
+    pack_transpose_slice_into(src.as_slice(), src.rows(), src.cols(), dst);
+}
+
+/// Pack the transpose of a raw `rows×cols` row-major slice into `dst`,
+/// reusing `dst`'s allocation. Cache-blocked so both the read and write
+/// sides stay within a few lines.
+fn pack_transpose_slice_into(src: &[f32], rows: usize, cols: usize, dst: &mut Vec<f32>) {
+    const TB: usize = 32;
+    debug_assert_eq!(src.len(), rows * cols);
+    dst.resize(rows * cols, 0.0);
+    for i0 in (0..rows).step_by(TB) {
+        let i1 = (i0 + TB).min(rows);
+        for j0 in (0..cols).step_by(TB) {
+            let j1 = (j0 + TB).min(cols);
+            for i in i0..i1 {
+                for j in j0..j1 {
+                    dst[j * rows + i] = src[i * cols + j];
+                }
+            }
+        }
+    }
+}
+
+// ---- plain products ---------------------------------------------------------
 
 /// `out = a · b`, checked. `a: (m,k)`, `b: (k,n)` → `(m,n)`.
 pub fn try_matmul(a: &Matrix, b: &Matrix) -> Result<Matrix, ShapeError> {
@@ -62,8 +343,10 @@ pub fn matmul_acc_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(out.shape(), (a.rows(), b.cols()), "matmul out shape");
     let (m, k) = a.shape();
     let n = b.cols();
-    let at = pack_transpose(a);
-    blocked_tn(k, m, n, &at, b.as_slice(), 0, m, out.as_mut_slice());
+    with_pack_bufs(|at, _| {
+        pack_transpose_into(a, at);
+        blocked_tn(k, m, n, at, b.as_slice(), 0, m, out.as_mut_slice());
+    });
 }
 
 /// `out = a · b`, overwriting `out`.
@@ -77,11 +360,8 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
 /// This is the weight-gradient product `xᵀ · δ` of a dense layer. Both
 /// operands are already in the canonical `k×·` layout, so no packing at all.
 pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.rows(), b.rows(), "matmul_at_b shared dim");
-    let (k, m) = a.shape();
-    let n = b.cols();
-    let mut out = Matrix::zeros(m, n);
-    blocked_tn(k, m, n, a.as_slice(), b.as_slice(), 0, m, out.as_mut_slice());
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    matmul_at_b_slice_into(a, b, out.as_mut_slice(), &Pool::serial());
     out
 }
 
@@ -90,13 +370,8 @@ pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
 /// This is the input-gradient product `δ · Wᵀ` of a dense layer; both
 /// operands are packed into canonical `k×·` panels first.
 pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.cols(), b.cols(), "matmul_a_bt shared dim");
-    let (m, k) = a.shape();
-    let n = b.rows();
-    let at = pack_transpose(a);
-    let bt = pack_transpose(b);
-    let mut out = Matrix::zeros(m, n);
-    blocked_tn(k, m, n, &at, &bt, 0, m, out.as_mut_slice());
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    matmul_a_bt_view_into(a, b.as_slice(), b.rows(), &mut out, &Pool::serial());
     out
 }
 
@@ -121,29 +396,7 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     s
 }
 
-// ---- blocked canonical kernel ---------------------------------------------
-
-/// Pack the transpose of `src` into a fresh `cols×rows` row-major buffer.
-///
-/// Cache-blocked so both the read and write sides stay within a few lines.
-fn pack_transpose(src: &Matrix) -> Vec<f32> {
-    const TB: usize = 32;
-    let (r, c) = src.shape();
-    let s = src.as_slice();
-    let mut dst = vec![0.0f32; r * c];
-    for i0 in (0..r).step_by(TB) {
-        let i1 = (i0 + TB).min(r);
-        for j0 in (0..c).step_by(TB) {
-            let j1 = (j0 + TB).min(c);
-            for i in i0..i1 {
-                for j in j0..j1 {
-                    dst[j * r + i] = s[i * c + j];
-                }
-            }
-        }
-    }
-    dst
-}
+// ---- blocked canonical kernel ----------------------------------------------
 
 /// Canonical blocked product over output rows `[r0, r0 + rows)`:
 /// `out[i][j] += Σ_p at[p·m + i] · bp[p·n + j]`.
@@ -177,6 +430,56 @@ fn blocked_tn(
                 micro_full_dispatch(wide, k, m, n, at, bp, r0 + i, j, &mut out[i * n..]);
             } else {
                 micro_edge(k, m, n, at, bp, r0 + i, mr, j, nr, &mut out[i * n..]);
+            }
+            j += nr;
+        }
+        i += mr;
+    }
+}
+
+/// Fused variant of [`blocked_tn`]: accumulators start at zero (no output
+/// load) and every element is stored exactly once as `act(acc + bias[j])`.
+#[allow(clippy::too_many_arguments)] // flat panel-geometry signature, kept register-friendly
+fn blocked_tn_fused(
+    k: usize,
+    m: usize,
+    n: usize,
+    at: &[f32],
+    bp: &[f32],
+    r0: usize,
+    rows: usize,
+    out: &mut [f32],
+    bias: &[f32],
+    act: ActKind,
+) {
+    debug_assert_eq!(at.len(), k * m);
+    debug_assert_eq!(bp.len(), k * n);
+    debug_assert_eq!(out.len(), rows * n);
+    debug_assert_eq!(bias.len(), n);
+    debug_assert!(r0 + rows <= m);
+    let wide = have_wide_simd();
+    let mut i = 0;
+    while i < rows {
+        let mr = MR.min(rows - i);
+        let mut j = 0;
+        while j < n {
+            let nr = NR.min(n - j);
+            if mr == MR && nr == NR {
+                fused_full_dispatch(
+                    wide,
+                    k,
+                    m,
+                    n,
+                    at,
+                    bp,
+                    r0 + i,
+                    j,
+                    &mut out[i * n..],
+                    bias,
+                    act,
+                );
+            } else {
+                fused_edge(k, m, n, at, bp, r0 + i, mr, j, nr, &mut out[i * n..], bias, act);
             }
             j += nr;
         }
@@ -221,6 +524,37 @@ fn micro_full_dispatch(
     }
     let _ = wide;
     micro_full(k, m, n, at, bp, gi, j, out_rows);
+}
+
+/// Fused-epilogue counterpart of [`micro_full_dispatch`].
+#[inline]
+#[allow(clippy::too_many_arguments)] // flat panel-geometry signature, kept register-friendly
+fn fused_full_dispatch(
+    wide: bool,
+    k: usize,
+    m: usize,
+    n: usize,
+    at: &[f32],
+    bp: &[f32],
+    gi: usize,
+    j: usize,
+    out_rows: &mut [f32],
+    bias: &[f32],
+    act: ActKind,
+) {
+    #[cfg(target_arch = "x86_64")]
+    // Transcendental epilogues never take the AVX2 tile (calling scalar
+    // libm from inside an AVX2 region pays SSE-transition stalls per call;
+    // `matmul_bias_act_into` routes them through a vectorized post pass
+    // instead, so this arm only exists as the correct fallback for direct
+    // kernel users).
+    if wide && !matches!(act, ActKind::Tanh | ActKind::Sigmoid) {
+        // SAFETY: `wide` asserts AVX2 support at runtime.
+        unsafe { fused_full_avx2(k, m, n, at, bp, gi, j, out_rows, bias, act) };
+        return;
+    }
+    let _ = wide;
+    fused_full(k, m, n, at, bp, gi, j, out_rows, bias, act);
 }
 
 /// AVX2 variant of [`micro_full`]: the 4×16 accumulator tile lives in eight
@@ -271,6 +605,79 @@ unsafe fn micro_full_avx2(
     }
 }
 
+/// AVX2 fused micro-kernel: zero-started accumulator tile, then
+/// `act(acc + bias)` at writeback. The bias add is one `vaddps` (the same
+/// single IEEE add the scalar path performs). Identity and leaky-ReLU
+/// epilogues stay vectorized (`vcmpps`/`vblendvps` reproduce the scalar
+/// branch exactly, including the NaN case); transcendental epilogues are
+/// kept out of this kernel entirely by [`fused_full_dispatch`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)] // flat panel-geometry signature, kept register-friendly
+unsafe fn fused_full_avx2(
+    k: usize,
+    m: usize,
+    n: usize,
+    at: &[f32],
+    bp: &[f32],
+    gi: usize,
+    j: usize,
+    out_rows: &mut [f32],
+    bias: &[f32],
+    act: ActKind,
+) {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_blendv_ps, _mm256_cmp_ps, _mm256_loadu_ps, _mm256_mul_ps,
+        _mm256_set1_ps, _mm256_storeu_ps, _CMP_GE_OQ,
+    };
+    debug_assert!(gi + MR <= m && j + NR <= n && (MR - 1) * n + j + NR <= out_rows.len());
+    debug_assert!(k * m <= at.len() && k * n <= bp.len() && j + NR <= bias.len());
+    let out_ptr = out_rows.as_mut_ptr();
+    let mut acc = [[_mm256_set1_ps(0.0); 2]; MR];
+    let at_ptr = at.as_ptr();
+    let bp_ptr = bp.as_ptr();
+    for p in 0..k {
+        let bq = bp_ptr.add(p * n + j);
+        let b0 = _mm256_loadu_ps(bq);
+        let b1 = _mm256_loadu_ps(bq.add(8));
+        let aq = at_ptr.add(p * m + gi);
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = _mm256_set1_ps(*aq.add(r));
+            accr[0] = _mm256_add_ps(accr[0], _mm256_mul_ps(av, b0));
+            accr[1] = _mm256_add_ps(accr[1], _mm256_mul_ps(av, b1));
+        }
+    }
+    let bias_ptr = bias.as_ptr().add(j);
+    let bias0 = _mm256_loadu_ps(bias_ptr);
+    let bias1 = _mm256_loadu_ps(bias_ptr.add(8));
+    for (r, accr) in acc.iter().enumerate() {
+        let o = out_ptr.add(r * n + j);
+        let mut v0 = _mm256_add_ps(accr[0], bias0);
+        let mut v1 = _mm256_add_ps(accr[1], bias1);
+        match act {
+            ActKind::Identity => {}
+            ActKind::LeakyRelu(slope) => {
+                let s = _mm256_set1_ps(slope);
+                let zero = _mm256_set1_ps(0.0);
+                // Mirrors the scalar `if v >= 0 { v } else { slope * v }`
+                // (GE is false for NaN, matching the scalar else-branch).
+                let ge0 = _mm256_cmp_ps::<_CMP_GE_OQ>(v0, zero);
+                let ge1 = _mm256_cmp_ps::<_CMP_GE_OQ>(v1, zero);
+                v0 = _mm256_blendv_ps(_mm256_mul_ps(v0, s), v0, ge0);
+                v1 = _mm256_blendv_ps(_mm256_mul_ps(v1, s), v1, ge1);
+            }
+            // Transcendental epilogues never reach this kernel — the
+            // dispatcher keeps them out of the AVX2 region (see
+            // `fused_full_dispatch`).
+            ActKind::Tanh | ActKind::Sigmoid => {
+                debug_assert!(false, "transcendental epilogue dispatched to the AVX2 tile");
+            }
+        }
+        _mm256_storeu_ps(o, v0);
+        _mm256_storeu_ps(o.add(8), v1);
+    }
+}
+
 /// Full `MR×NR` register-tile micro-kernel. `out_rows` starts at the tile's
 /// first output row; `gi`/`j` are the global row/column of the tile.
 #[inline]
@@ -304,6 +711,41 @@ fn micro_full(
     }
 }
 
+/// Scalar fused micro-kernel: zero-started tile, `act(acc + bias)` at store.
+#[inline]
+#[allow(clippy::too_many_arguments)] // flat panel-geometry signature, kept register-friendly
+fn fused_full(
+    k: usize,
+    m: usize,
+    n: usize,
+    at: &[f32],
+    bp: &[f32],
+    gi: usize,
+    j: usize,
+    out_rows: &mut [f32],
+    bias: &[f32],
+    act: ActKind,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..k {
+        let arow = &at[p * m + gi..p * m + gi + MR];
+        let brow = &bp[p * n + j..p * n + j + NR];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = arow[r];
+            for (o, &bv) in accr.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    let biasj = &bias[j..j + NR];
+    for (r, accr) in acc.iter().enumerate() {
+        let orow = &mut out_rows[r * n + j..r * n + j + NR];
+        for ((o, &a), &b) in orow.iter_mut().zip(accr).zip(biasj) {
+            *o = act.apply(a + b);
+        }
+    }
+}
+
 /// Edge-tile kernel for ragged `mr×nr` remainders; same per-element
 /// accumulation order as the full tile (single accumulator, `p` ascending).
 #[allow(clippy::too_many_arguments)] // flat panel-geometry signature, kept register-friendly
@@ -330,62 +772,168 @@ fn micro_edge(
     }
 }
 
-// ---- pooled products -------------------------------------------------------
+/// Fused edge-tile kernel (zero-started accumulator, epilogue at store).
+#[allow(clippy::too_many_arguments)] // flat panel-geometry signature, kept register-friendly
+fn fused_edge(
+    k: usize,
+    m: usize,
+    n: usize,
+    at: &[f32],
+    bp: &[f32],
+    gi: usize,
+    mr: usize,
+    j: usize,
+    nr: usize,
+    out_rows: &mut [f32],
+    bias: &[f32],
+    act: ActKind,
+) {
+    for r in 0..mr {
+        for c in 0..nr {
+            let mut s = 0.0f32;
+            for p in 0..k {
+                s += at[p * m + gi + r] * bp[p * n + j + c];
+            }
+            out_rows[r * n + j + c] = act.apply(s + bias[j + c]);
+        }
+    }
+}
 
-/// Minimum multiply-add count before fanning a product out to the pool.
-const POOL_FLOP_THRESHOLD: usize = 64 * 1024;
+// ---- fused / view-based products -------------------------------------------
+
+/// `out = act(a · W + bias)` — the fused dense-layer forward step.
+///
+/// `w` is a row-major `k×n` weight slice (`k = a.cols()`), `bias` has length
+/// `n`. `out` is resized to `(a.rows(), n)` reusing its allocation. Bias add
+/// and activation happen in the micro-kernel writeback, so the output is
+/// touched exactly once; the result is bit-identical to
+/// `matmul` → `add_row_vector` → activation for every worker count.
+///
+/// # Panics
+/// Panics if `w.len() != a.cols() * n` or `bias.len() != n`.
+pub fn matmul_bias_act_into(
+    a: &Matrix,
+    w: &[f32],
+    n: usize,
+    bias: &[f32],
+    act: ActKind,
+    out: &mut Matrix,
+    pool: &Pool,
+) {
+    let (m, k) = a.shape();
+    assert_eq!(w.len(), k * n, "matmul_bias_act weight slice size");
+    assert_eq!(bias.len(), n, "matmul_bias_act bias width");
+    out.resize_buffer(m, n);
+    // Transcendental activations run as a separate cache-warm pass over
+    // each chunk instead of inside the micro-kernel: calling scalar libm
+    // routines from within an AVX2 region pays SSE-transition stalls per
+    // call, and the standalone pass dispatches to the vectorized tanh. The
+    // per-element arithmetic is identical either way (store `acc + bias`,
+    // then `act` on exactly that value), so the result does not change by
+    // a single bit.
+    let (store_act, post_act) = match act {
+        ActKind::Tanh | ActKind::Sigmoid => (ActKind::Identity, Some(act)),
+        other => (other, None),
+    };
+    with_pack_bufs(|at, _| {
+        pack_transpose_into(a, at);
+        let limit = chunk_limit(m * k * n);
+        pool.run_rows_limited(m, n, out.as_mut_slice(), limit, &|r0, rows, chunk| {
+            blocked_tn_fused(k, m, n, at, w, r0, rows, chunk, bias, store_act);
+            if let Some(post) = post_act {
+                apply_act(post, chunk);
+            }
+        });
+    });
+}
+
+/// `out = aᵀ · b` written into a flat `a.cols() × b.cols()` slice — the
+/// weight-gradient product, landing directly in its genome-order gradient
+/// block (no intermediate matrix, no copy).
+///
+/// # Panics
+/// Panics if the shared dimension or `out.len()` disagree.
+pub fn matmul_at_b_slice_into(a: &Matrix, b: &Matrix, out: &mut [f32], pool: &Pool) {
+    assert_eq!(a.rows(), b.rows(), "matmul_at_b shared dim");
+    let (k, m) = a.shape();
+    let n = b.cols();
+    assert_eq!(out.len(), m * n, "matmul_at_b output size");
+    out.fill(0.0);
+    let limit = chunk_limit(m * k * n);
+    pool.run_rows_limited(m, n, out, limit, &|r0, rows, chunk| {
+        blocked_tn(k, m, n, a.as_slice(), b.as_slice(), r0, rows, chunk);
+    });
+}
+
+/// `out = a · Bᵀ` where `B` is a row-major `b_rows × a.cols()` slice — the
+/// input-gradient product `δ · Wᵀ` against a weight block held in flat
+/// parameter storage. `out` is resized to `(a.rows(), b_rows)` reusing its
+/// allocation.
+///
+/// # Panics
+/// Panics if `b.len() != b_rows * a.cols()`.
+pub fn matmul_a_bt_view_into(
+    a: &Matrix,
+    b: &[f32],
+    b_rows: usize,
+    out: &mut Matrix,
+    pool: &Pool,
+) {
+    let (m, k) = a.shape();
+    assert_eq!(b.len(), b_rows * k, "matmul_a_bt weight slice size");
+    let n = b_rows;
+    out.resize_buffer(m, n);
+    out.fill_zero();
+    with_pack_bufs(|at, bt| {
+        pack_transpose_into(a, at);
+        pack_transpose_slice_into(b, n, k, bt);
+        let limit = chunk_limit(m * k * n);
+        pool.run_rows_limited(m, n, out.as_mut_slice(), limit, &|r0, rows, chunk| {
+            blocked_tn(k, m, n, at, bt, r0, rows, chunk);
+        });
+    });
+}
+
+// ---- pooled products --------------------------------------------------------
 
 /// Parallel `a · b` using `pool` to split the rows of the output across
 /// workers. Bit-identical to [`matmul`] for every worker count.
 ///
-/// Falls back to the serial kernel when the pool has one worker or the
-/// problem is too small to amortize the handoff cost.
+/// Falls back to the serial kernel when the effective fan-out is one or the
+/// problem is too small to amortize the hand-off cost (see
+/// [`MIN_MADDS_PER_WORKER`]: the fan-out is additionally capped so every
+/// chunk keeps at least that much work).
 pub fn matmul_pooled(a: &Matrix, b: &Matrix, pool: &Pool) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "matmul inner dim");
     let (m, k) = a.shape();
     let n = b.cols();
-    if pool.workers() <= 1 || m * k * n < POOL_FLOP_THRESHOLD {
-        return matmul(a, b);
-    }
-    let at = pack_transpose(a);
     let mut out = Matrix::zeros(m, n);
-    pool.run_rows(m, n, out.as_mut_slice(), &|r0, rows, chunk| {
-        blocked_tn(k, m, n, &at, b.as_slice(), r0, rows, chunk);
+    with_pack_bufs(|at, _| {
+        pack_transpose_into(a, at);
+        let limit = chunk_limit(m * k * n);
+        pool.run_rows_limited(m, n, out.as_mut_slice(), limit, &|r0, rows, chunk| {
+            blocked_tn(k, m, n, at, b.as_slice(), r0, rows, chunk);
+        });
     });
     out
 }
 
 /// Parallel `aᵀ · b` (weight-gradient shape). Bit-identical to
-/// [`matmul_at_b`] for every worker count.
+/// [`matmul_at_b`] for every worker count and subject to the same work-size
+/// gate as [`matmul_pooled`].
 pub fn matmul_at_b_pooled(a: &Matrix, b: &Matrix, pool: &Pool) -> Matrix {
-    assert_eq!(a.rows(), b.rows(), "matmul_at_b shared dim");
-    let (k, m) = a.shape();
-    let n = b.cols();
-    if pool.workers() <= 1 || m * k * n < POOL_FLOP_THRESHOLD {
-        return matmul_at_b(a, b);
-    }
-    let mut out = Matrix::zeros(m, n);
-    pool.run_rows(m, n, out.as_mut_slice(), &|r0, rows, chunk| {
-        blocked_tn(k, m, n, a.as_slice(), b.as_slice(), r0, rows, chunk);
-    });
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    matmul_at_b_slice_into(a, b, out.as_mut_slice(), pool);
     out
 }
 
 /// Parallel `a · bᵀ` (input-gradient shape). Bit-identical to
-/// [`matmul_a_bt`] for every worker count.
+/// [`matmul_a_bt`] for every worker count and subject to the same work-size
+/// gate as [`matmul_pooled`].
 pub fn matmul_a_bt_pooled(a: &Matrix, b: &Matrix, pool: &Pool) -> Matrix {
     assert_eq!(a.cols(), b.cols(), "matmul_a_bt shared dim");
-    let (m, k) = a.shape();
-    let n = b.rows();
-    if pool.workers() <= 1 || m * k * n < POOL_FLOP_THRESHOLD {
-        return matmul_a_bt(a, b);
-    }
-    let at = pack_transpose(a);
-    let bt = pack_transpose(b);
-    let mut out = Matrix::zeros(m, n);
-    pool.run_rows(m, n, out.as_mut_slice(), &|r0, rows, chunk| {
-        blocked_tn(k, m, n, &at, &bt, r0, rows, chunk);
-    });
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    matmul_a_bt_view_into(a, b.as_slice(), b.rows(), &mut out, pool);
     out
 }
 
@@ -444,7 +992,7 @@ pub fn scale_assign(a: &mut Matrix, s: f32) {
     }
 }
 
-/// `y += alpha * x` on raw slices (the Adam/SGD update primitive).
+/// `y += alpha * x` on raw slices (the SGD update primitive).
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     debug_assert_eq!(x.len(), y.len());
     for (yi, xi) in y.iter_mut().zip(x) {
@@ -581,6 +1129,68 @@ mod tests {
         assert_eq!(matmul_a_bt(&a, &b).as_slice(), naive_matmul_a_bt(&a, &b).as_slice());
     }
 
+    /// The fused forward kernel must reproduce the unfused three-step
+    /// pipeline bit-for-bit for every activation and for ragged edge tiles.
+    #[test]
+    fn fused_epilogue_is_bit_exact_vs_unfused() {
+        let mut rng = Rng64::seed_from(50);
+        for &(m, k, n) in
+            &[(1usize, 1usize, 1usize), (3, 5, 2), (4, 16, 16), (7, 33, 19), (23, 11, 37)]
+        {
+            let a = rng.uniform_matrix(m, k, -2.0, 2.0);
+            let w = rng.uniform_matrix(k, n, -1.0, 1.0);
+            let bias: Vec<f32> = (0..n).map(|_| rng.uniform(-0.5, 0.5)).collect();
+            for act in
+                [ActKind::Identity, ActKind::Tanh, ActKind::Sigmoid, ActKind::LeakyRelu(0.2)]
+            {
+                // Unfused reference: matmul, then bias, then activation.
+                let mut expect = matmul(&a, &w);
+                add_row_vector(&mut expect, &bias);
+                for v in expect.as_mut_slice() {
+                    *v = act.apply(*v);
+                }
+                let mut fused = Matrix::zeros(0, 0);
+                matmul_bias_act_into(
+                    &a,
+                    w.as_slice(),
+                    n,
+                    &bias,
+                    act,
+                    &mut fused,
+                    &Pool::serial(),
+                );
+                assert_eq!(fused.shape(), (m, n));
+                assert_eq!(
+                    fused.as_slice(),
+                    expect.as_slice(),
+                    "{m}x{k}x{n} {act:?} fused drift"
+                );
+                // Pooled fused path must agree too.
+                let pool = Pool::uncapped(3);
+                let mut pooled = Matrix::zeros(0, 0);
+                matmul_bias_act_into(&a, w.as_slice(), n, &bias, act, &mut pooled, &pool);
+                assert_eq!(pooled.as_slice(), expect.as_slice(), "pooled fused drift");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_products_match_matrix_products() {
+        let mut rng = Rng64::seed_from(51);
+        let x = rng.uniform_matrix(9, 6, -1.0, 1.0);
+        let delta = rng.uniform_matrix(9, 4, -1.0, 1.0);
+        let w = rng.uniform_matrix(5, 6, -1.0, 1.0);
+        // dw into a flat slice == matmul_at_b.
+        let mut dw = vec![9.9f32; 6 * 4];
+        matmul_at_b_slice_into(&x, &delta, &mut dw, &Pool::serial());
+        assert_eq!(&dw, matmul_at_b(&x, &delta).as_slice());
+        // dx against a weight view == matmul_a_bt.
+        let d2 = rng.uniform_matrix(7, 6, -1.0, 1.0);
+        let mut dx = Matrix::zeros(0, 0);
+        matmul_a_bt_view_into(&d2, w.as_slice(), 5, &mut dx, &Pool::serial());
+        assert_eq!(dx.as_slice(), matmul_a_bt(&d2, &w).as_slice());
+    }
+
     #[test]
     fn pooled_matmul_is_bit_exact_for_any_worker_count() {
         // Determinism, not mere closeness: the distributed drivers assert
@@ -591,7 +1201,7 @@ mod tests {
         let b = rng.uniform_matrix(17, 11, -1.0, 1.0);
         let serial = matmul(&a, &b);
         for workers in 1..=4 {
-            let pool = Pool::new(workers);
+            let pool = Pool::uncapped(workers);
             for _ in 0..3 {
                 let pooled = matmul_pooled(&a, &b, &pool);
                 assert_eq!(
@@ -606,17 +1216,30 @@ mod tests {
     #[test]
     fn pooled_backprop_kernels_are_bit_exact() {
         let mut rng = Rng64::seed_from(23);
-        // Big enough to clear the pooling threshold.
         let x = rng.uniform_matrix(64, 48, -1.0, 1.0);
         let delta = rng.uniform_matrix(64, 56, -1.0, 1.0);
         let w = rng.uniform_matrix(48, 56, -1.0, 1.0);
         let at_b = matmul_at_b(&x, &delta);
         let a_bt = matmul_a_bt(&delta, &w);
         for workers in 1..=4 {
-            let pool = Pool::new(workers);
+            let pool = Pool::uncapped(workers);
             assert_eq!(matmul_at_b_pooled(&x, &delta, &pool).as_slice(), at_b.as_slice());
             assert_eq!(matmul_a_bt_pooled(&delta, &w, &pool).as_slice(), a_bt.as_slice());
         }
+    }
+
+    #[test]
+    fn work_size_gate_keeps_small_products_inline() {
+        // A product under the per-worker flop floor must produce the same
+        // result through the pooled entry points (the gate is a pure
+        // dispatch decision). 8×8×8 = 512 madds is far below the gate.
+        let mut rng = Rng64::seed_from(24);
+        let a = rng.uniform_matrix(8, 8, -1.0, 1.0);
+        let b = rng.uniform_matrix(8, 8, -1.0, 1.0);
+        let pool = Pool::uncapped(4);
+        assert_eq!(matmul_pooled(&a, &b, &pool).as_slice(), matmul(&a, &b).as_slice());
+        assert_eq!(chunk_limit(8 * 8 * 8), 1, "tiny product must stay inline");
+        assert!(chunk_limit(100 * 784 * 256) > 1, "paper-scale product may fan out");
     }
 
     #[test]
@@ -644,7 +1267,7 @@ mod tests {
         let mut rng = Rng64::seed_from(10);
         let a = rng.uniform_matrix(64, 96, -1.0, 1.0);
         let b = rng.uniform_matrix(96, 80, -1.0, 1.0);
-        let pool = Pool::new(3);
+        let pool = Pool::uncapped(3);
         let par = matmul_pooled(&a, &b, &pool);
         let ser = matmul(&a, &b);
         assert!(par.max_abs_diff(&ser) < 1e-5);
@@ -666,6 +1289,21 @@ mod tests {
         assert_eq!(matmul(&a, &b).shape(), (0, 3));
         let at = Matrix::zeros(4, 0);
         assert_eq!(matmul_at_b(&at, &b).shape(), (0, 3));
+    }
+
+    #[test]
+    fn fused_with_zero_inner_dim_is_bias_activation() {
+        // k = 0: the product contributes nothing; out = act(0 + bias).
+        let a = Matrix::zeros(3, 0);
+        let w: [f32; 0] = [];
+        let bias = [0.5f32, -0.25];
+        let mut out = Matrix::zeros(0, 0);
+        matmul_bias_act_into(&a, &w, 2, &bias, ActKind::Tanh, &mut out, &Pool::serial());
+        assert_eq!(out.shape(), (3, 2));
+        for r in 0..3 {
+            assert_eq!(out[(r, 0)], ActKind::Tanh.apply(0.5));
+            assert_eq!(out[(r, 1)], ActKind::Tanh.apply(-0.25));
+        }
     }
 
     #[test]
@@ -705,5 +1343,75 @@ mod tests {
         let a: Vec<f32> = (0..7).map(|i| i as f32).collect();
         let b = vec![2.0f32; 7];
         assert_eq!(dot(&a, &b), 2.0 * (0..7).sum::<i32>() as f32);
+    }
+
+    #[test]
+    fn fast_tanh_is_accurate_and_well_behaved() {
+        // Reference through f64 tanh; the approximation must stay within a
+        // few f32 ulps everywhere, keep |t| ≤ 1, and be odd.
+        let mut rng = Rng64::seed_from(60);
+        for _ in 0..20_000 {
+            let x = rng.uniform(-12.0, 12.0);
+            let t = fast_tanh(x);
+            let reference = (x as f64).tanh() as f32;
+            let tol = (reference.abs() * 1e-6).max(1e-7);
+            assert!(
+                (t - reference).abs() <= tol,
+                "fast_tanh({x}) = {t} vs {reference} (err {})",
+                (t - reference).abs()
+            );
+            assert!(t.abs() <= 1.0, "fast_tanh({x}) = {t} out of range");
+            assert_eq!(fast_tanh(-x).to_bits(), (-t).to_bits(), "odd symmetry at {x}");
+        }
+        assert_eq!(fast_tanh(0.0).to_bits(), 0.0f32.to_bits());
+        assert_eq!(fast_tanh(-0.0).to_bits(), (-0.0f32).to_bits());
+        assert_eq!(fast_tanh(40.0), 1.0);
+        assert_eq!(fast_tanh(f32::INFINITY), 1.0);
+        assert_eq!(fast_tanh(-f32::INFINITY), -1.0);
+        // NaN propagates with its exact payload (a diverged run must stay
+        // visibly poisoned).
+        let nan = f32::from_bits(0x7FC0_1234);
+        assert_eq!(fast_tanh(nan).to_bits(), nan.to_bits());
+        // Tiny inputs: tanh(x) ≈ x with full relative precision (the em1
+        // formulation avoids the 1 − 2/(e+1) cancellation).
+        for x in [1e-6f32, 1e-4, -3e-5, 1e-9] {
+            let t = fast_tanh(x);
+            assert!((t - x).abs() <= x.abs() * 1e-3, "tiny input {x} -> {t}");
+        }
+    }
+
+    #[test]
+    fn vectorized_tanh_matches_scalar_bitwise() {
+        // The AVX2 slice kernel must agree with the scalar reference on
+        // every lane, for odd lengths (tail path) and edge values.
+        let mut rng = Rng64::seed_from(61);
+        let mut xs: Vec<f32> = (0..1000).map(|_| rng.uniform(-15.0, 15.0)).collect();
+        xs.extend_from_slice(&[
+            0.0,
+            -0.0,
+            TANH_CLAMP,
+            -TANH_CLAMP,
+            8.999_999,
+            1e-30,
+            -1e-30,
+            f32::MIN_POSITIVE / 2.0, // subnormal
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            f32::from_bits(0xFFC0_5678), // negative NaN with payload
+        ]);
+        let expect: Vec<u32> = xs.iter().map(|&v| fast_tanh(v).to_bits()).collect();
+        apply_act(ActKind::Tanh, &mut xs);
+        let got: Vec<u32> = xs.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, expect, "vector tanh drifted from the scalar reference");
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!(sigmoid(100.0) <= 1.0);
+        assert!(sigmoid(-100.0) >= 0.0);
+        assert!((sigmoid(100.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
     }
 }

@@ -26,8 +26,23 @@ use std::thread::JoinHandle;
 /// `Pool::new(1)` (or [`Pool::serial`]) makes every `run_*` call execute
 /// inline. Cloning a pool shares the same resident workers; the threads shut
 /// down when the last clone is dropped.
+///
+/// # Fan-out cap
+///
+/// Splitting a compute-bound kernel across more threads than the host has
+/// cores is pure loss: the chunks time-slice on the same cores and pay the
+/// hand-off latency on top. [`Pool::new`] therefore caps the *dispatch*
+/// fan-out at the host's available parallelism and only spawns as many
+/// resident threads as that cap can ever dispatch to (the cap is fixed at
+/// construction, so extra threads could never be used). The determinism
+/// suites use [`Pool::uncapped`] to exercise the chunked code paths
+/// regardless of the host they run on — results are bit-identical either
+/// way, only wall-clock differs.
 pub struct Pool {
     workers: usize,
+    /// Upper bound on chunks per dispatch (host cores for [`Pool::new`],
+    /// `workers` for [`Pool::uncapped`]).
+    fanout_cap: usize,
     registry: Option<Arc<Registry>>,
 }
 
@@ -132,21 +147,41 @@ fn worker_loop(shared: &Shared) {
 }
 
 impl Pool {
-    /// Create a pool that splits work across `workers` threads (min 1).
+    /// Create a pool that splits work across `workers` threads (min 1),
+    /// with the dispatch fan-out capped at the host's core count.
     ///
     /// Spawns `workers - 1` resident threads; the calling thread is always
     /// the remaining worker.
     pub fn new(workers: usize) -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::with_fanout_cap(workers, cores)
+    }
+
+    /// Like [`Pool::new`] but without the host-core fan-out cap: every
+    /// dispatch splits into up to `workers` chunks even on a smaller host.
+    /// Used by the determinism tests (the chunked code paths must be
+    /// exercised on any CI machine) and by cross-host benchmarks.
+    pub fn uncapped(workers: usize) -> Self {
+        Self::with_fanout_cap(workers, workers.max(1))
+    }
+
+    fn with_fanout_cap(workers: usize, fanout_cap: usize) -> Self {
         let workers = workers.max(1);
-        if workers == 1 {
-            return Self { workers, registry: None };
+        let fanout_cap = fanout_cap.max(1);
+        // Resident threads beyond the fan-out cap could never be handed a
+        // chunk (the cap is fixed at construction), so don't spawn them —
+        // a Pool::new(8) on a 1-core host runs fully inline with zero
+        // threads instead of parking seven forever.
+        let spawnable = workers.min(fanout_cap);
+        if spawnable == 1 {
+            return Self { workers, fanout_cap, registry: None };
         }
         let shared = Arc::new(Shared {
             state: Mutex::new(State { job: None, shutdown: false }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
         });
-        let handles = (0..workers - 1)
+        let handles = (0..spawnable - 1)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -156,7 +191,7 @@ impl Pool {
             })
             .collect();
         let registry = Registry { shared, handles: Mutex::new(handles) };
-        Self { workers, registry: Some(Arc::new(registry)) }
+        Self { workers, fanout_cap, registry: Some(Arc::new(registry)) }
     }
 
     /// A pool that always runs inline on the calling thread.
@@ -174,6 +209,13 @@ impl Pool {
     #[inline]
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Effective dispatch width: `workers` clamped to the fan-out cap (the
+    /// host's core count for pools built by [`Pool::new`]).
+    #[inline]
+    pub fn fanout(&self) -> usize {
+        self.workers.min(self.fanout_cap)
     }
 
     /// Run `f(chunk_index)` for every chunk in `0..nchunks`, fanning out to
@@ -250,12 +292,28 @@ impl Pool {
         out: &mut [f32],
         f: &(dyn Fn(usize, usize, &mut [f32]) + Sync),
     ) {
+        self.run_rows_limited(rows, row_width, out, usize::MAX, f);
+    }
+
+    /// [`Pool::run_rows`] with an additional ceiling on the number of
+    /// chunks — the work-size gate of the pooled kernels: a caller that
+    /// knows the job is only worth `max_chunks` ways of parallelism (e.g.
+    /// from a flop count) passes it here, and a ceiling of one runs the
+    /// whole job inline with zero synchronization.
+    pub fn run_rows_limited(
+        &self,
+        rows: usize,
+        row_width: usize,
+        out: &mut [f32],
+        max_chunks: usize,
+        f: &(dyn Fn(usize, usize, &mut [f32]) + Sync),
+    ) {
         assert_eq!(out.len(), rows * row_width, "run_rows buffer size");
-        if self.workers == 1 || rows <= 1 {
+        let nchunks = self.fanout().min(rows).min(max_chunks.max(1));
+        if nchunks <= 1 {
             f(0, rows, out);
             return;
         }
-        let nchunks = self.workers.min(rows);
         let bounds = chunk_bounds(rows, nchunks);
         let base = SyncPtr(out.as_mut_ptr());
         self.execute(nchunks, &|c| {
@@ -276,11 +334,11 @@ impl Pool {
     ///
     /// Useful for read-only sweeps (e.g. evaluating several adversaries).
     pub fn run_ranges(&self, n: usize, f: &(dyn Fn(Range<usize>) + Sync)) {
-        if self.workers == 1 || n <= 1 {
+        let nchunks = self.fanout().min(n);
+        if nchunks <= 1 {
             f(0..n);
             return;
         }
-        let nchunks = self.workers.min(n);
         let bounds = chunk_bounds(n, nchunks);
         self.execute(nchunks, &|c| {
             let (start, take) = bounds(c);
@@ -318,7 +376,11 @@ fn chunk_bounds(n: usize, nchunks: usize) -> impl Fn(usize) -> (usize, usize) + 
 
 impl Clone for Pool {
     fn clone(&self) -> Self {
-        Self { workers: self.workers, registry: self.registry.clone() }
+        Self {
+            workers: self.workers,
+            fanout_cap: self.fanout_cap,
+            registry: self.registry.clone(),
+        }
     }
 }
 
@@ -362,7 +424,7 @@ mod tests {
 
     #[test]
     fn parallel_rows_cover_everything_once() {
-        let pool = Pool::new(4);
+        let pool = Pool::uncapped(4);
         let rows = 13;
         let width = 3;
         let mut out = vec![0.0; rows * width];
@@ -382,7 +444,7 @@ mod tests {
 
     #[test]
     fn run_ranges_partitions_exactly() {
-        let pool = Pool::new(3);
+        let pool = Pool::uncapped(3);
         let hits = AtomicUsize::new(0);
         pool.run_ranges(10, &|range| {
             hits.fetch_add(range.len(), Ordering::SeqCst);
@@ -392,7 +454,7 @@ mod tests {
 
     #[test]
     fn more_workers_than_rows() {
-        let pool = Pool::new(8);
+        let pool = Pool::uncapped(8);
         let mut out = vec![0.0; 2];
         pool.run_rows(2, 1, &mut out, &|r0, _n, chunk| {
             for (i, v) in chunk.iter_mut().enumerate() {
@@ -404,7 +466,7 @@ mod tests {
 
     #[test]
     fn zero_rows_is_noop() {
-        let pool = Pool::new(2);
+        let pool = Pool::uncapped(2);
         let mut out: Vec<f32> = vec![];
         pool.run_rows(0, 4, &mut out, &|_, _, _| {});
         pool.run_ranges(0, &|r| assert!(r.is_empty()));
@@ -414,7 +476,7 @@ mod tests {
     fn resident_workers_survive_many_jobs() {
         // The resident pool must hand off thousands of consecutive jobs
         // without deadlock or lost chunks (the whole point of residency).
-        let pool = Pool::new(3);
+        let pool = Pool::uncapped(3);
         let hits = AtomicUsize::new(0);
         for _ in 0..2000 {
             pool.run_ranges(7, &|range| {
@@ -426,7 +488,7 @@ mod tests {
 
     #[test]
     fn nested_jobs_run_inline_without_deadlock() {
-        let pool = Pool::new(2);
+        let pool = Pool::uncapped(2);
         let hits = AtomicUsize::new(0);
         pool.run_ranges(4, &|outer| {
             // A pooled call from inside a pooled call must not deadlock.
@@ -440,7 +502,7 @@ mod tests {
 
     #[test]
     fn clones_share_workers_and_drop_cleanly() {
-        let pool = Pool::new(4);
+        let pool = Pool::uncapped(4);
         let clone = pool.clone();
         assert_eq!(pool, clone);
         let hits = AtomicUsize::new(0);

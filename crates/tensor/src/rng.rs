@@ -126,10 +126,25 @@ impl Rng64 {
     /// Matrix with i.i.d. normal entries.
     pub fn normal_matrix(&mut self, rows: usize, cols: usize, mean: f32, std: f32) -> Matrix {
         let mut m = Matrix::zeros(rows, cols);
+        self.fill_normal(&mut m, rows, cols, mean, std);
+        m
+    }
+
+    /// Fill `m` (reshaped to `rows × cols`, reusing its allocation) with
+    /// i.i.d. normal entries — the allocation-free path of
+    /// [`Rng64::normal_matrix`], consuming exactly the same draws.
+    pub fn fill_normal(
+        &mut self,
+        m: &mut Matrix,
+        rows: usize,
+        cols: usize,
+        mean: f32,
+        std: f32,
+    ) {
+        m.resize_buffer(rows, cols);
         for v in m.as_mut_slice() {
             *v = self.normal(mean, std);
         }
-        m
     }
 
     /// Fisher–Yates shuffle of a slice.
@@ -152,15 +167,27 @@ impl Rng64 {
     /// # Panics
     /// Panics if `k > n`.
     pub fn sample_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let mut idx = Vec::new();
+        self.sample_distinct_with(n, k, &mut idx);
+        idx
+    }
+
+    /// [`Rng64::sample_distinct`] into a recycled buffer (same draws, no
+    /// allocation once `out` has capacity `n`). The training loop's
+    /// tournament selection calls this every batch.
+    ///
+    /// # Panics
+    /// Panics if `k > n`.
+    pub fn sample_distinct_with(&mut self, n: usize, k: usize, out: &mut Vec<usize>) {
         assert!(k <= n, "sample_distinct k > n");
         // Partial Fisher-Yates: O(n) setup is fine at our sizes (n ≤ 25).
-        let mut idx: Vec<usize> = (0..n).collect();
+        out.clear();
+        out.extend(0..n);
         for i in 0..k {
             let j = i + self.below(n - i);
-            idx.swap(i, j);
+            out.swap(i, j);
         }
-        idx.truncate(k);
-        idx
+        out.truncate(k);
     }
 }
 

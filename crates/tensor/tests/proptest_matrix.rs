@@ -84,7 +84,7 @@ proptest! {
         let a = rng.uniform_matrix(17, 23, -1.0, 1.0);
         let b = rng.uniform_matrix(23, 11, -1.0, 1.0);
         let serial = ops::matmul(&a, &b);
-        let pooled = ops::matmul_pooled(&a, &b, &Pool::new(workers));
+        let pooled = ops::matmul_pooled(&a, &b, &Pool::uncapped(workers));
         prop_assert!(serial.max_abs_diff(&pooled) < 1e-5);
     }
 
@@ -110,8 +110,67 @@ proptest! {
         let b = rng.uniform_matrix(k, n, -1.0, 1.0);
         let reference = reference_at_b(&a, &b);
         prop_assert_eq!(ops::matmul_at_b(&a, &b).as_slice(), reference.as_slice());
-        let pooled = ops::matmul_at_b_pooled(&a, &b, &Pool::new(workers));
+        let pooled = ops::matmul_at_b_pooled(&a, &b, &Pool::uncapped(workers));
         prop_assert_eq!(pooled.as_slice(), reference.as_slice());
+    }
+
+    /// Fused bias+activation epilogues must match the unfused pipeline
+    /// bit-for-bit for arbitrary shapes (every full/edge tile mix), every
+    /// activation, and every worker count.
+    #[test]
+    fn fused_epilogue_is_bit_exact_for_any_shape(
+        seed in 0u64..10_000, m in 1usize..40, k in 0usize..40, n in 1usize..40,
+        workers in 1usize..5, act_id in 0usize..4,
+    ) {
+        use lipiz_tensor::ActKind;
+        let act = [
+            ActKind::Identity,
+            ActKind::Tanh,
+            ActKind::Sigmoid,
+            ActKind::LeakyRelu(0.2),
+        ][act_id];
+        let mut rng = Rng64::seed_from(seed);
+        let a = rng.uniform_matrix(m, k, -2.0, 2.0);
+        let w = rng.uniform_matrix(k.max(1), n, -1.0, 1.0);
+        let wslice = &w.as_slice()[..k * n];
+        let bias: Vec<f32> = (0..n).map(|_| rng.uniform(-0.5, 0.5)).collect();
+        // Unfused reference over the same canonical accumulation order.
+        let mut expect = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f32;
+                for p in 0..k {
+                    s += a[(i, p)] * wslice[p * n + j];
+                }
+                expect[(i, j)] = act.apply(s + bias[j]);
+            }
+        }
+        let mut fused = Matrix::default();
+        ops::matmul_bias_act_into(&a, wslice, n, &bias, act, &mut fused, &Pool::uncapped(workers));
+        prop_assert_eq!(fused.as_slice(), expect.as_slice());
+    }
+
+    /// The slice-writing gradient kernels (weight gradients landing
+    /// directly in genome storage, input gradients against a flat weight
+    /// view) must be bit-exact against the matrix-returning kernels.
+    #[test]
+    fn slice_kernels_are_bit_exact(
+        seed in 0u64..10_000, m in 1usize..24, k in 1usize..24, n in 1usize..24,
+        workers in 1usize..5,
+    ) {
+        let mut rng = Rng64::seed_from(seed);
+        let pool = Pool::uncapped(workers);
+        let x = rng.uniform_matrix(k, m, -1.0, 1.0);
+        let delta = rng.uniform_matrix(k, n, -1.0, 1.0);
+        let mut dw = vec![7.7f32; m * n];
+        ops::matmul_at_b_slice_into(&x, &delta, &mut dw, &pool);
+        prop_assert_eq!(&dw, reference_at_b(&x, &delta).as_slice());
+
+        let d2 = rng.uniform_matrix(m, k, -1.0, 1.0);
+        let wmat = rng.uniform_matrix(n, k, -1.0, 1.0);
+        let mut dx = Matrix::default();
+        ops::matmul_a_bt_view_into(&d2, wmat.as_slice(), n, &mut dx, &pool);
+        prop_assert_eq!(dx.as_slice(), reference_a_bt(&d2, &wmat).as_slice());
     }
 
     #[test]
@@ -124,7 +183,7 @@ proptest! {
         let b = rng.uniform_matrix(n, k, -1.0, 1.0);
         let reference = reference_a_bt(&a, &b);
         prop_assert_eq!(ops::matmul_a_bt(&a, &b).as_slice(), reference.as_slice());
-        let pooled = ops::matmul_a_bt_pooled(&a, &b, &Pool::new(workers));
+        let pooled = ops::matmul_a_bt_pooled(&a, &b, &Pool::uncapped(workers));
         prop_assert_eq!(pooled.as_slice(), reference.as_slice());
     }
 
@@ -136,7 +195,7 @@ proptest! {
         let mut rng = Rng64::seed_from(seed);
         let a = rng.uniform_matrix(m, k, -1.0, 1.0);
         let b = rng.uniform_matrix(k, n, -1.0, 1.0);
-        let pooled = ops::matmul_pooled(&a, &b, &Pool::new(workers));
+        let pooled = ops::matmul_pooled(&a, &b, &Pool::uncapped(workers));
         prop_assert_eq!(pooled.as_slice(), reference_matmul(&a, &b).as_slice());
     }
 

@@ -367,7 +367,7 @@ fn run_sequential_driver(t: &mut SequentialTrainer, cfg: &TrainConfig) -> TrainR
     let report = t.run_hooked(|iter, engines| {
         if cfg.checkpoint.commits_after(iter) {
             for e in engines.iter_mut() {
-                writer.submit(e.capture_state());
+                writer.submit(capture_recycled(&writer, e));
             }
         }
     });
@@ -394,13 +394,29 @@ fn run_sim_driver(
         |iter, engines| {
             if cfg.checkpoint.commits_after(iter) {
                 for e in engines.iter_mut() {
-                    writer.submit(e.capture_state());
+                    writer.submit(capture_recycled(&writer, e));
                 }
             }
         },
     );
     writer.finish().unwrap_or_else(|e| fail(&format!("checkpoint commit failed: {e}")));
     outcome
+}
+
+/// Capture a cell state through the writer's recycle lane when a spent
+/// buffer is available (the double-buffered zero-allocation path the slave
+/// uses), falling back to a fresh capture otherwise.
+fn capture_recycled(
+    writer: &CheckpointWriter,
+    e: &mut lipizzaner::core::CellEngine,
+) -> CellState {
+    match writer.recycled() {
+        Some(mut recycled) => {
+            e.capture_state_into(&mut recycled);
+            recycled
+        }
+        None => e.capture_state(),
+    }
 }
 
 fn fail(msg: &str) -> ! {

@@ -184,7 +184,7 @@ proptest! {
         let genome = net.genome();
         let mut other =
             Mlp::from_dims(&[3, 6, 2], Activation::Tanh, Activation::Identity, &mut rng);
-        other.load_genome(&genome);
+        other.load_genome(genome);
         prop_assert!(other.forward(&x).max_abs_diff(&y) < 1e-7);
     }
 

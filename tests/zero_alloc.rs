@@ -1,0 +1,117 @@
+//! The tentpole invariant of the workspace/contiguous-parameter rebuild:
+//! a **steady-state training iteration performs zero heap allocations**.
+//!
+//! This binary installs a counting global allocator, warms a cell engine up
+//! (first iterations size every recycled buffer: forward caches, delta
+//! ping-pong, gradient accumulators, latent/fake/real batches, update-phase
+//! fakes and logits, the mixture-ES candidate), then asserts that further
+//! iterations allocate nothing at all — through the gather, mutate, train
+//! and update-genomes phases, including the per-iteration mixture
+//! evolution (`mixture_every = 1` in the smoke config).
+//!
+//! The test binary holds exactly this one test: the allocator counter is
+//! process-global, so a concurrently running sibling test would poison the
+//! measured window.
+
+use lipizzaner::core::{CellEngine, CellSnapshot, Profiler, TrainConfig};
+use lipizzaner::tensor::{Matrix, Pool, Rng64};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation request (alloc / alloc_zeroed / realloc) made by
+/// any thread in the process; frees are not counted.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+fn toy_data(cfg: &TrainConfig) -> Matrix {
+    let mut rng = Rng64::seed_from(cfg.training.data_seed);
+    rng.uniform_matrix(cfg.training.dataset_size, cfg.network.data_dim, -0.9, 0.9)
+}
+
+/// Run `iters` full iterations against fixed neighbor snapshots and return
+/// the allocation count observed across them.
+fn allocations_over(engine: &mut CellEngine, snaps: &[CellSnapshot], iters: usize) -> u64 {
+    let mut prof = Profiler::new();
+    let before = allocations();
+    for _ in 0..iters {
+        engine.run_iteration(snaps, &mut prof);
+    }
+    allocations() - before
+}
+
+#[test]
+fn steady_state_iteration_allocates_nothing() {
+    // Slightly larger than the smoke default so every code path (tournament
+    // branches, disc-skip cadence, epoch wrap of the batch loader, mixture
+    // evolution) runs inside the measured window.
+    let mut cfg = TrainConfig::smoke(2);
+    cfg.coevolution.iterations = 64; // never reached; engine driven manually
+    let data = toy_data(&cfg);
+
+    // --- serial pool: the strict assertion --------------------------------
+    let mut engine = CellEngine::new(0, &cfg, data.clone());
+    let snaps: Vec<CellSnapshot> = (0..4).map(|_| engine.snapshot()).collect();
+
+    // Warmup sizes every recycled buffer (and crosses a loader epoch).
+    let warm = allocations_over(&mut engine, &snaps, 4);
+    assert!(warm > 0, "warmup pass should have sized the workspace buffers");
+
+    let steady = allocations_over(&mut engine, &snaps, 6);
+    assert_eq!(
+        steady, 0,
+        "steady-state serial training iterations must perform zero heap allocations"
+    );
+
+    // Recycled snapshot capture is allocation-free too.
+    let mut snap = engine.snapshot();
+    let before = allocations();
+    engine.snapshot_into(&mut snap);
+    assert_eq!(allocations() - before, 0, "snapshot_into must not allocate");
+
+    // Recycled checkpoint capture: warm once, then allocation-free.
+    let mut state = engine.capture_state();
+    let before = allocations();
+    engine.capture_state_into(&mut state);
+    assert_eq!(allocations() - before, 0, "capture_state_into must not allocate");
+
+    // --- pooled engine: dispatch must not allocate either -----------------
+    // (Uncapped so the chunked kernel paths actually run on a 1-core CI
+    // host; the job hand-off is a condvar wake, not an allocation.)
+    let mut pooled = CellEngine::with_pool(0, &cfg, data, Pool::uncapped(2));
+    let psnaps: Vec<CellSnapshot> = (0..4).map(|_| pooled.snapshot()).collect();
+    allocations_over(&mut pooled, &psnaps, 4);
+    let steady = allocations_over(&mut pooled, &psnaps, 6);
+    assert_eq!(
+        steady, 0,
+        "steady-state pooled training iterations must perform zero heap allocations"
+    );
+}
