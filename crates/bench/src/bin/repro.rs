@@ -76,6 +76,9 @@ fn main() {
     if run("checkpoint") {
         println!("{}", experiments::checkpoint_resume(args.scale));
     }
+    if run("faults") {
+        println!("{}", experiments::fault_staleness(args.scale));
+    }
     if run("scaling") {
         println!("{}", experiments::scaling_extension(args.scale, args.max_m));
     }

@@ -403,6 +403,53 @@ pub fn checkpoint_resume(scale: Scale) -> String {
     out
 }
 
+/// Beyond the paper: staleness vs quality under in-flight rank
+/// replacement. One rank is scripted to die halfway through training; the
+/// run is replayed at increasing staleness bounds (the replacement rejoins
+/// the exchange `max_stale` rounds after the kill, catching up solo
+/// against the frozen death-frame). Each degraded run is a pure function
+/// of (seed, fault plan): every row is produced twice and must replay to
+/// byte-identical ensembles.
+pub fn fault_staleness(scale: Scale) -> String {
+    let mut cfg = scaled_config(2, scale);
+    cfg.coevolution.iterations = cfg.coevolution.iterations.max(6);
+    let data = digits_data(&cfg);
+    let kill = cfg.coevolution.iterations / 2;
+    let victim_cell = 2usize; // world rank 3
+    let sim = SimulatedCluster::cluster_uy(SimulationOptions::default());
+
+    let healthy = sim.run(&cfg, |_| data.clone());
+    let mut t = TextTable::new(
+        &format!(
+            "FAULT TOLERANCE — STALENESS vs QUALITY (2x2 grid, rank {} killed at iteration {kill})",
+            victim_cell + 1
+        ),
+        &["max stale", "rejoin round", "victim G fitness", "best G fitness", "replay"],
+    );
+    t.row(&[
+        "0 (no fault)".into(),
+        "-".into(),
+        fixed(healthy.report.cells[victim_cell].gen_fitness, 4),
+        fixed(healthy.report.best().gen_fitness, 4),
+        "identical".into(),
+    ]);
+    for max_stale in 1..=3usize {
+        let faulted =
+            cfg.clone().with_fault_plan(format!("kill:{}@{kill}", victim_cell + 1), max_stale);
+        let a = sim.run(&faulted, |_| data.clone());
+        let b = sim.run(&faulted, |_| data.clone());
+        let replay = if a.ensembles == b.ensembles { "identical" } else { "DIVERGED" };
+        t.row(&[
+            max_stale.to_string(),
+            (kill + max_stale).to_string(),
+            fixed(a.report.cells[victim_cell].gen_fitness, 4),
+            fixed(a.report.best().gen_fitness, 4),
+            replay.into(),
+        ]);
+    }
+    t.render()
+}
+
 pub fn scaling_extension(scale: Scale, max_m: usize) -> String {
     let grids: Vec<usize> = (2..=max_m).collect();
     let rows = run_table3(scale, 3, &grids);
@@ -495,6 +542,14 @@ mod tests {
         let s = fig3();
         assert!(s.contains("node announcements"));
         assert!(s.contains("best cell"));
+    }
+
+    #[test]
+    fn fault_staleness_rows_replay_identically() {
+        let s = fault_staleness(Scale::Smoke);
+        assert!(s.contains("no fault"), "missing healthy baseline row:\n{s}");
+        assert!(s.contains("identical"), "missing replay verdicts:\n{s}");
+        assert!(!s.contains("DIVERGED"), "degraded replay diverged:\n{s}");
     }
 
     #[test]

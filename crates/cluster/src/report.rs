@@ -1,7 +1,7 @@
 //! Simulation outcome types.
 
 use crate::allocation::Placement;
-use lipiz_core::TrainReport;
+use lipiz_core::{EnsembleModel, TrainReport};
 use serde::{Deserialize, Serialize};
 
 /// Communication statistics of a simulated run.
@@ -29,6 +29,11 @@ pub struct SimOutcome {
     pub comm: CommStats,
     /// Host (real) seconds the simulation took to execute.
     pub host_seconds: f64,
+    /// Each cell's final mixture-of-generators model (cell order) — the
+    /// artifact a real run would persist. Carrying them here lets callers
+    /// compare faulted replays byte-for-byte without re-running a
+    /// sequential pass (which knows nothing about fault degradation).
+    pub ensembles: Vec<EnsembleModel>,
 }
 
 impl SimOutcome {
@@ -71,6 +76,7 @@ mod tests {
             rank_clocks: vec![2.0, 2.0, 2.0, 2.0],
             comm: CommStats::default(),
             host_seconds: 0.1,
+            ensembles: vec![],
         };
         assert!((outcome.imbalance() - 1.0).abs() < 1e-12);
         assert_eq!(outcome.virtual_wall(), 4.0);

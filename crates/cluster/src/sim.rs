@@ -9,8 +9,26 @@ use lipiz_core::{
     CellEngine, CellResult, CellSnapshot, CellState, Grid, Profiler, Routine, TrainConfig,
     TrainReport,
 };
+use lipiz_mpi::{replacement_schedule, FaultPlan, ReplacementSchedule};
 use lipiz_tensor::{Matrix, Pool};
 use std::time::Instant;
+
+/// The in-flight replacement the config's fault plan implies, if any —
+/// exactly the arithmetic the distributed master and slaves run (see
+/// [`replacement_schedule`]), so the simulator degrades the same run the
+/// same way. A kill at or before the resume point cannot be modeled (the
+/// frozen death-frame would predate the simulation) and is ignored.
+fn scheduled_fault(cfg: &TrainConfig, start_iter: usize) -> Option<ReplacementSchedule> {
+    let plan = FaultPlan::parse(cfg.fault.plan.as_deref()?).ok()?;
+    let sched = replacement_schedule(
+        &plan,
+        cfg.fault.max_stale_iters,
+        cfg.checkpoint.every,
+        cfg.checkpoint.effective_iterations(cfg.coevolution.iterations),
+        cfg.cells(),
+    )?;
+    (sched.kill_iter > start_iter).then_some(sched)
+}
 
 /// Simulation knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -117,17 +135,77 @@ impl SimulatedCluster {
 
         let start_iter = engines.first().map_or(0, |e| e.iterations_done());
         let target = cfg.checkpoint.effective_iterations(cfg.coevolution.iterations);
+        // Scripted fault modeling (mirrors the distributed stack exactly):
+        // the victim dies at the top of iteration `kill_iter` — its last
+        // exchanged snapshot is round kill_iter-1 — and its replacement
+        // restores from the newest committed cut (or from scratch), catches
+        // up solo against the frozen death-frame, and rejoins the live
+        // exchange at `rejoin_round`. Survivors meanwhile train against the
+        // victim's frozen snapshot, which the fan-in root substitutes for
+        // every round of the absence window. Note the replacement's
+        // iteration counter runs ahead of the grid inside the window, so
+        // checkpoint hooks must not commit grid-wide cuts there (the real
+        // drivers' per-cell checkpoints have no such constraint).
+        let fault = scheduled_fault(cfg, start_iter);
+        let mut victim_cut: Option<CellState> = None;
         // Recycled snapshot + neighbor fan-out buffers (the virtual clocks
         // measure host time, so the capture path should stay as cheap as
         // the real drivers': no genome-sized allocations per iteration).
         let mut snapshots: Vec<CellSnapshot> = Vec::new();
         let mut neighbor_scratch: Vec<CellSnapshot> = Vec::new();
         for iter in start_iter..target {
+            let absent = |c: usize| {
+                fault.is_some_and(|s| {
+                    c == s.cell && iter >= s.kill_iter && iter < s.rejoin_round
+                })
+            };
+            if let Some(sched) = fault {
+                if iter == sched.kill_iter {
+                    // The kill lands before this round's snapshot, so
+                    // `snapshots` still holds the round kill_iter-1
+                    // payloads — exactly the frozen death-frame the fan-in
+                    // root captures and serves to the replacement.
+                    let frozen_neighbors: Vec<CellSnapshot> = grid
+                        .neighbors(sched.cell)
+                        .into_iter()
+                        .map(|n| snapshots[n].clone())
+                        .collect();
+                    let mut repl = match &victim_cut {
+                        Some(state) => CellEngine::from_state(
+                            cfg,
+                            make_data(sched.cell),
+                            pool.clone(),
+                            state,
+                        ),
+                        None => CellEngine::with_pool(
+                            sched.cell,
+                            cfg,
+                            make_data(sched.cell),
+                            pool.clone(),
+                        ),
+                    };
+                    // Solo catch-up: the same frozen neighborhood for every
+                    // iteration and no exchanges — a pure function of
+                    // (seed, plan), same as the real replacement process.
+                    let mut catchup = Profiler::new();
+                    while repl.iterations_done() < sched.rejoin_round {
+                        repl.run_iteration(&frozen_neighbors, &mut catchup);
+                    }
+                    profilers[sched.cell].merge(&catchup);
+                    engines[sched.cell] = repl;
+                }
+            }
             // --- gather: snapshot, allgather (sync point), ingest -------
             snapshots.resize_with(cells, CellSnapshot::empty);
             let mut ready = vec![0.0f64; cells];
             let mut max_bytes = 0usize;
             for (c, engine) in engines.iter_mut().enumerate() {
+                if absent(c) {
+                    // Dead rank: nothing arrives; the root substitutes its
+                    // cached round-(kill_iter-1) payload — which is what
+                    // this recycled slot already holds.
+                    continue;
+                }
                 let t0 = Instant::now();
                 engine.snapshot_into(&mut snapshots[c]);
                 let host = t0.elapsed().as_secs_f64();
@@ -136,14 +214,19 @@ impl SimulatedCluster {
                 ready[c] = clocks[c].now();
                 max_bytes = max_bytes.max(snapshots[c].wire_size());
             }
-            // Allgather: everyone waits for the slowest, then pays the
-            // transfer cost.
-            let sync = ready.iter().copied().fold(0.0, f64::max);
+            // Allgather: every *live* rank waits for the slowest of them,
+            // then pays the transfer cost (a dead rank neither delays the
+            // sync nor counts as the fastest participant).
+            let live =
+                || ready.iter().enumerate().filter(|&(c, _)| !absent(c)).map(|(_, &r)| r);
+            let sync = live().fold(0.0, f64::max);
             let xfer = self.cost.allgather(cells, max_bytes);
-            comm.allgather_seconds +=
-                xfer + (sync - ready.iter().copied().fold(f64::INFINITY, f64::min));
+            comm.allgather_seconds += xfer + (sync - live().fold(f64::INFINITY, f64::min));
             comm.allgather_bytes += max_bytes * cells;
             for (c, clock) in clocks.iter_mut().enumerate() {
+                if absent(c) {
+                    continue;
+                }
                 let before = clock.now();
                 clock.sync_to(sync);
                 clock.advance(xfer);
@@ -156,6 +239,11 @@ impl SimulatedCluster {
 
             // --- compute phases, measured on the host --------------------
             for (c, engine) in engines.iter_mut().enumerate() {
+                if absent(c) {
+                    // The replacement already trained through this round in
+                    // its solo catch-up above.
+                    continue;
+                }
                 let neighbor_ids = grid.neighbors(c);
                 neighbor_scratch.resize_with(neighbor_ids.len(), CellSnapshot::empty);
                 for (slot, n) in neighbor_ids.into_iter().enumerate() {
@@ -174,6 +262,14 @@ impl SimulatedCluster {
                     let host = scratch.total(r).as_secs_f64();
                     clocks[c].advance(host * speed);
                     profilers[c].record(r, std::time::Duration::from_secs_f64(host * speed));
+                }
+            }
+            if let Some(sched) = fault {
+                // The newest checkpoint cut the victim commits before dying
+                // — captured on its *original* trajectory, exactly what the
+                // replacement process restores from disk.
+                if sched.resume_cut == Some(iter + 1) {
+                    victim_cut = Some(engines[sched.cell].capture_state());
                 }
             }
             on_iteration(iter, &mut engines);
@@ -233,6 +329,7 @@ impl SimulatedCluster {
             rank_clocks: clocks.iter().map(|c| c.now()).collect(),
             comm,
             host_seconds: host_start.elapsed().as_secs_f64(),
+            ensembles: engines.iter_mut().map(|e| e.ensemble()).collect(),
         }
     }
 }

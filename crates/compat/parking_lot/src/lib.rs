@@ -58,6 +58,41 @@ impl<T> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Reader-writer lock (see [`std::sync::RwLock`]).
+///
+/// Like [`Mutex`], poisoning is swallowed to match parking_lot's
+/// no-poisoning semantics.
+#[derive(Default)]
+pub struct RwLock<T>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Wrap a value in a new reader-writer lock.
+    pub fn new(value: T) -> Self {
+        Self(sync::RwLock::new(value))
+    }
+
+    /// Acquire shared read access, blocking until available.
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquire exclusive write access, blocking until available.
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
 /// Result of a timed wait: did the deadline pass?
 #[derive(Debug, Clone, Copy)]
 pub struct WaitTimeoutResult(bool);
@@ -122,6 +157,15 @@ mod tests {
         let m = Mutex::new(1);
         *m.lock() += 41;
         assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn rwlock_read_and_write() {
+        let l = RwLock::new(7);
+        assert_eq!(*l.read(), 7);
+        *l.write() = 9;
+        let (a, b) = (l.read(), l.read());
+        assert_eq!((*a, *b), (9, 9));
     }
 
     #[test]

@@ -249,6 +249,39 @@ impl CheckpointConfig {
     }
 }
 
+/// Failure-semantics knobs: heartbeat cadence, the stale-substitution
+/// bound for graceful grid degradation, and an optional scripted fault
+/// plan (deterministic fault injection).
+///
+/// Like checkpointing, these ride in the training configuration — not in
+/// per-host state — so every rank of a distributed run derives the same
+/// failure behavior from the wire config alone: the fan-in root arms the
+/// same absence windows the victim's own process enforces, and a degraded
+/// run stays a pure function of `(seed, plan)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Milliseconds between master heartbeat rounds (`0` = driver default).
+    pub heartbeat_interval_ms: u64,
+    /// Consecutive missed heartbeat rounds that convict a slave as dead
+    /// (`0` = keep the driver's default policy).
+    pub heartbeat_misses: usize,
+    /// How many consecutive iterations a dead rank's neighbors may train
+    /// against its last-known snapshot before the run escalates to
+    /// coordinated recovery (`0` = degradation off: any death stalls the
+    /// grid until the heartbeat deadline aborts the run).
+    pub max_stale_iters: usize,
+    /// Scripted fault plan (the `lipiz-mpi` fault grammar, e.g.
+    /// `"kill:3@2;delay:1>2:*@4:50"`). `None` = fault-free run.
+    pub plan: Option<String>,
+}
+
+impl FaultConfig {
+    /// Is stale-snapshot degradation armed?
+    pub fn degradation_enabled(&self) -> bool {
+        self.max_stale_iters > 0
+    }
+}
+
 /// Complete training configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainConfig {
@@ -264,6 +297,9 @@ pub struct TrainConfig {
     pub training: TrainingConfig,
     /// Checkpoint/restore settings.
     pub checkpoint: CheckpointConfig,
+    /// Failure-semantics settings (heartbeats, degradation, fault plan).
+    /// Absent from pre-existing manifests, which load with the defaults.
+    pub fault: FaultConfig,
     /// Master seed; every cell derives its streams from this and its grid
     /// coordinates, which is what makes all three drivers bit-identical.
     pub seed: u64,
@@ -305,6 +341,7 @@ impl TrainConfig {
                 shard_data: false,
             },
             checkpoint: CheckpointConfig::default(),
+            fault: FaultConfig::default(),
             seed: 1,
         }
     }
@@ -345,6 +382,7 @@ impl TrainConfig {
                 shard_data: false,
             },
             checkpoint: CheckpointConfig::default(),
+            fault: FaultConfig::default(),
             seed: 3,
         }
     }
@@ -381,6 +419,23 @@ impl TrainConfig {
     /// (see [`CheckpointConfig::pause_after`]).
     pub fn with_pause_after(mut self, k: usize) -> Self {
         self.checkpoint.pause_after = Some(k);
+        self
+    }
+
+    /// Same config with a scripted fault plan and a stale-substitution
+    /// bound of `max_stale` iterations (clamped to ≥ 1 — a plan with no
+    /// degradation budget could never be survived gracefully).
+    pub fn with_fault_plan(mut self, spec: impl Into<String>, max_stale: usize) -> Self {
+        self.fault.plan = Some(spec.into());
+        self.fault.max_stale_iters = max_stale.max(1);
+        self
+    }
+
+    /// Same config with an explicit heartbeat policy (interval in
+    /// milliseconds, consecutive misses before conviction).
+    pub fn with_heartbeat(mut self, interval_ms: u64, misses: usize) -> Self {
+        self.fault.heartbeat_interval_ms = interval_ms;
+        self.fault.heartbeat_misses = misses;
         self
     }
 
@@ -511,6 +566,29 @@ mod tests {
         assert_eq!(cfg.checkpoint.effective_iterations(2), 2);
         // every is clamped to at least 1.
         assert_eq!(TrainConfig::smoke(2).with_checkpoints("d", 0).checkpoint.every, 1);
+    }
+
+    #[test]
+    fn fault_config_defaults_off() {
+        let cfg = TrainConfig::smoke(2);
+        assert_eq!(cfg.fault, FaultConfig::default());
+        assert!(!cfg.fault.degradation_enabled());
+        assert!(cfg.fault.plan.is_none());
+    }
+
+    #[test]
+    fn fault_builders() {
+        let cfg = TrainConfig::smoke(2).with_fault_plan("kill:3@2", 2).with_heartbeat(10, 5);
+        assert_eq!(cfg.fault.plan.as_deref(), Some("kill:3@2"));
+        assert_eq!(cfg.fault.max_stale_iters, 2);
+        assert!(cfg.fault.degradation_enabled());
+        assert_eq!(cfg.fault.heartbeat_interval_ms, 10);
+        assert_eq!(cfg.fault.heartbeat_misses, 5);
+        // max_stale is clamped to at least one.
+        assert_eq!(
+            TrainConfig::smoke(2).with_fault_plan("kill:2@1", 0).fault.max_stale_iters,
+            1
+        );
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub mod topology;
 
 pub use cell::CellEngine;
 pub use config::{
-    AdversaryStrategy, CheckpointConfig, CoevolutionConfig, GridConfig, LossMode,
+    AdversaryStrategy, CheckpointConfig, CoevolutionConfig, FaultConfig, GridConfig, LossMode,
     MutationConfig, TrainConfig, TrainingConfig, TransportKind,
 };
 pub use individual::{Individual, SubPopulation};

@@ -1,23 +1,44 @@
 //! Communicators: point-to-point messaging and collectives.
 
 use crate::endpoint::Mailbox;
+use crate::fault::{DeliveryFate, FaultPlan, FaultState};
 use crate::message::{Envelope, ReservedTags, Tag};
 use crate::transport::Transport;
 use crate::wire::Wire;
-use std::sync::Arc;
-use std::time::Duration;
+use parking_lot::Mutex;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Shared handle to a frozen death-frame (see [`DegradedGather::frozen_frame`]):
+/// one encoded payload per group rank, `None` until a planned absence window
+/// has opened.
+pub type FrozenFrameHandle = Arc<Mutex<Option<Vec<Vec<u8>>>>>;
 
 /// The in-process delivery fabric: one mailbox per world rank, delivery is
 /// a queue push. The reference [`Transport`] implementation.
 #[derive(Debug)]
 pub struct Fabric {
     mailboxes: Vec<Arc<Mailbox>>,
+    faults: OnceLock<FaultState>,
 }
 
 impl Fabric {
     /// Build a fabric for `n` world ranks.
     pub fn new(n: usize) -> Arc<Self> {
-        Arc::new(Self { mailboxes: (0..n).map(|_| Mailbox::new()).collect() })
+        Self::with_faults(n, FaultPlan::new())
+    }
+
+    /// Build a fabric for `n` world ranks running under a fault plan. An
+    /// empty plan is identical to [`Fabric::new`].
+    pub fn with_faults(n: usize, plan: FaultPlan) -> Arc<Self> {
+        let fabric = Self {
+            mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
+            faults: OnceLock::new(),
+        };
+        if !plan.is_empty() {
+            let _ = fabric.faults.set(FaultState::new(plan, n));
+        }
+        Arc::new(fabric)
     }
 }
 
@@ -32,6 +53,22 @@ impl Transport for Fabric {
 
     fn mailbox(&self, r: usize) -> &Mailbox {
         &self.mailboxes[r]
+    }
+
+    fn fault_state(&self) -> Option<&FaultState> {
+        self.faults.get()
+    }
+
+    fn install_fault_plan(&self, plan: FaultPlan) {
+        if !plan.is_empty() {
+            let _ = self.faults.set(FaultState::new(plan, self.world_size()));
+        }
+    }
+
+    fn note_severed(&self, dst_world: usize, src_world: usize) {
+        // Mirror a torn connection: the receiver's blocked waits on the
+        // severed peer must fail as PeerLost, like a TCP reader would cause.
+        self.mailboxes[dst_world].mark_peer_dead(src_world);
     }
 }
 
@@ -151,6 +188,22 @@ impl Comm {
 
     fn send_raw(&self, dst: usize, tag: Tag, payload: Vec<u8>) {
         let world_dst = self.group[dst];
+        if let Some(faults) = self.transport.fault_state() {
+            let world_src = self.group[self.my_rank];
+            match faults.outgoing(world_src, world_dst, tag) {
+                DeliveryFate::Drop => {
+                    if faults.plan().severed(world_src, world_dst, faults.clock(world_src)) {
+                        self.transport.note_severed(world_dst, world_src);
+                    }
+                    return;
+                }
+                // A scripted delay stretches the sender's wall time but
+                // never reorders per-(src, tag) FIFO delivery, so results
+                // are unchanged in synchronous mode.
+                DeliveryFate::Delay(d) => std::thread::sleep(d),
+                DeliveryFate::Deliver => {}
+            }
+        }
         let env = Envelope::new(self.context, self.my_rank, tag, payload);
         self.transport.deliver(world_dst, env);
     }
@@ -332,14 +385,20 @@ impl Comm {
                 return Err(pending);
             }
             // A pending source whose transport connection is gone (and has
-            // nothing queued) can never contribute: the gather is doomed
-            // regardless of the abort predicate. In-process fabrics never
-            // mark peers dead, so this only fires on real transports.
+            // nothing queued) cannot contribute *right now* — but whether
+            // that dooms the gather is the caller's call: an elastic master
+            // may be bringing a replacement process onto that very rank, in
+            // which case the slot's link comes back to life and the
+            // replacement still delivers. Re-consult the predicate so it
+            // observes the doomed state promptly (well before any heartbeat
+            // deadline can convict); a predicate with no replacement story
+            // aborts here exactly as before. In-process fabrics never mark
+            // peers dead, so this only fires on real transports.
             let doomed = pending.iter().any(|&src| {
                 self.my_mailbox().peer_is_dead(self.group[src])
                     && !self.my_mailbox().probe(self.context, Some(src), ReservedTags::GATHER)
             });
-            if doomed {
+            if doomed && should_abort(&pending) {
                 return Err(pending);
             }
             // Block on the *first* pending source for the poll interval —
@@ -398,6 +457,151 @@ impl Comm {
         }
     }
 
+    /// [`Comm::allgather_bytes`] whose fan-in root degrades gracefully when
+    /// a contributor goes missing, instead of wedging or tearing the whole
+    /// group down.
+    ///
+    /// The collective fans in at group rank 0 and fans out by broadcast, so
+    /// only rank 0 ever receives from a non-root peer — degradation is
+    /// therefore pure root-side logic, and every other rank transparently
+    /// consumes whatever rank 0 places in the missing peer's slot. For each
+    /// round (the caller's logical iteration, strictly increasing):
+    ///
+    /// * a rank inside a **planned absence window** (scripted by a
+    ///   [`crate::fault::FaultPlan`] kill) is never awaited: its slot is
+    ///   substituted from the per-peer stale cache, and the fan-out skips
+    ///   it. Substitution is plan-driven, not timing-driven, so a degraded
+    ///   run is a pure function of (seed, plan).
+    /// * at a planned window's end the root blocks — up to
+    ///   `rejoin_deadline` — for the replacement rank's contribution, then
+    ///   resumes treating it as live.
+    /// * an **unplanned** death (connection gone, nothing queued) degrades
+    ///   the same way, bounded by `max_stale` consecutive substitutions
+    ///   before the root escalates with a panic naming the world rank.
+    ///   Queued pre-death contributions always drain first, preserving
+    ///   round pairing; an alive-but-slow peer is never substituted.
+    ///
+    /// Fault-free rounds send byte-identical traffic to
+    /// [`Comm::allgather_bytes`], which keeps synchronous-mode runs
+    /// byte-identical across drivers.
+    pub fn allgather_bytes_degraded(
+        &self,
+        payload: &[u8],
+        round: usize,
+        ctl: &mut DegradedGather,
+    ) -> Vec<Vec<u8>> {
+        if self.my_rank != 0 {
+            return self.allgather_bytes(payload);
+        }
+        assert_eq!(ctl.cache.len(), self.size(), "DegradedGather sized for another group");
+        // Freeze the death-frame — everyone's previous-round payload —
+        // before any of this round's updates, the moment a planned window
+        // opens. A replacement rank later streams this frame to replay its
+        // catch-up deterministically.
+        if ctl.planned_window_opens(round) {
+            let frame: Option<Vec<Vec<u8>>> = ctl.cache.iter().cloned().collect();
+            *ctl.frozen.lock() = Some(frame.expect("full cache at planned window open"));
+        }
+        ctl.cache[0] = Some(payload.to_vec());
+        let mut slots: Vec<Option<Vec<u8>>> = vec![None; self.size()];
+        slots[0] = Some(payload.to_vec());
+        for src in 1..self.size() {
+            let part = match ctl.availability(src, round) {
+                Availability::Live => match self.recv_or_detect_death(src, ctl, round) {
+                    Some(part) => {
+                        ctl.note_live(src, round);
+                        ctl.cache[src] = Some(part.clone());
+                        part
+                    }
+                    None => self.substitute_stale(src, ctl, round),
+                },
+                Availability::Absent => self.substitute_stale(src, ctl, round),
+                Availability::Rejoining => {
+                    let part = self.await_rejoin(src, ctl.rejoin_deadline, round);
+                    ctl.note_live(src, round);
+                    ctl.cache[src] = Some(part.clone());
+                    part
+                }
+            };
+            slots[src] = Some(part);
+        }
+        let parts: Vec<Vec<u8>> =
+            slots.into_iter().map(|s| s.expect("allgather slot")).collect();
+        let bytes = parts.to_bytes();
+        for r in 1..self.size() {
+            if ctl.skip_fanout(r, round) {
+                continue;
+            }
+            self.send_raw(r, ReservedTags::ALLGATHER, bytes.clone());
+        }
+        parts
+    }
+
+    /// Root-side receive of one allgather contribution that detects an
+    /// unplanned death instead of wedging: returns `None` once `src`'s
+    /// connection is gone with nothing matching queued (and records the
+    /// absence in `ctl`). Queued pre-death frames drain first.
+    fn recv_or_detect_death(
+        &self,
+        src: usize,
+        ctl: &mut DegradedGather,
+        round: usize,
+    ) -> Option<Vec<u8>> {
+        loop {
+            if let Some(env) = self.my_mailbox().recv_timeout(
+                self.context,
+                Some(src),
+                ReservedTags::ALLGATHER,
+                Duration::from_millis(25),
+            ) {
+                return Some(env.payload);
+            }
+            if self.peer_connection_dead(src)
+                && !self.probe(RecvFrom::Rank(src), ReservedTags::ALLGATHER)
+            {
+                ctl.begin_unplanned(src, round);
+                return None;
+            }
+        }
+    }
+
+    /// Substitute `src`'s slot from the stale cache, enforcing the bound.
+    fn substitute_stale(&self, src: usize, ctl: &mut DegradedGather, round: usize) -> Vec<u8> {
+        let world = self.group[src];
+        ctl.note_stale(src, world, round);
+        ctl.cache[src].clone().unwrap_or_else(|| {
+            panic!(
+                "world rank {world} went missing at round {round} with no cached \
+                 snapshot to substitute"
+            )
+        })
+    }
+
+    /// Block — bounded by `deadline` — for the replacement of `src` to make
+    /// its rendezvous contribution. Polls the raw mailbox so a dead-flag
+    /// left set until the link swap cannot misfire as [`PeerLost`].
+    ///
+    /// [`PeerLost`]: crate::endpoint::PeerLost
+    fn await_rejoin(&self, src: usize, deadline: Duration, round: usize) -> Vec<u8> {
+        let give_up = Instant::now() + deadline;
+        loop {
+            if let Some(env) = self.my_mailbox().recv_timeout(
+                self.context,
+                Some(src),
+                ReservedTags::ALLGATHER,
+                Duration::from_millis(25),
+            ) {
+                return env.payload;
+            }
+            if Instant::now() >= give_up {
+                panic!(
+                    "replacement for world rank {} missed the rejoin rendezvous at round {round}",
+                    self.group[src]
+                );
+            }
+        }
+    }
+
     /// Reduce all ranks' values at `root` with a binary combiner (applied in
     /// group-rank order, so non-commutative combiners are deterministic).
     pub fn reduce<T: Wire>(
@@ -429,6 +633,169 @@ impl Comm {
     pub fn allreduce<T: Wire>(&self, value: &T, combine: impl Fn(T, T) -> T) -> T {
         let reduced = self.reduce(0, value, combine);
         self.bcast(0, reduced)
+    }
+
+    // ---- fault injection -------------------------------------------------
+
+    /// Install a fault plan on the underlying transport, when none was
+    /// installed at construction. Multi-process ranks learn their plan from
+    /// the wire configuration *after* the transport exists, so this is how
+    /// the runtime arms sever/delay/blackhole enforcement there; an empty
+    /// plan or an already-armed transport is a no-op.
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        self.transport.install_fault_plan(plan);
+    }
+
+    /// Advance this rank's fault-plan logical clock to `iter` (no-op on a
+    /// fault-free transport). The training loop calls this once per
+    /// iteration so scripted `@iteration` windows fire deterministically.
+    pub fn tick_fault_clock(&self, iter: usize) {
+        if let Some(faults) = self.transport.fault_state() {
+            faults.tick(self.group[self.my_rank], iter);
+        }
+    }
+}
+
+/// Why a contributor is (or is not) awaited this round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Availability {
+    /// Awaited normally.
+    Live,
+    /// Inside an absence window: substitute, don't wait.
+    Absent,
+    /// A planned window ends this round: block for the replacement.
+    Rejoining,
+}
+
+/// One rank's absence bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Absence {
+    /// Scripted by the fault plan: absent for rounds `from..until`, with a
+    /// replacement expected to rendezvous at round `until`.
+    Planned { from: usize, until: usize },
+    /// Detected at runtime (connection death): no rendezvous is scheduled,
+    /// so the substitution bound is the only exit.
+    Unplanned,
+}
+
+/// Root-side controller for [`Comm::allgather_bytes_degraded`]: the per-peer
+/// stale cache, absence windows, substitution bounds, and the frozen
+/// death-frame a replacement rank streams for catch-up. Owned by the
+/// exchange caller of the group's rank 0; other ranks never need one.
+#[derive(Debug)]
+pub struct DegradedGather {
+    /// Last-known payload per group rank.
+    cache: Vec<Option<Vec<u8>>>,
+    /// Consecutive substitutions per group rank.
+    stale_runs: Vec<usize>,
+    absences: Vec<Option<Absence>>,
+    /// Bound on consecutive substitutions for one rank before escalation.
+    max_stale: usize,
+    /// How long the root waits at a planned window's end for the
+    /// replacement's rendezvous contribution.
+    rejoin_deadline: Duration,
+    /// The death-frame: every rank's payload from the round before the
+    /// first planned window opened. Shared (`Arc`) so another thread — the
+    /// slave's communication thread — can serve it to a catching-up
+    /// replacement while this controller is mid-collective.
+    frozen: Arc<Mutex<Option<Vec<Vec<u8>>>>>,
+}
+
+impl DegradedGather {
+    /// Controller for a group of `size` ranks with the given substitution
+    /// bound (`max_stale >= 1`).
+    pub fn new(size: usize, max_stale: usize) -> Self {
+        assert!(max_stale >= 1, "degraded gather needs a positive staleness bound");
+        Self {
+            cache: vec![None; size],
+            stale_runs: vec![0; size],
+            absences: vec![None; size],
+            max_stale,
+            rejoin_deadline: Duration::from_secs(90),
+            frozen: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Override the rendezvous deadline (tests shrink it).
+    pub fn set_rejoin_deadline(&mut self, d: Duration) {
+        self.rejoin_deadline = d;
+    }
+
+    /// Script a planned absence: group rank `r` contributes nothing for
+    /// rounds `from..until`, and its replacement rendezvouses at `until`.
+    pub fn plan_absence(&mut self, r: usize, from: usize, until: usize) {
+        assert!(from < until, "empty absence window");
+        assert!(
+            until - from <= self.max_stale,
+            "planned window longer than the staleness bound"
+        );
+        self.absences[r] = Some(Absence::Planned { from, until });
+    }
+
+    /// Handle to the frozen death-frame, for the thread that serves
+    /// catch-up requests.
+    pub fn frozen_frame(&self) -> FrozenFrameHandle {
+        Arc::clone(&self.frozen)
+    }
+
+    /// Consecutive substitutions currently standing against group rank `r`.
+    pub fn stale_run(&self, r: usize) -> usize {
+        self.stale_runs[r]
+    }
+
+    fn availability(&self, r: usize, round: usize) -> Availability {
+        match self.absences[r] {
+            Some(Absence::Planned { from, until }) => {
+                if round < from {
+                    Availability::Live
+                } else if round < until {
+                    Availability::Absent
+                } else {
+                    Availability::Rejoining
+                }
+            }
+            Some(Absence::Unplanned) => Availability::Absent,
+            None => Availability::Live,
+        }
+    }
+
+    /// Does a planned window open exactly at `round` (freeze point)?
+    fn planned_window_opens(&self, round: usize) -> bool {
+        self.absences
+            .iter()
+            .any(|a| matches!(a, Some(Absence::Planned { from, .. }) if *from == round))
+    }
+
+    /// Skip the fan-out to an absent rank (nothing is listening).
+    fn skip_fanout(&self, r: usize, round: usize) -> bool {
+        self.availability(r, round) == Availability::Absent
+    }
+
+    fn begin_unplanned(&mut self, r: usize, _round: usize) {
+        if self.absences[r].is_none() {
+            self.absences[r] = Some(Absence::Unplanned);
+        }
+    }
+
+    fn note_live(&mut self, r: usize, round: usize) {
+        self.stale_runs[r] = 0;
+        // A planned window is cleared only once the replacement has made its
+        // rendezvous — contributions *before* the window opens must not
+        // erase the script.
+        if matches!(self.absences[r], Some(Absence::Planned { until, .. }) if round >= until) {
+            self.absences[r] = None;
+        }
+    }
+
+    fn note_stale(&mut self, r: usize, world: usize, round: usize) {
+        self.stale_runs[r] += 1;
+        if self.stale_runs[r] > self.max_stale {
+            panic!(
+                "world rank {world} stale-substituted {} consecutive rounds at round {round}, \
+                 exceeding max_stale_iters={}",
+                self.stale_runs[r], self.max_stale
+            );
+        }
     }
 }
 
@@ -622,6 +989,165 @@ mod tests {
         Universe::run(1, |comm| {
             comm.send(0, ReservedTags::BARRIER, &0u8);
         });
+    }
+
+    #[test]
+    fn degraded_allgather_substitutes_stale_and_takes_the_rejoin() {
+        use crate::fault::FaultPlan;
+        // Rank 2 is scripted dead for rounds 2..4 and "replaced" (here: the
+        // same thread coming back) at round 4. The fabric carries the plan
+        // so the test also exercises the transport-level kill bookkeeping.
+        let fabric = Fabric::with_faults(3, FaultPlan::parse("kill:2@2").unwrap());
+        let payload = |r: usize, round: usize| vec![r as u8, round as u8];
+        let results = Universe::run_on(fabric, |comm| {
+            let rounds = 6usize;
+            match comm.rank() {
+                0 => {
+                    let mut ctl = DegradedGather::new(3, 2);
+                    ctl.plan_absence(2, 2, 4);
+                    let frozen = ctl.frozen_frame();
+                    let mut seen = Vec::new();
+                    for round in 0..rounds {
+                        let parts =
+                            comm.allgather_bytes_degraded(&payload(0, round), round, &mut ctl);
+                        seen.push(parts[2].clone());
+                        assert_eq!(parts[1], payload(1, round), "live rank must stay fresh");
+                    }
+                    // Substituted rounds carried rank 2's round-1 payload.
+                    assert_eq!(seen[2], payload(2, 1));
+                    assert_eq!(seen[3], payload(2, 1));
+                    assert_eq!(seen[4], payload(2, 4), "rejoin contribution taken");
+                    assert_eq!(seen[5], payload(2, 5));
+                    assert_eq!(ctl.stale_run(2), 0, "rejoin resets the stale run");
+                    // The frozen death-frame is everyone's round-1 payload.
+                    let frame = frozen.lock().clone().expect("frame frozen at window open");
+                    assert_eq!(frame, vec![payload(0, 1), payload(1, 1), payload(2, 1)]);
+                }
+                1 => {
+                    for round in 0..rounds {
+                        let parts = comm.allgather_bytes(&payload(1, round));
+                        // Survivors transparently consume the substituted slot.
+                        let expect2 = if round == 2 || round == 3 { 1 } else { round as u8 };
+                        assert_eq!(parts[2], vec![2u8, expect2]);
+                    }
+                }
+                2 => {
+                    for round in [0usize, 1, 4, 5] {
+                        let parts = comm.allgather_bytes(&payload(2, round));
+                        assert_eq!(parts[0], payload(0, round));
+                    }
+                }
+                _ => unreachable!(),
+            }
+        });
+        assert_eq!(results.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeding max_stale_iters")]
+    fn degraded_allgather_escalates_after_the_staleness_bound() {
+        let results = Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                let mut ctl = DegradedGather::new(2, 2);
+                for round in 0..5 {
+                    let parts =
+                        comm.allgather_bytes_degraded(&[0, round], round as usize, &mut ctl);
+                    assert_eq!(parts.len(), 2);
+                }
+            } else {
+                // Contribute twice, then die unannounced.
+                let _ = comm.allgather_bytes(&[1, 0]);
+                let _ = comm.allgather_bytes(&[1, 1]);
+                // Simulate the transport reader noticing the death.
+                std::thread::sleep(Duration::from_millis(30));
+                comm.transport.mailbox(0).mark_peer_dead(1);
+            }
+        });
+        drop(results);
+    }
+
+    #[test]
+    fn degraded_allgather_drains_queued_frames_before_substituting() {
+        // An alive-but-already-sent rank that dies must have its queued
+        // contribution consumed, not substituted — round pairing depends
+        // on it.
+        let results = Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(40));
+                let mut ctl = DegradedGather::new(2, 3);
+                let mut got = Vec::new();
+                for round in 0..4usize {
+                    let parts = comm.allgather_bytes_degraded(&[0], round, &mut ctl);
+                    got.push(parts[1].clone());
+                }
+                // Rounds 0..2 drain the queued pre-death frames; round 3
+                // substitutes the last one.
+                assert_eq!(got, vec![vec![10], vec![11], vec![12], vec![12]]);
+                ctl.stale_run(1)
+            } else {
+                for v in [10u8, 11, 12] {
+                    comm.send_raw(0, ReservedTags::ALLGATHER, vec![v]);
+                }
+                comm.transport.mailbox(0).mark_peer_dead(1);
+                0
+            }
+        });
+        assert_eq!(results[0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "world rank 0 lost")]
+    fn severed_link_fails_receives_like_a_torn_connection() {
+        use crate::fault::FaultPlan;
+        let fabric = Fabric::with_faults(2, FaultPlan::parse("sever:0-1@1").unwrap());
+        Universe::run_on(fabric, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, &1u32); // clock 0: delivered
+                comm.transport.fault_state().unwrap().tick(0, 1);
+                comm.send(1, 5, &2u32); // clock 1: dropped, link marked dead
+            } else {
+                let (v, _) = comm.recv::<u32>(RecvFrom::Rank(0), 5);
+                assert_eq!(v, 1);
+                let _ = comm.recv::<u32>(RecvFrom::Rank(0), 5); // panics: PeerLost
+            }
+        });
+    }
+
+    #[test]
+    fn scripted_delay_stretches_wall_time_not_values() {
+        use crate::fault::FaultPlan;
+        let fabric = Fabric::with_faults(2, FaultPlan::parse("delay:0>1:*@0:40").unwrap());
+        let results = Universe::run_on(fabric, |comm| {
+            if comm.rank() == 0 {
+                let t0 = std::time::Instant::now();
+                comm.send(1, 7, &99u32);
+                t0.elapsed() >= Duration::from_millis(30)
+            } else {
+                let (v, _) = comm.recv::<u32>(RecvFrom::Rank(0), 7);
+                v == 99
+            }
+        });
+        assert!(results[0], "sender pays the scripted delay");
+        assert!(results[1], "value arrives unchanged");
+    }
+
+    #[test]
+    #[should_panic(expected = "world rank 2 lost")]
+    fn stranded_subgroup_collective_names_the_dead_world_rank() {
+        // A subgroup member that dies after subgroup creation must fail the
+        // waiting rank loudly, with the *world* rank named — the subgroup's
+        // local-rank translation (world_rank_of) is what recv_from_live
+        // pins liveness to.
+        let fabric = Fabric::new(3);
+        let mut comm = Comm::world(fabric.clone(), 1);
+        let local = comm.subgroup(&[1, 2]).expect("member of the subgroup");
+        assert_eq!(local.world_rank_of(1), 2);
+        // The transport reader notices world rank 2's death.
+        fabric.mailbox(1).mark_peer_dead(2);
+        assert!(local.peer_connection_dead(1));
+        // Subgroup-local rank 1 is world rank 2: the receive must panic
+        // naming world rank 2, not wedge and not misreport local rank 1.
+        let _ = local.recv::<u32>(RecvFrom::Rank(1), 5);
     }
 
     #[test]

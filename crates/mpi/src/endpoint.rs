@@ -69,6 +69,16 @@ impl Mailbox {
         self.dead_peers.lock().contains(&world_rank)
     }
 
+    /// Forget a peer's death after its connection has been replaced (the
+    /// in-flight rank-replacement link swap): waits pinned to `world_rank`
+    /// block normally again. Wakes blocked receivers so anyone who observed
+    /// the dead flag mid-wait re-evaluates.
+    pub fn clear_peer_dead(&self, world_rank: usize) {
+        self.dead_peers.lock().remove(&world_rank);
+        let _q = self.queue.lock();
+        self.arrived.notify_all();
+    }
+
     /// Blocking selective receive: first queued envelope matching
     /// `(context, src, tag)`, in arrival order.
     pub fn recv(&self, context: u16, src: Option<usize>, tag: Tag) -> Envelope {
@@ -272,6 +282,21 @@ mod tests {
         assert!(mb.recv_from_live(0, Some(2), 9, Some(2)).is_ok());
         // Now the queue is empty and the peer is dead: fail.
         assert!(mb.recv_from_live(0, Some(2), 9, Some(2)).is_err());
+    }
+
+    #[test]
+    fn cleared_peer_death_unblocks_future_receives() {
+        let mb = Mailbox::new();
+        mb.mark_peer_dead(4);
+        assert!(mb.recv_from_live(0, Some(4), 1, Some(4)).is_err());
+        // Replace the link: the peer is live again and deliveries flow.
+        mb.clear_peer_dead(4);
+        assert!(!mb.peer_is_dead(4));
+        let mb2 = Arc::clone(&mb);
+        let t = thread::spawn(move || mb2.recv_from_live(0, Some(4), 1, Some(4)));
+        thread::sleep(Duration::from_millis(20));
+        mb.deliver(env(4, 1));
+        assert!(t.join().unwrap().is_ok());
     }
 
     #[test]

@@ -41,6 +41,7 @@
 
 pub mod comm;
 pub mod endpoint;
+pub mod fault;
 pub mod message;
 pub mod tcp;
 pub mod topology;
@@ -48,7 +49,11 @@ pub mod transport;
 pub mod universe;
 pub mod wire;
 
-pub use comm::{Comm, RecvFrom};
+pub use comm::{Comm, DegradedGather, FrozenFrameHandle, RecvFrom};
+pub use fault::{
+    enable_process_faults, process_faults_enabled, replacement_schedule, FaultPlan, FaultState,
+    ReplacementSchedule,
+};
 pub use message::{Envelope, Tag};
 pub use tcp::TcpFabric;
 pub use topology::CartGrid;

@@ -27,14 +27,16 @@
 //! the runtime's future-work territory, not the transport's (see ROADMAP).
 
 use crate::endpoint::Mailbox;
+use crate::fault::{FaultPlan, FaultState};
 use crate::message::Envelope;
 use crate::transport::{encode_frame, FrameDecoder, Transport};
 use crate::wire::Wire;
 use crate::wire_struct;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -43,8 +45,10 @@ const MAGIC: u32 = 0x4C50_5A54;
 /// Handshake protocol version. Bump whenever any post-handshake wire
 /// layout changes, so mixed builds are rejected at connect time ("version
 /// skew") instead of panicking mid-run on a decode mismatch. v2: ConfigMsg
-/// gained the checkpoint fields and RunTask the resume marker.
-const VERSION: u32 = 2;
+/// gained the checkpoint fields and RunTask the resume marker. v3: the
+/// Welcome carries the rejoin marker and ConfigMsg the failure-semantics
+/// block.
+const VERSION: u32 = 3;
 /// Deadline for every handshake read (a stuck bootstrap fails loudly
 /// instead of hanging the suite).
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(30);
@@ -83,8 +87,12 @@ struct Welcome {
     world_size: usize,
     /// `(world rank, "ip:port")` for every slave rank.
     peers: Vec<(usize, String)>,
+    /// True when this welcome re-admits a replacement for a dead rank:
+    /// the recipient inherits the victim's rank and must dial *every*
+    /// other slave (survivors never dial a rejoiner).
+    rejoin: bool,
 }
-wire_struct!(Welcome { rank, world_size, peers });
+wire_struct!(Welcome { rank, world_size, peers, rejoin });
 
 /// Slave → slave mesh hello: identifies the dialing rank.
 #[derive(Debug, Clone, PartialEq)]
@@ -227,16 +235,34 @@ impl PeerLink {
 
 /// The TCP-backed [`Transport`]: this process's end of a multi-process
 /// universe. Build one with [`TcpFabric::master`] (rank 0, accepts the
-/// bootstrap connections) or [`TcpFabric::slave`] (dials the master and is
-/// assigned a rank).
+/// bootstrap connections), [`TcpFabric::slave`] (dials the master and is
+/// assigned a rank), or [`TcpFabric::rejoin`] (a replacement process
+/// re-admitted into a dead rank's slot via [`TcpFabric::accept_rejoin`]).
 #[derive(Debug)]
 pub struct TcpFabric {
     rank: usize,
     world_size: usize,
     mailbox: Arc<Mailbox>,
-    /// Index = world rank; `None` at `rank` (self-delivery is local).
-    peers: Vec<Option<PeerLink>>,
+    /// Index = world rank; `None` at `rank` (self-delivery is local). A
+    /// slot is *swappable*: when a replacement rejoins, its fresh link is
+    /// installed over the dead one while the rest of the mesh keeps
+    /// running.
+    peers: Vec<RwLock<Option<Arc<PeerLink>>>>,
     readers: Mutex<Vec<JoinHandle<()>>>,
+    /// Mesh acceptor (slaves only): keeps the bootstrap-era mesh listener
+    /// open so a rejoining replacement can dial in mid-run.
+    acceptor: Mutex<Option<JoinHandle<()>>>,
+    /// Raised by shutdown so the acceptor (and any poll loops) unwind.
+    closing: AtomicBool,
+    /// Master only: the bootstrap listener, retained so
+    /// [`TcpFabric::accept_rejoin`] can re-admit a replacement.
+    listener: Option<TcpListener>,
+    /// Master only: the live mesh address book, reissued (with the
+    /// replacement's fresh address) in every rejoin welcome.
+    peer_addrs: Mutex<Vec<(usize, String)>>,
+    /// Fault-injection state, armed at most once via
+    /// [`Transport::install_fault_plan`] after the wire config arrives.
+    faults: OnceLock<FaultState>,
 }
 
 impl TcpFabric {
@@ -278,7 +304,8 @@ impl TcpFabric {
             streams.push(stream);
         }
         for (i, stream) in streams.iter_mut().enumerate() {
-            let welcome = Welcome { rank: i + 1, world_size, peers: peer_addrs.clone() };
+            let welcome =
+                Welcome { rank: i + 1, world_size, peers: peer_addrs.clone(), rejoin: false };
             send_msg(stream, &welcome)?;
         }
         let peers = streams
@@ -290,7 +317,7 @@ impl TcpFabric {
             .collect::<io::Result<Vec<_>>>()?;
         let mut peers_with_self = vec![None];
         peers_with_self.extend(peers);
-        Ok(Self::finish(0, world_size, peers_with_self))
+        Ok(Self::finish(0, world_size, peers_with_self, Some(listener), peer_addrs))
     }
 
     /// Slave bootstrap: dial the master at `master_addr` (retrying while it
@@ -298,6 +325,23 @@ impl TcpFabric {
     /// then complete the slave↔slave mesh — dialing every lower slave rank
     /// and accepting every higher one.
     pub fn slave(master_addr: impl ToSocketAddrs) -> io::Result<Arc<Self>> {
+        Self::bootstrap_slave(master_addr, false)
+    }
+
+    /// Replacement bootstrap: dial the master of an *already running*
+    /// universe and take over a dead rank's slot. Blocks until the master
+    /// reaches [`TcpFabric::accept_rejoin`] (the connect parks in the
+    /// listener's backlog until then), learns the inherited rank from a
+    /// `rejoin` welcome, then dials every surviving slave — survivors
+    /// never dial a rejoiner, their mesh acceptors simply admit it.
+    pub fn rejoin(master_addr: impl ToSocketAddrs) -> io::Result<Arc<Self>> {
+        Self::bootstrap_slave(master_addr, true)
+    }
+
+    fn bootstrap_slave(
+        master_addr: impl ToSocketAddrs,
+        rejoining: bool,
+    ) -> io::Result<Arc<Self>> {
         let addr = master_addr
             .to_socket_addrs()?
             .next()
@@ -320,16 +364,21 @@ impl TcpFabric {
         if rank == 0 || rank >= world_size {
             return Err(bad_data("bootstrap assigned an invalid rank"));
         }
+        if welcome.rejoin != rejoining {
+            return Err(bad_data("bootstrap/rejoin mode mismatch with the master"));
+        }
         master.set_read_timeout(None)?;
 
         let mut peers: Vec<Option<PeerLink>> = (0..world_size).map(|_| None).collect();
         peers[0] = Some(PeerLink::new(master));
 
-        // Dial every lower slave rank. Their listeners are bound (they
-        // advertised them before we got our welcome), so the connection
-        // lands in the OS backlog even if they have not reached accept yet.
+        // Dial every lower slave rank — or, on a rejoin, *every* other
+        // slave: survivors only ever accept a replacement, never dial it.
+        // Their listeners are bound (they advertised them before we got
+        // our welcome), so the connection lands in the OS backlog even if
+        // they have not reached accept yet.
         for &(peer_rank, ref peer_addr) in &welcome.peers {
-            if peer_rank >= rank {
+            if peer_rank == rank || (!rejoining && peer_rank > rank) {
                 continue;
             }
             let mut stream = connect_with_retry(
@@ -342,39 +391,170 @@ impl TcpFabric {
             send_msg(&mut stream, &PeerHello { magic: MAGIC, version: VERSION, rank })?;
             peers[peer_rank] = Some(PeerLink::new(stream));
         }
-        // Accept every higher slave rank; like the master's bootstrap,
-        // drop anything that fails the handshake and keep accepting.
-        let deadline = Instant::now() + BOOTSTRAP_ACCEPT_TIMEOUT;
         listener.set_nonblocking(true)?;
-        let mut accepted = 0;
-        while accepted < world_size - 1 - rank {
-            let (mut stream, _) = accept_with_deadline(&listener, deadline)?;
-            let hello = match handshake::<PeerHello>(&mut stream, "mesh hello") {
-                Ok(h) => h,
-                Err(_) => continue,
-            };
-            let valid = hello.rank > rank && hello.rank < world_size;
-            if !valid || peers[hello.rank].is_some() {
-                continue; // confused or duplicate peer: drop, keep accepting
+        if !rejoining {
+            // Accept every higher slave rank; like the master's bootstrap,
+            // drop anything that fails the handshake and keep accepting.
+            let deadline = Instant::now() + BOOTSTRAP_ACCEPT_TIMEOUT;
+            let mut accepted = 0;
+            while accepted < world_size - 1 - rank {
+                let (mut stream, _) = accept_with_deadline(&listener, deadline)?;
+                let hello = match handshake::<PeerHello>(&mut stream, "mesh hello") {
+                    Ok(h) => h,
+                    Err(_) => continue,
+                };
+                let valid = hello.rank > rank && hello.rank < world_size;
+                if !valid || peers[hello.rank].is_some() {
+                    continue; // confused or duplicate peer: drop, keep accepting
+                }
+                stream.set_read_timeout(None)?;
+                peers[hello.rank] = Some(PeerLink::new(stream));
+                accepted += 1;
             }
-            stream.set_read_timeout(None)?;
-            peers[hello.rank] = Some(PeerLink::new(stream));
-            accepted += 1;
         }
-        Ok(Self::finish(rank, world_size, peers))
+        Ok(Self::finish(rank, world_size, peers, Some(listener), welcome.peers))
     }
 
-    /// Spawn one reader thread per connected peer and assemble the fabric.
-    fn finish(rank: usize, world_size: usize, peers: Vec<Option<PeerLink>>) -> Arc<Self> {
-        let mailbox = Mailbox::new();
-        let mut readers = Vec::new();
-        for (peer_rank, link) in peers.iter().enumerate() {
-            let Some(link) = link else { continue };
-            let stream = link.stream.lock().0.try_clone().expect("clone stream read half");
-            let mailbox = Arc::clone(&mailbox);
-            readers.push(std::thread::spawn(move || read_loop(peer_rank, stream, &mailbox)));
+    /// Assemble the fabric: wrap the bootstrap links in swappable slots,
+    /// spawn one reader thread per connected peer, and keep the listener —
+    /// the master retains it for [`TcpFabric::accept_rejoin`], slaves hand
+    /// theirs to a background mesh acceptor so replacements can dial in.
+    fn finish(
+        rank: usize,
+        world_size: usize,
+        peers: Vec<Option<PeerLink>>,
+        listener: Option<TcpListener>,
+        peer_addrs: Vec<(usize, String)>,
+    ) -> Arc<Self> {
+        let (master_listener, mesh_listener) =
+            if rank == 0 { (listener, None) } else { (None, listener) };
+        let fabric = Arc::new(Self {
+            rank,
+            world_size,
+            mailbox: Mailbox::new(),
+            peers: peers.into_iter().map(|p| RwLock::new(p.map(Arc::new))).collect(),
+            readers: Mutex::new(Vec::new()),
+            acceptor: Mutex::new(None),
+            closing: AtomicBool::new(false),
+            listener: master_listener,
+            peer_addrs: Mutex::new(peer_addrs),
+            faults: OnceLock::new(),
+        });
+        for peer_rank in 0..world_size {
+            let link = fabric.peers[peer_rank].read().clone();
+            if let Some(link) = link {
+                fabric.spawn_reader(peer_rank, link);
+            }
         }
-        Arc::new(Self { rank, world_size, mailbox, peers, readers: Mutex::new(readers) })
+        if let Some(mesh) = mesh_listener {
+            fabric.start_mesh_acceptor(mesh);
+        }
+        fabric
+    }
+
+    /// Spawn the reader thread serving one peer link.
+    fn spawn_reader(self: &Arc<Self>, peer_rank: usize, link: Arc<PeerLink>) {
+        let stream = link.stream.lock().0.try_clone().expect("clone stream read half");
+        let mailbox = Arc::clone(&self.mailbox);
+        let fabric = Arc::downgrade(self);
+        let handle =
+            std::thread::spawn(move || read_loop(peer_rank, stream, &mailbox, &fabric, &link));
+        self.readers.lock().push(handle);
+    }
+
+    /// Install a fresh connection to `peer_rank` over whatever link (live
+    /// or dead) currently occupies its slot: swap the write half, clear
+    /// the mailbox's death verdict so pinned receives block normally
+    /// again, and start a reader for the new stream.
+    fn install_link(self: &Arc<Self>, peer_rank: usize, stream: TcpStream) -> io::Result<()> {
+        stream.set_read_timeout(None)?;
+        stream.set_nodelay(true)?;
+        let link = Arc::new(PeerLink::new(stream));
+        *self.peers[peer_rank].write() = Some(Arc::clone(&link));
+        self.mailbox.clear_peer_dead(peer_rank);
+        self.spawn_reader(peer_rank, link);
+        Ok(())
+    }
+
+    /// Background mesh acceptor (slaves): admits rejoining replacements
+    /// mid-run. Connections that fail the handshake or claim an invalid
+    /// rank are dropped, exactly like the bootstrap's rogue handling.
+    fn start_mesh_acceptor(self: &Arc<Self>, listener: TcpListener) {
+        let weak = Arc::downgrade(self);
+        let handle = std::thread::spawn(move || loop {
+            {
+                let Some(fabric) = weak.upgrade() else { return };
+                if fabric.closing.load(Ordering::Acquire) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((mut stream, _)) => {
+                        stream.set_nonblocking(false).ok();
+                        let Ok(hello) =
+                            handshake::<PeerHello>(&mut stream, "mesh rejoin hello")
+                        else {
+                            continue;
+                        };
+                        let valid = hello.rank != 0
+                            && hello.rank != fabric.rank
+                            && hello.rank < fabric.world_size;
+                        if valid {
+                            let _ = fabric.install_link(hello.rank, stream);
+                        }
+                        continue;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                    Err(_) => return,
+                }
+            }
+            // Drop the fabric handle before sleeping so shutdown never
+            // races a strong reference held across the poll interval.
+            std::thread::sleep(Duration::from_millis(25));
+        });
+        *self.acceptor.lock() = Some(handle);
+    }
+
+    /// Master-side rejoin rendezvous: accept the replacement for
+    /// `victim_rank` on the retained bootstrap listener, hand it the
+    /// victim's rank plus the current address book (with its own fresh
+    /// address substituted), and swap its link into the mesh. Returns once
+    /// the control link is live; the replacement completes its slave↔slave
+    /// dials concurrently.
+    pub fn accept_rejoin(
+        self: &Arc<Self>,
+        victim_rank: usize,
+        timeout: Duration,
+    ) -> io::Result<()> {
+        assert_eq!(self.rank, 0, "only the master re-admits replacements");
+        assert!(
+            victim_rank >= 1 && victim_rank < self.world_size,
+            "rejoin target must be a slave rank"
+        );
+        let listener = self.listener.as_ref().expect("master retains its bootstrap listener");
+        let deadline = Instant::now() + timeout;
+        loop {
+            let (mut stream, remote) = accept_with_deadline(listener, deadline)?;
+            let hello = match handshake::<Hello>(&mut stream, "rejoin hello") {
+                Ok(h) => h,
+                Err(_) => continue, // stray or hostile client: drop, re-accept
+            };
+            let welcome = {
+                let mut book = self.peer_addrs.lock();
+                let addr = format!("{}:{}", remote.ip(), hello.listen_port);
+                if let Some(entry) = book.iter_mut().find(|(r, _)| *r == victim_rank) {
+                    entry.1 = addr;
+                }
+                Welcome {
+                    rank: victim_rank,
+                    world_size: self.world_size,
+                    peers: book.clone(),
+                    rejoin: true,
+                }
+            };
+            send_msg(&mut stream, &welcome)?;
+            self.install_link(victim_rank, stream)?;
+            return Ok(());
+        }
     }
 
     /// This process's world rank.
@@ -387,10 +567,13 @@ impl TcpFabric {
     /// observe EOF (or a reset, if they were still sending heartbeat
     /// answers) and unwind.
     pub fn shutdown(&self) {
-        for link in self.peers.iter().flatten() {
-            link.shutdown(Shutdown::Both);
+        self.closing.store(true, Ordering::Release);
+        for slot in &self.peers {
+            if let Some(link) = slot.read().as_ref() {
+                link.shutdown(Shutdown::Both);
+            }
         }
-        self.join_readers();
+        self.join_background();
     }
 
     /// Follower-side orderly shutdown: half-close the write sides, then
@@ -399,13 +582,19 @@ impl TcpFabric {
     /// result gather — stay deliverable: a full close here could turn a
     /// late master heartbeat into a connection reset that discards them.
     pub fn shutdown_when_drained(&self) {
-        for link in self.peers.iter().flatten() {
-            link.shutdown(Shutdown::Write);
+        self.closing.store(true, Ordering::Release);
+        for slot in &self.peers {
+            if let Some(link) = slot.read().as_ref() {
+                link.shutdown(Shutdown::Write);
+            }
         }
-        self.join_readers();
+        self.join_background();
     }
 
-    fn join_readers(&self) {
+    fn join_background(&self) {
+        if let Some(acceptor) = self.acceptor.lock().take() {
+            let _ = acceptor.join();
+        }
         let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.readers.lock());
         for h in handles {
             let _ = h.join();
@@ -429,26 +618,57 @@ impl Transport for TcpFabric {
             self.mailbox.deliver(env);
             return;
         }
-        let link = self.peers[dst].as_ref().expect("peer link for remote rank");
-        // A false return means the peer disconnected; the envelope is
-        // dropped and the receive side's deadline machinery takes over.
-        let _ = link.send(&env);
+        // Clone the link out of its slot so a concurrent rejoin swap never
+        // waits behind a send blocked on TCP backpressure.
+        let link = self.peers[dst].read().clone();
+        // A missing link (a dead rank whose replacement has not rejoined)
+        // or a false return (peer disconnected) drops the envelope; the
+        // receive side's deadline machinery takes over.
+        if let Some(link) = link {
+            let _ = link.send(&env);
+        }
     }
 
     fn mailbox(&self, r: usize) -> &Mailbox {
         assert_eq!(r, self.rank, "a TCP fabric hosts only its own rank's mailbox");
         &self.mailbox
     }
+
+    fn fault_state(&self) -> Option<&FaultState> {
+        self.faults.get()
+    }
+
+    fn install_fault_plan(&self, plan: FaultPlan) {
+        if !plan.is_empty() {
+            let _ = self.faults.set(FaultState::new(plan, self.world_size));
+        }
+    }
 }
 
 /// Reader thread: decode frames from one peer stream into the local
 /// mailbox until EOF, a connection error, or a corrupt frame. On exit the
-/// peer is marked dead in the mailbox, so untimed receives pinned to it
-/// fail loudly instead of wedging the rank (already-queued frames remain
-/// receivable — death only means nothing new arrives).
-fn read_loop(peer_rank: usize, mut stream: TcpStream, mailbox: &Mailbox) {
+/// peer is marked dead in the mailbox — unless its slot already holds a
+/// *newer* link (a replacement rejoined while this reader was still
+/// draining the old stream), in which case the stale verdict is suppressed
+/// so the fresh connection's liveness is not poisoned. Death only means
+/// nothing new arrives: already-queued frames remain receivable.
+fn read_loop(
+    peer_rank: usize,
+    mut stream: TcpStream,
+    mailbox: &Mailbox,
+    fabric: &Weak<TcpFabric>,
+    my_link: &Arc<PeerLink>,
+) {
     let mut decoder = FrameDecoder::new();
     let mut chunk = [0u8; 64 * 1024];
+    let note_dead = || {
+        let replaced = fabric.upgrade().is_some_and(|f| {
+            f.peers[peer_rank].read().as_ref().is_some_and(|cur| !Arc::ptr_eq(cur, my_link))
+        });
+        if !replaced {
+            mailbox.mark_peer_dead(peer_rank);
+        }
+    };
     loop {
         let n = match stream.read(&mut chunk) {
             // A signal landing on this thread (profilers, timers) is not a
@@ -456,7 +676,7 @@ fn read_loop(peer_rank: usize, mut stream: TcpStream, mailbox: &Mailbox) {
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Ok(0) | Err(_) => {
                 // EOF or reset: peer is gone.
-                mailbox.mark_peer_dead(peer_rank);
+                note_dead();
                 return;
             }
             Ok(n) => n,
@@ -470,13 +690,18 @@ fn read_loop(peer_rank: usize, mut stream: TcpStream, mailbox: &Mailbox) {
                 // connection (pending receives fail or time out rather
                 // than hang).
                 Err(_) => {
-                    mailbox.mark_peer_dead(peer_rank);
+                    note_dead();
                     return;
                 }
             }
         }
     }
 }
+
+/// First pause of the connect backoff; doubles per failed attempt.
+const CONNECT_BACKOFF_START: Duration = Duration::from_millis(10);
+/// Backoff ceiling — keeps long windows polite without going unresponsive.
+const CONNECT_BACKOFF_CAP: Duration = Duration::from_millis(500);
 
 /// Dial `addr`, retrying while the listener may still be coming up. The
 /// window defaults to [`CONNECT_RETRY_WINDOW`]; the `LIPIZ_TCP_RETRY_MS`
@@ -487,15 +712,34 @@ fn connect_with_retry(addr: SocketAddr) -> io::Result<TcpStream> {
         .ok()
         .and_then(|v| v.parse().ok())
         .map_or(CONNECT_RETRY_WINDOW, Duration::from_millis);
+    connect_with_retry_window(addr, window)
+}
+
+/// [`connect_with_retry`] with an explicit deadline window. Retries on a
+/// capped exponential backoff (10 ms doubling to 500 ms) instead of a
+/// fixed cadence, so a listener that comes up fast is caught fast while a
+/// long wait does not hammer the host; on exhaustion the error reports
+/// the attempt count and the window alongside the underlying cause.
+fn connect_with_retry_window(addr: SocketAddr, window: Duration) -> io::Result<TcpStream> {
     let deadline = Instant::now() + window;
+    let mut backoff = CONNECT_BACKOFF_START;
+    let mut attempts: u32 = 0;
     loop {
+        attempts += 1;
         match TcpStream::connect(addr) {
             Ok(s) => return Ok(s),
             Err(e) => {
-                if Instant::now() >= deadline {
-                    return Err(e);
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(io::Error::new(
+                        e.kind(),
+                        format!(
+                            "connect to {addr} failed after {attempts} attempts over {window:?}: {e}"
+                        ),
+                    ));
                 }
-                std::thread::sleep(Duration::from_millis(50));
+                std::thread::sleep(backoff.min(deadline - now));
+                backoff = (backoff * 2).min(CONNECT_BACKOFF_CAP);
             }
         }
     }
@@ -706,5 +950,96 @@ mod tests {
             comm.rank()
         });
         assert_eq!(results, vec![0, 1]);
+    }
+
+    #[test]
+    fn connect_retry_reports_attempt_count() {
+        // A port nothing listens on: the dial must exhaust its window on
+        // the backoff schedule and surface how hard it tried.
+        let probe = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = probe.local_addr().expect("addr");
+        drop(probe); // freed port: connects are refused
+        let start = Instant::now();
+        let err = connect_with_retry_window(addr, Duration::from_millis(120))
+            .expect_err("nothing listens there");
+        assert!(start.elapsed() < Duration::from_secs(10), "window not bounded");
+        let msg = err.to_string();
+        assert!(msg.contains("attempts"), "error must report the attempt count: {msg}");
+    }
+
+    #[test]
+    fn rejoined_rank_restores_full_mesh_connectivity() {
+        // The in-flight replacement choreography, straight through the
+        // transport layer: a 3-rank universe forms, the slave holding rank
+        // 2 dies abruptly, a replacement process (thread here) rejoins via
+        // the master's retained listener, and afterwards *both* the master
+        // link and the slave↔slave mesh link to rank 2 carry traffic again
+        // — while rank 1 never left its mailbox loop.
+        use std::sync::mpsc;
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let (go_tx, go_rx) = mpsc::channel::<()>();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(move || {
+                    let fabric = TcpFabric::slave(addr).expect("slave bootstrap");
+                    let comm = Comm::world(fabric.clone(), fabric.rank());
+                    comm.send(0, 1, &(fabric.rank() as u8));
+                    if fabric.rank() == 2 {
+                        // Vanish abruptly, mid-run.
+                        fabric.shutdown();
+                        return;
+                    }
+                    // Survivor (rank 1): observe the death, then wait for
+                    // traffic over the swapped-in link. A timed receive is
+                    // used because the replacement may send and half-close
+                    // faster than a liveness poll could observe the
+                    // cleared flag — the frame arriving at all proves the
+                    // rejoiner's dial swapped the dead link.
+                    let mb = fabric.mailbox(1);
+                    while !mb.peer_is_dead(2) {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    let deadline = Instant::now() + Duration::from_secs(30);
+                    let (v, src): (u8, usize) = loop {
+                        if let Some(got) =
+                            comm.recv_timeout(RecvFrom::Rank(2), 5, Duration::from_millis(50))
+                        {
+                            break got;
+                        }
+                        assert!(Instant::now() < deadline, "swapped link never delivered");
+                    };
+                    assert_eq!((v, src), (55, 2));
+                    fabric.shutdown_when_drained();
+                });
+            }
+            s.spawn(move || {
+                // The replacement: waits until the universe is formed and
+                // the victim convicted (the master's signal), then rejoins.
+                go_rx.recv().expect("go signal");
+                let fabric = TcpFabric::rejoin(addr).expect("rejoin bootstrap");
+                assert_eq!(fabric.rank(), 2, "replacement inherits the victim's rank");
+                let comm = Comm::world(fabric.clone(), 2);
+                let (v, _): (u8, usize) = comm.recv(RecvFrom::Rank(0), 3);
+                assert_eq!(v, 33);
+                comm.send(1, 5, &55u8);
+                comm.send(0, 4, &44u8);
+                fabric.shutdown_when_drained();
+            });
+            let fabric = TcpFabric::master(listener, 3).expect("master bootstrap");
+            let comm = Comm::world(fabric.clone(), 0);
+            let _: (u8, usize) = comm.recv(RecvFrom::Rank(1), 1);
+            let _: (u8, usize) = comm.recv(RecvFrom::Rank(2), 1);
+            let mb = fabric.mailbox(0);
+            while !mb.peer_is_dead(2) {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            go_tx.send(()).expect("signal the replacement");
+            fabric.accept_rejoin(2, Duration::from_secs(30)).expect("rejoin rendezvous");
+            comm.send(2, 3, &33u8);
+            let (v, _): (u8, usize) = comm.recv(RecvFrom::Rank(2), 4);
+            assert_eq!(v, 44);
+            fabric.shutdown();
+        });
     }
 }

@@ -15,6 +15,7 @@
 //! backends byte-identical.
 
 use crate::endpoint::Mailbox;
+use crate::fault::FaultState;
 use crate::message::Envelope;
 use crate::wire::{Wire, WireError};
 use std::fmt;
@@ -38,6 +39,27 @@ pub trait Transport: fmt::Debug + Send + Sync {
     /// Socket transports host only their own rank and panic for any other
     /// `r`; the in-process fabric hosts all ranks.
     fn mailbox(&self, r: usize) -> &Mailbox;
+
+    /// The installed fault-injection state, if this universe runs under a
+    /// [`crate::fault::FaultPlan`]. The communicator consults it on every
+    /// outgoing envelope; `None` (the default) means a fault-free universe
+    /// with zero per-send overhead beyond this call.
+    fn fault_state(&self) -> Option<&FaultState> {
+        None
+    }
+
+    /// Transport hook fired when the fault layer severs the `src -> dst`
+    /// direction: in-process fabrics mark the receiver's mailbox so blocked
+    /// receives fail as [`crate::endpoint::PeerLost`], exactly like a torn
+    /// TCP connection would on a socket transport. Default: no-op.
+    fn note_severed(&self, _dst_world: usize, _src_world: usize) {}
+
+    /// Arm fault injection after construction (no-op default). Ranks of a
+    /// multi-process universe learn their [`crate::fault::FaultPlan`] from
+    /// the wire configuration, which only arrives once the transport is
+    /// already bootstrapped; implementations install the plan at most once
+    /// and ignore empty plans.
+    fn install_fault_plan(&self, _plan: crate::fault::FaultPlan) {}
 }
 
 /// Upper bound on a frame body, rejecting hostile length prefixes before

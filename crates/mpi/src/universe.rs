@@ -27,8 +27,19 @@ impl Universe {
         R: Send,
         F: Fn(Comm) -> R + Send + Sync,
     {
+        Self::run_on(Fabric::new(n), f)
+    }
+
+    /// [`Universe::run`] over a caller-built fabric — the way to run an
+    /// in-process universe under a [`crate::fault::FaultPlan`]
+    /// (see [`Fabric::with_faults`]).
+    pub fn run_on<R, F>(fabric: std::sync::Arc<Fabric>, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Send + Sync,
+    {
+        let n = fabric.world_size();
         assert!(n > 0, "need at least one rank");
-        let fabric = Fabric::new(n);
         let f = &f;
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..n)

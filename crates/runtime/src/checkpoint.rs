@@ -56,8 +56,10 @@ use std::thread::JoinHandle;
 const CELL_MAGIC: &[u8; 4] = b"LPZK";
 /// File magic for the manifest ("LPZM").
 const MANIFEST_MAGIC: &[u8; 4] = b"LPZM";
-/// Checkpoint format version.
-const FORMAT_VERSION: u32 = 1;
+/// Checkpoint format version. v2: the manifest's embedded config carries
+/// the failure-semantics block (heartbeat policy, staleness bound, fault
+/// plan); v1 manifests fail loudly as [`CheckpointError::UnsupportedVersion`].
+const FORMAT_VERSION: u32 = 2;
 /// Manifest file name inside a checkpoint directory.
 pub const MANIFEST_NAME: &str = "manifest.lpzm";
 /// How many committed iterations [`DirSink`] keeps per cell (the newest

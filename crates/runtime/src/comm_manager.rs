@@ -16,12 +16,12 @@
 //! logic (the decoupling the paper calls out).
 
 use crate::protocol::{
-    tags, NodeAnnouncement, RunTask, SlaveResult, SnapshotMsg, StatusReport,
+    tags, CacheResponse, NodeAnnouncement, RunTask, SlaveResult, SnapshotMsg, StatusReport,
 };
 use lipiz_core::CellSnapshot;
 use lipiz_mpi::wire::Wire;
-use lipiz_mpi::{Comm, RecvFrom};
-use std::time::Duration;
+use lipiz_mpi::{Comm, DegradedGather, FaultPlan, FrozenFrameHandle, RecvFrom};
+use std::time::{Duration, Instant};
 
 /// Typed communication facade for one rank.
 #[derive(Debug, Clone)]
@@ -150,6 +150,43 @@ impl CommManager {
         task
     }
 
+    /// Master: await the announcement of an in-flight replacement for
+    /// `world_rank` (the respawned process re-runs the Fig. 3 bootstrap).
+    /// Returns `None` if the deadline passes first.
+    pub fn await_announcement_from(
+        &self,
+        world_rank: usize,
+        timeout: Duration,
+    ) -> Option<NodeAnnouncement> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some((msg, _)) = self.world.recv_timeout::<NodeAnnouncement>(
+                RecvFrom::Rank(world_rank),
+                tags::NODE_NAME,
+                Duration::from_millis(25),
+            ) {
+                return Some(msg);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+        }
+    }
+
+    // ---- fault injection ---------------------------------------------------
+
+    /// Arm the transport's sever/delay/blackhole enforcement with the
+    /// scripted plan (no-op when the plan is empty or a plan is already
+    /// installed — the in-process fabric arms at construction).
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        self.world.install_fault_plan(plan);
+    }
+
+    /// Advance this rank's fault-plan logical clock to `iter`.
+    pub fn tick_fault_clock(&self, iter: usize) {
+        self.world.tick_fault_clock(iter);
+    }
+
     // ---- heartbeat protocol -----------------------------------------------
 
     /// Master: ask a slave for its status.
@@ -202,6 +239,77 @@ impl CommManager {
                 SnapshotMsg::from_bytes(&part).expect("snapshot decode").into_snapshot()
             })
             .collect()
+    }
+
+    /// [`CommManager::exchange_centers`] through the degraded collective:
+    /// the fan-in root (cell 0) substitutes a missing peer's slot from its
+    /// stale cache under `ctl`'s bounds instead of wedging. Non-root ranks
+    /// send byte-identical traffic either way; `round` is this slave's
+    /// iteration counter, which every healthy rank advances in lockstep.
+    pub fn exchange_centers_degraded(
+        &mut self,
+        snapshot: &CellSnapshot,
+        round: usize,
+        ctl: &mut DegradedGather,
+    ) -> Vec<CellSnapshot> {
+        self.snapshot_scratch.clear();
+        SnapshotMsg::encode_snapshot(snapshot, &mut self.snapshot_scratch);
+        self.local()
+            .allgather_bytes_degraded(&self.snapshot_scratch, round, ctl)
+            .into_iter()
+            .map(|part| {
+                SnapshotMsg::from_bytes(&part).expect("snapshot decode").into_snapshot()
+            })
+            .collect()
+    }
+
+    /// Fan-in root's main thread: answer one pending death-frame request
+    /// from a catching-up replacement, if any is queued. The frame lives
+    /// behind the shared handle so this thread can serve it while the
+    /// execution thread is mid-collective. Returns whether a request was
+    /// answered.
+    pub fn serve_frozen_frame(&self, frame: &FrozenFrameHandle) -> bool {
+        let Some(((), src)) =
+            self.world.recv_timeout::<()>(RecvFrom::Any, tags::CACHE_REQ, Duration::ZERO)
+        else {
+            return false;
+        };
+        let resp = CacheResponse { frame: frame.lock().clone() };
+        self.world.send(src, tags::CACHE_RESP, &resp);
+        true
+    }
+
+    /// Replacement slave: fetch the frozen death-frame from the fan-in root
+    /// (WORLD rank 1), polling until the root has frozen one or `timeout`
+    /// passes. One request is answered by exactly one response, so the
+    /// request/response pairing never skews.
+    pub fn fetch_frozen_frame(&self, timeout: Duration) -> Option<Vec<Vec<u8>>> {
+        const ROOT_WORLD: usize = 1;
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.world.send(ROOT_WORLD, tags::CACHE_REQ, &());
+            // One response per request; a root that never answers (it died
+            // too) bounds out instead of wedging the replacement.
+            let resp = loop {
+                if let Some((resp, _)) = self.world.recv_timeout::<CacheResponse>(
+                    RecvFrom::Rank(ROOT_WORLD),
+                    tags::CACHE_RESP,
+                    Duration::from_millis(50),
+                ) {
+                    break Some(resp);
+                }
+                if Instant::now() >= deadline {
+                    break None;
+                }
+            };
+            match resp {
+                Some(CacheResponse { frame: Some(frame) }) => return Some(frame),
+                Some(CacheResponse { frame: None }) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                _ => return None,
+            }
+        }
     }
 
     /// Final gather of results on GLOBAL: slaves pass `Some(result)`, the
@@ -284,6 +392,7 @@ mod tests {
                         config: ConfigMsg::from(&TrainConfig::smoke(2)),
                         cell_index: i,
                         resume_from: None,
+                        rejoin_round: None,
                     };
                     cm.send_run_task(a.rank, &task);
                 }

@@ -3,7 +3,7 @@
 //! OS process; see [`lipiz_mpi::tcp::TcpFabric`]).
 
 use crate::comm_manager::CommManager;
-use crate::master::{run_master_monitored, MasterAbort, MasterOutcome};
+use crate::master::{run_master_elastic, run_master_monitored, MasterAbort, MasterOutcome};
 use crate::slave::run_slave;
 use crate::state::SlaveState;
 use lipiz_core::{TrainConfig, TrainReport};
@@ -102,6 +102,49 @@ pub fn run_tcp_master_monitored(
     let outcome = run_master_monitored(&cm, cfg, &opts);
     fabric.shutdown();
     Ok(outcome)
+}
+
+/// [`run_tcp_master_monitored`] with in-flight rank replacement: when the
+/// config's fault plan scripts a replaceable kill and the heartbeat
+/// convicts that rank, the master calls `spawn_replacement(victim_rank)` —
+/// the caller respawns just that one OS process (pointing it at
+/// [`run_tcp_rejoin_slave`]) — then completes the rejoin handshake on its
+/// retained bootstrap listener and hands the newcomer its catch-up task.
+/// The surviving fleet never tears down; a failed replacement falls back
+/// to the coordinated-recovery abort the caller already handles.
+pub fn run_tcp_master_elastic(
+    listener: TcpListener,
+    cfg: &TrainConfig,
+    opts: DistributedOptions,
+    spawn_replacement: impl Fn(usize) -> std::io::Result<()>,
+) -> std::io::Result<Result<MasterOutcome, MasterAbort>> {
+    let fabric = TcpFabric::master(listener, cfg.cells() + 1)?;
+    let cm = CommManager::new(Universe::attach(fabric.clone(), 0));
+    let rejoin_fabric = fabric.clone();
+    let replacer = move |victim: usize| -> bool {
+        spawn_replacement(victim).is_ok()
+            && rejoin_fabric.accept_rejoin(victim, Duration::from_secs(60)).is_ok()
+    };
+    let outcome = run_master_elastic(&cm, cfg, &opts, Some(&replacer));
+    fabric.shutdown();
+    Ok(outcome)
+}
+
+/// Replacement-slave side of an in-flight rejoin: dial the master's
+/// bootstrap listener, inherit the dead rank's identity and mesh (the
+/// survivors' links are re-established toward this process), then run the
+/// ordinary slave lifecycle — the run task it receives carries the
+/// resume-and-catch-up markers.
+pub fn run_tcp_rejoin_slave(
+    master_addr: impl ToSocketAddrs,
+    make_data: impl Fn(usize, &TrainConfig) -> Matrix + Sync,
+) -> std::io::Result<SlaveState> {
+    let fabric = TcpFabric::rejoin(master_addr)?;
+    let rank = fabric.rank();
+    let cm = CommManager::new(Universe::attach(fabric.clone(), rank));
+    let state = run_slave(&cm, &make_data, &format!("node{rank:02}r"));
+    fabric.shutdown_when_drained();
+    Ok(state)
 }
 
 /// Slave side of a multi-process TCP run: dial the master at

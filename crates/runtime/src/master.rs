@@ -14,9 +14,21 @@ use lipiz_core::profiling::{ProfileReport, ProfileRow};
 use lipiz_core::{
     CellResult, EnsembleModel, Grid, MixtureWeights, Routine, TrainConfig, TrainReport,
 };
+use lipiz_mpi::{replacement_schedule, FaultPlan, ReplacementSchedule};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Hook the elastic master calls to bring a replacement for the given dead
+/// WORLD rank onto the transport: spawn (or adopt) a fresh process and
+/// complete its rejoin handshake. Returns whether the replacement is
+/// connected and ready to announce. The master never tears the surviving
+/// fleet down while one of these succeeds.
+pub type Replacer<'a> = dyn Fn(usize) -> bool + 'a;
+
+/// How long the master waits for a connected replacement's node
+/// announcement before giving up on the in-flight path.
+const REJOIN_ANNOUNCE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Why a monitored master run aborted instead of completing.
 ///
@@ -118,6 +130,40 @@ pub fn run_master_monitored(
     cfg: &TrainConfig,
     opts: &DistributedOptions,
 ) -> Result<MasterOutcome, MasterAbort> {
+    run_master_elastic(cm, cfg, opts, None)
+}
+
+/// The in-flight replacement schedule implied by the config's fault plan,
+/// if its earliest kill is replaceable (same pure arithmetic on every
+/// party — see [`replacement_schedule`]).
+fn scheduled_replacement(cfg: &TrainConfig) -> Option<ReplacementSchedule> {
+    let plan = FaultPlan::parse(cfg.fault.plan.as_deref()?).ok()?;
+    replacement_schedule(
+        &plan,
+        cfg.fault.max_stale_iters,
+        cfg.checkpoint.every,
+        cfg.checkpoint.effective_iterations(cfg.coevolution.iterations),
+        cfg.cells(),
+    )
+}
+
+/// [`run_master_monitored`] with in-flight rank replacement: when the
+/// heartbeat convicts the rank the fault plan scripts to die — and a
+/// `replacer` hook is available — the master respawns *only* that rank
+/// instead of aborting. The replacer brings a fresh process onto the
+/// transport (rejoin handshake included); the master then awaits its
+/// announcement and hands it a [`RunTask`] carrying the dead cell's newest
+/// committed checkpoint cut plus the rejoin round at which it must be back
+/// in the exchange. Survivors never leave iteration cadence: the fan-in
+/// root bridges the gap from its stale cache while the replacement catches
+/// up solo. A failed replacement (spawn, handshake, or announcement) falls
+/// back to the coordinated full-teardown abort.
+pub fn run_master_elastic(
+    cm: &CommManager,
+    cfg: &TrainConfig,
+    opts: &DistributedOptions,
+    replacer: Option<&Replacer<'_>>,
+) -> Result<MasterOutcome, MasterAbort> {
     assert_eq!(
         cm.num_slaves(),
         cfg.cells(),
@@ -154,6 +200,7 @@ pub fn run_master_monitored(
                 config: config_msg.clone(),
                 cell_index: cell,
                 resume_from: opts.resume_from,
+                rejoin_round: None,
             },
         );
     }
@@ -165,6 +212,11 @@ pub fn run_master_monitored(
         .unwrap_or_else(|| opts.heartbeat_interval.max(Duration::from_millis(50)));
     let stop = AtomicBool::new(false);
     let first_dead = AtomicI64::new(NO_DEAD_SLAVE);
+    // Replacement state: the schedule the fault plan implies (if its kill
+    // is replaceable) and a once-only latch — a second conviction of the
+    // same rank, or of any other rank, aborts the old-fashioned way.
+    let sched = scheduled_replacement(cfg);
+    let replacement_started = AtomicBool::new(false);
     let (gathered, heartbeat) = std::thread::scope(|s| {
         let hb_cm = cm.clone();
         let stop_ref = &stop;
@@ -182,26 +234,92 @@ pub fn run_master_monitored(
         });
         let poll = opts.heartbeat_interval.max(Duration::from_millis(10));
         let results = cm.gather_results_abortable(poll, &|pending: &[usize]| {
+            // Who do we believe is dead? A heartbeat conviction wins;
+            // absent one, a pending rank whose transport connection is gone
+            // (the doomed-gather signal — it fires within milliseconds of a
+            // process death, well before the heartbeat deadline can
+            // convict, and even with monitoring off).
             let convicted = first_dead.load(Ordering::Acquire);
-            if convicted == NO_DEAD_SLAVE {
-                return false;
+            let suspect = if convicted != NO_DEAD_SLAVE {
+                if !pending.contains(&(convicted as usize)) {
+                    // Stale verdict: the convicted rank's result already
+                    // arrived — it finished, delivered, and legitimately
+                    // went quiet (a slave stops answering heartbeats once
+                    // training ends, and the Finished exemption is
+                    // best-effort: the master only observes that state if a
+                    // request lands in the slave's drain window). Clear the
+                    // flag so a *real* death can still be recorded.
+                    let _ = first_dead.compare_exchange(
+                        convicted,
+                        NO_DEAD_SLAVE,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
+                    return false;
+                }
+                convicted as usize
+            } else {
+                match pending.iter().copied().find(|&r| cm.connection_dead(r)) {
+                    Some(rank) => rank,
+                    None => return false,
+                }
+            };
+            // The scripted victim died and a replacer is on hand: bring a
+            // replacement onto the transport in-flight instead of aborting.
+            // On success any conviction is cleared, which the heartbeat
+            // loop treats as a permanent exemption for that rank — the
+            // replacement announces, restores, catches up solo, and rejoins
+            // the exchange at the scheduled round while the gather simply
+            // keeps waiting.
+            if let (Some(sched), Some(replace)) = (sched, replacer) {
+                if suspect == sched.victim_world {
+                    if replacement_started.swap(true, Ordering::AcqRel) {
+                        // Replacement already completed (the winning call
+                        // runs synchronously in this same thread). A live
+                        // replacement whose connection is *also* dead is a
+                        // real second death: give up the old-fashioned way.
+                        if cm.connection_dead(sched.victim_world) {
+                            return true;
+                        }
+                        // Otherwise this is a leftover heartbeat conviction
+                        // from the death window — clear it (the heartbeat
+                        // loop then exempts the rank for good).
+                        let _ = first_dead.compare_exchange(
+                            convicted,
+                            NO_DEAD_SLAVE,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        );
+                        return false;
+                    }
+                    let connected = replace(sched.victim_world)
+                        && cm
+                            .await_announcement_from(
+                                sched.victim_world,
+                                REJOIN_ANNOUNCE_TIMEOUT,
+                            )
+                            .is_some();
+                    if connected {
+                        cm.send_run_task(
+                            sched.victim_world,
+                            &RunTask {
+                                config: config_msg.clone(),
+                                cell_index: sched.cell,
+                                resume_from: sched.resume_cut,
+                                rejoin_round: Some(sched.rejoin_round),
+                            },
+                        );
+                        let _ = first_dead.compare_exchange(
+                            convicted,
+                            NO_DEAD_SLAVE,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        );
+                        return false;
+                    }
+                }
             }
-            if pending.contains(&(convicted as usize)) {
-                return true;
-            }
-            // Stale verdict: the convicted rank's result already arrived —
-            // it finished, delivered, and legitimately went quiet (a slave
-            // stops answering heartbeats once training ends, and the
-            // Finished exemption is best-effort: the master only observes
-            // that state if a request lands in the slave's drain window).
-            // Clear the flag so a *real* death can still be recorded.
-            let _ = first_dead.compare_exchange(
-                convicted,
-                NO_DEAD_SLAVE,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            );
-            false
+            true
         });
         stop.store(true, Ordering::Release);
         let log = hb.join().expect("heartbeat thread panicked");

@@ -7,8 +7,9 @@
 use lipiz_core::config::{NetworkSettings, WireGanLoss};
 use lipiz_core::profiling::ProfileRow;
 use lipiz_core::{
-    AdversaryStrategy, CellSnapshot, CheckpointConfig, CoevolutionConfig, GridConfig, LossMode,
-    MutationConfig, NeighborhoodPattern, ProfileReport, TrainConfig, TrainingConfig,
+    AdversaryStrategy, CellSnapshot, CheckpointConfig, CoevolutionConfig, FaultConfig,
+    GridConfig, LossMode, MutationConfig, NeighborhoodPattern, ProfileReport, TrainConfig,
+    TrainingConfig,
 };
 #[allow(unused_imports)]
 use lipiz_mpi::wire::Wire;
@@ -26,6 +27,11 @@ pub mod tags {
     pub const STATUS_REQ: u32 = 12;
     /// Slave → master: heartbeat status response.
     pub const STATUS_RESP: u32 = 13;
+    /// Replacement slave → fan-in root: request for the frozen death-frame
+    /// snapshot cache (the rejoin bootstrap when no checkpoint exists).
+    pub const CACHE_REQ: u32 = 14;
+    /// Fan-in root → replacement slave: frozen death-frame response.
+    pub const CACHE_RESP: u32 = 15;
 }
 
 /// Fig. 3 "send node name to master".
@@ -51,8 +57,24 @@ pub struct RunTask {
     /// checkpoint directory) instead of initializing fresh — the elastic
     /// recovery and `lipizzaner resume` path.
     pub resume_from: Option<usize>,
+    /// In-flight replacement marker: `Some(r)` tells the slave it replaces
+    /// a dead rank mid-run — it must catch up solo (training against the
+    /// frozen death-frame neighborhood) until its iteration counter reaches
+    /// `r`, then join the live exchange at round `r`. `None` for every
+    /// ordinary start or full-fleet resume.
+    pub rejoin_round: Option<usize>,
 }
-wire_struct!(RunTask { config, cell_index, resume_from });
+wire_struct!(RunTask { config, cell_index, resume_from, rejoin_round });
+
+/// Fan-in root → replacement: the frozen death-frame, one encoded
+/// [`SnapshotMsg`] per LOCAL group rank (= cell index). `None` while the
+/// root has not frozen a frame yet — the requester polls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheResponse {
+    /// Encoded per-cell snapshots, or `None` when nothing is frozen.
+    pub frame: Option<Vec<Vec<u8>>>,
+}
+wire_struct!(CacheResponse { frame });
 
 /// Heartbeat status response.
 #[derive(Debug, Clone, PartialEq)]
@@ -239,6 +261,10 @@ pub struct ConfigMsg {
     checkpoint_every: usize,
     checkpoint_dir: Option<String>,
     checkpoint_pause_after: Option<usize>,
+    fault_heartbeat_interval_ms: u64,
+    fault_heartbeat_misses: usize,
+    fault_max_stale_iters: usize,
+    fault_plan: Option<String>,
     seed: u64,
 }
 wire_struct!(ConfigMsg {
@@ -272,6 +298,10 @@ wire_struct!(ConfigMsg {
     checkpoint_every,
     checkpoint_dir,
     checkpoint_pause_after,
+    fault_heartbeat_interval_ms,
+    fault_heartbeat_misses,
+    fault_max_stale_iters,
+    fault_plan,
     seed,
 });
 
@@ -338,6 +368,10 @@ impl From<&TrainConfig> for ConfigMsg {
             checkpoint_every: c.checkpoint.every,
             checkpoint_dir: c.checkpoint.dir.clone(),
             checkpoint_pause_after: c.checkpoint.pause_after,
+            fault_heartbeat_interval_ms: c.fault.heartbeat_interval_ms,
+            fault_heartbeat_misses: c.fault.heartbeat_misses,
+            fault_max_stale_iters: c.fault.max_stale_iters,
+            fault_plan: c.fault.plan.clone(),
             seed: c.seed,
         }
     }
@@ -403,6 +437,12 @@ impl ConfigMsg {
                 dir: self.checkpoint_dir,
                 pause_after: self.checkpoint_pause_after,
             },
+            fault: FaultConfig {
+                heartbeat_interval_ms: self.fault_heartbeat_interval_ms,
+                heartbeat_misses: self.fault_heartbeat_misses,
+                max_stale_iters: self.fault_max_stale_iters,
+                plan: self.fault_plan,
+            },
             seed: self.seed,
         }
     }
@@ -421,6 +461,8 @@ mod tests {
             TrainConfig::smoke(2).with_workers(4),
             TrainConfig::smoke(2).with_shards(true),
             TrainConfig::smoke(2).with_checkpoints("/tmp/ckpt", 3).with_pause_after(1),
+            TrainConfig::smoke(2).with_fault_plan("kill:3@2;delay:1>2:*@4:50", 2),
+            TrainConfig::smoke(2).with_heartbeat(25, 4),
         ] {
             let msg = ConfigMsg::from(&cfg);
             let bytes = msg.to_bytes();
@@ -481,14 +523,25 @@ mod tests {
 
     #[test]
     fn run_task_round_trips() {
-        for resume_from in [None, Some(7usize)] {
+        for (resume_from, rejoin_round) in
+            [(None, None), (Some(7usize), None), (Some(2), Some(4))]
+        {
             let task = RunTask {
                 config: ConfigMsg::from(&TrainConfig::smoke(2)),
                 cell_index: 3,
                 resume_from,
+                rejoin_round,
             };
             let back = RunTask::from_bytes(&task.to_bytes()).unwrap();
             assert_eq!(back, task);
+        }
+    }
+
+    #[test]
+    fn cache_response_round_trips() {
+        for frame in [None, Some(vec![vec![1u8, 2, 3], vec![], vec![9u8; 5]])] {
+            let resp = CacheResponse { frame };
+            assert_eq!(CacheResponse::from_bytes(&resp.to_bytes()).unwrap(), resp);
         }
     }
 
@@ -527,7 +580,14 @@ mod tests {
 
     #[test]
     fn tags_are_distinct() {
-        let all = [tags::NODE_NAME, tags::RUN_TASK, tags::STATUS_REQ, tags::STATUS_RESP];
+        let all = [
+            tags::NODE_NAME,
+            tags::RUN_TASK,
+            tags::STATUS_REQ,
+            tags::STATUS_RESP,
+            tags::CACHE_REQ,
+            tags::CACHE_RESP,
+        ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {
                 assert_ne!(a, b);

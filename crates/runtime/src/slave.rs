@@ -10,13 +10,50 @@
 
 use crate::checkpoint::{self, CheckpointWriter};
 use crate::comm_manager::CommManager;
-use crate::protocol::{ProfileRowMsg, SlaveResult, StatusReport};
+use crate::protocol::{ProfileRowMsg, SlaveResult, SnapshotMsg, StatusReport};
 use crate::state::SlaveState;
 use lipiz_core::{CellEngine, CellSnapshot, Grid, Profiler, TrainConfig};
+use lipiz_mpi::wire::Wire;
+use lipiz_mpi::{process_faults_enabled, replacement_schedule, DegradedGather, FaultPlan};
 use lipiz_tensor::{Matrix, Pool};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
+
+/// Enact a scripted kill: die as a real crash would — no unwinding, no
+/// destructors, no result gather. SIGKILL leaves nothing to chance; the
+/// abort is the fallback when no `kill` binary exists.
+fn fault_self_kill() -> ! {
+    let pid = std::process::id();
+    let _ = std::process::Command::new("kill").arg("-9").arg(pid.to_string()).status();
+    std::process::abort();
+}
+
+/// Submit an async checkpoint capture if the cadence commits after `iter`.
+fn maybe_commit_checkpoint(
+    writer: &Option<CheckpointWriter>,
+    cfg: &TrainConfig,
+    engine: &mut CellEngine,
+    iter: usize,
+    profiler: &mut Profiler,
+) {
+    let Some(w) = writer else { return };
+    if !cfg.checkpoint.commits_after(iter) {
+        return;
+    }
+    let ckpt_start = Instant::now();
+    let state = match w.recycled() {
+        Some(mut recycled) => {
+            engine.capture_state_into(&mut recycled);
+            recycled
+        }
+        None => engine.capture_state(),
+    };
+    w.submit(state);
+    // Charged to "other": capture is the only checkpoint cost on the
+    // training thread.
+    profiler.record(lipiz_core::Routine::Other, ckpt_start.elapsed());
+}
 
 /// How a slave builds its local dataset for an assigned cell ("download
 /// data" in Fig. 3 — every rank synthesizes the same data deterministically
@@ -34,7 +71,45 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
     let cfg = task.config.into_config();
     let cell_index = task.cell_index;
     let resume_from = task.resume_from;
+    let rejoin_round = task.rejoin_round;
     state = state.transition(SlaveState::Processing);
+
+    // Fault wiring. The plan rides in the config, so every rank arms the
+    // same message-level enforcement and derives the same replacement
+    // schedule without exchanging a byte.
+    let fault_plan = cfg.fault.plan.as_deref().and_then(|s| FaultPlan::parse(s).ok());
+    if let Some(plan) = fault_plan.clone() {
+        cm.install_fault_plan(plan);
+    }
+    let sched = fault_plan.as_ref().and_then(|plan| {
+        replacement_schedule(
+            plan,
+            cfg.fault.max_stale_iters,
+            cfg.checkpoint.every,
+            cfg.checkpoint.effective_iterations(cfg.coevolution.iterations),
+            cfg.cells(),
+        )
+    });
+    // A scripted kill of this rank is enacted only when each rank is a
+    // real OS process (the CLI slave path arms this) and this process is
+    // not itself the replacement re-running the victim's rank.
+    let my_kill = if process_faults_enabled() && rejoin_round.is_none() {
+        fault_plan.as_ref().and_then(|p| p.kill_iteration(cm.world_rank()))
+    } else {
+        None
+    };
+    // The fan-in root (cell 0) owns the degraded-gather controller whenever
+    // graceful degradation is enabled; the *planned* absence window is
+    // armed only when the kill will really happen (process faults on), so
+    // threaded runs carrying a kill-bearing plan stay synchronous.
+    let mut gather_ctl = (cm.world_rank() == 1 && cfg.fault.degradation_enabled())
+        .then(|| DegradedGather::new(cfg.cells(), cfg.fault.max_stale_iters));
+    if let (Some(ctl), Some(sched)) = (gather_ctl.as_mut(), sched) {
+        if process_faults_enabled() {
+            ctl.plan_absence(sched.cell, sched.kill_iter, sched.rejoin_round);
+        }
+    }
+    let frame_handle = gather_ctl.as_ref().map(|c| c.frozen_frame());
 
     // Shared status for the heartbeat answers.
     let state_atomic = AtomicU8::new(state.id());
@@ -129,35 +204,80 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
                 let mut snapshot = CellSnapshot::empty();
                 let mut neighbors: Vec<CellSnapshot> = Vec::new();
                 let neighbor_ids = grid.neighbors(cell_index);
+
+                // In-flight replacement catch-up: train solo against the
+                // frozen death-frame neighborhood (streamed from the fan-in
+                // root) until this engine's counter reaches the rejoin
+                // round — no exchanges, so the survivors' cadence is never
+                // perturbed, and the same frame for every solo iteration
+                // keeps the replay a pure function of (seed, plan).
+                if let Some(rejoin) = rejoin_round {
+                    let frame = exec_cm
+                        .fetch_frozen_frame(Duration::from_secs(60))
+                        .unwrap_or_else(|| {
+                            panic!("cell {cell_index}: no frozen death-frame to catch up from")
+                        });
+                    let frozen: Vec<CellSnapshot> = frame
+                        .iter()
+                        .map(|part| {
+                            SnapshotMsg::from_bytes(part)
+                                .expect("death-frame decode")
+                                .into_snapshot()
+                        })
+                        .collect();
+                    let frozen_neighbors: Vec<CellSnapshot> =
+                        neighbor_ids.iter().map(|&n| frozen[n].clone()).collect();
+                    while engine.iterations_done() < rejoin {
+                        let iter = engine.iterations_done();
+                        engine.run_iteration(&frozen_neighbors, &mut profiler);
+                        iterations_done.fetch_add(1, Ordering::Release);
+                        maybe_commit_checkpoint(
+                            &writer,
+                            &exec_cfg,
+                            &mut engine,
+                            iter,
+                            &mut profiler,
+                        );
+                    }
+                }
+
                 while engine.iterations_done() < target {
+                    let iter = engine.iterations_done();
+                    exec_cm.tick_fault_clock(iter);
+                    if my_kill == Some(iter) {
+                        // Die exactly at the scripted boundary: the last
+                        // exchanged round was `iter - 1`, exactly `iter`
+                        // iterations are complete, and every committed
+                        // cadence cut is durable first so the replacement
+                        // can restore from it.
+                        if let Some(w) = writer.take() {
+                            w.finish().unwrap_or_else(|e| {
+                                panic!("cell {cell_index}: checkpoint commit failed: {e}")
+                            });
+                        }
+                        fault_self_kill();
+                    }
                     // Gather: allgather my center, pick my neighbors.
                     let gather_start = Instant::now();
                     engine.snapshot_into(&mut snapshot);
-                    let all = exec_cm.exchange_centers(&snapshot);
+                    let all = match gather_ctl.as_mut() {
+                        Some(ctl) => exec_cm.exchange_centers_degraded(&snapshot, iter, ctl),
+                        None => exec_cm.exchange_centers(&snapshot),
+                    };
                     neighbors.resize_with(neighbor_ids.len(), CellSnapshot::empty);
                     for (slot, &n) in neighbor_ids.iter().enumerate() {
                         neighbors[slot].copy_from(&all[n]);
                     }
                     profiler.record(lipiz_core::Routine::Gather, gather_start.elapsed());
-                    let iter = engine.iterations_done();
                     engine.run_iteration(&neighbors, &mut profiler);
                     iterations_done.fetch_add(1, Ordering::Release);
-                    if let Some(w) = &writer {
-                        if exec_cfg.checkpoint.commits_after(iter) {
-                            let ckpt_start = Instant::now();
-                            let state = match w.recycled() {
-                                Some(mut recycled) => {
-                                    engine.capture_state_into(&mut recycled);
-                                    recycled
-                                }
-                                None => engine.capture_state(),
-                            };
-                            w.submit(state);
-                            // Charged to "other": capture is the only
-                            // checkpoint cost on the training thread.
-                            profiler.record(lipiz_core::Routine::Other, ckpt_start.elapsed());
-                        }
-                    }
+                    maybe_commit_checkpoint(
+                        &writer,
+                        &exec_cfg,
+                        &mut engine,
+                        iter,
+                        &mut profiler,
+                    );
                 }
                 if let Some(w) = writer.take() {
                     // Drain the queue so every committed cut is durable
@@ -193,7 +313,14 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
         });
 
         // Main thread: answer the master's heartbeats until training ends.
+        // The fan-in root also serves the frozen death-frame to a
+        // catching-up replacement here — the execution thread may be
+        // mid-collective, which is exactly why the frame sits behind a
+        // shared handle.
         while !done.load(Ordering::Acquire) {
+            if let Some(h) = &frame_handle {
+                while cm.serve_frozen_frame(h) {}
+            }
             if cm.poll_status_request(Duration::from_millis(10)) {
                 cm.respond_status(&StatusReport {
                     state: state_atomic.load(Ordering::Acquire),

@@ -13,11 +13,15 @@
 
 use lipizzaner::core::{persist, CellState, TransportKind};
 use lipizzaner::data::image;
+use lipizzaner::mpi::{enable_process_faults, replacement_schedule, FaultPlan};
 use lipizzaner::prelude::*;
 use lipizzaner::runtime::checkpoint;
 use lipizzaner::runtime::checkpoint::CheckpointWriter;
-use lipizzaner::runtime::driver::{run_tcp_master_monitored, run_tcp_slave};
+use lipizzaner::runtime::driver::{
+    run_tcp_master_elastic, run_tcp_master_monitored, run_tcp_rejoin_slave, run_tcp_slave,
+};
 use lipizzaner::runtime::master::MasterOutcome;
+use std::collections::BTreeMap;
 use std::io::Read as _;
 use std::net::TcpListener;
 use std::path::{Path, PathBuf};
@@ -46,10 +50,15 @@ fn main() -> ExitCode {
                  \u{20}       --no-spawn waits for hand-started slaves instead (multi-machine);\n\
                  \u{20}       with --checkpoint-dir, a heartbeat-dead slave is respawned and the\n\
                  \u{20}       run restored from the last committed checkpoint\n\
+                 \u{20}       fault flags: --fault-plan SPEC (kill:R@I;sever:A-B@I;...)\n\
+                 \u{20}       --max-stale-iters N (graceful degradation staleness bound)\n\
+                 \u{20}       --heartbeat-interval-ms MS --heartbeat-misses N; a scripted kill\n\
+                 \u{20}       with a staleness bound is replaced in-flight (no full relaunch)\n\
                  resume  --from DIR   restart an interrupted run from its checkpoint directory\n\
                  \u{20}       (config comes from the manifest; --driver/--transport/--out as train)\n\
                  slave   --connect HOST:PORT   join a master started elsewhere (the data\n\
-                 \u{20}       layout, incl. --shards and checkpointing, arrives in the wire config)\n\
+                 \u{20}       layout, incl. --shards and checkpointing, arrives in the wire config);\n\
+                 \u{20}       --rejoin attaches as the in-flight replacement for a dead rank\n\
                  sample  --model FILE.lpz --count N [--gallery FILE.pgm]\n\
                  info    --model FILE.lpz"
             );
@@ -104,7 +113,44 @@ fn cli_config(args: &[String]) -> TrainConfig {
         cfg = cfg.with_mustangs();
     }
     apply_checkpoint_flags(&mut cfg, args);
+    apply_fault_flags(&mut cfg, args);
     cfg
+}
+
+/// Failure-semantics knobs: the scripted fault plan, the staleness bound
+/// for graceful grid degradation, and the heartbeat cadence/deadline. Like
+/// checkpointing they land in the config, so every rank — including a
+/// hand-started slave on another machine — derives identical failure
+/// behavior from the wire config alone.
+fn apply_fault_flags(cfg: &mut TrainConfig, args: &[String]) {
+    let max_stale: Option<usize> =
+        flag_value(args, "--max-stale-iters").and_then(|v| v.parse().ok());
+    if let Some(plan) = flag_value(args, "--fault-plan") {
+        *cfg = cfg.clone().with_fault_plan(plan, max_stale.unwrap_or(1));
+    } else if let Some(m) = max_stale {
+        cfg.fault.max_stale_iters = m;
+    }
+    if let Some(interval) =
+        flag_value(args, "--heartbeat-interval-ms").and_then(|v| v.parse().ok())
+    {
+        cfg.fault.heartbeat_interval_ms = interval;
+    }
+    if let Some(misses) = flag_value(args, "--heartbeat-misses").and_then(|v| v.parse().ok()) {
+        cfg.fault.heartbeat_misses = misses;
+    }
+}
+
+/// The in-flight replacement schedule implied by the config's fault plan,
+/// if its earliest kill is replaceable.
+fn cli_replacement_schedule(cfg: &TrainConfig) -> Option<lipizzaner::mpi::ReplacementSchedule> {
+    let plan = FaultPlan::parse(cfg.fault.plan.as_deref()?).ok()?;
+    replacement_schedule(
+        &plan,
+        cfg.fault.max_stale_iters,
+        cfg.checkpoint.every,
+        cfg.checkpoint.effective_iterations(cfg.coevolution.iterations),
+        cfg.cells(),
+    )
 }
 
 /// Checkpoint knobs shared by `train`, `launch` and `resume`: cadence, the
@@ -277,18 +323,33 @@ fn run_training(cfg: TrainConfig, args: &[String], resume_from: Option<usize>) -
         "cluster-sim" => {
             let full = cli_full_data(&cfg);
             let sim = SimulatedCluster::cluster_uy(SimulationOptions::default());
-            let outcome = run_sim_driver(&sim, &cfg, &full, resume_states.as_deref());
-            // Rebuild the winning ensemble with a sequential pass (the sim
-            // reports fitness; ensembles live in its engines). Bit-identical
-            // to the sim's own engines — the drivers agree exactly.
-            let mut t = sequential_trainer(&cfg, &full, resume_states.as_deref());
-            t.run();
-            let mut ensembles = t.ensembles();
-            let best = ensembles.swap_remove(outcome.report.best_cell);
+            let mut outcome = run_sim_driver(&sim, &cfg, &full, resume_states.as_deref());
+            let best = if cfg.fault.plan.is_some() {
+                // A faulted run degrades: the victim's replacement trains
+                // against the frozen death-frame, so only the sim's own
+                // engines hold the right genomes.
+                outcome.ensembles.swap_remove(outcome.report.best_cell)
+            } else {
+                // Rebuild the winning ensemble with a sequential pass (the
+                // sim reports fitness; ensembles live in its engines).
+                // Bit-identical to the sim's own engines — the drivers
+                // agree exactly.
+                let mut t = sequential_trainer(&cfg, &full, resume_states.as_deref());
+                t.run();
+                let mut ensembles = t.ensembles();
+                ensembles.swap_remove(outcome.report.best_cell)
+            };
             (outcome.report, best)
         }
         "distributed" => {
-            let opts = DistributedOptions { resume_from, ..DistributedOptions::default() };
+            let mut opts = DistributedOptions { resume_from, ..DistributedOptions::default() };
+            if cfg.fault.heartbeat_interval_ms > 0 {
+                opts.heartbeat_interval =
+                    std::time::Duration::from_millis(cfg.fault.heartbeat_interval_ms);
+            }
+            if cfg.fault.heartbeat_misses > 0 {
+                opts.deadline_misses = cfg.fault.heartbeat_misses;
+            }
             let outcome = match transport {
                 TransportKind::InProcess => {
                     lipizzaner::runtime::run_distributed(&cfg, cli_make_data, opts)
@@ -446,11 +507,14 @@ struct SlaveChild {
 }
 
 impl SlaveChild {
-    fn spawn(exe: &Path, master_addr: &str) -> std::io::Result<Self> {
+    fn spawn(exe: &Path, master_addr: &str, rejoin: bool) -> std::io::Result<Self> {
         let mut cmd = Command::new(exe);
         // The shard switch, checkpoint settings, and everything else travel
         // in the wire config, so slaves need no data flags.
         cmd.arg("slave").arg("--connect").arg(master_addr);
+        if rejoin {
+            cmd.arg("--rejoin");
+        }
         // Slaves stay quiet on stdout (the master owns the report); stderr
         // is captured so an abnormal death can be reported with its cause.
         cmd.stdout(Stdio::null());
@@ -542,6 +606,11 @@ fn launch_tcp_run(
     base_opts: DistributedOptions,
 ) -> std::io::Result<MasterOutcome> {
     let elastic = spawn_slaves && cfg.checkpoint.enabled();
+    // In-flight replacement: armed when the fault plan scripts a
+    // replaceable kill and this process can respawn the victim. The master
+    // then replaces just that rank mid-run; full-teardown recovery stays
+    // the fallback for everything else.
+    let in_flight = spawn_slaves && cli_replacement_schedule(cfg).is_some();
     let mut resume_from = base_opts.resume_from;
     let attempts = if elastic { MAX_RECOVERY_ATTEMPTS } else { 1 };
 
@@ -555,22 +624,45 @@ fn launch_tcp_run(
     for attempt in 0..attempts {
         println!("master listening on {addr}");
 
-        let mut children: Vec<SlaveChild> = Vec::new();
-        if spawn_slaves {
-            let exe = std::env::current_exe()?;
+        // Behind a mutex so the in-flight replacer (called from the
+        // master's monitoring path) can hand us the replacement child to
+        // reap alongside the originals.
+        let children: Mutex<Vec<SlaveChild>> = Mutex::new(Vec::new());
+        let exe = if spawn_slaves { Some(std::env::current_exe()?) } else { None };
+        if let Some(exe) = &exe {
+            let mut kids = children.lock().expect("children");
             for _ in 0..cfg.cells() {
-                children.push(SlaveChild::spawn(&exe, &addr.to_string())?);
+                kids.push(SlaveChild::spawn(exe, &addr.to_string(), false)?);
             }
         } else {
             println!("waiting for {} slaves to connect", cfg.cells());
         }
 
         let opts = DistributedOptions {
-            deadline_misses: if elastic { ELASTIC_DEADLINE_MISSES } else { 0 },
+            deadline_misses: if cfg.fault.heartbeat_misses > 0 {
+                cfg.fault.heartbeat_misses
+            } else if elastic || in_flight {
+                ELASTIC_DEADLINE_MISSES
+            } else {
+                0
+            },
             resume_from,
             ..base_opts
         };
-        let run = match run_tcp_master_monitored(listener.try_clone()?, cfg, opts) {
+        let run = if in_flight {
+            let addr_str = addr.to_string();
+            run_tcp_master_elastic(listener.try_clone()?, cfg, opts, |victim| {
+                println!("replacing slave world rank {victim} in-flight");
+                let exe = exe.as_ref().expect("in-flight implies spawned slaves");
+                let child = SlaveChild::spawn(exe, &addr_str, true)?;
+                children.lock().expect("children").push(child);
+                Ok(())
+            })
+        } else {
+            run_tcp_master_monitored(listener.try_clone()?, cfg, opts)
+        };
+        let children = children.into_inner().expect("children");
+        let run = match run {
             Ok(run) => run,
             Err(bootstrap_err) => {
                 // Bootstrap itself failed (e.g. a slave crashed before
@@ -588,6 +680,9 @@ fn launch_tcp_run(
         };
         match run {
             Ok(outcome) => {
+                if in_flight {
+                    print_survivor_counters(&outcome);
+                }
                 for child in children {
                     child.reap_report();
                 }
@@ -628,14 +723,44 @@ fn launch_tcp_run(
     unreachable!("the attempt loop either returns an outcome or errors out")
 }
 
+/// After an in-flight replacement run, print each rank's iteration counter
+/// as sampled by successive heartbeat rounds. Survivors must never move
+/// backwards while the victim is swapped out — the printed sequences make
+/// that auditable from the outside (the fault-injection test parses them).
+fn print_survivor_counters(outcome: &MasterOutcome) {
+    let mut per_rank: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+    for round in &outcome.heartbeat.rounds {
+        for rec in round {
+            if !rec.delayed {
+                per_rank.entry(rec.slave).or_default().push(rec.iterations_done);
+            }
+        }
+    }
+    for (slave, iters) in per_rank {
+        let list = iters.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" ");
+        println!("survivor rank {slave} iterations: {list}");
+    }
+}
+
 /// `slave`: join a TCP master, receive the configuration and cell
-/// assignment over the wire, train, and ship the results back.
+/// assignment over the wire, train, and ship the results back. With
+/// `--rejoin`, attach to an already-running mesh as the in-flight
+/// replacement for a dead rank instead of bootstrapping a fresh world.
 fn cmd_slave(args: &[String]) -> ExitCode {
     let Some(connect) = flag_value(args, "--connect") else {
         eprintln!("slave requires --connect HOST:PORT");
         return ExitCode::FAILURE;
     };
-    match run_tcp_slave(connect, cli_make_data) {
+    // Only real OS-process slaves arm process-level faults (scripted
+    // SIGKILLs); in-process thread drivers keep the plan message-level so
+    // tests and the single-process drivers never kill the host.
+    enable_process_faults();
+    let run = if flag_present(args, "--rejoin") {
+        run_tcp_rejoin_slave(connect, cli_make_data)
+    } else {
+        run_tcp_slave(connect, cli_make_data)
+    };
+    match run {
         Ok(state) => {
             println!("slave finished in state {state:?}");
             ExitCode::SUCCESS

@@ -1,0 +1,311 @@
+//! Deterministic fault injection, end to end.
+//!
+//! Two layers of proof:
+//!
+//! 1. **Property tests on the virtual cluster**: random scripted kills are
+//!    replayed on the simulator, which models the distributed stack's
+//!    degradation exactly (frozen death-frame substitution, solo catch-up,
+//!    rejoin). Every faulted run must terminate (no deadlock), respect the
+//!    staleness bound, and replay to byte-identical ensembles.
+//!
+//! 2. **A real multi-process run**: `launch` spawns one slave OS process
+//!    per cell; the fault plan SIGKILLs one of them mid-run. The master
+//!    must replace that rank in-flight (never the full-teardown recovery
+//!    path), survivors' iteration counters must never move backwards, and
+//!    the saved ensemble must be byte-identical across a rerun *and* to
+//!    the virtual cluster's model of the same faulted run.
+
+use lipizzaner::cluster::{SimulatedCluster, SimulationOptions};
+use lipizzaner::core::TrainConfig;
+use lipizzaner::mpi::{replacement_schedule, FaultPlan};
+use lipizzaner::tensor::{Matrix, Rng64};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_lipizzaner");
+/// Per-invocation deadline: a wedged degraded run fails instead of hanging
+/// the suite.
+const DEADLINE: Duration = Duration::from_secs(60);
+
+fn toy_data(cfg: &TrainConfig) -> Matrix {
+    let mut rng = Rng64::seed_from(cfg.training.data_seed);
+    rng.uniform_matrix(cfg.training.dataset_size, cfg.network.data_dim, -0.9, 0.9)
+}
+
+fn faulted_config(
+    victim: usize,
+    kill: usize,
+    max_stale: usize,
+    iterations: usize,
+) -> TrainConfig {
+    let mut cfg = TrainConfig::smoke(2);
+    cfg.coevolution.iterations = iterations;
+    cfg.with_fault_plan(format!("kill:{victim}@{kill}"), max_stale)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any scripted kill — replaceable or not — terminates, honors the
+    /// staleness bound, and replays deterministically.
+    #[test]
+    fn scripted_kills_replay_deterministically(
+        victim in 2usize..=4,
+        kill in 1usize..5,
+        max_stale in 1usize..=3,
+        iterations in 6usize..=8,
+    ) {
+        let cfg = faulted_config(victim, kill, max_stale, iterations);
+
+        // The schedule every party derives: when the kill is replaceable,
+        // the absence window is exactly the staleness bound and the rejoin
+        // lands strictly before the end of training.
+        let plan = FaultPlan::parse(cfg.fault.plan.as_deref().unwrap()).unwrap();
+        if let Some(sched) = replacement_schedule(
+            &plan,
+            cfg.fault.max_stale_iters,
+            cfg.checkpoint.every,
+            iterations,
+            cfg.cells(),
+        ) {
+            prop_assert_eq!(sched.victim_world, victim);
+            prop_assert_eq!(sched.cell, victim - 1);
+            prop_assert!(sched.rejoin_round - sched.kill_iter <= max_stale);
+            prop_assert!(sched.rejoin_round < iterations);
+        }
+
+        let sim = SimulatedCluster::cluster_uy(SimulationOptions::default());
+        let a = sim.run(&cfg, |_| toy_data(&cfg));
+        let b = sim.run(&cfg, |_| toy_data(&cfg));
+
+        // Terminates with every cell at the target iteration count
+        // (bounded staleness: nobody is left behind or stuck waiting).
+        prop_assert_eq!(a.report.iterations, iterations);
+        prop_assert_eq!(a.report.cells.len(), 4);
+
+        // Replay determinism: outcomes byte-identical (wall-clock fields
+        // excluded — everything the models and fitnesses depend on).
+        prop_assert_eq!(&a.report.cells, &b.report.cells);
+        prop_assert_eq!(a.report.best_cell, b.report.best_cell);
+        prop_assert_eq!(&a.ensembles, &b.ensembles);
+    }
+
+    /// A degraded run differs from the healthy run only through the
+    /// scripted fault — and only when the schedule actually arms.
+    #[test]
+    fn unreplaceable_plans_leave_the_run_untouched(
+        kill in 6usize..10,
+        max_stale in 1usize..=3,
+    ) {
+        // Kill scripted past the end of training: no replacement schedule,
+        // so the faulted config must train the healthy trajectory.
+        let iterations = 6;
+        let cfg = faulted_config(3, kill, max_stale, iterations);
+        let plan = FaultPlan::parse(cfg.fault.plan.as_deref().unwrap()).unwrap();
+        prop_assert!(replacement_schedule(
+            &plan,
+            cfg.fault.max_stale_iters,
+            cfg.checkpoint.every,
+            iterations,
+            cfg.cells(),
+        )
+        .is_none());
+
+        let mut healthy = TrainConfig::smoke(2);
+        healthy.coevolution.iterations = iterations;
+        let sim = SimulatedCluster::cluster_uy(SimulationOptions::default());
+        let degraded = sim.run(&cfg, |_| toy_data(&cfg));
+        let reference = sim.run(&healthy, |_| toy_data(&healthy));
+        prop_assert_eq!(&degraded.ensembles, &reference.ensembles);
+    }
+}
+
+// ------------------------------------------------------- real processes
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("lipiz_fault_injection").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test workdir");
+    dir
+}
+
+/// Run the binary with `args`, enforcing the deadline.
+fn run(args: &[&str]) -> Output {
+    let mut child = Command::new(BIN)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn lipizzaner binary");
+    let start = Instant::now();
+    loop {
+        match child.try_wait().expect("poll child") {
+            Some(_) => break,
+            None if start.elapsed() > DEADLINE => {
+                let _ = child.kill();
+                let _ = child.wait();
+                panic!("`lipizzaner {}` exceeded the {DEADLINE:?} deadline", args.join(" "));
+            }
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+    let out = child.wait_with_output().expect("collect output");
+    assert!(
+        out.status.success(),
+        "`lipizzaner {}` failed: {}\n{}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    out
+}
+
+fn read(path: &PathBuf) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Parse `survivor rank N iterations: a b c ...` lines and assert that no
+/// surviving rank's counter sequence ever decreases (a full-teardown
+/// relaunch would reset survivors to zero; in-flight replacement must
+/// not). The scripted victim is exempt: its replacement process
+/// legitimately restarts from the checkpoint cut.
+fn assert_monotonic_survivor_counters(stdout: &str, victim: usize) {
+    let mut lines_seen = 0;
+    for line in stdout.lines() {
+        let Some(rest) = line.strip_prefix("survivor rank ") else { continue };
+        lines_seen += 1;
+        let (rank, counters) = rest.split_once(" iterations:").expect("counter line shape");
+        let rank: usize = rank.trim().parse().expect("rank number");
+        let values: Vec<u64> =
+            counters.split_whitespace().map(|v| v.parse().expect("counter value")).collect();
+        assert!(!values.is_empty(), "rank {rank}: empty counter sequence");
+        if rank == victim {
+            continue;
+        }
+        assert!(
+            values.windows(2).all(|w| w[0] <= w[1]),
+            "rank {rank}: iteration counter moved backwards: {values:?}"
+        );
+    }
+    assert!(lines_seen >= 4, "expected a counter line per rank, saw {lines_seen}:\n{stdout}");
+}
+
+#[test]
+fn sigkilled_slave_is_replaced_in_flight_and_replay_is_byte_identical() {
+    // The acceptance bar: a 2×2 grid of real slave OS processes; the fault
+    // plan SIGKILLs world rank 3 at iteration 2. The master must replace
+    // exactly that rank mid-run — survivors never leave iteration cadence —
+    // and the whole degraded run must be a pure function of (seed, plan):
+    // a rerun and the virtual-cluster model both land on the same bytes.
+    let dir = workdir("inflight");
+    let fault_flags = [
+        "--tiny",
+        "--grid",
+        "2",
+        "--iterations",
+        "6",
+        "--batches",
+        "2",
+        "--checkpoint-every",
+        "2",
+        "--fault-plan",
+        "kill:3@2",
+        "--max-stale-iters",
+        "2",
+        "--heartbeat-interval-ms",
+        "10",
+        "--heartbeat-misses",
+        "5",
+    ];
+
+    let mut outputs = Vec::new();
+    for name in ["a", "b"] {
+        let lpz = dir.join(format!("{name}.lpz"));
+        let ckpt = dir.join(format!("ckpt_{name}"));
+        let mut args = vec![
+            "launch",
+            "--out",
+            lpz.to_str().unwrap(),
+            "--checkpoint-dir",
+            ckpt.to_str().unwrap(),
+        ];
+        args.extend_from_slice(&fault_flags);
+        let out = run(&args);
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+
+        // The victim was replaced in-flight — and only the victim.
+        assert!(
+            stdout.contains("replacing slave world rank 3 in-flight"),
+            "no in-flight replacement:\n{stdout}"
+        );
+        assert_eq!(
+            stdout.matches("replacing slave world rank").count(),
+            1,
+            "more than one replacement:\n{stdout}"
+        );
+        // The full-teardown recovery path must never fire.
+        assert!(
+            !stdout.contains("recovering: respawning"),
+            "fell back to full-teardown recovery:\n{stdout}"
+        );
+        // 4 original slaves + exactly 1 replacement process.
+        assert_eq!(
+            stdout.matches("spawned slave pid=").count(),
+            5,
+            "unexpected process count:\n{stdout}"
+        );
+        assert_monotonic_survivor_counters(&stdout, 3);
+        outputs.push(read(&lpz));
+    }
+    assert_eq!(outputs[0], outputs[1], "degraded rerun is not byte-identical");
+
+    // The virtual cluster models the same kill, byte-for-byte.
+    let sim_lpz = dir.join("sim.lpz");
+    let sim_ckpt = dir.join("ckpt_sim");
+    let mut sim_args = vec![
+        "train",
+        "--driver",
+        "cluster-sim",
+        "--out",
+        sim_lpz.to_str().unwrap(),
+        "--checkpoint-dir",
+        sim_ckpt.to_str().unwrap(),
+    ];
+    sim_args.extend_from_slice(&fault_flags);
+    run(&sim_args);
+    assert_eq!(
+        outputs[0],
+        read(&sim_lpz),
+        "virtual-cluster model disagrees with the real degraded run"
+    );
+}
+
+#[test]
+fn healthy_run_with_degradation_armed_stays_byte_identical() {
+    // Arming graceful degradation without any scripted kill must not
+    // perturb training: the run stays byte-identical to a plain one.
+    let dir = workdir("armed_healthy");
+    let plain = dir.join("plain.lpz");
+    let armed = dir.join("armed.lpz");
+    let flags = ["--tiny", "--grid", "2", "--iterations", "3", "--batches", "2"];
+
+    let mut plain_args = vec!["launch", "--out", plain.to_str().unwrap()];
+    plain_args.extend_from_slice(&flags);
+    run(&plain_args);
+
+    let mut armed_args = vec![
+        "launch",
+        "--out",
+        armed.to_str().unwrap(),
+        "--max-stale-iters",
+        "2",
+        "--heartbeat-interval-ms",
+        "10",
+    ];
+    armed_args.extend_from_slice(&flags);
+    run(&armed_args);
+
+    assert_eq!(read(&plain), read(&armed), "armed degradation changed a healthy run");
+}
