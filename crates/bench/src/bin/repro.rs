@@ -79,6 +79,9 @@ fn main() {
     if run("faults") {
         println!("{}", experiments::fault_staleness(args.scale));
     }
+    if run("async") {
+        println!("{}", experiments::async_exchange(args.scale));
+    }
     if run("scaling") {
         println!("{}", experiments::scaling_extension(args.scale, args.max_m));
     }

@@ -77,15 +77,18 @@ impl SimulatedCluster {
     /// results are bit-identical to `SequentialTrainer` under the same
     /// config.
     pub fn run(&self, cfg: &TrainConfig, make_data: impl FnMut(usize) -> Matrix) -> SimOutcome {
-        self.run_resumable(cfg, make_data, None, |_, _| {})
+        self.run_resumable(cfg, make_data, None, |_, _, _| {})
     }
 
     /// [`SimulatedCluster::run`] with checkpoint hooks: optionally start
     /// from captured per-cell `resume` states (flat grid order, all from
-    /// the same iteration), and invoke `on_iteration(iter, engines)` after
-    /// every completed iteration so a driver can commit checkpoints on its
-    /// cadence. Virtual-time accounting restarts at zero for a resumed run
-    /// (wall clocks are not part of the training state).
+    /// the same iteration), and invoke `on_iteration(iter, engines, frame)`
+    /// after every completed iteration so a driver can commit checkpoints
+    /// on its cadence (`frame` is the exchange frame the *next* iteration
+    /// will consume — empty in sync mode; a committing driver must persist
+    /// it under `--exchange async`). Virtual-time accounting restarts at
+    /// zero for a resumed run (wall clocks are not part of the training
+    /// state).
     ///
     /// # Panics
     /// Panics if `resume` disagrees with the grid (count, cell order, or a
@@ -95,7 +98,7 @@ impl SimulatedCluster {
         cfg: &TrainConfig,
         mut make_data: impl FnMut(usize) -> Matrix,
         resume: Option<&[CellState]>,
-        mut on_iteration: impl FnMut(usize, &mut [CellEngine]),
+        mut on_iteration: impl FnMut(usize, &mut [CellEngine], &[CellSnapshot]),
     ) -> SimOutcome {
         let host_start = Instant::now();
         let grid = Grid::from_config(&cfg.grid);
@@ -153,6 +156,33 @@ impl SimulatedCluster {
         // the real drivers': no genome-sized allocations per iteration).
         let mut snapshots: Vec<CellSnapshot> = Vec::new();
         let mut neighbor_scratch: Vec<CellSnapshot> = Vec::new();
+
+        // `--exchange async`: iteration `i ≥ 1` trains against the
+        // generation-`i-1` frame held here (swapped with `snapshots` after
+        // every iteration), exactly like the distributed pipeline and the
+        // sequential trainer. A resumed run re-seeds it from the
+        // checkpointed frame.
+        let async_mode = cfg.exchange.is_async();
+        let mut prev_snapshots: Vec<CellSnapshot> = Vec::new();
+        if async_mode {
+            if let Some(states) = resume {
+                prev_snapshots =
+                    states.first().map(|s| s.exchange_frame.clone()).unwrap_or_default();
+            }
+            assert!(
+                start_iter == 0 || prev_snapshots.len() == cells,
+                "async resume needs the checkpointed exchange frame"
+            );
+        }
+        // Virtual completion time of the in-flight generation (the frame
+        // the *next* iteration consumes); restarts at zero on resume, like
+        // every other clock.
+        let mut pending_complete = 0.0f64;
+        // The death-frame the fan-in root freezes at the kill: the victim's
+        // slot is substituted from it for every absence round, and under
+        // async the rejoiner's first live iteration consumes the whole
+        // frame (it never received generation `rejoin - 1`).
+        let mut frozen_frame: Vec<CellSnapshot> = Vec::new();
         for iter in start_iter..target {
             let absent = |c: usize| {
                 fault.is_some_and(|s| {
@@ -161,14 +191,17 @@ impl SimulatedCluster {
             };
             if let Some(sched) = fault {
                 if iter == sched.kill_iter {
-                    // The kill lands before this round's snapshot, so
-                    // `snapshots` still holds the round kill_iter-1
-                    // payloads — exactly the frozen death-frame the fan-in
-                    // root captures and serves to the replacement.
+                    // The kill lands before this round's snapshot, so the
+                    // round kill_iter-1 payloads — exactly the frozen
+                    // death-frame the fan-in root captures and serves to
+                    // the replacement — sit in `snapshots` (sync) or in
+                    // `prev_snapshots` (async, after the last swap).
+                    let death_frame = if async_mode { &prev_snapshots } else { &snapshots };
+                    frozen_frame = death_frame.clone();
                     let frozen_neighbors: Vec<CellSnapshot> = grid
                         .neighbors(sched.cell)
                         .into_iter()
-                        .map(|n| snapshots[n].clone())
+                        .map(|n| frozen_frame[n].clone())
                         .collect();
                     let mut repl = match &victim_cut {
                         Some(state) => CellEngine::from_state(
@@ -202,8 +235,12 @@ impl SimulatedCluster {
             for (c, engine) in engines.iter_mut().enumerate() {
                 if absent(c) {
                     // Dead rank: nothing arrives; the root substitutes its
-                    // cached round-(kill_iter-1) payload — which is what
-                    // this recycled slot already holds.
+                    // cached round-(kill_iter-1) payload. In sync mode the
+                    // recycled slot already holds it; under async the
+                    // buffers alternate, so restore it explicitly.
+                    if async_mode {
+                        snapshots[c].copy_from(&frozen_frame[c]);
+                    }
                     continue;
                 }
                 let t0 = Instant::now();
@@ -221,20 +258,50 @@ impl SimulatedCluster {
                 || ready.iter().enumerate().filter(|&(c, _)| !absent(c)).map(|(_, &r)| r);
             let sync = live().fold(0.0, f64::max);
             let xfer = self.cost.allgather(cells, max_bytes);
-            comm.allgather_seconds += xfer + (sync - live().fold(f64::INFINITY, f64::min));
             comm.allgather_bytes += max_bytes * cells;
-            for (c, clock) in clocks.iter_mut().enumerate() {
-                if absent(c) {
-                    continue;
+            if !async_mode || iter == 0 {
+                // BSP (and the async bootstrap round, which blocks on its
+                // own generation): wait for the slowest live rank, then pay
+                // the transfer.
+                comm.allgather_seconds += xfer + (sync - live().fold(f64::INFINITY, f64::min));
+                for (c, clock) in clocks.iter_mut().enumerate() {
+                    if absent(c) {
+                        continue;
+                    }
+                    let before = clock.now();
+                    clock.sync_to(sync);
+                    clock.advance(xfer);
+                    // Gather time as a rank perceives it: wait + transfer.
+                    profilers[c].record(
+                        Routine::Gather,
+                        std::time::Duration::from_secs_f64(clock.now() - before),
+                    );
                 }
-                let before = clock.now();
-                clock.sync_to(sync);
-                clock.advance(xfer);
-                // Gather time as a rank perceives it: wait + transfer.
-                profilers[c].record(
-                    Routine::Gather,
-                    std::time::Duration::from_secs_f64(clock.now() - before),
-                );
+            } else {
+                // Overlapped exchange: generation `iter` is merely *begun*
+                // here; the rank blocks only until the in-flight generation
+                // `iter-1` completes. The exposed wait is whatever part of
+                // that exchange the previous compute phase failed to hide —
+                // usually nothing.
+                let min_live = live().fold(f64::INFINITY, f64::min);
+                comm.allgather_seconds += (pending_complete - min_live).max(0.0);
+                for (c, clock) in clocks.iter_mut().enumerate() {
+                    if absent(c) {
+                        continue;
+                    }
+                    let before = clock.now();
+                    clock.sync_to(pending_complete);
+                    profilers[c].record(
+                        Routine::Gather,
+                        std::time::Duration::from_secs_f64(clock.now() - before),
+                    );
+                }
+            }
+            if async_mode {
+                // Generation `iter` completes once every contribution is in
+                // and the exchange thread (busy until `pending_complete`)
+                // has shipped it.
+                pending_complete = sync.max(pending_complete) + xfer;
             }
 
             // --- compute phases, measured on the host --------------------
@@ -244,10 +311,24 @@ impl SimulatedCluster {
                     // its solo catch-up above.
                     continue;
                 }
+                // Which frame this rank trains against: under async,
+                // iteration `i ≥ 1` consumes the completed generation-`i-1`
+                // frame; the rejoiner's first live iteration consumes the
+                // frozen death-frame instead (it never received generation
+                // `rejoin - 1`), exactly like the distributed pipeline.
+                let frame: &[CellSnapshot] = if async_mode
+                    && fault.is_some_and(|s| c == s.cell && iter == s.rejoin_round)
+                {
+                    &frozen_frame
+                } else if async_mode && iter >= 1 {
+                    &prev_snapshots
+                } else {
+                    &snapshots
+                };
                 let neighbor_ids = grid.neighbors(c);
                 neighbor_scratch.resize_with(neighbor_ids.len(), CellSnapshot::empty);
                 for (slot, n) in neighbor_ids.into_iter().enumerate() {
-                    neighbor_scratch[slot].copy_from(&snapshots[n]);
+                    neighbor_scratch[slot].copy_from(&frame[n]);
                 }
                 // Measure this iteration's phases into a scratch profiler,
                 // then charge them (speed-scaled) to the rank clock.
@@ -269,10 +350,21 @@ impl SimulatedCluster {
                 // — captured on its *original* trajectory, exactly what the
                 // replacement process restores from disk.
                 if sched.resume_cut == Some(iter + 1) {
-                    victim_cut = Some(engines[sched.cell].capture_state());
+                    let mut state = engines[sched.cell].capture_state();
+                    if async_mode {
+                        // A cut at iteration `iter + 1` must carry the frame
+                        // that iteration consumes: generation `iter`, i.e.
+                        // this round's snapshots (captured before the swap).
+                        state.exchange_frame = snapshots.clone();
+                    }
+                    victim_cut = Some(state);
                 }
             }
-            on_iteration(iter, &mut engines);
+            if async_mode {
+                // This round's frame becomes next iteration's stale input.
+                std::mem::swap(&mut snapshots, &mut prev_snapshots);
+            }
+            on_iteration(iter, &mut engines, if async_mode { &prev_snapshots } else { &[] });
         }
 
         // Final result gather to the master (GLOBAL): after the slowest
@@ -392,7 +484,7 @@ mod tests {
             &paused_cfg,
             |_| toy_data(&paused_cfg),
             None,
-            |iter, engines| {
+            |iter, engines, _| {
                 if iter == 0 {
                     states = engines.iter_mut().map(|e| e.capture_state()).collect();
                 }
@@ -400,7 +492,7 @@ mod tests {
         );
         assert_eq!(states.len(), 4, "pause hook never captured");
 
-        let resumed = sim.run_resumable(&cfg, |_| toy_data(&cfg), Some(&states), |_, _| {});
+        let resumed = sim.run_resumable(&cfg, |_| toy_data(&cfg), Some(&states), |_, _, _| {});
         assert_eq!(resumed.report.iterations, 3);
         for (a, b) in resumed.report.cells.iter().zip(&reference.report.cells) {
             assert_eq!(a.gen_fitness, b.gen_fitness, "cell {}", a.cell);
@@ -408,6 +500,99 @@ mod tests {
             assert_eq!(a.mixture_weights, b.mixture_weights, "cell {}", a.cell);
         }
         assert_eq!(resumed.report.best_cell, reference.report.best_cell);
+    }
+
+    #[test]
+    fn async_sim_matches_sequential_async_exactly() {
+        // `--exchange async` is still a pure function of (seed, config):
+        // the virtual cluster and the sequential trainer must agree
+        // bit-for-bit — while both diverge from the sync trajectory.
+        let cfg = TrainConfig::smoke(2).with_exchange(lipiz_core::ExchangeMode::Async);
+        let sim = SimulatedCluster::cluster_uy(SimulationOptions::default());
+        let outcome = sim.run(&cfg, |_| toy_data(&cfg));
+
+        let mut seq = lipiz_core::sequential::SequentialTrainer::new(&cfg, |_| toy_data(&cfg));
+        let seq_report = seq.run();
+        for (a, b) in outcome.report.cells.iter().zip(&seq_report.cells) {
+            assert_eq!(a.gen_fitness, b.gen_fitness, "cell {}", a.cell);
+            assert_eq!(a.disc_fitness, b.disc_fitness, "cell {}", a.cell);
+            assert_eq!(a.mixture_weights, b.mixture_weights, "cell {}", a.cell);
+        }
+        assert_eq!(outcome.report.best_cell, seq_report.best_cell);
+
+        let sync_cfg = TrainConfig::smoke(2);
+        let sync = sim.run(&sync_cfg, |_| toy_data(&sync_cfg));
+        assert!(
+            outcome
+                .report
+                .cells
+                .iter()
+                .zip(&sync.report.cells)
+                .any(|(a, b)| a.gen_fitness != b.gen_fitness),
+            "async run did not diverge from sync — staleness never applied"
+        );
+    }
+
+    #[test]
+    fn resumed_async_sim_matches_uninterrupted() {
+        // The checkpointed exchange frame must carry the one-generation
+        // pipeline across a pause: capture at iteration 0 (with the frame
+        // iteration 1 consumes), resume, and require bit-identical results.
+        let mut cfg = TrainConfig::smoke(2);
+        cfg.coevolution.iterations = 3;
+        let cfg = cfg.with_exchange(lipiz_core::ExchangeMode::Async);
+        let sim = SimulatedCluster::cluster_uy(SimulationOptions::default());
+        let reference = sim.run(&cfg, |_| toy_data(&cfg));
+
+        let mut states: Vec<CellState> = Vec::new();
+        let paused_cfg = cfg.clone().with_pause_after(1);
+        let _ = sim.run_resumable(
+            &paused_cfg,
+            |_| toy_data(&paused_cfg),
+            None,
+            |iter, engines, frame| {
+                if iter == 0 {
+                    assert_eq!(frame.len(), 4, "async hook must expose the frame");
+                    states = engines
+                        .iter_mut()
+                        .map(|e| {
+                            let mut s = e.capture_state();
+                            s.exchange_frame = frame.to_vec();
+                            s
+                        })
+                        .collect();
+                }
+            },
+        );
+        assert_eq!(states.len(), 4, "pause hook never captured");
+
+        let resumed = sim.run_resumable(&cfg, |_| toy_data(&cfg), Some(&states), |_, _, _| {});
+        assert_eq!(resumed.report.iterations, 3);
+        for (a, b) in resumed.report.cells.iter().zip(&reference.report.cells) {
+            assert_eq!(a.gen_fitness, b.gen_fitness, "cell {}", a.cell);
+            assert_eq!(a.disc_fitness, b.disc_fitness, "cell {}", a.cell);
+            assert_eq!(a.mixture_weights, b.mixture_weights, "cell {}", a.cell);
+        }
+        assert_eq!(resumed.report.best_cell, reference.report.best_cell);
+    }
+
+    #[test]
+    fn async_sim_hides_exchange_behind_compute() {
+        // The point of the overlap: with a non-trivial cost model the async
+        // run's gather time (exposed wait only) must be well below the sync
+        // run's (full wait + transfer every round).
+        let mut cfg = TrainConfig::smoke(2);
+        cfg.coevolution.iterations = 4;
+        let sim = SimulatedCluster::cluster_uy(SimulationOptions::default());
+        let sync = sim.run(&cfg, |_| toy_data(&cfg));
+        let async_cfg = cfg.clone().with_exchange(lipiz_core::ExchangeMode::Async);
+        let overlapped = sim.run(&async_cfg, |_| toy_data(&async_cfg));
+        assert!(
+            overlapped.comm.allgather_seconds < sync.comm.allgather_seconds,
+            "async gather {} not below sync {}",
+            overlapped.comm.allgather_seconds,
+            sync.comm.allgather_seconds
+        );
     }
 
     #[test]

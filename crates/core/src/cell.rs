@@ -269,6 +269,7 @@ impl CellEngine {
             rng_train: self.rng_train.state(),
             rng_mixture: self.rng_mixture.state(),
             loader: self.loader.state(),
+            exchange_frame: Vec::new(),
         }
     }
 
@@ -276,6 +277,10 @@ impl CellEngine {
     /// double-buffered fast path of the async checkpoint writer: the
     /// training thread swaps between two recycled states, so steady-state
     /// capture performs no genome-sized allocations.
+    ///
+    /// `state.exchange_frame` belongs to the driver, not the engine: the
+    /// caller fills (or clears) it after capture, because only the driver
+    /// knows which gathered frame the next iteration will consume.
     pub fn capture_state_into(&mut self, state: &mut CellState) {
         self.sync_center_genomes();
         state.cell = self.cell_index;

@@ -64,6 +64,55 @@ impl std::fmt::Display for TransportKind {
     }
 }
 
+/// When a training iteration sees its neighbors' snapshots.
+///
+/// Unlike [`TransportKind`] this *does* change training semantics, so it
+/// rides inside the [`TrainConfig`] that travels over the wire: every rank
+/// (and every driver) derives the same exchange behavior from the config
+/// alone, which is what keeps each mode's determinism contract intact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ExchangeMode {
+    /// Iteration `i` trains against generation-`i` neighbor snapshots —
+    /// the exchange completes before compute starts. Byte-identical to the
+    /// historical behavior.
+    #[default]
+    Sync,
+    /// Iteration `i` (for `i ≥ 1`) trains against generation-`i-1`
+    /// snapshots while the generation-`i` exchange completes in the
+    /// background. The staleness bound is *fixed* at exactly 1 (iteration 0
+    /// bootstraps synchronously), so the result is still a pure function of
+    /// `(seed, config)` — just a different one than sync mode's.
+    Async,
+}
+
+impl ExchangeMode {
+    /// Is the background-exchange pipeline active?
+    pub fn is_async(&self) -> bool {
+        matches!(self, ExchangeMode::Async)
+    }
+}
+
+impl std::str::FromStr for ExchangeMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sync" | "synchronous" => Ok(ExchangeMode::Sync),
+            "async" | "asynchronous" | "overlap" => Ok(ExchangeMode::Async),
+            other => Err(format!("unknown exchange mode '{other}' (expected sync|async)")),
+        }
+    }
+}
+
+impl std::fmt::Display for ExchangeMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExchangeMode::Sync => write!(f, "sync"),
+            ExchangeMode::Async => write!(f, "async"),
+        }
+    }
+}
+
 /// How the trainer picks adversaries from the sub-population each batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AdversaryStrategy {
@@ -300,6 +349,9 @@ pub struct TrainConfig {
     /// Failure-semantics settings (heartbeats, degradation, fault plan).
     /// Absent from pre-existing manifests, which load with the defaults.
     pub fault: FaultConfig,
+    /// Neighbor-exchange mode (synchronous, or overlapped with compute at a
+    /// fixed staleness of 1).
+    pub exchange: ExchangeMode,
     /// Master seed; every cell derives its streams from this and its grid
     /// coordinates, which is what makes all three drivers bit-identical.
     pub seed: u64,
@@ -342,6 +394,7 @@ impl TrainConfig {
             },
             checkpoint: CheckpointConfig::default(),
             fault: FaultConfig::default(),
+            exchange: ExchangeMode::default(),
             seed: 1,
         }
     }
@@ -383,6 +436,7 @@ impl TrainConfig {
             },
             checkpoint: CheckpointConfig::default(),
             fault: FaultConfig::default(),
+            exchange: ExchangeMode::default(),
             seed: 3,
         }
     }
@@ -436,6 +490,12 @@ impl TrainConfig {
     pub fn with_heartbeat(mut self, interval_ms: u64, misses: usize) -> Self {
         self.fault.heartbeat_interval_ms = interval_ms;
         self.fault.heartbeat_misses = misses;
+        self
+    }
+
+    /// Same config with the given neighbor-exchange mode.
+    pub fn with_exchange(mut self, mode: ExchangeMode) -> Self {
+        self.exchange = mode;
         self
     }
 
@@ -589,6 +649,23 @@ mod tests {
             TrainConfig::smoke(2).with_fault_plan("kill:2@1", 0).fault.max_stale_iters,
             1
         );
+    }
+
+    #[test]
+    fn exchange_mode_parses_and_displays() {
+        use std::str::FromStr;
+        assert_eq!(ExchangeMode::from_str("sync"), Ok(ExchangeMode::Sync));
+        assert_eq!(ExchangeMode::from_str("async"), Ok(ExchangeMode::Async));
+        assert_eq!(ExchangeMode::from_str("overlap"), Ok(ExchangeMode::Async));
+        assert!(ExchangeMode::from_str("eventual").is_err());
+        assert_eq!(ExchangeMode::default(), ExchangeMode::Sync);
+        assert!(!ExchangeMode::Sync.is_async());
+        assert!(ExchangeMode::Async.is_async());
+        assert_eq!(ExchangeMode::Async.to_string(), "async");
+        assert_eq!(ExchangeMode::Sync.to_string(), "sync");
+        let cfg = TrainConfig::smoke(2).with_exchange(ExchangeMode::Async);
+        assert_eq!(cfg.exchange, ExchangeMode::Async);
+        assert_eq!(TrainConfig::smoke(2).exchange, ExchangeMode::Sync);
     }
 
     #[test]

@@ -66,8 +66,8 @@ pub mod topology;
 
 pub use cell::CellEngine;
 pub use config::{
-    AdversaryStrategy, CheckpointConfig, CoevolutionConfig, FaultConfig, GridConfig, LossMode,
-    MutationConfig, TrainConfig, TrainingConfig, TransportKind,
+    AdversaryStrategy, CheckpointConfig, CoevolutionConfig, ExchangeMode, FaultConfig,
+    GridConfig, LossMode, MutationConfig, TrainConfig, TrainingConfig, TransportKind,
 };
 pub use individual::{Individual, SubPopulation};
 pub use mixture::{EnsembleModel, MixtureWeights};

@@ -18,6 +18,7 @@
 
 use crate::config::TrainConfig;
 use crate::individual::Individual;
+use crate::snapshot::CellSnapshot;
 use lipiz_data::BatchLoaderState;
 use lipiz_nn::AdamState;
 use lipiz_tensor::Rng64State;
@@ -69,6 +70,11 @@ pub struct CellState {
     pub rng_mixture: Rng64State,
     /// Mini-batch loader cursor (the data-ring position).
     pub loader: BatchLoaderState,
+    /// The neighbor-exchange frame the *next* iteration will consume:
+    /// under `--exchange async` the run is one snapshot generation behind,
+    /// so a checkpoint cut must carry the completed frame along. Empty in
+    /// sync mode (the next iteration gathers its own frame).
+    pub exchange_frame: Vec<CellSnapshot>,
 }
 
 impl CellState {
@@ -111,6 +117,18 @@ impl CellState {
         }
         if self.loader.cursor > self.loader.order.len() {
             return err("loader cursor beyond its permutation");
+        }
+        if !self.exchange_frame.is_empty() {
+            if self.exchange_frame.len() != cfg.cells() {
+                return err("exchange frame size vs grid");
+            }
+            if self
+                .exchange_frame
+                .iter()
+                .any(|s| s.gen_genome.len() != gen_params || s.disc_genome.len() != disc_params)
+            {
+                return err("exchange frame genome length vs topology");
+            }
         }
         Ok(())
     }

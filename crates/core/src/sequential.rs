@@ -9,7 +9,7 @@
 //! bit-identical, which the integration suite asserts.
 
 use crate::cell::{CellEngine, MixtureScorer};
-use crate::config::TrainConfig;
+use crate::config::{ExchangeMode, TrainConfig};
 use crate::mixture::EnsembleModel;
 use crate::profiling::{Profiler, Routine};
 use crate::report::{CellResult, TrainReport};
@@ -28,6 +28,10 @@ pub struct SequentialTrainer {
     /// Recycled per-cell center snapshots (the sequential "allgather"
     /// buffer) — genome buffers are reused across iterations.
     snapshots: Vec<CellSnapshot>,
+    /// Async-exchange double buffer: the generation-`i-1` frame iteration
+    /// `i` trains against (see [`ExchangeMode::Async`]). Unused (empty) in
+    /// sync mode.
+    prev_snapshots: Vec<CellSnapshot>,
     /// Recycled neighbor fan-out buffer.
     neighbor_scratch: Vec<CellSnapshot>,
 }
@@ -50,6 +54,7 @@ impl SequentialTrainer {
             engines,
             profiler: Profiler::new(),
             snapshots: Vec::new(),
+            prev_snapshots: Vec::new(),
             neighbor_scratch: Vec::new(),
         }
     }
@@ -71,25 +76,44 @@ impl SequentialTrainer {
         let grid = Grid::from_config(&cfg.grid);
         crate::resume::assert_grid_states(states, grid.cell_count());
         let pool = Pool::new(cfg.training.workers_per_cell);
-        let engines = states
+        let engines: Vec<CellEngine> = states
             .iter()
             .enumerate()
             .map(|(i, s)| CellEngine::from_state(cfg, make_data(i), pool.clone(), s))
             .collect();
+        // Under async exchange the cut carries the frame the next iteration
+        // consumes (generation `iterations_done - 1`); every cell stored
+        // the identical frame, so restore it from the first.
+        let prev_snapshots = if cfg.exchange.is_async() {
+            states.first().map(|s| s.exchange_frame.clone()).unwrap_or_default()
+        } else {
+            Vec::new()
+        };
         Self {
             grid,
             cfg: cfg.clone(),
             engines,
             profiler: Profiler::new(),
             snapshots: Vec::new(),
+            prev_snapshots,
             neighbor_scratch: Vec::new(),
         }
     }
 
     /// Capture every cell's full training state (flat grid order), for the
-    /// checkpoint layer. Call at an iteration boundary.
+    /// checkpoint layer. Call at an iteration boundary. Under async
+    /// exchange every state also carries the frame the next iteration will
+    /// consume, so a resume re-enters the pipeline bit-exactly.
     pub fn capture_states(&mut self) -> Vec<CellState> {
-        self.engines.iter_mut().map(|e| e.capture_state()).collect()
+        let frame = &self.prev_snapshots;
+        self.engines
+            .iter_mut()
+            .map(|e| {
+                let mut s = e.capture_state();
+                s.exchange_frame = frame.clone();
+                s
+            })
+            .collect()
     }
 
     /// Iterations completed so far (0 on a fresh trainer, the checkpoint
@@ -123,6 +147,7 @@ impl SequentialTrainer {
         // distributed version charges its allgather. Snapshot and fan-out
         // buffers are recycled across iterations: steady state performs no
         // genome-sized allocation anywhere in the driver loop.
+        let iter = self.iterations_done();
         let start = Instant::now();
         self.snapshots.resize_with(self.engines.len(), CellSnapshot::empty);
         for (e, snap) in self.engines.iter_mut().zip(&mut self.snapshots) {
@@ -130,13 +155,28 @@ impl SequentialTrainer {
         }
         self.profiler.record(Routine::Gather, start.elapsed());
 
+        // Async exchange at staleness 1: iteration `i ≥ 1` trains against
+        // the generation-`i-1` frame (iteration 0 bootstraps against its
+        // own fresh snapshots — there is no earlier generation). The frame
+        // choice mirrors the distributed pipeline exactly, which is what
+        // keeps async runs byte-identical across drivers.
+        let stale = self.cfg.exchange == ExchangeMode::Async && iter >= 1;
+        let frame = if stale { &self.prev_snapshots } else { &self.snapshots };
+        assert_eq!(frame.len(), self.engines.len(), "exchange frame lost a generation");
+
         for idx in 0..self.engines.len() {
             let neighbors = self.grid.neighbors(idx);
             self.neighbor_scratch.resize_with(neighbors.len(), CellSnapshot::empty);
+            let frame = if stale { &self.prev_snapshots } else { &self.snapshots };
             for (slot, n) in neighbors.into_iter().enumerate() {
-                self.neighbor_scratch[slot].copy_from(&self.snapshots[n]);
+                self.neighbor_scratch[slot].copy_from(&frame[n]);
             }
             self.engines[idx].run_iteration(&self.neighbor_scratch, &mut self.profiler);
+        }
+
+        // The generation-`i` frame becomes what iteration `i+1` consumes.
+        if self.cfg.exchange.is_async() {
+            std::mem::swap(&mut self.snapshots, &mut self.prev_snapshots);
         }
     }
 
@@ -144,23 +184,28 @@ impl SequentialTrainer {
     /// point) and produce the report. On a resumed trainer this runs only
     /// the remaining iterations.
     pub fn run(&mut self) -> TrainReport {
-        self.run_hooked(|_, _| {})
+        self.run_hooked(|_, _, _| {})
     }
 
     /// [`Self::run`] with a per-iteration hook, mirroring the simulated
-    /// cluster's `run_resumable`: `on_iteration(iter, engines)` fires
-    /// after every completed iteration (`iter` is the count *before* it
-    /// ran) so a driver can commit checkpoints on its cadence.
+    /// cluster's `run_resumable`: `on_iteration(iter, engines, frame)`
+    /// fires after every completed iteration (`iter` is the count *before*
+    /// it ran) so a driver can commit checkpoints on its cadence. `frame`
+    /// is the exchange frame the *next* iteration will consume — empty in
+    /// sync mode, the generation-`iter` snapshots under async (a committing
+    /// driver must persist it for the resumed run to stay bit-exact).
     pub fn run_hooked(
         &mut self,
-        mut on_iteration: impl FnMut(usize, &mut [CellEngine]),
+        mut on_iteration: impl FnMut(usize, &mut [CellEngine], &[CellSnapshot]),
     ) -> TrainReport {
         let start = Instant::now();
         let target = self.cfg.checkpoint.effective_iterations(self.cfg.coevolution.iterations);
         while self.iterations_done() < target {
             let iter = self.iterations_done();
             self.run_one_iteration();
-            on_iteration(iter, &mut self.engines);
+            let frame: &[CellSnapshot] =
+                if self.cfg.exchange.is_async() { &self.prev_snapshots } else { &[] };
+            on_iteration(iter, &mut self.engines, frame);
         }
         self.finish(start.elapsed().as_secs_f64())
     }

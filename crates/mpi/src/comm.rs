@@ -434,11 +434,45 @@ impl Comm {
     /// wrapper's per-exchange encode allocation; the transport itself still
     /// takes one owned copy of `payload`, since the mailbox keeps the bytes
     /// after the call returns.
+    ///
+    /// Implemented as [`Comm::allgather_bytes_split`] +
+    /// [`Comm::allgather_bytes_complete`] back to back, so the synchronous
+    /// path and the overlapped async-exchange path send byte-identical
+    /// traffic.
     pub fn allgather_bytes(&self, payload: &[u8]) -> Vec<Vec<u8>> {
+        let pending = self.allgather_bytes_split(payload);
+        self.allgather_bytes_complete(pending)
+    }
+
+    /// The non-blocking *begin* half of a split allgather: a non-root posts
+    /// its contribution toward the fan-in root and returns immediately; the
+    /// root stashes its own contribution. The returned [`PendingAllgather`]
+    /// must be finished with [`Comm::allgather_bytes_complete`] (or the
+    /// degraded variant) before the next collective on this communicator
+    /// completes — at most one split allgather may be outstanding at a time
+    /// per rank, but the complete half may run on a *different thread* of
+    /// the same rank holding a cloned `Comm` (the async exchange pipeline):
+    /// per-(src, tag) FIFO mailbox matching keeps a begin posted for
+    /// generation `i` from crossing a complete still draining generation
+    /// `i-1`.
+    pub fn allgather_bytes_split(&self, payload: &[u8]) -> PendingAllgather {
+        if self.my_rank == 0 {
+            PendingAllgather { payload: payload.to_vec() }
+        } else {
+            self.send_raw(0, ReservedTags::ALLGATHER, payload.to_vec());
+            PendingAllgather { payload: Vec::new() }
+        }
+    }
+
+    /// The blocking *complete* half of a split allgather: the root drains
+    /// every contribution and broadcasts the concatenation; a non-root
+    /// receives the broadcast. Byte-identical traffic to the second half of
+    /// [`Comm::allgather_bytes`].
+    pub fn allgather_bytes_complete(&self, pending: PendingAllgather) -> Vec<Vec<u8>> {
         // Gather at 0, then broadcast the concatenation.
         if self.my_rank == 0 {
             let mut slots: Vec<Option<Vec<u8>>> = vec![None; self.size()];
-            slots[0] = Some(payload.to_vec());
+            slots[0] = Some(pending.payload);
             for src in 1..self.size() {
                 let env = self.recv_live(src, ReservedTags::ALLGATHER);
                 slots[src] = Some(env.payload);
@@ -451,7 +485,6 @@ impl Comm {
             }
             parts
         } else {
-            self.send_raw(0, ReservedTags::ALLGATHER, payload.to_vec());
             let env = self.recv_live(0, ReservedTags::ALLGATHER);
             Vec::<Vec<u8>>::from_bytes(&env.payload).expect("allgather parts")
         }
@@ -490,8 +523,22 @@ impl Comm {
         round: usize,
         ctl: &mut DegradedGather,
     ) -> Vec<Vec<u8>> {
+        let pending = self.allgather_bytes_split(payload);
+        self.allgather_bytes_complete_degraded(pending, round, ctl)
+    }
+
+    /// Degraded-fan-in *complete* half of a split allgather (see
+    /// [`Comm::allgather_bytes_split`] and
+    /// [`Comm::allgather_bytes_degraded`]): root-side degradation logic over
+    /// the stashed pending contribution; non-roots complete normally.
+    pub fn allgather_bytes_complete_degraded(
+        &self,
+        pending: PendingAllgather,
+        round: usize,
+        ctl: &mut DegradedGather,
+    ) -> Vec<Vec<u8>> {
         if self.my_rank != 0 {
-            return self.allgather_bytes(payload);
+            return self.allgather_bytes_complete(pending);
         }
         assert_eq!(ctl.cache.len(), self.size(), "DegradedGather sized for another group");
         // Freeze the death-frame — everyone's previous-round payload —
@@ -502,9 +549,9 @@ impl Comm {
             let frame: Option<Vec<Vec<u8>>> = ctl.cache.iter().cloned().collect();
             *ctl.frozen.lock() = Some(frame.expect("full cache at planned window open"));
         }
-        ctl.cache[0] = Some(payload.to_vec());
+        ctl.cache[0] = Some(pending.payload.clone());
         let mut slots: Vec<Option<Vec<u8>>> = vec![None; self.size()];
-        slots[0] = Some(payload.to_vec());
+        slots[0] = Some(pending.payload);
         for src in 1..self.size() {
             let part = match ctl.availability(src, round) {
                 Availability::Live => match self.recv_or_detect_death(src, ctl, round) {
@@ -654,6 +701,20 @@ impl Comm {
             faults.tick(self.group[self.my_rank], iter);
         }
     }
+}
+
+/// The stashed local half of an in-flight split allgather: created by
+/// [`Comm::allgather_bytes_split`], consumed by
+/// [`Comm::allgather_bytes_complete`] (or the degraded variant). Carries no
+/// borrow of the communicator, so it can cross to a background exchange
+/// thread together with a cloned `Comm` of the same rank — which is how the
+/// async exchange pipeline overlaps the blocking half with compute.
+#[derive(Debug)]
+#[must_use = "an in-flight split allgather must be completed"]
+pub struct PendingAllgather {
+    /// The root's own contribution (empty on non-root ranks, whose
+    /// contribution was already posted to the root at begin).
+    payload: Vec<u8>,
 }
 
 /// Why a contributor is (or is not) awaited this round.
@@ -912,6 +973,62 @@ mod tests {
         let results = Universe::run(5, |comm| comm.allgather(&format!("r{}", comm.rank())));
         for r in &results {
             assert_eq!(r, &["r0", "r1", "r2", "r3", "r4"]);
+        }
+    }
+
+    #[test]
+    fn split_allgather_matches_the_plain_one() {
+        let results = Universe::run(4, |comm| {
+            let payload = vec![comm.rank() as u8; 3];
+            let pending = comm.allgather_bytes_split(&payload);
+            let split = comm.allgather_bytes_complete(pending);
+            let plain = comm.allgather_bytes(&payload);
+            (split, plain)
+        });
+        for (split, plain) in &results {
+            assert_eq!(split, plain);
+            assert_eq!(split.len(), 4);
+        }
+    }
+
+    #[test]
+    fn split_allgather_pipelines_one_generation_ahead() {
+        // The async-exchange shape: begin generation i, then complete
+        // generation i-1 — with the begin for the *next* generation posted
+        // before the previous complete has drained. Per-(src, tag) FIFO
+        // keeps the generations ordered.
+        let results = Universe::run(3, |comm| {
+            let rounds = 5usize;
+            let mut seen = Vec::new();
+            let mut pending = comm.allgather_bytes_split(&[comm.rank() as u8, 0]);
+            for gen in 1..rounds {
+                let next = comm.allgather_bytes_split(&[comm.rank() as u8, gen as u8]);
+                seen.push(comm.allgather_bytes_complete(pending));
+                pending = next;
+            }
+            seen.push(comm.allgather_bytes_complete(pending));
+            seen
+        });
+        for per_rank in &results {
+            for (gen, parts) in per_rank.iter().enumerate() {
+                for (src, part) in parts.iter().enumerate() {
+                    assert_eq!(part, &vec![src as u8, gen as u8], "generation crossed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_allgather_completes_on_a_second_thread() {
+        // The complete half may run on a cloned comm in another thread of
+        // the same rank — the exchange-thread topology of async mode.
+        let results = Universe::run(3, |comm| {
+            let pending = comm.allgather_bytes_split(&[comm.rank() as u8 + 10]);
+            let comm2 = comm.clone();
+            std::thread::spawn(move || comm2.allgather_bytes_complete(pending)).join().unwrap()
+        });
+        for parts in &results {
+            assert_eq!(parts, &vec![vec![10u8], vec![11], vec![12]]);
         }
     }
 

@@ -49,7 +49,7 @@ pub mod transport;
 pub mod universe;
 pub mod wire;
 
-pub use comm::{Comm, DegradedGather, FrozenFrameHandle, RecvFrom};
+pub use comm::{Comm, DegradedGather, FrozenFrameHandle, PendingAllgather, RecvFrom};
 pub use fault::{
     enable_process_faults, process_faults_enabled, replacement_schedule, FaultPlan, FaultState,
     ReplacementSchedule,

@@ -36,9 +36,9 @@
 //! Corrupt, truncated, or mismatched checkpoints fail loudly with a typed
 //! [`CheckpointError`] — never a partial restore.
 
-use crate::protocol::ConfigMsg;
+use crate::protocol::{ConfigMsg, SnapshotMsg};
 use lipiz_core::resume::StateError;
-use lipiz_core::{CellState, Individual, TrainConfig};
+use lipiz_core::{CellSnapshot, CellState, Individual, TrainConfig};
 use lipiz_data::BatchLoaderState;
 use lipiz_mpi::wire::{Wire, WireError};
 use lipiz_mpi::wire_struct;
@@ -58,8 +58,11 @@ const CELL_MAGIC: &[u8; 4] = b"LPZK";
 const MANIFEST_MAGIC: &[u8; 4] = b"LPZM";
 /// Checkpoint format version. v2: the manifest's embedded config carries
 /// the failure-semantics block (heartbeat policy, staleness bound, fault
-/// plan); v1 manifests fail loudly as [`CheckpointError::UnsupportedVersion`].
-const FORMAT_VERSION: u32 = 2;
+/// plan). v3: cell states carry the pending neighbor-exchange frame (and
+/// the manifest config the exchange mode) so `--exchange async` runs resume
+/// bit-exactly; older versions fail loudly as
+/// [`CheckpointError::UnsupportedVersion`].
+const FORMAT_VERSION: u32 = 3;
 /// Manifest file name inside a checkpoint directory.
 pub const MANIFEST_NAME: &str = "manifest.lpzm";
 /// How many committed iterations [`DirSink`] keeps per cell (the newest
@@ -262,6 +265,7 @@ pub struct CellStateMsg {
     rng_train: RngStateMsg,
     rng_mixture: RngStateMsg,
     loader: LoaderStateMsg,
+    exchange_frame: Vec<SnapshotMsg>,
 }
 wire_struct!(CellStateMsg {
     cell,
@@ -276,7 +280,24 @@ wire_struct!(CellStateMsg {
     rng_train,
     rng_mixture,
     loader,
+    exchange_frame,
 });
+
+/// Fallible [`SnapshotMsg`] → [`CellSnapshot`] conversion for the disk
+/// path: an invalid loss id in a checkpoint is a decode error, not a
+/// protocol-bug panic.
+fn snapshot_from_msg(m: SnapshotMsg) -> Result<CellSnapshot, WireError> {
+    Ok(CellSnapshot {
+        cell: m.cell,
+        gen_genome: m.gen_genome,
+        gen_lr: m.gen_lr,
+        gen_loss: GanLoss::from_id(m.gen_loss).ok_or(WireError::new("gan loss id"))?,
+        gen_fitness: m.gen_fitness,
+        disc_genome: m.disc_genome,
+        disc_lr: m.disc_lr,
+        disc_fitness: m.disc_fitness,
+    })
+}
 
 impl From<&CellState> for CellStateMsg {
     fn from(s: &CellState) -> Self {
@@ -293,6 +314,7 @@ impl From<&CellState> for CellStateMsg {
             rng_train: s.rng_train.into(),
             rng_mixture: s.rng_mixture.into(),
             loader: (&s.loader).into(),
+            exchange_frame: s.exchange_frame.iter().map(SnapshotMsg::from).collect(),
         }
     }
 }
@@ -322,6 +344,11 @@ impl CellStateMsg {
             rng_train: self.rng_train.into(),
             rng_mixture: self.rng_mixture.into(),
             loader: self.loader.into(),
+            exchange_frame: self
+                .exchange_frame
+                .into_iter()
+                .map(snapshot_from_msg)
+                .collect::<Result<_, _>>()?,
         })
     }
 }
@@ -749,6 +776,24 @@ mod tests {
         let path = write_cell_state(&dir, &state).unwrap();
         let back = read_cell_state(&path, &cfg).unwrap();
         assert_eq!(back, state);
+    }
+
+    #[test]
+    fn async_exchange_frame_round_trips_bit_exactly() {
+        // Async runs checkpoint the frame the next iteration will consume;
+        // it must survive the disk round trip exactly like the rest of the
+        // state, and a frame that disagrees with the grid must be rejected.
+        let cfg = TrainConfig::smoke(2);
+        let mut state = captured(&cfg, 1, 1);
+        let mut donor = CellEngine::new(0, &cfg, toy_data(&cfg));
+        state.exchange_frame = (0..cfg.cells()).map(|_| donor.snapshot()).collect();
+        let dir = tmpdir("exchange_frame");
+        let path = write_cell_state(&dir, &state).unwrap();
+        let back = read_cell_state(&path, &cfg).unwrap();
+        assert_eq!(back, state);
+
+        state.exchange_frame.pop();
+        assert!(state.validate(&cfg).is_err(), "short frame must not validate");
     }
 
     #[test]

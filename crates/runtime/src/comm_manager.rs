@@ -20,8 +20,25 @@ use crate::protocol::{
 };
 use lipiz_core::CellSnapshot;
 use lipiz_mpi::wire::Wire;
-use lipiz_mpi::{Comm, DegradedGather, FaultPlan, FrozenFrameHandle, RecvFrom};
+use lipiz_mpi::{
+    Comm, DegradedGather, FaultPlan, FrozenFrameHandle, PendingAllgather, RecvFrom,
+};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How often the master's announcement collector re-checks for arrivals
+/// (and, when idle, for dead connections) during the Fig. 3 bootstrap.
+const ANNOUNCE_POLL_INTERVAL: Duration = Duration::from_millis(50);
+/// How often the master re-polls for a respawned replacement's
+/// announcement while waiting out the rejoin deadline.
+const REPLACEMENT_POLL_INTERVAL: Duration = Duration::from_millis(25);
+/// How long one frozen-frame response wait runs before re-checking the
+/// fetch deadline.
+const FROZEN_FRAME_POLL_INTERVAL: Duration = Duration::from_millis(50);
+/// Pause between frozen-frame re-requests while the root has not frozen a
+/// frame yet.
+const FROZEN_FRAME_RETRY_DELAY: Duration = Duration::from_millis(20);
 
 /// Typed communication facade for one rank.
 #[derive(Debug, Clone)]
@@ -96,7 +113,7 @@ impl CommManager {
     /// monitored master uses [`CommManager::collect_announcements_monitored`]
     /// to turn that into a recoverable abort instead).
     pub fn collect_announcements(&self) -> Vec<NodeAnnouncement> {
-        self.collect_announcements_monitored(Duration::from_millis(50))
+        self.collect_announcements_monitored(ANNOUNCE_POLL_INTERVAL)
             .unwrap_or_else(|rank| panic!("slave rank {rank} died before announcing"))
     }
 
@@ -110,25 +127,28 @@ impl CommManager {
         poll: Duration,
     ) -> Result<Vec<NodeAnnouncement>, usize> {
         let mut out: Vec<NodeAnnouncement> = Vec::with_capacity(self.num_slaves());
-        while out.len() < self.num_slaves() {
+        let mut outstanding: Vec<usize> = (1..=self.num_slaves()).collect();
+        while !outstanding.is_empty() {
             if let Some((msg, _src)) = self.world.recv_timeout::<NodeAnnouncement>(
                 RecvFrom::Any,
                 tags::NODE_NAME,
                 poll,
             ) {
+                outstanding.retain(|&r| r != msg.rank);
                 out.push(msg);
                 continue;
             }
             // Nothing arrived this poll: every still-missing slave must at
             // least have a live connection. (Re-check the queue first — an
             // announcement may have landed between the timeout and here,
-            // and a queued message from a dead peer is still valid.)
+            // and a queued message from a dead peer is still valid.) Only
+            // the outstanding set is probed — announced ranks never get
+            // re-scanned on later idle polls.
             if self.world.probe(RecvFrom::Any, tags::NODE_NAME) {
                 continue;
             }
-            for rank in 1..=self.num_slaves() {
-                if !out.iter().any(|a| a.rank == rank) && self.world.peer_connection_dead(rank)
-                {
+            for &rank in &outstanding {
+                if self.world.peer_connection_dead(rank) {
                     return Err(rank);
                 }
             }
@@ -163,7 +183,7 @@ impl CommManager {
             if let Some((msg, _)) = self.world.recv_timeout::<NodeAnnouncement>(
                 RecvFrom::Rank(world_rank),
                 tags::NODE_NAME,
-                Duration::from_millis(25),
+                REPLACEMENT_POLL_INTERVAL,
             ) {
                 return Some(msg);
             }
@@ -263,6 +283,48 @@ impl CommManager {
             .collect()
     }
 
+    /// Slave: kick off generation `round`'s snapshot allgather without
+    /// waiting for it — the non-blocking half of the `--exchange async`
+    /// pipeline. The contribution leaves this rank immediately (non-root
+    /// ranks send to the fan-in root; the root just stashes its own part);
+    /// the returned pending collective is handed to the
+    /// [`AsyncExchanger`], whose background thread runs the blocking
+    /// completion while this thread trains.
+    pub fn begin_exchange(&mut self, snapshot: &CellSnapshot) -> PendingAllgather {
+        self.snapshot_scratch.clear();
+        SnapshotMsg::encode_snapshot(snapshot, &mut self.snapshot_scratch);
+        self.local().allgather_bytes_split(&self.snapshot_scratch)
+    }
+
+    /// Slave: spawn the background exchange thread for `--exchange async`.
+    /// The thread owns a clone of the LOCAL communicator and — on the
+    /// fan-in root under degraded gathers — the [`DegradedGather`] control
+    /// block (clone its frozen-frame handle *before* passing it in if the
+    /// main thread must keep serving death-frame requests).
+    pub fn start_async_exchange(&self, mut ctl: Option<DegradedGather>) -> AsyncExchanger {
+        let comm = self.local().clone();
+        let (job_tx, job_rx) = mpsc::channel::<(PendingAllgather, usize)>();
+        let (done_tx, done_rx) = mpsc::channel::<Vec<CellSnapshot>>();
+        let handle = std::thread::spawn(move || {
+            for (pending, round) in job_rx {
+                let parts = match ctl.as_mut() {
+                    Some(ctl) => comm.allgather_bytes_complete_degraded(pending, round, ctl),
+                    None => comm.allgather_bytes_complete(pending),
+                };
+                let frame: Vec<CellSnapshot> = parts
+                    .into_iter()
+                    .map(|part| {
+                        SnapshotMsg::from_bytes(&part).expect("snapshot decode").into_snapshot()
+                    })
+                    .collect();
+                if done_tx.send(frame).is_err() {
+                    break;
+                }
+            }
+        });
+        AsyncExchanger { jobs: Some(job_tx), done: done_rx, in_flight: 0, handle: Some(handle) }
+    }
+
     /// Fan-in root's main thread: answer one pending death-frame request
     /// from a catching-up replacement, if any is queued. The frame lives
     /// behind the shared handle so this thread can serve it while the
@@ -283,6 +345,14 @@ impl CommManager {
     /// (WORLD rank 1), polling until the root has frozen one or `timeout`
     /// passes. One request is answered by exactly one response, so the
     /// request/response pairing never skews.
+    ///
+    /// The deadline is authoritative: every wait below is capped at the
+    /// time remaining, and nothing — not a response poll, not the retry
+    /// pause, not a late response from a slow root — is accepted once it
+    /// has passed. (The previous version let a full poll interval and retry
+    /// sleep run past the deadline and would take a frame that arrived
+    /// after it, so the fetch could overshoot its budget by whole poll
+    /// rounds.)
     pub fn fetch_frozen_frame(&self, timeout: Duration) -> Option<Vec<Vec<u8>>> {
         const ROOT_WORLD: usize = 1;
         let deadline = Instant::now() + timeout;
@@ -291,23 +361,31 @@ impl CommManager {
             // One response per request; a root that never answers (it died
             // too) bounds out instead of wedging the replacement.
             let resp = loop {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break None;
+                }
                 if let Some((resp, _)) = self.world.recv_timeout::<CacheResponse>(
                     RecvFrom::Rank(ROOT_WORLD),
                     tags::CACHE_RESP,
-                    Duration::from_millis(50),
+                    remaining.min(FROZEN_FRAME_POLL_INTERVAL),
                 ) {
                     break Some(resp);
-                }
-                if Instant::now() >= deadline {
-                    break None;
                 }
             };
             match resp {
                 Some(CacheResponse { frame: Some(frame) }) => return Some(frame),
-                Some(CacheResponse { frame: None }) if Instant::now() < deadline => {
-                    std::thread::sleep(Duration::from_millis(20));
+                Some(CacheResponse { frame: None }) => {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        return None;
+                    }
+                    std::thread::sleep(remaining.min(FROZEN_FRAME_RETRY_DELAY));
+                    if Instant::now() >= deadline {
+                        return None;
+                    }
                 }
-                _ => return None,
+                None => return None,
             }
         }
     }
@@ -356,6 +434,85 @@ impl CommManager {
     pub fn connection_dead(&self, world_rank: usize) -> bool {
         // GLOBAL spans all ranks in order, so its group ranks ARE world ranks.
         self.global.peer_connection_dead(world_rank)
+    }
+}
+
+/// Background half of the `--exchange async` pipeline (tentpole of the
+/// overlap work): the training thread *begins* generation `i`'s allgather
+/// (a non-blocking contribution send via [`CommManager::begin_exchange`]),
+/// submits the pending collective here, and trains iteration `i` against
+/// the already-completed generation `i-1` while this thread runs the
+/// blocking completion.
+///
+/// Exactly one completion is outstanding at a time and per-(peer, tag)
+/// delivery is FIFO on every transport, so the consumed frames — and
+/// therefore the run's result — are a pure function of (seed, config),
+/// never of how the exchange thread is scheduled.
+#[derive(Debug)]
+pub struct AsyncExchanger {
+    jobs: Option<mpsc::Sender<(PendingAllgather, usize)>>,
+    done: mpsc::Receiver<Vec<CellSnapshot>>,
+    in_flight: usize,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl AsyncExchanger {
+    /// Hand an in-flight collective (from [`CommManager::begin_exchange`])
+    /// to the exchange thread for completion. `round` is the generation's
+    /// iteration index — the degraded fan-in root keys its staleness
+    /// accounting on it.
+    pub fn submit(&mut self, pending: PendingAllgather, round: usize) {
+        self.jobs
+            .as_ref()
+            .expect("exchanger not stopped")
+            .send((pending, round))
+            .expect("exchange thread alive");
+        self.in_flight += 1;
+    }
+
+    /// Block until the oldest submitted exchange completes and return its
+    /// frame (all cells' snapshots in cell order).
+    ///
+    /// # Panics
+    /// Panics when nothing is in flight — the pipeline invariant (begin
+    /// generation `i` before retrieving `i-1`) has been broken.
+    pub fn retrieve(&mut self) -> Vec<CellSnapshot> {
+        assert!(self.in_flight > 0, "no exchange in flight to retrieve");
+        let frame = self.done.recv().expect("exchange thread alive");
+        self.in_flight -= 1;
+        frame
+    }
+
+    /// Number of submitted-but-not-retrieved exchanges (0 or 1 in the
+    /// steady-state pipeline).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Shut the exchange thread down, completing any still-queued
+    /// collective first (every rank must finish the final generation or
+    /// its peers' completions would wedge).
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.jobs.take();
+        if let Some(handle) = self.handle.take() {
+            handle.join().expect("exchange thread panicked");
+        }
+    }
+}
+
+impl Drop for AsyncExchanger {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // Avoid a double panic (and a wedge on a dead peer) while
+            // unwinding; leak the thread instead.
+            self.jobs.take();
+            return;
+        }
+        self.shutdown();
     }
 }
 
@@ -435,6 +592,103 @@ mod tests {
         for r in results.iter().skip(1) {
             assert_eq!(r, &[0.0, 1.0, 2.0, 3.0]);
         }
+    }
+
+    #[test]
+    fn async_exchange_consumes_exactly_one_generation_behind() {
+        const ITERS: usize = 5;
+        const DRAIN_AT: usize = 2; // simulated commit boundary mid-run
+        let results = Universe::run(4, |world| {
+            let mut cm = CommManager::new(world);
+            if cm.is_master() {
+                return vec![];
+            }
+            let cell = cm.local_rank();
+            let snap_at = |iter: usize| CellSnapshot {
+                cell,
+                gen_genome: vec![(cell * 100 + iter) as f32],
+                gen_lr: 1e-4,
+                gen_loss: lipiz_nn::GanLoss::Heuristic,
+                gen_fitness: 0.0,
+                disc_genome: vec![0.0],
+                disc_lr: 1e-4,
+                disc_fitness: 0.0,
+            };
+            let mut ex = cm.start_async_exchange(None);
+            let mut ready: Option<Vec<CellSnapshot>> = None;
+            let mut consumed: Vec<Vec<f32>> = Vec::new();
+            for iter in 0..ITERS {
+                let pending = cm.begin_exchange(&snap_at(iter));
+                ex.submit(pending, iter);
+                let frame = match ready.take() {
+                    Some(f) => f,
+                    None => ex.retrieve(),
+                };
+                consumed.push(frame.iter().map(|s| s.gen_genome[0]).collect());
+                if iter == 0 {
+                    // Generation 0 bootstraps iteration 0 AND feeds
+                    // iteration 1 (the structural staleness starts there).
+                    ready = Some(frame);
+                }
+                if iter == DRAIN_AT && ready.is_none() {
+                    // A commit boundary drains the in-flight generation so
+                    // the checkpoint can carry it; consuming the stashed
+                    // frame next iteration must not change anything.
+                    ready = Some(ex.retrieve());
+                }
+            }
+            ex.stop();
+            consumed
+        });
+        for (rank, consumed) in results.iter().enumerate().skip(1) {
+            assert_eq!(consumed.len(), ITERS);
+            for (iter, frame) in consumed.iter().enumerate() {
+                let gen = iter.saturating_sub(1);
+                let want: Vec<f32> = (0..3).map(|c| (c * 100 + gen) as f32).collect();
+                assert_eq!(frame, &want, "rank {rank} iter {iter}");
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_frame_fetch_respects_its_deadline() {
+        let results = Universe::run(3, |world| {
+            let cm = CommManager::new(world);
+            match cm.world_rank() {
+                1 => {
+                    // A root slower than the replacement's budget: the
+                    // first answer (no frame yet) comes quickly, the second
+                    // carries a frame but lands after the deadline — it
+                    // must not be accepted.
+                    for i in 0..2 {
+                        let Some(((), src)) = cm.world.recv_timeout::<()>(
+                            RecvFrom::Any,
+                            tags::CACHE_REQ,
+                            Duration::from_secs(5),
+                        ) else {
+                            break;
+                        };
+                        std::thread::sleep(Duration::from_millis(if i == 0 { 30 } else { 80 }));
+                        let frame = (i > 0).then(|| vec![vec![1u8, 2, 3]]);
+                        cm.world.send(src, tags::CACHE_RESP, &CacheResponse { frame });
+                    }
+                    None
+                }
+                2 => {
+                    let start = Instant::now();
+                    let got = cm.fetch_frozen_frame(Duration::from_millis(120));
+                    let elapsed = start.elapsed();
+                    assert!(got.is_none(), "accepted a frame that arrived after the deadline");
+                    assert!(
+                        elapsed < Duration::from_millis(360),
+                        "fetch overshot its deadline: {elapsed:?}"
+                    );
+                    Some(elapsed.as_millis() as u64)
+                }
+                _ => None,
+            }
+        });
+        assert!(results[2].is_some(), "replacement rank never measured");
     }
 
     #[test]

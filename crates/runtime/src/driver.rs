@@ -221,6 +221,40 @@ mod tests {
     }
 
     #[test]
+    fn async_exchange_matches_sequential_async_exactly() {
+        // The tentpole equivalence: under `--exchange async` the pipelined
+        // slaves (background completion thread, structural staleness 1)
+        // must be bit-identical to the sequential trainer running the same
+        // staleness schedule — async results are a pure function of
+        // (seed, config), never of exchange-thread scheduling.
+        let cfg = TrainConfig::smoke(2).with_exchange(lipiz_core::ExchangeMode::Async);
+        let outcome = run_distributed(&cfg, toy_data, DistributedOptions::default());
+        let mut seq =
+            lipiz_core::sequential::SequentialTrainer::new(&cfg, |cell| toy_data(cell, &cfg));
+        let seq_report = seq.run();
+        for (d, s) in outcome.report.cells.iter().zip(&seq_report.cells) {
+            assert_eq!(d.gen_fitness, s.gen_fitness, "cell {} gen fitness", d.cell);
+            assert_eq!(d.disc_fitness, s.disc_fitness, "cell {} disc fitness", d.cell);
+            assert_eq!(d.mixture_weights, s.mixture_weights, "cell {} mixture", d.cell);
+        }
+        assert_eq!(outcome.report.best_cell, seq_report.best_cell);
+
+        // And the staleness is real: an async run consumes generation
+        // `i - 1` at iteration `i`, so it must diverge from the sync run.
+        let sync_cfg = TrainConfig::smoke(2);
+        let sync = run_distributed(&sync_cfg, toy_data, DistributedOptions::default());
+        assert!(
+            outcome
+                .report
+                .cells
+                .iter()
+                .zip(&sync.report.cells)
+                .any(|(a, s)| a.gen_fitness != s.gen_fitness),
+            "async run was identical to sync — staleness never took effect"
+        );
+    }
+
+    #[test]
     fn multithreaded_slaves_match_serial_slaves_exactly() {
         // Two-level parallelism end-to-end: slaves running their engines on
         // a multi-worker pool must produce byte-identical results to serial

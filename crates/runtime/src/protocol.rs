@@ -7,9 +7,9 @@
 use lipiz_core::config::{NetworkSettings, WireGanLoss};
 use lipiz_core::profiling::ProfileRow;
 use lipiz_core::{
-    AdversaryStrategy, CellSnapshot, CheckpointConfig, CoevolutionConfig, FaultConfig,
-    GridConfig, LossMode, MutationConfig, NeighborhoodPattern, ProfileReport, TrainConfig,
-    TrainingConfig,
+    AdversaryStrategy, CellSnapshot, CheckpointConfig, CoevolutionConfig, ExchangeMode,
+    FaultConfig, GridConfig, LossMode, MutationConfig, NeighborhoodPattern, ProfileReport,
+    TrainConfig, TrainingConfig,
 };
 #[allow(unused_imports)]
 use lipiz_mpi::wire::Wire;
@@ -265,6 +265,7 @@ pub struct ConfigMsg {
     fault_heartbeat_misses: usize,
     fault_max_stale_iters: usize,
     fault_plan: Option<String>,
+    exchange_mode: u8,
     seed: u64,
 }
 wire_struct!(ConfigMsg {
@@ -302,8 +303,24 @@ wire_struct!(ConfigMsg {
     fault_heartbeat_misses,
     fault_max_stale_iters,
     fault_plan,
+    exchange_mode,
     seed,
 });
+
+fn exchange_id(m: ExchangeMode) -> u8 {
+    match m {
+        ExchangeMode::Sync => 0,
+        ExchangeMode::Async => 1,
+    }
+}
+
+fn exchange_from_id(id: u8) -> Result<ExchangeMode, WireError> {
+    match id {
+        0 => Ok(ExchangeMode::Sync),
+        1 => Ok(ExchangeMode::Async),
+        _ => Err(WireError::new("exchange mode id")),
+    }
+}
 
 fn pattern_id(p: NeighborhoodPattern) -> u8 {
     match p {
@@ -372,6 +389,7 @@ impl From<&TrainConfig> for ConfigMsg {
             fault_heartbeat_misses: c.fault.heartbeat_misses,
             fault_max_stale_iters: c.fault.max_stale_iters,
             fault_plan: c.fault.plan.clone(),
+            exchange_mode: exchange_id(c.exchange),
             seed: c.seed,
         }
     }
@@ -443,6 +461,7 @@ impl ConfigMsg {
                 max_stale_iters: self.fault_max_stale_iters,
                 plan: self.fault_plan,
             },
+            exchange: exchange_from_id(self.exchange_mode).expect("valid exchange mode id"),
             seed: self.seed,
         }
     }
@@ -463,6 +482,7 @@ mod tests {
             TrainConfig::smoke(2).with_checkpoints("/tmp/ckpt", 3).with_pause_after(1),
             TrainConfig::smoke(2).with_fault_plan("kill:3@2;delay:1>2:*@4:50", 2),
             TrainConfig::smoke(2).with_heartbeat(25, 4),
+            TrainConfig::smoke(2).with_exchange(ExchangeMode::Async),
         ] {
             let msg = ConfigMsg::from(&cfg);
             let bytes = msg.to_bytes();

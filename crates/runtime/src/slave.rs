@@ -30,25 +30,40 @@ fn fault_self_kill() -> ! {
 }
 
 /// Submit an async checkpoint capture if the cadence commits after `iter`.
+///
+/// `frame_for_next` is the gathered frame the *next* iteration will
+/// consume — `Some` only under `--exchange async`, where the cut must
+/// carry it for the resumed run to stay bit-exact (the caller drains the
+/// in-flight generation first so the frame is always available here).
 fn maybe_commit_checkpoint(
     writer: &Option<CheckpointWriter>,
     cfg: &TrainConfig,
     engine: &mut CellEngine,
     iter: usize,
     profiler: &mut Profiler,
+    frame_for_next: Option<&[CellSnapshot]>,
 ) {
     let Some(w) = writer else { return };
     if !cfg.checkpoint.commits_after(iter) {
         return;
     }
     let ckpt_start = Instant::now();
-    let state = match w.recycled() {
+    let mut state = match w.recycled() {
         Some(mut recycled) => {
             engine.capture_state_into(&mut recycled);
             recycled
         }
         None => engine.capture_state(),
     };
+    match frame_for_next {
+        Some(frame) => {
+            state.exchange_frame.resize_with(frame.len(), CellSnapshot::empty);
+            for (dst, src) in state.exchange_frame.iter_mut().zip(frame) {
+                dst.copy_from(src);
+            }
+        }
+        None => state.exchange_frame.clear(),
+    }
     w.submit(state);
     // Charged to "other": capture is the only checkpoint cost on the
     // training thread.
@@ -150,6 +165,7 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
                 // checkpoint the master's resume marker names. Restore
                 // failures are fatal and loud — a half-restored slave must
                 // never train.
+                let mut resume_frame: Vec<CellSnapshot> = Vec::new();
                 let mut engine = match resume_from {
                     None => CellEngine::new(cell_index, &exec_cfg, data),
                     Some(iter) => {
@@ -168,7 +184,11 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
                             panic!("cell {cell_index}: restore from iteration {iter}: {e}")
                         });
                         let pool = Pool::new(exec_cfg.training.workers_per_cell);
-                        CellEngine::from_state(&exec_cfg, data, pool, &state)
+                        let engine = CellEngine::from_state(&exec_cfg, data, pool, &state);
+                        // Async runs checkpoint the frame the next
+                        // iteration consumes; carry it into the pipeline.
+                        resume_frame = state.exchange_frame;
+                        engine
                     }
                 };
                 iterations_done.store(engine.iterations_done() as u64, Ordering::Release);
@@ -205,6 +225,13 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
                 let mut neighbors: Vec<CellSnapshot> = Vec::new();
                 let neighbor_ids = grid.neighbors(cell_index);
 
+                let async_mode = exec_cfg.exchange.is_async();
+                // The completed-but-unconsumed frame of the async pipeline:
+                // the frame the next loop iteration trains against. `None`
+                // means it is still in flight on the exchange thread (or,
+                // at a fresh start, not begun yet).
+                let mut ready: Option<Vec<CellSnapshot>> = None;
+
                 // In-flight replacement catch-up: train solo against the
                 // frozen death-frame neighborhood (streamed from the fan-in
                 // root) until this engine's counter reaches the rejoin
@@ -237,9 +264,30 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
                             &mut engine,
                             iter,
                             &mut profiler,
+                            async_mode.then_some(frozen.as_slice()),
                         );
                     }
+                    // Under async the rejoiner never received generation
+                    // `rejoin - 1`; the frozen death-frame stands in as the
+                    // frame its first live iteration consumes — still a
+                    // pure function of (seed, plan).
+                    if async_mode {
+                        ready = Some(frozen);
+                    }
+                } else if async_mode && !resume_frame.is_empty() {
+                    ready = Some(resume_frame);
+                } else if async_mode && resume_from.is_some() {
+                    panic!(
+                        "cell {cell_index}: async resume needs the checkpointed exchange frame"
+                    );
                 }
+
+                // `--exchange async`: the blocking half of every allgather
+                // runs on a background thread (which also owns the degraded
+                // fan-in controller — the death-frame handle was cloned for
+                // the main thread before this move).
+                let mut exchanger =
+                    async_mode.then(|| exec_cm.start_async_exchange(gather_ctl.take()));
 
                 while engine.iterations_done() < target {
                     let iter = engine.iterations_done();
@@ -257,12 +305,28 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
                         }
                         fault_self_kill();
                     }
-                    // Gather: allgather my center, pick my neighbors.
+                    // Gather: allgather my center, pick my neighbors. In
+                    // async mode, begin generation `iter`'s gather and train
+                    // against the completed generation `iter - 1` (gen 0
+                    // bootstraps iteration 0 synchronously); only the
+                    // exposed (non-overlapped) wait is paid here.
                     let gather_start = Instant::now();
                     engine.snapshot_into(&mut snapshot);
-                    let all = match gather_ctl.as_mut() {
-                        Some(ctl) => exec_cm.exchange_centers_degraded(&snapshot, iter, ctl),
-                        None => exec_cm.exchange_centers(&snapshot),
+                    let all = match exchanger.as_mut() {
+                        Some(ex) => {
+                            let pending = exec_cm.begin_exchange(&snapshot);
+                            ex.submit(pending, iter);
+                            match ready.take() {
+                                Some(frame) => frame,
+                                None => ex.retrieve(),
+                            }
+                        }
+                        None => match gather_ctl.as_mut() {
+                            Some(ctl) => {
+                                exec_cm.exchange_centers_degraded(&snapshot, iter, ctl)
+                            }
+                            None => exec_cm.exchange_centers(&snapshot),
+                        },
                     };
                     neighbors.resize_with(neighbor_ids.len(), CellSnapshot::empty);
                     for (slot, &n) in neighbor_ids.iter().enumerate() {
@@ -271,13 +335,38 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
                     profiler.record(lipiz_core::Routine::Gather, gather_start.elapsed());
                     engine.run_iteration(&neighbors, &mut profiler);
                     iterations_done.fetch_add(1, Ordering::Release);
+                    if exchanger.is_some() && iter == 0 {
+                        // The structural staleness starts here: generation 0
+                        // also feeds iteration 1.
+                        ready = Some(all);
+                    }
+                    if let Some(ex) = exchanger.as_mut() {
+                        // A commit boundary drains the in-flight generation
+                        // so the cut can carry the frame the next iteration
+                        // consumes. The drain point is a pure function of
+                        // the config, so uninterrupted and resumed runs
+                        // stay byte-identical.
+                        if writer.is_some()
+                            && exec_cfg.checkpoint.commits_after(iter)
+                            && ready.is_none()
+                        {
+                            ready = Some(ex.retrieve());
+                        }
+                    }
                     maybe_commit_checkpoint(
                         &writer,
                         &exec_cfg,
                         &mut engine,
                         iter,
                         &mut profiler,
+                        if async_mode { ready.as_deref() } else { None },
                     );
+                }
+                if let Some(ex) = exchanger.take() {
+                    // Finish the final generation collectively — every rank
+                    // must complete it or its peers' exchange threads would
+                    // wedge mid-broadcast.
+                    ex.stop();
                 }
                 if let Some(w) = writer.take() {
                     // Drain the queue so every committed cut is durable

@@ -44,6 +44,8 @@ fn main() -> ExitCode {
                  train   --grid N | --rows R --cols C   --iterations I --batches B\n\
                  \u{20}       --driver sequential|distributed|cluster-sim --transport in-process|tcp\n\
                  \u{20}       --mustangs --shards --tiny --out FILE.lpz\n\
+                 \u{20}       --exchange sync|async (overlap the neighbor gather with compute;\n\
+                 \u{20}       deterministic, trains against the previous round's snapshots)\n\
                  \u{20}       --checkpoint-dir DIR [--checkpoint-every N] [--pause-after K]\n\
                  launch  same training flags as train; spawns one slave OS process per grid\n\
                  \u{20}       cell plus a TCP master (--bind HOST:PORT, default 127.0.0.1:0);\n\
@@ -109,6 +111,12 @@ fn cli_config(args: &[String]) -> TrainConfig {
     cfg.coevolution.iterations = iterations;
     cfg.training.batches_per_iteration = batches;
     cfg.training.shard_data = flag_present(args, "--shards");
+    if let Some(mode) = flag_value(args, "--exchange") {
+        let mode = mode
+            .parse::<lipizzaner::core::ExchangeMode>()
+            .unwrap_or_else(|e| fail(&format!("--exchange: {e}")));
+        cfg = cfg.with_exchange(mode);
+    }
     if flag_present(args, "--mustangs") {
         cfg = cfg.with_mustangs();
     }
@@ -425,10 +433,10 @@ fn run_sequential_driver(t: &mut SequentialTrainer, cfg: &TrainConfig) -> TrainR
         return t.run();
     }
     let writer = start_checkpoint_writer(cfg);
-    let report = t.run_hooked(|iter, engines| {
+    let report = t.run_hooked(|iter, engines, frame| {
         if cfg.checkpoint.commits_after(iter) {
             for e in engines.iter_mut() {
-                writer.submit(capture_recycled(&writer, e));
+                writer.submit(capture_with_frame(&writer, e, frame));
             }
         }
     });
@@ -445,17 +453,17 @@ fn run_sim_driver(
     resume: Option<&[CellState]>,
 ) -> lipizzaner::cluster::SimOutcome {
     if !cfg.checkpoint.enabled() {
-        return sim.run_resumable(cfg, |cell| cli_slice(full, cfg, cell), resume, |_, _| {});
+        return sim.run_resumable(cfg, |cell| cli_slice(full, cfg, cell), resume, |_, _, _| {});
     }
     let writer = start_checkpoint_writer(cfg);
     let outcome = sim.run_resumable(
         cfg,
         |cell| cli_slice(full, cfg, cell),
         resume,
-        |iter, engines| {
+        |iter, engines, frame| {
             if cfg.checkpoint.commits_after(iter) {
                 for e in engines.iter_mut() {
-                    writer.submit(capture_recycled(&writer, e));
+                    writer.submit(capture_with_frame(&writer, e, frame));
                 }
             }
         },
@@ -478,6 +486,22 @@ fn capture_recycled(
         }
         None => e.capture_state(),
     }
+}
+
+/// [`capture_recycled`], then stamp the cut with the exchange frame its
+/// next iteration will consume (empty in sync mode — which also clears any
+/// stale frame left in a recycled buffer).
+fn capture_with_frame(
+    writer: &CheckpointWriter,
+    e: &mut lipizzaner::core::CellEngine,
+    frame: &[CellSnapshot],
+) -> CellState {
+    let mut state = capture_recycled(writer, e);
+    state.exchange_frame.resize_with(frame.len(), CellSnapshot::empty);
+    for (dst, src) in state.exchange_frame.iter_mut().zip(frame) {
+        dst.copy_from(src);
+    }
+    state
 }
 
 fn fail(msg: &str) -> ! {

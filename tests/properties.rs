@@ -2,10 +2,12 @@
 //! structures and invariants.
 
 use lipizzaner::core::{
-    CellState, Grid, Individual, MixtureWeights, NeighborhoodPattern, TrainConfig,
+    CellSnapshot, CellState, Grid, Individual, MixtureWeights, NeighborhoodPattern, TrainConfig,
 };
 use lipizzaner::data::BatchLoaderState;
+use lipizzaner::mpi::comm::Fabric;
 use lipizzaner::mpi::wire::Wire;
+use lipizzaner::mpi::{FaultPlan, Universe};
 use lipizzaner::nn::{Activation, AdamState, GanLoss, Mlp};
 use lipizzaner::runtime::checkpoint;
 use lipizzaner::runtime::checkpoint::CellStateMsg;
@@ -218,6 +220,38 @@ proptest! {
         prop_assert_eq!(back, state);
     }
 
+    // ---- async exchange pipeline ---------------------------------------------
+
+    #[test]
+    fn async_pipeline_is_invariant_to_exchange_jitter(
+        delays in proptest::collection::vec(
+            (0usize..4, 0usize..4, 1u64..12),
+            0..5,
+        ),
+        iters in 2usize..5,
+    ) {
+        // The overlapped exchange completes on a background thread, so
+        // scheduling jitter moves *when* a generation lands but must never
+        // change *what* any iteration consumes: scripted per-link delivery
+        // delays (the `delay:` fault grammar end-to-end, including the
+        // allgather's root fan-in and broadcast legs) stretch wall time
+        // while every rank's folded result stays bit-identical to the
+        // undelayed run.
+        const RANKS: usize = 4;
+        let plan: String = delays
+            .iter()
+            .filter(|(src, dst, _)| src != dst)
+            .map(|(src, dst, ms)| format!("delay:{src}>{dst}:*@0:{ms}"))
+            .collect::<Vec<_>>()
+            .join(";");
+        let reference = async_pipeline_results(Fabric::new(RANKS), iters);
+        let jittered = async_pipeline_results(
+            Fabric::with_faults(RANKS, FaultPlan::parse(&plan).expect("delay plan")),
+            iters,
+        );
+        prop_assert_eq!(jittered, reference);
+    }
+
     #[test]
     fn corrupted_checkpoint_files_fail_loudly_never_partially(
         seed in 0u64..500,
@@ -261,6 +295,48 @@ proptest! {
             }
         }
     }
+}
+
+/// Run the double-buffered async exchange pipeline on every rank of
+/// `fabric` — begin generation `i`, complete it on a background exchange
+/// thread, train iteration `i ≥ 1` against generation `i-1` (the runtime's
+/// exact shape) — and return each rank's folded state after `iters`
+/// iterations.
+fn async_pipeline_results(fabric: std::sync::Arc<Fabric>, iters: usize) -> Vec<u64> {
+    Universe::run_on(fabric, |comm| {
+        let (job_tx, job_rx) = std::sync::mpsc::channel();
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let worker = comm.clone();
+        let thread = std::thread::spawn(move || {
+            for pending in job_rx {
+                if done_tx.send(worker.allgather_bytes_complete(pending)).is_err() {
+                    break;
+                }
+            }
+        });
+        let mut state: u64 = comm.rank() as u64 + 1;
+        let mut ready: Option<Vec<Vec<u8>>> = None;
+        for iter in 0..iters {
+            job_tx.send(comm.allgather_bytes_split(&state.to_bytes())).expect("worker alive");
+            // Generation `iter-1` (bootstrap: generation 0, consumed twice).
+            let frame = match ready.take() {
+                Some(frame) => frame,
+                None => done_rx.recv().expect("worker alive"),
+            };
+            for part in &frame {
+                let v = u64::from_bytes(part).expect("decode contribution");
+                state = state.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(v);
+            }
+            if iter == 0 {
+                ready = Some(frame);
+            }
+        }
+        // The final generation stays with the exchange thread, which must
+        // still complete it — peers block on it in their own final round.
+        drop(job_tx);
+        thread.join().expect("exchange worker");
+        state
+    })
 }
 
 /// Deterministically build a structurally arbitrary [`CellState`] (sizes
@@ -318,6 +394,24 @@ fn arb_cell_state(
             epoch: rng.next_u64(),
             rng: rng_state(&mut rng),
         },
+        // Half the states carry an async exchange frame, so the new wire
+        // field's encode/decode sees both shapes.
+        exchange_frame: if rng.chance(0.5) {
+            (0..pop)
+                .map(|_| CellSnapshot {
+                    cell: rng.below(1024),
+                    gen_genome: (0..gen_len).map(|_| f32_bits(&mut rng)).collect(),
+                    gen_lr: f32_bits(&mut rng),
+                    gen_loss: GanLoss::ALL[rng.below(GanLoss::ALL.len())],
+                    gen_fitness: rng.unit_f64() * 1e9 - 5e8,
+                    disc_genome: (0..disc_len).map(|_| f32_bits(&mut rng)).collect(),
+                    disc_lr: f32_bits(&mut rng),
+                    disc_fitness: rng.unit_f64() * 1e9 - 5e8,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        },
     }
 }
 
@@ -344,6 +438,14 @@ fn state_bits(s: &CellState) -> Vec<u64> {
     for r in [&s.rng_mutate, &s.rng_train, &s.rng_mixture, &s.loader.rng] {
         bits.extend(r.words);
         bits.push(r.spare_gauss.map_or(0, f64::to_bits));
+    }
+    for snap in &s.exchange_frame {
+        bits.extend(snap.gen_genome.iter().map(|v| v.to_bits() as u64));
+        bits.extend(snap.disc_genome.iter().map(|v| v.to_bits() as u64));
+        bits.push(snap.gen_lr.to_bits() as u64);
+        bits.push(snap.disc_lr.to_bits() as u64);
+        bits.push(snap.gen_fitness.to_bits());
+        bits.push(snap.disc_fitness.to_bits());
     }
     bits
 }
