@@ -1,0 +1,98 @@
+//! Benchmarks of the run-telemetry hot path: the per-phase span record
+//! (two ring pushes + a histogram observe), the disabled recorder (the
+//! cost every non-`--telemetry` run pays — it must be nothing), instants,
+//! and the cold-path artifacts (summary merge, trace render).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lipiz_telemetry::{
+    chrome_trace, EventKind, RankJournal, SpanKind, Telemetry, TelemetrySummary,
+};
+
+/// One full iteration's worth of span records, as the slave loop emits
+/// them: the four Table IV routines, begin + end each.
+fn record_iteration(tel: &mut Telemetry, iter: u32) {
+    for kind in [SpanKind::Gather, SpanKind::Mutate, SpanKind::Train, SpanKind::Update] {
+        let start = tel.begin(kind, 0, iter);
+        let _ = tel.end(kind, 0, iter, start);
+    }
+}
+
+fn bench_span_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("span_record");
+    // The gate everyone pays: a disabled recorder must be a branch, not a
+    // clock read.
+    group.bench_function("disabled", |b| {
+        let mut tel = Telemetry::disabled();
+        let mut iter = 0u32;
+        b.iter(|| {
+            record_iteration(&mut tel, iter);
+            iter = iter.wrapping_add(1);
+        })
+    });
+    // Enabled: two monotonic clock reads, two ring pushes, one histogram
+    // observe per span; the ring wraps continuously at this capacity.
+    group.bench_function("enabled", |b| {
+        let mut tel = Telemetry::enabled(1, 1024);
+        let mut iter = 0u32;
+        b.iter(|| {
+            record_iteration(&mut tel, iter);
+            iter = iter.wrapping_add(1);
+        })
+    });
+    group.finish();
+}
+
+fn bench_instant(c: &mut Criterion) {
+    c.bench_function("instant_enabled", |b| {
+        let mut tel = Telemetry::enabled(1, 1024);
+        let mut iter = 0u32;
+        b.iter(|| {
+            tel.instant(EventKind::CheckpointCommit, 0, iter, 0);
+            iter = iter.wrapping_add(1);
+        })
+    });
+}
+
+fn bench_summary_merge(c: &mut Criterion) {
+    // Master-side fold at a commit boundary: one merge per reporting slave.
+    let mut tel = Telemetry::enabled(2, 1024);
+    for i in 0..64 {
+        record_iteration(&mut tel, i);
+    }
+    let rank = tel.summary(1);
+    c.bench_function("summary_merge", |b| {
+        b.iter(|| {
+            let mut merged = TelemetrySummary::empty();
+            for _ in 0..16 {
+                merged.merge(&rank);
+            }
+            merged
+        })
+    });
+}
+
+fn bench_trace_render(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_render");
+    for &iters in &[64u32, 1024] {
+        let mut tel = Telemetry::enabled(3, 4 * 1024);
+        for i in 0..iters {
+            record_iteration(&mut tel, i);
+        }
+        let journal = RankJournal {
+            rank: 3,
+            dropped: tel.dropped(),
+            events: tel.events().copied().collect(),
+        };
+        group.bench_with_input(BenchmarkId::new("iterations", iters), &journal, |b, j| {
+            b.iter(|| chrome_trace(std::slice::from_ref(j)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_span_record, bench_instant, bench_summary_merge, bench_trace_render
+}
+criterion_main!(benches);

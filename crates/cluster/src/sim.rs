@@ -10,7 +10,9 @@ use lipiz_core::{
     TrainReport,
 };
 use lipiz_mpi::{replacement_schedule, FaultPlan, ReplacementSchedule};
+use lipiz_telemetry::{EventKind, SpanKind, Telemetry};
 use lipiz_tensor::{Matrix, Pool};
+use std::path::Path;
 use std::time::Instant;
 
 /// The in-flight replacement the config's fault plan implies, if any —
@@ -136,6 +138,22 @@ impl SimulatedCluster {
         let mut profilers: Vec<Profiler> = (0..cells).map(|_| Profiler::new()).collect();
         let mut comm = CommStats::default();
 
+        // Virtual-time telemetry: one recorder per simulated slave rank,
+        // stamped via `record_at` with the rank clock so the exported
+        // timeline lives on the simulated clock — same journal format as
+        // the real drivers (the solo catch-up window is not journaled
+        // per-iteration; it runs on host time inside the kill block).
+        let mut tels: Vec<Telemetry> = (0..cells)
+            .map(|c| {
+                Telemetry::from_gate(
+                    cfg.telemetry.is_enabled(),
+                    (c + 1) as u32,
+                    cfg.telemetry.ring_capacity,
+                )
+            })
+            .collect();
+        let vns = |t: f64| (t.max(0.0) * 1e9) as u64;
+
         let start_iter = engines.first().map_or(0, |e| e.iterations_done());
         let target = cfg.checkpoint.effective_iterations(cfg.coevolution.iterations);
         // Scripted fault modeling (mirrors the distributed stack exactly):
@@ -174,10 +192,17 @@ impl SimulatedCluster {
                 "async resume needs the checkpointed exchange frame"
             );
         }
+        if async_mode {
+            for t in &mut tels {
+                t.metrics.staleness.set(1);
+            }
+        }
         // Virtual completion time of the in-flight generation (the frame
         // the *next* iteration consumes); restarts at zero on resume, like
-        // every other clock.
+        // every other clock. `prev_submit` remembers when each rank posted
+        // the in-flight generation, for the exchange-wall metric.
         let mut pending_complete = 0.0f64;
+        let mut prev_submit = vec![0.0f64; cells];
         // The death-frame the fan-in root freezes at the kill: the victim's
         // slot is substituted from it for every absence round, and under
         // async the rejoiner's first live iteration consumes the whole
@@ -191,6 +216,13 @@ impl SimulatedCluster {
             };
             if let Some(sched) = fault {
                 if iter == sched.kill_iter {
+                    tels[sched.cell].record_at(
+                        EventKind::Kill,
+                        sched.cell as u32,
+                        iter as u32,
+                        0,
+                        vns(clocks[sched.cell].now()),
+                    );
                     // The kill lands before this round's snapshot, so the
                     // round kill_iter-1 payloads — exactly the frozen
                     // death-frame the fan-in root captures and serves to
@@ -259,6 +291,20 @@ impl SimulatedCluster {
             let sync = live().fold(0.0, f64::max);
             let xfer = self.cost.allgather(cells, max_bytes);
             comm.allgather_bytes += max_bytes * cells;
+            if let Some(sched) = fault {
+                if absent(sched.cell) {
+                    // The fan-in root (slave rank 1 / cell 0) substitutes
+                    // the victim's frozen payload this round.
+                    tels[0].record_at(
+                        EventKind::Degraded,
+                        sched.cell as u32,
+                        iter as u32,
+                        1,
+                        vns(sync),
+                    );
+                    tels[0].metrics.degraded_iters.inc();
+                }
+            }
             if !async_mode || iter == 0 {
                 // BSP (and the async bootstrap round, which blocks on its
                 // own generation): wait for the slowest live rank, then pay
@@ -272,10 +318,27 @@ impl SimulatedCluster {
                     clock.sync_to(sync);
                     clock.advance(xfer);
                     // Gather time as a rank perceives it: wait + transfer.
-                    profilers[c].record(
-                        Routine::Gather,
-                        std::time::Duration::from_secs_f64(clock.now() - before),
+                    let d = clock.now() - before;
+                    profilers[c].record(Routine::Gather, std::time::Duration::from_secs_f64(d));
+                    let (cell, it) = (c as u32, iter as u32);
+                    tels[c].record_at(
+                        EventKind::ExchangeBegin,
+                        cell,
+                        it,
+                        iter as u64,
+                        vns(before),
                     );
+                    tels[c].record_at(EventKind::GatherBegin, cell, it, 0, vns(before));
+                    tels[c].record_at(EventKind::GatherEnd, cell, it, vns(d), vns(clock.now()));
+                    tels[c].record_at(
+                        EventKind::ExchangeComplete,
+                        cell,
+                        it,
+                        iter as u64,
+                        vns(clock.now()),
+                    );
+                    tels[c].metrics.gather_ns.observe(vns(d));
+                    tels[c].metrics.exchange_wall_ns.add(vns(d));
                 }
             } else {
                 // Overlapped exchange: generation `iter` is merely *begun*
@@ -291,10 +354,30 @@ impl SimulatedCluster {
                     }
                     let before = clock.now();
                     clock.sync_to(pending_complete);
-                    profilers[c].record(
-                        Routine::Gather,
-                        std::time::Duration::from_secs_f64(clock.now() - before),
+                    let d = clock.now() - before;
+                    profilers[c].record(Routine::Gather, std::time::Duration::from_secs_f64(d));
+                    let (cell, it) = (c as u32, iter as u32);
+                    tels[c].record_at(
+                        EventKind::ExchangeBegin,
+                        cell,
+                        it,
+                        iter as u64,
+                        vns(ready[c]),
                     );
+                    tels[c].record_at(EventKind::GatherBegin, cell, it, 0, vns(before));
+                    tels[c].record_at(EventKind::GatherEnd, cell, it, vns(d), vns(clock.now()));
+                    tels[c].record_at(
+                        EventKind::ExchangeComplete,
+                        cell,
+                        it,
+                        iter.saturating_sub(1) as u64,
+                        vns(clock.now()),
+                    );
+                    tels[c].metrics.gather_ns.observe(vns(d));
+                    tels[c]
+                        .metrics
+                        .exchange_wall_ns
+                        .add(vns(pending_complete - prev_submit[c]));
                 }
             }
             if async_mode {
@@ -302,6 +385,11 @@ impl SimulatedCluster {
                 // and the exchange thread (busy until `pending_complete`)
                 // has shipped it.
                 pending_complete = sync.max(pending_complete) + xfer;
+                for (c, &r) in ready.iter().enumerate() {
+                    if !absent(c) {
+                        prev_submit[c] = r;
+                    }
+                }
             }
 
             // --- compute phases, measured on the host --------------------
@@ -338,12 +426,36 @@ impl SimulatedCluster {
                 scratch.time(Routine::Train, || engine.train_phase());
                 scratch.time(Routine::UpdateGenomes, || engine.update_phase());
                 engine.advance_iteration();
+                if fault.is_some_and(|s| c == s.cell && iter == s.rejoin_round) {
+                    tels[c].record_at(
+                        EventKind::Rejoin,
+                        c as u32,
+                        iter as u32,
+                        0,
+                        vns(clocks[c].now()),
+                    );
+                    tels[c].metrics.rejoined.inc();
+                }
                 let speed = speed_of(c);
-                for r in [Routine::Mutate, Routine::Train, Routine::UpdateGenomes] {
+                let spans = [
+                    (Routine::Mutate, SpanKind::Mutate),
+                    (Routine::Train, SpanKind::Train),
+                    (Routine::UpdateGenomes, SpanKind::Update),
+                ];
+                for (r, span) in spans {
                     let host = scratch.total(r).as_secs_f64();
+                    let t0 = clocks[c].now();
                     clocks[c].advance(host * speed);
                     profilers[c].record(r, std::time::Duration::from_secs_f64(host * speed));
+                    let d = clocks[c].now() - t0;
+                    let (cell, it) = (c as u32, iter as u32);
+                    tels[c].record_at(span.begin_kind(), cell, it, 0, vns(t0));
+                    tels[c].record_at(span.end_kind(), cell, it, vns(d), vns(clocks[c].now()));
+                    if r == Routine::Train {
+                        tels[c].metrics.train_ns.observe(vns(d));
+                    }
                 }
+                tels[c].metrics.iterations.inc();
             }
             if let Some(sched) = fault {
                 // The newest checkpoint cut the victim commits before dying
@@ -365,6 +477,17 @@ impl SimulatedCluster {
                 std::mem::swap(&mut snapshots, &mut prev_snapshots);
             }
             on_iteration(iter, &mut engines, if async_mode { &prev_snapshots } else { &[] });
+        }
+
+        // Flush the virtual-time journals (same per-rank JSONL layout as
+        // the distributed drivers, so `lipizzaner trace` merges either).
+        if let Some(dir) = cfg.telemetry.dir.as_deref() {
+            for t in &tels {
+                let path = Path::new(dir).join(format!("node{:02}.jsonl", t.rank()));
+                if let Err(e) = t.write_journal(&path) {
+                    eprintln!("[sim] telemetry journal write failed: {e}");
+                }
+            }
         }
 
         // Final result gather to the master (GLOBAL): after the slowest
@@ -668,6 +791,38 @@ mod tests {
         for (a, b) in base.report.cells.iter().zip(&slowed.report.cells) {
             assert_eq!(a.gen_fitness, b.gen_fitness);
         }
+    }
+
+    #[test]
+    fn telemetry_journals_live_on_the_virtual_clock() {
+        // Telemetry must not perturb training, and the exported journals
+        // must be stamped with virtual (not host) time: a simulated run
+        // takes milliseconds of host time but its cost model charges far
+        // more virtual time, so the last event's timestamp tracks the
+        // virtual wall.
+        let cfg = TrainConfig::smoke(2);
+        let dir = std::env::temp_dir().join(format!("lipiz_sim_tel_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tel_cfg = cfg.clone().with_telemetry(dir.to_str().unwrap(), 0);
+        let sim = SimulatedCluster::cluster_uy(SimulationOptions::default());
+        let base = sim.run(&cfg, |_| toy_data(&cfg));
+        let traced = sim.run(&tel_cfg, |_| toy_data(&tel_cfg));
+        for (a, b) in base.report.cells.iter().zip(&traced.report.cells) {
+            assert_eq!(a.gen_fitness, b.gen_fitness, "telemetry perturbed cell {}", a.cell);
+        }
+
+        let journals = lipiz_telemetry::read_journal_dir(&dir).unwrap();
+        assert_eq!(journals.len(), 4, "one journal per simulated slave rank");
+        let j = &journals[0];
+        assert_eq!(j.rank, 1);
+        let last_ns = j.events.last().unwrap().t_ns;
+        let virtual_ns = (traced.virtual_wall() * 1e9) as u64;
+        assert!(
+            last_ns <= virtual_ns && last_ns > virtual_ns / 100,
+            "timestamps not on the virtual clock: last {last_ns} vs wall {virtual_ns}"
+        );
+        assert!(j.events.iter().any(|e| e.kind == lipiz_telemetry::EventKind::TrainEnd));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

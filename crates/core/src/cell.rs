@@ -11,6 +11,7 @@ use lipiz_data::BatchLoader;
 use lipiz_nn::{
     gan, loss, Adam, Discriminator, GanLoss, Generator, NetworkConfig, TrainWorkspace,
 };
+use lipiz_telemetry::{SpanKind, Telemetry};
 use lipiz_tensor::{Matrix, Pool, Rng64};
 use std::sync::Arc;
 
@@ -358,10 +359,40 @@ impl CellEngine {
     /// snapshots (in neighbor-slot order). Timing lands in `profiler`
     /// under the Table IV routine names.
     pub fn run_iteration(&mut self, neighbors: &[CellSnapshot], profiler: &mut Profiler) {
-        profiler.time(Routine::Gather, || self.ingest_neighbors(neighbors));
-        profiler.time(Routine::Mutate, || self.mutate_phase());
-        profiler.time(Routine::Train, || self.train_phase());
-        profiler.time(Routine::UpdateGenomes, || self.update_phase());
+        self.run_iteration_with(neighbors, profiler, &mut Telemetry::disabled());
+    }
+
+    /// [`CellEngine::run_iteration`] with telemetry: each Table IV phase
+    /// runs under a telemetry span whose measured duration also feeds
+    /// `profiler`, so all drivers time the iteration through one code
+    /// path. With a disabled recorder this is exactly `run_iteration`
+    /// (the span API still measures, records nothing, allocates nothing).
+    pub fn run_iteration_with(
+        &mut self,
+        neighbors: &[CellSnapshot],
+        profiler: &mut Profiler,
+        tel: &mut Telemetry,
+    ) {
+        let cell = self.cell_index as u32;
+        let iter = self.iteration as u32;
+        let phases: [(SpanKind, Routine); 4] = [
+            (SpanKind::Gather, Routine::Gather),
+            (SpanKind::Mutate, Routine::Mutate),
+            (SpanKind::Train, Routine::Train),
+            (SpanKind::Update, Routine::UpdateGenomes),
+        ];
+        for (span, routine) in phases {
+            let start = tel.begin(span, cell, iter);
+            match routine {
+                Routine::Gather => self.ingest_neighbors(neighbors),
+                Routine::Mutate => self.mutate_phase(),
+                Routine::Train => self.train_phase(),
+                Routine::UpdateGenomes => self.update_phase(),
+                Routine::Other => unreachable!(),
+            }
+            profiler.record(routine, tel.end(span, cell, iter, start));
+        }
+        tel.metrics.iterations.inc();
         self.iteration += 1;
     }
 

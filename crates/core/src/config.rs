@@ -331,6 +331,36 @@ impl FaultConfig {
     }
 }
 
+/// Run-telemetry settings: the event journal, metrics registry, and
+/// summary aggregation described in `lipiz-telemetry`.
+///
+/// Telemetry is *observational only* — it never touches RNG or training
+/// state, so runs with and without it produce byte-identical ensembles.
+/// It still rides in the training configuration (not per-host state) so
+/// every rank of a distributed run derives the same gate, journal
+/// directory, and ring capacity from the wire config alone.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TelemetryConfig {
+    /// Master switch. Off (the default) costs nothing: no ring is
+    /// allocated and every record call is a dead branch.
+    pub enabled: bool,
+    /// Directory per-rank journal files (`<node>.jsonl`) are written to.
+    /// On multi-machine runs this must resolve per-host; journals are
+    /// merged offline by `lipizzaner trace`.
+    pub dir: Option<String>,
+    /// Event-ring capacity in records (`0` = the crate default). The ring
+    /// never resizes: overflow overwrites the oldest record and ticks a
+    /// drop counter.
+    pub ring_capacity: usize,
+}
+
+impl TelemetryConfig {
+    /// Is telemetry recording active?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
 /// Complete training configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainConfig {
@@ -352,6 +382,10 @@ pub struct TrainConfig {
     /// Neighbor-exchange mode (synchronous, or overlapped with compute at a
     /// fixed staleness of 1).
     pub exchange: ExchangeMode,
+    /// Run-telemetry settings (event journal + metrics). Observational
+    /// only; absent from pre-existing manifests, which load with the
+    /// defaults (off).
+    pub telemetry: TelemetryConfig,
     /// Master seed; every cell derives its streams from this and its grid
     /// coordinates, which is what makes all three drivers bit-identical.
     pub seed: u64,
@@ -395,6 +429,7 @@ impl TrainConfig {
             checkpoint: CheckpointConfig::default(),
             fault: FaultConfig::default(),
             exchange: ExchangeMode::default(),
+            telemetry: TelemetryConfig::default(),
             seed: 1,
         }
     }
@@ -437,6 +472,7 @@ impl TrainConfig {
             checkpoint: CheckpointConfig::default(),
             fault: FaultConfig::default(),
             exchange: ExchangeMode::default(),
+            telemetry: TelemetryConfig::default(),
             seed: 3,
         }
     }
@@ -496,6 +532,15 @@ impl TrainConfig {
     /// Same config with the given neighbor-exchange mode.
     pub fn with_exchange(mut self, mode: ExchangeMode) -> Self {
         self.exchange = mode;
+        self
+    }
+
+    /// Same config with telemetry recording on, journaling into `dir`.
+    /// `ring_capacity` of `0` keeps the default ring size.
+    pub fn with_telemetry(mut self, dir: impl Into<String>, ring_capacity: usize) -> Self {
+        self.telemetry.enabled = true;
+        self.telemetry.dir = Some(dir.into());
+        self.telemetry.ring_capacity = ring_capacity;
         self
     }
 
@@ -649,6 +694,22 @@ mod tests {
             TrainConfig::smoke(2).with_fault_plan("kill:2@1", 0).fault.max_stale_iters,
             1
         );
+    }
+
+    #[test]
+    fn telemetry_config_defaults_off() {
+        let cfg = TrainConfig::smoke(2);
+        assert_eq!(cfg.telemetry, TelemetryConfig::default());
+        assert!(!cfg.telemetry.is_enabled());
+        assert!(cfg.telemetry.dir.is_none());
+    }
+
+    #[test]
+    fn telemetry_builder() {
+        let cfg = TrainConfig::smoke(2).with_telemetry("tel", 128);
+        assert!(cfg.telemetry.is_enabled());
+        assert_eq!(cfg.telemetry.dir.as_deref(), Some("tel"));
+        assert_eq!(cfg.telemetry.ring_capacity, 128);
     }
 
     #[test]

@@ -67,7 +67,8 @@ pub mod topology;
 pub use cell::CellEngine;
 pub use config::{
     AdversaryStrategy, CheckpointConfig, CoevolutionConfig, ExchangeMode, FaultConfig,
-    GridConfig, LossMode, MutationConfig, TrainConfig, TrainingConfig, TransportKind,
+    GridConfig, LossMode, MutationConfig, TelemetryConfig, TrainConfig, TrainingConfig,
+    TransportKind,
 };
 pub use individual::{Individual, SubPopulation};
 pub use mixture::{EnsembleModel, MixtureWeights};

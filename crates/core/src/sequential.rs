@@ -16,6 +16,7 @@ use crate::report::{CellResult, TrainReport};
 use crate::resume::CellState;
 use crate::snapshot::CellSnapshot;
 use crate::topology::Grid;
+use lipiz_telemetry::{SpanKind, Telemetry, TelemetrySummary, NO_CELL};
 use lipiz_tensor::{Matrix, Pool};
 use std::time::Instant;
 
@@ -34,6 +35,10 @@ pub struct SequentialTrainer {
     prev_snapshots: Vec<CellSnapshot>,
     /// Recycled neighbor fan-out buffer.
     neighbor_scratch: Vec<CellSnapshot>,
+    /// Run telemetry (rank 0 — the whole grid is one rank here). Disabled
+    /// unless the config gates it on; the span API measures either way,
+    /// which is how the driver's timing and the journal share one path.
+    telemetry: Telemetry,
 }
 
 impl SequentialTrainer {
@@ -56,6 +61,11 @@ impl SequentialTrainer {
             snapshots: Vec::new(),
             prev_snapshots: Vec::new(),
             neighbor_scratch: Vec::new(),
+            telemetry: Telemetry::from_gate(
+                cfg.telemetry.enabled,
+                0,
+                cfg.telemetry.ring_capacity,
+            ),
         }
     }
 
@@ -97,6 +107,11 @@ impl SequentialTrainer {
             snapshots: Vec::new(),
             prev_snapshots,
             neighbor_scratch: Vec::new(),
+            telemetry: Telemetry::from_gate(
+                cfg.telemetry.enabled,
+                0,
+                cfg.telemetry.ring_capacity,
+            ),
         }
     }
 
@@ -148,12 +163,13 @@ impl SequentialTrainer {
         // buffers are recycled across iterations: steady state performs no
         // genome-sized allocation anywhere in the driver loop.
         let iter = self.iterations_done();
-        let start = Instant::now();
+        let span = self.telemetry.begin(SpanKind::Gather, NO_CELL, iter as u32);
         self.snapshots.resize_with(self.engines.len(), CellSnapshot::empty);
         for (e, snap) in self.engines.iter_mut().zip(&mut self.snapshots) {
             e.snapshot_into(snap);
         }
-        self.profiler.record(Routine::Gather, start.elapsed());
+        let elapsed = self.telemetry.end(SpanKind::Gather, NO_CELL, iter as u32, span);
+        self.profiler.record(Routine::Gather, elapsed);
 
         // Async exchange at staleness 1: iteration `i ≥ 1` trains against
         // the generation-`i-1` frame (iteration 0 bootstraps against its
@@ -171,7 +187,11 @@ impl SequentialTrainer {
             for (slot, n) in neighbors.into_iter().enumerate() {
                 self.neighbor_scratch[slot].copy_from(&frame[n]);
             }
-            self.engines[idx].run_iteration(&self.neighbor_scratch, &mut self.profiler);
+            self.engines[idx].run_iteration_with(
+                &self.neighbor_scratch,
+                &mut self.profiler,
+                &mut self.telemetry,
+            );
         }
 
         // The generation-`i` frame becomes what iteration `i+1` consumes.
@@ -199,6 +219,9 @@ impl SequentialTrainer {
         mut on_iteration: impl FnMut(usize, &mut [CellEngine], &[CellSnapshot]),
     ) -> TrainReport {
         let start = Instant::now();
+        if self.cfg.exchange.is_async() {
+            self.telemetry.metrics.staleness.set(1);
+        }
         let target = self.cfg.checkpoint.effective_iterations(self.cfg.coevolution.iterations);
         while self.iterations_done() < target {
             let iter = self.iterations_done();
@@ -207,7 +230,33 @@ impl SequentialTrainer {
                 if self.cfg.exchange.is_async() { &self.prev_snapshots } else { &[] };
             on_iteration(iter, &mut self.engines, frame);
         }
+        self.write_journal();
         self.finish(start.elapsed().as_secs_f64())
+    }
+
+    /// Flush the journal to `<telemetry.dir>/node00.jsonl` (no-op when
+    /// telemetry is off or no directory is configured).
+    fn write_journal(&self) {
+        if let Some(dir) = &self.cfg.telemetry.dir {
+            let path = std::path::Path::new(dir).join("node00.jsonl");
+            if let Err(e) = self.telemetry.write_journal(&path) {
+                eprintln!("telemetry: journal write failed ({}): {e}", path.display());
+            }
+        }
+    }
+
+    /// Mutable telemetry access, for a driving layer that journals its own
+    /// instants (checkpoint commits, pauses) onto this rank's timeline.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// The run's telemetry aggregate. `iterations` counts grid iterations
+    /// (the per-cell counter is normalized by the cell count).
+    pub fn telemetry_summary(&self) -> TelemetrySummary {
+        let mut s = self.telemetry.summary(NO_CELL);
+        s.iterations = self.iterations_done() as u64;
+        s
     }
 
     /// Build the final report (used by `run` and by the harness when it
@@ -359,6 +408,30 @@ mod tests {
         let mut states = t.capture_states();
         states[2].iteration = 0; // torn: one cell from a different cut
         let _ = SequentialTrainer::from_states(&cfg, |_| toy_data(&cfg), &states);
+    }
+
+    #[test]
+    fn telemetry_is_inert_and_observes_the_run() {
+        // Same seed with and without telemetry: identical ensembles (the
+        // recorder never touches RNG or training state), and the enabled
+        // run's summary reflects the grid's work.
+        let cfg = TrainConfig::smoke(2);
+        let mut plain = SequentialTrainer::new(&cfg, |_| toy_data(&cfg));
+        plain.run();
+
+        let mut tel_cfg = cfg.clone();
+        tel_cfg.telemetry.enabled = true; // no dir: record, write nothing
+        let mut observed = SequentialTrainer::new(&tel_cfg, |_| toy_data(&tel_cfg));
+        observed.run();
+
+        assert_eq!(plain.ensembles(), observed.ensembles(), "telemetry changed training");
+        let s = observed.telemetry_summary();
+        assert_eq!(s.iterations, 2);
+        // 2 iterations × (1 allgather + 4 per-cell ingests) gather spans.
+        assert_eq!(s.gather_ns.count, 10);
+        assert_eq!(s.train_ns.count, 8);
+        assert_eq!(s.dropped_events, 0);
+        assert!(plain.telemetry_summary().gather_ns.is_empty());
     }
 
     #[test]

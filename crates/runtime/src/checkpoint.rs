@@ -62,7 +62,9 @@ const MANIFEST_MAGIC: &[u8; 4] = b"LPZM";
 /// the manifest config the exchange mode) so `--exchange async` runs resume
 /// bit-exactly; older versions fail loudly as
 /// [`CheckpointError::UnsupportedVersion`].
-const FORMAT_VERSION: u32 = 3;
+/// v4: the config grew the telemetry block (enabled flag, journal dir,
+/// ring capacity), widening the embedded [`ConfigMsg`].
+const FORMAT_VERSION: u32 = 4;
 /// Manifest file name inside a checkpoint directory.
 pub const MANIFEST_NAME: &str = "manifest.lpzm";
 /// How many committed iterations [`DirSink`] keeps per cell (the newest

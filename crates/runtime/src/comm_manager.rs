@@ -17,6 +17,7 @@
 
 use crate::protocol::{
     tags, CacheResponse, NodeAnnouncement, RunTask, SlaveResult, SnapshotMsg, StatusReport,
+    TelemetrySummaryMsg,
 };
 use lipiz_core::CellSnapshot;
 use lipiz_mpi::wire::Wire;
@@ -239,6 +240,19 @@ impl CommManager {
     /// Slave: answer a status request.
     pub fn respond_status(&self, report: &StatusReport) {
         self.world.send(Self::MASTER, tags::STATUS_RESP, report);
+    }
+
+    /// Slave: ship a telemetry summary to the master (fire-and-forget; the
+    /// master drains [`tags::TELEMETRY`] opportunistically while waiting on
+    /// the result gather).
+    pub fn send_telemetry(&self, msg: &TelemetrySummaryMsg) {
+        self.world.send(Self::MASTER, tags::TELEMETRY, msg);
+    }
+
+    /// Master: drain one pending telemetry summary, if any arrived within
+    /// `timeout` (pass [`Duration::ZERO`] for a pure poll).
+    pub fn try_recv_telemetry(&self, timeout: Duration) -> Option<TelemetrySummaryMsg> {
+        self.world.recv_timeout(RecvFrom::Any, tags::TELEMETRY, timeout).map(|(m, _)| m)
     }
 
     // ---- training collectives ----------------------------------------------
@@ -725,6 +739,7 @@ mod tests {
                     ensemble: vec![vec![0.5; 3]],
                     profile: vec![],
                     wall_seconds: 0.0,
+                    telemetry: None,
                 }));
                 None
             }

@@ -8,6 +8,7 @@
 
 use crate::comm_manager::CommManager;
 use crate::state::SlaveState;
+use lipiz_telemetry::{EventKind, SharedTelemetry};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::time::Duration;
 
@@ -67,7 +68,7 @@ pub fn run_heartbeat_loop(
     stop: &AtomicBool,
 ) -> HeartbeatLog {
     let first_dead = AtomicI64::new(NO_DEAD_SLAVE);
-    run_heartbeat_loop_with_deadline(cm, interval, response_timeout, 0, stop, &first_dead)
+    run_heartbeat_loop_with_deadline(cm, interval, response_timeout, 0, stop, &first_dead, None)
 }
 
 /// [`run_heartbeat_loop`] with a death deadline: a slave that misses
@@ -90,6 +91,13 @@ pub fn run_heartbeat_loop(
 /// rank is never convicted again, so a genuinely wedged rank behind it in
 /// round order still gets its death declared instead of being starved by
 /// an endless convict/clear cycle.
+///
+/// When `tel` is supplied, every miss and every conviction is journaled on
+/// the master's timeline: a miss event names the suspect rank and its
+/// consecutive-miss count; a conviction event names the convicted rank and
+/// the iteration it last reported — the forensic record the fault suite
+/// asserts against.
+#[allow(clippy::too_many_arguments)]
 pub fn run_heartbeat_loop_with_deadline(
     cm: &CommManager,
     interval: Duration,
@@ -97,11 +105,13 @@ pub fn run_heartbeat_loop_with_deadline(
     deadline_misses: usize,
     stop: &AtomicBool,
     first_dead: &AtomicI64,
+    tel: Option<&SharedTelemetry>,
 ) -> HeartbeatLog {
     let mut log = HeartbeatLog::default();
     let mut consecutive_misses = vec![0usize; cm.num_slaves() + 1];
     let mut finished = vec![false; cm.num_slaves() + 1];
     let mut convicted = vec![false; cm.num_slaves() + 1];
+    let mut last_reported = vec![0u64; cm.num_slaves() + 1];
     while !stop.load(Ordering::Acquire) {
         let mut round = Vec::with_capacity(cm.num_slaves());
         for slave in 1..=cm.num_slaves() {
@@ -112,6 +122,7 @@ pub fn run_heartbeat_loop_with_deadline(
             match cm.await_status(slave, response_timeout) {
                 Some(status) => {
                     *misses = 0;
+                    last_reported[slave] = status.iterations_done;
                     if status.state == SlaveState::Finished.id() {
                         *done = true;
                     }
@@ -124,6 +135,14 @@ pub fn run_heartbeat_loop_with_deadline(
                 }
                 None => {
                     *misses += 1;
+                    if let Some(t) = tel {
+                        t.instant(
+                            EventKind::HeartbeatMiss,
+                            slave as u32,
+                            last_reported[slave] as u32,
+                            *misses as u64,
+                        );
+                    }
                     if convicted[slave] && first_dead.load(Ordering::Acquire) != slave as i64 {
                         // We convicted this rank and the master cleared the
                         // verdict as stale (its result had already arrived —
@@ -147,6 +166,14 @@ pub fn run_heartbeat_loop_with_deadline(
                             .is_ok()
                         {
                             convicted[slave] = true;
+                            if let Some(t) = tel {
+                                t.instant(
+                                    EventKind::Conviction,
+                                    slave as u32,
+                                    last_reported[slave] as u32,
+                                    *misses as u64,
+                                );
+                            }
                         }
                     }
                     round.push(HeartbeatRecord {
@@ -316,6 +343,7 @@ mod tests {
                 ensemble: ensemble.genomes,
                 profile: Vec::<ProfileRowMsg>::new(),
                 wall_seconds: 0.0,
+                telemetry: None,
             }));
             None
         });
@@ -353,6 +381,7 @@ mod tests {
                             2,
                             &stop,
                             &first_dead,
+                            None,
                         )
                     });
                     // Wait for the declaration, then stop.
@@ -406,6 +435,7 @@ mod tests {
                             2,
                             &stop,
                             &first_dead,
+                            None,
                         )
                     });
                     // The master's abort predicate, in miniature: rank 1 is
@@ -464,6 +494,7 @@ mod tests {
                             1, // the harshest possible deadline
                             &stop,
                             &first_dead,
+                            None,
                         )
                     });
                     // Give the loop time to see the Finished report and

@@ -15,8 +15,11 @@ use lipiz_core::{
     CellResult, EnsembleModel, Grid, MixtureWeights, Routine, TrainConfig, TrainReport,
 };
 use lipiz_mpi::{replacement_schedule, FaultPlan, ReplacementSchedule};
+use lipiz_telemetry::{EventKind, SharedTelemetry, Telemetry, TelemetrySummary, NO_CELL};
+use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Hook the elastic master calls to bring a replacement for the given dead
@@ -76,6 +79,9 @@ pub struct MasterOutcome {
     pub heartbeat: HeartbeatLog,
     /// Raw per-slave results (cell order).
     pub slave_results: Vec<SlaveResult>,
+    /// Run telemetry merged across all slaves (`None` when `--telemetry`
+    /// is off). The CLI persists this next to the `.lpz`.
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl MasterOutcome {
@@ -171,6 +177,16 @@ pub fn run_master_elastic(
     );
     let start = Instant::now();
 
+    // Master-side telemetry: the heartbeat thread journals misses and
+    // convictions, the gather thread journals cleared verdicts, and the
+    // tag-16 drain below folds live slave summaries into a status line.
+    let tel = SharedTelemetry::new(Telemetry::from_gate(
+        cfg.telemetry.enabled,
+        0,
+        cfg.telemetry.ring_capacity,
+    ));
+    let live: Mutex<HashMap<u32, TelemetrySummary>> = Mutex::new(HashMap::new());
+
     // The master is the run's coordinator: it owns the checkpoint manifest.
     if cfg.checkpoint.enabled() {
         let dir = cfg.checkpoint.dir.as_deref().expect("enabled checkpoint has a dir");
@@ -222,6 +238,7 @@ pub fn run_master_elastic(
         let stop_ref = &stop;
         let dead_ref = &first_dead;
         let hb_opts = *opts;
+        let tel_ref = &tel;
         let hb = s.spawn(move || {
             run_heartbeat_loop_with_deadline(
                 &hb_cm,
@@ -230,10 +247,29 @@ pub fn run_master_elastic(
                 hb_opts.deadline_misses,
                 stop_ref,
                 dead_ref,
+                Some(tel_ref),
             )
         });
         let poll = opts.heartbeat_interval.max(Duration::from_millis(10));
         let results = cm.gather_results_abortable(poll, &|pending: &[usize]| {
+            // Fold any summaries slaves shipped at checkpoint boundaries
+            // into the live status line (tag 16 is only ever sent when
+            // telemetry is on, so the drain is free otherwise).
+            if tel.is_enabled() {
+                let mut drained = false;
+                while let Some(msg) = cm.try_recv_telemetry(Duration::ZERO) {
+                    let s = msg.into_summary();
+                    live.lock().expect("telemetry live map").insert(s.rank, s);
+                    drained = true;
+                }
+                if drained {
+                    let mut merged = TelemetrySummary::empty();
+                    for s in live.lock().expect("telemetry live map").values() {
+                        merged.merge(s);
+                    }
+                    eprintln!("[master] {}", merged.status_line());
+                }
+            }
             // Who do we believe is dead? A heartbeat conviction wins;
             // absent one, a pending rank whose transport connection is gone
             // (the doomed-gather signal — it fires within milliseconds of a
@@ -249,12 +285,17 @@ pub fn run_master_elastic(
                     // best-effort: the master only observes that state if a
                     // request lands in the slave's drain window). Clear the
                     // flag so a *real* death can still be recorded.
-                    let _ = first_dead.compare_exchange(
-                        convicted,
-                        NO_DEAD_SLAVE,
-                        Ordering::AcqRel,
-                        Ordering::Acquire,
-                    );
+                    if first_dead
+                        .compare_exchange(
+                            convicted,
+                            NO_DEAD_SLAVE,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        tel.instant(EventKind::ConvictionCleared, convicted as u32, 0, 0);
+                    }
                     return false;
                 }
                 convicted as usize
@@ -284,12 +325,18 @@ pub fn run_master_elastic(
                         // Otherwise this is a leftover heartbeat conviction
                         // from the death window — clear it (the heartbeat
                         // loop then exempts the rank for good).
-                        let _ = first_dead.compare_exchange(
-                            convicted,
-                            NO_DEAD_SLAVE,
-                            Ordering::AcqRel,
-                            Ordering::Acquire,
-                        );
+                        if convicted != NO_DEAD_SLAVE
+                            && first_dead
+                                .compare_exchange(
+                                    convicted,
+                                    NO_DEAD_SLAVE,
+                                    Ordering::AcqRel,
+                                    Ordering::Acquire,
+                                )
+                                .is_ok()
+                        {
+                            tel.instant(EventKind::ConvictionCleared, convicted as u32, 0, 0);
+                        }
                         return false;
                     }
                     let connected = replace(sched.victim_world)
@@ -309,11 +356,23 @@ pub fn run_master_elastic(
                                 rejoin_round: Some(sched.rejoin_round),
                             },
                         );
-                        let _ = first_dead.compare_exchange(
-                            convicted,
-                            NO_DEAD_SLAVE,
-                            Ordering::AcqRel,
-                            Ordering::Acquire,
+                        if convicted != NO_DEAD_SLAVE
+                            && first_dead
+                                .compare_exchange(
+                                    convicted,
+                                    NO_DEAD_SLAVE,
+                                    Ordering::AcqRel,
+                                    Ordering::Acquire,
+                                )
+                                .is_ok()
+                        {
+                            tel.instant(EventKind::ConvictionCleared, convicted as u32, 0, 0);
+                        }
+                        tel.instant(
+                            EventKind::Rejoin,
+                            sched.cell as u32,
+                            sched.rejoin_round as u32,
+                            sched.victim_world as u64,
                         );
                         return false;
                     }
@@ -326,11 +385,27 @@ pub fn run_master_elastic(
         (results, log)
     });
 
+    // Flush the master's own journal (conviction evidence survives even an
+    // aborted run) before deciding the outcome.
+    if let Some(dir) = cfg.telemetry.dir.as_deref() {
+        if let Err(e) = tel.write_journal(&Path::new(dir).join("master.jsonl")) {
+            eprintln!("[master] telemetry journal write failed: {e}");
+        }
+    }
+
     match gathered {
         Ok(slave_results) => {
             let wall_seconds = start.elapsed().as_secs_f64();
             let report = reduce_results(cfg, &slave_results, wall_seconds);
-            Ok(MasterOutcome { report, announcements, heartbeat, slave_results })
+            let telemetry = merge_telemetry(
+                cfg,
+                &slave_results,
+                replacement_started.load(Ordering::Acquire),
+            );
+            if let Some(merged) = &telemetry {
+                eprintln!("[master] {}", merged.status_line());
+            }
+            Ok(MasterOutcome { report, announcements, heartbeat, slave_results, telemetry })
         }
         Err(pending) => {
             // Name the actual casualty: the heartbeat conviction if one
@@ -348,6 +423,29 @@ pub fn run_master_elastic(
             Err(MasterAbort::SlaveDead { world_rank, cell: world_rank - 1, heartbeat })
         }
     }
+}
+
+/// Fold the final per-slave telemetry summaries into the run-wide view
+/// (`None` when telemetry is off). `replaced` records whether the master
+/// performed an in-flight rank replacement — a master-side fact the
+/// slaves cannot report themselves.
+fn merge_telemetry(
+    cfg: &TrainConfig,
+    slave_results: &[SlaveResult],
+    replaced: bool,
+) -> Option<TelemetrySummary> {
+    if !cfg.telemetry.is_enabled() {
+        return None;
+    }
+    let mut merged = TelemetrySummary::empty();
+    for r in slave_results {
+        if let Some(msg) = &r.telemetry {
+            merged.merge(&msg.clone().into_summary());
+        }
+    }
+    merged.cell = NO_CELL;
+    merged.replaced_ranks += u64::from(replaced);
+    Some(merged)
 }
 
 /// Reduction phase: combine per-slave results into the final report and
@@ -431,6 +529,7 @@ mod tests {
                 calls: 4,
             }],
             wall_seconds: 1.0,
+            telemetry: None,
         }
     }
 

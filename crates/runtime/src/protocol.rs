@@ -9,7 +9,7 @@ use lipiz_core::profiling::ProfileRow;
 use lipiz_core::{
     AdversaryStrategy, CellSnapshot, CheckpointConfig, CoevolutionConfig, ExchangeMode,
     FaultConfig, GridConfig, LossMode, MutationConfig, NeighborhoodPattern, ProfileReport,
-    TrainConfig, TrainingConfig,
+    TelemetryConfig, TrainConfig, TrainingConfig,
 };
 #[allow(unused_imports)]
 use lipiz_mpi::wire::Wire;
@@ -32,6 +32,8 @@ pub mod tags {
     pub const CACHE_REQ: u32 = 14;
     /// Fan-in root → replacement slave: frozen death-frame response.
     pub const CACHE_RESP: u32 = 15;
+    /// Slave → master: telemetry summary (commit boundaries + final).
+    pub const TELEMETRY: u32 = 16;
 }
 
 /// Fig. 3 "send node name to master".
@@ -200,6 +202,8 @@ pub struct SlaveResult {
     pub profile: Vec<ProfileRowMsg>,
     /// Wall seconds this slave spent in the training loop.
     pub wall_seconds: f64,
+    /// Final telemetry summary (`None` when telemetry is off).
+    pub telemetry: Option<TelemetrySummaryMsg>,
 }
 wire_struct!(SlaveResult {
     cell,
@@ -209,7 +213,118 @@ wire_struct!(SlaveResult {
     ensemble,
     profile,
     wall_seconds,
+    telemetry,
 });
+
+/// Wire mirror of [`lipiz_telemetry::TelemetrySummary`] — the compact
+/// per-rank aggregate shipped on [`tags::TELEMETRY`] at checkpoint commit
+/// boundaries and inside the final [`SlaveResult`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySummaryMsg {
+    /// Reporting world rank.
+    pub rank: u32,
+    /// Grid cell the rank trains.
+    pub cell: u32,
+    /// Iterations completed.
+    pub iterations: u64,
+    /// Gather-latency histogram: 64 log2 buckets, then count, then sum.
+    pub gather_buckets: Vec<u64>,
+    /// Gather observation count.
+    pub gather_count: u64,
+    /// Gather total nanoseconds.
+    pub gather_sum: u64,
+    /// Train-latency histogram buckets.
+    pub train_buckets: Vec<u64>,
+    /// Train observation count.
+    pub train_count: u64,
+    /// Train total nanoseconds.
+    pub train_sum: u64,
+    /// Exchange submit-to-consume wall nanoseconds.
+    pub exchange_wall_ns: u64,
+    /// Checkpoints committed.
+    pub checkpoints: u64,
+    /// Iterations gathered against a frozen death-frame.
+    pub degraded_iters: u64,
+    /// Snapshot staleness bound in effect.
+    pub staleness: u64,
+    /// In-flight rejoins performed.
+    pub rejoined: u64,
+    /// Ranks replaced in-flight (master-side).
+    pub replaced_ranks: u64,
+    /// Journal records lost to ring overwrites.
+    pub dropped_events: u64,
+}
+wire_struct!(TelemetrySummaryMsg {
+    rank,
+    cell,
+    iterations,
+    gather_buckets,
+    gather_count,
+    gather_sum,
+    train_buckets,
+    train_count,
+    train_sum,
+    exchange_wall_ns,
+    checkpoints,
+    degraded_iters,
+    staleness,
+    rejoined,
+    replaced_ranks,
+    dropped_events,
+});
+
+impl From<&lipiz_telemetry::TelemetrySummary> for TelemetrySummaryMsg {
+    fn from(s: &lipiz_telemetry::TelemetrySummary) -> Self {
+        Self {
+            rank: s.rank,
+            cell: s.cell,
+            iterations: s.iterations,
+            gather_buckets: s.gather_ns.buckets.to_vec(),
+            gather_count: s.gather_ns.count,
+            gather_sum: s.gather_ns.sum,
+            train_buckets: s.train_ns.buckets.to_vec(),
+            train_count: s.train_ns.count,
+            train_sum: s.train_ns.sum,
+            exchange_wall_ns: s.exchange_wall_ns,
+            checkpoints: s.checkpoints,
+            degraded_iters: s.degraded_iters,
+            staleness: s.staleness,
+            rejoined: s.rejoined,
+            replaced_ranks: s.replaced_ranks,
+            dropped_events: s.dropped_events,
+        }
+    }
+}
+
+impl TelemetrySummaryMsg {
+    /// Rebuild the telemetry-crate summary. Bucket vectors of the wrong
+    /// length are truncated/zero-padded to the fixed 64 — a decoding
+    /// summary must never panic the master over a malformed report.
+    pub fn into_summary(self) -> lipiz_telemetry::TelemetrySummary {
+        let mut s = lipiz_telemetry::TelemetrySummary::empty();
+        s.rank = self.rank;
+        s.cell = self.cell;
+        s.iterations = self.iterations;
+        for (dst, src) in s.gather_ns.buckets.iter_mut().zip(&self.gather_buckets) {
+            *dst = *src;
+        }
+        s.gather_ns.count = self.gather_count;
+        s.gather_ns.sum = self.gather_sum;
+        for (dst, src) in s.train_ns.buckets.iter_mut().zip(&self.train_buckets) {
+            *dst = *src;
+        }
+        s.train_ns.count = self.train_count;
+        s.train_ns.sum = self.train_sum;
+        s.exchange_wall_ns = self.exchange_wall_ns;
+        s.checkpoints = self.checkpoints;
+        s.degraded_iters = self.degraded_iters;
+        s.staleness = self.staleness;
+        s.rejoined = self.rejoined;
+        s.replaced_ranks = self.replaced_ranks;
+        s.dropped_events = self.dropped_events;
+        s
+    }
+}
 
 impl SlaveResult {
     /// Convert the profile rows into a core [`ProfileReport`].
@@ -266,6 +381,9 @@ pub struct ConfigMsg {
     fault_max_stale_iters: usize,
     fault_plan: Option<String>,
     exchange_mode: u8,
+    telemetry_enabled: bool,
+    telemetry_dir: Option<String>,
+    telemetry_ring: usize,
     seed: u64,
 }
 wire_struct!(ConfigMsg {
@@ -304,6 +422,9 @@ wire_struct!(ConfigMsg {
     fault_max_stale_iters,
     fault_plan,
     exchange_mode,
+    telemetry_enabled,
+    telemetry_dir,
+    telemetry_ring,
     seed,
 });
 
@@ -390,6 +511,9 @@ impl From<&TrainConfig> for ConfigMsg {
             fault_max_stale_iters: c.fault.max_stale_iters,
             fault_plan: c.fault.plan.clone(),
             exchange_mode: exchange_id(c.exchange),
+            telemetry_enabled: c.telemetry.enabled,
+            telemetry_dir: c.telemetry.dir.clone(),
+            telemetry_ring: c.telemetry.ring_capacity,
             seed: c.seed,
         }
     }
@@ -462,6 +586,11 @@ impl ConfigMsg {
                 plan: self.fault_plan,
             },
             exchange: exchange_from_id(self.exchange_mode).expect("valid exchange mode id"),
+            telemetry: TelemetryConfig {
+                enabled: self.telemetry_enabled,
+                dir: self.telemetry_dir,
+                ring_capacity: self.telemetry_ring,
+            },
             seed: self.seed,
         }
     }
@@ -483,6 +612,7 @@ mod tests {
             TrainConfig::smoke(2).with_fault_plan("kill:3@2;delay:1>2:*@4:50", 2),
             TrainConfig::smoke(2).with_heartbeat(25, 4),
             TrainConfig::smoke(2).with_exchange(ExchangeMode::Async),
+            TrainConfig::smoke(2).with_telemetry("tel/run1", 4096),
         ] {
             let msg = ConfigMsg::from(&cfg);
             let bytes = msg.to_bytes();
@@ -575,6 +705,7 @@ mod tests {
             ensemble: vec![vec![1.0, -2.0, 3.0], vec![0.5; 4]],
             profile: vec![ProfileRowMsg { routine: "train".into(), seconds: 1.5, calls: 10 }],
             wall_seconds: 2.25,
+            telemetry: None,
         };
         let back = SlaveResult::from_bytes(&r.to_bytes()).unwrap();
         assert_eq!(back, r);
@@ -589,6 +720,39 @@ mod tests {
         assert_eq!(StatusReport::from_bytes(&s.to_bytes()).unwrap(), s);
         let a = NodeAnnouncement { rank: 5, node_name: "node03".into() };
         assert_eq!(NodeAnnouncement::from_bytes(&a.to_bytes()).unwrap(), a);
+    }
+
+    #[test]
+    fn telemetry_summary_round_trips() {
+        let mut s = lipiz_telemetry::TelemetrySummary::empty();
+        s.rank = 3;
+        s.cell = 2;
+        s.iterations = 6;
+        s.gather_ns.observe(1_500);
+        s.gather_ns.observe(900_000);
+        s.train_ns.observe(4_000_000);
+        s.exchange_wall_ns = 5_000_000;
+        s.checkpoints = 3;
+        s.degraded_iters = 2;
+        s.staleness = 1;
+        s.rejoined = 1;
+        s.dropped_events = 9;
+        let msg = TelemetrySummaryMsg::from(&s);
+        let back = TelemetrySummaryMsg::from_bytes(&msg.to_bytes()).unwrap().into_summary();
+        assert_eq!(back, s);
+
+        // A result carrying a summary round-trips too.
+        let r = SlaveResult {
+            cell: 2,
+            gen_fitness: 0.5,
+            disc_fitness: 0.75,
+            mixture: vec![1.0],
+            ensemble: vec![vec![0.5]],
+            profile: Vec::new(),
+            wall_seconds: 1.0,
+            telemetry: Some(msg),
+        };
+        assert_eq!(SlaveResult::from_bytes(&r.to_bytes()).unwrap(), r);
     }
 
     #[test]
@@ -607,6 +771,7 @@ mod tests {
             tags::STATUS_RESP,
             tags::CACHE_REQ,
             tags::CACHE_RESP,
+            tags::TELEMETRY,
         ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {

@@ -10,11 +10,14 @@
 
 use crate::checkpoint::{self, CheckpointWriter};
 use crate::comm_manager::CommManager;
-use crate::protocol::{ProfileRowMsg, SlaveResult, SnapshotMsg, StatusReport};
+use crate::protocol::{
+    ProfileRowMsg, SlaveResult, SnapshotMsg, StatusReport, TelemetrySummaryMsg,
+};
 use crate::state::SlaveState;
 use lipiz_core::{CellEngine, CellSnapshot, Grid, Profiler, TrainConfig};
 use lipiz_mpi::wire::Wire;
 use lipiz_mpi::{process_faults_enabled, replacement_schedule, DegradedGather, FaultPlan};
+use lipiz_telemetry::{EventKind, SpanKind, Telemetry};
 use lipiz_tensor::{Matrix, Pool};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
@@ -136,10 +139,16 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
     // heartbeats while data synthesis runs.
     let mut result_slot: Option<SlaveResult> = None;
 
+    // Journal files are keyed by NODE NAME, not rank: a replacement process
+    // re-running a victim's rank announces a different name, so the
+    // victim's kill-flushed journal is never clobbered.
+    let journal_file = format!("{node_name}.jsonl");
+
     std::thread::scope(|s| {
         // Execution thread: training loop with per-iteration allgather.
         let mut exec_cm = cm.clone();
         let exec_cfg = cfg.clone();
+        let journal_file = journal_file.clone();
         let exec = s.spawn({
             let iterations_done = &iterations_done;
             let done = &done;
@@ -156,6 +165,31 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
                     }
                 }
                 let _done_on_exit = DoneGuard(done);
+
+                // Run telemetry: free when the config gate is off (no ring,
+                // dead branches), observational-only when on — it never
+                // touches RNG or training state, so the `.lpz` stays
+                // byte-identical either way.
+                let mut tel = Telemetry::from_gate(
+                    exec_cfg.telemetry.enabled,
+                    exec_cm.world_rank() as u32,
+                    exec_cfg.telemetry.ring_capacity,
+                );
+                let cell_u32 = cell_index as u32;
+                if exec_cfg.exchange.is_async() {
+                    tel.metrics.staleness.set(1);
+                }
+                let flush_journal = |tel: &Telemetry| {
+                    if let Some(dir) = exec_cfg.telemetry.dir.as_deref() {
+                        let path = Path::new(dir).join(&journal_file);
+                        if let Err(e) = tel.write_journal(&path) {
+                            eprintln!(
+                                "telemetry: journal write failed ({}): {e}",
+                                path.display()
+                            );
+                        }
+                    }
+                };
 
                 let start = Instant::now();
                 let data = make_data(cell_index, &exec_cfg);
@@ -256,7 +290,15 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
                         neighbor_ids.iter().map(|&n| frozen[n].clone()).collect();
                     while engine.iterations_done() < rejoin {
                         let iter = engine.iterations_done();
-                        engine.run_iteration(&frozen_neighbors, &mut profiler);
+                        // Catch-up gathers run against the frozen frame.
+                        tel.instant(
+                            EventKind::Degraded,
+                            cell_u32,
+                            iter as u32,
+                            cell_u32 as u64,
+                        );
+                        tel.metrics.degraded_iters.inc();
+                        engine.run_iteration_with(&frozen_neighbors, &mut profiler, &mut tel);
                         iterations_done.fetch_add(1, Ordering::Release);
                         maybe_commit_checkpoint(
                             &writer,
@@ -266,7 +308,18 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
                             &mut profiler,
                             async_mode.then_some(frozen.as_slice()),
                         );
+                        if writer.is_some() && exec_cfg.checkpoint.commits_after(iter) {
+                            tel.metrics.checkpoints.inc();
+                            tel.instant(
+                                EventKind::CheckpointCommit,
+                                cell_u32,
+                                iter as u32,
+                                (iter + 1) as u64,
+                            );
+                        }
                     }
+                    tel.metrics.rejoined.inc();
+                    tel.instant(EventKind::Rejoin, cell_u32, rejoin as u32, 0);
                     // Under async the rejoiner never received generation
                     // `rejoin - 1`; the frozen death-frame stands in as the
                     // frame its first live iteration consumes — still a
@@ -289,6 +342,15 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
                 let mut exchanger =
                     async_mode.then(|| exec_cm.start_async_exchange(gather_ctl.take()));
 
+                // Degraded-gather observability (sync fan-in root only: the
+                // async controller lives on the exchange thread): previous
+                // per-rank stale-run counts, so a round that substituted a
+                // rank's contribution journals who was absent.
+                let mut prev_stale: Vec<usize> = vec![0; exec_cfg.cells()];
+                // Submit time of the in-flight async generation (staleness
+                // is fixed at 1, so at most one is pending).
+                let mut inflight_submit: Option<Instant> = None;
+
                 while engine.iterations_done() < target {
                     let iter = engine.iterations_done();
                     exec_cm.tick_fault_clock(iter);
@@ -303,6 +365,11 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
                                 panic!("cell {cell_index}: checkpoint commit failed: {e}")
                             });
                         }
+                        // Last words: journal the scripted death and flush —
+                        // SIGKILL runs no destructors, so the file must be
+                        // durable before the signal.
+                        tel.instant(EventKind::Kill, cell_u32, iter as u32, 0);
+                        flush_journal(&tel);
                         fault_self_kill();
                     }
                     // Gather: allgather my center, pick my neighbors. In
@@ -310,30 +377,92 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
                     // against the completed generation `iter - 1` (gen 0
                     // bootstraps iteration 0 synchronously); only the
                     // exposed (non-overlapped) wait is paid here.
-                    let gather_start = Instant::now();
+                    let gather_span = tel.begin(SpanKind::Gather, cell_u32, iter as u32);
                     engine.snapshot_into(&mut snapshot);
                     let all = match exchanger.as_mut() {
                         Some(ex) => {
                             let pending = exec_cm.begin_exchange(&snapshot);
                             ex.submit(pending, iter);
-                            match ready.take() {
+                            tel.instant(
+                                EventKind::ExchangeBegin,
+                                cell_u32,
+                                iter as u32,
+                                iter as u64,
+                            );
+                            let prev_submit = inflight_submit.replace(Instant::now());
+                            let frame = match ready.take() {
                                 Some(frame) => frame,
                                 None => ex.retrieve(),
-                            }
+                            };
+                            // Submit-to-consume wall of the generation just
+                            // consumed (`iter - 1`; gen 0 bootstraps itself).
+                            let consumed = iter.saturating_sub(1);
+                            let since = prev_submit.unwrap_or_else(|| {
+                                inflight_submit.expect("submit recorded above")
+                            });
+                            tel.metrics.exchange_wall_ns.add(since.elapsed().as_nanos() as u64);
+                            tel.instant(
+                                EventKind::ExchangeComplete,
+                                cell_u32,
+                                iter as u32,
+                                consumed as u64,
+                            );
+                            frame
                         }
-                        None => match gather_ctl.as_mut() {
-                            Some(ctl) => {
-                                exec_cm.exchange_centers_degraded(&snapshot, iter, ctl)
-                            }
-                            None => exec_cm.exchange_centers(&snapshot),
-                        },
+                        None => {
+                            tel.instant(
+                                EventKind::ExchangeBegin,
+                                cell_u32,
+                                iter as u32,
+                                iter as u64,
+                            );
+                            let t0 = Instant::now();
+                            let all = match gather_ctl.as_mut() {
+                                Some(ctl) => {
+                                    let all =
+                                        exec_cm.exchange_centers_degraded(&snapshot, iter, ctl);
+                                    // Journal which ranks this round had to
+                                    // substitute with stale frames.
+                                    let mut degraded = false;
+                                    for (r, prev) in prev_stale.iter_mut().enumerate() {
+                                        let run = ctl.stale_run(r);
+                                        if run > *prev {
+                                            tel.instant(
+                                                EventKind::Degraded,
+                                                cell_u32,
+                                                iter as u32,
+                                                r as u64,
+                                            );
+                                            degraded = true;
+                                        }
+                                        *prev = run;
+                                    }
+                                    if degraded {
+                                        tel.metrics.degraded_iters.inc();
+                                    }
+                                    all
+                                }
+                                None => exec_cm.exchange_centers(&snapshot),
+                            };
+                            tel.metrics.exchange_wall_ns.add(t0.elapsed().as_nanos() as u64);
+                            tel.instant(
+                                EventKind::ExchangeComplete,
+                                cell_u32,
+                                iter as u32,
+                                iter as u64,
+                            );
+                            all
+                        }
                     };
                     neighbors.resize_with(neighbor_ids.len(), CellSnapshot::empty);
                     for (slot, &n) in neighbor_ids.iter().enumerate() {
                         neighbors[slot].copy_from(&all[n]);
                     }
-                    profiler.record(lipiz_core::Routine::Gather, gather_start.elapsed());
-                    engine.run_iteration(&neighbors, &mut profiler);
+                    profiler.record(
+                        lipiz_core::Routine::Gather,
+                        tel.end(SpanKind::Gather, cell_u32, iter as u32, gather_span),
+                    );
+                    engine.run_iteration_with(&neighbors, &mut profiler, &mut tel);
                     iterations_done.fetch_add(1, Ordering::Release);
                     if exchanger.is_some() && iter == 0 {
                         // The structural staleness starts here: generation 0
@@ -361,6 +490,23 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
                         &mut profiler,
                         if async_mode { ready.as_deref() } else { None },
                     );
+                    if writer.is_some() && exec_cfg.checkpoint.commits_after(iter) {
+                        tel.metrics.checkpoints.inc();
+                        tel.instant(
+                            EventKind::CheckpointCommit,
+                            cell_u32,
+                            iter as u32,
+                            (iter + 1) as u64,
+                        );
+                        // Commit boundaries double as reporting boundaries:
+                        // ship the running aggregate so the master's status
+                        // line tracks the fleet live.
+                        if tel.is_enabled() {
+                            exec_cm.send_telemetry(&TelemetrySummaryMsg::from(
+                                &tel.summary(cell_u32),
+                            ));
+                        }
+                    }
                 }
                 if let Some(ex) = exchanger.take() {
                     // Finish the final generation collectively — every rank
@@ -377,6 +523,9 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
                 }
                 state_atomic.store(SlaveState::Finished.id(), Ordering::Release);
                 done.store(true, Ordering::Release);
+                flush_journal(&tel);
+                let telemetry =
+                    tel.is_enabled().then(|| TelemetrySummaryMsg::from(&tel.summary(cell_u32)));
                 let disc_pop = engine.disc_population();
                 let disc_fitness = disc_pop.members()[disc_pop.best_index()].fitness;
                 let ensemble = engine.ensemble();
@@ -397,6 +546,7 @@ pub fn run_slave(cm: &CommManager, make_data: DataFactory<'_>, node_name: &str) 
                         })
                         .collect(),
                     wall_seconds: start.elapsed().as_secs_f64(),
+                    telemetry,
                 }
             }
         });

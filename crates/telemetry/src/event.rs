@@ -1,0 +1,243 @@
+//! The fixed-size event record and its taxonomy.
+
+/// Cell stamp for events that concern a whole rank (or the whole grid)
+/// rather than one cell.
+pub const NO_CELL: u32 = u32::MAX;
+
+/// Everything the journal can record. Span kinds come in begin/end pairs
+/// (the Table IV routines); the rest are instant events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// Gather span opened (neighbor exchange / snapshot refresh).
+    GatherBegin = 0,
+    /// Gather span closed.
+    GatherEnd = 1,
+    /// Mutate span opened (hyperparameter mutation).
+    MutateBegin = 2,
+    /// Mutate span closed.
+    MutateEnd = 3,
+    /// Train span opened (mini-batch adversarial steps).
+    TrainBegin = 4,
+    /// Train span closed.
+    TrainEnd = 5,
+    /// Update-genomes span opened (re-evaluation + promotion + mixture ES).
+    UpdateBegin = 6,
+    /// Update-genomes span closed.
+    UpdateEnd = 7,
+    /// Other span opened (checkpoint capture, bookkeeping).
+    OtherBegin = 8,
+    /// Other span closed.
+    OtherEnd = 9,
+    /// Neighbor exchange posted (async: handed to the exchange thread;
+    /// sync: the blocking allgather started). `arg` = generation.
+    ExchangeBegin = 10,
+    /// A gathered neighbor frame became available to compute.
+    /// `arg` = the generation consumed.
+    ExchangeComplete = 11,
+    /// A checkpoint cut was committed. `arg` = committed iteration.
+    CheckpointCommit = 12,
+    /// The master's heartbeat missed a slave's status response.
+    /// `cell` = suspect world rank, `arg` = consecutive misses so far.
+    HeartbeatMiss = 13,
+    /// The heartbeat convicted a slave as dead. `cell` = convicted world
+    /// rank, `iter` = its last reported iteration count.
+    Conviction = 14,
+    /// A conviction was cleared (stale verdict, or replacement done).
+    /// `cell` = the previously convicted world rank.
+    ConvictionCleared = 15,
+    /// A gather substituted a dead rank's frozen death-frame.
+    /// `arg` = the absent world rank.
+    Degraded = 16,
+    /// A replacement rank finished solo catch-up and joined the live
+    /// exchange. `iter` = the rejoin round.
+    Rejoin = 17,
+    /// A scripted kill boundary was reached; the process dies after this
+    /// record is flushed.
+    Kill = 18,
+}
+
+impl EventKind {
+    /// Every kind, in discriminant order.
+    pub const ALL: [EventKind; 19] = [
+        EventKind::GatherBegin,
+        EventKind::GatherEnd,
+        EventKind::MutateBegin,
+        EventKind::MutateEnd,
+        EventKind::TrainBegin,
+        EventKind::TrainEnd,
+        EventKind::UpdateBegin,
+        EventKind::UpdateEnd,
+        EventKind::OtherBegin,
+        EventKind::OtherEnd,
+        EventKind::ExchangeBegin,
+        EventKind::ExchangeComplete,
+        EventKind::CheckpointCommit,
+        EventKind::HeartbeatMiss,
+        EventKind::Conviction,
+        EventKind::ConvictionCleared,
+        EventKind::Degraded,
+        EventKind::Rejoin,
+        EventKind::Kill,
+    ];
+
+    /// Stable journal name of this kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::GatherBegin => "gather_begin",
+            EventKind::GatherEnd => "gather_end",
+            EventKind::MutateBegin => "mutate_begin",
+            EventKind::MutateEnd => "mutate_end",
+            EventKind::TrainBegin => "train_begin",
+            EventKind::TrainEnd => "train_end",
+            EventKind::UpdateBegin => "update_begin",
+            EventKind::UpdateEnd => "update_end",
+            EventKind::OtherBegin => "other_begin",
+            EventKind::OtherEnd => "other_end",
+            EventKind::ExchangeBegin => "exchange_begin",
+            EventKind::ExchangeComplete => "exchange_complete",
+            EventKind::CheckpointCommit => "checkpoint_commit",
+            EventKind::HeartbeatMiss => "heartbeat_miss",
+            EventKind::Conviction => "conviction",
+            EventKind::ConvictionCleared => "conviction_cleared",
+            EventKind::Degraded => "degraded",
+            EventKind::Rejoin => "rejoin",
+            EventKind::Kill => "kill",
+        }
+    }
+
+    /// Inverse of [`EventKind::name`].
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        EventKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// For a span-begin kind, the name of the span it opens (the Table IV
+    /// routine name); `None` for end markers and instants.
+    pub fn span_open(self) -> Option<&'static str> {
+        match self {
+            EventKind::GatherBegin => Some("gather"),
+            EventKind::MutateBegin => Some("mutate"),
+            EventKind::TrainBegin => Some("train"),
+            EventKind::UpdateBegin => Some("update genomes"),
+            EventKind::OtherBegin => Some("other"),
+            _ => None,
+        }
+    }
+
+    /// For a span-end kind, the name of the span it closes.
+    pub fn span_close(self) -> Option<&'static str> {
+        match self {
+            EventKind::GatherEnd => Some("gather"),
+            EventKind::MutateEnd => Some("mutate"),
+            EventKind::TrainEnd => Some("train"),
+            EventKind::UpdateEnd => Some("update genomes"),
+            EventKind::OtherEnd => Some("other"),
+            _ => None,
+        }
+    }
+}
+
+/// The five Table IV span kinds, mirroring `lipiz_core::Routine` (this
+/// crate sits below core in the dependency graph, so it defines its own
+/// copy; core maps between the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Neighbor gather / snapshot refresh.
+    Gather,
+    /// Hyperparameter mutation.
+    Mutate,
+    /// Mini-batch adversarial training.
+    Train,
+    /// Genome re-evaluation and replacement.
+    Update,
+    /// Everything else (checkpoint capture, bookkeeping).
+    Other,
+}
+
+impl SpanKind {
+    /// The event kind that opens this span.
+    pub fn begin_kind(self) -> EventKind {
+        match self {
+            SpanKind::Gather => EventKind::GatherBegin,
+            SpanKind::Mutate => EventKind::MutateBegin,
+            SpanKind::Train => EventKind::TrainBegin,
+            SpanKind::Update => EventKind::UpdateBegin,
+            SpanKind::Other => EventKind::OtherBegin,
+        }
+    }
+
+    /// The event kind that closes this span.
+    pub fn end_kind(self) -> EventKind {
+        match self {
+            SpanKind::Gather => EventKind::GatherEnd,
+            SpanKind::Mutate => EventKind::MutateEnd,
+            SpanKind::Train => EventKind::TrainEnd,
+            SpanKind::Update => EventKind::UpdateEnd,
+            SpanKind::Other => EventKind::OtherEnd,
+        }
+    }
+}
+
+/// One fixed-size journal record: 24 bytes of payload, no heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic nanoseconds since the recorder's origin (virtual
+    /// nanoseconds for the cluster simulator).
+    pub t_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Cell the event concerns ([`NO_CELL`] for rank-wide events; world
+    /// rank for the master's heartbeat verdicts).
+    pub cell: u32,
+    /// Training iteration the event belongs to.
+    pub iter: u32,
+    /// Kind-specific argument (generation, miss count, absent rank, …).
+    pub arg: u64,
+}
+
+impl Event {
+    /// A zeroed placeholder record (ring pre-fill).
+    pub fn empty() -> Self {
+        Self { t_ns: 0, kind: EventKind::GatherBegin, cell: 0, iter: 0, arg: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for k in EventKind::ALL {
+            assert_eq!(EventKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(EventKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<_> = EventKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), EventKind::ALL.len());
+    }
+
+    #[test]
+    fn span_kinds_pair_up() {
+        for s in [
+            SpanKind::Gather,
+            SpanKind::Mutate,
+            SpanKind::Train,
+            SpanKind::Update,
+            SpanKind::Other,
+        ] {
+            let open = s.begin_kind().span_open().expect("begin opens");
+            let close = s.end_kind().span_close().expect("end closes");
+            assert_eq!(open, close);
+            assert!(s.begin_kind().span_close().is_none());
+            assert!(s.end_kind().span_open().is_none());
+        }
+        assert!(EventKind::Kill.span_open().is_none());
+        assert!(EventKind::Kill.span_close().is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! Fixed-capacity event ring: the allocation-free journal storage.
+
+use crate::event::Event;
+
+/// Default ring capacity when the configuration leaves it at 0.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// A bounded ring of [`Event`]s. All storage is allocated once at
+/// construction; recording is index arithmetic plus a slot store. When
+/// the ring is full the **oldest** record is overwritten and
+/// [`EventRing::dropped`] ticks — the newest events (the interesting end
+/// of a run: kills, rejoins, the final iterations) always survive.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<Event>,
+    /// Index of the logically first (oldest) record.
+    head: usize,
+    /// Number of live records (≤ capacity).
+    len: usize,
+    /// Records overwritten because the ring was full.
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (clamped to ≥ 1); the
+    /// single allocation happens here.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { buf: vec![Event::empty(); capacity], head: 0, len: 0, dropped: 0 }
+    }
+
+    /// Append a record; overwrites the oldest (and counts a drop) when
+    /// full. Never allocates.
+    pub fn record(&mut self, e: Event) {
+        let cap = self.buf.len();
+        if self.len < cap {
+            let tail = (self.head + self.len) % cap;
+            self.buf[tail] = e;
+            self.len += 1;
+        } else {
+            self.buf[self.head] = e;
+            self.head = (self.head + 1) % cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Live records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        let cap = self.buf.len();
+        (0..self.len).map(move |i| &self.buf[(self.head + i) % cap])
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum number of records the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Records lost to overwrites so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(t: u64) -> Event {
+        Event { t_ns: t, kind: EventKind::TrainBegin, cell: 0, iter: t as u32, arg: 0 }
+    }
+
+    #[test]
+    fn records_in_order_until_full() {
+        let mut r = EventRing::new(4);
+        for t in 0..3 {
+            r.record(ev(t));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 0);
+        let ts: Vec<u64> = r.iter().map(|e| e.t_ns).collect();
+        assert_eq!(ts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let mut r = EventRing::new(3);
+        for t in 0..7 {
+            r.record(ev(t));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.capacity(), 3);
+        assert_eq!(r.dropped(), 4);
+        let ts: Vec<u64> = r.iter().map(|e| e.t_ns).collect();
+        assert_eq!(ts, vec![4, 5, 6], "the newest records survive");
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let mut r = EventRing::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.record(ev(1));
+        r.record(ev(2));
+        assert_eq!(r.iter().map(|e| e.t_ns).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(r.dropped(), 1);
+    }
+}

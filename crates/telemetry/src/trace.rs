@@ -1,0 +1,144 @@
+//! Chrome trace-event export: merge per-rank journals into one timeline
+//! that loads in Perfetto / `chrome://tracing`.
+//!
+//! Each rank becomes one track (`tid` = rank, named via a `thread_name`
+//! metadata event). Span begin/end records become `"B"`/`"E"` duration
+//! events under the Table IV routine names; everything else becomes a
+//! thread-scoped `"i"` instant, so a mid-run kill, the frozen-frame
+//! degradation window, and the rejoin are visible on the right rank's
+//! track. Timestamps are the journal's nanoseconds converted to the
+//! format's microseconds — real monotonic time for the distributed
+//! drivers, virtual time for the cluster simulator, same format either
+//! way so the two timelines are directly comparable.
+
+use crate::journal::RankJournal;
+use std::fmt::Write as _;
+
+/// Render journals into a complete Chrome trace-event JSON document.
+pub fn chrome_trace(journals: &[RankJournal]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    for j in journals {
+        emit(&mut out, &mut first, |out| {
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"rank {:02}\"}}}}",
+                j.rank, j.rank
+            );
+        });
+        for e in &j.events {
+            let ts = e.t_ns as f64 / 1000.0;
+            if let Some(name) = e.kind.span_open() {
+                emit(&mut out, &mut first, |out| {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"B\",\"pid\":0,\"tid\":{},\"ts\":{ts:.3},\"name\":\"{name}\",\"args\":{{\"cell\":{},\"iter\":{}}}}}",
+                        j.rank, e.cell as i64, e.iter
+                    );
+                });
+            } else if let Some(name) = e.kind.span_close() {
+                emit(&mut out, &mut first, |out| {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"E\",\"pid\":0,\"tid\":{},\"ts\":{ts:.3},\"name\":\"{name}\"}}",
+                        j.rank
+                    );
+                });
+            } else {
+                emit(&mut out, &mut first, |out| {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"i\",\"pid\":0,\"tid\":{},\"ts\":{ts:.3},\"name\":\"{}\",\"s\":\"t\",\"args\":{{\"cell\":{},\"iter\":{},\"arg\":{}}}}}",
+                        j.rank,
+                        e.kind.name(),
+                        e.cell as i64,
+                        e.iter,
+                        e.arg
+                    );
+                });
+            }
+        }
+        if j.dropped > 0 {
+            emit(&mut out, &mut first, |out| {
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"i\",\"pid\":0,\"tid\":{},\"ts\":0.000,\"name\":\"events_dropped\",\"s\":\"t\",\"args\":{{\"dropped\":{}}}}}",
+                    j.rank, j.dropped
+                );
+            });
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+fn emit(out: &mut String, first: &mut bool, f: impl FnOnce(&mut String)) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    f(out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind};
+
+    fn journal() -> RankJournal {
+        RankJournal {
+            rank: 3,
+            dropped: 0,
+            events: vec![
+                Event { t_ns: 1_000, kind: EventKind::GatherBegin, cell: 2, iter: 0, arg: 0 },
+                Event { t_ns: 4_500, kind: EventKind::GatherEnd, cell: 2, iter: 0, arg: 3_500 },
+                Event { t_ns: 9_000, kind: EventKind::Kill, cell: 2, iter: 2, arg: 0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn golden_trace_document() {
+        // The exporter's exact output is part of the format contract: a
+        // byte change here is a change Perfetto users will see.
+        let got = chrome_trace(&[journal()]);
+        let want = concat!(
+            "{\"traceEvents\":[\n",
+            "{\"ph\":\"M\",\"pid\":0,\"tid\":3,\"name\":\"thread_name\",\"args\":{\"name\":\"rank 03\"}},\n",
+            "{\"ph\":\"B\",\"pid\":0,\"tid\":3,\"ts\":1.000,\"name\":\"gather\",\"args\":{\"cell\":2,\"iter\":0}},\n",
+            "{\"ph\":\"E\",\"pid\":0,\"tid\":3,\"ts\":4.500,\"name\":\"gather\"},\n",
+            "{\"ph\":\"i\",\"pid\":0,\"tid\":3,\"ts\":9.000,\"name\":\"kill\",\"s\":\"t\",\"args\":{\"cell\":2,\"iter\":2,\"arg\":0}}\n",
+            "],\"displayTimeUnit\":\"ms\"}\n",
+        );
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn balanced_begin_end_pairs() {
+        let trace = chrome_trace(&[journal()]);
+        assert_eq!(
+            trace.matches("\"ph\":\"B\"").count(),
+            trace.matches("\"ph\":\"E\"").count()
+        );
+    }
+
+    #[test]
+    fn drop_marker_appears() {
+        let mut j = journal();
+        j.dropped = 7;
+        let trace = chrome_trace(&[j]);
+        assert!(trace.contains("\"events_dropped\""));
+        assert!(trace.contains("\"dropped\":7"));
+    }
+
+    #[test]
+    fn one_track_per_rank() {
+        let mut a = journal();
+        a.rank = 1;
+        let mut b = journal();
+        b.rank = 2;
+        let trace = chrome_trace(&[a, b]);
+        assert!(trace.contains("\"name\":\"rank 01\""));
+        assert!(trace.contains("\"name\":\"rank 02\""));
+    }
+}

@@ -9,6 +9,7 @@
 //! lipizzaner slave  --connect 192.168.0.10:4455           # join a multi-machine run by hand
 //! lipizzaner sample --model model.lpz --count 16 --gallery samples.pgm
 //! lipizzaner info   --model model.lpz
+//! lipizzaner trace  --journals telemetry/ --out trace.json   # Perfetto timeline
 //! ```
 
 use lipizzaner::core::{persist, CellState, TransportKind};
@@ -37,9 +38,10 @@ fn main() -> ExitCode {
         Some("slave") => cmd_slave(&args[1..]),
         Some("sample") => cmd_sample(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         _ => {
             eprintln!(
-                "usage: lipizzaner <train|launch|resume|slave|sample|info> [options]\n\
+                "usage: lipizzaner <train|launch|resume|slave|sample|info|trace> [options]\n\
                  \n\
                  train   --grid N | --rows R --cols C   --iterations I --batches B\n\
                  \u{20}       --driver sequential|distributed|cluster-sim --transport in-process|tcp\n\
@@ -47,6 +49,10 @@ fn main() -> ExitCode {
                  \u{20}       --exchange sync|async (overlap the neighbor gather with compute;\n\
                  \u{20}       deterministic, trains against the previous round's snapshots)\n\
                  \u{20}       --checkpoint-dir DIR [--checkpoint-every N] [--pause-after K]\n\
+                 \u{20}       --telemetry [--telemetry-dir DIR] [--telemetry-ring N]\n\
+                 \u{20}       (allocation-free event journal + per-rank metrics; off by default\n\
+                 \u{20}       and observational-only — results are byte-identical either way;\n\
+                 \u{20}       with --out, a merged run summary lands next to the .lpz)\n\
                  launch  same training flags as train; spawns one slave OS process per grid\n\
                  \u{20}       cell plus a TCP master (--bind HOST:PORT, default 127.0.0.1:0);\n\
                  \u{20}       --no-spawn waits for hand-started slaves instead (multi-machine);\n\
@@ -62,7 +68,9 @@ fn main() -> ExitCode {
                  \u{20}       layout, incl. --shards and checkpointing, arrives in the wire config);\n\
                  \u{20}       --rejoin attaches as the in-flight replacement for a dead rank\n\
                  sample  --model FILE.lpz --count N [--gallery FILE.pgm]\n\
-                 info    --model FILE.lpz"
+                 info    --model FILE.lpz\n\
+                 trace   --journals DIR [--out FILE.json]   merge per-rank telemetry\n\
+                 \u{20}       journals into a Chrome trace-event timeline (load in Perfetto)"
             );
             ExitCode::FAILURE
         }
@@ -122,7 +130,25 @@ fn cli_config(args: &[String]) -> TrainConfig {
     }
     apply_checkpoint_flags(&mut cfg, args);
     apply_fault_flags(&mut cfg, args);
+    apply_telemetry_flags(&mut cfg, args);
     cfg
+}
+
+/// Telemetry knobs: `--telemetry` arms the per-rank event journal and
+/// metrics registry (off by default, and purely observational — the
+/// trained weights are byte-identical either way), `--telemetry-dir`
+/// picks where the per-rank JSONL journals land (default `telemetry`),
+/// and `--telemetry-ring` caps the event ring (0 = default capacity).
+/// Like every other behavioral knob it rides the wire config, so remote
+/// slaves journal without any local flags.
+fn apply_telemetry_flags(cfg: &mut TrainConfig, args: &[String]) {
+    if !flag_present(args, "--telemetry") {
+        return;
+    }
+    let dir = flag_value(args, "--telemetry-dir").unwrap_or("telemetry");
+    let ring: usize =
+        flag_value(args, "--telemetry-ring").and_then(|v| v.parse().ok()).unwrap_or(0);
+    *cfg = cfg.clone().with_telemetry(dir, ring);
 }
 
 /// Failure-semantics knobs: the scripted fault plan, the staleness bound
@@ -237,6 +263,9 @@ fn cmd_resume(args: &[String]) -> ExitCode {
     if let Some(k) = flag_value(args, "--pause-after").and_then(|v| v.parse().ok()) {
         cfg = cfg.with_pause_after(k);
     }
+    // The manifest carries the interrupted run's telemetry settings; fresh
+    // flags on the resume invocation override them.
+    apply_telemetry_flags(&mut cfg, args);
     let resume_from = match checkpoint::latest_consistent_iteration(dir, cfg.cells()) {
         Ok(Some(k)) => k,
         Ok(None) => {
@@ -318,15 +347,16 @@ fn run_training(cfg: TrainConfig, args: &[String], resume_from: Option<usize>) -
         _ => None,
     };
 
-    let (report, best_model) = match driver.as_str() {
+    let (report, best_model, telemetry) = match driver.as_str() {
         "sequential" => {
             // Synthesize the dataset once; cells share it (or their shard).
             let full = cli_full_data(&cfg);
             let mut t = sequential_trainer(&cfg, &full, resume_states.as_deref());
             let report = run_sequential_driver(&mut t, &cfg);
+            let telemetry = cfg.telemetry.is_enabled().then(|| t.telemetry_summary());
             let mut ensembles = t.ensembles();
             let best = ensembles.swap_remove(report.best_cell);
-            (report, best)
+            (report, best, telemetry)
         }
         "cluster-sim" => {
             let full = cli_full_data(&cfg);
@@ -347,7 +377,9 @@ fn run_training(cfg: TrainConfig, args: &[String], resume_from: Option<usize>) -
                 let mut ensembles = t.ensembles();
                 ensembles.swap_remove(outcome.report.best_cell)
             };
-            (outcome.report, best)
+            // The sim writes its virtual-time journals itself; there is no
+            // wire aggregation to merge into a summary.
+            (outcome.report, best, None)
         }
         "distributed" => {
             let mut opts = DistributedOptions { resume_from, ..DistributedOptions::default() };
@@ -377,7 +409,8 @@ fn run_training(cfg: TrainConfig, args: &[String], resume_from: Option<usize>) -
             // rebuild; over TCP these genomes really crossed process
             // boundaries.
             let best = outcome.best_ensemble(&cfg);
-            (outcome.report, best)
+            let telemetry = outcome.telemetry;
+            (outcome.report, best, telemetry)
         }
         other => {
             eprintln!("unknown driver {other}");
@@ -398,8 +431,53 @@ fn run_training(cfg: TrainConfig, args: &[String], resume_from: Option<usize>) -
             return ExitCode::FAILURE;
         }
         println!("saved winning ensemble to {}", path.display());
+        if cfg.telemetry.is_enabled() {
+            let sidecar = PathBuf::from(format!("{}.summary.json", path.display()));
+            match write_run_summary(&sidecar, &report, telemetry.as_ref()) {
+                Ok(()) => println!("wrote run summary to {}", sidecar.display()),
+                Err(e) => {
+                    eprintln!("failed to write run summary: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
     }
     ExitCode::SUCCESS
+}
+
+/// Persist the run summary next to the `.lpz`: the Table IV profile rows
+/// plus the merged telemetry aggregate (hand-emitted JSON — `serde_json`
+/// is not in the offline dependency set).
+fn write_run_summary(
+    path: &Path,
+    report: &TrainReport,
+    telemetry: Option<&TelemetrySummary>,
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push('{');
+    let _ = write!(
+        out,
+        "\"driver\":\"{}\",\"grid\":[{},{}],\"iterations\":{},\"wall_seconds\":{:.6},\"profile\":[",
+        report.driver, report.grid.0, report.grid.1, report.iterations, report.wall_seconds
+    );
+    for (i, row) in report.profile.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"routine\":\"{}\",\"seconds\":{:.9},\"calls\":{}}}",
+            row.routine, row.seconds, row.calls
+        );
+    }
+    out.push(']');
+    if let Some(t) = telemetry {
+        out.push_str(",\"telemetry\":");
+        t.write_json(&mut out);
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out)
 }
 
 /// Whole-grid trainer over the shared dataset — fresh, or restored from
@@ -833,6 +911,32 @@ fn cmd_sample(args: &[String]) -> ExitCode {
             println!("{:?}", samples.row(r));
         }
     }
+    ExitCode::SUCCESS
+}
+
+/// `trace`: merge the per-rank JSONL journals a `--telemetry` run wrote
+/// into one Chrome trace-event file — one track per rank — loadable in
+/// Perfetto (ui.perfetto.dev) or chrome://tracing.
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let dir = flag_value(args, "--journals").unwrap_or("telemetry");
+    let out = flag_value(args, "--out").unwrap_or("trace.json");
+    let journals = match lipizzaner::telemetry::read_journal_dir(Path::new(dir)) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("failed to read journals in {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if journals.is_empty() {
+        eprintln!("no *.jsonl journals in {dir} (run with --telemetry first)");
+        return ExitCode::FAILURE;
+    }
+    let events: usize = journals.iter().map(|j| j.events.len()).sum();
+    if let Err(e) = std::fs::write(out, chrome_trace(&journals)) {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {events} events across {} rank track(s) to {out}", journals.len());
     ExitCode::SUCCESS
 }
 

@@ -20,6 +20,7 @@
 //! | algorithm | [`core`] | cellular coevolution, grid, sequential driver |
 //! | runtime | [`runtime`] | master/slave protocol, heartbeats, TCP driver |
 //! | platform | [`cluster`] | virtual-time Cluster-UY simulator |
+//! | observability | [`telemetry`] | event journal, metrics, trace export |
 //!
 //! # Quickstart
 //!
@@ -42,6 +43,7 @@ pub use lipiz_metrics as metrics;
 pub use lipiz_mpi as mpi;
 pub use lipiz_nn as nn;
 pub use lipiz_runtime as runtime;
+pub use lipiz_telemetry as telemetry;
 pub use lipiz_tensor as tensor;
 
 /// The most common imports in one place.
@@ -60,5 +62,6 @@ pub mod prelude {
     };
     pub use lipiz_runtime::driver::{run_tcp_master, run_tcp_slave};
     pub use lipiz_runtime::{run_distributed, DistributedOptions};
+    pub use lipiz_telemetry::{chrome_trace, Telemetry, TelemetrySummary};
     pub use lipiz_tensor::{Matrix, Pool, Rng64};
 }

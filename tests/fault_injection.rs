@@ -18,6 +18,7 @@
 use lipizzaner::cluster::{SimulatedCluster, SimulationOptions};
 use lipizzaner::core::TrainConfig;
 use lipizzaner::mpi::{replacement_schedule, FaultPlan};
+use lipizzaner::telemetry::{parse_journal, EventKind, RankJournal};
 use lipizzaner::tensor::{Matrix, Rng64};
 use proptest::prelude::*;
 use std::path::PathBuf;
@@ -200,6 +201,7 @@ fn sigkilled_slave_is_replaced_in_flight_and_replay_is_byte_identical() {
     // and the whole degraded run must be a pure function of (seed, plan):
     // a rerun and the virtual-cluster model both land on the same bytes.
     let dir = workdir("inflight");
+    let tel_dir = dir.join("tel");
     let fault_flags = [
         "--tiny",
         "--grid",
@@ -232,6 +234,16 @@ fn sigkilled_slave_is_replaced_in_flight_and_replay_is_byte_identical() {
             ckpt.to_str().unwrap(),
         ];
         args.extend_from_slice(&fault_flags);
+        // Run "a" journals everything; run "b" stays plain. The byte-identity
+        // assertion below therefore doubles as proof that `--telemetry` is
+        // purely observational on a real degraded multi-process run.
+        if name == "a" {
+            args.extend_from_slice(&[
+                "--telemetry",
+                "--telemetry-dir",
+                tel_dir.to_str().unwrap(),
+            ]);
+        }
         let out = run(&args);
         let stdout = String::from_utf8_lossy(&out.stdout).to_string();
 
@@ -260,6 +272,69 @@ fn sigkilled_slave_is_replaced_in_flight_and_replay_is_byte_identical() {
         outputs.push(read(&lpz));
     }
     assert_eq!(outputs[0], outputs[1], "degraded rerun is not byte-identical");
+
+    // The fault left a paper trail in the per-rank journals. Journals are
+    // keyed by node name, so the victim's evidence survives its replacement
+    // (which announces itself as `node03r`).
+    let journal = |file: &str| -> RankJournal {
+        let path = tel_dir.join(file);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read journal {}: {e}", path.display()));
+        parse_journal(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
+    };
+
+    // The victim records its own scripted death: cell 2, iteration 2.
+    let victim = journal("node03.jsonl");
+    assert!(
+        victim.events.iter().any(|e| e.kind == EventKind::Kill && e.cell == 2 && e.iter == 2),
+        "victim journal missing the kill event at cell 2, iteration 2: {:?}",
+        victim.events
+    );
+
+    // The replacement process journals its rejoin under its own node name.
+    let replacement = journal("node03r.jsonl");
+    assert!(
+        replacement.events.iter().any(|e| e.kind == EventKind::Rejoin),
+        "replacement journal missing the rejoin event: {:?}",
+        replacement.events
+    );
+
+    // The master names world rank 3 as the dead slave. Which conviction-path
+    // event lands is timing-dependent (the doomed-gather signal usually
+    // beats the heartbeat deadline, so a full conviction may never fire),
+    // but at 10ms heartbeat intervals at least one miss always does.
+    let master = journal("master.jsonl");
+    assert!(
+        master.events.iter().any(|e| e.cell == 3
+            && matches!(
+                e.kind,
+                EventKind::HeartbeatMiss | EventKind::Conviction | EventKind::ConvictionCleared
+            )),
+        "master journal never names rank 3 on the conviction path: {:?}",
+        master.events
+    );
+
+    // The journals merge into a Perfetto-loadable trace with the fault
+    // events on the right rank tracks.
+    let trace_path = dir.join("trace.json");
+    run(&[
+        "trace",
+        "--journals",
+        tel_dir.to_str().unwrap(),
+        "--out",
+        trace_path.to_str().unwrap(),
+    ]);
+    let trace = String::from_utf8(read(&trace_path)).expect("trace is UTF-8");
+    assert!(trace.contains("\"traceEvents\""), "not a Chrome trace: {trace}");
+    // One event per line; the kill and the rejoin must sit on rank 3's track
+    // (the replacement keeps the victim's world rank).
+    let on_rank3_track = |name: &str| {
+        trace
+            .lines()
+            .any(|l| l.contains("\"tid\":3") && l.contains(&format!("\"name\":\"{name}\"")))
+    };
+    assert!(on_rank3_track("kill"), "kill instant missing from rank 3's track:\n{trace}");
+    assert!(on_rank3_track("rejoin"), "rejoin instant missing from rank 3's track:\n{trace}");
 
     // The virtual cluster models the same kill, byte-for-byte.
     let sim_lpz = dir.join("sim.lpz");

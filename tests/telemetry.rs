@@ -1,0 +1,196 @@
+//! Telemetry end-to-end, through the CLI binary:
+//!
+//! 1. **Observational-only**: `--telemetry` must not perturb training — the
+//!    saved `.lpz` is byte-identical with and without it, on the sequential
+//!    and in-process distributed drivers alike (the fault-injection suite
+//!    covers the degraded TCP run).
+//! 2. **Journals**: every rank writes a parseable JSONL journal into the
+//!    `--telemetry-dir`, and a run summary sidecar lands next to the `.lpz`.
+//! 3. **Trace export**: `lipizzaner trace` merges the journals into a
+//!    Chrome trace-event document (one track per rank, balanced span
+//!    begin/end pairs) that Perfetto loads directly.
+
+use lipizzaner::telemetry::{parse_journal, EventKind, RankJournal};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_lipizzaner");
+const DEADLINE: Duration = Duration::from_secs(60);
+const FLAGS: [&str; 7] = ["--tiny", "--grid", "2", "--iterations", "3", "--batches", "2"];
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("lipiz_telemetry").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test workdir");
+    dir
+}
+
+/// Run the binary with `args`, enforcing the deadline and success.
+fn run(args: &[&str]) -> Output {
+    let out = spawn_to_completion(args);
+    assert!(
+        out.status.success(),
+        "`lipizzaner {}` failed: {}\n{}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    out
+}
+
+fn spawn_to_completion(args: &[&str]) -> Output {
+    let mut child = Command::new(BIN)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn lipizzaner binary");
+    let start = Instant::now();
+    loop {
+        match child.try_wait().expect("poll child") {
+            Some(_) => break,
+            None if start.elapsed() > DEADLINE => {
+                let _ = child.kill();
+                let _ = child.wait();
+                panic!("`lipizzaner {}` exceeded the {DEADLINE:?} deadline", args.join(" "));
+            }
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+    child.wait_with_output().expect("collect output")
+}
+
+fn read(path: &Path) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn read_journal(path: &Path) -> RankJournal {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read journal {}: {e}", path.display()));
+    parse_journal(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
+}
+
+/// Train twice with `driver` — plain, then with `--telemetry` — and return
+/// (plain bytes, traced bytes, telemetry dir, traced `.lpz` path).
+fn paired_runs(dir: &Path, driver: &str) -> (Vec<u8>, Vec<u8>, PathBuf, PathBuf) {
+    let plain = dir.join("plain.lpz");
+    let traced = dir.join("traced.lpz");
+    let tel_dir = dir.join("tel");
+
+    let mut plain_args = vec!["train", "--driver", driver, "--out", plain.to_str().unwrap()];
+    plain_args.extend_from_slice(&FLAGS);
+    run(&plain_args);
+
+    let mut traced_args = vec![
+        "train",
+        "--driver",
+        driver,
+        "--out",
+        traced.to_str().unwrap(),
+        "--telemetry",
+        "--telemetry-dir",
+        tel_dir.to_str().unwrap(),
+    ];
+    traced_args.extend_from_slice(&FLAGS);
+    run(&traced_args);
+
+    (read(&plain), read(&traced), tel_dir, traced)
+}
+
+#[test]
+fn sequential_telemetry_is_observational_and_journals_the_run() {
+    let dir = workdir("sequential");
+    let (plain, traced, tel_dir, lpz) = paired_runs(&dir, "sequential");
+    assert_eq!(plain, traced, "--telemetry changed a sequential run's output bytes");
+
+    // The whole grid runs on rank 0; its journal holds the span record.
+    let journal = read_journal(&tel_dir.join("node00.jsonl"));
+    assert!(!journal.events.is_empty(), "sequential journal is empty");
+    let trains = journal.events.iter().filter(|e| e.kind == EventKind::TrainBegin).count();
+    assert!(trains > 0, "no train spans journaled: {:?}", journal.events);
+
+    // The run summary sidecar sits next to the `.lpz` and carries both the
+    // Table IV profile and the merged telemetry aggregate.
+    let sidecar = PathBuf::from(format!("{}.summary.json", lpz.display()));
+    let summary = String::from_utf8(read(&sidecar)).expect("summary is UTF-8");
+    for key in ["\"driver\"", "\"grid\"", "\"profile\"", "\"routine\"", "\"telemetry\""] {
+        assert!(summary.contains(key), "summary missing {key}: {summary}");
+    }
+}
+
+#[test]
+fn distributed_telemetry_is_observational_and_every_rank_journals() {
+    let dir = workdir("distributed");
+    let (plain, traced, tel_dir, lpz) = paired_runs(&dir, "distributed");
+    assert_eq!(plain, traced, "--telemetry changed a distributed run's output bytes");
+
+    // One journal per slave rank plus the master's conviction-path journal.
+    for file in ["node01.jsonl", "node02.jsonl", "node03.jsonl", "node04.jsonl"] {
+        let journal = read_journal(&tel_dir.join(file));
+        assert!(!journal.events.is_empty(), "{file} is empty");
+        assert!(
+            journal.events.iter().any(|e| e.kind == EventKind::ExchangeComplete),
+            "{file} journaled no exchange completions"
+        );
+    }
+    assert!(tel_dir.join("master.jsonl").exists(), "master journal missing");
+
+    // Slaves shipped their summaries to the master, which merged them into
+    // the sidecar: 4 cells × 3 iterations of training distributions.
+    let sidecar = PathBuf::from(format!("{}.summary.json", lpz.display()));
+    let summary = String::from_utf8(read(&sidecar)).expect("summary is UTF-8");
+    assert!(summary.contains("\"telemetry\""), "sidecar lacks telemetry block: {summary}");
+}
+
+#[test]
+fn trace_subcommand_exports_a_perfetto_document() {
+    let dir = workdir("trace");
+    let (_, _, tel_dir, _) = paired_runs(&dir, "distributed");
+
+    let out = dir.join("trace.json");
+    let cmd = run(&[
+        "trace",
+        "--journals",
+        tel_dir.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&cmd.stdout);
+    assert!(stdout.contains("rank track(s)"), "unexpected trace output: {stdout}");
+
+    let trace = String::from_utf8(read(&out)).expect("trace is UTF-8");
+    // Document shape is the Chrome trace-event contract.
+    assert!(trace.starts_with("{\"traceEvents\":[\n"), "bad preamble: {trace}");
+    assert!(trace.ends_with("],\"displayTimeUnit\":\"ms\"}\n"), "bad epilogue");
+    // One named track per journaled rank: master (0) + four slaves.
+    for rank in ["rank 00", "rank 01", "rank 02", "rank 03", "rank 04"] {
+        assert!(trace.contains(&format!("\"name\":\"{rank}\"")), "missing track {rank}");
+    }
+    // Spans arrive balanced, and the Table IV routines are all present.
+    assert_eq!(
+        trace.matches("\"ph\":\"B\"").count(),
+        trace.matches("\"ph\":\"E\"").count(),
+        "unbalanced span begin/end pairs"
+    );
+    for routine in ["gather", "mutate", "train", "update genomes"] {
+        assert!(
+            trace.contains(&format!("\"name\":\"{routine}\"")),
+            "routine {routine} missing from the trace"
+        );
+    }
+}
+
+#[test]
+fn trace_subcommand_fails_cleanly_without_journals() {
+    let dir = workdir("no_journals");
+    let missing = dir.join("nowhere");
+    let out = spawn_to_completion(&[
+        "trace",
+        "--journals",
+        missing.to_str().unwrap(),
+        "--out",
+        dir.join("trace.json").to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "trace succeeded against a missing journal dir");
+}

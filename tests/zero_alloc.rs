@@ -17,6 +17,7 @@
 //! ones this file creates, so the measured window is quiet by construction.
 
 use lipizzaner::core::{CellEngine, CellSnapshot, Profiler, TrainConfig};
+use lipizzaner::telemetry::Telemetry;
 use lipizzaner::tensor::{Matrix, Pool, Rng64};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -71,8 +72,25 @@ fn allocations_over(engine: &mut CellEngine, snaps: &[CellSnapshot], iters: usiz
     allocations() - before
 }
 
+/// Like [`allocations_over`], but recording every iteration into an
+/// *enabled* telemetry journal (span events + latency histograms).
+fn allocations_over_traced(
+    engine: &mut CellEngine,
+    snaps: &[CellSnapshot],
+    iters: usize,
+    tel: &mut Telemetry,
+) -> u64 {
+    let mut prof = Profiler::new();
+    let before = allocations();
+    for _ in 0..iters {
+        engine.run_iteration_with(snaps, &mut prof, tel);
+    }
+    allocations() - before
+}
+
 fn main() {
     steady_state_iteration_allocates_nothing();
+    steady_state_with_telemetry_allocates_nothing();
     println!("zero_alloc: steady-state training iterations allocate nothing — ok");
 }
 
@@ -120,5 +138,42 @@ fn steady_state_iteration_allocates_nothing() {
     assert_eq!(
         steady, 0,
         "steady-state pooled training iterations must perform zero heap allocations"
+    );
+}
+
+/// `--telemetry` must keep the invariant: journaling span events into the
+/// fixed-capacity ring and feeding the log2 latency histograms is a few
+/// stores per phase — the recorder's only allocation is its construction.
+fn steady_state_with_telemetry_allocates_nothing() {
+    let mut cfg = TrainConfig::smoke(2);
+    cfg.coevolution.iterations = 64; // never reached; engine driven manually
+    let data = toy_data(&cfg);
+
+    // --- serial, telemetry on --------------------------------------------
+    let mut engine = CellEngine::new(0, &cfg, data.clone());
+    let snaps: Vec<CellSnapshot> = (0..4).map(|_| engine.snapshot()).collect();
+    let mut tel = Telemetry::enabled(1, 64); // small ring: overwrites mid-window
+    allocations_over_traced(&mut engine, &snaps, 4, &mut tel);
+    let steady = allocations_over_traced(&mut engine, &snaps, 6, &mut tel);
+    assert_eq!(
+        steady, 0,
+        "steady-state iterations with telemetry enabled must perform zero heap allocations"
+    );
+    assert!(tel.events().count() > 0, "the measured window journaled events");
+    assert_eq!(tel.metrics.train_ns.count, 10, "train span per iteration");
+
+    // The overflow path (ring overwrite + dropped counter) is part of the
+    // steady state: a 64-slot ring has wrapped by now.
+    assert!(tel.dropped() > 0, "ring should have wrapped inside the window");
+
+    // --- pooled, telemetry on --------------------------------------------
+    let mut pooled = CellEngine::with_pool(0, &cfg, data, Pool::uncapped(2));
+    let psnaps: Vec<CellSnapshot> = (0..4).map(|_| pooled.snapshot()).collect();
+    let mut ptel = Telemetry::enabled(1, 64);
+    allocations_over_traced(&mut pooled, &psnaps, 4, &mut ptel);
+    let steady = allocations_over_traced(&mut pooled, &psnaps, 6, &mut ptel);
+    assert_eq!(
+        steady, 0,
+        "steady-state pooled iterations with telemetry enabled must perform zero heap allocations"
     );
 }
